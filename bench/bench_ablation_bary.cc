@@ -1,0 +1,51 @@
+// Ablation (Section 4): B-ary alphabets.
+//
+// Sweeps B in {2, 3, 4} over a skewed 32x32 surface and reports the HVE
+// width (B * RL bits after expansion), average token cost on compact
+// zones, and average index length — quantifying the compactness /
+// matching-cost trade-off of non-binary identifiers.
+
+#include "bench/bench_util.h"
+#include "encoders/tree_encoder.h"
+#include "grid/grid.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  Grid grid = Grid::Create(32, 32, 50.0).value();
+  Rng prob_rng(12345);
+  std::vector<double> probs = GenerateSigmoidProbabilities(
+      size_t(grid.num_cells()), 0.95, 20.0, &prob_rng);
+
+  Table table({"B", "RL_symbols", "hve_width_bits", "avg_ops_r20",
+               "avg_ops_r100", "avg_ops_r300"});
+  for (int arity : {2, 3, 4}) {
+    HuffmanEncoder enc(arity);
+    SLOC_CHECK(enc.Build(probs).ok());
+    std::vector<std::string> row = {
+        Table::Int(arity), Table::Int(int64_t(enc.scheme().rl)),
+        Table::Int(int64_t(enc.width()))};
+    for (double radius : {20.0, 100.0, 300.0}) {
+      Rng rng(555);
+      double total = 0.0;
+      const int kZones = 25;
+      for (int z = 0; z < kZones; ++z) {
+        AlertZone zone = ProbabilisticCircularZone(grid, radius, &rng, probs);
+        auto tokens = enc.TokensFor(zone.cells);
+        SLOC_CHECK(tokens.ok());
+        total += double(CostOfTokens(*tokens).non_star_bits);
+      }
+      row.push_back(Table::Num(total / kZones, 1));
+    }
+    table.AddRow(row);
+  }
+  bench::EmitTable("ablation_bary", table, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

@@ -1,0 +1,62 @@
+// Ablation: readings of the fixed-length [14] baseline, and workload
+// sensitivity.
+//
+// [14]'s "hierarchical data structure" admits two natural fixed-length
+// instantiations: row-major codes and quadtree/Morton codes. This bench
+// compares them (plus SGO and Huffman) under the two workload models:
+//  * geometric — every cell inside the disk is alerted (blanket zones);
+//  * probabilistic — cells inside the disk join with their own alert
+//    probability (the paper's Section 2 semantics).
+// Geometric zones reward spatially-coherent codes (Morton strongest);
+// probabilistic zones reward probability-aware codes (Huffman).
+
+#include "bench/bench_util.h"
+#include "encoders/morton.h"
+#include "grid/grid.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  Grid grid = Grid::Create(32, 32, 50.0).value();
+  Rng prob_rng(8080);
+  std::vector<double> probs = GenerateSigmoidProbabilities(
+      size_t(grid.num_cells()), 0.95, 100.0, &prob_rng);
+
+  std::vector<std::unique_ptr<GridEncoder>> encoders;
+  encoders.push_back(std::make_unique<MortonEncoder>());
+  for (auto& enc : bench::BuildAll(probs, bench::AllKinds())) {
+    encoders.push_back(std::move(enc));
+  }
+  SLOC_CHECK(encoders[0]->Build(probs).ok());
+
+  for (bool probabilistic : {false, true}) {
+    Table table({"radius_m", "morton", "row_major(fixed)", "sgo",
+                 "balanced", "huffman"});
+    for (double radius : {50.0, 100.0, 200.0, 400.0}) {
+      Rng rng(31);
+      std::vector<AlertZone> zones;
+      for (int z = 0; z < 20; ++z) {
+        zones.push_back(probabilistic
+                            ? ProbabilisticCircularZone(grid, radius, &rng,
+                                                        probs)
+                            : RandomCircularZone(grid, radius, &rng,
+                                                 &probs));
+      }
+      std::vector<double> avg = bench::AverageOps(encoders, zones);
+      table.AddRow({Table::Num(radius, 0), Table::Num(avg[0], 1),
+                    Table::Num(avg[1], 1), Table::Num(avg[2], 1),
+                    Table::Num(avg[3], 1), Table::Num(avg[4], 1)});
+    }
+    bench::EmitTable(probabilistic ? "ablation_baselines_probabilistic"
+                                   : "ablation_baselines_geometric",
+                     table, argc, argv);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

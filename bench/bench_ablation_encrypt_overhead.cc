@@ -1,0 +1,94 @@
+// Ablation (Section 5): the encryption-overhead trade-off.
+//
+// Variable-length codes pad every index to RL > ceil(log2 n) bits, so
+// each user pays for a wider HVE ciphertext. This bench measures, with
+// real crypto, the per-user encryption cost at the Huffman width vs the
+// fixed width, against the SP-side matching savings — the paper's
+// argument that the (distributed) encryption overhead is small compared
+// to the (centralized) matching reduction.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "encoders/tree_encoder.h"
+#include "grid/grid.h"
+#include "hve/hve.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+RandFn SeededRand(uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+int Run(int argc, char** argv) {
+  PairingParamSpec spec;
+  spec.p_prime_bits = 64;
+  spec.q_prime_bits = 64;
+  spec.seed = 97;
+  PairingGroup group = PairingGroup::Generate(spec).value();
+  RandFn rand = SeededRand(11);
+
+  Table table({"grid", "fixed_width", "huffman_width(RL)",
+               "encrypt_fixed_ms", "encrypt_huffman_ms", "overhead_%",
+               "sp_ops_saved_%_r50"});
+  for (int dim : {8, 16, 32}) {
+    size_t n = size_t(dim) * size_t(dim);
+    Grid grid = Grid::Create(dim, dim, 50.0).value();
+    Rng prob_rng(static_cast<uint64_t>(dim));
+    std::vector<double> probs =
+        GenerateSigmoidProbabilities(n, 0.95, 20.0, &prob_rng);
+
+    HuffmanEncoder huffman;
+    SLOC_CHECK(huffman.Build(probs).ok());
+    auto fixed = MakeEncoder(EncoderKind::kFixed).value();
+    SLOC_CHECK(fixed->Build(probs).ok());
+
+    // Real encryption timing at both widths (median of 7).
+    auto time_encrypt = [&](size_t width) {
+      hve::KeyPair keys = hve::Setup(group, width, rand).value();
+      Fp2Elem marker = group.RandomGt(rand);
+      std::string index(width, '0');
+      index[0] = '1';
+      std::vector<double> runs;
+      for (int r = 0; r < 7; ++r) {
+        WallTimer timer;
+        auto ct = hve::Encrypt(group, keys.pk, index, marker, rand);
+        SLOC_CHECK(ct.ok());
+        runs.push_back(timer.Millis());
+      }
+      std::sort(runs.begin(), runs.end());
+      return runs[3];
+    };
+    double t_fixed = time_encrypt(fixed->width());
+    double t_huff = time_encrypt(huffman.width());
+
+    // SP-side ops saved on compact (50 m) zones.
+    Rng rng(99);
+    double ops_fixed = 0.0, ops_huff = 0.0;
+    for (int z = 0; z < 20; ++z) {
+      AlertZone zone = ProbabilisticCircularZone(grid, 50.0, &rng, probs);
+      ops_fixed += double(
+          CostOfTokens(fixed->TokensFor(zone.cells).value()).non_star_bits);
+      ops_huff += double(
+          CostOfTokens(huffman.TokensFor(zone.cells).value()).non_star_bits);
+    }
+    table.AddRow(
+        {std::to_string(dim) + "x" + std::to_string(dim),
+         Table::Int(int64_t(fixed->width())),
+         Table::Int(int64_t(huffman.width())), Table::Num(t_fixed, 2),
+         Table::Num(t_huff, 2),
+         Table::Num((t_huff - t_fixed) / t_fixed * 100.0, 1),
+         Table::Num(bench::ImprovementPct(ops_fixed, ops_huff), 1)});
+  }
+  bench::EmitTable("ablation_encrypt_overhead", table, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

@@ -1,0 +1,156 @@
+// Ablation: HVE primitive micro-benchmarks (google-benchmark).
+//
+// Times Setup / Encrypt / GenToken / Query on the real composite-order
+// pairing, sweeping the HVE width and the number of non-star bits.
+// Validates the paper's premise that Query cost is linear in the
+// non-star count (2|J| + 1 pairings) and that pairings dominate.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "hve/hve.h"
+
+namespace sloc {
+namespace {
+
+RandFn SeededRand(uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+/// Shared group: parameter generation is expensive; reuse across cases.
+const PairingGroup& SharedGroup() {
+  static const PairingGroup* group = [] {
+    PairingParamSpec spec;
+    spec.p_prime_bits = 48;
+    spec.q_prime_bits = 48;
+    spec.seed = 20210323;  // EDBT 2021 opening day
+    return new PairingGroup(PairingGroup::Generate(spec).value());
+  }();
+  return *group;
+}
+
+void BM_PairingOnly(benchmark::State& state) {
+  const PairingGroup& group = SharedGroup();
+  RandFn rand = SeededRand(1);
+  AffinePoint a = group.Mul(BigInt::RandomBelow(group.params().n, rand),
+                            group.gen());
+  AffinePoint b = group.Mul(BigInt::RandomBelow(group.params().n, rand),
+                            group.gen());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.Pair(a, b));
+  }
+}
+BENCHMARK(BM_PairingOnly);
+
+void BM_HveSetup(benchmark::State& state) {
+  const PairingGroup& group = SharedGroup();
+  RandFn rand = SeededRand(2);
+  const size_t width = size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hve::Setup(group, width, rand).value());
+  }
+  state.SetComplexityN(int64_t(width));
+}
+BENCHMARK(BM_HveSetup)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_HveEncrypt(benchmark::State& state) {
+  const PairingGroup& group = SharedGroup();
+  RandFn rand = SeededRand(3);
+  const size_t width = size_t(state.range(0));
+  hve::KeyPair keys = hve::Setup(group, width, rand).value();
+  Fp2Elem marker = group.RandomGt(rand);
+  std::string index(width, '0');
+  for (size_t i = 0; i < width; i += 2) index[i] = '1';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hve::Encrypt(group, keys.pk, index, marker, rand).value());
+  }
+  state.SetComplexityN(int64_t(width));
+}
+BENCHMARK(BM_HveEncrypt)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_HveGenToken(benchmark::State& state) {
+  const PairingGroup& group = SharedGroup();
+  RandFn rand = SeededRand(4);
+  const size_t width = 32;
+  const size_t non_star = size_t(state.range(0));
+  hve::KeyPair keys = hve::Setup(group, width, rand).value();
+  std::string pattern(width, '*');
+  for (size_t i = 0; i < non_star; ++i) pattern[i] = '1';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hve::GenToken(group, keys.sk, pattern, rand).value());
+  }
+  state.SetComplexityN(int64_t(non_star));
+}
+BENCHMARK(BM_HveGenToken)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Complexity();
+
+// The paper's core cost claim: Query time is linear in non-star bits.
+void BM_HveQueryByNonStar(benchmark::State& state) {
+  const PairingGroup& group = SharedGroup();
+  RandFn rand = SeededRand(5);
+  const size_t width = 32;
+  const size_t non_star = size_t(state.range(0));
+  hve::KeyPair keys = hve::Setup(group, width, rand).value();
+  Fp2Elem marker = group.RandomGt(rand);
+  std::string index(width, '0');
+  hve::Ciphertext ct =
+      hve::Encrypt(group, keys.pk, index, marker, rand).value();
+  std::string pattern(width, '*');
+  for (size_t i = 0; i < non_star; ++i) pattern[i] = '0';
+  hve::Token tk = hve::GenToken(group, keys.sk, pattern, rand).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hve::Query(group, tk, ct).value());
+  }
+  // Report pairings/iteration so the 2|J|+1 law is visible in output;
+  // the complexity variable is the pairing count itself (non-zero even
+  // for the all-star token, which still pays one pairing).
+  state.counters["pairings"] =
+      benchmark::Counter(double(hve::QueryPairingCost(tk)));
+  state.SetComplexityN(int64_t(hve::QueryPairingCost(tk)));
+}
+BENCHMARK(BM_HveQueryByNonStar)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Complexity(benchmark::oN);
+
+// Multi-pairing fast path vs the naive per-pairing final exponentiation.
+void BM_HveQueryMultiPairing(benchmark::State& state) {
+  const PairingGroup& group = SharedGroup();
+  RandFn rand = SeededRand(6);
+  const size_t width = 32;
+  const size_t non_star = size_t(state.range(0));
+  hve::KeyPair keys = hve::Setup(group, width, rand).value();
+  Fp2Elem marker = group.RandomGt(rand);
+  std::string index(width, '0');
+  hve::Ciphertext ct =
+      hve::Encrypt(group, keys.pk, index, marker, rand).value();
+  std::string pattern(width, '*');
+  for (size_t i = 0; i < non_star; ++i) pattern[i] = '0';
+  hve::Token tk = hve::GenToken(group, keys.sk, pattern, rand).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hve::QueryMultiPairing(group, tk, ct).value());
+  }
+  state.counters["pairings"] =
+      benchmark::Counter(double(hve::QueryPairingCost(tk)));
+  state.SetComplexityN(int64_t(hve::QueryPairingCost(tk)));
+}
+BENCHMARK(BM_HveQueryMultiPairing)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(32)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace sloc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Fig. 7: upper bound of L_E (Huffman depth overhead over fixed-length)
+// for binary Huffman codes.
+//
+// L_E(2, n) = RL - ceil(log2 n); the paper verifies the measured value
+// against two analytic bounds: the loose n - 1 - ceil(log2 n) (Eq. 11)
+// and the golden-ratio bound log_phi(1/p_min) - ceil(log2 n) from
+// Theorem 4 / [Buro 93]. Probabilities from the sigmoid with a = 0.95,
+// b = 20 (the paper's footnote 1).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "coding/huffman.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+  Table table({"n", "RL", "ceil_log2", "L_E", "golden_bound",
+               "loose_bound"});
+  for (size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    Rng rng(n * 7 + 1);
+    std::vector<double> raw =
+        GenerateSigmoidProbabilities(n, 0.95, 20.0, &rng);
+    // Theorem 4 speaks about the (normalized) minimum probability.
+    std::vector<double> probs = NormalizeProbabilities(raw, 1.0);
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    size_t rl = tree.Depth();
+    size_t log2n = 0;
+    while ((size_t(1) << log2n) < n) ++log2n;
+    double p_min = 1.0;
+    for (double p : probs) {
+      if (p > 0) p_min = std::min(p_min, p);
+    }
+    double golden = std::log(1.0 / p_min) / std::log(phi) - double(log2n);
+    double loose = double(n) - 1.0 - double(log2n);
+    double le = double(rl) - double(log2n);
+    table.AddRow({Table::Int(int64_t(n)), Table::Int(int64_t(rl)),
+                  Table::Int(int64_t(log2n)), Table::Num(le, 0),
+                  Table::Num(golden, 1), Table::Num(loose, 0)});
+    // The measured overhead must respect both bounds.
+    SLOC_CHECK(le <= golden + 1e-9) << "golden-ratio bound violated";
+    SLOC_CHECK(le <= loose + 1e-9) << "loose bound violated";
+  }
+  bench::EmitTable("fig07_le_bound", table, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

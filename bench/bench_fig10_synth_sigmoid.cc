@@ -1,0 +1,63 @@
+// Fig. 10 (a-l): synthetic-data evaluation across sigmoid parameters.
+//
+// 32x32 grid, per-cell probabilities from the sigmoid generator with
+// a in {0.9, 0.99} and b in {10, 100, 200}; radius sweep as in Fig. 9.
+// Emits one ops table and one improvement table per (a, b) pair —
+// twelve series total, matching the paper's 12 panels.
+//
+// Expected shape: Huffman's edge grows with skew (higher a, higher b),
+// peaking around 50% improvement for a = 0.99; SGO catches up only at
+// large radii.
+
+#include "bench/bench_util.h"
+#include "grid/grid.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  Grid grid = Grid::Create(32, 32, 50.0).value();
+  const int kZonesPerRadius = 25;
+  char panel = 'a';
+  for (double a : {0.90, 0.99}) {
+    for (double b : {10.0, 100.0, 200.0}) {
+      Rng prob_rng(uint64_t(a * 1000) * 7919 + uint64_t(b));
+      std::vector<double> probs = GenerateSigmoidProbabilities(
+          size_t(grid.num_cells()), a, b, &prob_rng);
+      auto encoders = bench::BuildAll(probs, bench::AllKinds());
+
+      std::string tag = "a=" + Table::Num(a, 2) + " b=" + Table::Num(b, 0);
+      Table ops({"radius_m", "fixed", "sgo", "balanced", "huffman"});
+      Table impr({"radius_m", "sgo_impr_%", "balanced_impr_%",
+                  "huffman_impr_%"});
+      Rng rng(4242);
+      for (double radius : {20.0, 50.0, 100.0, 150.0, 200.0, 300.0, 450.0,
+                            600.0}) {
+        std::vector<AlertZone> zones;
+        for (int z = 0; z < kZonesPerRadius; ++z) {
+          zones.push_back(
+              ProbabilisticCircularZone(grid, radius, &rng, probs));
+        }
+        std::vector<double> avg = bench::AverageOps(encoders, zones);
+        ops.AddRow({Table::Num(radius, 0), Table::Num(avg[0], 1),
+                    Table::Num(avg[1], 1), Table::Num(avg[2], 1),
+                    Table::Num(avg[3], 1)});
+        impr.AddRow({Table::Num(radius, 0),
+                     Table::Num(bench::ImprovementPct(avg[0], avg[1]), 1),
+                     Table::Num(bench::ImprovementPct(avg[0], avg[2]), 1),
+                     Table::Num(bench::ImprovementPct(avg[0], avg[3]), 1)});
+      }
+      std::string p1(1, panel++), p2(1, panel++);
+      bench::EmitTable("fig10" + p1 + "_ops " + tag, ops, argc, argv);
+      bench::EmitTable("fig10" + p2 + "_improvement " + tag, impr, argc,
+                       argv);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

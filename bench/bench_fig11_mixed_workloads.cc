@@ -1,0 +1,55 @@
+// Fig. 11: mixed workloads W1-W4 on synthetic data.
+//
+// Zones mix short-radius (20 m) and long-radius (300 m) queries:
+// W1 = 90/10, W2 = 75/25, W3 = 25/75, W4 = 10/90 short/long shares;
+// sigmoid surfaces with a in {0.9, 0.99}, b = 100 (the paper's panels).
+//
+// Expected shape: Huffman outperforms SGO on every mix, with the
+// largest margin on W1 (mostly-compact zones; paper: up to ~40%).
+
+#include "bench/bench_util.h"
+#include "grid/grid.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  Grid grid = Grid::Create(32, 32, 50.0).value();
+  const struct {
+    const char* name;
+    double short_share;
+  } kMixes[] = {{"W1", 0.90}, {"W2", 0.75}, {"W3", 0.25}, {"W4", 0.10}};
+
+  for (double a : {0.90, 0.99}) {
+    Rng prob_rng(uint64_t(a * 1000) + 5);
+    std::vector<double> probs = GenerateSigmoidProbabilities(
+        size_t(grid.num_cells()), a, 100.0, &prob_rng);
+    auto encoders = bench::BuildAll(probs, bench::AllKinds());
+
+    Table table({"workload", "fixed", "sgo", "balanced", "huffman",
+                 "sgo_impr_%", "huffman_impr_%"});
+    for (const auto& mix : kMixes) {
+      MixedWorkloadSpec spec;
+      spec.short_share = mix.short_share;
+      spec.short_radius_m = 20.0;
+      spec.long_radius_m = 300.0;
+      spec.num_zones = 80;
+      Rng rng(1717);
+      auto zones = MakeProbabilisticMixedWorkload(grid, spec, &rng, probs);
+      std::vector<double> avg = bench::AverageOps(encoders, zones);
+      table.AddRow({mix.name, Table::Num(avg[0], 1), Table::Num(avg[1], 1),
+                    Table::Num(avg[2], 1), Table::Num(avg[3], 1),
+                    Table::Num(bench::ImprovementPct(avg[0], avg[1]), 1),
+                    Table::Num(bench::ImprovementPct(avg[0], avg[3]), 1)});
+    }
+    bench::EmitTable("fig11_mixed a=" + Table::Num(a, 2) + " b=100", table,
+                     argc, argv);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

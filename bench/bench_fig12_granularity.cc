@@ -1,0 +1,57 @@
+// Fig. 12: varying grid granularity (a = 0.95, b = 20).
+//
+// Grids 8x8 .. 64x64 over a fixed 3.2 km domain; zones parameterized by
+// the number of alerted cells rather than radius so granularities are
+// comparable. Reports average HVE ops and Huffman improvement vs fixed.
+//
+// Expected shape: more cells -> longer codes -> more ops everywhere;
+// Huffman's improvement at low alert-cell counts shrinks as the grid
+// grows (deeper Huffman trees; see also Fig. 13).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "grid/grid.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  const double kDomainM = 3200.0;
+  Table ops({"grid", "alert_cells", "fixed", "huffman", "huffman_impr_%"});
+  for (int dim : {8, 16, 32, 64}) {
+    Grid grid = Grid::Create(dim, dim, kDomainM / dim).value();
+    Rng prob_rng(uint64_t(dim) * 31);
+    std::vector<double> probs = GenerateSigmoidProbabilities(
+        size_t(grid.num_cells()), 0.95, 20.0, &prob_rng);
+    auto encoders = bench::BuildAll(
+        probs, {EncoderKind::kFixed, EncoderKind::kHuffman});
+
+    for (int target_cells : {1, 2, 4, 8, 16, 32}) {
+      if (target_cells > grid.num_cells() / 2) continue;
+      // Zones with ~target_cells cells: radius chosen so the disk holds
+      // that many cells of this granularity.
+      double radius =
+          grid.cell_size_m() * std::sqrt(double(target_cells) / M_PI) +
+          grid.cell_size_m() * 0.1;
+      Rng rng(777);
+      std::vector<AlertZone> zones;
+      for (int z = 0; z < 20; ++z) {
+        zones.push_back(ProbabilisticCircularZone(grid, radius, &rng, probs));
+      }
+      std::vector<double> avg = bench::AverageOps(encoders, zones);
+      ops.AddRow({std::to_string(dim) + "x" + std::to_string(dim),
+                  Table::Int(target_cells), Table::Num(avg[0], 1),
+                  Table::Num(avg[1], 1),
+                  Table::Num(bench::ImprovementPct(avg[0], avg[1]), 1)});
+    }
+  }
+  bench::EmitTable("fig12_granularity", ops, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

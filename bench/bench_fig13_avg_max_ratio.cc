@@ -1,0 +1,41 @@
+// Fig. 13: average-to-maximum Huffman code length ratio vs grid size
+// (a = 0.95, b = 20).
+//
+// Expected shape: the ratio decreases with grid size — bigger grids have
+// many more low-probability cells, so the tree grows deeper at the cold
+// end while hot cells keep short codes.
+
+#include "bench/bench_util.h"
+#include "coding/huffman.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  Table table({"grid", "cells", "avg_len", "max_len(RL)", "avg_to_max",
+               "fixed_len"});
+  for (int dim : {8, 16, 32, 64, 96, 128}) {
+    size_t n = size_t(dim) * size_t(dim);
+    Rng rng(uint64_t(dim) * 17);
+    std::vector<double> probs =
+        GenerateSigmoidProbabilities(n, 0.95, 20.0, &rng);
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    double avg = AverageCodeLength(tree);
+    size_t rl = tree.Depth();
+    size_t fixed = 0;
+    while ((size_t(1) << fixed) < n) ++fixed;
+    table.AddRow({std::to_string(dim) + "x" + std::to_string(dim),
+                  Table::Int(int64_t(n)), Table::Num(avg, 2),
+                  Table::Int(int64_t(rl)),
+                  Table::Num(avg / double(rl), 3),
+                  Table::Int(int64_t(fixed))});
+  }
+  bench::EmitTable("fig13_avg_to_max_ratio", table, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

@@ -1,0 +1,51 @@
+// Fig. 14: system initialization time vs grid size.
+//
+// Times the one-time setup pipeline: Huffman tree (Algorithm 2) +
+// indexes and coding tree (Algorithm 1), per encoder technique.
+// The paper reports minutes (Python) at large grids; native code is
+// faster, but the growth shape with grid size is the reproduced result.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  Table table({"grid", "cells", "fixed_ms", "sgo_ms", "balanced_ms",
+               "huffman_ms"});
+  for (int dim : {8, 16, 32, 64, 96, 128}) {
+    size_t n = size_t(dim) * size_t(dim);
+    Rng rng(uint64_t(dim) * 13);
+    std::vector<double> probs =
+        GenerateSigmoidProbabilities(n, 0.95, 20.0, &rng);
+    std::vector<std::string> cells;
+    std::vector<double> times;
+    for (EncoderKind kind : bench::AllKinds()) {
+      auto enc = MakeEncoder(kind).value();
+      // Median of 5 builds.
+      std::vector<double> runs;
+      for (int r = 0; r < 5; ++r) {
+        WallTimer timer;
+        SLOC_CHECK(enc->Build(probs).ok());
+        runs.push_back(timer.Millis());
+      }
+      std::sort(runs.begin(), runs.end());
+      times.push_back(runs[2]);
+    }
+    table.AddRow({std::to_string(dim) + "x" + std::to_string(dim),
+                  Table::Int(int64_t(n)), Table::Num(times[0], 3),
+                  Table::Num(times[1], 3), Table::Num(times[2], 3),
+                  Table::Num(times[3], 3)});
+  }
+  bench::EmitTable("fig14_init_time", table, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

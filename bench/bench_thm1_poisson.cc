@@ -1,0 +1,48 @@
+// Theorem 1: the number of alerted cells is approximately Pois(1) when
+// per-cell probabilities are small and sum to one.
+//
+// Monte-Carlo histogram vs the analytic pmf e^-1 / k! (paper Eq. 4),
+// on both uniform and skewed normalized surfaces.
+
+#include "bench/bench_util.h"
+#include "grid/poisson.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+int Run(int argc, char** argv) {
+  const int kTrials = 60000;
+  const int kMaxK = 8;
+
+  Table table({"k", "poisson(1)", "uniform_grid", "sigmoid_grid"});
+  Rng rng(2718);
+
+  std::vector<double> uniform(1024, 1.0 / 1024.0);
+  auto hist_u = AlertCountHistogram(uniform, kTrials, kMaxK, &rng);
+
+  Rng prob_rng(31337);
+  std::vector<double> skewed = NormalizeProbabilities(
+      GenerateSigmoidProbabilities(1024, 0.95, 20.0, &prob_rng), 1.0);
+  auto hist_s = AlertCountHistogram(skewed, kTrials, kMaxK, &rng);
+
+  for (int k = 0; k <= kMaxK; ++k) {
+    table.AddRow({Table::Int(k), Table::Num(PoissonPmf(1.0, k), 4),
+                  Table::Num(hist_u[size_t(k)], 4),
+                  Table::Num(hist_s[size_t(k)], 4)});
+  }
+  bench::EmitTable("thm1_poisson", table, argc, argv);
+
+  Table tv({"surface", "total_variation_vs_Pois(1)"});
+  tv.AddRow({"uniform", Table::Num(TotalVariationFromPoisson(hist_u, 1.0),
+                                   4)});
+  tv.AddRow({"sigmoid", Table::Num(TotalVariationFromPoisson(hist_s, 1.0),
+                                   4)});
+  bench::EmitTable("thm1_total_variation", tv, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::Run(argc, argv); }

@@ -1,0 +1,101 @@
+// Shared harness for the figure-regeneration benches.
+//
+// Each bench binary prints the rows/series of one paper figure as an
+// aligned table and optionally mirrors them to CSV (--csv=PATH or env
+// BENCH_CSV=dir). The paper's performance metric is the number of HVE
+// bilinear-map operations, which is determined entirely by the token
+// patterns — so these sweeps run the real encoders and minimizers but
+// not the (orthogonal) pairing arithmetic; the hve micro-benches time
+// the actual crypto.
+
+#ifndef SLOC_BENCH_BENCH_UTIL_H_
+#define SLOC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "encoders/encoder.h"
+#include "grid/alert_zone.h"
+#include "minimize/algorithm3.h"
+
+namespace sloc {
+namespace bench {
+
+/// Writes the table to stdout, and to CSV when requested via
+/// --csv=<path> argv or BENCH_CSV=<dir> env (file <dir>/<name>.csv).
+inline void EmitTable(const std::string& name, const Table& table, int argc,
+                      char** argv) {
+  std::cout << "== " << name << " ==\n" << table.ToText() << "\n";
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--csv=", 0) == 0) csv_path = arg.substr(6);
+  }
+  if (csv_path.empty()) {
+    const char* dir = std::getenv("BENCH_CSV");
+    if (dir != nullptr) csv_path = std::string(dir) + "/" + name + ".csv";
+  }
+  if (!csv_path.empty()) {
+    Status st = table.WriteCsv(csv_path);
+    if (!st.ok()) {
+      std::cerr << "CSV write failed: " << st << "\n";
+    } else {
+      std::cout << "(csv: " << csv_path << ")\n";
+    }
+  }
+}
+
+/// The four competing techniques, in the order plots report them.
+inline std::vector<EncoderKind> AllKinds() {
+  return {EncoderKind::kFixed, EncoderKind::kSgo, EncoderKind::kBalanced,
+          EncoderKind::kHuffman};
+}
+
+/// Builds one encoder per kind over the probability surface.
+inline std::vector<std::unique_ptr<GridEncoder>> BuildAll(
+    const std::vector<double>& probs,
+    const std::vector<EncoderKind>& kinds) {
+  std::vector<std::unique_ptr<GridEncoder>> out;
+  for (EncoderKind kind : kinds) {
+    auto enc = MakeEncoder(kind);
+    SLOC_CHECK(enc.ok()) << enc.status().message();
+    Status st = (*enc)->Build(probs);
+    SLOC_CHECK(st.ok()) << st.message();
+    out.push_back(std::move(*enc));
+  }
+  return out;
+}
+
+/// Total non-star bits ("HVE operations") each encoder spends over a
+/// workload of zones.
+inline std::vector<double> AverageOps(
+    const std::vector<std::unique_ptr<GridEncoder>>& encoders,
+    const std::vector<AlertZone>& zones) {
+  std::vector<double> totals(encoders.size(), 0.0);
+  for (const AlertZone& zone : zones) {
+    for (size_t e = 0; e < encoders.size(); ++e) {
+      auto tokens = encoders[e]->TokensFor(zone.cells);
+      SLOC_CHECK(tokens.ok()) << tokens.status().message();
+      totals[e] += double(CostOfTokens(*tokens).non_star_bits);
+    }
+  }
+  for (double& t : totals) t /= double(zones.size());
+  return totals;
+}
+
+/// Improvement percentage relative to baseline (index 0 = fixed [14]).
+inline double ImprovementPct(double baseline, double value) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - value) / baseline * 100.0;
+}
+
+}  // namespace bench
+}  // namespace sloc
+
+#endif  // SLOC_BENCH_BENCH_UTIL_H_

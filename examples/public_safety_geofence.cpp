@@ -1,0 +1,92 @@
+// Public safety: wide-area geofence vs compact hotspot alerts.
+//
+// The paper (Section 2.3) is explicit about the two regimes:
+//  * wide blanket evacuation zones (active shooter, gas leak) — every
+//    cell in a large disk is alerted; fixed-length encodings aggregate
+//    such contiguous blocks well and remain a fine choice;
+//  * compact, probability-driven zones (contact tracing, localized
+//    hazards) — few cells, mostly the popular ones; this is where the
+//    paper's variable-length Huffman encoding wins big.
+// This example measures both regimes side by side on the same grid and
+// then runs the wide-evacuation alert end-to-end with real crypto.
+//
+// Build & run:  ./build/examples/public_safety_geofence
+
+#include <algorithm>
+#include <iostream>
+
+#include "alert/protocol.h"
+#include "encoders/encoder.h"
+#include "grid/alert_zone.h"
+#include "grid/grid.h"
+#include "minimize/algorithm3.h"
+#include "prob/sigmoid.h"
+
+using namespace sloc;
+
+int main() {
+  // District: 32x32 grid of 50 m cells (1.6 km x 1.6 km).
+  Grid grid = Grid::Create(32, 32, 50.0).value();
+  Rng rng(911);
+  std::vector<double> probs = GenerateSigmoidProbabilities(
+      size_t(grid.num_cells()), 0.9, 100.0, &rng);
+
+  // Regime 1: blanket 300 m evacuation disk around an incident.
+  Point incident = grid.CenterOf(grid.CellAt(14, 18).value());
+  AlertZone blanket = MakeCircularZone(grid, incident, 300.0);
+  // Regime 2: compact probability-driven alerts (average of 25).
+  std::vector<AlertZone> compact;
+  for (int i = 0; i < 25; ++i) {
+    compact.push_back(ProbabilisticCircularZone(grid, 50.0, &rng, probs));
+  }
+
+  std::cout << "blanket 300 m disk: " << blanket.cells.size()
+            << " cells; compact hotspot zones: ~"
+            << compact[0].cells.size() << "-" << compact[5].cells.size()
+            << " cells\n\n";
+  std::cout << "encoder    blanket_ops  compact_ops(avg)\n";
+  std::cout << "----------------------------------------\n";
+  double fixed_compact = 0, huffman_compact = 0;
+  for (EncoderKind kind : {EncoderKind::kFixed, EncoderKind::kSgo,
+                           EncoderKind::kBalanced, EncoderKind::kHuffman}) {
+    auto enc = MakeEncoder(kind).value();
+    enc->Build(probs);
+    TokenCost blanket_cost =
+        CostOfTokens(enc->TokensFor(blanket.cells).value());
+    double compact_total = 0;
+    for (const AlertZone& z : compact) {
+      compact_total +=
+          double(CostOfTokens(enc->TokensFor(z.cells).value()).non_star_bits);
+    }
+    compact_total /= double(compact.size());
+    if (kind == EncoderKind::kFixed) fixed_compact = compact_total;
+    if (kind == EncoderKind::kHuffman) huffman_compact = compact_total;
+    printf("%-9s  %11zu  %16.1f\n", enc->name().c_str(),
+           blanket_cost.non_star_bits, compact_total);
+  }
+  printf("\ncompact zones: Huffman saves %.1f%% vs fixed — the paper's "
+         "target regime;\nthe blanket disk favours fixed-length "
+         "aggregation, as the paper concedes.\n\n",
+         100.0 * (fixed_compact - huffman_compact) / fixed_compact);
+
+  // End-to-end: run the blanket evacuation with real crypto. The system
+  // works identically for either regime; only the token cost differs.
+  alert::AlertSystem::Config config;
+  config.encoder = EncoderKind::kHuffman;
+  config.pairing.p_prime_bits = 32;
+  config.pairing.q_prime_bits = 32;
+  config.pairing.seed = 911;
+  alert::AlertSystem system =
+      alert::AlertSystem::Create(probs, config).value();
+  int inside = 0;
+  for (int u = 0; u < 30; ++u) {
+    int cell = int(rng.NextBelow(uint64_t(grid.num_cells())));
+    system.AddUser(u, cell);
+    inside += std::binary_search(blanket.cells.begin(), blanket.cells.end(),
+                                 cell);
+  }
+  auto outcome = system.TriggerAlert(blanket.cells).value();
+  std::cout << "evacuation notice delivered to " << outcome.stats.matches
+            << " of 30 users (ground truth inside: " << inside << ")\n";
+  return int(outcome.stats.matches) == inside ? 0 : 1;
+}

@@ -1,0 +1,181 @@
+#include "alert/protocol.h"
+
+#include <algorithm>
+
+#include "common/bitstring.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sloc {
+namespace alert {
+
+// ---------- TrustedAuthority ----------
+
+Result<TrustedAuthority> TrustedAuthority::Create(
+    std::shared_ptr<const PairingGroup> group,
+    std::unique_ptr<GridEncoder> encoder, RandFn rand) {
+  if (group == nullptr || encoder == nullptr) {
+    return Status::InvalidArgument("null group or encoder");
+  }
+  if (encoder->width() == 0) {
+    return Status::FailedPrecondition("encoder must be Build()-ed first");
+  }
+  TrustedAuthority ta;
+  ta.group_ = std::move(group);
+  ta.encoder_ = std::move(encoder);
+  ta.rand_ = std::move(rand);
+  SLOC_ASSIGN_OR_RETURN(ta.keys_,
+                        hve::Setup(*ta.group_, ta.encoder_->width(),
+                                   ta.rand_));
+  ta.pk_blob_ = hve::SerializePublicKey(*ta.group_, ta.keys_.pk);
+  ta.marker_ = ta.group_->RandomGt(ta.rand_);
+  return ta;
+}
+
+Result<std::vector<std::vector<uint8_t>>> TrustedAuthority::IssueAlert(
+    const std::vector<int>& alert_cells) const {
+  SLOC_ASSIGN_OR_RETURN(std::vector<std::string> patterns,
+                        encoder_->TokensFor(alert_cells));
+  std::vector<std::vector<uint8_t>> blobs;
+  blobs.reserve(patterns.size());
+  for (const std::string& pattern : patterns) {
+    SLOC_ASSIGN_OR_RETURN(hve::Token token,
+                          hve::GenToken(*group_, keys_.sk, pattern, rand_));
+    blobs.push_back(hve::SerializeToken(*group_, token));
+  }
+  return blobs;
+}
+
+// ---------- MobileUser ----------
+
+Result<MobileUser> MobileUser::Join(int user_id,
+                                    std::shared_ptr<const PairingGroup> group,
+                                    const std::vector<uint8_t>& pk_blob,
+                                    const Fp2Elem& marker, RandFn rand) {
+  if (group == nullptr) return Status::InvalidArgument("null group");
+  MobileUser user;
+  user.id_ = user_id;
+  user.group_ = std::move(group);
+  SLOC_ASSIGN_OR_RETURN(user.pk_, hve::ParsePublicKey(*user.group_, pk_blob));
+  user.marker_ = marker;
+  user.rand_ = std::move(rand);
+  return user;
+}
+
+Result<std::vector<uint8_t>> MobileUser::EncryptLocation(
+    const std::string& index) const {
+  SLOC_ASSIGN_OR_RETURN(
+      hve::Ciphertext ct,
+      hve::Encrypt(*group_, pk_, index, marker_, rand_));
+  return hve::SerializeCiphertext(*group_, ct);
+}
+
+// ---------- ServiceProvider ----------
+
+Status ServiceProvider::SubmitLocation(int user_id,
+                                       const std::vector<uint8_t>& ct_blob) {
+  auto ct = hve::ParseCiphertext(*group_, ct_blob);
+  if (!ct.ok()) return ct.status();
+  store_[user_id] = std::move(ct).value();
+  return Status::Ok();
+}
+
+Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
+    const std::vector<std::vector<uint8_t>>& token_blobs) const {
+  AlertOutcome out;
+  WallTimer timer;
+  std::vector<hve::Token> tokens;
+  tokens.reserve(token_blobs.size());
+  for (const auto& blob : token_blobs) {
+    SLOC_ASSIGN_OR_RETURN(hve::Token tk, hve::ParseToken(*group_, blob));
+    out.stats.non_star_bits += NonStarCount(tk.pattern);
+    tokens.push_back(std::move(tk));
+  }
+  out.stats.tokens = tokens.size();
+
+  const uint64_t pairings_before = group_->counters().pairings;
+  for (const auto& [user_id, ct] : store_) {
+    ++out.stats.ciphertexts_scanned;
+    for (const hve::Token& tk : tokens) {
+      bool match;
+      if (use_multipairing_) {
+        SLOC_ASSIGN_OR_RETURN(Fp2Elem recovered,
+                              hve::QueryMultiPairing(*group_, tk, ct));
+        match = group_->GtEqual(recovered, marker_);
+      } else {
+        SLOC_ASSIGN_OR_RETURN(match,
+                              hve::Matches(*group_, tk, ct, marker_));
+      }
+      if (match) {
+        out.notified_users.push_back(user_id);
+        ++out.stats.matches;
+        break;  // user already notified; skip remaining tokens
+      }
+    }
+  }
+  out.stats.pairings =
+      size_t(group_->counters().pairings - pairings_before);
+  out.stats.wall_seconds = timer.Seconds();
+  std::sort(out.notified_users.begin(), out.notified_users.end());
+  return out;
+}
+
+// ---------- AlertSystem ----------
+
+Result<AlertSystem> AlertSystem::Create(const std::vector<double>& cell_probs,
+                                        const Config& config) {
+  AlertSystem sys;
+  SLOC_ASSIGN_OR_RETURN(PairingGroup group,
+                        PairingGroup::Generate(config.pairing));
+  sys.group_ = std::make_shared<const PairingGroup>(std::move(group));
+
+  SLOC_ASSIGN_OR_RETURN(std::unique_ptr<GridEncoder> encoder,
+                        MakeEncoder(config.encoder, config.arity));
+  SLOC_RETURN_IF_ERROR(encoder->Build(cell_probs));
+
+  auto rng = std::make_shared<Rng>(config.rng_seed);
+  RandFn rand = [rng]() { return rng->NextU64(); };
+
+  SLOC_ASSIGN_OR_RETURN(
+      TrustedAuthority ta,
+      TrustedAuthority::Create(sys.group_, std::move(encoder), rand));
+  sys.ta_ = std::make_unique<TrustedAuthority>(std::move(ta));
+  sys.sp_ = std::make_unique<ServiceProvider>(sys.group_, sys.ta_->marker());
+  return sys;
+}
+
+Status AlertSystem::AddUser(int user_id, int cell) {
+  if (users_.count(user_id)) {
+    return Status::AlreadyExists("user " + std::to_string(user_id) +
+                                 " already registered");
+  }
+  auto rng = std::make_shared<Rng>(0x5eedULL + uint64_t(user_id));
+  RandFn rand = [rng]() { return rng->NextU64(); };
+  auto user = MobileUser::Join(user_id, group_, ta_->public_key_blob(),
+                               ta_->marker(), rand);
+  if (!user.ok()) return user.status();
+  users_.emplace(user_id, std::move(user).value());
+  return MoveUser(user_id, cell);
+}
+
+Status AlertSystem::MoveUser(int user_id, int new_cell) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) {
+    return Status::NotFound("unknown user " + std::to_string(user_id));
+  }
+  auto index = ta_->IndexOfCell(new_cell);
+  if (!index.ok()) return index.status();
+  auto blob = it->second.EncryptLocation(*index);
+  if (!blob.ok()) return blob.status();
+  return sp_->SubmitLocation(user_id, *blob);
+}
+
+Result<ServiceProvider::AlertOutcome> AlertSystem::TriggerAlert(
+    const std::vector<int>& alert_cells) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> tokens,
+                        ta_->IssueAlert(alert_cells));
+  return sp_->ProcessAlert(tokens);
+}
+
+}  // namespace alert
+}  // namespace sloc

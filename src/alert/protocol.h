@@ -1,0 +1,181 @@
+// The end-to-end location-based alert protocol (Section 2.2, Fig. 1/3).
+//
+// Three parties:
+//  * TrustedAuthority — owns the HVE secret key and the grid encoding;
+//    issues minimized search tokens for alert zones.
+//  * MobileUser — encrypts its own (padded) cell index under the public
+//    key; never shares a cleartext location with anyone.
+//  * ServiceProvider — stores ciphertexts, evaluates tokens on them, and
+//    notifies matching users. Learns only the match outcome.
+//
+// All messages cross party boundaries as validated byte blobs
+// (hve/serialize.h), so this is a faithful protocol implementation, not
+// three functions sharing pointers.
+
+#ifndef SLOC_ALERT_PROTOCOL_H_
+#define SLOC_ALERT_PROTOCOL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "encoders/encoder.h"
+#include "hve/hve.h"
+#include "hve/serialize.h"
+
+namespace sloc {
+namespace alert {
+
+/// Matching statistics for one processed alert (the paper's metrics).
+struct MatchStats {
+  size_t ciphertexts_scanned = 0;
+  size_t tokens = 0;
+  size_t non_star_bits = 0;  ///< sum over tokens (paper's "HVE operations")
+  size_t pairings = 0;       ///< pairings actually executed
+  size_t matches = 0;
+  double wall_seconds = 0.0;
+};
+
+/// The trusted authority: HVE key owner + encoding owner.
+class TrustedAuthority {
+ public:
+  /// Sets up keys wide enough for `encoder` (already Build()-ed).
+  static Result<TrustedAuthority> Create(
+      std::shared_ptr<const PairingGroup> group,
+      std::unique_ptr<GridEncoder> encoder, RandFn rand);
+
+  /// Published material: serialized public key, match marker, and the
+  /// public cell->index map (the encoding is public knowledge, Section 6).
+  const std::vector<uint8_t>& public_key_blob() const { return pk_blob_; }
+  const Fp2Elem& marker() const { return marker_; }
+  Result<std::string> IndexOfCell(int cell) const {
+    return encoder_->IndexOf(cell);
+  }
+  size_t width() const { return encoder_->width(); }
+  const GridEncoder& encoder() const { return *encoder_; }
+
+  /// Issues serialized, encrypted search tokens for an alert zone.
+  Result<std::vector<std::vector<uint8_t>>> IssueAlert(
+      const std::vector<int>& alert_cells) const;
+
+  /// The patterns IssueAlert would encrypt (no crypto; for cost studies).
+  Result<std::vector<std::string>> PatternsFor(
+      const std::vector<int>& alert_cells) const {
+    return encoder_->TokensFor(alert_cells);
+  }
+
+ private:
+  TrustedAuthority() = default;
+
+  std::shared_ptr<const PairingGroup> group_;
+  std::unique_ptr<GridEncoder> encoder_;
+  hve::KeyPair keys_;
+  std::vector<uint8_t> pk_blob_;
+  Fp2Elem marker_;
+  RandFn rand_;
+};
+
+/// A subscriber. Receives the public key blob, encrypts its own index.
+class MobileUser {
+ public:
+  /// Parses and validates the broadcast public key.
+  static Result<MobileUser> Join(int user_id,
+                                 std::shared_ptr<const PairingGroup> group,
+                                 const std::vector<uint8_t>& pk_blob,
+                                 const Fp2Elem& marker, RandFn rand);
+
+  int id() const { return id_; }
+
+  /// Encrypts the given index (obtained from the public encoding for the
+  /// user's current cell) into a serialized ciphertext blob.
+  Result<std::vector<uint8_t>> EncryptLocation(const std::string& index)
+      const;
+
+ private:
+  MobileUser() = default;
+
+  int id_ = -1;
+  std::shared_ptr<const PairingGroup> group_;
+  hve::PublicKey pk_;
+  Fp2Elem marker_;
+  RandFn rand_;
+};
+
+/// The service provider: ciphertext store + matcher.
+class ServiceProvider {
+ public:
+  ServiceProvider(std::shared_ptr<const PairingGroup> group, Fp2Elem marker)
+      : group_(std::move(group)), marker_(std::move(marker)) {}
+
+  /// Stores (or replaces) a user's latest encrypted location.
+  /// Malformed blobs are rejected with a Status.
+  Status SubmitLocation(int user_id, const std::vector<uint8_t>& ct_blob);
+
+  size_t num_users() const { return store_.size(); }
+
+  /// Switches matching to the multi-pairing fast path (one shared final
+  /// exponentiation per query; identical results, lower wall-clock).
+  void set_use_multipairing(bool enabled) { use_multipairing_ = enabled; }
+  bool use_multipairing() const { return use_multipairing_; }
+
+  struct AlertOutcome {
+    std::vector<int> notified_users;  ///< sorted user ids
+    MatchStats stats;
+  };
+
+  /// Evaluates every token against every stored ciphertext and returns
+  /// the users to notify. Token blobs are validated before use.
+  Result<AlertOutcome> ProcessAlert(
+      const std::vector<std::vector<uint8_t>>& token_blobs) const;
+
+ private:
+  std::shared_ptr<const PairingGroup> group_;
+  Fp2Elem marker_;
+  std::map<int, hve::Ciphertext> store_;
+  bool use_multipairing_ = false;
+};
+
+/// Convenience harness wiring the three parties over one grid encoding —
+/// used by examples and integration tests.
+class AlertSystem {
+ public:
+  struct Config {
+    EncoderKind encoder = EncoderKind::kHuffman;
+    int arity = 2;
+    PairingParamSpec pairing;   ///< small primes by default (tests)
+    uint64_t rng_seed = 1234;   ///< protocol randomness (deterministic)
+  };
+
+  static Result<AlertSystem> Create(const std::vector<double>& cell_probs,
+                                    const Config& config);
+
+  /// Registers a user currently in `cell` and uploads its ciphertext.
+  Status AddUser(int user_id, int cell);
+
+  /// Re-encrypts and re-uploads after the user moves.
+  Status MoveUser(int user_id, int new_cell);
+
+  /// TA issues tokens for the zone; SP matches; returns the outcome.
+  Result<ServiceProvider::AlertOutcome> TriggerAlert(
+      const std::vector<int>& alert_cells);
+
+  const TrustedAuthority& authority() const { return *ta_; }
+  const ServiceProvider& provider() const { return *sp_; }
+  ServiceProvider* mutable_provider() { return sp_.get(); }
+  const PairingGroup& group() const { return *group_; }
+
+ private:
+  AlertSystem() = default;
+
+  std::shared_ptr<const PairingGroup> group_;
+  std::unique_ptr<TrustedAuthority> ta_;
+  std::unique_ptr<ServiceProvider> sp_;
+  std::map<int, MobileUser> users_;
+};
+
+}  // namespace alert
+}  // namespace sloc
+
+#endif  // SLOC_ALERT_PROTOCOL_H_

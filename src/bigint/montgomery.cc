@@ -1,0 +1,201 @@
+#include "bigint/montgomery.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+using u128 = unsigned __int128;
+
+// Inverse of odd x modulo 2^64 by Newton iteration.
+uint64_t InverseMod2_64(uint64_t x) {
+  SLOC_DCHECK(x & 1);
+  uint64_t inv = x;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return inv;
+}
+}  // namespace
+
+Montgomery::Montgomery(BigInt modulus, size_t k)
+    : modulus_(std::move(modulus)), k_(k) {
+  n_ = modulus_.limbs();
+  n_.resize(k_, 0);
+  n0_inv_ = ~InverseMod2_64(n_[0]) + 1;  // -N^-1 mod 2^64
+  // R mod N and R^2 mod N via BigInt division (setup only).
+  BigInt r = BigInt(1) << (64 * k_);
+  BigInt r_mod = BigInt::Mod(r, modulus_);
+  BigInt r2_mod = BigInt::Mod(r_mod * r_mod, modulus_);
+  one_ = r_mod.limbs();
+  one_.resize(k_, 0);
+  r2_ = r2_mod.limbs();
+  r2_.resize(k_, 0);
+}
+
+Result<Montgomery> Montgomery::Create(const BigInt& modulus) {
+  if (modulus.IsNegative() || BigInt::Cmp(modulus, BigInt(1)) <= 0) {
+    return Status::InvalidArgument("Montgomery modulus must be > 1");
+  }
+  if (!modulus.IsOdd()) {
+    return Status::InvalidArgument("Montgomery modulus must be odd");
+  }
+  return Montgomery(modulus, modulus.NumLimbs());
+}
+
+int Montgomery::CmpRaw(const uint64_t* a, const uint64_t* b) const {
+  for (size_t i = k_; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+uint64_t Montgomery::SubRaw(uint64_t* a, const uint64_t* b, size_t k) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < k; ++i) {
+    uint64_t ai = a[i];
+    uint64_t d = ai - b[i];
+    uint64_t nb = (ai < b[i]);
+    uint64_t d2 = d - borrow;
+    nb |= (d < borrow);
+    a[i] = d2;
+    borrow = nb;
+  }
+  return borrow;
+}
+
+bool Montgomery::IsZero(const Elem& a) const {
+  return std::all_of(a.begin(), a.end(), [](uint64_t v) { return v == 0; });
+}
+
+bool Montgomery::Equal(const Elem& a, const Elem& b) const {
+  SLOC_DCHECK(a.size() == k_ && b.size() == k_);
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+void Montgomery::Add(const Elem& a, const Elem& b, Elem* out) const {
+  out->resize(k_);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < k_; ++i) {
+    u128 sum = static_cast<u128>(a[i]) + b[i] + carry;
+    (*out)[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  if (carry || CmpRaw(out->data(), n_.data()) >= 0) {
+    SubRaw(out->data(), n_.data(), k_);
+  }
+}
+
+void Montgomery::Sub(const Elem& a, const Elem& b, Elem* out) const {
+  out->resize(k_);
+  std::copy(a.begin(), a.end(), out->begin());
+  uint64_t borrow = SubRaw(out->data(), b.data(), k_);
+  if (borrow) {
+    // add modulus back
+    uint64_t carry = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      u128 sum = static_cast<u128>((*out)[i]) + n_[i] + carry;
+      (*out)[i] = static_cast<uint64_t>(sum);
+      carry = static_cast<uint64_t>(sum >> 64);
+    }
+  }
+}
+
+void Montgomery::Neg(const Elem& a, Elem* out) const {
+  if (IsZero(a)) {
+    *out = Zero();
+    return;
+  }
+  out->resize(k_);
+  std::copy(n_.begin(), n_.end(), out->begin());
+  SubRaw(out->data(), a.data(), k_);
+}
+
+void Montgomery::Redc(std::vector<uint64_t>* t_in, Elem* out) const {
+  std::vector<uint64_t>& t = *t_in;
+  SLOC_DCHECK(t.size() >= 2 * k_ + 1);
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t m = t[i] * n0_inv_;
+    uint64_t carry = 0;
+    for (size_t j = 0; j < k_; ++j) {
+      u128 cur = static_cast<u128>(m) * n_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    // propagate carry
+    size_t idx = i + k_;
+    while (carry) {
+      u128 cur = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+      ++idx;
+    }
+  }
+  out->resize(k_);
+  std::copy(t.begin() + static_cast<long>(k_),
+            t.begin() + static_cast<long>(2 * k_), out->begin());
+  bool overflow = t[2 * k_] != 0;
+  if (overflow || CmpRaw(out->data(), n_.data()) >= 0) {
+    SubRaw(out->data(), n_.data(), k_);
+  }
+}
+
+void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
+  SLOC_DCHECK(a.size() == k_ && b.size() == k_);
+  std::vector<uint64_t> t(2 * k_ + 1, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    if (ai != 0) {
+      for (size_t j = 0; j < k_; ++j) {
+        u128 cur = static_cast<u128>(ai) * b[j] + t[i + j] + carry;
+        t[i + j] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+      }
+    }
+    t[i + k_] += carry;
+  }
+  Redc(&t, out);
+}
+
+Montgomery::Elem Montgomery::ToMont(const BigInt& x) const {
+  BigInt canon = BigInt::Mod(x, modulus_);
+  Elem raw = canon.limbs();
+  raw.resize(k_, 0);
+  Elem out;
+  Mul(raw, r2_, &out);  // x * R^2 * R^-1 = x * R
+  return out;
+}
+
+BigInt Montgomery::FromMont(const Elem& a) const {
+  // Multiply by 1 (non-Montgomery) = REDC(a) = a * R^-1.
+  std::vector<uint64_t> t(2 * k_ + 1, 0);
+  std::copy(a.begin(), a.end(), t.begin());
+  Elem out;
+  Redc(&t, &out);
+  return BigInt::FromLimbs(std::move(out));
+}
+
+Montgomery::Elem Montgomery::Pow(const Elem& base, const BigInt& exp) const {
+  SLOC_CHECK(!exp.IsNegative()) << "negative exponent in Montgomery::Pow";
+  Elem result = One();
+  if (exp.IsZero()) return result;
+  Elem acc;
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    Sqr(result, &acc);
+    std::swap(result, acc);
+    if (exp.Bit(i)) {
+      Mul(result, base, &acc);
+      std::swap(result, acc);
+    }
+  }
+  return result;
+}
+
+Result<Montgomery::Elem> Montgomery::Inverse(const Elem& a) const {
+  BigInt plain = FromMont(a);
+  SLOC_ASSIGN_OR_RETURN(BigInt inv, BigInt::ModInverse(plain, modulus_));
+  return ToMont(inv);
+}
+
+}  // namespace sloc

@@ -1,0 +1,82 @@
+// Montgomery-form modular arithmetic for odd moduli.
+//
+// Elements are fixed-width little-endian limb vectors in Montgomery form
+// (x * R mod N, R = 2^(64*k)). This is the hot path under the pairing: all
+// F_p operations route through this context.
+
+#ifndef SLOC_BIGINT_MONTGOMERY_H_
+#define SLOC_BIGINT_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.h"
+#include "common/result.h"
+
+namespace sloc {
+
+/// Reusable context bound to one odd modulus N > 1.
+class Montgomery {
+ public:
+  /// Fixed-width residue in Montgomery form, length num_limbs().
+  using Elem = std::vector<uint64_t>;
+
+  /// Error unless modulus is odd and > 1.
+  static Result<Montgomery> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+  size_t num_limbs() const { return k_; }
+
+  /// Converts x (any sign) into Montgomery form of x mod N.
+  Elem ToMont(const BigInt& x) const;
+
+  /// Converts back to a canonical BigInt in [0, N).
+  BigInt FromMont(const Elem& a) const;
+
+  Elem Zero() const { return Elem(k_, 0); }
+  /// Montgomery representation of 1.
+  const Elem& One() const { return one_; }
+
+  bool IsZero(const Elem& a) const;
+  bool Equal(const Elem& a, const Elem& b) const;
+
+  /// out = (a + b) mod N.
+  void Add(const Elem& a, const Elem& b, Elem* out) const;
+  /// out = (a - b) mod N.
+  void Sub(const Elem& a, const Elem& b, Elem* out) const;
+  /// out = (-a) mod N.
+  void Neg(const Elem& a, Elem* out) const;
+  /// out = a * b * R^-1 mod N (Montgomery product).
+  void Mul(const Elem& a, const Elem& b, Elem* out) const;
+  /// out = a^2 * R^-1 mod N.
+  void Sqr(const Elem& a, Elem* out) const { Mul(a, a, out); }
+  /// Doubles in place semantics: out = 2a mod N.
+  void Dbl(const Elem& a, Elem* out) const { Add(a, a, out); }
+
+  /// base^exp mod N (exp plain, non-negative), result in Montgomery form.
+  Elem Pow(const Elem& base, const BigInt& exp) const;
+
+  /// Inverse in the multiplicative group. Error when not invertible.
+  Result<Elem> Inverse(const Elem& a) const;
+
+ private:
+  Montgomery(BigInt modulus, size_t k);
+
+  // out = t / R mod N for 2k-limb t (REDC). t is modified.
+  void Redc(std::vector<uint64_t>* t, Elem* out) const;
+  // Compare limb vectors of length k_: -1/0/1.
+  int CmpRaw(const uint64_t* a, const uint64_t* b) const;
+  // a -= b (length k_), returns borrow.
+  static uint64_t SubRaw(uint64_t* a, const uint64_t* b, size_t k);
+
+  BigInt modulus_;
+  size_t k_;                  // limb count of modulus
+  std::vector<uint64_t> n_;   // modulus limbs, length k_
+  uint64_t n0_inv_;           // -N^-1 mod 2^64
+  Elem one_;                  // R mod N
+  Elem r2_;                   // R^2 mod N (for ToMont)
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_BIGINT_MONTGOMERY_H_

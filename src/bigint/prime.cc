@@ -1,0 +1,90 @@
+#include "bigint/prime.h"
+
+#include <array>
+
+#include "bigint/montgomery.h"
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+// Small primes for quick trial division.
+constexpr std::array<uint64_t, 40> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173};
+
+// Deterministic witness set for n < 3.3 * 10^24 (Sorenson & Webster).
+constexpr std::array<uint64_t, 13> kFixedWitnesses = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41};
+
+// One Miller-Rabin round: true if n passes for base a (a reduced mod n).
+bool MillerRabinRound(const Montgomery& ctx, const BigInt& n,
+                      const BigInt& n_minus_1, const BigInt& d, size_t r,
+                      const BigInt& a) {
+  BigInt base = BigInt::Mod(a, n);
+  if (base.IsZero() || base.IsOne()) return true;
+  Montgomery::Elem x = ctx.Pow(ctx.ToMont(base), d);
+  BigInt xv = ctx.FromMont(x);
+  if (xv.IsOne() || xv == n_minus_1) return true;
+  for (size_t i = 1; i < r; ++i) {
+    Montgomery::Elem sq;
+    ctx.Sqr(x, &sq);
+    x = std::move(sq);
+    xv = ctx.FromMont(x);
+    if (xv == n_minus_1) return true;
+    if (xv.IsOne()) return false;  // nontrivial sqrt of 1
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, const RandFn& rand, int rounds) {
+  if (n.IsNegative()) return false;
+  if (BigInt::Cmp(n, BigInt(2)) < 0) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp = BigInt::FromU64(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // n is odd and > all small primes here.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++r;
+  }
+  auto ctx_or = Montgomery::Create(n);
+  SLOC_CHECK(ctx_or.ok());
+  const Montgomery& ctx = ctx_or.value();
+
+  for (uint64_t w : kFixedWitnesses) {
+    if (!MillerRabinRound(ctx, n, n_minus_1, d, r, BigInt::FromU64(w))) {
+      return false;
+    }
+  }
+  // Deterministic below the Sorenson-Webster bound (~81.5 bits).
+  if (n.BitLength() <= 81) return true;
+  for (int i = 0; i < rounds; ++i) {
+    BigInt a = BigInt::RandomBelow(n - BigInt(3), rand) + BigInt(2);
+    if (!MillerRabinRound(ctx, n, n_minus_1, d, r, a)) return false;
+  }
+  return true;
+}
+
+BigInt RandomPrime(size_t bits, const RandFn& rand) {
+  SLOC_CHECK_GE(bits, 2u);
+  if (bits == 2) return rand() % 2 ? BigInt(2) : BigInt(3);
+  for (;;) {
+    BigInt candidate = BigInt::Random(bits, rand);
+    // Force odd.
+    if (!candidate.IsOdd()) candidate = candidate + BigInt(1);
+    if (candidate.BitLength() != bits) continue;  // +1 overflowed width
+    if (IsProbablePrime(candidate, rand)) return candidate;
+  }
+}
+
+}  // namespace sloc

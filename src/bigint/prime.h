@@ -1,0 +1,24 @@
+// Primality testing and random prime generation (Miller-Rabin).
+
+#ifndef SLOC_BIGINT_PRIME_H_
+#define SLOC_BIGINT_PRIME_H_
+
+#include <cstddef>
+
+#include "bigint/bigint.h"
+
+namespace sloc {
+
+/// Miller-Rabin probabilistic primality test.
+///
+/// For n < 3,317,044,064,679,887,385,961,981 the fixed witness set makes the
+/// answer deterministic; larger inputs additionally use `rounds` random
+/// bases drawn from `rand`. Negative numbers are never prime.
+bool IsProbablePrime(const BigInt& n, const RandFn& rand, int rounds = 24);
+
+/// Uniformly random probable prime with exactly `bits` bits (bits >= 2).
+BigInt RandomPrime(size_t bits, const RandFn& rand);
+
+}  // namespace sloc
+
+#endif  // SLOC_BIGINT_PRIME_H_

@@ -1,0 +1,130 @@
+#include "coding/bary.h"
+
+#include "common/bitstring.h"
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+/// One-hot block for digit d: '*'^d '1' '*'^(B-d-1).
+Result<std::string> DigitBlock(char digit, int arity) {
+  if (digit < '0' || digit >= '0' + arity) {
+    return Status::InvalidArgument(std::string("invalid digit '") + digit +
+                                   "' for arity " + std::to_string(arity));
+  }
+  std::string block(size_t(arity), kStar);
+  block[size_t(digit - '0')] = '1';
+  return block;
+}
+
+}  // namespace
+
+Result<std::string> ExpandCodewordToBits(const std::string& symbolic,
+                                         int arity) {
+  if (arity < 3 || arity > 10) {
+    return Status::InvalidArgument("expansion requires arity in [3, 10]");
+  }
+  std::string out;
+  out.reserve(symbolic.size() * size_t(arity));
+  for (char c : symbolic) {
+    if (c == kStar) {
+      out.append(size_t(arity), kStar);
+    } else {
+      SLOC_ASSIGN_OR_RETURN(std::string block, DigitBlock(c, arity));
+      out += block;
+    }
+  }
+  return out;
+}
+
+Result<std::string> ExpandIndexToBits(const std::string& leaf_code,
+                                      size_t rl, int arity) {
+  if (arity < 3 || arity > 10) {
+    return Status::InvalidArgument("expansion requires arity in [3, 10]");
+  }
+  if (leaf_code.size() > rl) {
+    return Status::InvalidArgument("leaf code longer than RL");
+  }
+  std::string out;
+  out.reserve(rl * size_t(arity));
+  // Real digits: one-hot blocks with stars lowered to '0' (Fig. 5b).
+  for (char c : leaf_code) {
+    SLOC_ASSIGN_OR_RETURN(std::string block, DigitBlock(c, arity));
+    for (char& b : block) {
+      if (b == kStar) b = '0';
+    }
+    out += block;
+  }
+  // Padding positions: all-zero blocks.
+  out.append((rl - leaf_code.size()) * size_t(arity), '0');
+  return out;
+}
+
+size_t BitWidthOf(const CodingScheme& scheme) {
+  return scheme.arity == 2 ? scheme.rl : scheme.rl * size_t(scheme.arity);
+}
+
+Result<std::string> CellIndexBits(const CodingScheme& scheme, int cell) {
+  if (cell < 0 || size_t(cell) >= scheme.cell_index.size()) {
+    return Status::InvalidArgument("cell id out of range");
+  }
+  const std::string& symbolic = scheme.cell_index[size_t(cell)];
+  if (scheme.arity == 2) return symbolic;
+  // Recover the unpadded leaf code: the index was zero-padded, but pad
+  // zeros and real '0' digits expand differently, so re-derive the leaf
+  // code from the leaves table instead of the padded index.
+  auto it = scheme.index_to_leaf_pos.find(symbolic);
+  SLOC_CHECK(it != scheme.index_to_leaf_pos.end());
+  const CodingLeaf& leaf = scheme.leaves[size_t(it->second)];
+  // The codeword is star-padded: strip the trailing stars for the code.
+  std::string code = leaf.codeword;
+  while (!code.empty() && code.back() == kStar) code.pop_back();
+  return ExpandIndexToBits(code, scheme.rl, scheme.arity);
+}
+
+Result<std::string> TokenBits(const CodingScheme& scheme,
+                              const std::string& symbolic_token) {
+  if (scheme.arity == 2) {
+    if (!IsPatternString(symbolic_token)) {
+      return Status::InvalidArgument("invalid binary token");
+    }
+    return symbolic_token;
+  }
+  return ExpandCodewordToBits(symbolic_token, scheme.arity);
+}
+
+Result<std::vector<std::string>> SubdivideCellIndexes(
+    const CodingScheme& scheme, int cell, size_t max_subcells) {
+  if (scheme.arity == 2) {
+    return Status::FailedPrecondition(
+        "granularity increase needs B-ary expansion (arity >= 3)");
+  }
+  if (cell < 0 || size_t(cell) >= scheme.cell_index.size()) {
+    return Status::InvalidArgument("cell id out of range");
+  }
+  auto it = scheme.index_to_leaf_pos.find(scheme.cell_index[size_t(cell)]);
+  SLOC_CHECK(it != scheme.index_to_leaf_pos.end());
+  const CodingLeaf& leaf = scheme.leaves[size_t(it->second)];
+  std::string code = leaf.codeword;
+  while (!code.empty() && code.back() == kStar) code.pop_back();
+
+  // Template: one-hot blocks keep their stars variable; pad blocks are
+  // fixed '0'. The paper's example subdivides v5 ('2', RL 2, B = 3) into
+  // {001000, 011000, 101000, 111000} — exactly the completions below.
+  std::string tmpl;
+  size_t variable = 0;
+  for (char c : code) {
+    SLOC_ASSIGN_OR_RETURN(std::string block, DigitBlock(c, scheme.arity));
+    for (char b : block) variable += (b == kStar);
+    tmpl += block;
+  }
+  tmpl.append((scheme.rl - code.size()) * size_t(scheme.arity), '0');
+
+  if (variable > 20) return Status::OutOfRange("too many subdivision bits");
+  SLOC_ASSIGN_OR_RETURN(std::vector<std::string> all, ExpandPattern(tmpl));
+  if (all.size() > max_subcells) all.resize(max_subcells);
+  return all;
+}
+
+}  // namespace sloc

@@ -1,0 +1,56 @@
+// Section 4: expansion of B-ary symbolic codes to bit-level HVE inputs.
+//
+// Each symbol position becomes a block of B bits:
+//   digit d   -> block with bit (d+1) set to '1', all other bits '*'
+//   star  '*' -> all-star block (codewords) — stars introduced by padding
+//                are '0' blocks in *indexes* (Fig. 5b of the paper).
+// Indexes finally replace every remaining '*' with '0' so users encrypt
+// plain binary strings; codewords keep their stars for cheap matching.
+//
+// Binary (B = 2) codes skip expansion entirely: symbolic digits are
+// already bits (Section 3).
+
+#ifndef SLOC_CODING_BARY_H_
+#define SLOC_CODING_BARY_H_
+
+#include <string>
+
+#include "coding/coding_tree.h"
+#include "common/result.h"
+
+namespace sloc {
+
+/// Expands a star-padded symbolic codeword (token/pattern side).
+/// Result width: arity * symbolic.size(). Error on invalid digits.
+Result<std::string> ExpandCodewordToBits(const std::string& symbolic,
+                                         int arity);
+
+/// Expands an unpadded leaf code into a full binary index of width
+/// arity * rl: real digits become one-hot blocks (stars -> '0'),
+/// pad positions become all-'0' blocks.
+Result<std::string> ExpandIndexToBits(const std::string& leaf_code,
+                                      size_t rl, int arity);
+
+/// The HVE width (in bits) a scheme needs: rl for binary trees,
+/// arity * rl for B-ary.
+size_t BitWidthOf(const CodingScheme& scheme);
+
+/// Bit-level index for `cell` (identity for B = 2).
+Result<std::string> CellIndexBits(const CodingScheme& scheme, int cell);
+
+/// Bit-level pattern for a symbolic token produced by Algorithm 3
+/// (identity for B = 2).
+Result<std::string> TokenBits(const CodingScheme& scheme,
+                              const std::string& symbolic_token);
+
+/// Section 4's granularity-increase trick: the bit-level indexes a cell
+/// can be subdivided into, using the '*' positions of its expanded
+/// codeword. Returns 2^(#star-in-one-hot-blocks)... practically: all
+/// binary completions of the codeword's pad blocks, each a valid index
+/// for a sub-cell. Capped at `max_subcells` results.
+Result<std::vector<std::string>> SubdivideCellIndexes(
+    const CodingScheme& scheme, int cell, size_t max_subcells);
+
+}  // namespace sloc
+
+#endif  // SLOC_CODING_BARY_H_

@@ -1,0 +1,80 @@
+#include "coding/coding_tree.h"
+
+#include "common/bitstring.h"
+#include "common/check.h"
+
+namespace sloc {
+
+Result<CodingScheme> BuildCodingScheme(const PrefixTree& tree,
+                                       size_t n_cells) {
+  CodingScheme scheme;
+  scheme.arity = tree.arity();
+  scheme.rl = tree.Depth();
+  if (scheme.rl == 0) {
+    return Status::InvalidArgument("degenerate tree: single leaf");
+  }
+  scheme.cell_index.assign(n_cells, "");
+
+  // Grid indexes: leaf codes padded with '0'; coding-tree codewords:
+  // padded with '*'. Leaves are walked in tree order.
+  for (int id : tree.LeafIdsInOrder()) {
+    const PrefixNode& n = tree.node(id);
+    if (n.cell == -2) continue;  // B-ary dummy: no index, no codeword
+    if (n.cell < 0 || size_t(n.cell) >= n_cells) {
+      return Status::InvalidArgument("leaf cell id out of range");
+    }
+    if (!scheme.cell_index[size_t(n.cell)].empty()) {
+      return Status::InvalidArgument("cell appears on two leaves");
+    }
+    CodingLeaf leaf;
+    leaf.cell = n.cell;
+    leaf.index = PadRight(n.code, scheme.rl, '0');
+    leaf.codeword = PadRight(n.code, scheme.rl, kStar);
+    scheme.cell_index[size_t(n.cell)] = leaf.index;
+    scheme.index_to_leaf_pos[leaf.index] =
+        static_cast<int>(scheme.leaves.size());
+    scheme.leaves.push_back(std::move(leaf));
+  }
+  for (size_t cell = 0; cell < n_cells; ++cell) {
+    if (scheme.cell_index[cell].empty()) {
+      return Status::InvalidArgument("cell " + std::to_string(cell) +
+                                     " has no leaf");
+    }
+  }
+
+  // parentDict: star-padded internal codes -> # real descendant leaves.
+  // Computed bottom-up over node ids (children always have larger code
+  // lengths, but ids are arbitrary, so accumulate via a second pass).
+  const auto& nodes = tree.nodes();
+  std::vector<int> real_leaves(nodes.size(), 0);
+  // Count via DFS from the root (post-order accumulation).
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  std::vector<int> stack{tree.root()};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    for (int child : nodes[size_t(id)].children) stack.push_back(child);
+  }
+  for (size_t k = order.size(); k-- > 0;) {
+    int id = order[k];
+    const PrefixNode& n = nodes[size_t(id)];
+    if (n.children.empty()) {
+      real_leaves[size_t(id)] = n.cell >= 0 ? 1 : 0;
+    } else {
+      int sum = 0;
+      for (int child : n.children) sum += real_leaves[size_t(child)];
+      real_leaves[size_t(id)] = sum;
+    }
+  }
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    const PrefixNode& n = nodes[id];
+    if (n.children.empty()) continue;
+    scheme.parent_leaf_count[PadRight(n.code, scheme.rl, kStar)] =
+        real_leaves[id];
+  }
+  return scheme;
+}
+
+}  // namespace sloc

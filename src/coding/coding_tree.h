@@ -1,0 +1,56 @@
+// Algorithm 1: grid indexes and the coding tree.
+//
+// From a prefix tree this produces the two padded code sets the protocol
+// needs (Section 3.2):
+//  * cell indexes  — leaf codes zero-padded to RL; what users encrypt;
+//  * codewords     — all node codes star-padded to RL; what the TA uses
+//                    to build and minimize tokens.
+// Both live at the symbolic (B-ary digit) level; bary.h expands them to
+// bits for B > 2.
+
+#ifndef SLOC_CODING_CODING_TREE_H_
+#define SLOC_CODING_CODING_TREE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/prefix_tree.h"
+#include "common/result.h"
+
+namespace sloc {
+
+/// One (real) leaf of the coding tree, in depth-first tree order.
+struct CodingLeaf {
+  std::string codeword;  ///< star-padded leaf code, length RL
+  std::string index;     ///< zero-padded leaf code, length RL
+  int cell = -1;         ///< the grid cell this leaf identifies
+};
+
+/// Output of Algorithm 1 over one prefix tree.
+struct CodingScheme {
+  int arity = 2;   ///< symbol alphabet size B
+  size_t rl = 0;   ///< reference length (tree depth, in symbols)
+
+  /// cell id -> zero-padded symbolic index (what the cell's users encrypt).
+  std::vector<std::string> cell_index;
+
+  /// Real leaves in depth-first order (Algorithm 3's `leaves` list).
+  std::vector<CodingLeaf> leaves;
+
+  /// Star-padded internal-node code -> number of real descendant leaves
+  /// (Algorithm 3's parentDict).
+  std::unordered_map<std::string, int> parent_leaf_count;
+
+  /// index -> position in `leaves` (the Theorem 2 bijection).
+  std::unordered_map<std::string, int> index_to_leaf_pos;
+};
+
+/// Runs Algorithm 1. `n_cells` is the number of real grid cells; every
+/// cell must appear on exactly one leaf.
+Result<CodingScheme> BuildCodingScheme(const PrefixTree& tree,
+                                       size_t n_cells);
+
+}  // namespace sloc
+
+#endif  // SLOC_CODING_CODING_TREE_H_

@@ -1,0 +1,162 @@
+#include "coding/huffman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+/// Priority-queue entry: (weight, tie-break sequence, node id).
+struct QEntry {
+  double weight;
+  uint64_t seq;
+  int node;
+  bool operator>(const QEntry& o) const {
+    return std::tie(weight, seq) > std::tie(o.weight, o.seq);
+  }
+};
+
+Status ValidateProbs(const std::vector<double>& probs) {
+  if (probs.size() < 2) {
+    return Status::InvalidArgument("need at least 2 cells to encode");
+  }
+  for (double p : probs) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return Status::InvalidArgument("probabilities must be finite and >= 0");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PrefixTree> BuildHuffmanTree(const std::vector<double>& probs,
+                                    int arity) {
+  SLOC_RETURN_IF_ERROR(ValidateProbs(probs));
+  if (arity < 2 || arity > 10) {
+    return Status::InvalidArgument("arity must be in [2, 10]");
+  }
+  std::vector<PrefixNode> nodes;
+  nodes.reserve(2 * probs.size());
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> q;
+  uint64_t seq = 0;
+
+  for (size_t i = 0; i < probs.size(); ++i) {
+    PrefixNode leaf;
+    leaf.weight = probs[i];
+    leaf.cell = static_cast<int>(i);
+    nodes.push_back(leaf);
+    q.push(QEntry{probs[i], seq++, static_cast<int>(i)});
+  }
+  // B-ary fix-up: the number of leaves must satisfy
+  // (n - 1) mod (B - 1) == 0 for a full tree; pad with dummies.
+  if (arity > 2) {
+    size_t rem = (probs.size() - 1) % size_t(arity - 1);
+    size_t dummies = rem == 0 ? 0 : size_t(arity - 1) - rem;
+    for (size_t d = 0; d < dummies; ++d) {
+      PrefixNode dummy;
+      dummy.weight = 0.0;
+      dummy.cell = -2;
+      nodes.push_back(dummy);
+      q.push(QEntry{0.0, seq++, static_cast<int>(nodes.size() - 1)});
+    }
+  }
+
+  // Algorithm 2: repeatedly merge the B lightest nodes.
+  while (q.size() > 1) {
+    PrefixNode parent;
+    parent.weight = 0.0;
+    int parent_id = static_cast<int>(nodes.size());
+    for (int k = 0; k < arity && !q.empty(); ++k) {
+      QEntry e = q.top();
+      q.pop();
+      parent.children.push_back(e.node);
+      parent.weight += e.weight;
+      nodes[size_t(e.node)].parent = parent_id;
+    }
+    nodes.push_back(parent);
+    q.push(QEntry{parent.weight, seq++, parent_id});
+  }
+  int root = q.top().node;
+  return PrefixTree::FromNodes(std::move(nodes), root, arity);
+}
+
+Result<PrefixTree> BuildBalancedTree(const std::vector<double>& probs) {
+  SLOC_RETURN_IF_ERROR(ValidateProbs(probs));
+  std::vector<PrefixNode> nodes;
+  nodes.reserve(2 * probs.size());
+
+  // Sort cells ascending by probability (stable on cell id).
+  std::vector<int> order(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return probs[size_t(a)] < probs[size_t(b)];
+  });
+
+  std::vector<int> level;
+  for (int cell : order) {
+    PrefixNode leaf;
+    leaf.weight = probs[size_t(cell)];
+    leaf.cell = cell;
+    nodes.push_back(leaf);
+    level.push_back(static_cast<int>(nodes.size() - 1));
+  }
+  // Pair adjacent queue entries; an odd leftover carries to the next level.
+  while (level.size() > 1) {
+    std::vector<int> next;
+    size_t i = 0;
+    for (; i + 1 < level.size(); i += 2) {
+      PrefixNode parent;
+      parent.children = {level[i], level[i + 1]};
+      parent.weight = nodes[size_t(level[i])].weight +
+                      nodes[size_t(level[i + 1])].weight;
+      int parent_id = static_cast<int>(nodes.size());
+      nodes[size_t(level[i])].parent = parent_id;
+      nodes[size_t(level[i + 1])].parent = parent_id;
+      nodes.push_back(parent);
+      next.push_back(parent_id);
+    }
+    if (i < level.size()) next.push_back(level[i]);
+    level = std::move(next);
+  }
+  return PrefixTree::FromNodes(std::move(nodes), level[0], 2);
+}
+
+double AverageCodeLength(const PrefixTree& tree) {
+  double total_w = 0.0, total = 0.0;
+  for (const PrefixNode& n : tree.nodes()) {
+    if (!n.children.empty() || n.cell < 0) continue;
+    total_w += n.weight;
+    total += n.weight * double(n.code.size());
+  }
+  return total_w > 0 ? total / total_w : 0.0;
+}
+
+double EntropySymbols(const std::vector<double>& probs, int arity) {
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  if (sum <= 0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0) continue;
+    double q = p / sum;
+    h -= q * std::log(q);
+  }
+  return h / std::log(double(arity));
+}
+
+double KraftSum(const PrefixTree& tree) {
+  double sum = 0.0;
+  for (const PrefixNode& n : tree.nodes()) {
+    if (!n.children.empty() || n.cell < 0) continue;
+    sum += std::pow(double(tree.arity()), -double(n.code.size()));
+  }
+  return sum;
+}
+
+}  // namespace sloc

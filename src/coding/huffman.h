@@ -1,0 +1,47 @@
+// Huffman tree construction (Algorithm 2 + the B-ary extension of
+// Section 4).
+//
+// Leaf weights are the cells' alert probabilities; the produced code
+// assigns short symbol strings to cells likely to be alerted, which is
+// the paper's central idea for reducing HVE token cost.
+
+#ifndef SLOC_CODING_HUFFMAN_H_
+#define SLOC_CODING_HUFFMAN_H_
+
+#include <vector>
+
+#include "coding/prefix_tree.h"
+#include "common/result.h"
+
+namespace sloc {
+
+/// Builds a B-ary Huffman tree over `probs` (cell i gets probs[i]).
+///
+/// Requirements: probs.size() >= 2, all probabilities >= 0, arity in
+/// [2, 10]. For B > 2 zero-weight dummy leaves (cell = -2) are added so
+/// that (n-1) mod (B-1) == 0 and the tree is full (standard B-ary
+/// Huffman fix-up; the dummies never receive grid indexes).
+/// Ties are broken deterministically by insertion order.
+Result<PrefixTree> BuildHuffmanTree(const std::vector<double>& probs,
+                                    int arity = 2);
+
+/// Builds the paper's balanced-tree baseline (Section 3.2): cells sorted
+/// ascending by probability, adjacent nodes paired level by level. Always
+/// binary. Used to show Huffman's gain is not just "any prefix tree".
+Result<PrefixTree> BuildBalancedTree(const std::vector<double>& probs);
+
+/// Average codeword length sum(p_i * len_i) / sum(p_i) over real leaves
+/// (the objective L(C(P)) of Section 3.1).
+double AverageCodeLength(const PrefixTree& tree);
+
+/// Shannon entropy of the normalized probability vector, in base `arity`
+/// digits. Huffman optimality: H <= L < H + 1.
+double EntropySymbols(const std::vector<double>& probs, int arity);
+
+/// Kraft sum over real leaf code lengths: sum B^{-l_i}. Always <= 1 for a
+/// valid prefix code (Section 3.1, Eq. 5).
+double KraftSum(const PrefixTree& tree);
+
+}  // namespace sloc
+
+#endif  // SLOC_CODING_HUFFMAN_H_

@@ -1,0 +1,128 @@
+#include "coding/prefix_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/bitstring.h"
+#include "common/check.h"
+
+namespace sloc {
+
+Result<PrefixTree> PrefixTree::FromNodes(std::vector<PrefixNode> nodes,
+                                         int root, int arity) {
+  if (nodes.empty()) return Status::InvalidArgument("empty node storage");
+  if (root < 0 || size_t(root) >= nodes.size()) {
+    return Status::InvalidArgument("root id out of range");
+  }
+  if (arity < 2 || arity > 10) {
+    return Status::InvalidArgument("arity must be in [2, 10]");
+  }
+  PrefixTree tree(std::move(nodes), root, arity);
+  tree.AssignCodes();
+  SLOC_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+void PrefixTree::AssignCodes() {
+  // Algorithm 1's Traverse, iteratively: child code = parent code + digit.
+  nodes_[size_t(root_)].code.clear();
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const PrefixNode& n = nodes_[size_t(id)];
+    for (size_t k = 0; k < n.children.size(); ++k) {
+      int child = n.children[k];
+      nodes_[size_t(child)].code =
+          n.code + static_cast<char>('0' + k);
+      stack.push_back(child);
+    }
+  }
+}
+
+size_t PrefixTree::Depth() const {
+  size_t depth = 0;
+  for (const PrefixNode& n : nodes_) {
+    if (n.children.empty()) depth = std::max(depth, n.code.size());
+  }
+  return depth;
+}
+
+std::vector<int> PrefixTree::LeafIdsInOrder() const {
+  std::vector<int> out;
+  // DFS pushing children in reverse so the leftmost child pops first.
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    const PrefixNode& n = nodes_[size_t(id)];
+    if (n.children.empty()) {
+      out.push_back(id);
+      continue;
+    }
+    for (size_t k = n.children.size(); k-- > 0;) {
+      stack.push_back(n.children[k]);
+    }
+  }
+  return out;
+}
+
+size_t PrefixTree::NumRealLeaves() const {
+  size_t count = 0;
+  for (const PrefixNode& n : nodes_) {
+    if (n.children.empty() && n.cell >= 0) ++count;
+  }
+  return count;
+}
+
+Status PrefixTree::Validate() const {
+  size_t visited = 0;
+  std::function<Result<double>(int, int)> walk =
+      [&](int id, int parent) -> Result<double> {
+    if (id < 0 || size_t(id) >= nodes_.size()) {
+      return Status::Internal("child id out of range");
+    }
+    const PrefixNode& n = nodes_[size_t(id)];
+    if (n.parent != parent) {
+      return Status::Internal("parent link mismatch at node " +
+                              std::to_string(id));
+    }
+    ++visited;
+    if (visited > nodes_.size()) {
+      return Status::Internal("cycle detected in tree");
+    }
+    if (n.children.empty()) return n.weight;
+    if (n.children.size() > size_t(arity_)) {
+      return Status::Internal("node exceeds arity");
+    }
+    double sum = 0.0;
+    for (int child : n.children) {
+      SLOC_ASSIGN_OR_RETURN(double w, walk(child, id));
+      sum += w;
+    }
+    if (std::fabs(sum - n.weight) > 1e-6 * std::max(1.0, std::fabs(sum))) {
+      return Status::Internal("internal weight != sum of children");
+    }
+    return sum;
+  };
+  Result<double> walked = walk(root_, -1);
+  if (!walked.ok()) return walked.status();
+
+  // Prefix property across leaf codes (guaranteed by construction from a
+  // tree, but cheap to assert for defence in depth).
+  std::vector<std::string> leaf_codes;
+  for (int id : LeafIdsInOrder()) {
+    leaf_codes.push_back(nodes_[size_t(id)].code);
+  }
+  std::sort(leaf_codes.begin(), leaf_codes.end());
+  for (size_t i = 0; i + 1 < leaf_codes.size(); ++i) {
+    if (IsPrefixOf(leaf_codes[i], leaf_codes[i + 1])) {
+      return Status::Internal("prefix property violated: '" + leaf_codes[i] +
+                              "' prefixes '" + leaf_codes[i + 1] + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sloc

@@ -1,0 +1,67 @@
+// Prefix trees over a B-ary alphabet (Section 3.1 of the paper).
+//
+// Leaves carry grid cells; internal nodes exist because the trusted
+// authority also needs codes for subtree roots (the coding tree of
+// Algorithm 1). Codes are symbol strings over '0'..'B-1'.
+
+#ifndef SLOC_CODING_PREFIX_TREE_H_
+#define SLOC_CODING_PREFIX_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+
+/// One tree node. Children are node indices into PrefixTree::nodes().
+struct PrefixNode {
+  std::vector<int> children;  ///< empty for leaves, else up to B entries
+  int parent = -1;
+  double weight = 0.0;        ///< Huffman weight (leaf: cell probability)
+  std::string code;           ///< symbol string from the root (root: "")
+  int cell = -1;              ///< leaf payload: cell id; -1 for internal,
+                              ///< -2 for B-ary dummy leaves
+};
+
+/// Rooted prefix tree; owns its node storage.
+class PrefixTree {
+ public:
+  /// Wraps prebuilt node storage. `arity` is the maximum branching B.
+  /// Codes are assigned immediately (Algorithm 1's Traverse).
+  static Result<PrefixTree> FromNodes(std::vector<PrefixNode> nodes,
+                                      int root, int arity);
+
+  int root() const { return root_; }
+  int arity() const { return arity_; }
+  const std::vector<PrefixNode>& nodes() const { return nodes_; }
+  const PrefixNode& node(int id) const { return nodes_[size_t(id)]; }
+
+  /// Reference length RL: the depth of the tree in symbols.
+  size_t Depth() const;
+
+  /// Leaf node ids in depth-first (left-to-right) order — the `leaves`
+  /// list of Algorithm 3. Includes dummy leaves (cell = -2).
+  std::vector<int> LeafIdsInOrder() const;
+
+  /// Number of real (cell >= 0) leaves.
+  size_t NumRealLeaves() const;
+
+  /// Structural invariants: acyclic parent links, consistent children,
+  /// prefix property on leaf codes, weights = sum of child weights.
+  Status Validate() const;
+
+ private:
+  PrefixTree(std::vector<PrefixNode> nodes, int root, int arity)
+      : nodes_(std::move(nodes)), root_(root), arity_(arity) {}
+
+  void AssignCodes();
+
+  std::vector<PrefixNode> nodes_;
+  int root_;
+  int arity_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_CODING_PREFIX_TREE_H_

@@ -1,0 +1,130 @@
+#include "common/bitstring.h"
+
+#include <algorithm>
+
+namespace sloc {
+
+bool IsBinaryString(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](char c) { return c == '0' || c == '1'; });
+}
+
+bool IsPatternString(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return c == '0' || c == '1' || c == kStar;
+  });
+}
+
+size_t NonStarCount(const std::string& pattern) {
+  return static_cast<size_t>(
+      std::count_if(pattern.begin(), pattern.end(),
+                    [](char c) { return c != kStar; }));
+}
+
+bool PatternMatches(const std::string& pattern, const std::string& index) {
+  if (pattern.size() != index.size()) return false;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] != kStar && pattern[i] != index[i]) return false;
+  }
+  return true;
+}
+
+bool IsPrefixOf(const std::string& a, const std::string& b) {
+  if (a.size() > b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::string PadRight(const std::string& s, size_t width, char fill) {
+  std::string out = s;
+  if (out.size() < width) out.append(width - out.size(), fill);
+  return out;
+}
+
+std::string CommonPrefix(const std::vector<std::string>& v) {
+  if (v.empty()) return "";
+  std::string prefix = v.front();
+  for (const std::string& s : v) {
+    size_t n = std::min(prefix.size(), s.size());
+    size_t i = 0;
+    while (i < n && prefix[i] == s[i]) ++i;
+    prefix.resize(i);
+    if (prefix.empty()) break;
+  }
+  return prefix;
+}
+
+Result<uint64_t> BinaryToUint(const std::string& s) {
+  if (!IsBinaryString(s)) {
+    return Status::InvalidArgument("not a binary string: '" + s + "'");
+  }
+  if (s.size() > 64) {
+    return Status::OutOfRange("binary string longer than 64 bits");
+  }
+  uint64_t v = 0;
+  for (char c : s) v = (v << 1) | static_cast<uint64_t>(c - '0');
+  return v;
+}
+
+Result<std::string> UintToBinary(uint64_t value, size_t width) {
+  if (width == 0 || width > 64) {
+    return Status::InvalidArgument("width must be in [1, 64]");
+  }
+  if (width < 64 && (value >> width) != 0) {
+    return Status::OutOfRange("value does not fit in width");
+  }
+  std::string out(width, '0');
+  for (size_t i = 0; i < width; ++i) {
+    if ((value >> (width - 1 - i)) & 1) out[i] = '1';
+  }
+  return out;
+}
+
+uint64_t BinaryToGray(uint64_t value) { return value ^ (value >> 1); }
+
+uint64_t GrayToBinary(uint64_t gray) {
+  uint64_t v = gray;
+  for (int shift = 1; shift < 64; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+Result<size_t> HammingDistance(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("length mismatch in HammingDistance");
+  }
+  if (!IsBinaryString(a) || !IsBinaryString(b)) {
+    return Status::InvalidArgument("HammingDistance expects binary strings");
+  }
+  size_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]);
+  return d;
+}
+
+Result<std::vector<std::string>> ExpandPattern(const std::string& pattern) {
+  if (!IsPatternString(pattern)) {
+    return Status::InvalidArgument("not a pattern string: '" + pattern + "'");
+  }
+  std::vector<size_t> star_pos;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == kStar) star_pos.push_back(i);
+  }
+  if (star_pos.size() > 20) {
+    return Status::OutOfRange("too many stars to expand");
+  }
+  std::vector<std::string> out;
+  const uint64_t count = 1ULL << star_pos.size();
+  out.reserve(count);
+  for (uint64_t mask = 0; mask < count; ++mask) {
+    std::string s = pattern;
+    for (size_t k = 0; k < star_pos.size(); ++k) {
+      s[star_pos[k]] =
+          ((mask >> (star_pos.size() - 1 - k)) & 1) ? '1' : '0';
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sloc

@@ -1,0 +1,72 @@
+// Binary index strings and wildcard pattern strings.
+//
+// Throughout the paper, grid cells are identified by fixed-length binary
+// *indexes* (e.g. "001") and HVE search predicates by *patterns* over the
+// extended alphabet {0, 1, *} (e.g. "*00") where '*' is a wildcard that
+// matches either bit. This header centralizes the string conventions so
+// every layer (coding, minimization, HVE) agrees on them.
+
+#ifndef SLOC_COMMON_BITSTRING_H_
+#define SLOC_COMMON_BITSTRING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sloc {
+
+/// Wildcard character used in patterns and star-padded codewords.
+inline constexpr char kStar = '*';
+
+/// True iff `s` is non-empty and consists only of '0'/'1'.
+bool IsBinaryString(const std::string& s);
+
+/// True iff `s` is non-empty and consists only of '0'/'1'/'*'.
+bool IsPatternString(const std::string& s);
+
+/// Number of non-star characters in a pattern. The HVE matching cost is
+/// proportional to this count (2*|J|+1 pairings for |J| non-star bits).
+size_t NonStarCount(const std::string& pattern);
+
+/// True iff binary index `index` satisfies wildcard `pattern`.
+/// Both must have equal length; every non-star position must agree.
+bool PatternMatches(const std::string& pattern, const std::string& index);
+
+/// True iff `a` is a (proper or improper) prefix of `b`.
+bool IsPrefixOf(const std::string& a, const std::string& b);
+
+/// Right-pads `s` with `fill` up to `width` characters.
+/// Precondition: s.size() <= width.
+std::string PadRight(const std::string& s, size_t width, char fill);
+
+/// Longest common prefix of all strings in `v` (empty input -> empty).
+std::string CommonPrefix(const std::vector<std::string>& v);
+
+/// Value of binary string as an unsigned integer (MSB first).
+/// Error if not a binary string or longer than 64 bits.
+Result<uint64_t> BinaryToUint(const std::string& s);
+
+/// Fixed-width binary representation of `value`, MSB first.
+/// Error if value does not fit in `width` bits.
+Result<std::string> UintToBinary(uint64_t value, size_t width);
+
+/// Gray code of `value` (binary-reflected).
+uint64_t BinaryToGray(uint64_t value);
+
+/// Inverse of BinaryToGray.
+uint64_t GrayToBinary(uint64_t gray);
+
+/// Hamming distance between equal-length binary strings.
+Result<size_t> HammingDistance(const std::string& a, const std::string& b);
+
+/// Enumerates all binary strings matched by `pattern` (2^stars strings),
+/// in lexicographic order. Error for non-pattern input; the number of
+/// stars must be <= 20 (guards against combinatorial blow-ups).
+Result<std::vector<std::string>> ExpandPattern(const std::string& pattern);
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_BITSTRING_H_

@@ -1,0 +1,69 @@
+// SLOC_CHECK / SLOC_DCHECK: fail-fast invariant macros for programmer errors.
+// Unlike Status (expected, recoverable failures), a failed CHECK aborts.
+// Both support streaming context: SLOC_CHECK(x > 0) << "x was " << x;
+
+#ifndef SLOC_COMMON_CHECK_H_
+#define SLOC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sloc {
+namespace internal {
+
+/// Accumulates a failure message and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* cond, const char* file, int line) {
+    stream_ << "CHECK failed: " << cond << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when the check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace sloc
+
+#define SLOC_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::sloc::internal::CheckFailStream(#cond, __FILE__, __LINE__)
+
+#define SLOC_CHECK_EQ(a, b) SLOC_CHECK((a) == (b))
+#define SLOC_CHECK_NE(a, b) SLOC_CHECK((a) != (b))
+#define SLOC_CHECK_LT(a, b) SLOC_CHECK((a) < (b))
+#define SLOC_CHECK_LE(a, b) SLOC_CHECK((a) <= (b))
+#define SLOC_CHECK_GT(a, b) SLOC_CHECK((a) > (b))
+#define SLOC_CHECK_GE(a, b) SLOC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SLOC_DCHECK(cond) \
+  if (true) {             \
+  } else                  \
+    ::sloc::internal::NullStream()
+#else
+#define SLOC_DCHECK(cond) SLOC_CHECK(cond)
+#endif
+
+#endif  // SLOC_COMMON_CHECK_H_

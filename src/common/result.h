@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, modelled after absl::StatusOr<T>.
+
+#ifndef SLOC_COMMON_RESULT_H_
+#define SLOC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sloc {
+
+/// Holds either a T or a non-OK Status describing why no T is available.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SLOC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    SLOC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SLOC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SLOC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Unwraps a Result into `lhs`, returning the error status on failure.
+#define SLOC_ASSIGN_OR_RETURN(lhs, expr)     \
+  SLOC_ASSIGN_OR_RETURN_IMPL_(               \
+      SLOC_CONCAT_(_sloc_result_, __LINE__), lhs, expr)
+
+#define SLOC_CONCAT_INNER_(a, b) a##b
+#define SLOC_CONCAT_(a, b) SLOC_CONCAT_INNER_(a, b)
+#define SLOC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_RESULT_H_

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  SLOC_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  SLOC_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  gauss_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gauss_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+void Rng::FillBytes(uint8_t* out, size_t len) {
+  size_t i = 0;
+  while (i + 8 <= len) {
+    uint64_t r = NextU64();
+    std::memcpy(out + i, &r, 8);
+    i += 8;
+  }
+  if (i < len) {
+    uint64_t r = NextU64();
+    std::memcpy(out + i, &r, len - i);
+  }
+}
+
+SecureRandom::SecureRandom() {
+  fd_ = ::open("/dev/urandom", O_RDONLY);
+  SLOC_CHECK_GE(fd_, 0) << "cannot open /dev/urandom";
+}
+
+SecureRandom::~SecureRandom() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SecureRandom::FillBytes(uint8_t* out, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::read(fd_, out + got, len - got);
+    SLOC_CHECK_GT(n, 0) << "reading /dev/urandom failed";
+    got += static_cast<size_t>(n);
+  }
+}
+
+uint64_t SecureRandom::NextU64() {
+  uint64_t v;
+  FillBytes(reinterpret_cast<uint8_t*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace sloc

@@ -1,0 +1,83 @@
+// Random number generation.
+//
+// Two generators are provided:
+//  * Rng          — fast deterministic xoshiro256** for simulations,
+//                   workload generation and tests (seedable, reproducible).
+//  * SecureRandom — OS-entropy-backed generator for cryptographic key
+//                   material (wraps /dev/urandom).
+
+#ifndef SLOC_COMMON_RNG_H_
+#define SLOC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sloc {
+
+/// Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// splitmix64). Not cryptographically secure; use SecureRandom for keys.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` using splitmix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 uniformly random bits.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fills `out` with random bytes.
+  void FillBytes(uint8_t* out, size_t len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+/// Cryptographic randomness from the operating system.
+class SecureRandom {
+ public:
+  SecureRandom();
+  ~SecureRandom();
+
+  SecureRandom(const SecureRandom&) = delete;
+  SecureRandom& operator=(const SecureRandom&) = delete;
+
+  /// Fills `out` with entropy from the OS. Aborts if the OS source fails.
+  void FillBytes(uint8_t* out, size_t len);
+
+  /// Next 64 random bits.
+  uint64_t NextU64();
+
+ private:
+  int fd_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_RNG_H_

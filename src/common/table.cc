@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sloc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SLOC_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  SLOC_CHECK_EQ(row.size(), header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(int64_t v) { return std::to_string(v); }
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << CsvEscape(row[c]);
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::Internal("cannot open for write: " + path);
+  f << ToCsv();
+  if (!f.good()) return Status::DataLoss("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace sloc

@@ -1,0 +1,49 @@
+// Aligned console tables + CSV emission for the benchmark harness.
+//
+// Every figure/table bench prints its series as an aligned text table
+// (matching the rows the paper reports) and can mirror the same rows to a
+// CSV file for external plotting.
+
+#ifndef SLOC_COMMON_TABLE_H_
+#define SLOC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sloc {
+
+/// Row-oriented table with a header; renders aligned text or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  /// Aligned, human-readable rendering.
+  std::string ToText() const;
+
+  /// RFC-4180-ish CSV rendering.
+  std::string ToCsv() const;
+
+  /// Writes CSV to `path`. Overwrites.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_TABLE_H_

@@ -1,0 +1,32 @@
+// Wall-clock timer for benchmarks and the Fig. 14 initialization-time study.
+
+#ifndef SLOC_COMMON_TIMER_H_
+#define SLOC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sloc {
+
+/// Monotonic stopwatch. Starts on construction; Restart() re-arms it.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_TIMER_H_

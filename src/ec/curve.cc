@@ -1,0 +1,234 @@
+#include "ec/curve.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace sloc {
+
+Curve::Curve(const Fp& fp, Fp::Elem a, Fp::Elem b)
+    : fp_(fp), a_(std::move(a)), b_(std::move(b)) {}
+
+Result<Curve> Curve::Create(const Fp& fp, const BigInt& a, const BigInt& b) {
+  Fp::Elem ea = fp.FromBigInt(a);
+  Fp::Elem eb = fp.FromBigInt(b);
+  // Discriminant -16(4a^3 + 27b^2) must be nonzero.
+  Fp::Elem a3, t, b2, d;
+  fp.Sqr(ea, &t);
+  fp.Mul(t, ea, &a3);           // a^3
+  fp.MulSmall(a3, 4, &t);       // 4a^3
+  fp.Sqr(eb, &b2);
+  Fp::Elem t27;
+  fp.MulSmall(b2, 27, &t27);    // 27b^2
+  fp.Add(t, t27, &d);
+  if (fp.IsZero(d)) {
+    return Status::InvalidArgument("singular curve: 4a^3 + 27b^2 = 0");
+  }
+  return Curve(fp, std::move(ea), std::move(eb));
+}
+
+AffinePoint Curve::Infinity() const {
+  return AffinePoint{fp_.Zero(), fp_.Zero(), true};
+}
+
+Result<AffinePoint> Curve::MakePoint(const BigInt& x, const BigInt& y) const {
+  AffinePoint pt{fp_.FromBigInt(x), fp_.FromBigInt(y), false};
+  if (!IsOnCurve(pt)) return Status::InvalidArgument("point not on curve");
+  return pt;
+}
+
+bool Curve::IsOnCurve(const AffinePoint& pt) const {
+  if (pt.infinity) return true;
+  Fp::Elem lhs, rhs, t;
+  fp_.Sqr(pt.y, &lhs);          // y^2
+  fp_.Sqr(pt.x, &t);
+  fp_.Mul(t, pt.x, &rhs);       // x^3
+  fp_.Mul(a_, pt.x, &t);        // a x
+  Fp::Elem sum;
+  fp_.Add(rhs, t, &sum);
+  fp_.Add(sum, b_, &rhs);
+  return fp_.Equal(lhs, rhs);
+}
+
+bool Curve::Equal(const AffinePoint& p, const AffinePoint& q) const {
+  if (p.infinity || q.infinity) return p.infinity == q.infinity;
+  return fp_.Equal(p.x, q.x) && fp_.Equal(p.y, q.y);
+}
+
+AffinePoint Curve::Neg(const AffinePoint& p) const {
+  if (p.infinity) return p;
+  AffinePoint out = p;
+  fp_.Neg(p.y, &out.y);
+  return out;
+}
+
+JacobianPoint Curve::ToJacobian(const AffinePoint& p) const {
+  if (p.infinity) return JacobianPoint{fp_.One(), fp_.One(), fp_.Zero()};
+  return JacobianPoint{p.x, p.y, fp_.One()};
+}
+
+AffinePoint Curve::ToAffine(const JacobianPoint& p) const {
+  if (IsInfinity(p)) return Infinity();
+  auto z_inv = fp_.Inverse(p.Z);
+  SLOC_CHECK(z_inv.ok());
+  Fp::Elem z2, z3;
+  fp_.Sqr(*z_inv, &z2);
+  fp_.Mul(z2, *z_inv, &z3);
+  AffinePoint out;
+  out.infinity = false;
+  fp_.Mul(p.X, z2, &out.x);
+  fp_.Mul(p.Y, z3, &out.y);
+  return out;
+}
+
+JacobianPoint Curve::Double(const JacobianPoint& p) const {
+  if (IsInfinity(p) || fp_.IsZero(p.Y)) {
+    return JacobianPoint{fp_.One(), fp_.One(), fp_.Zero()};
+  }
+  // A = Y^2; B = 4XA; C = 8A^2; D = 3X^2 + a Z^4
+  Fp::Elem A, B, C, D, t, z2, z4;
+  fp_.Sqr(p.Y, &A);
+  fp_.Mul(p.X, A, &t);
+  fp_.MulSmall(t, 4, &B);
+  fp_.Sqr(A, &t);
+  fp_.MulSmall(t, 8, &C);
+  fp_.Sqr(p.X, &t);
+  Fp::Elem three_x2;
+  fp_.MulSmall(t, 3, &three_x2);
+  fp_.Sqr(p.Z, &z2);
+  fp_.Sqr(z2, &z4);
+  fp_.Mul(a_, z4, &t);
+  fp_.Add(three_x2, t, &D);
+  // X3 = D^2 - 2B; Y3 = D(B - X3) - C; Z3 = 2YZ
+  JacobianPoint out;
+  Fp::Elem d2, two_b;
+  fp_.Sqr(D, &d2);
+  fp_.Dbl(B, &two_b);
+  fp_.Sub(d2, two_b, &out.X);
+  fp_.Sub(B, out.X, &t);
+  Fp::Elem dt;
+  fp_.Mul(D, t, &dt);
+  fp_.Sub(dt, C, &out.Y);
+  fp_.Mul(p.Y, p.Z, &t);
+  fp_.Dbl(t, &out.Z);
+  return out;
+}
+
+JacobianPoint Curve::Add(const JacobianPoint& p, const JacobianPoint& q) const {
+  if (IsInfinity(p)) return q;
+  if (IsInfinity(q)) return p;
+  // U1 = X1 Z2^2, U2 = X2 Z1^2, S1 = Y1 Z2^3, S2 = Y2 Z1^3
+  Fp::Elem z1sq, z2sq, z1cu, z2cu, u1, u2, s1, s2;
+  fp_.Sqr(p.Z, &z1sq);
+  fp_.Sqr(q.Z, &z2sq);
+  fp_.Mul(z1sq, p.Z, &z1cu);
+  fp_.Mul(z2sq, q.Z, &z2cu);
+  fp_.Mul(p.X, z2sq, &u1);
+  fp_.Mul(q.X, z1sq, &u2);
+  fp_.Mul(p.Y, z2cu, &s1);
+  fp_.Mul(q.Y, z1cu, &s2);
+  Fp::Elem h, r;
+  fp_.Sub(u2, u1, &h);
+  fp_.Sub(s2, s1, &r);
+  if (fp_.IsZero(h)) {
+    if (fp_.IsZero(r)) return Double(p);
+    return JacobianPoint{fp_.One(), fp_.One(), fp_.Zero()};
+  }
+  Fp::Elem h2, h3, u1h2;
+  fp_.Sqr(h, &h2);
+  fp_.Mul(h2, h, &h3);
+  fp_.Mul(u1, h2, &u1h2);
+  JacobianPoint out;
+  Fp::Elem r2, t;
+  fp_.Sqr(r, &r2);
+  fp_.Sub(r2, h3, &t);
+  Fp::Elem two_u1h2;
+  fp_.Dbl(u1h2, &two_u1h2);
+  fp_.Sub(t, two_u1h2, &out.X);
+  fp_.Sub(u1h2, out.X, &t);
+  Fp::Elem rt, s1h3;
+  fp_.Mul(r, t, &rt);
+  fp_.Mul(s1, h3, &s1h3);
+  fp_.Sub(rt, s1h3, &out.Y);
+  Fp::Elem z1z2;
+  fp_.Mul(p.Z, q.Z, &z1z2);
+  fp_.Mul(z1z2, h, &out.Z);
+  return out;
+}
+
+JacobianPoint Curve::AddMixed(const JacobianPoint& p,
+                              const AffinePoint& q) const {
+  if (q.infinity) return p;
+  if (IsInfinity(p)) return ToJacobian(q);
+  // Z2 = 1 specialization of Add.
+  Fp::Elem z1sq, z1cu, u2, s2;
+  fp_.Sqr(p.Z, &z1sq);
+  fp_.Mul(z1sq, p.Z, &z1cu);
+  fp_.Mul(q.x, z1sq, &u2);
+  fp_.Mul(q.y, z1cu, &s2);
+  Fp::Elem h, r;
+  fp_.Sub(u2, p.X, &h);
+  fp_.Sub(s2, p.Y, &r);
+  if (fp_.IsZero(h)) {
+    if (fp_.IsZero(r)) return Double(p);
+    return JacobianPoint{fp_.One(), fp_.One(), fp_.Zero()};
+  }
+  Fp::Elem h2, h3, u1h2;
+  fp_.Sqr(h, &h2);
+  fp_.Mul(h2, h, &h3);
+  fp_.Mul(p.X, h2, &u1h2);
+  JacobianPoint out;
+  Fp::Elem r2, t, two_u1h2;
+  fp_.Sqr(r, &r2);
+  fp_.Sub(r2, h3, &t);
+  fp_.Dbl(u1h2, &two_u1h2);
+  fp_.Sub(t, two_u1h2, &out.X);
+  fp_.Sub(u1h2, out.X, &t);
+  Fp::Elem rt, s1h3;
+  fp_.Mul(r, t, &rt);
+  fp_.Mul(p.Y, h3, &s1h3);
+  fp_.Sub(rt, s1h3, &out.Y);
+  fp_.Mul(p.Z, h, &out.Z);
+  return out;
+}
+
+AffinePoint Curve::ScalarMul(const BigInt& k, const AffinePoint& p) const {
+  if (k.IsZero() || p.infinity) return Infinity();
+  AffinePoint base = k.IsNegative() ? Neg(p) : p;
+  BigInt e = k.IsNegative() ? -k : k;
+  JacobianPoint acc{fp_.One(), fp_.One(), fp_.Zero()};
+  for (size_t i = e.BitLength(); i-- > 0;) {
+    acc = Double(acc);
+    if (e.Bit(i)) acc = AddMixed(acc, base);
+  }
+  return ToAffine(acc);
+}
+
+AffinePoint Curve::AddAffine(const AffinePoint& p,
+                             const AffinePoint& q) const {
+  return ToAffine(AddMixed(ToJacobian(p), q));
+}
+
+AffinePoint Curve::RandomPoint(const RandFn& rand) const {
+  for (;;) {
+    BigInt x = BigInt::RandomBelow(fp_.p(), rand);
+    Fp::Elem ex = fp_.FromBigInt(x);
+    // rhs = x^3 + a x + b
+    Fp::Elem t, rhs;
+    fp_.Sqr(ex, &t);
+    fp_.Mul(t, ex, &rhs);
+    fp_.Mul(a_, ex, &t);
+    Fp::Elem sum;
+    fp_.Add(rhs, t, &sum);
+    fp_.Add(sum, b_, &rhs);
+    if (fp_.IsZero(rhs)) continue;  // avoid 2-torsion points (y = 0)
+    auto y = fp_.Sqrt(rhs);
+    if (!y.ok()) continue;
+    AffinePoint out{std::move(ex), std::move(*y), false};
+    // Randomize the sign of y.
+    if (rand() & 1) return Neg(out);
+    return out;
+  }
+}
+
+}  // namespace sloc

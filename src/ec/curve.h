@@ -1,0 +1,79 @@
+// Short Weierstrass curves y^2 = x^3 + a*x + b over F_p.
+//
+// The pairing layer instantiates the supersingular curve y^2 = x^3 + x
+// (a = 1, b = 0) whose group order over F_p is p + 1; choosing
+// p = c*N - 1 embeds the composite-order group of order N = P*Q required
+// by Boneh-Waters HVE (Section 2.1 of the paper).
+
+#ifndef SLOC_EC_CURVE_H_
+#define SLOC_EC_CURVE_H_
+
+#include "bigint/bigint.h"
+#include "field/fp.h"
+
+namespace sloc {
+
+/// Affine point; `infinity` true means the identity (x, y ignored).
+struct AffinePoint {
+  Fp::Elem x;
+  Fp::Elem y;
+  bool infinity = true;
+};
+
+/// Jacobian projective point (X/Z^2, Y/Z^3); Z = 0 means identity.
+struct JacobianPoint {
+  Fp::Elem X;
+  Fp::Elem Y;
+  Fp::Elem Z;
+};
+
+/// Curve context. Group operations are constant-free textbook formulas;
+/// this library optimizes for clarity and correct pairing semantics, not
+/// side-channel resistance.
+class Curve {
+ public:
+  /// Creates y^2 = x^3 + a*x + b over the field `fp`.
+  /// Error when the discriminant 4a^3 + 27b^2 vanishes.
+  static Result<Curve> Create(const Fp& fp, const BigInt& a, const BigInt& b);
+
+  const Fp& fp() const { return fp_; }
+  const Fp::Elem& a() const { return a_; }
+  const Fp::Elem& b() const { return b_; }
+
+  AffinePoint Infinity() const;
+  /// Constructs and validates an affine point.
+  Result<AffinePoint> MakePoint(const BigInt& x, const BigInt& y) const;
+  bool IsOnCurve(const AffinePoint& pt) const;
+  bool Equal(const AffinePoint& p, const AffinePoint& q) const;
+  AffinePoint Neg(const AffinePoint& p) const;
+
+  JacobianPoint ToJacobian(const AffinePoint& p) const;
+  /// Normalizes back to affine (one field inversion).
+  AffinePoint ToAffine(const JacobianPoint& p) const;
+  bool IsInfinity(const JacobianPoint& p) const { return fp_.IsZero(p.Z); }
+
+  JacobianPoint Double(const JacobianPoint& p) const;
+  JacobianPoint Add(const JacobianPoint& p, const JacobianPoint& q) const;
+  /// Mixed addition with an affine q (faster inner loop).
+  JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q) const;
+
+  /// [k]P, handling k = 0, negative k and k >= group order transparently.
+  AffinePoint ScalarMul(const BigInt& k, const AffinePoint& p) const;
+
+  /// Affine addition convenience (one inversion).
+  AffinePoint AddAffine(const AffinePoint& p, const AffinePoint& q) const;
+
+  /// Uniformly samples a point by drawing x until x^3 + ax + b is square.
+  AffinePoint RandomPoint(const RandFn& rand) const;
+
+ private:
+  Curve(const Fp& fp, Fp::Elem a, Fp::Elem b);
+
+  Fp fp_;
+  Fp::Elem a_;
+  Fp::Elem b_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_EC_CURVE_H_

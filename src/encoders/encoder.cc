@@ -1,0 +1,44 @@
+#include "encoders/encoder.h"
+
+#include "encoders/fixed.h"
+#include "encoders/tree_encoder.h"
+
+namespace sloc {
+
+const char* EncoderKindName(EncoderKind kind) {
+  switch (kind) {
+    case EncoderKind::kFixed:
+      return "fixed";
+    case EncoderKind::kSgo:
+      return "sgo";
+    case EncoderKind::kBalanced:
+      return "balanced";
+    case EncoderKind::kHuffman:
+      return "huffman";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<GridEncoder>> MakeEncoder(EncoderKind kind,
+                                                 int arity) {
+  if (arity < 2 || arity > 10) {
+    return Status::InvalidArgument("arity must be in [2, 10]");
+  }
+  if (arity != 2 && kind != EncoderKind::kHuffman) {
+    return Status::InvalidArgument(
+        "B-ary alphabets are only supported by the Huffman encoder");
+  }
+  switch (kind) {
+    case EncoderKind::kFixed:
+      return std::unique_ptr<GridEncoder>(new FixedEncoder());
+    case EncoderKind::kSgo:
+      return std::unique_ptr<GridEncoder>(new SgoEncoder());
+    case EncoderKind::kBalanced:
+      return std::unique_ptr<GridEncoder>(new BalancedEncoder());
+    case EncoderKind::kHuffman:
+      return std::unique_ptr<GridEncoder>(new HuffmanEncoder(arity));
+  }
+  return Status::InvalidArgument("unknown encoder kind");
+}
+
+}  // namespace sloc

@@ -1,0 +1,61 @@
+// Grid encoders: the competing cell-code assignment schemes of Section 7.
+//
+// An encoder turns a per-cell alert-probability surface into (a) a
+// fixed-width binary index per cell — what users encrypt under HVE — and
+// (b) a token generator producing wildcard patterns that cover exactly a
+// given alert-cell set. The paper's metric (non-star bits, equivalently
+// bilinear-map count) is computed from the returned patterns.
+
+#ifndef SLOC_ENCODERS_ENCODER_H_
+#define SLOC_ENCODERS_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+
+/// Abstract encoder. Build() must be called (successfully) before any
+/// other method.
+class GridEncoder {
+ public:
+  virtual ~GridEncoder() = default;
+
+  /// Human-readable technique name ("huffman", "sgo", ...).
+  virtual std::string name() const = 0;
+
+  /// Fits the encoder to the probability surface (one entry per cell).
+  virtual Status Build(const std::vector<double>& probs) = 0;
+
+  /// HVE width in bits of indexes and patterns.
+  virtual size_t width() const = 0;
+
+  /// Binary index encrypted by users located in `cell`.
+  virtual Result<std::string> IndexOf(int cell) const = 0;
+
+  /// Wildcard patterns (tokens) covering exactly `alert_cells`:
+  /// a user index matches some pattern iff its cell is alerted.
+  virtual Result<std::vector<std::string>> TokensFor(
+      const std::vector<int>& alert_cells) const = 0;
+};
+
+/// Available techniques.
+enum class EncoderKind {
+  kFixed,     ///< [14]: row-major fixed-length codes + boolean minimization
+  kSgo,       ///< [23]-style probability-ranked Gray codes + minimization
+  kBalanced,  ///< balanced prefix tree + Algorithm 3 (paper's baseline)
+  kHuffman,   ///< Huffman tree + Algorithm 3 (the paper's contribution)
+};
+
+const char* EncoderKindName(EncoderKind kind);
+
+/// Factory. `arity` selects B-ary Huffman (Section 4); must be 2 for the
+/// other kinds.
+Result<std::unique_ptr<GridEncoder>> MakeEncoder(EncoderKind kind,
+                                                 int arity = 2);
+
+}  // namespace sloc
+
+#endif  // SLOC_ENCODERS_ENCODER_H_

@@ -1,0 +1,102 @@
+#include "encoders/fixed.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitstring.h"
+#include "minimize/quine_mccluskey.h"
+
+namespace sloc {
+
+namespace {
+
+size_t CeilLog2(size_t n) {
+  size_t bits = 0;
+  while ((size_t(1) << bits) < n) ++bits;
+  return bits;
+}
+
+Status CheckProbs(const std::vector<double>& probs) {
+  if (probs.size() < 2) {
+    return Status::InvalidArgument("need at least 2 cells");
+  }
+  if (probs.size() > (size_t(1) << 24)) {
+    return Status::InvalidArgument("too many cells for fixed encoding");
+  }
+  return Status::Ok();
+}
+
+Status CheckCells(const std::vector<int>& cells, size_t n) {
+  for (int c : cells) {
+    if (c < 0 || size_t(c) >= n) {
+      return Status::InvalidArgument("alert cell out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FixedEncoder::Build(const std::vector<double>& probs) {
+  SLOC_RETURN_IF_ERROR(CheckProbs(probs));
+  n_ = probs.size();
+  width_ = std::max<size_t>(1, CeilLog2(n_));
+  return Status::Ok();
+}
+
+Result<std::string> FixedEncoder::IndexOf(int cell) const {
+  if (width_ == 0) return Status::FailedPrecondition("Build() not called");
+  if (cell < 0 || size_t(cell) >= n_) {
+    return Status::InvalidArgument("cell out of range");
+  }
+  return UintToBinary(uint64_t(cell), width_);
+}
+
+Result<std::vector<std::string>> FixedEncoder::TokensFor(
+    const std::vector<int>& alert_cells) const {
+  if (width_ == 0) return Status::FailedPrecondition("Build() not called");
+  SLOC_RETURN_IF_ERROR(CheckCells(alert_cells, n_));
+  std::vector<uint64_t> minterms;
+  minterms.reserve(alert_cells.size());
+  for (int c : alert_cells) minterms.push_back(uint64_t(c));
+  return QuineMcCluskey(minterms, width_);
+}
+
+Status SgoEncoder::Build(const std::vector<double>& probs) {
+  SLOC_RETURN_IF_ERROR(CheckProbs(probs));
+  n_ = probs.size();
+  width_ = std::max<size_t>(1, CeilLog2(n_));
+  // Rank cells by descending probability (stable on id), then hand rank r
+  // the Gray code of r. Likely cells end up with codes at small mutual
+  // Hamming distance, which is what the graph embedding of [23] optimizes.
+  std::vector<int> order(n_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return probs[size_t(a)] > probs[size_t(b)];
+  });
+  cell_code_.assign(n_, 0);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    cell_code_[size_t(order[rank])] = BinaryToGray(rank);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> SgoEncoder::IndexOf(int cell) const {
+  if (width_ == 0) return Status::FailedPrecondition("Build() not called");
+  if (cell < 0 || size_t(cell) >= n_) {
+    return Status::InvalidArgument("cell out of range");
+  }
+  return UintToBinary(cell_code_[size_t(cell)], width_);
+}
+
+Result<std::vector<std::string>> SgoEncoder::TokensFor(
+    const std::vector<int>& alert_cells) const {
+  if (width_ == 0) return Status::FailedPrecondition("Build() not called");
+  SLOC_RETURN_IF_ERROR(CheckCells(alert_cells, n_));
+  std::vector<uint64_t> minterms;
+  minterms.reserve(alert_cells.size());
+  for (int c : alert_cells) minterms.push_back(cell_code_[size_t(c)]);
+  return QuineMcCluskey(minterms, width_);
+}
+
+}  // namespace sloc

@@ -1,0 +1,53 @@
+// Fixed-length encoders: the [14] baseline and the SGO [23] substitute.
+
+#ifndef SLOC_ENCODERS_FIXED_H_
+#define SLOC_ENCODERS_FIXED_H_
+
+#include <string>
+#include <vector>
+
+#include "encoders/encoder.h"
+
+namespace sloc {
+
+/// [14]: every cell gets a ceil(log2 n)-bit row-major code; alert sets
+/// aggregate through Quine-McCluskey boolean minimization. Probability-
+/// oblivious (the paper's "all cells equally likely" baseline).
+class FixedEncoder : public GridEncoder {
+ public:
+  std::string name() const override { return "fixed"; }
+  Status Build(const std::vector<double>& probs) override;
+  size_t width() const override { return width_; }
+  Result<std::string> IndexOf(int cell) const override;
+  Result<std::vector<std::string>> TokensFor(
+      const std::vector<int>& alert_cells) const override;
+
+ private:
+  size_t n_ = 0;
+  size_t width_ = 0;
+};
+
+/// SGO substitute ([23] is closed-source): cells ranked by descending
+/// alert probability receive consecutive binary-reflected Gray codes, so
+/// cells likely to be co-alerted sit at Hamming distance 1 and aggregate
+/// well under boolean minimization once zones are large. Reproduces the
+/// observable profile the paper reports for SGO: little gain at small
+/// radii, strong gain at large radii.
+class SgoEncoder : public GridEncoder {
+ public:
+  std::string name() const override { return "sgo"; }
+  Status Build(const std::vector<double>& probs) override;
+  size_t width() const override { return width_; }
+  Result<std::string> IndexOf(int cell) const override;
+  Result<std::vector<std::string>> TokensFor(
+      const std::vector<int>& alert_cells) const override;
+
+ private:
+  size_t n_ = 0;
+  size_t width_ = 0;
+  std::vector<uint64_t> cell_code_;  ///< cell id -> assigned code value
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_ENCODERS_FIXED_H_

@@ -1,0 +1,75 @@
+#include "encoders/morton.h"
+
+#include "common/bitstring.h"
+#include "minimize/quine_mccluskey.h"
+
+namespace sloc {
+
+uint64_t MortonInterleave(uint32_t row, uint32_t col, size_t bits) {
+  uint64_t out = 0;
+  for (size_t i = bits; i-- > 0;) {
+    out = (out << 1) | ((row >> i) & 1);
+    out = (out << 1) | ((col >> i) & 1);
+  }
+  return out;
+}
+
+void MortonDeinterleave(uint64_t code, size_t bits, uint32_t* row,
+                        uint32_t* col) {
+  uint32_t r = 0, c = 0;
+  for (size_t i = 0; i < bits; ++i) {
+    c |= uint32_t((code >> (2 * i)) & 1) << i;
+    r |= uint32_t((code >> (2 * i + 1)) & 1) << i;
+  }
+  *row = r;
+  *col = c;
+}
+
+Status MortonEncoder::Build(const std::vector<double>& probs) {
+  const size_t n = probs.size();
+  size_t side = 1, level_bits = 0;
+  while (side * side < n) {
+    side <<= 1;
+    ++level_bits;
+  }
+  if (side * side != n) {
+    return Status::InvalidArgument(
+        "Morton encoding needs a power-of-4 cell count (square grid with "
+        "power-of-two side)");
+  }
+  if (n < 4) return Status::InvalidArgument("need at least 4 cells");
+  n_ = n;
+  side_ = side;
+  width_ = 2 * level_bits;
+  cell_code_.assign(n, 0);
+  for (size_t cell = 0; cell < n; ++cell) {
+    uint32_t row = uint32_t(cell / side);
+    uint32_t col = uint32_t(cell % side);
+    cell_code_[cell] = MortonInterleave(row, col, level_bits);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> MortonEncoder::IndexOf(int cell) const {
+  if (width_ == 0) return Status::FailedPrecondition("Build() not called");
+  if (cell < 0 || size_t(cell) >= n_) {
+    return Status::InvalidArgument("cell out of range");
+  }
+  return UintToBinary(cell_code_[size_t(cell)], width_);
+}
+
+Result<std::vector<std::string>> MortonEncoder::TokensFor(
+    const std::vector<int>& alert_cells) const {
+  if (width_ == 0) return Status::FailedPrecondition("Build() not called");
+  std::vector<uint64_t> minterms;
+  minterms.reserve(alert_cells.size());
+  for (int c : alert_cells) {
+    if (c < 0 || size_t(c) >= n_) {
+      return Status::InvalidArgument("alert cell out of range");
+    }
+    minterms.push_back(cell_code_[size_t(c)]);
+  }
+  return QuineMcCluskey(minterms, width_);
+}
+
+}  // namespace sloc

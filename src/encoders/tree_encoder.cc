@@ -1,0 +1,50 @@
+#include "encoders/tree_encoder.h"
+
+#include "coding/bary.h"
+#include "coding/huffman.h"
+#include "minimize/algorithm3.h"
+
+namespace sloc {
+
+Status TreeEncoderBase::Build(const std::vector<double>& probs) {
+  SLOC_ASSIGN_OR_RETURN(CodingScheme scheme, BuildScheme(probs));
+  scheme_ = std::move(scheme);
+  return Status::Ok();
+}
+
+size_t TreeEncoderBase::width() const {
+  return scheme_ ? BitWidthOf(*scheme_) : 0;
+}
+
+Result<std::string> TreeEncoderBase::IndexOf(int cell) const {
+  if (!scheme_) return Status::FailedPrecondition("Build() not called");
+  return CellIndexBits(*scheme_, cell);
+}
+
+Result<std::vector<std::string>> TreeEncoderBase::TokensFor(
+    const std::vector<int>& alert_cells) const {
+  if (!scheme_) return Status::FailedPrecondition("Build() not called");
+  SLOC_ASSIGN_OR_RETURN(std::vector<std::string> symbolic,
+                        MinimizeAlertCells(*scheme_, alert_cells));
+  std::vector<std::string> out;
+  out.reserve(symbolic.size());
+  for (const std::string& tok : symbolic) {
+    SLOC_ASSIGN_OR_RETURN(std::string bits, TokenBits(*scheme_, tok));
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+Result<CodingScheme> HuffmanEncoder::BuildScheme(
+    const std::vector<double>& probs) const {
+  SLOC_ASSIGN_OR_RETURN(PrefixTree tree, BuildHuffmanTree(probs, arity_));
+  return BuildCodingScheme(tree, probs.size());
+}
+
+Result<CodingScheme> BalancedEncoder::BuildScheme(
+    const std::vector<double>& probs) const {
+  SLOC_ASSIGN_OR_RETURN(PrefixTree tree, BuildBalancedTree(probs));
+  return BuildCodingScheme(tree, probs.size());
+}
+
+}  // namespace sloc

@@ -1,0 +1,68 @@
+// Variable-length (prefix-tree) encoders: Huffman and balanced.
+
+#ifndef SLOC_ENCODERS_TREE_ENCODER_H_
+#define SLOC_ENCODERS_TREE_ENCODER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coding/coding_tree.h"
+#include "encoders/encoder.h"
+
+namespace sloc {
+
+/// Shared implementation for the two prefix-tree encoders; the subclass
+/// chooses the tree construction. Tokens come from Algorithm 3 on the
+/// coding tree and are expanded to bits for B-ary alphabets.
+class TreeEncoderBase : public GridEncoder {
+ public:
+  Status Build(const std::vector<double>& probs) final;
+  size_t width() const final;
+  Result<std::string> IndexOf(int cell) const final;
+  Result<std::vector<std::string>> TokensFor(
+      const std::vector<int>& alert_cells) const final;
+
+  /// The underlying coding scheme (exposed for tests and benches).
+  const CodingScheme& scheme() const { return *scheme_; }
+  bool built() const { return scheme_.has_value(); }
+
+ protected:
+  virtual Result<CodingScheme> BuildScheme(
+      const std::vector<double>& probs) const = 0;
+
+ private:
+  std::optional<CodingScheme> scheme_;
+};
+
+/// The paper's contribution: (B-ary) Huffman tree + Algorithm 3.
+class HuffmanEncoder : public TreeEncoderBase {
+ public:
+  explicit HuffmanEncoder(int arity = 2) : arity_(arity) {}
+  std::string name() const override {
+    return arity_ == 2 ? "huffman" : "huffman-" + std::to_string(arity_) +
+                                         "ary";
+  }
+  int arity() const { return arity_; }
+
+ protected:
+  Result<CodingScheme> BuildScheme(
+      const std::vector<double>& probs) const override;
+
+ private:
+  int arity_;
+};
+
+/// Balanced-tree baseline (Section 3.2).
+class BalancedEncoder : public TreeEncoderBase {
+ public:
+  std::string name() const override { return "balanced"; }
+
+ protected:
+  Result<CodingScheme> BuildScheme(
+      const std::vector<double>& probs) const override;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_ENCODERS_TREE_ENCODER_H_

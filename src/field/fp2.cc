@@ -1,0 +1,100 @@
+#include "field/fp2.h"
+
+#include "common/check.h"
+
+namespace sloc {
+
+Result<Fp2> Fp2::Create(const Fp& fp) {
+  if (!((fp.p() % BigInt(4)) == BigInt(3))) {
+    return Status::InvalidArgument("Fp2 with i^2=-1 requires p = 3 mod 4");
+  }
+  return Fp2(fp);
+}
+
+void Fp2::Add(const Fp2Elem& a, const Fp2Elem& b, Fp2Elem* out) const {
+  fp_.Add(a.re, b.re, &out->re);
+  fp_.Add(a.im, b.im, &out->im);
+}
+
+void Fp2::Sub(const Fp2Elem& a, const Fp2Elem& b, Fp2Elem* out) const {
+  fp_.Sub(a.re, b.re, &out->re);
+  fp_.Sub(a.im, b.im, &out->im);
+}
+
+void Fp2::Neg(const Fp2Elem& a, Fp2Elem* out) const {
+  fp_.Neg(a.re, &out->re);
+  fp_.Neg(a.im, &out->im);
+}
+
+void Fp2::Mul(const Fp2Elem& a, const Fp2Elem& b, Fp2Elem* out) const {
+  // (a0 + a1 i)(b0 + b1 i) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) i
+  Fp::Elem t0, t1, t2, t3;
+  fp_.Mul(a.re, b.re, &t0);          // a0 b0
+  fp_.Mul(a.im, b.im, &t1);          // a1 b1
+  fp_.Add(a.re, a.im, &t2);          // a0 + a1
+  fp_.Add(b.re, b.im, &t3);          // b0 + b1
+  Fp::Elem t4;
+  fp_.Mul(t2, t3, &t4);              // (a0+a1)(b0+b1)
+  fp_.Sub(t0, t1, &out->re);         // a0b0 - a1b1
+  fp_.Sub(t4, t0, &t2);
+  fp_.Sub(t2, t1, &out->im);
+}
+
+void Fp2::Sqr(const Fp2Elem& a, Fp2Elem* out) const {
+  // (a0 + a1 i)^2 = (a0+a1)(a0-a1) + 2 a0 a1 i
+  Fp::Elem s, d, m;
+  fp_.Add(a.re, a.im, &s);
+  fp_.Sub(a.re, a.im, &d);
+  fp_.Mul(a.re, a.im, &m);
+  fp_.Mul(s, d, &out->re);
+  fp_.Dbl(m, &out->im);
+}
+
+void Fp2::Conj(const Fp2Elem& a, Fp2Elem* out) const {
+  out->re = a.re;
+  fp_.Neg(a.im, &out->im);
+}
+
+Fp::Elem Fp2::Norm(const Fp2Elem& a) const {
+  Fp::Elem r2, i2, out;
+  fp_.Sqr(a.re, &r2);
+  fp_.Sqr(a.im, &i2);
+  fp_.Add(r2, i2, &out);
+  return out;
+}
+
+Result<Fp2Elem> Fp2::Inverse(const Fp2Elem& a) const {
+  if (IsZero(a)) return Status::InvalidArgument("inverse of zero in Fp2");
+  // 1/(a0 + a1 i) = (a0 - a1 i) / (a0^2 + a1^2)
+  SLOC_ASSIGN_OR_RETURN(Fp::Elem norm_inv, fp_.Inverse(Norm(a)));
+  Fp2Elem out;
+  fp_.Mul(a.re, norm_inv, &out.re);
+  Fp::Elem neg_im;
+  fp_.Neg(a.im, &neg_im);
+  fp_.Mul(neg_im, norm_inv, &out.im);
+  return out;
+}
+
+Fp2Elem Fp2::Pow(const Fp2Elem& base, const BigInt& exp) const {
+  SLOC_CHECK(!exp.IsNegative()) << "negative exponent in Fp2::Pow";
+  Fp2Elem result = One();
+  Fp2Elem acc;
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    Sqr(result, &acc);
+    result = acc;
+    if (exp.Bit(i)) {
+      Mul(result, base, &acc);
+      result = acc;
+    }
+  }
+  return result;
+}
+
+Fp2Elem Fp2::UnitaryInverse(const Fp2Elem& a) const {
+  SLOC_DCHECK(fp_.Equal(Norm(a), fp_.One())) << "element is not unitary";
+  Fp2Elem out;
+  Conj(a, &out);
+  return out;
+}
+
+}  // namespace sloc

@@ -1,0 +1,74 @@
+// Quadratic extension F_p^2 = F_p(i), i^2 = -1 (requires p = 3 mod 4).
+//
+// This is the pairing target group's home: G_T is the order-N subgroup of
+// F_p^2*. Elements are pairs of Montgomery-form F_p elements.
+
+#ifndef SLOC_FIELD_FP2_H_
+#define SLOC_FIELD_FP2_H_
+
+#include "field/fp.h"
+
+namespace sloc {
+
+/// Element a + b*i of F_p^2.
+struct Fp2Elem {
+  Fp::Elem re;
+  Fp::Elem im;
+};
+
+/// Operation context over a base field (kept by value: Fp is cheap to copy).
+class Fp2 {
+ public:
+  /// Requires p = 3 (mod 4) so that x^2 + 1 is irreducible.
+  static Result<Fp2> Create(const Fp& fp);
+
+  const Fp& fp() const { return fp_; }
+
+  Fp2Elem Zero() const { return {fp_.Zero(), fp_.Zero()}; }
+  Fp2Elem One() const { return {fp_.One(), fp_.Zero()}; }
+  Fp2Elem FromFp(const Fp::Elem& a) const { return {a, fp_.Zero()}; }
+  /// a + b*i from integer components.
+  Fp2Elem FromBigInts(const BigInt& a, const BigInt& b) const {
+    return {fp_.FromBigInt(a), fp_.FromBigInt(b)};
+  }
+
+  bool IsZero(const Fp2Elem& a) const {
+    return fp_.IsZero(a.re) && fp_.IsZero(a.im);
+  }
+  bool IsOne(const Fp2Elem& a) const {
+    return fp_.Equal(a.re, fp_.One()) && fp_.IsZero(a.im);
+  }
+  bool Equal(const Fp2Elem& a, const Fp2Elem& b) const {
+    return fp_.Equal(a.re, b.re) && fp_.Equal(a.im, b.im);
+  }
+
+  void Add(const Fp2Elem& a, const Fp2Elem& b, Fp2Elem* out) const;
+  void Sub(const Fp2Elem& a, const Fp2Elem& b, Fp2Elem* out) const;
+  void Neg(const Fp2Elem& a, Fp2Elem* out) const;
+  /// Karatsuba-style 3-multiplication product.
+  void Mul(const Fp2Elem& a, const Fp2Elem& b, Fp2Elem* out) const;
+  void Sqr(const Fp2Elem& a, Fp2Elem* out) const;
+  /// Complex conjugate a - b*i; equals the Frobenius map x -> x^p.
+  void Conj(const Fp2Elem& a, Fp2Elem* out) const;
+
+  /// Norm a^2 + b^2 in F_p.
+  Fp::Elem Norm(const Fp2Elem& a) const;
+
+  /// General inverse via the norm; error for zero.
+  Result<Fp2Elem> Inverse(const Fp2Elem& a) const;
+
+  /// Square-and-multiply exponentiation, exp >= 0.
+  Fp2Elem Pow(const Fp2Elem& base, const BigInt& exp) const;
+
+  /// Inverse of a unitary element (norm 1): just the conjugate.
+  /// Debug-checked; all G_T elements after final exponentiation are unitary.
+  Fp2Elem UnitaryInverse(const Fp2Elem& a) const;
+
+ private:
+  explicit Fp2(const Fp& fp) : fp_(fp) {}
+  Fp fp_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_FIELD_FP2_H_

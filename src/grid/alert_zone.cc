@@ -1,0 +1,110 @@
+#include "grid/alert_zone.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sloc {
+
+AlertZone MakeCircularZone(const Grid& grid, const Point& epicenter,
+                           double radius_m) {
+  AlertZone zone;
+  zone.epicenter = epicenter;
+  zone.radius_m = radius_m;
+  zone.cells = grid.CellsWithinRadius(epicenter, radius_m);
+  std::sort(zone.cells.begin(), zone.cells.end());
+  return zone;
+}
+
+namespace {
+
+/// Draws a cell id proportional to probs (uniform when probs is null).
+int DrawCell(const Grid& grid, Rng* rng, const std::vector<double>* probs) {
+  if (probs == nullptr || probs->empty()) {
+    return int(rng->NextBelow(uint64_t(grid.num_cells())));
+  }
+  SLOC_CHECK_EQ(int(probs->size()), grid.num_cells());
+  double total = 0.0;
+  for (double p : *probs) total += p;
+  if (total <= 0.0) return int(rng->NextBelow(uint64_t(grid.num_cells())));
+  double target = rng->NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < probs->size(); ++i) {
+    acc += (*probs)[i];
+    if (acc >= target) return int(i);
+  }
+  return grid.num_cells() - 1;
+}
+
+}  // namespace
+
+AlertZone RandomCircularZone(const Grid& grid, double radius_m, Rng* rng,
+                             const std::vector<double>* probs) {
+  const int cell = DrawCell(grid, rng, probs);
+  // Jitter the epicenter within the chosen cell.
+  Point base = grid.CenterOf(cell);
+  const double half = grid.cell_size_m() / 2.0;
+  Point epicenter{base.x + (rng->NextDouble() - 0.5) * 2 * half,
+                  base.y + (rng->NextDouble() - 0.5) * 2 * half};
+  epicenter.x = std::clamp(epicenter.x, 0.0, grid.width_m() - 1e-9);
+  epicenter.y = std::clamp(epicenter.y, 0.0, grid.height_m() - 1e-9);
+  return MakeCircularZone(grid, epicenter, radius_m);
+}
+
+AlertZone SampleZoneFromProbabilities(const std::vector<double>& probs,
+                                      Rng* rng) {
+  AlertZone zone;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (rng->NextBool(probs[i])) zone.cells.push_back(int(i));
+  }
+  return zone;
+}
+
+AlertZone ProbabilisticCircularZone(const Grid& grid, double radius_m,
+                                    Rng* rng,
+                                    const std::vector<double>& probs) {
+  SLOC_CHECK_EQ(int(probs.size()), grid.num_cells());
+  const int epicenter_cell = DrawCell(grid, rng, &probs);
+  AlertZone zone;
+  zone.epicenter = grid.CenterOf(epicenter_cell);
+  zone.radius_m = radius_m;
+  for (int cell : grid.CellsWithinRadius(zone.epicenter, radius_m)) {
+    if (cell == epicenter_cell || rng->NextBool(probs[size_t(cell)])) {
+      zone.cells.push_back(cell);
+    }
+  }
+  if (zone.cells.empty()) zone.cells.push_back(epicenter_cell);
+  std::sort(zone.cells.begin(), zone.cells.end());
+  return zone;
+}
+
+std::vector<AlertZone> MakeMixedWorkload(const Grid& grid,
+                                         const MixedWorkloadSpec& spec,
+                                         Rng* rng,
+                                         const std::vector<double>* probs) {
+  std::vector<AlertZone> zones;
+  zones.reserve(size_t(spec.num_zones));
+  for (int i = 0; i < spec.num_zones; ++i) {
+    const bool is_short = rng->NextBool(spec.short_share);
+    const double radius =
+        is_short ? spec.short_radius_m : spec.long_radius_m;
+    zones.push_back(RandomCircularZone(grid, radius, rng, probs));
+  }
+  return zones;
+}
+
+std::vector<AlertZone> MakeProbabilisticMixedWorkload(
+    const Grid& grid, const MixedWorkloadSpec& spec, Rng* rng,
+    const std::vector<double>& probs) {
+  std::vector<AlertZone> zones;
+  zones.reserve(size_t(spec.num_zones));
+  for (int i = 0; i < spec.num_zones; ++i) {
+    const bool is_short = rng->NextBool(spec.short_share);
+    const double radius =
+        is_short ? spec.short_radius_m : spec.long_radius_m;
+    zones.push_back(ProbabilisticCircularZone(grid, radius, rng, probs));
+  }
+  return zones;
+}
+
+}  // namespace sloc

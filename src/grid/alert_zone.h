@@ -1,0 +1,76 @@
+// Alert zones and workload generators (Sections 2.3 and 7).
+//
+// A zone is the set of alerted cells plus provenance metadata. Workloads
+// reproduce the paper's evaluation setups: circular zones of a given
+// radius at random epicenters, probability-sampled zones (the Theorem 1
+// Poisson regime), and the W1-W4 short/long radius mixes of Fig. 11.
+
+#ifndef SLOC_GRID_ALERT_ZONE_H_
+#define SLOC_GRID_ALERT_ZONE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "grid/grid.h"
+
+namespace sloc {
+
+/// One alert event.
+struct AlertZone {
+  std::vector<int> cells;   ///< alerted cell ids, sorted ascending
+  Point epicenter;          ///< where the event happened
+  double radius_m = 0.0;    ///< query radius (0 for sampled zones)
+};
+
+/// Circular zone: all cells whose center is within radius of epicenter.
+AlertZone MakeCircularZone(const Grid& grid, const Point& epicenter,
+                           double radius_m);
+
+/// Random circular zone with the epicenter drawn uniformly, biased by
+/// cell probabilities when `probs` is non-null (epicenter lands in cell i
+/// with probability proportional to probs[i] — events happen where the
+/// model says they are likely).
+AlertZone RandomCircularZone(const Grid& grid, double radius_m, Rng* rng,
+                             const std::vector<double>* probs = nullptr);
+
+/// Independently samples each cell with its own probability — the
+/// sporadic-event regime of Theorem 1. With sum(probs) ~ 1 the alerted
+/// count is approximately Poisson(1).
+AlertZone SampleZoneFromProbabilities(const std::vector<double>& probs,
+                                      Rng* rng);
+
+/// Probability-consistent alert zone (the paper's Section 2 model,
+/// spatially restricted): the epicenter cell is drawn proportionally to
+/// `probs` (events happen where they are likely), and every cell within
+/// `radius_m` joins the zone independently with its own alert
+/// probability. The epicenter cell is always included, so zones are
+/// never empty. This is the workload the probability-aware encodings
+/// are designed for: p_i *is* the likelihood of cell i being alerted.
+AlertZone ProbabilisticCircularZone(const Grid& grid, double radius_m,
+                                    Rng* rng,
+                                    const std::vector<double>& probs);
+
+/// The paper's mixed workloads (Fig. 11): a fraction `short_share` of
+/// zones use `short_radius_m`, the rest `long_radius_m`.
+struct MixedWorkloadSpec {
+  double short_share = 0.9;     ///< W1 = .9, W2 = .75, W3 = .25, W4 = .1
+  double short_radius_m = 20.0;
+  double long_radius_m = 300.0;
+  int num_zones = 100;
+};
+
+std::vector<AlertZone> MakeMixedWorkload(const Grid& grid,
+                                         const MixedWorkloadSpec& spec,
+                                         Rng* rng,
+                                         const std::vector<double>* probs =
+                                             nullptr);
+
+/// Mixed workload over probability-consistent zones (Fig. 11 setup).
+std::vector<AlertZone> MakeProbabilisticMixedWorkload(
+    const Grid& grid, const MixedWorkloadSpec& spec, Rng* rng,
+    const std::vector<double>& probs);
+
+}  // namespace sloc
+
+#endif  // SLOC_GRID_ALERT_ZONE_H_

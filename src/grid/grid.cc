@@ -1,0 +1,85 @@
+#include "grid/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sloc {
+
+Result<Grid> Grid::Create(int rows, int cols, double cell_size_m) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("grid must have >= 1 row and column");
+  }
+  if (!(cell_size_m > 0.0) || !std::isfinite(cell_size_m)) {
+    return Status::InvalidArgument("cell size must be positive and finite");
+  }
+  if (int64_t(rows) * cols > 1 << 26) {
+    return Status::InvalidArgument("grid too large");
+  }
+  return Grid(rows, cols, cell_size_m);
+}
+
+Result<int> Grid::CellAt(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    return Status::OutOfRange("cell (" + std::to_string(row) + "," +
+                              std::to_string(col) + ") outside grid");
+  }
+  return row * cols_ + col;
+}
+
+Point Grid::CenterOf(int cell) const {
+  SLOC_DCHECK(Contains(cell));
+  return Point{(ColOf(cell) + 0.5) * cell_size_m_,
+               (RowOf(cell) + 0.5) * cell_size_m_};
+}
+
+Result<int> Grid::CellContaining(const Point& p) const {
+  if (p.x < 0 || p.y < 0 || p.x >= width_m() || p.y >= height_m()) {
+    return Status::OutOfRange("point outside grid domain");
+  }
+  int col = std::min(cols_ - 1, int(p.x / cell_size_m_));
+  int row = std::min(rows_ - 1, int(p.y / cell_size_m_));
+  return row * cols_ + col;
+}
+
+std::vector<int> Grid::CellsWithinRadius(const Point& center,
+                                         double radius_m) const {
+  std::vector<int> out;
+  const double r = std::max(radius_m, 0.0);
+  const int row_lo = std::max(0, int((center.y - r) / cell_size_m_) - 1);
+  const int row_hi = std::min(rows_ - 1, int((center.y + r) / cell_size_m_) + 1);
+  const int col_lo = std::max(0, int((center.x - r) / cell_size_m_) - 1);
+  const int col_hi = std::min(cols_ - 1, int((center.x + r) / cell_size_m_) + 1);
+  for (int row = row_lo; row <= row_hi; ++row) {
+    for (int col = col_lo; col <= col_hi; ++col) {
+      int cell = row * cols_ + col;
+      Point c = CenterOf(cell);
+      double dx = c.x - center.x, dy = c.y - center.y;
+      if (dx * dx + dy * dy <= r * r) out.push_back(cell);
+    }
+  }
+  if (out.empty()) {
+    // Degenerate radius: fall back to the containing cell when inside.
+    auto cell = CellContaining(center);
+    if (cell.ok()) out.push_back(*cell);
+  }
+  return out;
+}
+
+std::vector<int> Grid::Neighbors(int cell, bool diagonal) const {
+  SLOC_DCHECK(Contains(cell));
+  std::vector<int> out;
+  const int row = RowOf(cell), col = ColOf(cell);
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      if (!diagonal && dr != 0 && dc != 0) continue;
+      auto n = CellAt(row + dr, col + dc);
+      if (n.ok()) out.push_back(*n);
+    }
+  }
+  return out;
+}
+
+}  // namespace sloc

@@ -1,0 +1,69 @@
+// Spatial grid domain (Section 2 of the paper).
+//
+// The map is partitioned into rows x cols equal square cells; cell ids
+// run row-major from 0. Geometry is metric (meters) with the origin at
+// the south-west corner, which is all the alert-zone constructions need.
+
+#ifndef SLOC_GRID_GRID_H_
+#define SLOC_GRID_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+
+/// A point in the plane, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Rectangular grid of square cells.
+class Grid {
+ public:
+  /// rows, cols >= 1; cell_size_m > 0.
+  static Result<Grid> Create(int rows, int cols, double cell_size_m);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_cells() const { return rows_ * cols_; }
+  double cell_size_m() const { return cell_size_m_; }
+  double width_m() const { return cols_ * cell_size_m_; }
+  double height_m() const { return rows_ * cell_size_m_; }
+
+  /// Row-major cell id for (row, col). Error when out of bounds.
+  Result<int> CellAt(int row, int col) const;
+
+  int RowOf(int cell) const { return cell / cols_; }
+  int ColOf(int cell) const { return cell % cols_; }
+  bool Contains(int cell) const { return cell >= 0 && cell < num_cells(); }
+
+  /// Center of a cell in meters.
+  Point CenterOf(int cell) const;
+
+  /// Cell containing a point. Error when the point is outside the domain.
+  Result<int> CellContaining(const Point& p) const;
+
+  /// All cells whose center lies within `radius_m` of `center` —
+  /// the paper's circular alert zone of a given radius. Always contains
+  /// at least the cell housing `center` when it is inside the domain.
+  std::vector<int> CellsWithinRadius(const Point& center,
+                                     double radius_m) const;
+
+  /// 4- or 8-neighborhood of a cell, clipped to the domain.
+  std::vector<int> Neighbors(int cell, bool diagonal = false) const;
+
+ private:
+  Grid(int rows, int cols, double cell_size_m)
+      : rows_(rows), cols_(cols), cell_size_m_(cell_size_m) {}
+
+  int rows_;
+  int cols_;
+  double cell_size_m_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_GRID_GRID_H_

@@ -1,0 +1,55 @@
+#include "grid/poisson.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sloc {
+
+double PoissonPmf(double lambda, int k) {
+  if (k < 0 || lambda < 0) return 0.0;
+  // exp(-lambda + k ln lambda - ln k!) for numeric stability.
+  double log_pmf = -lambda + k * std::log(lambda) - std::lgamma(k + 1.0);
+  return std::exp(log_pmf);
+}
+
+double PoissonCdf(double lambda, int k) {
+  double sum = 0.0;
+  for (int i = 0; i <= k; ++i) sum += PoissonPmf(lambda, i);
+  return std::min(sum, 1.0);
+}
+
+int PoissonSample(double lambda, Rng* rng) {
+  SLOC_CHECK_GE(lambda, 0.0);
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double prod = rng->NextDouble();
+  while (prod > limit) {
+    ++k;
+    prod *= rng->NextDouble();
+  }
+  return k;
+}
+
+std::vector<double> AlertCountHistogram(const std::vector<double>& probs,
+                                        int trials, int max_k, Rng* rng) {
+  std::vector<double> hist(size_t(max_k) + 1, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    int count = 0;
+    for (double p : probs) count += rng->NextBool(p);
+    if (count <= max_k) hist[size_t(count)] += 1.0;
+  }
+  for (double& h : hist) h /= trials;
+  return hist;
+}
+
+double TotalVariationFromPoisson(const std::vector<double>& histogram,
+                                 double lambda) {
+  double tv = 0.0;
+  for (size_t k = 0; k < histogram.size(); ++k) {
+    tv += std::fabs(histogram[k] - PoissonPmf(lambda, int(k)));
+  }
+  return tv / 2.0;
+}
+
+}  // namespace sloc

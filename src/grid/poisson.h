@@ -1,0 +1,36 @@
+// Poisson distribution utilities for Theorem 1 (the alerted-cell count is
+// approximately Pois(1) when cell probabilities sum to 1).
+
+#ifndef SLOC_GRID_POISSON_H_
+#define SLOC_GRID_POISSON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sloc {
+
+/// P[X = k] for X ~ Pois(lambda).
+double PoissonPmf(double lambda, int k);
+
+/// P[X <= k].
+double PoissonCdf(double lambda, int k);
+
+/// Draws from Pois(lambda) (Knuth's product method; lambda modest).
+int PoissonSample(double lambda, Rng* rng);
+
+/// Empirical histogram of alerted-cell counts over `trials` independent
+/// samplings of the probability grid; out[k] = fraction with k alerts.
+/// Used to verify Theorem 1 empirically (test + bench).
+std::vector<double> AlertCountHistogram(const std::vector<double>& probs,
+                                        int trials, int max_k, Rng* rng);
+
+/// Total variation distance between a histogram and Pois(lambda)
+/// truncated to [0, max_k].
+double TotalVariationFromPoisson(const std::vector<double>& histogram,
+                                 double lambda);
+
+}  // namespace sloc
+
+#endif  // SLOC_GRID_POISSON_H_

@@ -1,0 +1,205 @@
+#include "hve/hve.h"
+
+#include "common/bitstring.h"
+#include "common/check.h"
+#include "pairing/miller.h"
+
+namespace sloc {
+namespace hve {
+
+namespace {
+
+/// Random exponent in [1, order).
+BigInt NonZeroExp(const BigInt& order, const RandFn& rand) {
+  return BigInt::RandomBelow(order - BigInt(1), rand) + BigInt(1);
+}
+
+}  // namespace
+
+Result<KeyPair> Setup(const PairingGroup& group, size_t width,
+                      const RandFn& rand) {
+  if (width == 0) return Status::InvalidArgument("HVE width must be > 0");
+  const PairingParams& pp = group.params();
+
+  KeyPair kp;
+  SecretKey& sk = kp.sk;
+  PublicKey& pk = kp.pk;
+  sk.width = pk.width = width;
+
+  // Secret G_p elements. Generators of G_p raised to random exponents.
+  sk.g = group.RandomGp(rand);
+  sk.v = group.RandomGp(rand);
+  sk.a = NonZeroExp(pp.prime_p, rand);
+  sk.gq = group.gen_q();
+  pk.gq = sk.gq;
+
+  sk.u.reserve(width);
+  sk.h.reserve(width);
+  sk.w.reserve(width);
+  pk.u.reserve(width);
+  pk.h.reserve(width);
+  pk.w.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    sk.u.push_back(group.RandomGp(rand));
+    sk.h.push_back(group.RandomGp(rand));
+    sk.w.push_back(group.RandomGp(rand));
+    // Blind with fresh G_q randomizers.
+    pk.u.push_back(group.Add(sk.u.back(), group.RandomGq(rand)));
+    pk.h.push_back(group.Add(sk.h.back(), group.RandomGq(rand)));
+    pk.w.push_back(group.Add(sk.w.back(), group.RandomGq(rand)));
+  }
+  pk.v_blinded = group.Add(sk.v, group.RandomGq(rand));
+  // A = e(g, v)^a.
+  pk.a_pair = group.GtPow(group.Pair(sk.g, sk.v), sk.a);
+  return kp;
+}
+
+Result<Ciphertext> Encrypt(const PairingGroup& group, const PublicKey& pk,
+                           const std::string& index, const Fp2Elem& msg,
+                           const RandFn& rand) {
+  if (!IsBinaryString(index)) {
+    return Status::InvalidArgument("index must be a non-empty binary string");
+  }
+  if (index.size() != pk.width) {
+    return Status::InvalidArgument("index width mismatch: got " +
+                                   std::to_string(index.size()) +
+                                   ", key width " +
+                                   std::to_string(pk.width));
+  }
+  const PairingParams& pp = group.params();
+  const BigInt s = NonZeroExp(pp.n, rand);
+
+  Ciphertext ct;
+  // C' = M * A^s.
+  ct.c_prime = group.GtMul(msg, group.GtPow(pk.a_pair, s));
+  // C_0 = V^s * Z.
+  ct.c0 = group.Add(group.Mul(s, pk.v_blinded), group.RandomGq(rand));
+  ct.c1.reserve(pk.width);
+  ct.c2.reserve(pk.width);
+  for (size_t i = 0; i < pk.width; ++i) {
+    // Base_i = U_i^{I_i} * H_i: either H_i (bit 0) or U_i + H_i (bit 1).
+    AffinePoint base =
+        index[i] == '1' ? group.Add(pk.u[i], pk.h[i]) : pk.h[i];
+    ct.c1.push_back(group.Add(group.Mul(s, base), group.RandomGq(rand)));
+    ct.c2.push_back(group.Add(group.Mul(s, pk.w[i]), group.RandomGq(rand)));
+  }
+  return ct;
+}
+
+Result<Token> GenToken(const PairingGroup& group, const SecretKey& sk,
+                       const std::string& pattern, const RandFn& rand) {
+  if (!IsPatternString(pattern)) {
+    return Status::InvalidArgument("pattern must be over {0,1,*}");
+  }
+  if (pattern.size() != sk.width) {
+    return Status::InvalidArgument("pattern width mismatch: got " +
+                                   std::to_string(pattern.size()) +
+                                   ", key width " +
+                                   std::to_string(sk.width));
+  }
+  const PairingParams& pp = group.params();
+
+  Token tk;
+  tk.pattern = pattern;
+  // K_0 = g^a * prod_{i in J} (u_i^{I*_i} h_i)^{r_i,1} w_i^{r_i,2}.
+  AffinePoint k0 = group.Mul(sk.a, sk.g);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == kStar) continue;
+    const BigInt r1 = NonZeroExp(pp.prime_p, rand);
+    const BigInt r2 = NonZeroExp(pp.prime_p, rand);
+    AffinePoint base =
+        pattern[i] == '1' ? group.Add(sk.u[i], sk.h[i]) : sk.h[i];
+    k0 = group.Add(k0, group.Mul(r1, base));
+    k0 = group.Add(k0, group.Mul(r2, sk.w[i]));
+    tk.k1.push_back(group.Mul(r1, sk.v));
+    tk.k2.push_back(group.Mul(r2, sk.v));
+  }
+  tk.k0 = k0;
+  return tk;
+}
+
+size_t QueryPairingCost(const Token& token) {
+  return 2 * NonStarCount(token.pattern) + 1;
+}
+
+Result<Fp2Elem> Query(const PairingGroup& group, const Token& token,
+                      const Ciphertext& ct) {
+  const size_t width = token.pattern.size();
+  if (ct.c1.size() != width || ct.c2.size() != width) {
+    return Status::InvalidArgument(
+        "ciphertext/token width mismatch in Query");
+  }
+  const size_t non_star = NonStarCount(token.pattern);
+  if (token.k1.size() != non_star || token.k2.size() != non_star) {
+    return Status::InvalidArgument("malformed token: |k1|,|k2| != |J|");
+  }
+  // denom = e(C_0, K_0) / prod_{i in J} e(C_i,1, K_i,1) e(C_i,2, K_i,2).
+  Fp2Elem num = group.Pair(ct.c0, token.k0);
+  Fp2Elem denom = group.GtOne();
+  size_t j = 0;
+  for (size_t i = 0; i < width; ++i) {
+    if (token.pattern[i] == kStar) continue;
+    denom = group.GtMul(denom, group.Pair(ct.c1[i], token.k1[j]));
+    denom = group.GtMul(denom, group.Pair(ct.c2[i], token.k2[j]));
+    ++j;
+  }
+  // M = C' / (num / denom) = C' * denom / num.
+  Fp2Elem ratio = group.GtMul(num, group.GtInv(denom));
+  return group.GtMul(ct.c_prime, group.GtInv(ratio));
+}
+
+Result<bool> Matches(const PairingGroup& group, const Token& token,
+                     const Ciphertext& ct, const Fp2Elem& marker) {
+  SLOC_ASSIGN_OR_RETURN(Fp2Elem recovered, Query(group, token, ct));
+  return group.GtEqual(recovered, marker);
+}
+
+Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
+                                  const Token& token, const Ciphertext& ct) {
+  const size_t width = token.pattern.size();
+  if (ct.c1.size() != width || ct.c2.size() != width) {
+    return Status::InvalidArgument(
+        "ciphertext/token width mismatch in QueryMultiPairing");
+  }
+  const size_t non_star = NonStarCount(token.pattern);
+  if (token.k1.size() != non_star || token.k2.size() != non_star) {
+    return Status::InvalidArgument("malformed token: |k1|,|k2| != |J|");
+  }
+  const Fp2& fp2 = group.fp2();
+  const Curve& curve = group.curve();
+  const BigInt& n = group.params().n;
+  group.CountPairings(2 * non_star + 1);
+
+  // Accumulate the Miller values of the denominator product
+  // prod e(C_i,1, K_i,1) e(C_i,2, K_i,2) and the numerator e(C_0, K_0);
+  // final-exponentiate the ratio once.
+  auto miller_or_one = [&](const AffinePoint& a,
+                           const AffinePoint& b) -> Fp2Elem {
+    if (a.infinity || b.infinity) return fp2.One();
+    return MillerLoop(curve, fp2, n, a, b);
+  };
+  Fp2Elem denom = fp2.One();
+  Fp2Elem tmp;
+  size_t j = 0;
+  for (size_t i = 0; i < width; ++i) {
+    if (token.pattern[i] == kStar) continue;
+    fp2.Mul(denom, miller_or_one(ct.c1[i], token.k1[j]), &tmp);
+    denom = tmp;
+    fp2.Mul(denom, miller_or_one(ct.c2[i], token.k2[j]), &tmp);
+    denom = tmp;
+    ++j;
+  }
+  Fp2Elem num = miller_or_one(ct.c0, token.k0);
+  // ratio_miller = num / denom (general inverse: Miller values are not
+  // unitary before the final exponentiation).
+  SLOC_ASSIGN_OR_RETURN(Fp2Elem denom_inv, fp2.Inverse(denom));
+  Fp2Elem ratio_miller;
+  fp2.Mul(num, denom_inv, &ratio_miller);
+  Fp2Elem ratio =
+      FinalExponentiation(fp2, ratio_miller, group.params().cofactor);
+  // M = C' / ratio; the exponentiated ratio is unitary.
+  return group.GtMul(ct.c_prime, group.GtInv(ratio));
+}
+
+}  // namespace hve
+}  // namespace sloc

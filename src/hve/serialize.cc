@@ -1,0 +1,287 @@
+#include "hve/serialize.h"
+
+#include <cstring>
+
+#include "common/bitstring.h"
+#include "common/check.h"
+
+namespace sloc {
+namespace hve {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'S', 'L', 'H', '1'};
+constexpr uint8_t kTagCiphertext = 1;
+constexpr uint8_t kTagToken = 2;
+constexpr uint8_t kTagPublicKey = 3;
+
+uint64_t Fnv1a(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+class Writer {
+ public:
+  explicit Writer(uint8_t tag) {
+    buf_.insert(buf_.end(), kMagic, kMagic + 4);
+    buf_.push_back(tag);
+  }
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void Bytes(const std::vector<uint8_t>& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void Big(const BigInt& v) {
+    SLOC_DCHECK(!v.IsNegative());
+    Bytes(v.ToBytes());
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void Point(const PairingGroup& g, const AffinePoint& p) {
+    if (p.infinity) {
+      U8(0);
+      return;
+    }
+    U8(1);
+    Big(g.fp().ToBigInt(p.x));
+    Big(g.fp().ToBigInt(p.y));
+  }
+  void Gt(const PairingGroup& g, const Fp2Elem& e) {
+    Big(g.fp().ToBigInt(e.re));
+    Big(g.fp().ToBigInt(e.im));
+  }
+
+  std::vector<uint8_t> Finish() {
+    uint64_t sum = Fnv1a(buf_.data(), buf_.size());
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(sum >> (8 * i)));
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Status Open(uint8_t expected_tag) {
+    if (buf_.size() < 4 + 1 + 8) return Status::DataLoss("blob too short");
+    uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+      stored |= uint64_t(buf_[buf_.size() - 8 + size_t(i)]) << (8 * i);
+    }
+    if (Fnv1a(buf_.data(), buf_.size() - 8) != stored) {
+      return Status::DataLoss("checksum mismatch");
+    }
+    end_ = buf_.size() - 8;
+    if (std::memcmp(buf_.data(), kMagic, 4) != 0) {
+      return Status::InvalidArgument("bad magic");
+    }
+    pos_ = 4;
+    uint8_t tag = buf_[pos_++];
+    if (tag != expected_tag) {
+      return Status::InvalidArgument("unexpected blob type tag");
+    }
+    return Status::Ok();
+  }
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > end_) return Status::DataLoss("truncated u8");
+    return buf_[pos_++];
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > end_) return Status::DataLoss("truncated u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(buf_[pos_ + size_t(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  Result<std::vector<uint8_t>> Bytes() {
+    SLOC_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > end_) return Status::DataLoss("truncated bytes");
+    std::vector<uint8_t> out(buf_.begin() + long(pos_),
+                             buf_.begin() + long(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+  Result<BigInt> Big() {
+    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> b, Bytes());
+    return BigInt::FromBytes(b);
+  }
+  Result<std::string> Str() {
+    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> b, Bytes());
+    return std::string(b.begin(), b.end());
+  }
+  Result<AffinePoint> Point(const PairingGroup& g) {
+    SLOC_ASSIGN_OR_RETURN(uint8_t flag, U8());
+    if (flag == 0) return g.curve().Infinity();
+    if (flag != 1) return Status::InvalidArgument("bad point flag");
+    SLOC_ASSIGN_OR_RETURN(BigInt x, Big());
+    SLOC_ASSIGN_OR_RETURN(BigInt y, Big());
+    if (x >= g.fp().p() || y >= g.fp().p()) {
+      return Status::InvalidArgument("point coordinate out of field range");
+    }
+    auto pt = g.curve().MakePoint(x, y);  // validates curve membership
+    if (!pt.ok()) return pt.status();
+    return *pt;
+  }
+  Result<Fp2Elem> Gt(const PairingGroup& g) {
+    SLOC_ASSIGN_OR_RETURN(BigInt re, Big());
+    SLOC_ASSIGN_OR_RETURN(BigInt im, Big());
+    if (re >= g.fp().p() || im >= g.fp().p()) {
+      return Status::InvalidArgument("Gt coordinate out of field range");
+    }
+    Fp2Elem e = g.fp2().FromBigInts(re, im);
+    // Legit G_T elements are unitary (norm 1).
+    if (!g.fp().Equal(g.fp2().Norm(e), g.fp().One())) {
+      return Status::InvalidArgument("Gt element is not unitary");
+    }
+    return e;
+  }
+
+  Status ExpectDone() const {
+    if (pos_ != end_) return Status::DataLoss("trailing bytes in blob");
+    return Status::Ok();
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+};
+
+constexpr uint32_t kMaxWidth = 4096;  // sanity bound on vector lengths
+
+}  // namespace
+
+std::vector<uint8_t> SerializeCiphertext(const PairingGroup& group,
+                                         const Ciphertext& ct) {
+  Writer w(kTagCiphertext);
+  w.Gt(group, ct.c_prime);
+  w.Point(group, ct.c0);
+  w.U32(static_cast<uint32_t>(ct.c1.size()));
+  for (size_t i = 0; i < ct.c1.size(); ++i) {
+    w.Point(group, ct.c1[i]);
+    w.Point(group, ct.c2[i]);
+  }
+  return w.Finish();
+}
+
+Result<Ciphertext> ParseCiphertext(const PairingGroup& group,
+                                   const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  SLOC_RETURN_IF_ERROR(r.Open(kTagCiphertext));
+  Ciphertext ct;
+  SLOC_ASSIGN_OR_RETURN(ct.c_prime, r.Gt(group));
+  SLOC_ASSIGN_OR_RETURN(ct.c0, r.Point(group));
+  SLOC_ASSIGN_OR_RETURN(uint32_t width, r.U32());
+  if (width == 0 || width > kMaxWidth) {
+    return Status::InvalidArgument("ciphertext width out of range");
+  }
+  ct.c1.reserve(width);
+  ct.c2.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    SLOC_ASSIGN_OR_RETURN(AffinePoint p1, r.Point(group));
+    SLOC_ASSIGN_OR_RETURN(AffinePoint p2, r.Point(group));
+    ct.c1.push_back(std::move(p1));
+    ct.c2.push_back(std::move(p2));
+  }
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return ct;
+}
+
+std::vector<uint8_t> SerializeToken(const PairingGroup& group,
+                                    const Token& token) {
+  Writer w(kTagToken);
+  w.Str(token.pattern);
+  w.Point(group, token.k0);
+  w.U32(static_cast<uint32_t>(token.k1.size()));
+  for (size_t i = 0; i < token.k1.size(); ++i) {
+    w.Point(group, token.k1[i]);
+    w.Point(group, token.k2[i]);
+  }
+  return w.Finish();
+}
+
+Result<Token> ParseToken(const PairingGroup& group,
+                         const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  SLOC_RETURN_IF_ERROR(r.Open(kTagToken));
+  Token tk;
+  SLOC_ASSIGN_OR_RETURN(tk.pattern, r.Str());
+  if (!IsPatternString(tk.pattern) || tk.pattern.size() > kMaxWidth) {
+    return Status::InvalidArgument("invalid token pattern");
+  }
+  SLOC_ASSIGN_OR_RETURN(tk.k0, r.Point(group));
+  SLOC_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count != NonStarCount(tk.pattern)) {
+    return Status::InvalidArgument("token |J| does not match pattern");
+  }
+  tk.k1.reserve(count);
+  tk.k2.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SLOC_ASSIGN_OR_RETURN(AffinePoint p1, r.Point(group));
+    SLOC_ASSIGN_OR_RETURN(AffinePoint p2, r.Point(group));
+    tk.k1.push_back(std::move(p1));
+    tk.k2.push_back(std::move(p2));
+  }
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return tk;
+}
+
+std::vector<uint8_t> SerializePublicKey(const PairingGroup& group,
+                                        const PublicKey& pk) {
+  Writer w(kTagPublicKey);
+  w.U32(static_cast<uint32_t>(pk.width));
+  w.Point(group, pk.gq);
+  w.Point(group, pk.v_blinded);
+  w.Gt(group, pk.a_pair);
+  for (size_t i = 0; i < pk.width; ++i) {
+    w.Point(group, pk.u[i]);
+    w.Point(group, pk.h[i]);
+    w.Point(group, pk.w[i]);
+  }
+  return w.Finish();
+}
+
+Result<PublicKey> ParsePublicKey(const PairingGroup& group,
+                                 const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  SLOC_RETURN_IF_ERROR(r.Open(kTagPublicKey));
+  PublicKey pk;
+  SLOC_ASSIGN_OR_RETURN(uint32_t width, r.U32());
+  if (width == 0 || width > kMaxWidth) {
+    return Status::InvalidArgument("public key width out of range");
+  }
+  pk.width = width;
+  SLOC_ASSIGN_OR_RETURN(pk.gq, r.Point(group));
+  SLOC_ASSIGN_OR_RETURN(pk.v_blinded, r.Point(group));
+  SLOC_ASSIGN_OR_RETURN(pk.a_pair, r.Gt(group));
+  pk.u.reserve(width);
+  pk.h.reserve(width);
+  pk.w.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    SLOC_ASSIGN_OR_RETURN(AffinePoint u, r.Point(group));
+    SLOC_ASSIGN_OR_RETURN(AffinePoint h, r.Point(group));
+    SLOC_ASSIGN_OR_RETURN(AffinePoint wp, r.Point(group));
+    pk.u.push_back(std::move(u));
+    pk.h.push_back(std::move(h));
+    pk.w.push_back(std::move(wp));
+  }
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return pk;
+}
+
+}  // namespace hve
+}  // namespace sloc

@@ -1,0 +1,155 @@
+#include "minimize/algorithm3.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/bitstring.h"
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+/// Maps alert cells to sorted, deduplicated leaf positions.
+Result<std::vector<int>> AlertLeafPositions(
+    const CodingScheme& scheme, const std::vector<int>& alert_cells) {
+  std::set<int> positions;
+  for (int cell : alert_cells) {
+    if (cell < 0 || size_t(cell) >= scheme.cell_index.size()) {
+      return Status::InvalidArgument("alert cell " + std::to_string(cell) +
+                                     " out of range");
+    }
+    auto it = scheme.index_to_leaf_pos.find(scheme.cell_index[size_t(cell)]);
+    if (it == scheme.index_to_leaf_pos.end()) {
+      return Status::Internal("cell index missing from leaf map");
+    }
+    positions.insert(it->second);
+  }
+  return std::vector<int>(positions.begin(), positions.end());
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> MinimizeAlertCells(
+    const CodingScheme& scheme, const std::vector<int>& alert_cells) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<int> positions,
+                        AlertLeafPositions(scheme, alert_cells));
+  std::vector<std::string> tokens;
+  if (positions.empty()) return tokens;
+
+  // Split into clusters of consecutive leaf positions (Alg. 3 lines 11-20).
+  std::vector<std::vector<std::string>> clusters;
+  std::vector<std::string> current;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (i > 0 && positions[i] != positions[i - 1] + 1) {
+      clusters.push_back(std::move(current));
+      current.clear();
+    }
+    current.push_back(scheme.leaves[size_t(positions[i])].codeword);
+  }
+  clusters.push_back(std::move(current));
+
+  // Greedy maximal-subtree search per cluster (lines 23-37).
+  for (auto& cluster : clusters) {
+    size_t begin = 0;
+    while (begin < cluster.size()) {
+      size_t remaining = cluster.size() - begin;
+      size_t l = remaining;
+      bool emitted = false;
+      while (l > 1) {
+        std::vector<std::string> window(
+            cluster.begin() + long(begin), cluster.begin() + long(begin + l));
+        std::string code = CommonPrefix(window);
+        // Star-padded codewords never share stars in a common prefix of
+        // distinct leaves, so `code` is star-free; pad it to RL.
+        code = PadRight(code, scheme.rl, kStar);
+        auto it = scheme.parent_leaf_count.find(code);
+        if (it != scheme.parent_leaf_count.end() &&
+            size_t(it->second) == l) {
+          tokens.push_back(code);
+          begin += l;
+          emitted = true;
+          break;
+        }
+        --l;
+      }
+      if (!emitted) {
+        tokens.push_back(cluster[begin]);
+        ++begin;
+      }
+    }
+  }
+  return tokens;
+}
+
+Result<std::vector<std::string>> MinimizeExactCover(
+    const CodingScheme& scheme, const std::vector<int>& alert_cells) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<int> positions,
+                        AlertLeafPositions(scheme, alert_cells));
+  std::vector<std::string> tokens;
+  if (positions.empty()) return tokens;
+
+  // Work on code strings directly: a node is fully covered iff all its
+  // real leaf descendants are alerted. parent_leaf_count gives the
+  // denominator; count alerted leaves under each internal prefix.
+  std::set<int> alerted(positions.begin(), positions.end());
+
+  // Count alerted leaves per internal code by walking each alerted leaf's
+  // prefixes.
+  std::map<std::string, int> alerted_under;
+  for (int pos : positions) {
+    const CodingLeaf& leaf = scheme.leaves[size_t(pos)];
+    std::string code = leaf.codeword;
+    while (!code.empty() && code.back() == kStar) code.pop_back();
+    for (size_t len = 0; len < code.size(); ++len) {
+      alerted_under[PadRight(code.substr(0, len), scheme.rl, kStar)]++;
+    }
+  }
+
+  // A node is "covered" iff alerted_under == parent_leaf_count (full) —
+  // emit maximal covered nodes: those with no covered proper ancestor.
+  auto is_covered_internal = [&](const std::string& padded) {
+    auto it = scheme.parent_leaf_count.find(padded);
+    if (it == scheme.parent_leaf_count.end()) return false;
+    auto au = alerted_under.find(padded);
+    return au != alerted_under.end() && au->second == it->second &&
+           it->second > 0;
+  };
+  auto has_covered_ancestor = [&](const std::string& code_unpadded) {
+    for (size_t len = 0; len < code_unpadded.size(); ++len) {
+      if (is_covered_internal(
+              PadRight(code_unpadded.substr(0, len), scheme.rl, kStar))) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Emit maximal covered internal nodes.
+  for (const auto& [padded, total] : scheme.parent_leaf_count) {
+    if (!is_covered_internal(padded)) continue;
+    std::string unpadded = padded;
+    while (!unpadded.empty() && unpadded.back() == kStar) unpadded.pop_back();
+    if (!has_covered_ancestor(unpadded)) tokens.push_back(padded);
+  }
+  // Emit alerted leaves with no covered ancestor.
+  for (int pos : positions) {
+    const CodingLeaf& leaf = scheme.leaves[size_t(pos)];
+    std::string code = leaf.codeword;
+    while (!code.empty() && code.back() == kStar) code.pop_back();
+    if (!has_covered_ancestor(code)) tokens.push_back(leaf.codeword);
+  }
+  std::sort(tokens.begin(), tokens.end());
+  return tokens;
+}
+
+TokenCost CostOfTokens(const std::vector<std::string>& tokens) {
+  TokenCost cost;
+  cost.tokens = tokens.size();
+  for (const std::string& t : tokens) cost.non_star_bits += NonStarCount(t);
+  cost.pairings = 2 * cost.non_star_bits + cost.tokens;
+  return cost;
+}
+
+}  // namespace sloc

@@ -1,0 +1,47 @@
+// Algorithm 3: deterministic token minimization on the coding tree.
+//
+// Given the set of alerted cells, produces the fewest coding-tree
+// codewords (symbolic patterns) whose descendant leaves are exactly the
+// alerted cells: common-subtree roots of maximum depth (Section 3.3).
+//
+// MinimizeExactCover is an independent reference implementation (bottom-up
+// subtree marking) used to cross-validate Algorithm 3 in tests; the two
+// must agree on every input.
+
+#ifndef SLOC_MINIMIZE_ALGORITHM3_H_
+#define SLOC_MINIMIZE_ALGORITHM3_H_
+
+#include <string>
+#include <vector>
+
+#include "coding/coding_tree.h"
+#include "common/result.h"
+
+namespace sloc {
+
+/// The paper's Algorithm 3 (cluster + greedy subtree search).
+/// `alert_cells` may be unordered and contain duplicates; error on
+/// unknown cells. Empty input yields no tokens.
+Result<std::vector<std::string>> MinimizeAlertCells(
+    const CodingScheme& scheme, const std::vector<int>& alert_cells);
+
+/// Reference: provably minimal exact cover of the alert leaves by full
+/// subtrees, computed by marking covered nodes bottom-up and emitting
+/// the maximal ones.
+Result<std::vector<std::string>> MinimizeExactCover(
+    const CodingScheme& scheme, const std::vector<int>& alert_cells);
+
+/// Cost model for a token set (applies to symbolic or bit-level tokens):
+/// per-ciphertext matching cost of the paper's Section 2.1 query.
+struct TokenCost {
+  size_t tokens = 0;         ///< number of tokens issued
+  size_t non_star_bits = 0;  ///< total non-star positions (paper's "HVE
+                             ///< operations" metric)
+  size_t pairings = 0;       ///< 2*non_star + tokens (2|J|+1 per token)
+};
+
+TokenCost CostOfTokens(const std::vector<std::string>& tokens);
+
+}  // namespace sloc
+
+#endif  // SLOC_MINIMIZE_ALGORITHM3_H_

@@ -1,0 +1,180 @@
+#include "minimize/quine_mccluskey.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/bitstring.h"
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+/// Implicant: `bits` are the fixed values on positions where `mask` is 0;
+/// mask-1 positions are stars. Invariant: bits & mask == 0.
+struct Implicant {
+  uint64_t bits;
+  uint64_t mask;
+  bool operator<(const Implicant& o) const {
+    return std::tie(mask, bits) < std::tie(o.mask, o.bits);
+  }
+  bool operator==(const Implicant& o) const {
+    return bits == o.bits && mask == o.mask;
+  }
+};
+
+std::string ToPattern(const Implicant& imp, size_t width) {
+  std::string out(width, '0');
+  for (size_t i = 0; i < width; ++i) {
+    uint64_t bit = 1ULL << (width - 1 - i);
+    if (imp.mask & bit) {
+      out[i] = kStar;
+    } else if (imp.bits & bit) {
+      out[i] = '1';
+    }
+  }
+  return out;
+}
+
+/// All minterms covered by an implicant (2^stars values).
+void CoveredMinterms(const Implicant& imp, std::vector<uint64_t>* out) {
+  out->clear();
+  // Enumerate submasks of imp.mask.
+  uint64_t sub = 0;
+  for (;;) {
+    out->push_back(imp.bits | sub);
+    if (sub == imp.mask) break;
+    sub = (sub - imp.mask) & imp.mask;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> QuineMcCluskey(
+    const std::vector<uint64_t>& minterms_in, size_t width) {
+  if (width == 0 || width > 24) {
+    return Status::InvalidArgument("QM width must be in [1, 24]");
+  }
+  std::set<uint64_t> unique(minterms_in.begin(), minterms_in.end());
+  for (uint64_t m : unique) {
+    if (width < 64 && (m >> width) != 0) {
+      return Status::InvalidArgument("minterm exceeds width");
+    }
+  }
+  std::vector<std::string> out;
+  if (unique.empty()) return out;
+
+  // --- Phase 1: prime implicant generation ---
+  std::set<Implicant> current;
+  for (uint64_t m : unique) current.insert(Implicant{m, 0});
+  std::set<Implicant> primes;
+  while (!current.empty()) {
+    // Group by (mask, popcount of bits) and try all same-mask combines.
+    std::map<std::pair<uint64_t, int>, std::vector<Implicant>> groups;
+    for (const Implicant& imp : current) {
+      groups[{imp.mask, __builtin_popcountll(imp.bits)}].push_back(imp);
+    }
+    std::set<Implicant> next;
+    std::set<Implicant> combined;
+    for (const auto& [key, vec] : groups) {
+      auto [mask, ones] = key;
+      auto it = groups.find({mask, ones + 1});
+      if (it == groups.end()) continue;
+      for (const Implicant& a : vec) {
+        for (const Implicant& b : it->second) {
+          uint64_t diff = a.bits ^ b.bits;
+          if (__builtin_popcountll(diff) != 1) continue;
+          next.insert(Implicant{a.bits & b.bits, a.mask | diff});
+          combined.insert(a);
+          combined.insert(b);
+        }
+      }
+    }
+    for (const Implicant& imp : current) {
+      if (!combined.count(imp)) primes.insert(imp);
+    }
+    current = std::move(next);
+  }
+
+  // --- Phase 2: cover selection ---
+  std::vector<Implicant> prime_list(primes.begin(), primes.end());
+  std::vector<uint64_t> minterms(unique.begin(), unique.end());
+  std::map<uint64_t, int> mt_index;
+  for (size_t i = 0; i < minterms.size(); ++i) {
+    mt_index[minterms[i]] = static_cast<int>(i);
+  }
+  // covers[p] = minterm indices covered; covered_by[m] = prime indices.
+  std::vector<std::vector<int>> covers(prime_list.size());
+  std::vector<std::vector<int>> covered_by(minterms.size());
+  std::vector<uint64_t> buf;
+  for (size_t p = 0; p < prime_list.size(); ++p) {
+    CoveredMinterms(prime_list[p], &buf);
+    for (uint64_t m : buf) {
+      auto it = mt_index.find(m);
+      // Primes cover only ON-set minterms here because implicants are
+      // built exclusively from the ON-set.
+      SLOC_CHECK(it != mt_index.end());
+      covers[p].push_back(it->second);
+      covered_by[size_t(it->second)].push_back(static_cast<int>(p));
+    }
+  }
+
+  std::vector<bool> covered(minterms.size(), false);
+  std::vector<int> selection;
+  // Essential primes: sole cover of some minterm.
+  for (size_t m = 0; m < minterms.size(); ++m) {
+    if (covered_by[m].size() == 1) {
+      int p = covered_by[m][0];
+      if (std::find(selection.begin(), selection.end(), p) ==
+          selection.end()) {
+        selection.push_back(p);
+        for (int mm : covers[size_t(p)]) covered[size_t(mm)] = true;
+      }
+    }
+  }
+  // Remaining minterms: greedy largest-new-coverage (exact enough in
+  // practice; QM cost model differences are dominated by prime shape).
+  for (;;) {
+    size_t uncovered = 0;
+    for (bool c : covered) uncovered += !c;
+    if (uncovered == 0) break;
+    int best_p = -1;
+    size_t best_gain = 0;
+    for (size_t p = 0; p < prime_list.size(); ++p) {
+      size_t gain = 0;
+      for (int m : covers[p]) gain += !covered[size_t(m)];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_p = static_cast<int>(p);
+      }
+    }
+    SLOC_CHECK(best_p >= 0) << "cover selection stuck";
+    selection.push_back(best_p);
+    for (int m : covers[size_t(best_p)]) covered[size_t(m)] = true;
+  }
+
+  out.reserve(selection.size());
+  for (int p : selection) out.push_back(ToPattern(prime_list[size_t(p)], width));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::string>> QuineMcCluskey(
+    const std::vector<std::string>& minterm_strings) {
+  if (minterm_strings.empty()) return std::vector<std::string>{};
+  const size_t width = minterm_strings.front().size();
+  std::vector<uint64_t> minterms;
+  minterms.reserve(minterm_strings.size());
+  for (const std::string& s : minterm_strings) {
+    if (s.size() != width) {
+      return Status::InvalidArgument("mixed minterm widths");
+    }
+    SLOC_ASSIGN_OR_RETURN(uint64_t v, BinaryToUint(s));
+    minterms.push_back(v);
+  }
+  return QuineMcCluskey(minterms, width);
+}
+
+}  // namespace sloc

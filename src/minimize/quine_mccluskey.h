@@ -1,0 +1,36 @@
+// Quine-McCluskey two-level boolean minimization.
+//
+// This is the "binary expression minimization" used by the fixed-length
+// baselines ([14]'s Karnaugh-style aggregation and SGO [23]): the alerted
+// cells' fixed-length codes are the minterms; the minimized implicants
+// become the HVE tokens. The cover is exact — tokens match precisely the
+// given minterm set, never a superset (a false positive would alert a
+// user outside the zone).
+
+#ifndef SLOC_MINIMIZE_QUINE_MCCLUSKEY_H_
+#define SLOC_MINIMIZE_QUINE_MCCLUSKEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+
+/// Minimizes the boolean function whose ON-set is exactly `minterms`
+/// (values < 2^width; width <= 24). Returns patterns over {0,1,*}.
+///
+/// Prime implicants are generated exactly; cover selection takes all
+/// essential primes, then branch-and-bound (exact) when the residual
+/// problem is small, falling back to greedy otherwise.
+Result<std::vector<std::string>> QuineMcCluskey(
+    const std::vector<uint64_t>& minterms, size_t width);
+
+/// Convenience overload on binary index strings of equal width.
+Result<std::vector<std::string>> QuineMcCluskey(
+    const std::vector<std::string>& minterm_strings);
+
+}  // namespace sloc
+
+#endif  // SLOC_MINIMIZE_QUINE_MCCLUSKEY_H_

@@ -1,0 +1,106 @@
+#include "pairing/group.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "pairing/miller.h"
+
+namespace sloc {
+
+Result<PairingGroup> PairingGroup::Generate(const PairingParamSpec& spec) {
+  PairingGroup group;
+  SLOC_ASSIGN_OR_RETURN(group.params_, GeneratePairingParams(spec));
+  const PairingParams& pp = group.params_;
+
+  SLOC_ASSIGN_OR_RETURN(Fp fp, Fp::Create(pp.field_p));
+  group.fp_ = std::make_unique<Fp>(std::move(fp));
+  SLOC_ASSIGN_OR_RETURN(Fp2 fp2, Fp2::Create(*group.fp_));
+  group.fp2_ = std::make_unique<Fp2>(std::move(fp2));
+  // Supersingular curve y^2 = x^3 + x.
+  SLOC_ASSIGN_OR_RETURN(Curve curve,
+                        Curve::Create(*group.fp_, BigInt(1), BigInt(0)));
+  group.curve_ = std::make_unique<Curve>(std::move(curve));
+
+  // Deterministic point search when seeded (offset so the stream differs
+  // from parameter generation), OS entropy otherwise.
+  std::shared_ptr<Rng> det;
+  std::shared_ptr<SecureRandom> sec;
+  RandFn rand;
+  if (spec.seed != 0) {
+    det = std::make_shared<Rng>(spec.seed ^ 0xabcdef1234567890ULL);
+    rand = [det]() { return det->NextU64(); };
+  } else {
+    sec = std::make_shared<SecureRandom>();
+    rand = [sec]() { return sec->NextU64(); };
+  }
+
+  // Find a generator of the order-N subgroup: g = [c]T for random T has
+  // order dividing N; keep it iff both [N/P]g != O and [N/Q]g != O.
+  const Curve& c = *group.curve_;
+  for (;;) {
+    AffinePoint t = c.RandomPoint(rand);
+    AffinePoint g = c.ScalarMul(pp.cofactor, t);
+    if (g.infinity) continue;
+    AffinePoint gp = c.ScalarMul(pp.prime_q, g);  // order P if not O
+    AffinePoint gq = c.ScalarMul(pp.prime_p, g);  // order Q if not O
+    if (gp.infinity || gq.infinity) continue;
+    group.g_ = std::move(g);
+    group.gp_ = std::move(gp);
+    group.gq_ = std::move(gq);
+    break;
+  }
+  group.e_gg_ = group.Pair(group.g_, group.g_);
+  group.ResetCounters();
+  return group;
+}
+
+AffinePoint PairingGroup::RandomGp(const RandFn& rand) const {
+  BigInt k = BigInt::RandomBelow(params_.prime_p - BigInt(1), rand) +
+             BigInt(1);
+  return Mul(k, gp_);
+}
+
+AffinePoint PairingGroup::RandomGq(const RandFn& rand) const {
+  BigInt k = BigInt::RandomBelow(params_.prime_q - BigInt(1), rand) +
+             BigInt(1);
+  return Mul(k, gq_);
+}
+
+AffinePoint PairingGroup::Mul(const BigInt& k, const AffinePoint& pt) const {
+  ++counters_.scalar_muls;
+  return curve_->ScalarMul(k, pt);
+}
+
+AffinePoint PairingGroup::Add(const AffinePoint& a,
+                              const AffinePoint& b) const {
+  return curve_->AddAffine(a, b);
+}
+
+Fp2Elem PairingGroup::Pair(const AffinePoint& a, const AffinePoint& b) const {
+  ++counters_.pairings;
+  if (a.infinity || b.infinity) return fp2_->One();
+  Fp2Elem f = MillerLoop(*curve_, *fp2_, params_.n, a, b);
+  return FinalExponentiation(*fp2_, f, params_.cofactor);
+}
+
+Fp2Elem PairingGroup::GtMul(const Fp2Elem& a, const Fp2Elem& b) const {
+  Fp2Elem out;
+  fp2_->Mul(a, b, &out);
+  return out;
+}
+
+Fp2Elem PairingGroup::GtPow(const Fp2Elem& a, const BigInt& e) const {
+  ++counters_.gt_exps;
+  if (e.IsNegative()) {
+    return fp2_->Pow(GtInv(a), -e);
+  }
+  return fp2_->Pow(a, e);
+}
+
+Fp2Elem PairingGroup::RandomGt(const RandFn& rand) const {
+  BigInt r = BigInt::RandomBelow(params_.n - BigInt(1), rand) + BigInt(1);
+  return GtPow(e_gg_, r);
+}
+
+}  // namespace sloc

@@ -1,0 +1,97 @@
+// Composite-order symmetric pairing group (Section 2.1 of the paper).
+//
+// G is the order-N subgroup of E(F_p), N = P*Q; G_T is the order-N
+// subgroup of F_p^2*. The modified Tate pairing
+//   e(A, B) = f_{N,A}(phi(B))^((p^2-1)/N)
+// is symmetric and bilinear; elements of the order-P and order-Q
+// subgroups pair to 1 across subgroups, which is exactly the blinding
+// property Boneh-Waters HVE relies on.
+
+#ifndef SLOC_PAIRING_GROUP_H_
+#define SLOC_PAIRING_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ec/curve.h"
+#include "field/fp2.h"
+#include "pairing/params.h"
+
+namespace sloc {
+
+/// Running operation counters; the paper's headline metric is `pairings`.
+struct PairingCounters {
+  uint64_t pairings = 0;
+  uint64_t scalar_muls = 0;
+  uint64_t gt_exps = 0;
+};
+
+/// The instantiated pairing group with generators of each subgroup.
+///
+/// Thread-compatibility: const methods are safe to call concurrently
+/// except for the mutable counters, which are best-effort.
+class PairingGroup {
+ public:
+  /// Generates parameters (or uses `spec.seed` deterministically), builds
+  /// the curve, and finds generators g (order N), g_p (order P), g_q
+  /// (order Q).
+  static Result<PairingGroup> Generate(const PairingParamSpec& spec);
+
+  const PairingParams& params() const { return params_; }
+  const Fp& fp() const { return *fp_; }
+  const Fp2& fp2() const { return *fp2_; }
+  const Curve& curve() const { return *curve_; }
+
+  /// Generator of the full order-N group.
+  const AffinePoint& gen() const { return g_; }
+  /// Generator of the order-P subgroup G_p.
+  const AffinePoint& gen_p() const { return gp_; }
+  /// Generator of the order-Q subgroup G_q.
+  const AffinePoint& gen_q() const { return gq_; }
+
+  /// Uniformly random element of G_p (scalar in [1, P)).
+  AffinePoint RandomGp(const RandFn& rand) const;
+  /// Uniformly random element of G_q (scalar in [1, Q)).
+  AffinePoint RandomGq(const RandFn& rand) const;
+
+  /// [k]P with operation counting.
+  AffinePoint Mul(const BigInt& k, const AffinePoint& pt) const;
+  /// P + Q.
+  AffinePoint Add(const AffinePoint& a, const AffinePoint& b) const;
+
+  /// The symmetric pairing. Identity inputs yield 1 in G_T.
+  Fp2Elem Pair(const AffinePoint& a, const AffinePoint& b) const;
+
+  // ---- G_T (unitary subgroup of F_p^2) helpers ----
+  Fp2Elem GtOne() const { return fp2_->One(); }
+  Fp2Elem GtMul(const Fp2Elem& a, const Fp2Elem& b) const;
+  /// Inverse of a unitary G_T element (conjugate).
+  Fp2Elem GtInv(const Fp2Elem& a) const { return fp2_->UnitaryInverse(a); }
+  Fp2Elem GtPow(const Fp2Elem& a, const BigInt& e) const;
+  bool GtEqual(const Fp2Elem& a, const Fp2Elem& b) const {
+    return fp2_->Equal(a, b);
+  }
+  /// Random element of G_T with known structure: e(g, g)^r.
+  Fp2Elem RandomGt(const RandFn& rand) const;
+
+  const PairingCounters& counters() const { return counters_; }
+  void ResetCounters() const { counters_ = PairingCounters{}; }
+  /// Accounts for `k` logical pairings computed outside Pair() (e.g. the
+  /// multi-pairing fast path, which shares one final exponentiation).
+  void CountPairings(uint64_t k) const { counters_.pairings += k; }
+
+ private:
+  PairingGroup() = default;
+
+  PairingParams params_;
+  std::unique_ptr<Fp> fp_;
+  std::unique_ptr<Fp2> fp2_;
+  std::unique_ptr<Curve> curve_;
+  AffinePoint g_, gp_, gq_;
+  Fp2Elem e_gg_;  // cached e(g, g)
+  mutable PairingCounters counters_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_PAIRING_GROUP_H_

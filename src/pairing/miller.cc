@@ -1,0 +1,167 @@
+#include "pairing/miller.h"
+
+#include "common/check.h"
+
+namespace sloc {
+
+namespace {
+
+/// State threaded through the Miller loop.
+struct LoopCtx {
+  const Curve& curve;
+  const Fp& fp;
+  const Fp2& fp2;
+  Fp::Elem xq;     // x-coordinate of phi(B) = -x_B (in F_p)
+  Fp::Elem yq_im;  // imaginary coefficient of phi(B)'s y = y_B
+};
+
+/// Tangent-line value at T (Jacobian), evaluated at phi(B); also advances
+/// T <- 2T. Line values are scaled by 2*Y*Z^3 in F_p* (harmless).
+Fp2Elem DoubleStep(const LoopCtx& ctx, JacobianPoint* t) {
+  const Fp& fp = ctx.fp;
+  if (ctx.curve.IsInfinity(*t) || fp.IsZero(t->Y)) {
+    *t = JacobianPoint{fp.One(), fp.One(), fp.Zero()};
+    return ctx.fp2.One();
+  }
+  // Shared subexpressions with the doubling formula.
+  Fp::Elem A, B, C, D, zz, z4, tmp;
+  fp.Sqr(t->Y, &A);                    // Y^2
+  fp.Mul(t->X, A, &tmp);
+  fp.MulSmall(tmp, 4, &B);             // 4 X Y^2
+  fp.Sqr(A, &tmp);
+  fp.MulSmall(tmp, 8, &C);             // 8 Y^4
+  fp.Sqr(t->X, &tmp);
+  Fp::Elem three_x2;
+  fp.MulSmall(tmp, 3, &three_x2);
+  fp.Sqr(t->Z, &zz);                   // Z^2
+  fp.Sqr(zz, &z4);
+  fp.Mul(ctx.curve.a(), z4, &tmp);
+  fp.Add(three_x2, tmp, &D);           // D = 3X^2 + a Z^4
+
+  JacobianPoint out;
+  Fp::Elem d2, two_b;
+  fp.Sqr(D, &d2);
+  fp.Dbl(B, &two_b);
+  fp.Sub(d2, two_b, &out.X);
+  fp.Sub(B, out.X, &tmp);
+  Fp::Elem dt;
+  fp.Mul(D, tmp, &dt);
+  fp.Sub(dt, C, &out.Y);
+  fp.Mul(t->Y, t->Z, &tmp);
+  fp.Dbl(tmp, &out.Z);                 // Z3 = 2 Y Z
+
+  // l = [-2Y^2 - D*(xq*Z^2 - X)] + [Z3 * Z^2 * yq_im] i
+  Fp2Elem line;
+  Fp::Elem xq_zz, diff, dterm, two_a;
+  fp.Mul(ctx.xq, zz, &xq_zz);
+  fp.Sub(xq_zz, t->X, &diff);
+  fp.Mul(D, diff, &dterm);
+  fp.Dbl(A, &two_a);                   // 2 Y^2
+  Fp::Elem neg;
+  fp.Add(two_a, dterm, &neg);
+  fp.Neg(neg, &line.re);
+  Fp::Elem z3zz;
+  fp.Mul(out.Z, zz, &z3zz);
+  fp.Mul(z3zz, ctx.yq_im, &line.im);
+
+  *t = std::move(out);
+  return line;
+}
+
+/// Line through T and the affine base point P, evaluated at phi(B); also
+/// advances T <- T + P. Scaled by Z3 in F_p*.
+Fp2Elem AddStep(const LoopCtx& ctx, const AffinePoint& p, JacobianPoint* t) {
+  const Fp& fp = ctx.fp;
+  if (ctx.curve.IsInfinity(*t)) {
+    *t = ctx.curve.ToJacobian(p);
+    return ctx.fp2.One();
+  }
+  Fp::Elem zz, zcu, u2, s2;
+  fp.Sqr(t->Z, &zz);
+  fp.Mul(zz, t->Z, &zcu);
+  fp.Mul(p.x, zz, &u2);
+  fp.Mul(p.y, zcu, &s2);
+  Fp::Elem h, r;
+  fp.Sub(u2, t->X, &h);
+  fp.Sub(s2, t->Y, &r);
+  if (fp.IsZero(h)) {
+    if (fp.IsZero(r)) {
+      // T == P: tangent case (vanishingly rare mid-loop).
+      return DoubleStep(ctx, t);
+    }
+    // T == -P: vertical line; value in F_p*, erased by final exponentiation.
+    *t = JacobianPoint{fp.One(), fp.One(), fp.Zero()};
+    return ctx.fp2.One();
+  }
+  Fp::Elem h2, h3, u1h2;
+  fp.Sqr(h, &h2);
+  fp.Mul(h2, h, &h3);
+  fp.Mul(t->X, h2, &u1h2);
+  JacobianPoint out;
+  Fp::Elem r2, tmp, two_u1h2;
+  fp.Sqr(r, &r2);
+  fp.Sub(r2, h3, &tmp);
+  fp.Dbl(u1h2, &two_u1h2);
+  fp.Sub(tmp, two_u1h2, &out.X);
+  fp.Sub(u1h2, out.X, &tmp);
+  Fp::Elem rt, s1h3;
+  fp.Mul(r, tmp, &rt);
+  fp.Mul(t->Y, h3, &s1h3);
+  fp.Sub(rt, s1h3, &out.Y);
+  fp.Mul(t->Z, h, &out.Z);             // Z3 = Z * H
+
+  // l = [-Z3*y2 - R*(xq - x2)] + [Z3 * yq_im] i
+  Fp2Elem line;
+  Fp::Elem z3y2, dx, rdx, sum;
+  fp.Mul(out.Z, p.y, &z3y2);
+  fp.Sub(ctx.xq, p.x, &dx);
+  fp.Mul(r, dx, &rdx);
+  fp.Add(z3y2, rdx, &sum);
+  fp.Neg(sum, &line.re);
+  fp.Mul(out.Z, ctx.yq_im, &line.im);
+
+  *t = std::move(out);
+  return line;
+}
+
+}  // namespace
+
+Fp2Elem MillerLoop(const Curve& curve, const Fp2& fp2, const BigInt& order,
+                   const AffinePoint& a, const AffinePoint& b) {
+  SLOC_CHECK(!a.infinity && !b.infinity)
+      << "MillerLoop requires finite points";
+  const Fp& fp = curve.fp();
+  LoopCtx ctx{curve, fp, fp2, fp.Zero(), b.y};
+  fp.Neg(b.x, &ctx.xq);  // phi(B).x = -x_B
+
+  Fp2Elem f = fp2.One();
+  Fp2Elem tmp;
+  JacobianPoint t = curve.ToJacobian(a);
+  for (size_t i = order.BitLength() - 1; i-- > 0;) {
+    fp2.Sqr(f, &tmp);
+    Fp2Elem line = DoubleStep(ctx, &t);
+    fp2.Mul(tmp, line, &f);
+    if (order.Bit(i)) {
+      Fp2Elem line_add = AddStep(ctx, a, &t);
+      fp2.Mul(f, line_add, &tmp);
+      f = tmp;
+    }
+  }
+  return f;
+}
+
+Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
+                            const BigInt& cofactor) {
+  SLOC_CHECK(!fp2.IsZero(f)) << "zero Miller value";
+  // f^(p-1) = conj(f) / f.
+  Fp2Elem conj;
+  fp2.Conj(f, &conj);
+  auto inv = fp2.Inverse(f);
+  SLOC_CHECK(inv.ok());
+  Fp2Elem unit;
+  fp2.Mul(conj, *inv, &unit);
+  // Then raise to c = (p+1)/N.
+  return fp2.Pow(unit, cofactor);
+}
+
+}  // namespace sloc

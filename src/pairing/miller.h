@@ -1,0 +1,31 @@
+// Miller's algorithm for the reduced Tate pairing on y^2 = x^3 + a x + b.
+//
+// The evaluation point is the distortion image phi(B) = (-x_B, i*y_B),
+// whose x-coordinate lies in F_p and y-coordinate is purely imaginary.
+// Vertical-line factors therefore land in F_p* and are erased by the final
+// exponentiation (p^2-1)/N = (p-1)*c, so the loop uses denominator
+// elimination and scales line values by arbitrary F_p* constants.
+
+#ifndef SLOC_PAIRING_MILLER_H_
+#define SLOC_PAIRING_MILLER_H_
+
+#include "ec/curve.h"
+#include "field/fp2.h"
+
+namespace sloc {
+
+/// Accumulates f_{N,A}(phi(B)) via double-and-add over the bits of `order`.
+///
+/// `a` and `b` must be finite points (callers handle identities).
+/// Returns the un-exponentiated Miller value in F_p^2.
+Fp2Elem MillerLoop(const Curve& curve, const Fp2& fp2, const BigInt& order,
+                   const AffinePoint& a, const AffinePoint& b);
+
+/// Final exponentiation f^((p^2-1)/N) given cofactor c = (p+1)/N:
+/// computes (conj(f)/f)^c. Precondition: f != 0.
+Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
+                            const BigInt& cofactor);
+
+}  // namespace sloc
+
+#endif  // SLOC_PAIRING_MILLER_H_

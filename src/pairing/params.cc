@@ -1,0 +1,50 @@
+#include "pairing/params.h"
+
+#include <memory>
+
+#include "bigint/prime.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sloc {
+
+Result<PairingParams> GeneratePairingParams(const PairingParamSpec& spec) {
+  if (spec.p_prime_bits < 8 || spec.q_prime_bits < 8) {
+    return Status::InvalidArgument("subgroup primes must be >= 8 bits");
+  }
+  // Pick the entropy source.
+  std::shared_ptr<Rng> det;
+  std::shared_ptr<SecureRandom> sec;
+  RandFn rand;
+  if (spec.seed != 0) {
+    det = std::make_shared<Rng>(spec.seed);
+    rand = [det]() { return det->NextU64(); };
+  } else {
+    sec = std::make_shared<SecureRandom>();
+    rand = [sec]() { return sec->NextU64(); };
+  }
+
+  PairingParams out;
+  out.prime_p = RandomPrime(spec.p_prime_bits, rand);
+  do {
+    out.prime_q = RandomPrime(spec.q_prime_bits, rand);
+  } while (out.prime_q == out.prime_p);
+  out.n = out.prime_p * out.prime_q;
+
+  // Find the smallest multiple-of-4 cofactor c with p = c*N - 1 prime.
+  // c = 0 (mod 4) and N odd give p = 3 (mod 4) automatically.
+  for (uint64_t c = 4;; c += 4) {
+    BigInt candidate = BigInt::FromU64(c) * out.n - BigInt(1);
+    SLOC_DCHECK((candidate % BigInt(4)) == BigInt(3));
+    if (IsProbablePrime(candidate, rand)) {
+      out.cofactor = BigInt::FromU64(c);
+      out.field_p = std::move(candidate);
+      return out;
+    }
+    if (c > (1ULL << 24)) {
+      return Status::Internal("no suitable cofactor found (unexpected)");
+    }
+  }
+}
+
+}  // namespace sloc

@@ -1,0 +1,43 @@
+// Generation of composite-order pairing parameters.
+//
+// We instantiate the Boneh-Waters group family on the supersingular curve
+// E: y^2 = x^3 + x over F_p with #E(F_p) = p + 1. Choosing
+//   N = P * Q  (P, Q random primes),  p = c*N - 1 prime, p = 3 (mod 4),
+// yields a cyclic subgroup of E(F_p) of composite order N carrying a
+// symmetric pairing via the distortion map (x, y) -> (-x, i y).
+
+#ifndef SLOC_PAIRING_PARAMS_H_
+#define SLOC_PAIRING_PARAMS_H_
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+#include "common/result.h"
+
+namespace sloc {
+
+/// Requested parameter sizes. Unit tests use 32-48 bit primes (fast; the
+/// code paths are identical); benchmark-grade security needs >= 512-bit
+/// primes (the paper's Section 6 discusses 128-bit security levels).
+struct PairingParamSpec {
+  size_t p_prime_bits = 40;  ///< bit length of prime P
+  size_t q_prime_bits = 40;  ///< bit length of prime Q
+  /// Deterministic seed; 0 draws from the OS entropy pool.
+  uint64_t seed = 0;
+};
+
+/// Concrete generated parameters.
+struct PairingParams {
+  BigInt prime_p;   ///< subgroup order P ("Z_p" exponents in the paper)
+  BigInt prime_q;   ///< subgroup order Q
+  BigInt n;         ///< composite group order N = P*Q
+  BigInt cofactor;  ///< c with field_p = c*N - 1
+  BigInt field_p;   ///< field characteristic, = 3 (mod 4)
+};
+
+/// Generates parameters satisfying all side conditions above.
+Result<PairingParams> GeneratePairingParams(const PairingParamSpec& spec);
+
+}  // namespace sloc
+
+#endif  // SLOC_PAIRING_PARAMS_H_

@@ -1,0 +1,208 @@
+#include "prob/crime_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sloc {
+
+const char* CrimeCategoryName(CrimeCategory c) {
+  switch (c) {
+    case CrimeCategory::kHomicide:
+      return "homicide";
+    case CrimeCategory::kSexualAssault:
+      return "sexual assault";
+    case CrimeCategory::kSexOffense:
+      return "sex offense";
+    case CrimeCategory::kKidnapping:
+      return "kidnapping";
+  }
+  return "unknown";
+}
+
+std::array<std::array<int, 12>, kNumCrimeCategories>
+CrimeDataset::MonthlyCounts() const {
+  std::array<std::array<int, 12>, kNumCrimeCategories> counts{};
+  for (const CrimeEvent& e : events) {
+    counts[size_t(e.category)][size_t(e.month - 1)]++;
+  }
+  return counts;
+}
+
+std::array<int, kNumCrimeCategories> CrimeDataset::CategoryCounts() const {
+  std::array<int, kNumCrimeCategories> counts{};
+  for (const CrimeEvent& e : events) counts[size_t(e.category)]++;
+  return counts;
+}
+
+Result<CrimeDataset> GenerateCrimeDataset(const Grid& grid,
+                                          const CrimeDatasetSpec& spec) {
+  if (spec.num_events < 1) {
+    return Status::InvalidArgument("need at least one event");
+  }
+  if (spec.num_hotspots < 1) {
+    return Status::InvalidArgument("need at least one hotspot");
+  }
+  Rng rng(spec.seed);
+
+  // Hotspot mixture: positions uniform, weights Zipf-like so a couple of
+  // areas dominate (crime concentration), plus 15% uniform background.
+  struct Hotspot {
+    Point center;
+    double weight;
+  };
+  std::vector<Hotspot> hotspots;
+  double wsum = 0.0;
+  for (int h = 0; h < spec.num_hotspots; ++h) {
+    Hotspot hs;
+    hs.center = Point{rng.NextDouble() * grid.width_m(),
+                      rng.NextDouble() * grid.height_m()};
+    hs.weight = 1.0 / double(h + 1);
+    wsum += hs.weight;
+    hotspots.push_back(hs);
+  }
+  for (Hotspot& hs : hotspots) hs.weight /= wsum;
+
+  // Category mix mirroring the 2015 Chicago ratios of the four
+  // categories (sexual assault most frequent, kidnapping least).
+  const double category_share[kNumCrimeCategories] = {0.157, 0.469, 0.308,
+                                                      0.066};
+  // Mild summer seasonality.
+  auto month_weight = [](int m) {
+    return 1.0 + 0.35 * std::sin(2.0 * M_PI * (m - 4) / 12.0);
+  };
+  double month_total = 0.0;
+  for (int m = 1; m <= 12; ++m) month_total += month_weight(m);
+
+  CrimeDataset data;
+  data.events.reserve(size_t(spec.num_events));
+  while (int(data.events.size()) < spec.num_events) {
+    CrimeEvent e;
+    // Location: hotspot Gaussian or uniform background.
+    if (rng.NextBool(0.85)) {
+      double target = rng.NextDouble();
+      double acc = 0.0;
+      const Hotspot* chosen = &hotspots.back();
+      for (const Hotspot& hs : hotspots) {
+        acc += hs.weight;
+        if (acc >= target) {
+          chosen = &hs;
+          break;
+        }
+      }
+      e.location.x =
+          chosen->center.x + rng.NextGaussian() * spec.hotspot_sigma_m;
+      e.location.y =
+          chosen->center.y + rng.NextGaussian() * spec.hotspot_sigma_m;
+    } else {
+      e.location = Point{rng.NextDouble() * grid.width_m(),
+                         rng.NextDouble() * grid.height_m()};
+    }
+    if (e.location.x < 0 || e.location.x >= grid.width_m() ||
+        e.location.y < 0 || e.location.y >= grid.height_m()) {
+      continue;  // resample events that fell off the map
+    }
+    // Month: seasonal categorical draw.
+    double mt = rng.NextDouble() * month_total;
+    double acc = 0.0;
+    e.month = 12;
+    for (int m = 1; m <= 12; ++m) {
+      acc += month_weight(m);
+      if (acc >= mt) {
+        e.month = m;
+        break;
+      }
+    }
+    // Category draw.
+    double ct = rng.NextDouble();
+    acc = 0.0;
+    e.category = CrimeCategory::kKidnapping;
+    for (int c = 0; c < kNumCrimeCategories; ++c) {
+      acc += category_share[c];
+      if (acc >= ct) {
+        e.category = static_cast<CrimeCategory>(c);
+        break;
+      }
+    }
+    data.events.push_back(e);
+  }
+  return data;
+}
+
+namespace {
+
+/// Feature vector for one cell: activity, neighborhood activity,
+/// position, and month (December = 12 for prediction).
+std::vector<double> CellFeatures(const Grid& grid, int cell,
+                                 const std::vector<double>& counts,
+                                 int month) {
+  double neigh = 0.0;
+  for (int n : grid.Neighbors(cell, /*diagonal=*/true)) {
+    neigh += counts[size_t(n)];
+  }
+  return {
+      std::log1p(counts[size_t(cell)]),
+      std::log1p(neigh),
+      double(grid.RowOf(cell)) / double(grid.rows()),
+      double(grid.ColOf(cell)) / double(grid.cols()),
+      double(month) / 12.0,
+  };
+}
+
+}  // namespace
+
+Result<CrimeLikelihoodResult> TrainCrimeLikelihood(const Grid& grid,
+                                                   const CrimeDataset& data) {
+  if (data.events.empty()) {
+    return Status::InvalidArgument("empty crime dataset");
+  }
+  const int n = grid.num_cells();
+  // Per-month event presence and Jan-Nov cumulative counts per cell.
+  std::vector<std::vector<int>> hit(13, std::vector<int>(size_t(n), 0));
+  std::vector<double> train_counts(size_t(n), 0.0);
+  for (const CrimeEvent& e : data.events) {
+    auto cell = grid.CellContaining(e.location);
+    if (!cell.ok()) continue;
+    hit[size_t(e.month)][size_t(*cell)] = 1;
+    if (e.month <= 11) train_counts[size_t(*cell)] += 1.0;
+  }
+
+  // Training rows: (cell, month) for months 1..11 with leave-one-month-out
+  // activity features.
+  std::vector<LabeledExample> train;
+  train.reserve(size_t(n) * 11);
+  for (int m = 1; m <= 11; ++m) {
+    // counts excluding month m.
+    std::vector<double> loo = train_counts;
+    for (int c = 0; c < n; ++c) {
+      loo[size_t(c)] -= hit[size_t(m)][size_t(c)];
+    }
+    for (int c = 0; c < n; ++c) {
+      train.push_back(LabeledExample{CellFeatures(grid, c, loo, m),
+                                     hit[size_t(m)][size_t(c)]});
+    }
+  }
+  LogisticModel::TrainOptions opts;
+  opts.epochs = 300;
+  opts.learning_rate = 1.0;
+  opts.l2 = 1e-5;
+  SLOC_ASSIGN_OR_RETURN(LogisticModel model,
+                        LogisticModel::Train(train, opts));
+
+  // December evaluation + final likelihood surface.
+  CrimeLikelihoodResult out;
+  out.cell_probs.resize(size_t(n));
+  std::vector<LabeledExample> test;
+  test.reserve(size_t(n));
+  for (int c = 0; c < n; ++c) {
+    auto features = CellFeatures(grid, c, train_counts, 12);
+    out.cell_probs[size_t(c)] = model.Predict(features);
+    test.push_back(LabeledExample{std::move(features),
+                                  hit[12][size_t(c)]});
+  }
+  out.december_accuracy = model.Accuracy(test);
+  return out;
+}
+
+}  // namespace sloc

@@ -1,0 +1,70 @@
+#include "prob/logistic.h"
+
+#include <cmath>
+
+namespace sloc {
+
+namespace {
+double SigmoidStable(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+Result<LogisticModel> LogisticModel::Train(
+    const std::vector<LabeledExample>& data, const TrainOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("no training data");
+  const size_t dim = data.front().features.size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional features");
+  for (const auto& ex : data) {
+    if (ex.features.size() != dim) {
+      return Status::InvalidArgument("ragged feature vectors");
+    }
+    if (ex.label != 0 && ex.label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  std::vector<double> w(dim, 0.0);
+  double b = 0.0;
+  const double n = double(data.size());
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<double> grad_w(dim, 0.0);
+    double grad_b = 0.0;
+    for (const auto& ex : data) {
+      double z = b;
+      for (size_t j = 0; j < dim; ++j) z += w[j] * ex.features[j];
+      double err = SigmoidStable(z) - double(ex.label);
+      for (size_t j = 0; j < dim; ++j) grad_w[j] += err * ex.features[j];
+      grad_b += err;
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      w[j] -= options.learning_rate * (grad_w[j] / n + options.l2 * w[j]);
+    }
+    b -= options.learning_rate * grad_b / n;
+  }
+  return LogisticModel(std::move(w), b);
+}
+
+double LogisticModel::Predict(const std::vector<double>& features) const {
+  double z = bias_;
+  const size_t dim = std::min(features.size(), weights_.size());
+  for (size_t j = 0; j < dim; ++j) z += weights_[j] * features[j];
+  return SigmoidStable(z);
+}
+
+double LogisticModel::Accuracy(
+    const std::vector<LabeledExample>& data) const {
+  if (data.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& ex : data) {
+    int pred = Predict(ex.features) >= 0.5 ? 1 : 0;
+    correct += (pred == ex.label);
+  }
+  return double(correct) / double(data.size());
+}
+
+}  // namespace sloc

@@ -1,0 +1,55 @@
+// From-scratch binary logistic regression.
+//
+// Mirrors the paper's real-data pipeline (Section 7.1): a logistic model
+// is trained on Jan-Nov crime events and tested on December; its per-cell
+// scores become the alert likelihoods fed to the encoders. Gradient
+// descent with L2 regularization; no external dependencies.
+
+#ifndef SLOC_PROB_LOGISTIC_H_
+#define SLOC_PROB_LOGISTIC_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+
+/// One training example: feature vector + binary label.
+struct LabeledExample {
+  std::vector<double> features;
+  int label = 0;  ///< 0 or 1
+};
+
+/// Trained model: weights (aligned with features) + bias.
+class LogisticModel {
+ public:
+  struct TrainOptions {
+    int epochs = 300;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+  };
+
+  /// Fits by full-batch gradient descent. Error on empty/ragged data.
+  static Result<LogisticModel> Train(const std::vector<LabeledExample>& data,
+                                     const TrainOptions& options);
+
+  /// P(label = 1 | features).
+  double Predict(const std::vector<double>& features) const;
+
+  /// Fraction of examples classified correctly at threshold 0.5.
+  double Accuracy(const std::vector<LabeledExample>& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticModel(std::vector<double> weights, double bias)
+      : weights_(std::move(weights)), bias_(bias) {}
+
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_PROB_LOGISTIC_H_

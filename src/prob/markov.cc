@@ -1,0 +1,56 @@
+#include "prob/markov.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace sloc {
+
+Result<std::vector<double>> StationaryAlertDistribution(
+    const Grid& grid, const std::vector<double>& base_probs,
+    const MarkovOptions& options) {
+  const size_t n = size_t(grid.num_cells());
+  if (base_probs.size() != n) {
+    return Status::InvalidArgument("base_probs size != grid cells");
+  }
+  double total = std::accumulate(base_probs.begin(), base_probs.end(), 0.0);
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return Status::InvalidArgument("base probabilities must sum to > 0");
+  }
+  if (options.restart <= 0.0 || options.restart > 1.0) {
+    return Status::InvalidArgument("restart must be in (0, 1]");
+  }
+  std::vector<double> base(n);
+  for (size_t i = 0; i < n; ++i) base[i] = base_probs[i] / total;
+
+  // pi_{t+1} = restart * base + (1-restart) * W^T pi_t, where W moves from
+  // a cell to its neighbours proportionally to their base affinity.
+  std::vector<double> pi = base;
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      if (pi[i] <= 0.0) continue;
+      auto neighbors = grid.Neighbors(int(i), /*diagonal=*/true);
+      double w = 0.0;
+      for (int nb : neighbors) w += base[size_t(nb)] + 1e-12;
+      for (int nb : neighbors) {
+        next[size_t(nb)] +=
+            pi[i] * (base[size_t(nb)] + 1e-12) / w;
+      }
+    }
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double v = options.restart * base[i] +
+                 (1.0 - options.restart) * next[i];
+      delta += std::fabs(v - pi[i]);
+      pi[i] = v;
+    }
+    if (delta < options.tolerance) break;
+  }
+  // Re-normalize against numeric drift.
+  double sum = std::accumulate(pi.begin(), pi.end(), 0.0);
+  for (double& v : pi) v /= sum;
+  return pi;
+}
+
+}  // namespace sloc

@@ -1,0 +1,35 @@
+// Markov-chain probability smoothing (Section 9 future work).
+//
+// The paper proposes modelling correlated alert zones with a Markov
+// process and using its stationary distribution as the cell likelihoods.
+// We implement the tractable per-cell variant: a random walk over the
+// grid whose transition kernel mixes neighbour affinity with the base
+// probabilities; power iteration yields the stationary distribution,
+// which acts as a spatially-correlated smoothing of the raw scores.
+
+#ifndef SLOC_PROB_MARKOV_H_
+#define SLOC_PROB_MARKOV_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "grid/grid.h"
+
+namespace sloc {
+
+struct MarkovOptions {
+  double restart = 0.15;   ///< teleport-to-base-distribution probability
+  int max_iterations = 200;
+  double tolerance = 1e-10;
+};
+
+/// Stationary distribution of the neighbor-affinity random walk seeded
+/// by `base_probs` (must match grid size; non-negative, not all zero).
+/// The result sums to 1 and inherits the spatial correlation structure.
+Result<std::vector<double>> StationaryAlertDistribution(
+    const Grid& grid, const std::vector<double>& base_probs,
+    const MarkovOptions& options = MarkovOptions{});
+
+}  // namespace sloc
+
+#endif  // SLOC_PROB_MARKOV_H_

@@ -1,0 +1,52 @@
+#include "prob/sigmoid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sloc {
+
+double Sigmoid(double x, double a, double b) {
+  return 1.0 / (1.0 + std::exp(-b * (x - a)));
+}
+
+std::vector<double> GenerateSigmoidProbabilities(size_t n, double a,
+                                                 double b, Rng* rng) {
+  SLOC_CHECK(rng != nullptr);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = Sigmoid(rng->NextDouble(), a, b);
+  return probs;
+}
+
+std::vector<double> NormalizeProbabilities(const std::vector<double>& probs,
+                                           double target_sum) {
+  double total = std::accumulate(probs.begin(), probs.end(), 0.0);
+  std::vector<double> out(probs.size(), 0.0);
+  if (total <= 0.0) {
+    // Degenerate input: fall back to uniform.
+    if (!probs.empty()) {
+      std::fill(out.begin(), out.end(), target_sum / double(probs.size()));
+    }
+    return out;
+  }
+  for (size_t i = 0; i < probs.size(); ++i) {
+    out[i] = probs[i] / total * target_sum;
+  }
+  return out;
+}
+
+double TopShare(const std::vector<double>& probs, double quantile) {
+  if (probs.empty()) return 0.0;
+  std::vector<double> sorted = probs;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  size_t top = std::max<size_t>(1, size_t(quantile * double(sorted.size())));
+  double top_sum = std::accumulate(sorted.begin(), sorted.begin() + long(top),
+                                   0.0);
+  return top_sum / total;
+}
+
+}  // namespace sloc

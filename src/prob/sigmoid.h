@@ -1,0 +1,35 @@
+// Synthetic cell-probability generator (Section 7, "Synthetic data").
+//
+// Each cell draws x ~ U(0,1) and maps it through the sigmoid
+// S(x) = 1 / (1 + exp(-b (x - a))). Parameter a sets the inflection
+// point (higher a -> fewer high-probability cells, more skew) and b the
+// gradient. The paper evaluates a in {0.9, 0.99}, b in {10, 100, 200},
+// and uses a = 0.95, b = 20 for the granularity studies.
+
+#ifndef SLOC_PROB_SIGMOID_H_
+#define SLOC_PROB_SIGMOID_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sloc {
+
+/// S(x) = 1 / (1 + exp(-b (x - a))).
+double Sigmoid(double x, double a, double b);
+
+/// Per-cell alert likelihoods for `n` cells.
+std::vector<double> GenerateSigmoidProbabilities(size_t n, double a,
+                                                 double b, Rng* rng);
+
+/// Scales a probability vector to sum to `target_sum` (Theorem 1 uses 1).
+std::vector<double> NormalizeProbabilities(const std::vector<double>& probs,
+                                           double target_sum = 1.0);
+
+/// Skewness diagnostic: fraction of total mass held by the top `quantile`
+/// share of cells (e.g. top 10%). Higher = more skew = more Huffman gain.
+double TopShare(const std::vector<double>& probs, double quantile);
+
+}  // namespace sloc
+
+#endif  // SLOC_PROB_SIGMOID_H_

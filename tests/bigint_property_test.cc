@@ -1,0 +1,194 @@
+// Parameterized property sweeps for BigInt across limb widths.
+//
+// These complement bigint_test.cc's known-answer vectors with algebraic
+// laws checked at every interesting width boundary (single limb, limb
+// edges, multi-limb), the places where carry/borrow/normalization bugs
+// hide.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bigint/bigint.h"
+#include "bigint/montgomery.h"
+#include "bigint/prime.h"
+#include "common/rng.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+/// Widths chosen to straddle limb boundaries.
+class BigIntWidthTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  RandFn rand_ = TestRand(GetParam() * 1000003 + 17);
+};
+
+TEST_P(BigIntWidthTest, AdditiveGroupLaws) {
+  const size_t bits = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::Random(bits, rand_);
+    BigInt b = BigInt::Random(bits, rand_);
+    EXPECT_EQ(a + b - b, a);
+    EXPECT_EQ(a + (-a), BigInt(0));
+    EXPECT_EQ(a - b, -(b - a));
+    EXPECT_EQ(a + BigInt(0), a);
+  }
+}
+
+TEST_P(BigIntWidthTest, MultiplicationConsistentWithAddition) {
+  const size_t bits = GetParam();
+  for (int i = 0; i < 6; ++i) {
+    BigInt a = BigInt::Random(bits, rand_);
+    EXPECT_EQ(a * BigInt(2), a + a);
+    EXPECT_EQ(a * BigInt(3), a + a + a);
+    EXPECT_EQ(a * BigInt(0), BigInt(0));
+    EXPECT_EQ(a * BigInt(1), a);
+    EXPECT_EQ(a * BigInt(-1), -a);
+  }
+}
+
+TEST_P(BigIntWidthTest, DivisionInverseOfMultiplication) {
+  const size_t bits = GetParam();
+  for (int i = 0; i < 8; ++i) {
+    BigInt a = BigInt::Random(bits, rand_);
+    BigInt b = BigInt::Random(std::max<size_t>(2, bits / 2), rand_);
+    EXPECT_EQ((a * b) / b, a);
+    EXPECT_TRUE(((a * b) % b).IsZero());
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(BigInt::CmpAbs(r, b), 0);
+  }
+}
+
+TEST_P(BigIntWidthTest, ShiftsAreMulDivByPowersOfTwo) {
+  const size_t bits = GetParam();
+  BigInt a = BigInt::Random(bits, rand_);
+  for (size_t s : {1u, 7u, 63u, 64u, 65u, 130u}) {
+    EXPECT_EQ(a << s, a * (BigInt(1) << s));
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST_P(BigIntWidthTest, BitLengthConsistency) {
+  const size_t bits = GetParam();
+  BigInt a = BigInt::Random(bits, rand_);
+  EXPECT_EQ(a.BitLength(), bits);
+  EXPECT_TRUE(a.Bit(bits - 1));
+  EXPECT_FALSE(a.Bit(bits));
+  EXPECT_EQ((a << 3).BitLength(), bits + 3);
+}
+
+TEST_P(BigIntWidthTest, DecimalHexBytesRoundTrips) {
+  const size_t bits = GetParam();
+  for (int i = 0; i < 4; ++i) {
+    BigInt a = BigInt::Random(bits, rand_);
+    EXPECT_EQ(*BigInt::FromDecimal(a.ToDecimal()), a);
+    EXPECT_EQ(*BigInt::FromHex(a.ToHex()), a);
+    EXPECT_EQ(BigInt::FromBytes(a.ToBytes()), a);
+    BigInt neg = -a;
+    EXPECT_EQ(*BigInt::FromDecimal(neg.ToDecimal()), neg);
+  }
+}
+
+TEST_P(BigIntWidthTest, ModularFieldLawsOddModulus) {
+  const size_t bits = GetParam();
+  BigInt m = BigInt::Random(bits, rand_);
+  if (!m.IsOdd()) m = m + BigInt(1);
+  for (int i = 0; i < 5; ++i) {
+    BigInt a = BigInt::RandomBelow(m, rand_);
+    BigInt b = BigInt::RandomBelow(m, rand_);
+    BigInt c = BigInt::RandomBelow(m, rand_);
+    // (a*b)*c == a*(b*c) mod m
+    EXPECT_EQ(BigInt::ModMul(BigInt::ModMul(a, b, m), c, m),
+              BigInt::ModMul(a, BigInt::ModMul(b, c, m), m));
+    // a*(b+c) == a*b + a*c mod m
+    EXPECT_EQ(BigInt::ModMul(a, BigInt::ModAdd(b, c, m), m),
+              BigInt::ModAdd(BigInt::ModMul(a, b, m),
+                             BigInt::ModMul(a, c, m), m));
+  }
+}
+
+TEST_P(BigIntWidthTest, ModPowLaws) {
+  const size_t bits = GetParam();
+  BigInt m = BigInt::Random(bits, rand_);
+  if (!m.IsOdd()) m = m + BigInt(1);
+  BigInt a = BigInt::RandomBelow(m, rand_);
+  BigInt e1 = BigInt::Random(24, rand_);
+  BigInt e2 = BigInt::Random(24, rand_);
+  // a^(e1+e2) == a^e1 * a^e2 (mod m)
+  EXPECT_EQ(BigInt::ModPow(a, e1 + e2, m),
+            BigInt::ModMul(BigInt::ModPow(a, e1, m),
+                           BigInt::ModPow(a, e2, m), m));
+  // (a^e1)^e2 == a^(e1*e2) (mod m)
+  EXPECT_EQ(BigInt::ModPow(BigInt::ModPow(a, e1, m), e2, m),
+            BigInt::ModPow(a, e1 * e2, m));
+}
+
+TEST_P(BigIntWidthTest, MontgomeryAgreesWithPlainModular) {
+  const size_t bits = GetParam();
+  BigInt m = BigInt::Random(bits, rand_);
+  if (!m.IsOdd()) m = m + BigInt(1);
+  auto ctx = Montgomery::Create(m).value();
+  for (int i = 0; i < 5; ++i) {
+    BigInt a = BigInt::RandomBelow(m, rand_);
+    BigInt b = BigInt::RandomBelow(m, rand_);
+    Montgomery::Elem prod;
+    ctx.Mul(ctx.ToMont(a), ctx.ToMont(b), &prod);
+    EXPECT_EQ(ctx.FromMont(prod), BigInt::ModMul(a, b, m));
+  }
+}
+
+TEST_P(BigIntWidthTest, GcdLaws) {
+  const size_t bits = GetParam();
+  BigInt a = BigInt::Random(bits, rand_);
+  BigInt b = BigInt::Random(bits / 2 + 2, rand_);
+  BigInt g = BigInt::Gcd(a, b);
+  EXPECT_TRUE((a % g).IsZero());
+  EXPECT_TRUE((b % g).IsZero());
+  EXPECT_EQ(BigInt::Gcd(a, b), BigInt::Gcd(b, a));
+  // b divides a*b, so gcd(a*b, b) == b.
+  EXPECT_EQ(BigInt::Gcd(a * b, b), b);
+  // gcd(a, 0) = |a|
+  EXPECT_EQ(BigInt::Gcd(a, BigInt(0)), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BigIntWidthTest,
+                         ::testing::Values(8, 63, 64, 65, 127, 128, 129,
+                                           191, 256, 384, 521),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST(BigIntFermatSweep, SmallPrimesFullFermat) {
+  // a^(p-1) = 1 mod p for all 1 < a < p over several small primes —
+  // exhaustive exercise of the Montgomery pow path.
+  RandFn rand = TestRand(5);
+  for (int64_t p : {5, 17, 97, 257}) {
+    BigInt bp(p);
+    for (int64_t a = 2; a < p; a += std::max<int64_t>(1, p / 13)) {
+      EXPECT_TRUE(BigInt::ModPow(BigInt(a), bp - BigInt(1), bp).IsOne())
+          << "p=" << p << " a=" << a;
+    }
+  }
+}
+
+TEST(PrimeGenSweep, PairwiseCoprimality) {
+  RandFn rand = TestRand(6);
+  std::vector<BigInt> primes;
+  for (int i = 0; i < 6; ++i) primes.push_back(RandomPrime(36, rand));
+  for (size_t i = 0; i < primes.size(); ++i) {
+    for (size_t j = i + 1; j < primes.size(); ++j) {
+      if (primes[i] == primes[j]) continue;  // duplicates possible
+      EXPECT_TRUE(BigInt::Gcd(primes[i], primes[j]).IsOne());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sloc

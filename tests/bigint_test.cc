@@ -1,0 +1,401 @@
+// Tests for arbitrary-precision integer arithmetic.
+//
+// Known-value vectors were cross-checked against Python's int type.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "bigint/bigint.h"
+#include "common/rng.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed = 42) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+// ---------- construction & conversion ----------
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDecimal(), "0");
+}
+
+TEST(BigIntTest, SmallConstruction) {
+  EXPECT_EQ(BigInt(1).ToDecimal(), "1");
+  EXPECT_EQ(BigInt(-1).ToDecimal(), "-1");
+  EXPECT_EQ(BigInt(123456789).ToDecimal(), "123456789");
+  EXPECT_EQ(BigInt(INT64_MIN).ToDecimal(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).ToDecimal(), "9223372036854775807");
+}
+
+TEST(BigIntTest, FromU64FullRange) {
+  EXPECT_EQ(BigInt::FromU64(UINT64_MAX).ToDecimal(), "18446744073709551615");
+  EXPECT_EQ(BigInt::FromU64(0).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  const std::string big =
+      "123456789012345678901234567890123456789012345678901234567890";
+  auto v = BigInt::FromDecimal(big);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToDecimal(), big);
+  auto neg = BigInt::FromDecimal("-" + big);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->ToDecimal(), "-" + big);
+}
+
+TEST(BigIntTest, DecimalParseErrors) {
+  EXPECT_FALSE(BigInt::FromDecimal("").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("-").ok());
+  EXPECT_FALSE(BigInt::FromDecimal("12a3").ok());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  auto v = BigInt::FromHex("0xdeadbeefcafebabe1234567890abcdef");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), "0xdeadbeefcafebabe1234567890abcdef");
+  EXPECT_EQ(BigInt(0).ToHex(), "0x0");
+  EXPECT_EQ(BigInt(-255).ToHex(), "-0xff");
+  auto no_prefix = BigInt::FromHex("ff");
+  ASSERT_TRUE(no_prefix.ok());
+  EXPECT_EQ(no_prefix->ToDecimal(), "255");
+}
+
+TEST(BigIntTest, HexMatchesDecimal) {
+  auto h = BigInt::FromHex("0x112210f47de98115");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->ToDecimal(), "1234567890123456789");
+}
+
+TEST(BigIntTest, ToU64Checks) {
+  EXPECT_EQ(*BigInt::FromU64(77).ToU64(), 77u);
+  EXPECT_FALSE(BigInt(-1).ToU64().ok());
+  auto big = BigInt::FromDecimal("18446744073709551616");  // 2^64
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(big->ToU64().ok());
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  auto v = BigInt::FromDecimal("98765432109876543210987654321");
+  ASSERT_TRUE(v.ok());
+  auto bytes = v->ToBytes();
+  EXPECT_EQ(BigInt::FromBytes(bytes), *v);
+  EXPECT_TRUE(BigInt::FromBytes({}).IsZero());
+  // Leading zeros in input are tolerated.
+  std::vector<uint8_t> padded = {0, 0, 1, 2};
+  EXPECT_EQ(BigInt::FromBytes(padded).ToDecimal(), "258");
+}
+
+// ---------- comparison ----------
+
+TEST(BigIntTest, Comparisons) {
+  BigInt a(5), b(7), c(-5);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LT(c, a);
+  EXPECT_EQ(a, BigInt(5));
+  EXPECT_NE(a, c);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, a);
+  EXPECT_LT(BigInt(-7), BigInt(-5));
+}
+
+TEST(BigIntTest, ComparisonAcrossWidths) {
+  auto big = BigInt::FromDecimal("340282366920938463463374607431768211456");
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(*big, BigInt::FromU64(UINT64_MAX));
+  EXPECT_LT(-*big, BigInt(0));
+}
+
+// ---------- addition / subtraction ----------
+
+TEST(BigIntTest, AddCarryChain) {
+  // 2^128 - 1 + 1 = 2^128
+  auto v = BigInt::FromHex("0xffffffffffffffffffffffffffffffff");
+  ASSERT_TRUE(v.ok());
+  BigInt sum = *v + BigInt(1);
+  EXPECT_EQ(sum.ToHex(), "0x100000000000000000000000000000000");
+}
+
+TEST(BigIntTest, SignedAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).ToDecimal(), "-2");
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).ToDecimal(), "2");
+  EXPECT_EQ((BigInt(-5) + BigInt(-7)).ToDecimal(), "-12");
+  EXPECT_TRUE((BigInt(5) + BigInt(-5)).IsZero());
+}
+
+TEST(BigIntTest, SubtractionBorrowChain) {
+  auto v = BigInt::FromHex("0x100000000000000000000000000000000");
+  ASSERT_TRUE(v.ok());
+  BigInt d = *v - BigInt(1);
+  EXPECT_EQ(d.ToHex(), "0xffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigIntTest, UnaryNegation) {
+  EXPECT_EQ((-BigInt(5)).ToDecimal(), "-5");
+  EXPECT_EQ((-BigInt(-5)).ToDecimal(), "5");
+  EXPECT_TRUE((-BigInt(0)).IsZero());
+  EXPECT_FALSE((-BigInt(0)).IsNegative());
+}
+
+// ---------- multiplication ----------
+
+TEST(BigIntTest, MultiplicationKnownVector) {
+  auto a = BigInt::FromDecimal("123456789012345678901234567890");
+  auto b = BigInt::FromDecimal("987654321098765432109876543210");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a * *b).ToDecimal(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, MultiplicationSigns) {
+  EXPECT_EQ((BigInt(-3) * BigInt(4)).ToDecimal(), "-12");
+  EXPECT_EQ((BigInt(-3) * BigInt(-4)).ToDecimal(), "12");
+  EXPECT_TRUE((BigInt(0) * BigInt(-4)).IsZero());
+}
+
+TEST(BigIntTest, MulByPowersOfTwoMatchesShift) {
+  auto a = BigInt::FromDecimal("123456789012345678901234567890");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a * BigInt(1024), *a << 10);
+  EXPECT_EQ(*a * (BigInt(1) << 100), *a << 100);
+}
+
+// ---------- shifts & bits ----------
+
+TEST(BigIntTest, Shifts) {
+  BigInt one(1);
+  EXPECT_EQ((one << 200).BitLength(), 201u);
+  EXPECT_EQ(((one << 200) >> 200), one);
+  EXPECT_TRUE((one >> 1).IsZero());
+  EXPECT_EQ((BigInt(0b1011) >> 2).ToDecimal(), "2");
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v = BigInt::FromU64(0b1010);
+  EXPECT_FALSE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_FALSE(v.Bit(64));
+  EXPECT_EQ(v.BitLength(), 4u);
+}
+
+// ---------- division ----------
+
+TEST(BigIntTest, DivModSmall) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(17), BigInt(5), &q, &r);
+  EXPECT_EQ(q.ToDecimal(), "3");
+  EXPECT_EQ(r.ToDecimal(), "2");
+}
+
+TEST(BigIntTest, DivModTruncationSemantics) {
+  // C++ semantics: quotient truncated toward zero, remainder has
+  // dividend's sign.
+  BigInt q, r;
+  BigInt::DivMod(BigInt(-17), BigInt(5), &q, &r);
+  EXPECT_EQ(q.ToDecimal(), "-3");
+  EXPECT_EQ(r.ToDecimal(), "-2");
+  BigInt::DivMod(BigInt(17), BigInt(-5), &q, &r);
+  EXPECT_EQ(q.ToDecimal(), "-3");
+  EXPECT_EQ(r.ToDecimal(), "2");
+  BigInt::DivMod(BigInt(-17), BigInt(-5), &q, &r);
+  EXPECT_EQ(q.ToDecimal(), "3");
+  EXPECT_EQ(r.ToDecimal(), "-2");
+}
+
+TEST(BigIntTest, DivisionKnownVector) {
+  auto a = BigInt::FromDecimal(
+      "121932631137021795226185032733622923332237463801111263526900");
+  auto b = BigInt::FromDecimal("987654321098765432109876543210");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a / *b).ToDecimal(), "123456789012345678901234567890");
+  EXPECT_TRUE((*a % *b).IsZero());
+}
+
+TEST(BigIntTest, DivisionByLargerYieldsZero) {
+  EXPECT_TRUE((BigInt(5) / BigInt(7)).IsZero());
+  EXPECT_EQ((BigInt(5) % BigInt(7)).ToDecimal(), "5");
+}
+
+TEST(BigIntTest, DivisionAlgorithmDStress) {
+  // Random (a, b): check a == q*b + r and |r| < |b| across limb widths.
+  RandFn rand = TestRand(101);
+  for (int bits_a : {64, 65, 127, 128, 192, 256, 384, 521}) {
+    for (int bits_b : {32, 63, 64, 65, 128, 200}) {
+      if (bits_b > bits_a) continue;
+      for (int iter = 0; iter < 10; ++iter) {
+        BigInt a = BigInt::Random(bits_a, rand);
+        BigInt b = BigInt::Random(bits_b, rand);
+        BigInt q, r;
+        BigInt::DivMod(a, b, &q, &r);
+        EXPECT_EQ(q * b + r, a) << "bits_a=" << bits_a << " bits_b=" << bits_b;
+        EXPECT_LT(BigInt::CmpAbs(r, b), 0);
+      }
+    }
+  }
+}
+
+TEST(BigIntTest, DivisionQhatCorrectionCase) {
+  // Dividend engineered so the initial qhat over-estimates (top limbs all
+  // ones), exercising the Algorithm D correction path.
+  auto u = BigInt::FromHex(
+      "0xffffffffffffffffffffffffffffffff0000000000000000");
+  auto v = BigInt::FromHex("0xffffffffffffffff0000000000000001");
+  ASSERT_TRUE(u.ok() && v.ok());
+  BigInt q, r;
+  BigInt::DivMod(*u, *v, &q, &r);
+  EXPECT_EQ(q * *v + r, *u);
+  EXPECT_LT(BigInt::CmpAbs(r, *v), 0);
+}
+
+// ---------- modular arithmetic ----------
+
+TEST(BigIntTest, ModAlwaysCanonical) {
+  BigInt m(7);
+  EXPECT_EQ(BigInt::Mod(BigInt(-1), m).ToDecimal(), "6");
+  EXPECT_EQ(BigInt::Mod(BigInt(13), m).ToDecimal(), "6");
+  EXPECT_EQ(BigInt::Mod(BigInt(-14), m).ToDecimal(), "0");
+}
+
+TEST(BigIntTest, ModArithmetic) {
+  BigInt m(97);
+  EXPECT_EQ(BigInt::ModAdd(BigInt(90), BigInt(10), m).ToDecimal(), "3");
+  EXPECT_EQ(BigInt::ModSub(BigInt(5), BigInt(10), m).ToDecimal(), "92");
+  EXPECT_EQ(BigInt::ModMul(BigInt(50), BigInt(2), m).ToDecimal(), "3");
+}
+
+TEST(BigIntTest, ModPowFermat) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+  BigInt p(1000003);
+  for (int64_t a : {2, 3, 65537, 999999}) {
+    EXPECT_TRUE(
+        BigInt::ModPow(BigInt(a), p - BigInt(1), p).IsOne())
+        << "a=" << a;
+  }
+}
+
+TEST(BigIntTest, ModPowKnownVector) {
+  // 7^560 mod 561 = 1 (561 is a Carmichael number).
+  EXPECT_TRUE(BigInt::ModPow(BigInt(7), BigInt(560), BigInt(561)).IsOne());
+  // 5^117 mod 19 = 1 (order of 5 divides 9).
+  EXPECT_EQ(BigInt::ModPow(BigInt(5), BigInt(117), BigInt(19)).ToDecimal(),
+            "1");
+}
+
+TEST(BigIntTest, ModPowEvenModulus) {
+  // Exercises the non-Montgomery path.
+  EXPECT_EQ(BigInt::ModPow(BigInt(3), BigInt(5), BigInt(100)).ToDecimal(),
+            "43");
+  EXPECT_EQ(BigInt::ModPow(BigInt(7), BigInt(0), BigInt(10)).ToDecimal(),
+            "1");
+}
+
+TEST(BigIntTest, ModPowLargeModulus) {
+  auto p = BigInt::FromDecimal("170141183460469231731687303715884105727");
+  ASSERT_TRUE(p.ok());  // 2^127 - 1, prime
+  BigInt a(123456789);
+  EXPECT_TRUE(BigInt::ModPow(a, *p - BigInt(1), *p).IsOne());
+}
+
+// ---------- gcd / inverse ----------
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToDecimal(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToDecimal(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(31)).ToDecimal(), "1");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToDecimal(), "5");
+}
+
+TEST(BigIntTest, ExtendedGcdBezout) {
+  RandFn rand = TestRand(7);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::Random(96, rand);
+    BigInt b = BigInt::Random(64, rand);
+    BigInt x, y;
+    BigInt g = BigInt::ExtendedGcd(a, b, &x, &y);
+    EXPECT_EQ(a * x + b * y, g);
+    EXPECT_TRUE((a % g).IsZero());
+    EXPECT_TRUE((b % g).IsZero());
+  }
+}
+
+TEST(BigIntTest, ModInverse) {
+  auto inv = BigInt::ModInverse(BigInt(3), BigInt(7));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->ToDecimal(), "5");  // 3*5 = 15 = 1 mod 7
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());  // gcd 3
+}
+
+TEST(BigIntTest, ModInverseRandomized) {
+  RandFn rand = TestRand(13);
+  auto p = BigInt::FromDecimal("170141183460469231731687303715884105727");
+  ASSERT_TRUE(p.ok());
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::Random(100, rand);
+    auto inv = BigInt::ModInverse(a, *p);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE(BigInt::ModMul(a, *inv, *p).IsOne());
+  }
+}
+
+// ---------- random generation ----------
+
+TEST(BigIntTest, RandomHasExactBitLength) {
+  RandFn rand = TestRand(3);
+  for (size_t bits : {1u, 2u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(BigInt::Random(bits, rand).BitLength(), bits);
+    }
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  RandFn rand = TestRand(9);
+  BigInt bound = BigInt::FromDecimal("1000000000000000000000000").value();
+  for (int i = 0; i < 50; ++i) {
+    BigInt v = BigInt::RandomBelow(bound, rand);
+    EXPECT_LT(v, bound);
+    EXPECT_FALSE(v.IsNegative());
+  }
+}
+
+TEST(BigIntTest, RandomBelowSmallBoundHitsAll) {
+  RandFn rand = TestRand(15);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(BigInt::RandomBelow(BigInt(5), rand).ToDecimal());
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------- algebraic properties (randomized) ----------
+
+TEST(BigIntTest, RingAxiomsRandomized) {
+  RandFn rand = TestRand(21);
+  for (int i = 0; i < 25; ++i) {
+    BigInt a = BigInt::Random(150, rand);
+    BigInt b = BigInt::Random(90, rand);
+    BigInt c = BigInt::Random(120, rand);
+    if (rand() & 1) a = -a;
+    if (rand() & 1) b = -b;
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+  }
+}
+
+}  // namespace
+}  // namespace sloc

@@ -1,0 +1,373 @@
+// Tests for prefix trees, Huffman/balanced construction (Algorithm 2),
+// the coding scheme (Algorithm 1) and B-ary expansion (Section 4).
+//
+// The running example of Fig. 4 (probabilities 0.2/0.1/0.5/0.4/0.6 for
+// v1..v5) is reproduced verbatim as a known-answer test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "coding/bary.h"
+#include "coding/coding_tree.h"
+#include "coding/huffman.h"
+#include "common/bitstring.h"
+#include "common/rng.h"
+
+namespace sloc {
+namespace {
+
+// Fig. 4's probabilities: cells v1..v5 are ids 0..4.
+const std::vector<double> kPaperProbs = {0.2, 0.1, 0.5, 0.4, 0.6};
+
+TEST(HuffmanTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildHuffmanTree({0.5}).ok());            // single cell
+  EXPECT_FALSE(BuildHuffmanTree({}).ok());               // empty
+  EXPECT_FALSE(BuildHuffmanTree({0.2, -0.1}).ok());      // negative
+  EXPECT_FALSE(BuildHuffmanTree({0.2, 0.3}, 1).ok());    // bad arity
+  EXPECT_FALSE(BuildHuffmanTree({0.2, 0.3}, 11).ok());
+}
+
+TEST(HuffmanTest, PaperExampleCodes) {
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  EXPECT_EQ(tree.Depth(), 3u);  // RL = 3 in Fig. 4
+  // Collect leaf codes by cell.
+  std::vector<std::string> code(5);
+  for (const PrefixNode& n : tree.nodes()) {
+    if (n.children.empty() && n.cell >= 0) code[size_t(n.cell)] = n.code;
+  }
+  EXPECT_EQ(code[0], "001");  // v1
+  EXPECT_EQ(code[1], "000");  // v2
+  EXPECT_EQ(code[2], "10");   // v3
+  EXPECT_EQ(code[3], "01");   // v4
+  EXPECT_EQ(code[4], "11");   // v5
+}
+
+TEST(HuffmanTest, OptimalityEntropyBounds) {
+  // Shannon: H <= L < H + 1 (in bits, normalized probabilities).
+  Rng rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    size_t n = 4 + rng.NextBelow(60);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.NextDouble() + 1e-6;
+    double total = 0;
+    for (double p : probs) total += p;
+    for (double& p : probs) p /= total;
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    double avg = AverageCodeLength(tree);
+    double h = EntropySymbols(probs, 2);
+    EXPECT_GE(avg + 1e-9, h) << "n=" << n;
+    EXPECT_LT(avg, h + 1.0) << "n=" << n;
+  }
+}
+
+TEST(HuffmanTest, KraftEqualityForFullTrees) {
+  // A full binary Huffman tree satisfies Kraft with equality.
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  EXPECT_NEAR(KraftSum(tree), 1.0, 1e-12);
+}
+
+TEST(HuffmanTest, UniformProbsGiveBalancedLengths) {
+  // 8 equal cells -> all codes length 3.
+  std::vector<double> uniform(8, 0.125);
+  PrefixTree tree = BuildHuffmanTree(uniform).value();
+  for (const PrefixNode& n : tree.nodes()) {
+    if (n.children.empty() && n.cell >= 0) {
+      EXPECT_EQ(n.code.size(), 3u);
+    }
+  }
+}
+
+TEST(HuffmanTest, SkewedProbsGiveShortCodesToLikelyCells) {
+  // One dominant cell gets a 1-symbol code.
+  std::vector<double> probs = {0.94, 0.02, 0.02, 0.02};
+  PrefixTree tree = BuildHuffmanTree(probs).value();
+  for (const PrefixNode& n : tree.nodes()) {
+    if (n.children.empty() && n.cell == 0) EXPECT_EQ(n.code.size(), 1u);
+  }
+}
+
+TEST(HuffmanTest, DeterministicConstruction) {
+  PrefixTree a = BuildHuffmanTree(kPaperProbs).value();
+  PrefixTree b = BuildHuffmanTree(kPaperProbs).value();
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].code, b.nodes()[i].code);
+    EXPECT_EQ(a.nodes()[i].cell, b.nodes()[i].cell);
+  }
+}
+
+TEST(HuffmanTest, ValidatePassesOnRandomTrees) {
+  Rng rng(11);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t n = 2 + rng.NextBelow(40);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.NextDouble();
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    EXPECT_TRUE(tree.Validate().ok());
+    EXPECT_EQ(tree.NumRealLeaves(), n);
+  }
+}
+
+TEST(HuffmanTest, TernaryPaperExampleShape) {
+  // Fig. 6a: ternary Huffman over the same probabilities first merges
+  // {v2, v1, v4} then the root; RL = 2 and n = 5 needs no dummies.
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs, 3).value();
+  EXPECT_EQ(tree.Depth(), 2u);
+  EXPECT_EQ(tree.NumRealLeaves(), 5u);
+  // v3 and v5 sit at depth 1, the merged trio at depth 2.
+  for (const PrefixNode& n : tree.nodes()) {
+    if (!n.children.empty() || n.cell < 0) continue;
+    size_t expect = (n.cell == 2 || n.cell == 4) ? 1 : 2;
+    EXPECT_EQ(n.code.size(), expect) << "cell " << n.cell;
+  }
+}
+
+TEST(HuffmanTest, BaryDummyPadding) {
+  // n = 4, B = 3: (4-1) % 2 = 1 -> one dummy added; tree stays full.
+  std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+  PrefixTree tree = BuildHuffmanTree(probs, 3).value();
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.NumRealLeaves(), 4u);
+  size_t dummies = 0;
+  for (const PrefixNode& n : tree.nodes()) {
+    if (n.children.empty() && n.cell == -2) ++dummies;
+  }
+  EXPECT_EQ(dummies, 1u);
+}
+
+TEST(HuffmanTest, BaryKraftInequality) {
+  Rng rng(13);
+  for (int arity : {3, 4, 5}) {
+    for (int iter = 0; iter < 5; ++iter) {
+      size_t n = 3 + rng.NextBelow(30);
+      std::vector<double> probs(n);
+      for (double& p : probs) p = rng.NextDouble() + 0.01;
+      PrefixTree tree = BuildHuffmanTree(probs, arity).value();
+      EXPECT_LE(KraftSum(tree), 1.0 + 1e-12);
+      EXPECT_TRUE(tree.Validate().ok());
+    }
+  }
+}
+
+// ---------- balanced tree ----------
+
+TEST(BalancedTest, PowerOfTwoIsPerfectlyBalanced) {
+  Rng rng(17);
+  std::vector<double> probs(16);
+  for (double& p : probs) p = rng.NextDouble();
+  PrefixTree tree = BuildBalancedTree(probs).value();
+  for (const PrefixNode& n : tree.nodes()) {
+    if (n.children.empty()) EXPECT_EQ(n.code.size(), 4u);
+  }
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BalancedTest, SimilarProbabilitiesAreSiblings) {
+  // Sorted-ascending pairing: the two smallest probabilities share a
+  // parent.
+  std::vector<double> probs = {0.5, 0.01, 0.3, 0.02};
+  PrefixTree tree = BuildBalancedTree(probs).value();
+  int leaf1 = -1, leaf3 = -1;
+  for (size_t i = 0; i < tree.nodes().size(); ++i) {
+    if (tree.nodes()[i].cell == 1) leaf1 = int(i);
+    if (tree.nodes()[i].cell == 3) leaf3 = int(i);
+  }
+  ASSERT_GE(leaf1, 0);
+  ASSERT_GE(leaf3, 0);
+  EXPECT_EQ(tree.node(leaf1).parent, tree.node(leaf3).parent);
+}
+
+TEST(BalancedTest, OddCountCarriesOver) {
+  std::vector<double> probs = {0.1, 0.2, 0.3, 0.4, 0.5};
+  PrefixTree tree = BuildBalancedTree(probs).value();
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.NumRealLeaves(), 5u);
+}
+
+// ---------- coding scheme (Algorithm 1) ----------
+
+TEST(CodingSchemeTest, PaperExampleIndexesAndCodingTree) {
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 5).value();
+  EXPECT_EQ(scheme.rl, 3u);
+  // Fig. 4c: assigned grid indexes.
+  EXPECT_EQ(scheme.cell_index[0], "001");  // v1
+  EXPECT_EQ(scheme.cell_index[1], "000");  // v2
+  EXPECT_EQ(scheme.cell_index[2], "100");  // v3
+  EXPECT_EQ(scheme.cell_index[3], "010");  // v4
+  EXPECT_EQ(scheme.cell_index[4], "110");  // v5
+  // Section 3.3: leaves in tree order with star-padded codewords.
+  ASSERT_EQ(scheme.leaves.size(), 5u);
+  EXPECT_EQ(scheme.leaves[0].codeword, "000");  // v2
+  EXPECT_EQ(scheme.leaves[1].codeword, "001");  // v1
+  EXPECT_EQ(scheme.leaves[2].codeword, "01*");  // v4
+  EXPECT_EQ(scheme.leaves[3].codeword, "10*");  // v3
+  EXPECT_EQ(scheme.leaves[4].codeword, "11*");  // v5
+  // Section 3.3: parentDict [00*: 2, 0**: 3, 1**: 2, ***: 5].
+  EXPECT_EQ(scheme.parent_leaf_count.at("00*"), 2);
+  EXPECT_EQ(scheme.parent_leaf_count.at("0**"), 3);
+  EXPECT_EQ(scheme.parent_leaf_count.at("1**"), 2);
+  EXPECT_EQ(scheme.parent_leaf_count.at("***"), 5);
+  EXPECT_EQ(scheme.parent_leaf_count.size(), 4u);
+}
+
+TEST(CodingSchemeTest, Theorem2BijectionRandomized) {
+  // Every cell has a unique index mapping to a unique leaf, and the
+  // codeword matches the index as a pattern.
+  Rng rng(23);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t n = 2 + rng.NextBelow(100);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.NextDouble() + 1e-9;
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    CodingScheme scheme = BuildCodingScheme(tree, n).value();
+    std::set<std::string> indexes;
+    for (size_t cell = 0; cell < n; ++cell) {
+      const std::string& idx = scheme.cell_index[cell];
+      EXPECT_EQ(idx.size(), scheme.rl);
+      EXPECT_TRUE(indexes.insert(idx).second) << "duplicate index";
+      auto it = scheme.index_to_leaf_pos.find(idx);
+      ASSERT_NE(it, scheme.index_to_leaf_pos.end());
+      const CodingLeaf& leaf = scheme.leaves[size_t(it->second)];
+      EXPECT_EQ(leaf.cell, int(cell));
+      EXPECT_TRUE(PatternMatches(leaf.codeword, idx));
+    }
+    EXPECT_EQ(indexes.size(), n);
+  }
+}
+
+TEST(CodingSchemeTest, EachIndexMatchesExactlyOneLeafCodeword) {
+  // The bijection also means no *other* leaf codeword matches an index.
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 5).value();
+  for (const CodingLeaf& a : scheme.leaves) {
+    int matches = 0;
+    for (const CodingLeaf& b : scheme.leaves) {
+      matches += PatternMatches(b.codeword, a.index);
+    }
+    EXPECT_EQ(matches, 1) << a.index;
+  }
+}
+
+TEST(CodingSchemeTest, RejectsDegenerateTrees) {
+  // Single-cell "tree" cannot be built at all (Huffman requires n >= 2),
+  // and a mismatched n_cells errors out.
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  EXPECT_FALSE(BuildCodingScheme(tree, 4).ok());   // cell id out of range
+  EXPECT_FALSE(BuildCodingScheme(tree, 6).ok());   // cell 5 has no leaf
+}
+
+// ---------- B-ary expansion (Section 4) ----------
+
+TEST(BaryTest, PaperFig5CodewordExpansion) {
+  // Fig. 5a: '2*' with B = 3 -> '**1' + '***'.
+  EXPECT_EQ(*ExpandCodewordToBits("2*", 3), "**1***");
+}
+
+TEST(BaryTest, PaperFig5IndexExpansion) {
+  // Fig. 5b: leaf code '2' zero-padded to RL 2 expands to '001000'
+  // (one-hot block with stars lowered to 0, then an all-zero pad block).
+  EXPECT_EQ(*ExpandIndexToBits("2", 2, 3), "001000");
+}
+
+TEST(BaryTest, DigitBlocksAreOneHot) {
+  EXPECT_EQ(*ExpandCodewordToBits("0", 3), "1**");
+  EXPECT_EQ(*ExpandCodewordToBits("1", 3), "*1*");
+  EXPECT_EQ(*ExpandCodewordToBits("2", 3), "**1");
+  EXPECT_EQ(*ExpandIndexToBits("0", 1, 3), "100");
+  EXPECT_EQ(*ExpandIndexToBits("1", 1, 3), "010");
+}
+
+TEST(BaryTest, InvalidDigitRejected) {
+  EXPECT_FALSE(ExpandCodewordToBits("3", 3).ok());  // digit out of range
+  EXPECT_FALSE(ExpandCodewordToBits("0", 2).ok());  // arity 2 not expanded
+  EXPECT_FALSE(ExpandIndexToBits("012", 2, 3).ok());  // longer than RL
+}
+
+TEST(BaryTest, ExpandedIndexMatchesExpandedCodeword) {
+  // For every leaf of a ternary scheme, the expanded index must satisfy
+  // the expanded codeword pattern (matching survives expansion).
+  Rng rng(29);
+  std::vector<double> probs(9);
+  for (double& p : probs) p = rng.NextDouble() + 0.05;
+  PrefixTree tree = BuildHuffmanTree(probs, 3).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 9).value();
+  for (size_t cell = 0; cell < probs.size(); ++cell) {
+    std::string index = CellIndexBits(scheme, int(cell)).value();
+    EXPECT_EQ(index.size(), BitWidthOf(scheme));
+    auto pos = scheme.index_to_leaf_pos.at(scheme.cell_index[cell]);
+    std::string codeword =
+        TokenBits(scheme, scheme.leaves[size_t(pos)].codeword).value();
+    EXPECT_TRUE(PatternMatches(codeword, index))
+        << codeword << " vs " << index;
+  }
+}
+
+TEST(BaryTest, ExpandedCodewordsRemainExclusive) {
+  // A leaf's expanded codeword must NOT match another cell's expanded
+  // index (no false positives after expansion).
+  Rng rng(31);
+  std::vector<double> probs(7);
+  for (double& p : probs) p = rng.NextDouble() + 0.05;
+  PrefixTree tree = BuildHuffmanTree(probs, 3).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 7).value();
+  for (size_t a = 0; a < probs.size(); ++a) {
+    auto pos = scheme.index_to_leaf_pos.at(scheme.cell_index[a]);
+    std::string codeword =
+        TokenBits(scheme, scheme.leaves[size_t(pos)].codeword).value();
+    for (size_t b = 0; b < probs.size(); ++b) {
+      std::string index = CellIndexBits(scheme, int(b)).value();
+      EXPECT_EQ(PatternMatches(codeword, index), a == b)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(BaryTest, GranularityIncreasePaperExample) {
+  // Section 4's worked example: the depth-1 leaf with symbol code '2'
+  // (B = 3, RL = 2) subdivides into {001000, 011000, 101000, 111000} —
+  // all binary completions of its one-hot block, pad block zeroed.
+  // Our deterministic Huffman assigns child digits by weight order, so
+  // reproduce the expansion arithmetic on the exact paper code first:
+  EXPECT_EQ(*ExpandIndexToBits("2", 2, 3), "001000");
+  EXPECT_EQ(*ExpandCodewordToBits("2*", 3), "**1***");
+
+  // Then verify the subdivision machinery on our tree's own depth-1
+  // leaf: 4 distinct sub-indexes, each still matching the parent
+  // codeword and carrying the parent's one-hot bit.
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs, 3).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 5).value();
+  int target = -1;
+  for (const CodingLeaf& leaf : scheme.leaves) {
+    std::string code = leaf.codeword;
+    while (!code.empty() && code.back() == kStar) code.pop_back();
+    if (code.size() == 1) target = leaf.cell;
+  }
+  ASSERT_GE(target, 0) << "ternary paper tree must have a depth-1 leaf";
+  auto subs = SubdivideCellIndexes(scheme, target, 16).value();
+  EXPECT_EQ(subs.size(), 4u);  // 2 stars in the one-hot block
+  EXPECT_EQ(std::set<std::string>(subs.begin(), subs.end()).size(), 4u);
+  auto pos = scheme.index_to_leaf_pos.at(scheme.cell_index[size_t(target)]);
+  std::string codeword =
+      TokenBits(scheme, scheme.leaves[size_t(pos)].codeword).value();
+  for (const std::string& sub : subs) {
+    EXPECT_TRUE(PatternMatches(codeword, sub)) << codeword << " " << sub;
+    EXPECT_EQ(sub.size(), BitWidthOf(scheme));
+  }
+  // The cell's own index is among its subdivisions.
+  EXPECT_NE(std::find(subs.begin(), subs.end(),
+                      CellIndexBits(scheme, target).value()),
+            subs.end());
+}
+
+TEST(BaryTest, SubdivisionRequiresExpansion) {
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 5).value();
+  EXPECT_FALSE(SubdivideCellIndexes(scheme, 0, 4).ok());
+}
+
+}  // namespace
+}  // namespace sloc

@@ -1,0 +1,314 @@
+// Tests for the common kernel: Status/Result, RNG, bit strings, tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/bitstring.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace sloc {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::PermissionDenied("x").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  SLOC_ASSIGN_OR_RETURN(int v, in);
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("boom")).ok());
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SecureRandomTest, ProducesVaryingOutput) {
+  SecureRandom sr;
+  uint64_t a = sr.NextU64();
+  uint64_t b = sr.NextU64();
+  uint64_t c = sr.NextU64();
+  EXPECT_FALSE(a == b && b == c);
+}
+
+// ---------- bitstring ----------
+
+TEST(BitStringTest, IsBinaryString) {
+  EXPECT_TRUE(IsBinaryString("0101"));
+  EXPECT_FALSE(IsBinaryString(""));
+  EXPECT_FALSE(IsBinaryString("01*1"));
+  EXPECT_FALSE(IsBinaryString("012"));
+}
+
+TEST(BitStringTest, IsPatternString) {
+  EXPECT_TRUE(IsPatternString("01*1"));
+  EXPECT_TRUE(IsPatternString("***"));
+  EXPECT_FALSE(IsPatternString(""));
+  EXPECT_FALSE(IsPatternString("01x"));
+}
+
+TEST(BitStringTest, NonStarCount) {
+  EXPECT_EQ(NonStarCount("***"), 0u);
+  EXPECT_EQ(NonStarCount("0*1"), 2u);
+  EXPECT_EQ(NonStarCount("0011"), 4u);
+}
+
+TEST(BitStringTest, PatternMatchesPaperExample) {
+  // Fig. 1: token *00 matches user B (000) but not user A (110).
+  EXPECT_TRUE(PatternMatches("*00", "000"));
+  EXPECT_FALSE(PatternMatches("*00", "110"));
+  EXPECT_TRUE(PatternMatches("*00", "100"));
+}
+
+TEST(BitStringTest, PatternMatchRequiresEqualLength) {
+  EXPECT_FALSE(PatternMatches("*00", "0000"));
+  EXPECT_FALSE(PatternMatches("*000", "000"));
+}
+
+TEST(BitStringTest, AllStarsMatchesEverything) {
+  EXPECT_TRUE(PatternMatches("****", "0000"));
+  EXPECT_TRUE(PatternMatches("****", "1111"));
+  EXPECT_TRUE(PatternMatches("****", "0110"));
+}
+
+TEST(BitStringTest, PrefixChecks) {
+  EXPECT_TRUE(IsPrefixOf("00", "001"));
+  EXPECT_TRUE(IsPrefixOf("001", "001"));
+  EXPECT_FALSE(IsPrefixOf("01", "001"));
+  EXPECT_FALSE(IsPrefixOf("0011", "001"));
+}
+
+TEST(BitStringTest, PadRight) {
+  EXPECT_EQ(PadRight("10", 3, '0'), "100");
+  EXPECT_EQ(PadRight("10", 4, '*'), "10**");
+  EXPECT_EQ(PadRight("101", 3, '0'), "101");
+}
+
+TEST(BitStringTest, CommonPrefix) {
+  EXPECT_EQ(CommonPrefix({"10*", "11*"}), "1");
+  EXPECT_EQ(CommonPrefix({"000", "001"}), "00");
+  EXPECT_EQ(CommonPrefix({"01", "10"}), "");
+  EXPECT_EQ(CommonPrefix({"0110"}), "0110");
+  EXPECT_EQ(CommonPrefix({}), "");
+}
+
+TEST(BitStringTest, BinaryToUintRoundTrip) {
+  EXPECT_EQ(*BinaryToUint("0"), 0u);
+  EXPECT_EQ(*BinaryToUint("101"), 5u);
+  EXPECT_EQ(*BinaryToUint("11111111"), 255u);
+  EXPECT_EQ(*UintToBinary(5, 3), "101");
+  EXPECT_EQ(*UintToBinary(5, 6), "000101");
+  for (uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(*BinaryToUint(*UintToBinary(v, 6)), v);
+  }
+}
+
+TEST(BitStringTest, BinaryToUintErrors) {
+  EXPECT_FALSE(BinaryToUint("01*").ok());
+  EXPECT_FALSE(BinaryToUint(std::string(65, '1')).ok());
+  EXPECT_FALSE(UintToBinary(8, 3).ok());  // does not fit
+  EXPECT_FALSE(UintToBinary(1, 0).ok());
+}
+
+TEST(BitStringTest, GrayCodeBijectiveAndAdjacent) {
+  std::set<uint64_t> seen;
+  uint64_t prev_gray = 0;
+  for (uint64_t v = 0; v < 256; ++v) {
+    uint64_t g = BinaryToGray(v);
+    EXPECT_EQ(GrayToBinary(g), v);
+    seen.insert(g);
+    if (v > 0) {
+      // Successive Gray codes differ in exactly one bit.
+      EXPECT_EQ(__builtin_popcountll(g ^ prev_gray), 1);
+    }
+    prev_gray = g;
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(BitStringTest, HammingDistance) {
+  EXPECT_EQ(*HammingDistance("0000", "0000"), 0u);
+  EXPECT_EQ(*HammingDistance("0000", "1111"), 4u);
+  EXPECT_EQ(*HammingDistance("0101", "0110"), 2u);
+  EXPECT_FALSE(HammingDistance("00", "000").ok());
+}
+
+TEST(BitStringTest, ExpandPattern) {
+  auto e = ExpandPattern("0*1*");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, (std::vector<std::string>{"0010", "0011", "0110", "0111"}));
+  auto single = ExpandPattern("011");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(*single, std::vector<std::string>{"011"});
+  EXPECT_FALSE(ExpandPattern(std::string(25, '*')).ok());
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, TextRenderingAligned) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"k"});
+  t.AddRow({"with,comma"});
+  t.AddRow({"with\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(-5), "-5");
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::string path = testing::TempDir() + "/sloc_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+}  // namespace
+}  // namespace sloc

@@ -1,0 +1,201 @@
+// Tests for elliptic-curve group arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "ec/curve.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed = 42) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+// Small-prime curve for exhaustive checks: y^2 = x^3 + x over F_19.
+// 19 = 3 (mod 4); the curve is supersingular with order 19 + 1 = 20.
+class SmallCurveTest : public ::testing::Test {
+ protected:
+  SmallCurveTest()
+      : fp_(Fp::Create(BigInt(19)).value()),
+        curve_(Curve::Create(fp_, BigInt(1), BigInt(0)).value()) {}
+  Fp fp_;
+  Curve curve_;
+};
+
+TEST_F(SmallCurveTest, SingularCurveRejected) {
+  // a = 0, b = 0 -> discriminant zero.
+  EXPECT_FALSE(Curve::Create(fp_, BigInt(0), BigInt(0)).ok());
+}
+
+TEST_F(SmallCurveTest, GroupOrderIsPPlusOne) {
+  // Supersingular y^2 = x^3 + x over F_p (p = 3 mod 4) has p + 1 points.
+  int count = 1;  // infinity
+  for (int64_t x = 0; x < 19; ++x) {
+    for (int64_t y = 0; y < 19; ++y) {
+      AffinePoint pt{fp_.FromBigInt(BigInt(x)), fp_.FromBigInt(BigInt(y)),
+                     false};
+      if (curve_.IsOnCurve(pt)) ++count;
+    }
+  }
+  EXPECT_EQ(count, 20);
+}
+
+TEST_F(SmallCurveTest, EveryPointKilledByGroupOrder) {
+  for (int64_t x = 0; x < 19; ++x) {
+    for (int64_t y = 0; y < 19; ++y) {
+      AffinePoint pt{fp_.FromBigInt(BigInt(x)), fp_.FromBigInt(BigInt(y)),
+                     false};
+      if (!curve_.IsOnCurve(pt)) continue;
+      EXPECT_TRUE(curve_.ScalarMul(BigInt(20), pt).infinity)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST_F(SmallCurveTest, AdditionMatchesExhaustiveScalarTable) {
+  // Pick a point and verify [i+1]P == [i]P + P for the whole cycle.
+  auto pt = curve_.MakePoint(BigInt(1), BigInt(6));  // 1^3+1 = 2; 6^2=36=17?
+  if (!pt.ok()) {
+    // Find any valid point instead.
+    RandFn rand = TestRand();
+    AffinePoint p = curve_.RandomPoint(rand);
+    AffinePoint acc = p;
+    for (int i = 2; i <= 21; ++i) {
+      acc = curve_.AddAffine(acc, p);
+      EXPECT_TRUE(curve_.Equal(acc, curve_.ScalarMul(BigInt(i), p)));
+    }
+    return;
+  }
+  AffinePoint p = *pt;
+  AffinePoint acc = p;
+  for (int i = 2; i <= 21; ++i) {
+    acc = curve_.AddAffine(acc, p);
+    EXPECT_TRUE(curve_.Equal(acc, curve_.ScalarMul(BigInt(i), p)));
+  }
+}
+
+// Larger-prime fixture: p = 2^127 - 1 (= 3 mod 4), y^2 = x^3 + x.
+class BigCurveTest : public ::testing::Test {
+ protected:
+  BigCurveTest()
+      : fp_(Fp::Create(
+                *BigInt::FromDecimal(
+                    "170141183460469231731687303715884105727"))
+                .value()),
+        curve_(Curve::Create(fp_, BigInt(1), BigInt(0)).value()),
+        order_(*BigInt::FromDecimal(
+            "170141183460469231731687303715884105728")) {}
+  Fp fp_;
+  Curve curve_;
+  BigInt order_;  // p + 1
+};
+
+TEST_F(BigCurveTest, RandomPointsAreOnCurve) {
+  RandFn rand = TestRand(1);
+  for (int i = 0; i < 5; ++i) {
+    AffinePoint p = curve_.RandomPoint(rand);
+    EXPECT_FALSE(p.infinity);
+    EXPECT_TRUE(curve_.IsOnCurve(p));
+  }
+}
+
+TEST_F(BigCurveTest, NegationAndIdentity) {
+  RandFn rand = TestRand(2);
+  AffinePoint p = curve_.RandomPoint(rand);
+  AffinePoint q = curve_.Neg(p);
+  EXPECT_TRUE(curve_.IsOnCurve(q));
+  EXPECT_TRUE(curve_.AddAffine(p, q).infinity);
+  EXPECT_TRUE(curve_.Equal(curve_.AddAffine(p, curve_.Infinity()), p));
+  EXPECT_TRUE(
+      curve_.Equal(curve_.AddAffine(curve_.Infinity(), p), p));
+}
+
+TEST_F(BigCurveTest, DoublingConsistentWithAddition) {
+  RandFn rand = TestRand(3);
+  AffinePoint p = curve_.RandomPoint(rand);
+  AffinePoint via_add = curve_.AddAffine(p, p);
+  AffinePoint via_mul = curve_.ScalarMul(BigInt(2), p);
+  EXPECT_TRUE(curve_.Equal(via_add, via_mul));
+}
+
+TEST_F(BigCurveTest, AdditionAssociativeAndCommutative) {
+  RandFn rand = TestRand(4);
+  AffinePoint p = curve_.RandomPoint(rand);
+  AffinePoint q = curve_.RandomPoint(rand);
+  AffinePoint r = curve_.RandomPoint(rand);
+  EXPECT_TRUE(curve_.Equal(curve_.AddAffine(p, q), curve_.AddAffine(q, p)));
+  AffinePoint lhs = curve_.AddAffine(curve_.AddAffine(p, q), r);
+  AffinePoint rhs = curve_.AddAffine(p, curve_.AddAffine(q, r));
+  EXPECT_TRUE(curve_.Equal(lhs, rhs));
+}
+
+TEST_F(BigCurveTest, ScalarMulDistributes) {
+  // [a+b]P == [a]P + [b]P.
+  RandFn rand = TestRand(5);
+  AffinePoint p = curve_.RandomPoint(rand);
+  BigInt a = BigInt::Random(90, rand);
+  BigInt b = BigInt::Random(90, rand);
+  AffinePoint lhs = curve_.ScalarMul(a + b, p);
+  AffinePoint rhs =
+      curve_.AddAffine(curve_.ScalarMul(a, p), curve_.ScalarMul(b, p));
+  EXPECT_TRUE(curve_.Equal(lhs, rhs));
+}
+
+TEST_F(BigCurveTest, ScalarMulComposes) {
+  // [a*b]P == [a]([b]P).
+  RandFn rand = TestRand(6);
+  AffinePoint p = curve_.RandomPoint(rand);
+  BigInt a = BigInt::Random(40, rand);
+  BigInt b = BigInt::Random(40, rand);
+  EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(a * b, p),
+                           curve_.ScalarMul(a, curve_.ScalarMul(b, p))));
+}
+
+TEST_F(BigCurveTest, ScalarMulEdgeCases) {
+  RandFn rand = TestRand(7);
+  AffinePoint p = curve_.RandomPoint(rand);
+  EXPECT_TRUE(curve_.ScalarMul(BigInt(0), p).infinity);
+  EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(BigInt(1), p), p));
+  EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(BigInt(-1), p), curve_.Neg(p)));
+  // Group order annihilates every point (order | p + 1).
+  EXPECT_TRUE(curve_.ScalarMul(order_, p).infinity);
+}
+
+TEST_F(BigCurveTest, MakePointValidates) {
+  EXPECT_FALSE(curve_.MakePoint(BigInt(1), BigInt(1)).ok());
+  RandFn rand = TestRand(8);
+  AffinePoint p = curve_.RandomPoint(rand);
+  auto remade =
+      curve_.MakePoint(fp_.ToBigInt(p.x), fp_.ToBigInt(p.y));
+  ASSERT_TRUE(remade.ok());
+  EXPECT_TRUE(curve_.Equal(*remade, p));
+}
+
+TEST_F(BigCurveTest, JacobianAffineRoundTrip) {
+  RandFn rand = TestRand(9);
+  AffinePoint p = curve_.RandomPoint(rand);
+  JacobianPoint j = curve_.ToJacobian(p);
+  EXPECT_TRUE(curve_.Equal(curve_.ToAffine(j), p));
+  // Mixed vs full addition agree.
+  AffinePoint q = curve_.RandomPoint(rand);
+  JacobianPoint full = curve_.Add(j, curve_.ToJacobian(q));
+  JacobianPoint mixed = curve_.AddMixed(j, q);
+  EXPECT_TRUE(curve_.Equal(curve_.ToAffine(full), curve_.ToAffine(mixed)));
+}
+
+TEST_F(BigCurveTest, InfinityHandling) {
+  JacobianPoint inf{fp_.One(), fp_.One(), fp_.Zero()};
+  EXPECT_TRUE(curve_.IsInfinity(inf));
+  EXPECT_TRUE(curve_.IsInfinity(curve_.Double(inf)));
+  EXPECT_TRUE(curve_.ToAffine(inf).infinity);
+  RandFn rand = TestRand(10);
+  AffinePoint p = curve_.RandomPoint(rand);
+  EXPECT_TRUE(curve_.Equal(curve_.ToAffine(curve_.AddMixed(inf, p)), p));
+}
+
+}  // namespace
+}  // namespace sloc

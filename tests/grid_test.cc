@@ -1,0 +1,272 @@
+// Tests for the spatial grid, alert zones, workloads and the Poisson
+// model of Theorem 1.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "grid/alert_zone.h"
+#include "grid/grid.h"
+#include "grid/poisson.h"
+
+namespace sloc {
+namespace {
+
+TEST(GridTest, CreateValidation) {
+  EXPECT_FALSE(Grid::Create(0, 4, 50).ok());
+  EXPECT_FALSE(Grid::Create(4, 0, 50).ok());
+  EXPECT_FALSE(Grid::Create(4, 4, 0).ok());
+  EXPECT_FALSE(Grid::Create(4, 4, -1).ok());
+  EXPECT_TRUE(Grid::Create(4, 4, 50).ok());
+}
+
+TEST(GridTest, RowColRoundTrip) {
+  Grid grid = Grid::Create(8, 16, 25).value();
+  for (int row = 0; row < 8; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      int cell = grid.CellAt(row, col).value();
+      EXPECT_EQ(grid.RowOf(cell), row);
+      EXPECT_EQ(grid.ColOf(cell), col);
+    }
+  }
+  EXPECT_EQ(grid.num_cells(), 128);
+  EXPECT_FALSE(grid.CellAt(8, 0).ok());
+  EXPECT_FALSE(grid.CellAt(0, 16).ok());
+  EXPECT_FALSE(grid.CellAt(-1, 0).ok());
+}
+
+TEST(GridTest, CenterAndContainingAreInverse) {
+  Grid grid = Grid::Create(10, 10, 50).value();
+  for (int cell = 0; cell < grid.num_cells(); ++cell) {
+    Point c = grid.CenterOf(cell);
+    EXPECT_EQ(grid.CellContaining(c).value(), cell);
+  }
+}
+
+TEST(GridTest, CellContainingRejectsOutside) {
+  Grid grid = Grid::Create(4, 4, 50).value();
+  EXPECT_FALSE(grid.CellContaining({-1, 10}).ok());
+  EXPECT_FALSE(grid.CellContaining({10, 200}).ok());
+  EXPECT_TRUE(grid.CellContaining({0, 0}).ok());
+  EXPECT_FALSE(grid.CellContaining({200, 0}).ok());
+}
+
+TEST(GridTest, RadiusZeroGivesOwnCell) {
+  Grid grid = Grid::Create(8, 8, 50).value();
+  Point center = grid.CenterOf(27);
+  auto cells = grid.CellsWithinRadius(center, 0.0);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], 27);
+}
+
+TEST(GridTest, RadiusGrowsMonotonically) {
+  Grid grid = Grid::Create(32, 32, 50).value();
+  Point center = grid.CenterOf(32 * 16 + 16);
+  size_t prev = 0;
+  for (double r : {20.0, 60.0, 120.0, 300.0, 600.0}) {
+    auto cells = grid.CellsWithinRadius(center, r);
+    EXPECT_GE(cells.size(), prev);
+    prev = cells.size();
+  }
+  // 600 m radius on a 50 m grid covers roughly pi * 12^2 = ~452 cells.
+  EXPECT_GT(prev, 300u);
+  EXPECT_LT(prev, 600u);
+}
+
+TEST(GridTest, RadiusClipsAtBoundary) {
+  Grid grid = Grid::Create(8, 8, 50).value();
+  auto cells = grid.CellsWithinRadius(grid.CenterOf(0), 120.0);
+  for (int c : cells) EXPECT_TRUE(grid.Contains(c));
+  // Corner coverage is about a quarter of the full disk.
+  auto center_cells =
+      grid.CellsWithinRadius(grid.CenterOf(8 * 4 + 4), 120.0);
+  EXPECT_LT(cells.size(), center_cells.size());
+}
+
+TEST(GridTest, NeighborsCounts) {
+  Grid grid = Grid::Create(4, 4, 50).value();
+  EXPECT_EQ(grid.Neighbors(5, false).size(), 4u);       // interior, 4-conn
+  EXPECT_EQ(grid.Neighbors(5, true).size(), 8u);        // interior, 8-conn
+  EXPECT_EQ(grid.Neighbors(0, false).size(), 2u);       // corner
+  EXPECT_EQ(grid.Neighbors(0, true).size(), 3u);
+  EXPECT_EQ(grid.Neighbors(1, false).size(), 3u);       // edge
+}
+
+TEST(AlertZoneTest, CircularZoneSortedAndSound) {
+  Grid grid = Grid::Create(16, 16, 50).value();
+  AlertZone zone = MakeCircularZone(grid, grid.CenterOf(100), 130.0);
+  EXPECT_TRUE(std::is_sorted(zone.cells.begin(), zone.cells.end()));
+  for (int c : zone.cells) {
+    Point p = grid.CenterOf(c);
+    double dx = p.x - zone.epicenter.x, dy = p.y - zone.epicenter.y;
+    EXPECT_LE(dx * dx + dy * dy, 130.0 * 130.0 + 1e-6);
+  }
+}
+
+TEST(AlertZoneTest, RandomZonesStayInDomain) {
+  Grid grid = Grid::Create(16, 16, 50).value();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    AlertZone zone = RandomCircularZone(grid, 100.0, &rng);
+    EXPECT_FALSE(zone.cells.empty());
+    for (int c : zone.cells) EXPECT_TRUE(grid.Contains(c));
+  }
+}
+
+TEST(AlertZoneTest, ProbabilityBiasedEpicenters) {
+  // With all mass on cell 7, every zone centers in cell 7's area.
+  Grid grid = Grid::Create(4, 4, 50).value();
+  std::vector<double> probs(16, 0.0);
+  probs[7] = 1.0;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    AlertZone zone = RandomCircularZone(grid, 10.0, &rng, &probs);
+    ASSERT_EQ(zone.cells.size(), 1u);
+    EXPECT_EQ(zone.cells[0], 7);
+  }
+}
+
+TEST(AlertZoneTest, SampledZoneRespectsZeroAndOne) {
+  std::vector<double> probs = {0.0, 1.0, 0.0, 1.0};
+  Rng rng(7);
+  AlertZone zone = SampleZoneFromProbabilities(probs, &rng);
+  EXPECT_EQ(zone.cells, (std::vector<int>{1, 3}));
+}
+
+TEST(AlertZoneTest, ProbabilisticZoneAlwaysNonEmptyAndInRadius) {
+  Grid grid = Grid::Create(16, 16, 50.0).value();
+  Rng rng(13);
+  std::vector<double> probs(256, 0.05);  // cold everywhere
+  for (int i = 0; i < 50; ++i) {
+    AlertZone zone = ProbabilisticCircularZone(grid, 150.0, &rng, probs);
+    ASSERT_FALSE(zone.cells.empty());
+    EXPECT_TRUE(std::is_sorted(zone.cells.begin(), zone.cells.end()));
+    for (int c : zone.cells) {
+      Point p = grid.CenterOf(c);
+      double dx = p.x - zone.epicenter.x, dy = p.y - zone.epicenter.y;
+      EXPECT_LE(dx * dx + dy * dy, 150.0 * 150.0 + 1e-6);
+    }
+  }
+}
+
+TEST(AlertZoneTest, ProbabilisticZoneIncludesHotCellsAtP1) {
+  // All-probability-one surface: the probabilistic zone equals the disk.
+  Grid grid = Grid::Create(16, 16, 50.0).value();
+  Rng rng(17);
+  std::vector<double> ones(256, 1.0);
+  AlertZone prob_zone = ProbabilisticCircularZone(grid, 120.0, &rng, ones);
+  AlertZone disk = MakeCircularZone(grid, prob_zone.epicenter, 120.0);
+  EXPECT_EQ(prob_zone.cells, disk.cells);
+}
+
+TEST(AlertZoneTest, ProbabilisticZoneSkipsColdCells) {
+  // Zero-probability neighbours are never included — only the epicenter.
+  Grid grid = Grid::Create(8, 8, 50.0).value();
+  Rng rng(19);
+  std::vector<double> probs(64, 0.0);
+  probs[27] = 1.0;
+  AlertZone zone = ProbabilisticCircularZone(grid, 500.0, &rng, probs);
+  EXPECT_EQ(zone.cells, std::vector<int>{27});
+}
+
+TEST(AlertZoneTest, ProbabilisticMixedWorkloadShares) {
+  Grid grid = Grid::Create(16, 16, 50.0).value();
+  Rng rng(23);
+  std::vector<double> probs(256, 0.3);
+  MixedWorkloadSpec spec;
+  spec.short_share = 0.5;
+  spec.num_zones = 300;
+  auto zones = MakeProbabilisticMixedWorkload(grid, spec, &rng, probs);
+  ASSERT_EQ(zones.size(), 300u);
+  int short_count = 0;
+  for (const AlertZone& z : zones) {
+    short_count += (z.radius_m == spec.short_radius_m);
+  }
+  EXPECT_NEAR(double(short_count) / 300.0, 0.5, 0.1);
+}
+
+TEST(AlertZoneTest, MixedWorkloadShares) {
+  Grid grid = Grid::Create(32, 32, 50).value();
+  MixedWorkloadSpec spec;
+  spec.short_share = 0.75;
+  spec.num_zones = 400;
+  Rng rng(11);
+  auto zones = MakeMixedWorkload(grid, spec, &rng);
+  ASSERT_EQ(zones.size(), 400u);
+  int short_count = 0;
+  for (const AlertZone& z : zones) {
+    short_count += (z.radius_m == spec.short_radius_m);
+  }
+  EXPECT_NEAR(double(short_count) / 400.0, 0.75, 0.08);
+}
+
+// ---------- Poisson / Theorem 1 ----------
+
+TEST(PoissonTest, PmfMatchesPaperEquation4) {
+  // p(Y = k) = e^-1 / k! for lambda = 1.
+  EXPECT_NEAR(PoissonPmf(1.0, 0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(1.0, 1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(PoissonPmf(1.0, 2), std::exp(-1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(PoissonPmf(1.0, 3), std::exp(-1.0) / 6.0, 1e-12);
+}
+
+TEST(PoissonTest, PmfSumsToOne) {
+  for (double lambda : {0.5, 1.0, 3.0}) {
+    double sum = 0.0;
+    for (int k = 0; k < 60; ++k) sum += PoissonPmf(lambda, k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << lambda;
+  }
+}
+
+TEST(PoissonTest, CdfMonotone) {
+  double prev = 0.0;
+  for (int k = 0; k < 10; ++k) {
+    double c = PoissonCdf(1.0, k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+}
+
+TEST(PoissonTest, SampleMeanMatchesLambda) {
+  Rng rng(13);
+  for (double lambda : {0.5, 1.0, 2.5}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += PoissonSample(lambda, &rng);
+    EXPECT_NEAR(sum / n, lambda, 0.05) << lambda;
+  }
+}
+
+TEST(PoissonTest, Theorem1AlertCountIsApproxPoisson1) {
+  // Many cells, small probabilities summing to 1 -> alerted-cell count
+  // is approximately Pois(1) (the paper's Theorem 1).
+  Rng rng(17);
+  const size_t n = 1024;
+  std::vector<double> probs(n, 1.0 / double(n));
+  auto hist = AlertCountHistogram(probs, 40000, 12, &rng);
+  EXPECT_LT(TotalVariationFromPoisson(hist, 1.0), 0.02);
+  // Mode at k in {0, 1} (pmf equal at 0 and 1, then drops).
+  EXPECT_GT(hist[1], hist[2]);
+  EXPECT_GT(hist[0] + hist[1], 0.6);
+}
+
+TEST(PoissonTest, Theorem1SkewedProbabilitiesStillClose) {
+  // Theorem 1 needs only independence and small p_i; skew is fine.
+  Rng rng(19);
+  const size_t n = 2048;
+  std::vector<double> probs(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    probs[i] = 1.0 / double(1 + i);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;  // sum = 1, max p ~ 0.12
+  auto hist = AlertCountHistogram(probs, 40000, 12, &rng);
+  EXPECT_LT(TotalVariationFromPoisson(hist, 1.0), 0.06);
+}
+
+}  // namespace
+}  // namespace sloc

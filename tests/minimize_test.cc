@@ -1,0 +1,273 @@
+// Tests for Algorithm 3 (deterministic minimization), its exact-cover
+// reference, and Quine-McCluskey. The core property throughout: tokens
+// must cover exactly the alerted cells — a false positive would notify a
+// user outside the zone, a false negative would miss one inside.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coding/coding_tree.h"
+#include "coding/huffman.h"
+#include "common/bitstring.h"
+#include "common/rng.h"
+#include "minimize/algorithm3.h"
+#include "minimize/quine_mccluskey.h"
+
+namespace sloc {
+namespace {
+
+const std::vector<double> kPaperProbs = {0.2, 0.1, 0.5, 0.4, 0.6};
+
+CodingScheme PaperScheme() {
+  PrefixTree tree = BuildHuffmanTree(kPaperProbs).value();
+  return BuildCodingScheme(tree, 5).value();
+}
+
+/// Exactness check: the set of cell indexes matched by any token equals
+/// exactly the alerted cells' indexes.
+void ExpectExactCover(const CodingScheme& scheme,
+                      const std::vector<int>& alert_cells,
+                      const std::vector<std::string>& tokens) {
+  std::set<std::string> alerted_indexes;
+  for (int c : alert_cells) {
+    alerted_indexes.insert(scheme.cell_index[size_t(c)]);
+  }
+  for (size_t cell = 0; cell < scheme.cell_index.size(); ++cell) {
+    const std::string& idx = scheme.cell_index[cell];
+    bool matched = false;
+    for (const std::string& tok : tokens) {
+      matched |= PatternMatches(tok, idx);
+    }
+    EXPECT_EQ(matched, alerted_indexes.count(idx) > 0)
+        << "cell " << cell << " idx " << idx;
+  }
+}
+
+TEST(Algorithm3Test, PaperRunningExample) {
+  // Alert cells {v1, v3, v5} (indexes 001, 100, 110) -> tokens
+  // {001, 1**} per Section 3.3.
+  CodingScheme scheme = PaperScheme();
+  auto tokens = MinimizeAlertCells(scheme, {0, 2, 4}).value();
+  std::set<std::string> got(tokens.begin(), tokens.end());
+  EXPECT_EQ(got, (std::set<std::string>{"001", "1**"}));
+}
+
+TEST(Algorithm3Test, WholeGridCollapsesToRoot) {
+  CodingScheme scheme = PaperScheme();
+  auto tokens = MinimizeAlertCells(scheme, {0, 1, 2, 3, 4}).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"***"});
+}
+
+TEST(Algorithm3Test, SingleCellYieldsItsCodeword) {
+  CodingScheme scheme = PaperScheme();
+  auto tokens = MinimizeAlertCells(scheme, {3}).value();  // v4 -> 01*
+  EXPECT_EQ(tokens, std::vector<std::string>{"01*"});
+}
+
+TEST(Algorithm3Test, EmptyAlertSetYieldsNoTokens) {
+  CodingScheme scheme = PaperScheme();
+  EXPECT_TRUE(MinimizeAlertCells(scheme, {}).value().empty());
+}
+
+TEST(Algorithm3Test, DuplicatesAndOrderIgnored) {
+  CodingScheme scheme = PaperScheme();
+  auto a = MinimizeAlertCells(scheme, {4, 2, 0, 2, 4}).value();
+  auto b = MinimizeAlertCells(scheme, {0, 2, 4}).value();
+  EXPECT_EQ(std::set<std::string>(a.begin(), a.end()),
+            std::set<std::string>(b.begin(), b.end()));
+}
+
+TEST(Algorithm3Test, UnknownCellRejected) {
+  CodingScheme scheme = PaperScheme();
+  EXPECT_FALSE(MinimizeAlertCells(scheme, {7}).ok());
+  EXPECT_FALSE(MinimizeAlertCells(scheme, {-1}).ok());
+}
+
+TEST(Algorithm3Test, SubtreeAggregation) {
+  CodingScheme scheme = PaperScheme();
+  // v2 + v1 (000, 001) share parent 00*.
+  auto tokens = MinimizeAlertCells(scheme, {0, 1}).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"00*"});
+  // v2 + v1 + v4 = subtree 0**.
+  tokens = MinimizeAlertCells(scheme, {0, 1, 3}).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"0**"});
+}
+
+TEST(Algorithm3Test, ExactCoverPropertyRandomized) {
+  Rng rng(41);
+  for (int iter = 0; iter < 40; ++iter) {
+    size_t n = 2 + rng.NextBelow(64);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.NextDouble() + 1e-9;
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    CodingScheme scheme = BuildCodingScheme(tree, n).value();
+    // Random alert subset.
+    std::vector<int> alerts;
+    for (size_t c = 0; c < n; ++c) {
+      if (rng.NextBool(0.3)) alerts.push_back(int(c));
+    }
+    auto tokens = MinimizeAlertCells(scheme, alerts).value();
+    ExpectExactCover(scheme, alerts, tokens);
+  }
+}
+
+TEST(Algorithm3Test, AgreesWithExactCoverReference) {
+  // Algorithm 3's greedy must find the same (unique) minimal subtree
+  // cover as the bottom-up reference on every input.
+  Rng rng(43);
+  for (int iter = 0; iter < 40; ++iter) {
+    size_t n = 2 + rng.NextBelow(48);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.NextDouble() + 1e-9;
+    PrefixTree tree = BuildHuffmanTree(probs).value();
+    CodingScheme scheme = BuildCodingScheme(tree, n).value();
+    std::vector<int> alerts;
+    for (size_t c = 0; c < n; ++c) {
+      if (rng.NextBool(0.4)) alerts.push_back(int(c));
+    }
+    auto greedy = MinimizeAlertCells(scheme, alerts).value();
+    auto reference = MinimizeExactCover(scheme, alerts).value();
+    std::sort(greedy.begin(), greedy.end());
+    EXPECT_EQ(greedy, reference) << "n=" << n << " iter=" << iter;
+  }
+}
+
+TEST(Algorithm3Test, WorksOnBalancedTrees) {
+  Rng rng(47);
+  std::vector<double> probs(16);
+  for (double& p : probs) p = rng.NextDouble();
+  PrefixTree tree = BuildBalancedTree(probs).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 16).value();
+  std::vector<int> alerts = {1, 5, 6, 7, 11};
+  auto tokens = MinimizeAlertCells(scheme, alerts).value();
+  ExpectExactCover(scheme, alerts, tokens);
+}
+
+TEST(Algorithm3Test, WorksOnTernaryTrees) {
+  Rng rng(53);
+  std::vector<double> probs(11);
+  for (double& p : probs) p = rng.NextDouble() + 0.01;
+  PrefixTree tree = BuildHuffmanTree(probs, 3).value();
+  CodingScheme scheme = BuildCodingScheme(tree, 11).value();
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<int> alerts;
+    for (size_t c = 0; c < 11; ++c) {
+      if (rng.NextBool(0.35)) alerts.push_back(int(c));
+    }
+    auto tokens = MinimizeAlertCells(scheme, alerts).value();
+    ExpectExactCover(scheme, alerts, tokens);
+  }
+}
+
+TEST(TokenCostTest, PaperCostExample) {
+  // Section 2.2: two tokens of 3 non-star bits = 6 "sets"; aggregated
+  // token *00 = 2.
+  TokenCost two = CostOfTokens({"100", "000"});
+  EXPECT_EQ(two.non_star_bits, 6u);
+  TokenCost one = CostOfTokens({"*00"});
+  EXPECT_EQ(one.non_star_bits, 2u);
+  EXPECT_EQ(one.tokens, 1u);
+  EXPECT_EQ(one.pairings, 2 * 2 + 1);
+}
+
+// ---------- Quine-McCluskey ----------
+
+TEST(QuineMcCluskeyTest, PaperSection33Example) {
+  // Cells 0000, 0010, 0110, 0100 minimize to the single token 0**0.
+  auto tokens =
+      QuineMcCluskey({"0000", "0010", "0110", "0100"}).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"0**0"});
+}
+
+TEST(QuineMcCluskeyTest, PaperSection22Example) {
+  // Indexes 100 and 000 -> *00.
+  auto tokens = QuineMcCluskey({"100", "000"}).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"*00"});
+}
+
+TEST(QuineMcCluskeyTest, SingleMinterm) {
+  auto tokens = QuineMcCluskey({"1011"}).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"1011"});
+}
+
+TEST(QuineMcCluskeyTest, FullDomainCollapses) {
+  std::vector<uint64_t> all;
+  for (uint64_t m = 0; m < 16; ++m) all.push_back(m);
+  auto tokens = QuineMcCluskey(all, 4).value();
+  EXPECT_EQ(tokens, std::vector<std::string>{"****"});
+}
+
+TEST(QuineMcCluskeyTest, EmptyInput) {
+  EXPECT_TRUE(QuineMcCluskey({}, 4).value().empty());
+}
+
+TEST(QuineMcCluskeyTest, InputValidation) {
+  EXPECT_FALSE(QuineMcCluskey({1, 2}, 0).ok());
+  EXPECT_FALSE(QuineMcCluskey({1, 2}, 25).ok());
+  EXPECT_FALSE(QuineMcCluskey({16}, 4).ok());  // exceeds width
+  EXPECT_FALSE(QuineMcCluskey({std::string("01"), std::string("011")}).ok());
+}
+
+TEST(QuineMcCluskeyTest, ClassicTextbookCase) {
+  // f(a,b,c,d) with ON-set {4,8,10,11,12,15}: classic example whose
+  // minimal cover is {10*0, 1*1*... } — verify exact-cover semantics
+  // rather than one canonical answer.
+  std::vector<uint64_t> on = {4, 8, 10, 11, 12, 15};
+  auto tokens = QuineMcCluskey(on, 4).value();
+  std::set<uint64_t> covered;
+  for (const std::string& t : tokens) {
+    auto expanded = ExpandPattern(t).value();
+    for (const std::string& m : expanded) {
+      covered.insert(BinaryToUint(m).value());
+    }
+  }
+  EXPECT_EQ(covered, std::set<uint64_t>(on.begin(), on.end()));
+}
+
+TEST(QuineMcCluskeyTest, ExactCoverPropertyRandomized) {
+  Rng rng(59);
+  for (int iter = 0; iter < 30; ++iter) {
+    size_t width = 4 + rng.NextBelow(7);  // 4..10
+    uint64_t domain = 1ULL << width;
+    std::set<uint64_t> on;
+    size_t count = 1 + rng.NextBelow(domain / 2);
+    while (on.size() < count) on.insert(rng.NextBelow(domain));
+    std::vector<uint64_t> minterms(on.begin(), on.end());
+    auto tokens = QuineMcCluskey(minterms, width).value();
+    std::set<uint64_t> covered;
+    for (const std::string& t : tokens) {
+      EXPECT_EQ(t.size(), width);
+      auto expanded = ExpandPattern(t).value();
+      for (const std::string& m : expanded) {
+        covered.insert(BinaryToUint(m).value());
+      }
+    }
+    EXPECT_EQ(covered, on) << "width=" << width << " iter=" << iter;
+  }
+}
+
+TEST(QuineMcCluskeyTest, NeverWorseThanNoMinimization) {
+  // Total non-star bits of the cover never exceed width * #minterms.
+  Rng rng(61);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t width = 6;
+    std::set<uint64_t> on;
+    while (on.size() < 12) on.insert(rng.NextBelow(64));
+    auto tokens =
+        QuineMcCluskey({on.begin(), on.end()}, width).value();
+    TokenCost cost = CostOfTokens(tokens);
+    EXPECT_LE(cost.non_star_bits, width * on.size());
+    EXPECT_LE(cost.tokens, on.size());
+  }
+}
+
+TEST(QuineMcCluskeyTest, GrayAdjacentPairAggregates) {
+  // Two codes at Hamming distance 1 always merge into one implicant.
+  auto tokens = QuineMcCluskey({"0110", "0111"}).value();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "011*");
+}
+
+}  // namespace
+}  // namespace sloc

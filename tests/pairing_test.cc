@@ -1,0 +1,189 @@
+// Tests for the composite-order Tate pairing (the paper's Section 2.1
+// bilinear map e: G x G -> G_T with |G| = N = P*Q).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "pairing/group.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed = 42) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+PairingParamSpec SmallSpec(uint64_t seed = 7) {
+  PairingParamSpec spec;
+  spec.p_prime_bits = 32;
+  spec.q_prime_bits = 32;
+  spec.seed = seed;
+  return spec;
+}
+
+class PairingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    group_ = new PairingGroup(PairingGroup::Generate(SmallSpec()).value());
+  }
+  static void TearDownTestSuite() {
+    delete group_;
+    group_ = nullptr;
+  }
+  static PairingGroup* group_;
+};
+
+PairingGroup* PairingTest::group_ = nullptr;
+
+TEST_F(PairingTest, ParamsSatisfyAllSideConditions) {
+  const PairingParams& pp = group_->params();
+  EXPECT_EQ(pp.n, pp.prime_p * pp.prime_q);
+  EXPECT_EQ(pp.field_p, pp.cofactor * pp.n - BigInt(1));
+  EXPECT_EQ(BigInt::Mod(pp.field_p, BigInt(4)).ToDecimal(), "3");
+  EXPECT_TRUE((pp.cofactor % BigInt(4)).IsZero());
+}
+
+TEST_F(PairingTest, GeneratorsHaveCorrectOrders) {
+  const PairingParams& pp = group_->params();
+  const Curve& c = group_->curve();
+  // g has order N: killed by N, not by N/P or N/Q.
+  EXPECT_TRUE(c.ScalarMul(pp.n, group_->gen()).infinity);
+  EXPECT_FALSE(c.ScalarMul(pp.prime_p, group_->gen()).infinity);
+  EXPECT_FALSE(c.ScalarMul(pp.prime_q, group_->gen()).infinity);
+  // g_p has order P; g_q has order Q.
+  EXPECT_TRUE(c.ScalarMul(pp.prime_p, group_->gen_p()).infinity);
+  EXPECT_FALSE(group_->gen_p().infinity);
+  EXPECT_TRUE(c.ScalarMul(pp.prime_q, group_->gen_q()).infinity);
+  EXPECT_FALSE(group_->gen_q().infinity);
+}
+
+TEST_F(PairingTest, PairingIsNonDegenerate) {
+  Fp2Elem e = group_->Pair(group_->gen(), group_->gen());
+  EXPECT_FALSE(group_->GtEqual(e, group_->GtOne()));
+  const PairingParams& pp = group_->params();
+  // e(g,g) has full order N: e^N = 1 but e^(N/P) != 1 and e^(N/Q) != 1.
+  EXPECT_TRUE(group_->GtEqual(group_->GtPow(e, pp.n), group_->GtOne()));
+  EXPECT_FALSE(group_->GtEqual(group_->GtPow(e, pp.prime_p), group_->GtOne()));
+  EXPECT_FALSE(group_->GtEqual(group_->GtPow(e, pp.prime_q), group_->GtOne()));
+}
+
+TEST_F(PairingTest, BilinearityRandomized) {
+  RandFn rand = TestRand(11);
+  const PairingParams& pp = group_->params();
+  Fp2Elem e_gg = group_->Pair(group_->gen(), group_->gen());
+  for (int i = 0; i < 4; ++i) {
+    BigInt a = BigInt::RandomBelow(pp.n, rand);
+    BigInt b = BigInt::RandomBelow(pp.n, rand);
+    AffinePoint pa = group_->Mul(a, group_->gen());
+    AffinePoint pb = group_->Mul(b, group_->gen());
+    Fp2Elem lhs = group_->Pair(pa, pb);
+    Fp2Elem rhs = group_->GtPow(e_gg, BigInt::ModMul(a, b, pp.n));
+    EXPECT_TRUE(group_->GtEqual(lhs, rhs)) << "iteration " << i;
+  }
+}
+
+TEST_F(PairingTest, PairingIsSymmetric) {
+  RandFn rand = TestRand(12);
+  AffinePoint a = group_->Mul(
+      BigInt::RandomBelow(group_->params().n, rand), group_->gen());
+  AffinePoint b = group_->Mul(
+      BigInt::RandomBelow(group_->params().n, rand), group_->gen());
+  EXPECT_TRUE(group_->GtEqual(group_->Pair(a, b), group_->Pair(b, a)));
+}
+
+TEST_F(PairingTest, CrossSubgroupPairsToOne) {
+  // e(G_p, G_q) = 1: the blinding property HVE correctness relies on.
+  RandFn rand = TestRand(13);
+  for (int i = 0; i < 3; ++i) {
+    AffinePoint hp = group_->RandomGp(rand);
+    AffinePoint hq = group_->RandomGq(rand);
+    EXPECT_TRUE(group_->GtEqual(group_->Pair(hp, hq), group_->GtOne()));
+    EXPECT_TRUE(group_->GtEqual(group_->Pair(hq, hp), group_->GtOne()));
+  }
+}
+
+TEST_F(PairingTest, SameSubgroupPairsNontrivially) {
+  RandFn rand = TestRand(14);
+  AffinePoint hp = group_->RandomGp(rand);
+  AffinePoint hp2 = group_->RandomGp(rand);
+  Fp2Elem e = group_->Pair(hp, hp2);
+  // Within G_p the pairing is non-trivial (overwhelming probability).
+  EXPECT_FALSE(group_->GtEqual(e, group_->GtOne()));
+  // And lands in the order-P subgroup of G_T.
+  EXPECT_TRUE(group_->GtEqual(group_->GtPow(e, group_->params().prime_p),
+                              group_->GtOne()));
+}
+
+TEST_F(PairingTest, IdentityPairsToOne) {
+  AffinePoint inf = group_->curve().Infinity();
+  EXPECT_TRUE(group_->GtEqual(group_->Pair(inf, group_->gen()),
+                              group_->GtOne()));
+  EXPECT_TRUE(group_->GtEqual(group_->Pair(group_->gen(), inf),
+                              group_->GtOne()));
+}
+
+TEST_F(PairingTest, GtElementsAreUnitary) {
+  // Final exponentiation maps into the norm-1 subgroup, so GtInv (conj)
+  // must be a true inverse.
+  RandFn rand = TestRand(15);
+  Fp2Elem e = group_->Pair(group_->RandomGp(rand), group_->gen());
+  Fp2Elem inv = group_->GtInv(e);
+  EXPECT_TRUE(group_->GtEqual(group_->GtMul(e, inv), group_->GtOne()));
+}
+
+TEST_F(PairingTest, GtPowNegativeExponent) {
+  RandFn rand = TestRand(16);
+  Fp2Elem e = group_->Pair(group_->gen(), group_->gen());
+  Fp2Elem direct = group_->GtPow(e, BigInt(-5));
+  Fp2Elem manual = group_->GtInv(group_->GtPow(e, BigInt(5)));
+  EXPECT_TRUE(group_->GtEqual(direct, manual));
+}
+
+TEST_F(PairingTest, CountersTrackPairings) {
+  group_->ResetCounters();
+  EXPECT_EQ(group_->counters().pairings, 0u);
+  group_->Pair(group_->gen(), group_->gen());
+  group_->Pair(group_->gen(), group_->gen_p());
+  EXPECT_EQ(group_->counters().pairings, 2u);
+  group_->ResetCounters();
+  EXPECT_EQ(group_->counters().pairings, 0u);
+}
+
+TEST(PairingGenerationTest, DeterministicWithSeed) {
+  auto g1 = PairingGroup::Generate(SmallSpec(99));
+  auto g2 = PairingGroup::Generate(SmallSpec(99));
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->params().n, g2->params().n);
+  EXPECT_TRUE(g1->curve().Equal(g1->gen(), g2->gen()));
+}
+
+TEST(PairingGenerationTest, DifferentSeedsDifferentParams) {
+  auto g1 = PairingGroup::Generate(SmallSpec(1));
+  auto g2 = PairingGroup::Generate(SmallSpec(2));
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_NE(g1->params().n, g2->params().n);
+}
+
+TEST(PairingGenerationTest, RejectsTinyPrimes) {
+  PairingParamSpec spec;
+  spec.p_prime_bits = 4;
+  spec.q_prime_bits = 32;
+  EXPECT_FALSE(PairingGroup::Generate(spec).ok());
+}
+
+TEST(PairingGenerationTest, AsymmetricPrimeSizes) {
+  PairingParamSpec spec;
+  spec.p_prime_bits = 24;
+  spec.q_prime_bits = 40;
+  spec.seed = 5;
+  auto g = PairingGroup::Generate(spec);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->params().prime_p.BitLength(), 24u);
+  EXPECT_EQ(g->params().prime_q.BitLength(), 40u);
+}
+
+}  // namespace
+}  // namespace sloc

@@ -1,0 +1,100 @@
+// Tests for Miller-Rabin primality and prime generation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bigint/prime.h"
+#include "common/rng.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed = 42) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  RandFn rand = TestRand();
+  for (int64_t p : {2, 3, 5, 7, 11, 13, 97, 101, 997}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), rand)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallCompositesRejected) {
+  RandFn rand = TestRand();
+  for (int64_t c : {0, 1, 4, 6, 9, 15, 21, 25, 91, 100, 561, 1001}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rand)) << c;
+  }
+}
+
+TEST(PrimeTest, NegativeNeverPrime) {
+  RandFn rand = TestRand();
+  EXPECT_FALSE(IsProbablePrime(BigInt(-7), rand));
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool the Fermat test but not Miller-Rabin.
+  RandFn rand = TestRand();
+  for (int64_t c : {561, 1105, 1729, 2465, 2821, 6601, 8911, 41041}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rand)) << c;
+  }
+}
+
+TEST(PrimeTest, KnownLargePrimes) {
+  RandFn rand = TestRand();
+  // 2^127 - 1 (Mersenne) and 2^89 - 1.
+  EXPECT_TRUE(IsProbablePrime(
+      *BigInt::FromDecimal("170141183460469231731687303715884105727"), rand));
+  EXPECT_TRUE(IsProbablePrime(
+      *BigInt::FromDecimal("618970019642690137449562111"), rand));
+}
+
+TEST(PrimeTest, KnownLargeComposites) {
+  RandFn rand = TestRand();
+  // 2^128 + 1 = 59649589127497217 * 5704689200685129054721 (F7).
+  EXPECT_FALSE(IsProbablePrime(
+      *BigInt::FromDecimal("340282366920938463463374607431768211457"), rand));
+  // Product of two 64-bit primes.
+  BigInt p = *BigInt::FromDecimal("18446744073709551557");
+  BigInt q = *BigInt::FromDecimal("18446744073709551533");
+  EXPECT_FALSE(IsProbablePrime(p * q, rand));
+}
+
+TEST(PrimeTest, StrongPseudoprimesToBase2Rejected) {
+  RandFn rand = TestRand();
+  // Strong pseudoprimes to base 2.
+  for (int64_t c : {2047, 3277, 4033, 4681, 8321}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rand)) << c;
+  }
+}
+
+TEST(PrimeTest, RandomPrimeHasRequestedBits) {
+  RandFn rand = TestRand(77);
+  for (size_t bits : {8u, 16u, 32u, 48u, 64u, 96u}) {
+    BigInt p = RandomPrime(bits, rand);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(IsProbablePrime(p, rand));
+  }
+}
+
+TEST(PrimeTest, RandomPrimesAreOddAboveTwo) {
+  RandFn rand = TestRand(78);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(RandomPrime(24, rand).IsOdd());
+  }
+}
+
+TEST(PrimeTest, DensityOfPrimesSanity) {
+  // Count primes below 1000 (there are 168).
+  RandFn rand = TestRand();
+  int count = 0;
+  for (int64_t n = 2; n < 1000; ++n) {
+    if (IsProbablePrime(BigInt(n), rand)) ++count;
+  }
+  EXPECT_EQ(count, 168);
+}
+
+}  // namespace
+}  // namespace sloc

@@ -1,0 +1,255 @@
+// Tests for the probability substrates: sigmoid generator, logistic
+// regression, the synthetic crime pipeline, and the Markov extension.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "prob/crime_synth.h"
+#include "prob/logistic.h"
+#include "prob/markov.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace {
+
+TEST(SigmoidTest, ShapeAndRange) {
+  EXPECT_NEAR(Sigmoid(0.9, 0.9, 100), 0.5, 1e-12);  // inflection at a
+  EXPECT_GT(Sigmoid(0.95, 0.9, 100), 0.99);
+  EXPECT_LT(Sigmoid(0.85, 0.9, 100), 0.01);
+  for (double x : {0.0, 0.3, 0.7, 1.0}) {
+    double s = Sigmoid(x, 0.95, 20);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(SigmoidTest, HigherInflectionMeansFewerHotCells) {
+  Rng rng1(3), rng2(3);
+  auto p90 = GenerateSigmoidProbabilities(4096, 0.90, 100, &rng1);
+  auto p99 = GenerateSigmoidProbabilities(4096, 0.99, 100, &rng2);
+  auto hot = [](const std::vector<double>& v) {
+    return std::count_if(v.begin(), v.end(),
+                         [](double p) { return p > 0.5; });
+  };
+  EXPECT_GT(hot(p90), hot(p99));
+  // a = 0.9 leaves ~10% hot; a = 0.99 leaves ~1%.
+  EXPECT_NEAR(double(hot(p90)) / 4096.0, 0.10, 0.03);
+  EXPECT_NEAR(double(hot(p99)) / 4096.0, 0.01, 0.01);
+}
+
+TEST(SigmoidTest, NormalizeSumsToTarget) {
+  Rng rng(5);
+  auto probs = GenerateSigmoidProbabilities(256, 0.95, 20, &rng);
+  auto norm = NormalizeProbabilities(probs, 1.0);
+  EXPECT_NEAR(std::accumulate(norm.begin(), norm.end(), 0.0), 1.0, 1e-9);
+  auto norm3 = NormalizeProbabilities(probs, 3.0);
+  EXPECT_NEAR(std::accumulate(norm3.begin(), norm3.end(), 0.0), 3.0, 1e-9);
+}
+
+TEST(SigmoidTest, NormalizeDegenerateFallsBackToUniform) {
+  auto norm = NormalizeProbabilities({0.0, 0.0, 0.0, 0.0}, 1.0);
+  for (double p : norm) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(SigmoidTest, TopShareDetectsSkew) {
+  std::vector<double> uniform(100, 0.01);
+  EXPECT_NEAR(TopShare(uniform, 0.1), 0.1, 1e-9);
+  std::vector<double> skewed(100, 0.001);
+  skewed[0] = 10.0;
+  EXPECT_GT(TopShare(skewed, 0.1), 0.98);
+}
+
+// ---------- logistic regression ----------
+
+TEST(LogisticTest, InputValidation) {
+  LogisticModel::TrainOptions opts;
+  EXPECT_FALSE(LogisticModel::Train({}, opts).ok());
+  EXPECT_FALSE(
+      LogisticModel::Train({{{1.0}, 0}, {{1.0, 2.0}, 1}}, opts).ok());
+  EXPECT_FALSE(LogisticModel::Train({{{1.0}, 2}}, opts).ok());
+  EXPECT_FALSE(LogisticModel::Train({{{}, 0}}, opts).ok());
+}
+
+TEST(LogisticTest, LearnsLinearlySeparableData) {
+  // Label = 1 iff x0 > 0.5.
+  Rng rng(7);
+  std::vector<LabeledExample> data;
+  for (int i = 0; i < 400; ++i) {
+    double x = rng.NextDouble();
+    data.push_back({{x, rng.NextDouble()}, x > 0.5 ? 1 : 0});
+  }
+  LogisticModel::TrainOptions opts;
+  opts.epochs = 800;
+  opts.learning_rate = 1.0;
+  LogisticModel model = LogisticModel::Train(data, opts).value();
+  EXPECT_GT(model.Accuracy(data), 0.95);
+  EXPECT_GT(model.Predict({0.95, 0.5}), 0.8);
+  EXPECT_LT(model.Predict({0.05, 0.5}), 0.2);
+}
+
+TEST(LogisticTest, LearnsAndGeneralizes) {
+  // Train/test split on a noisy linear concept.
+  Rng rng(11);
+  auto make = [&](int count) {
+    std::vector<LabeledExample> out;
+    for (int i = 0; i < count; ++i) {
+      double a = rng.NextDouble(), b = rng.NextDouble();
+      double score = 2 * a - b + 0.1 * rng.NextGaussian();
+      out.push_back({{a, b}, score > 0.5 ? 1 : 0});
+    }
+    return out;
+  };
+  auto train = make(500), test = make(200);
+  LogisticModel::TrainOptions opts;
+  opts.epochs = 500;
+  opts.learning_rate = 1.0;
+  LogisticModel model = LogisticModel::Train(train, opts).value();
+  EXPECT_GT(model.Accuracy(test), 0.85);
+}
+
+// ---------- synthetic crime dataset ----------
+
+class CrimeTest : public ::testing::Test {
+ protected:
+  CrimeTest() : grid_(Grid::Create(32, 32, 50).value()) {}
+  Grid grid_;
+};
+
+TEST_F(CrimeTest, DatasetHasRequestedSizeAndValidFields) {
+  CrimeDatasetSpec spec;
+  spec.num_events = 3000;
+  CrimeDataset data = GenerateCrimeDataset(grid_, spec).value();
+  EXPECT_EQ(data.events.size(), 3000u);
+  for (const CrimeEvent& e : data.events) {
+    EXPECT_GE(e.month, 1);
+    EXPECT_LE(e.month, 12);
+    EXPECT_TRUE(grid_.CellContaining(e.location).ok());
+  }
+}
+
+TEST_F(CrimeTest, CategoryMixMatchesChicagoRatios) {
+  CrimeDatasetSpec spec;
+  spec.num_events = 10000;
+  CrimeDataset data = GenerateCrimeDataset(grid_, spec).value();
+  auto counts = data.CategoryCounts();
+  // Sexual assault most frequent, kidnapping least (2015 ratios).
+  EXPECT_GT(counts[size_t(CrimeCategory::kSexualAssault)],
+            counts[size_t(CrimeCategory::kSexOffense)]);
+  EXPECT_GT(counts[size_t(CrimeCategory::kSexOffense)],
+            counts[size_t(CrimeCategory::kHomicide)]);
+  EXPECT_GT(counts[size_t(CrimeCategory::kHomicide)],
+            counts[size_t(CrimeCategory::kKidnapping)]);
+}
+
+TEST_F(CrimeTest, EventsAreSpatiallyConcentrated) {
+  // Hotspot mixture -> top 10% of cells hold well over 10% of events.
+  CrimeDatasetSpec spec;
+  CrimeDataset data = GenerateCrimeDataset(grid_, spec).value();
+  std::vector<double> per_cell(size_t(grid_.num_cells()), 0.0);
+  for (const CrimeEvent& e : data.events) {
+    per_cell[size_t(grid_.CellContaining(e.location).value())] += 1.0;
+  }
+  EXPECT_GT(TopShare(per_cell, 0.1), 0.5);
+}
+
+TEST_F(CrimeTest, DeterministicForSameSeed) {
+  CrimeDatasetSpec spec;
+  auto a = GenerateCrimeDataset(grid_, spec).value();
+  auto b = GenerateCrimeDataset(grid_, spec).value();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.events[0].location.x, b.events[0].location.x);
+  EXPECT_EQ(a.events[7].month, b.events[7].month);
+}
+
+TEST_F(CrimeTest, LikelihoodPipelineProducesUsableSurface) {
+  CrimeDatasetSpec spec;
+  CrimeDataset data = GenerateCrimeDataset(grid_, spec).value();
+  CrimeLikelihoodResult result = TrainCrimeLikelihood(grid_, data).value();
+  ASSERT_EQ(result.cell_probs.size(), size_t(grid_.num_cells()));
+  for (double p : result.cell_probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Model quality in the ballpark the paper reports (92.9%).
+  EXPECT_GT(result.december_accuracy, 0.85);
+  // The surface must be informative, not constant.
+  double mn = 1.0, mx = 0.0;
+  for (double p : result.cell_probs) {
+    mn = std::min(mn, p);
+    mx = std::max(mx, p);
+  }
+  EXPECT_GT(mx - mn, 0.2);
+}
+
+TEST_F(CrimeTest, HighActivityCellsScoreHigher) {
+  CrimeDatasetSpec spec;
+  CrimeDataset data = GenerateCrimeDataset(grid_, spec).value();
+  CrimeLikelihoodResult result = TrainCrimeLikelihood(grid_, data).value();
+  std::vector<double> activity(size_t(grid_.num_cells()), 0.0);
+  for (const CrimeEvent& e : data.events) {
+    activity[size_t(grid_.CellContaining(e.location).value())] += 1.0;
+  }
+  // Average score of the 20 most active cells dwarfs that of inactive
+  // cells.
+  std::vector<int> order(activity.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return activity[size_t(a)] > activity[size_t(b)];
+  });
+  double hot = 0.0, cold = 0.0;
+  for (int i = 0; i < 20; ++i) hot += result.cell_probs[size_t(order[i])];
+  for (int i = 0; i < 20; ++i) {
+    cold += result.cell_probs[size_t(order[order.size() - 1 - size_t(i)])];
+  }
+  EXPECT_GT(hot / 20.0, cold / 20.0 + 0.2);
+}
+
+// ---------- Markov smoothing ----------
+
+TEST(MarkovTest, Validation) {
+  Grid grid = Grid::Create(4, 4, 50).value();
+  EXPECT_FALSE(
+      StationaryAlertDistribution(grid, std::vector<double>(3, 1.0)).ok());
+  EXPECT_FALSE(
+      StationaryAlertDistribution(grid, std::vector<double>(16, 0.0)).ok());
+  MarkovOptions bad;
+  bad.restart = 0.0;
+  EXPECT_FALSE(StationaryAlertDistribution(
+                   grid, std::vector<double>(16, 1.0), bad)
+                   .ok());
+}
+
+TEST(MarkovTest, StationaryDistributionSumsToOne) {
+  Grid grid = Grid::Create(8, 8, 50).value();
+  Rng rng(23);
+  std::vector<double> base(64);
+  for (double& p : base) p = rng.NextDouble();
+  auto pi = StationaryAlertDistribution(grid, base).value();
+  EXPECT_NEAR(std::accumulate(pi.begin(), pi.end(), 0.0), 1.0, 1e-9);
+  for (double p : pi) EXPECT_GE(p, 0.0);
+}
+
+TEST(MarkovTest, MassConcentratesNearHotCells) {
+  Grid grid = Grid::Create(8, 8, 50).value();
+  std::vector<double> base(64, 0.001);
+  base[27] = 1.0;  // single hotspot
+  auto pi = StationaryAlertDistribution(grid, base).value();
+  // The hotspot and its neighbours hold most of the stationary mass.
+  double near = pi[27];
+  for (int n : grid.Neighbors(27, true)) near += pi[size_t(n)];
+  EXPECT_GT(near, 0.5);
+  // And smoothing spreads to neighbours: they outrank far cells.
+  EXPECT_GT(pi[28], pi[0]);
+}
+
+TEST(MarkovTest, UniformBaseStaysNearUniform) {
+  Grid grid = Grid::Create(8, 8, 50).value();
+  std::vector<double> base(64, 1.0);
+  auto pi = StationaryAlertDistribution(grid, base).value();
+  // Interior cells all close to 1/64 (boundary effects allowed).
+  EXPECT_NEAR(pi[27], 1.0 / 64.0, 0.01);
+}
+
+}  // namespace
+}  // namespace sloc

@@ -1,0 +1,158 @@
+// End-to-end integration tests: TA / users / SP over real HVE crypto and
+// serialized wire messages, across all encoders (Fig. 1/3 of the paper).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alert/protocol.h"
+#include "grid/alert_zone.h"
+#include "grid/grid.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace alert {
+namespace {
+
+AlertSystem::Config SmallConfig(EncoderKind kind) {
+  AlertSystem::Config config;
+  config.encoder = kind;
+  config.pairing.p_prime_bits = 32;
+  config.pairing.q_prime_bits = 32;
+  config.pairing.seed = 777;
+  return config;
+}
+
+std::vector<double> TestProbs(size_t n) {
+  Rng rng(3);
+  return GenerateSigmoidProbabilities(n, 0.9, 50, &rng);
+}
+
+class ProtocolTest : public ::testing::TestWithParam<EncoderKind> {};
+
+TEST_P(ProtocolTest, EndToEndAlertFlow) {
+  const size_t n = 16;
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(n), SmallConfig(GetParam())).value();
+  // Users 0..7 in cells 0..7.
+  for (int u = 0; u < 8; ++u) {
+    ASSERT_TRUE(sys.AddUser(u, u).ok());
+  }
+  // Alert cells {2, 3, 5}: exactly users 2, 3, 5 notified.
+  auto outcome = sys.TriggerAlert({2, 3, 5}).value();
+  EXPECT_EQ(outcome.notified_users, (std::vector<int>{2, 3, 5}));
+  EXPECT_EQ(outcome.stats.ciphertexts_scanned, 8u);
+  EXPECT_GE(outcome.stats.tokens, 1u);
+  EXPECT_GT(outcome.stats.pairings, 0u);
+}
+
+TEST_P(ProtocolTest, MovingUsersChangesOutcome) {
+  const size_t n = 16;
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(n), SmallConfig(GetParam())).value();
+  ASSERT_TRUE(sys.AddUser(1, 4).ok());
+  auto outcome = sys.TriggerAlert({4}).value();
+  EXPECT_EQ(outcome.notified_users, std::vector<int>{1});
+  // User leaves the zone.
+  ASSERT_TRUE(sys.MoveUser(1, 9).ok());
+  outcome = sys.TriggerAlert({4}).value();
+  EXPECT_TRUE(outcome.notified_users.empty());
+  // And comes back.
+  ASSERT_TRUE(sys.MoveUser(1, 4).ok());
+  outcome = sys.TriggerAlert({4}).value();
+  EXPECT_EQ(outcome.notified_users, std::vector<int>{1});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncoders, ProtocolTest,
+    ::testing::Values(EncoderKind::kFixed, EncoderKind::kSgo,
+                      EncoderKind::kBalanced, EncoderKind::kHuffman),
+    [](const ::testing::TestParamInfo<EncoderKind>& info) {
+      return EncoderKindName(info.param);
+    });
+
+TEST(ProtocolDetailTest, DuplicateUserRejected) {
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(8), SmallConfig(EncoderKind::kHuffman))
+          .value();
+  ASSERT_TRUE(sys.AddUser(1, 0).ok());
+  Status st = sys.AddUser(1, 2);
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ProtocolDetailTest, UnknownUserAndCellRejected) {
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(8), SmallConfig(EncoderKind::kHuffman))
+          .value();
+  EXPECT_EQ(sys.MoveUser(99, 0).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(sys.AddUser(1, 0).ok());
+  EXPECT_FALSE(sys.MoveUser(1, 50).ok());  // cell out of range
+}
+
+TEST(ProtocolDetailTest, AlertCostMatchesTokenCostModel) {
+  // Pairings at the SP = sum over scanned users of per-token costs,
+  // stopping early once a user matches. With users far apart no early
+  // termination triggers: pairings == users * sum(2|J|+1).
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(16), SmallConfig(EncoderKind::kHuffman))
+          .value();
+  ASSERT_TRUE(sys.AddUser(1, 10).ok());
+  ASSERT_TRUE(sys.AddUser(2, 11).ok());
+  auto patterns = sys.authority().PatternsFor({3}).value();
+  size_t per_ct = 0;
+  for (const auto& p : patterns) {
+    size_t non_star = 0;
+    for (char c : p) non_star += (c != '*');
+    per_ct += 2 * non_star + 1;
+  }
+  auto outcome = sys.TriggerAlert({3}).value();
+  EXPECT_TRUE(outcome.notified_users.empty());
+  EXPECT_EQ(outcome.stats.pairings, 2 * per_ct);
+  EXPECT_EQ(outcome.stats.tokens, patterns.size());
+}
+
+TEST(ProtocolDetailTest, ProviderRejectsGarbageUploads) {
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(8), SmallConfig(EncoderKind::kHuffman))
+          .value();
+  auto group = std::make_shared<const PairingGroup>(
+      PairingGroup::Generate(SmallConfig(EncoderKind::kHuffman).pairing)
+          .value());
+  ServiceProvider sp(group, group->GtOne());
+  EXPECT_FALSE(sp.SubmitLocation(1, {1, 2, 3}).ok());
+  EXPECT_EQ(sp.num_users(), 0u);
+}
+
+TEST(ProtocolDetailTest, MulticellZoneNotifiesAllInsideUsers) {
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(32), SmallConfig(EncoderKind::kHuffman))
+          .value();
+  // Three users share a cell; two elsewhere.
+  ASSERT_TRUE(sys.AddUser(10, 5).ok());
+  ASSERT_TRUE(sys.AddUser(11, 5).ok());
+  ASSERT_TRUE(sys.AddUser(12, 5).ok());
+  ASSERT_TRUE(sys.AddUser(20, 17).ok());
+  ASSERT_TRUE(sys.AddUser(21, 30).ok());
+  auto outcome = sys.TriggerAlert({5, 30}).value();
+  EXPECT_EQ(outcome.notified_users, (std::vector<int>{10, 11, 12, 21}));
+}
+
+TEST(ProtocolDetailTest, GridIntegrationWithCircularZone) {
+  // Wire the grid geometry in: users placed on a 4x4 grid of 50 m cells;
+  // a 60 m-radius zone around cell 5's center covers its plus-neighbors.
+  Grid grid = Grid::Create(4, 4, 50).value();
+  AlertSystem sys =
+      AlertSystem::Create(TestProbs(16), SmallConfig(EncoderKind::kHuffman))
+          .value();
+  for (int c = 0; c < 16; ++c) {
+    ASSERT_TRUE(sys.AddUser(c, c).ok());
+  }
+  AlertZone zone = MakeCircularZone(grid, grid.CenterOf(5), 60.0);
+  auto outcome = sys.TriggerAlert(zone.cells).value();
+  EXPECT_EQ(outcome.notified_users, zone.cells);  // user id == cell id
+  EXPECT_EQ(zone.cells, (std::vector<int>{1, 4, 5, 6, 9}));
+}
+
+}  // namespace
+}  // namespace alert
+}  // namespace sloc

@@ -1,0 +1,153 @@
+// Tests for HVE wire-format serialization: round trips, validation, and
+// failure injection (corruption must yield clean Status errors).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "hve/hve.h"
+#include "hve/serialize.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed = 42) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PairingParamSpec spec;
+    spec.p_prime_bits = 32;
+    spec.q_prime_bits = 32;
+    spec.seed = 4242;
+    group_ = new PairingGroup(PairingGroup::Generate(spec).value());
+  }
+  static void TearDownTestSuite() {
+    delete group_;
+    group_ = nullptr;
+  }
+
+  void SetUp() override {
+    rand_ = TestRand(3);
+    keys_ = hve::Setup(*group_, 5, rand_).value();
+    marker_ = group_->RandomGt(rand_);
+    ct_ = hve::Encrypt(*group_, keys_.pk, "01011", marker_, rand_).value();
+    tk_ = hve::GenToken(*group_, keys_.sk, "0*0**", rand_).value();
+  }
+
+  static PairingGroup* group_;
+  RandFn rand_;
+  hve::KeyPair keys_;
+  Fp2Elem marker_;
+  hve::Ciphertext ct_;
+  hve::Token tk_;
+};
+
+PairingGroup* SerializeTest::group_ = nullptr;
+
+TEST_F(SerializeTest, CiphertextRoundTrip) {
+  auto blob = hve::SerializeCiphertext(*group_, ct_);
+  auto parsed = hve::ParseCiphertext(*group_, blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  // The parsed ciphertext must still decrypt/match correctly.
+  EXPECT_TRUE(hve::Matches(*group_, tk_, *parsed, marker_).value());
+}
+
+TEST_F(SerializeTest, TokenRoundTrip) {
+  auto blob = hve::SerializeToken(*group_, tk_);
+  auto parsed = hve::ParseToken(*group_, blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->pattern, tk_.pattern);
+  EXPECT_TRUE(hve::Matches(*group_, *parsed, ct_, marker_).value());
+}
+
+TEST_F(SerializeTest, PublicKeyRoundTrip) {
+  auto blob = hve::SerializePublicKey(*group_, keys_.pk);
+  auto parsed = hve::ParsePublicKey(*group_, blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->width, keys_.pk.width);
+  // Encrypt under the parsed key; token must still match.
+  auto ct2 = hve::Encrypt(*group_, *parsed, "01011", marker_, rand_);
+  ASSERT_TRUE(ct2.ok());
+  EXPECT_TRUE(hve::Matches(*group_, tk_, *ct2, marker_).value());
+}
+
+TEST_F(SerializeTest, EveryByteFlipIsDetected) {
+  // Flip each byte of a token blob in turn: parsing must never succeed
+  // with a structurally invalid artifact, and the checksum catches all
+  // single-byte corruption.
+  auto blob = hve::SerializeToken(*group_, tk_);
+  int rejected = 0;
+  for (size_t i = 0; i < blob.size(); ++i) {
+    auto corrupted = blob;
+    corrupted[i] ^= 0xff;
+    if (!hve::ParseToken(*group_, corrupted).ok()) ++rejected;
+  }
+  EXPECT_EQ(rejected, int(blob.size()));
+}
+
+TEST_F(SerializeTest, TruncationDetected) {
+  auto blob = hve::SerializeCiphertext(*group_, ct_);
+  for (size_t keep : {size_t(0), size_t(4), size_t(12), blob.size() - 1}) {
+    std::vector<uint8_t> cut(blob.begin(), blob.begin() + long(keep));
+    EXPECT_FALSE(hve::ParseCiphertext(*group_, cut).ok()) << keep;
+  }
+}
+
+TEST_F(SerializeTest, TrailingGarbageDetected) {
+  auto blob = hve::SerializeToken(*group_, tk_);
+  blob.push_back(0x00);
+  EXPECT_FALSE(hve::ParseToken(*group_, blob).ok());
+}
+
+TEST_F(SerializeTest, WrongTypeTagRejected) {
+  auto blob = hve::SerializeToken(*group_, tk_);
+  EXPECT_FALSE(hve::ParseCiphertext(*group_, blob).ok());
+  auto ct_blob = hve::SerializeCiphertext(*group_, ct_);
+  EXPECT_FALSE(hve::ParseToken(*group_, ct_blob).ok());
+}
+
+TEST_F(SerializeTest, EmptyBlobRejected) {
+  EXPECT_FALSE(hve::ParseToken(*group_, {}).ok());
+  EXPECT_FALSE(hve::ParseCiphertext(*group_, {}).ok());
+  EXPECT_FALSE(hve::ParsePublicKey(*group_, {}).ok());
+}
+
+TEST_F(SerializeTest, OffCurvePointRejectedEvenWithValidChecksum) {
+  // Hand-craft corruption *before* the checksum is appended by
+  // serializing, flipping a point coordinate, and re-appending a valid
+  // checksum. Validation must still reject via curve membership.
+  auto blob = hve::SerializeToken(*group_, tk_);
+  // Locate the first point's x-coordinate bytes: skip magic(4) tag(1)
+  // pattern(4+5) flag(1) len(4) -> offset 19.
+  const size_t x_off = 4 + 1 + 4 + 5 + 1 + 4;
+  ASSERT_LT(x_off, blob.size() - 8);
+  // Recompute checksum after corrupting one coordinate byte.
+  std::vector<uint8_t> payload(blob.begin(), blob.end() - 8);
+  payload[x_off] ^= 0x01;
+  // FNV-1a re-append (mirrors the writer).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; ++i) payload.push_back(uint8_t(h >> (8 * i)));
+  auto parsed = hve::ParseToken(*group_, payload);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_F(SerializeTest, BlobsAreCompactAndDeterministic) {
+  auto a = hve::SerializeToken(*group_, tk_);
+  auto b = hve::SerializeToken(*group_, tk_);
+  EXPECT_EQ(a, b);
+  // Sanity on size: for 32-bit primes points are ~20 bytes; the whole
+  // token must be well under a kilobyte.
+  EXPECT_LT(a.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace sloc
