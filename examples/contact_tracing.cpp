@@ -38,17 +38,22 @@ int main() {
   config.pairing.p_prime_bits = 32;
   config.pairing.q_prime_bits = 32;
   config.pairing.seed = 2020;
+  config.num_shards = 4;   // city-scale SP: 4-way sharded store,
+  config.num_threads = 4;  // matched by 4 workers
   alert::AlertSystem system =
       alert::AlertSystem::Create(popularity, config).value();
 
   // 40 subscribed users scattered across the city (popular cells draw
-  // more people).
+  // more people). Registration is one batched upload — the shape a real
+  // SP ingests, not 40 separate calls.
   std::vector<int> user_cell(40);
+  std::vector<std::pair<int, int>> batch;
   for (int u = 0; u < 40; ++u) {
     AlertZone spot = RandomCircularZone(grid, 0.0, &rng, &popularity);
     user_cell[size_t(u)] = spot.cells[0];
-    system.AddUser(u, spot.cells[0]);
+    batch.emplace_back(u, spot.cells[0]);
   }
+  system.AddUsers(batch);
 
   // The health authority learns an infected patient's trajectory:
   // five visited sites, each generating a 20 m proximity zone (popular

@@ -76,15 +76,19 @@ int main() {
   config.pairing.p_prime_bits = 32;
   config.pairing.q_prime_bits = 32;
   config.pairing.seed = 911;
+  config.num_shards = 4;   // district-scale SP: sharded store +
+  config.num_threads = 4;  // parallel matchers
   alert::AlertSystem system =
       alert::AlertSystem::Create(probs, config).value();
   int inside = 0;
+  std::vector<std::pair<int, int>> batch;
   for (int u = 0; u < 30; ++u) {
     int cell = int(rng.NextBelow(uint64_t(grid.num_cells())));
-    system.AddUser(u, cell);
+    batch.emplace_back(u, cell);
     inside += std::binary_search(blanket.cells.begin(), blanket.cells.end(),
                                  cell);
   }
+  system.AddUsers(batch);  // one enveloped location batch to the SP
   auto outcome = system.TriggerAlert(blanket.cells).value();
   std::cout << "evacuation notice delivered to " << outcome.stats.matches
             << " of 30 users (ground truth inside: " << inside << ")\n";

@@ -27,23 +27,27 @@ int main() {
                                    &rng);
 
   // 2. Wire up the three parties: trusted authority (key + encoding
-  //    owner), service provider (matcher), and mobile users.
+  //    owner), service provider (matcher), and mobile users. The SP is
+  //    batch-first: its ciphertext store is sharded and alerts are
+  //    matched by parallel workers (one per shard group).
   alert::AlertSystem::Config config;
   config.encoder = EncoderKind::kHuffman;
   config.pairing.p_prime_bits = 32;  // demo-sized primes
   config.pairing.q_prime_bits = 32;
   config.pairing.seed = 42;          // deterministic demo
+  config.num_shards = 2;             // partition users across 2 shards
+  config.num_threads = 2;            // ... scanned by 2 workers
   alert::AlertSystem system =
       alert::AlertSystem::Create(probs, config).value();
   std::cout << "HVE width (Huffman reference length): "
-            << system.authority().width() << " bits\n";
+            << system.authority().width() << " bits; SP store: "
+            << system.provider().store().name() << "\n";
 
-  // 3. Users subscribe and upload encrypted locations. Nobody but the
-  //    user ever sees the plaintext cell.
-  system.AddUser(/*user_id=*/1, /*cell=*/5);
-  system.AddUser(/*user_id=*/2, /*cell=*/6);
-  system.AddUser(/*user_id=*/3, /*cell=*/15);
-  std::cout << "3 users uploaded encrypted locations\n";
+  // 3. Users subscribe and upload encrypted locations — one batched
+  //    kLocationBatch wire message instead of three round trips. Nobody
+  //    but the user ever sees the plaintext cell.
+  system.AddUsers({{1, 5}, {2, 6}, {3, 15}});
+  std::cout << "3 users uploaded encrypted locations in one batch\n";
 
   // 4. An event occurs: a 60 m danger zone around cell 5's center.
   AlertZone zone = MakeCircularZone(grid, grid.CenterOf(5), 60.0);
@@ -51,8 +55,9 @@ int main() {
   for (int c : zone.cells) std::cout << ' ' << c;
   std::cout << "\n";
 
-  // 5. The TA issues minimized encrypted tokens; the SP matches them
-  //    against every stored ciphertext and notifies the hits.
+  // 5. The TA issues minimized encrypted tokens as one versioned
+  //    kAlertTokens envelope; the SP matches them shard-parallel against
+  //    every stored ciphertext and replies with a kAlertOutcome frame.
   auto outcome = system.TriggerAlert(zone.cells).value();
   std::cout << "tokens issued: " << outcome.stats.tokens
             << ", non-star bits: " << outcome.stats.non_star_bits

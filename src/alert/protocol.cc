@@ -1,6 +1,9 @@
 #include "alert/protocol.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
 
 #include "common/bitstring.h"
 #include "common/check.h"
@@ -8,6 +11,37 @@
 
 namespace sloc {
 namespace alert {
+
+namespace {
+
+ServiceProvider::AlertOutcome OutcomeFromReport(
+    const api::OutcomeReport& report) {
+  ServiceProvider::AlertOutcome out;
+  out.notified_users = report.notified_users;
+  out.stats.ciphertexts_scanned = size_t(report.ciphertexts_scanned);
+  out.stats.tokens = size_t(report.tokens);
+  out.stats.non_star_bits = size_t(report.non_star_bits);
+  out.stats.pairings = size_t(report.pairings);
+  out.stats.matches = size_t(report.matches);
+  out.stats.wall_seconds = double(report.wall_micros) * 1e-6;
+  return out;
+}
+
+api::OutcomeReport ReportFromOutcome(
+    uint64_t alert_id, const ServiceProvider::AlertOutcome& outcome) {
+  api::OutcomeReport report;
+  report.alert_id = alert_id;
+  report.notified_users = outcome.notified_users;
+  report.ciphertexts_scanned = outcome.stats.ciphertexts_scanned;
+  report.tokens = outcome.stats.tokens;
+  report.non_star_bits = outcome.stats.non_star_bits;
+  report.pairings = outcome.stats.pairings;
+  report.matches = outcome.stats.matches;
+  report.wall_micros = uint64_t(outcome.stats.wall_seconds * 1e6);
+  return report;
+}
+
+}  // namespace
 
 // ---------- TrustedAuthority ----------
 
@@ -46,6 +80,14 @@ Result<std::vector<std::vector<uint8_t>>> TrustedAuthority::IssueAlert(
   return blobs;
 }
 
+Result<std::vector<uint8_t>> TrustedAuthority::IssueAlertBundle(
+    uint64_t alert_id, const std::vector<int>& alert_cells) const {
+  api::TokenBundle bundle;
+  bundle.alert_id = alert_id;
+  SLOC_ASSIGN_OR_RETURN(bundle.tokens, IssueAlert(alert_cells));
+  return api::EncodeTokenBundle(bundle);
+}
+
 // ---------- MobileUser ----------
 
 Result<MobileUser> MobileUser::Join(int user_id,
@@ -62,6 +104,15 @@ Result<MobileUser> MobileUser::Join(int user_id,
   return user;
 }
 
+Result<MobileUser> MobileUser::JoinFromAnnouncement(
+    int user_id, std::shared_ptr<const PairingGroup> group,
+    const std::vector<uint8_t>& announcement_frame, const Fp2Elem& marker,
+    RandFn rand) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> pk_blob,
+                        api::DecodePublicKeyAnnouncement(announcement_frame));
+  return Join(user_id, std::move(group), pk_blob, marker, std::move(rand));
+}
+
 Result<std::vector<uint8_t>> MobileUser::EncryptLocation(
     const std::string& index) const {
   SLOC_ASSIGN_OR_RETURN(
@@ -70,14 +121,97 @@ Result<std::vector<uint8_t>> MobileUser::EncryptLocation(
   return hve::SerializeCiphertext(*group_, ct);
 }
 
+Result<std::vector<uint8_t>> MobileUser::EncryptLocationUpload(
+    const std::string& index) const {
+  api::LocationUpload upload;
+  upload.user_id = id_;
+  SLOC_ASSIGN_OR_RETURN(upload.ciphertext, EncryptLocation(index));
+  return api::EncodeLocationUpload(upload);
+}
+
 // ---------- ServiceProvider ----------
+
+ServiceProvider::ServiceProvider(std::shared_ptr<const PairingGroup> group,
+                                 Fp2Elem marker, const Options& options)
+    : ServiceProvider(std::move(group), std::move(marker),
+                      api::MakeStore(options.num_shards), options) {}
+
+ServiceProvider::ServiceProvider(std::shared_ptr<const PairingGroup> group,
+                                 Fp2Elem marker,
+                                 std::unique_ptr<api::CiphertextStore> store,
+                                 const Options& options)
+    : group_(std::move(group)),
+      marker_(std::move(marker)),
+      store_(std::move(store)),
+      options_(options) {
+  SLOC_CHECK(store_ != nullptr) << "provider needs a store";
+  if (options_.num_threads == 0) options_.num_threads = 1;
+}
 
 Status ServiceProvider::SubmitLocation(int user_id,
                                        const std::vector<uint8_t>& ct_blob) {
   auto ct = hve::ParseCiphertext(*group_, ct_blob);
   if (!ct.ok()) return ct.status();
-  store_[user_id] = std::move(ct).value();
+  store_->Put(user_id, std::move(ct).value());
   return Status::Ok();
+}
+
+Status ServiceProvider::SubmitUpload(
+    const std::vector<uint8_t>& upload_frame) {
+  auto upload = api::DecodeLocationUpload(upload_frame);
+  if (!upload.ok()) return upload.status();
+  return SubmitLocation(upload->user_id, upload->ciphertext);
+}
+
+ServiceProvider::SubmitReport ServiceProvider::SubmitBatch(
+    const std::vector<api::LocationUpload>& uploads) {
+  const size_t n = uploads.size();
+  // Phase 1 — validate & parse every blob. This is the expensive half
+  // (curve membership of every point), embarrassingly parallel, and
+  // touches no shared state: worker w handles indexes w, w+T, ...
+  std::vector<std::optional<hve::Ciphertext>> parsed(n);
+  std::vector<Status> statuses(n);
+  auto parse_range = [&](size_t begin, size_t stride) {
+    for (size_t i = begin; i < n; i += stride) {
+      auto ct = hve::ParseCiphertext(*group_, uploads[i].ciphertext);
+      if (ct.ok()) {
+        parsed[i] = std::move(ct).value();
+      } else {
+        statuses[i] = ct.status();
+      }
+    }
+  };
+  const size_t num_workers =
+      std::min<size_t>(options_.num_threads, n == 0 ? 1 : n);
+  if (num_workers <= 1) {
+    parse_range(0, 1);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back(parse_range, w, num_workers);
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  // Phase 2 — insert in submission order, so a duplicate user id within
+  // one batch resolves the same way as sequential uploads: latest wins.
+  SubmitReport report;
+  for (size_t i = 0; i < n; ++i) {
+    if (parsed[i].has_value()) {
+      store_->Put(uploads[i].user_id, std::move(*parsed[i]));
+      ++report.accepted;
+    } else {
+      report.rejected.emplace_back(uploads[i].user_id, statuses[i]);
+    }
+  }
+  return report;
+}
+
+Result<ServiceProvider::SubmitReport> ServiceProvider::SubmitBatchFrame(
+    const std::vector<uint8_t>& batch_frame) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<api::LocationUpload> uploads,
+                        api::DecodeLocationBatch(batch_frame));
+  return SubmitBatch(uploads);
 }
 
 Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
@@ -93,31 +227,99 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
   }
   out.stats.tokens = tokens.size();
 
-  const uint64_t pairings_before = group_->counters().pairings;
-  for (const auto& [user_id, ct] : store_) {
-    ++out.stats.ciphertexts_scanned;
-    for (const hve::Token& tk : tokens) {
-      bool match;
-      if (use_multipairing_) {
-        SLOC_ASSIGN_OR_RETURN(Fp2Elem recovered,
-                              hve::QueryMultiPairing(*group_, tk, ct));
-        match = group_->GtEqual(recovered, marker_);
-      } else {
-        SLOC_ASSIGN_OR_RETURN(match,
-                              hve::Matches(*group_, tk, ct, marker_));
-      }
-      if (match) {
-        out.notified_users.push_back(user_id);
-        ++out.stats.matches;
-        break;  // user already notified; skip remaining tokens
-      }
+  // Per-worker partial results; merged below. Pairings are accounted
+  // analytically (each executed query costs exactly QueryPairingCost),
+  // which matches the group counters and is deterministic under
+  // concurrency.
+  struct ShardScan {
+    std::vector<int> notified;
+    size_t scanned = 0;
+    size_t matches = 0;
+    size_t pairings = 0;
+    Status status;
+  };
+  const size_t num_shards = store_->num_shards();
+  const size_t num_workers =
+      std::max<size_t>(1, std::min<size_t>(options_.num_threads, num_shards));
+  std::vector<ShardScan> partials(num_workers);
+  // Once any worker fails, the whole alert fails — every worker stops
+  // scanning instead of burning pairings on a result that gets thrown
+  // away.
+  std::atomic<bool> abort{false};
+
+  auto scan_shards = [&](size_t worker) {
+    ShardScan& scan = partials[worker];
+    for (size_t shard = worker; shard < num_shards; shard += num_workers) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      store_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        ++scan.scanned;
+        for (const hve::Token& tk : tokens) {
+          bool match;
+          if (options_.use_multipairing) {
+            auto recovered = hve::QueryMultiPairing(*group_, tk, ct);
+            if (!recovered.ok()) {
+              scan.status = recovered.status();
+              abort.store(true, std::memory_order_relaxed);
+              return;
+            }
+            match = group_->GtEqual(*recovered, marker_);
+          } else {
+            auto matched = hve::Matches(*group_, tk, ct, marker_);
+            if (!matched.ok()) {
+              scan.status = matched.status();
+              abort.store(true, std::memory_order_relaxed);
+              return;
+            }
+            match = *matched;
+          }
+          scan.pairings += hve::QueryPairingCost(tk);
+          if (match) {
+            scan.notified.push_back(user_id);
+            ++scan.matches;
+            break;  // user already notified; skip remaining tokens
+          }
+        }
+      });
     }
+  };
+
+  if (num_workers == 1) {
+    scan_shards(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back(scan_shards, w);
+    }
+    for (std::thread& t : workers) t.join();
   }
-  out.stats.pairings =
-      size_t(group_->counters().pairings - pairings_before);
+
+  size_t total_notified = 0;
+  for (const ShardScan& scan : partials) {
+    SLOC_RETURN_IF_ERROR(scan.status);
+    total_notified += scan.notified.size();
+  }
+  out.notified_users.reserve(total_notified);
+  for (const ShardScan& scan : partials) {
+    out.notified_users.insert(out.notified_users.end(),
+                              scan.notified.begin(), scan.notified.end());
+    out.stats.ciphertexts_scanned += scan.scanned;
+    out.stats.matches += scan.matches;
+    out.stats.pairings += scan.pairings;
+  }
   out.stats.wall_seconds = timer.Seconds();
   std::sort(out.notified_users.begin(), out.notified_users.end());
   return out;
+}
+
+Result<std::vector<uint8_t>> ServiceProvider::ProcessAlertBundle(
+    const std::vector<uint8_t>& bundle_frame) const {
+  SLOC_ASSIGN_OR_RETURN(api::TokenBundle bundle,
+                        api::DecodeTokenBundle(bundle_frame));
+  SLOC_ASSIGN_OR_RETURN(AlertOutcome outcome, ProcessAlert(bundle.tokens));
+  return api::EncodeOutcomeReport(
+      ReportFromOutcome(bundle.alert_id, outcome));
 }
 
 // ---------- AlertSystem ----------
@@ -140,7 +342,11 @@ Result<AlertSystem> AlertSystem::Create(const std::vector<double>& cell_probs,
       TrustedAuthority ta,
       TrustedAuthority::Create(sys.group_, std::move(encoder), rand));
   sys.ta_ = std::make_unique<TrustedAuthority>(std::move(ta));
-  sys.sp_ = std::make_unique<ServiceProvider>(sys.group_, sys.ta_->marker());
+  ServiceProvider::Options options;
+  options.num_shards = config.num_shards;
+  options.num_threads = config.num_threads;
+  sys.sp_ = std::make_unique<ServiceProvider>(sys.group_, sys.ta_->marker(),
+                                              options);
   return sys;
 }
 
@@ -151,11 +357,86 @@ Status AlertSystem::AddUser(int user_id, int cell) {
   }
   auto rng = std::make_shared<Rng>(0x5eedULL + uint64_t(user_id));
   RandFn rand = [rng]() { return rng->NextU64(); };
+  // In-process shortcut: join straight from the TA's blob instead of
+  // sealing and re-opening the broadcast envelope per registration
+  // (JoinFromAnnouncement covers the actual wire flow).
   auto user = MobileUser::Join(user_id, group_, ta_->public_key_blob(),
                                ta_->marker(), rand);
   if (!user.ok()) return user.status();
   users_.emplace(user_id, std::move(user).value());
   return MoveUser(user_id, cell);
+}
+
+Status AlertSystem::AddUsers(
+    const std::vector<std::pair<int, int>>& user_cells) {
+  // All-or-nothing: users_ is only updated after the whole batch has
+  // been joined, encrypted, and accepted by the SP, so a mid-batch
+  // failure never leaves a registered user without a stored ciphertext.
+  // The broadcast envelope is opened once, not per user.
+  auto pk_blob = api::DecodePublicKeyAnnouncement(ta_->PublicKeyAnnouncement());
+  if (!pk_blob.ok()) return pk_blob.status();
+  std::vector<api::LocationUpload> uploads;
+  uploads.reserve(user_cells.size());
+  std::map<int, MobileUser> joined;
+  for (const auto& [user_id, cell] : user_cells) {
+    if (users_.count(user_id) || joined.count(user_id)) {
+      return Status::AlreadyExists("user " + std::to_string(user_id) +
+                                   " already registered");
+    }
+    auto rng = std::make_shared<Rng>(0x5eedULL + uint64_t(user_id));
+    RandFn rand = [rng]() { return rng->NextU64(); };
+    auto user = MobileUser::Join(user_id, group_, *pk_blob, ta_->marker(),
+                                 rand);
+    if (!user.ok()) return user.status();
+    auto index = ta_->IndexOfCell(cell);
+    if (!index.ok()) return index.status();
+    api::LocationUpload upload;
+    upload.user_id = user_id;
+    auto blob = user->EncryptLocation(*index);
+    if (!blob.ok()) return blob.status();
+    upload.ciphertext = std::move(blob).value();
+    uploads.push_back(std::move(upload));
+    joined.emplace(user_id, std::move(user).value());
+  }
+  // Ship the uploads in as many frames as the wire cap requires — the
+  // cap bounds one frame, not the registration size. The common
+  // fits-in-one-frame case encodes `uploads` in place, no chunk copy.
+  Status failure = Status::Ok();
+  for (size_t offset = 0; offset < uploads.size() && failure.ok();
+       offset += api::kMaxBatchEntries) {
+    const size_t count =
+        std::min<size_t>(api::kMaxBatchEntries, uploads.size() - offset);
+    const bool whole = offset == 0 && count == uploads.size();
+    auto frame = api::EncodeLocationBatch(
+        whole ? uploads
+              : std::vector<api::LocationUpload>(
+                    uploads.begin() + long(offset),
+                    uploads.begin() + long(offset + count)));
+    if (!frame.ok()) {
+      failure = frame.status();
+      break;
+    }
+    auto report = sp_->SubmitBatchFrame(*frame);
+    if (!report.ok()) {
+      failure = report.status();
+    } else if (!report->rejected.empty()) {
+      const auto& [user_id, why] = report->rejected.front();
+      failure = Status(why.code(), "batch upload rejected for user " +
+                                       std::to_string(user_id) + ": " +
+                                       why.message());
+    }
+  }
+  if (!failure.ok()) {
+    // Roll back everything submitted so far, so a failed AddUsers
+    // leaves neither ghost ciphertexts at the SP nor half-registered
+    // users here.
+    for (const api::LocationUpload& upload : uploads) {
+      sp_->RemoveUser(upload.user_id);
+    }
+    return failure;
+  }
+  users_.merge(joined);
+  return Status::Ok();
 }
 
 Status AlertSystem::MoveUser(int user_id, int new_cell) {
@@ -165,16 +446,36 @@ Status AlertSystem::MoveUser(int user_id, int new_cell) {
   }
   auto index = ta_->IndexOfCell(new_cell);
   if (!index.ok()) return index.status();
-  auto blob = it->second.EncryptLocation(*index);
-  if (!blob.ok()) return blob.status();
-  return sp_->SubmitLocation(user_id, *blob);
+  auto frame = it->second.EncryptLocationUpload(*index);
+  if (!frame.ok()) return frame.status();
+  return sp_->SubmitUpload(*frame);
 }
 
 Result<ServiceProvider::AlertOutcome> AlertSystem::TriggerAlert(
     const std::vector<int>& alert_cells) {
+  const uint64_t alert_id = next_alert_id_++;
   SLOC_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> tokens,
                         ta_->IssueAlert(alert_cells));
-  return sp_->ProcessAlert(tokens);
+  if (tokens.size() > api::kMaxTokens ||
+      sp_->num_users() > size_t(api::kMaxNotified)) {
+    // Workload too large for one wire round trip (token bundle or a
+    // potential outcome report past its cap): evaluate the tokens
+    // directly (in-process path); matching semantics are identical.
+    return sp_->ProcessAlert(tokens);
+  }
+  api::TokenBundle bundle;
+  bundle.alert_id = alert_id;
+  bundle.tokens = std::move(tokens);
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> bundle_frame,
+                        api::EncodeTokenBundle(bundle));
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                        sp_->ProcessAlertBundle(bundle_frame));
+  SLOC_ASSIGN_OR_RETURN(api::OutcomeReport report,
+                        api::DecodeOutcomeReport(reply));
+  if (report.alert_id != alert_id) {
+    return Status::Internal("outcome report for wrong alert id");
+  }
+  return OutcomeFromReport(report);
 }
 
 }  // namespace alert

@@ -8,9 +8,16 @@
 //  * ServiceProvider — stores ciphertexts, evaluates tokens on them, and
 //    notifies matching users. Learns only the match outcome.
 //
-// All messages cross party boundaries as validated byte blobs
-// (hve/serialize.h), so this is a faithful protocol implementation, not
-// three functions sharing pointers.
+// All messages cross party boundaries as validated byte blobs framed by
+// the versioned envelope layer (api/messages.h), so this is a faithful
+// protocol implementation, not three functions sharing pointers.
+//
+// The service layer is batch-first: the SP ingests location updates in
+// bulk (SubmitBatch, with parallel blob validation) over a pluggable
+// CiphertextStore (api/store.h), and ProcessAlert fans matching out
+// across the store's shards via worker threads, merging per-shard
+// MatchStats. Single-shard + one thread reproduces the paper's
+// sequential semantics exactly.
 
 #ifndef SLOC_ALERT_PROTOCOL_H_
 #define SLOC_ALERT_PROTOCOL_H_
@@ -18,8 +25,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/messages.h"
+#include "api/store.h"
 #include "common/timer.h"
 #include "encoders/encoder.h"
 #include "hve/hve.h"
@@ -33,7 +43,7 @@ struct MatchStats {
   size_t ciphertexts_scanned = 0;
   size_t tokens = 0;
   size_t non_star_bits = 0;  ///< sum over tokens (paper's "HVE operations")
-  size_t pairings = 0;       ///< pairings actually executed
+  size_t pairings = 0;       ///< logical pairings executed
   size_t matches = 0;
   double wall_seconds = 0.0;
 };
@@ -49,6 +59,10 @@ class TrustedAuthority {
   /// Published material: serialized public key, match marker, and the
   /// public cell->index map (the encoding is public knowledge, Section 6).
   const std::vector<uint8_t>& public_key_blob() const { return pk_blob_; }
+  /// The public key framed as a broadcast envelope (what goes on the wire).
+  std::vector<uint8_t> PublicKeyAnnouncement() const {
+    return api::EncodePublicKeyAnnouncement(pk_blob_);
+  }
   const Fp2Elem& marker() const { return marker_; }
   Result<std::string> IndexOfCell(int cell) const {
     return encoder_->IndexOf(cell);
@@ -59,6 +73,11 @@ class TrustedAuthority {
   /// Issues serialized, encrypted search tokens for an alert zone.
   Result<std::vector<std::vector<uint8_t>>> IssueAlert(
       const std::vector<int>& alert_cells) const;
+
+  /// Issues the tokens for an alert zone framed as one kAlertTokens
+  /// envelope carrying `alert_id` (the TA -> SP wire message).
+  Result<std::vector<uint8_t>> IssueAlertBundle(
+      uint64_t alert_id, const std::vector<int>& alert_cells) const;
 
   /// The patterns IssueAlert would encrypt (no crypto; for cost studies).
   Result<std::vector<std::string>> PatternsFor(
@@ -77,14 +96,21 @@ class TrustedAuthority {
   RandFn rand_;
 };
 
-/// A subscriber. Receives the public key blob, encrypts its own index.
+/// A subscriber. Receives the public key broadcast, encrypts its own
+/// index.
 class MobileUser {
  public:
-  /// Parses and validates the broadcast public key.
+  /// Parses and validates the raw broadcast public key blob.
   static Result<MobileUser> Join(int user_id,
                                  std::shared_ptr<const PairingGroup> group,
                                  const std::vector<uint8_t>& pk_blob,
                                  const Fp2Elem& marker, RandFn rand);
+
+  /// Joins from the enveloped broadcast frame (the actual wire message).
+  static Result<MobileUser> JoinFromAnnouncement(
+      int user_id, std::shared_ptr<const PairingGroup> group,
+      const std::vector<uint8_t>& announcement_frame, const Fp2Elem& marker,
+      RandFn rand);
 
   int id() const { return id_; }
 
@@ -92,6 +118,11 @@ class MobileUser {
   /// user's current cell) into a serialized ciphertext blob.
   Result<std::vector<uint8_t>> EncryptLocation(const std::string& index)
       const;
+
+  /// Encrypts and frames the update as a kLocationUpload envelope (the
+  /// user -> SP wire message).
+  Result<std::vector<uint8_t>> EncryptLocationUpload(
+      const std::string& index) const;
 
  private:
   MobileUser() = default;
@@ -103,22 +134,71 @@ class MobileUser {
   RandFn rand_;
 };
 
-/// The service provider: ciphertext store + matcher.
+/// The service provider: pluggable ciphertext store + sharded matcher.
 class ServiceProvider {
  public:
+  /// Tuning knobs. Defaults reproduce the sequential reference path.
+  struct Options {
+    size_t num_shards = 1;    ///< store partitions (parallelism ceiling)
+    unsigned num_threads = 1; ///< worker threads for batch ops / matching
+    bool use_multipairing = false;  ///< shared-final-exp fast path
+  };
+
+  /// Sequential provider over an in-memory store.
   ServiceProvider(std::shared_ptr<const PairingGroup> group, Fp2Elem marker)
-      : group_(std::move(group)), marker_(std::move(marker)) {}
+      : ServiceProvider(std::move(group), std::move(marker), Options{}) {}
+
+  /// Provider with explicit scaling options (store chosen from
+  /// options.num_shards).
+  ServiceProvider(std::shared_ptr<const PairingGroup> group, Fp2Elem marker,
+                  const Options& options);
+
+  /// Provider over a caller-supplied store backend.
+  ServiceProvider(std::shared_ptr<const PairingGroup> group, Fp2Elem marker,
+                  std::unique_ptr<api::CiphertextStore> store,
+                  const Options& options);
 
   /// Stores (or replaces) a user's latest encrypted location.
   /// Malformed blobs are rejected with a Status.
   Status SubmitLocation(int user_id, const std::vector<uint8_t>& ct_blob);
 
-  size_t num_users() const { return store_.size(); }
+  /// Accepts one enveloped kLocationUpload frame.
+  Status SubmitUpload(const std::vector<uint8_t>& upload_frame);
+
+  /// Per-batch ingestion report. A rejected upload never aborts the
+  /// batch: every well-formed entry is stored, the rest are returned
+  /// with the reason.
+  struct SubmitReport {
+    size_t accepted = 0;
+    std::vector<std::pair<int, Status>> rejected;  ///< (user_id, why)
+  };
+
+  /// Ingests many (user_id, ciphertext blob) pairs at once. Blob
+  /// validation — the expensive part: curve membership of every point —
+  /// is spread across the provider's worker threads.
+  SubmitReport SubmitBatch(const std::vector<api::LocationUpload>& uploads);
+
+  /// Ingests an enveloped kLocationBatch frame.
+  Result<SubmitReport> SubmitBatchFrame(
+      const std::vector<uint8_t>& batch_frame);
+
+  /// Drops a user's stored ciphertext (unsubscribe / batch rollback).
+  /// Returns whether the user was present.
+  bool RemoveUser(int user_id) { return store_->Erase(user_id); }
+
+  size_t num_users() const { return store_->size(); }
+  const api::CiphertextStore& store() const { return *store_; }
+  unsigned num_threads() const { return options_.num_threads; }
+  void set_num_threads(unsigned n) {
+    options_.num_threads = n == 0 ? 1 : n;
+  }
 
   /// Switches matching to the multi-pairing fast path (one shared final
   /// exponentiation per query; identical results, lower wall-clock).
-  void set_use_multipairing(bool enabled) { use_multipairing_ = enabled; }
-  bool use_multipairing() const { return use_multipairing_; }
+  void set_use_multipairing(bool enabled) {
+    options_.use_multipairing = enabled;
+  }
+  bool use_multipairing() const { return options_.use_multipairing; }
 
   struct AlertOutcome {
     std::vector<int> notified_users;  ///< sorted user ids
@@ -126,19 +206,27 @@ class ServiceProvider {
   };
 
   /// Evaluates every token against every stored ciphertext and returns
-  /// the users to notify. Token blobs are validated before use.
+  /// the users to notify. Token blobs are validated before use. The scan
+  /// fans out one worker thread per group of store shards; results are
+  /// merged and are bit-identical to the sequential path.
   Result<AlertOutcome> ProcessAlert(
       const std::vector<std::vector<uint8_t>>& token_blobs) const;
+
+  /// Processes an enveloped kAlertTokens frame and returns the outcome
+  /// framed as the kAlertOutcome reply (SP -> TA wire message).
+  Result<std::vector<uint8_t>> ProcessAlertBundle(
+      const std::vector<uint8_t>& bundle_frame) const;
 
  private:
   std::shared_ptr<const PairingGroup> group_;
   Fp2Elem marker_;
-  std::map<int, hve::Ciphertext> store_;
-  bool use_multipairing_ = false;
+  std::unique_ptr<api::CiphertextStore> store_;
+  Options options_;
 };
 
 /// Convenience harness wiring the three parties over one grid encoding —
-/// used by examples and integration tests.
+/// used by examples and integration tests. All cross-party traffic goes
+/// through the enveloped wire messages.
 class AlertSystem {
  public:
   struct Config {
@@ -146,6 +234,8 @@ class AlertSystem {
     int arity = 2;
     PairingParamSpec pairing;   ///< small primes by default (tests)
     uint64_t rng_seed = 1234;   ///< protocol randomness (deterministic)
+    size_t num_shards = 1;      ///< SP store partitions
+    unsigned num_threads = 1;   ///< SP worker threads
   };
 
   static Result<AlertSystem> Create(const std::vector<double>& cell_probs,
@@ -154,10 +244,15 @@ class AlertSystem {
   /// Registers a user currently in `cell` and uploads its ciphertext.
   Status AddUser(int user_id, int cell);
 
+  /// Registers many users at once: joins each one, encrypts all
+  /// locations, and ships a single kLocationBatch frame to the SP.
+  Status AddUsers(const std::vector<std::pair<int, int>>& user_cells);
+
   /// Re-encrypts and re-uploads after the user moves.
   Status MoveUser(int user_id, int new_cell);
 
-  /// TA issues tokens for the zone; SP matches; returns the outcome.
+  /// TA issues a token bundle for the zone; SP matches shard-parallel
+  /// and replies with an outcome envelope; returns the decoded outcome.
   Result<ServiceProvider::AlertOutcome> TriggerAlert(
       const std::vector<int>& alert_cells);
 
@@ -173,6 +268,7 @@ class AlertSystem {
   std::unique_ptr<TrustedAuthority> ta_;
   std::unique_ptr<ServiceProvider> sp_;
   std::map<int, MobileUser> users_;
+  uint64_t next_alert_id_ = 1;
 };
 
 }  // namespace alert

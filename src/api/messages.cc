@@ -1,0 +1,267 @@
+#include "api/messages.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/wire.h"
+
+namespace sloc {
+namespace api {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'S', 'L', 'E', 'V'};
+constexpr size_t kHeaderSize = 4 + 1 + 1;  // magic + version + type
+constexpr size_t kChecksumSize = 8;
+
+/// Pre-allocation guard: a claimed entry count is only trusted up to
+/// what the remaining payload bytes could actually hold, so a tiny
+/// forged frame cannot demand a huge reserve().
+size_t ClampedReserve(uint32_t count, const wire::Reader& r,
+                      size_t min_entry_bytes) {
+  return std::min<size_t>(count, r.Remaining() / min_entry_bytes);
+}
+
+/// Starts a frame in a wire::Writer so typed encoders append their
+/// payload directly after the header — no second allocation-and-copy of
+/// multi-megabyte payloads, unlike routing through Seal().
+wire::Writer FrameWriter(MessageType type) {
+  wire::Writer w;
+  w.Raw(kMagic, 4);
+  w.U8(kWireVersion);
+  w.U8(uint8_t(type));
+  return w;
+}
+
+std::vector<uint8_t> FinishFrame(wire::Writer* w) {
+  std::vector<uint8_t> frame = w->Take();
+  wire::AppendChecksum(&frame);
+  return frame;
+}
+
+bool KnownType(uint8_t tag) {
+  return tag >= uint8_t(MessageType::kPublicKeyAnnouncement) &&
+         tag <= uint8_t(MessageType::kAlertOutcome);
+}
+
+/// Shared frame validation: checksum, magic, version. On success returns
+/// the type tag and sets [payload_begin, payload_end).
+Result<MessageType> ValidateFrame(const std::vector<uint8_t>& frame,
+                                  size_t* payload_begin, size_t* payload_end) {
+  if (frame.size() < kHeaderSize + kChecksumSize) {
+    return Status::DataLoss("envelope too short");
+  }
+  auto body = wire::VerifyChecksum(frame);
+  if (!body.ok()) return body.status();
+  if (std::memcmp(frame.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad envelope magic");
+  }
+  if (frame[4] != kWireVersion) {
+    return Status::Unimplemented("unsupported wire version " +
+                                 std::to_string(int(frame[4])) +
+                                 " (this build speaks " +
+                                 std::to_string(int(kWireVersion)) + ")");
+  }
+  if (!KnownType(frame[5])) {
+    return Status::InvalidArgument("unknown envelope message type " +
+                                   std::to_string(int(frame[5])));
+  }
+  *payload_begin = kHeaderSize;
+  *payload_end = *body;
+  return MessageType(frame[5]);
+}
+
+/// Validates the frame and returns a reader windowed over the payload
+/// bytes in place — typed decoders never copy the payload out first.
+Result<wire::Reader> OpenReader(MessageType expected_type,
+                                const std::vector<uint8_t>& frame) {
+  size_t begin = 0, end = 0;
+  SLOC_ASSIGN_OR_RETURN(MessageType type, ValidateFrame(frame, &begin, &end));
+  if (type != expected_type) {
+    return Status::InvalidArgument(
+        std::string("expected ") + MessageTypeName(expected_type) +
+        " envelope, got " + MessageTypeName(type));
+  }
+  return wire::Reader(frame, begin, end);
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPublicKeyAnnouncement: return "public_key_announcement";
+    case MessageType::kLocationUpload: return "location_upload";
+    case MessageType::kLocationBatch: return "location_batch";
+    case MessageType::kAlertTokens: return "alert_tokens";
+    case MessageType::kAlertOutcome: return "alert_outcome";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> Seal(MessageType type,
+                          const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(kHeaderSize + payload.size());
+  std::memcpy(frame.data(), kMagic, 4);
+  frame[4] = kWireVersion;
+  frame[5] = uint8_t(type);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  wire::AppendChecksum(&frame);
+  return frame;
+}
+
+Result<std::vector<uint8_t>> Open(MessageType expected_type,
+                                  const std::vector<uint8_t>& frame) {
+  size_t begin = 0, end = 0;
+  SLOC_ASSIGN_OR_RETURN(MessageType type, ValidateFrame(frame, &begin, &end));
+  if (type != expected_type) {
+    return Status::InvalidArgument(
+        std::string("expected ") + MessageTypeName(expected_type) +
+        " envelope, got " + MessageTypeName(type));
+  }
+  return std::vector<uint8_t>(frame.begin() + long(begin),
+                              frame.begin() + long(end));
+}
+
+Result<MessageType> PeekType(const std::vector<uint8_t>& frame) {
+  size_t begin = 0, end = 0;
+  return ValidateFrame(frame, &begin, &end);
+}
+
+// ---- Typed codecs ----
+
+std::vector<uint8_t> EncodePublicKeyAnnouncement(
+    const std::vector<uint8_t>& pk_blob) {
+  return Seal(MessageType::kPublicKeyAnnouncement, pk_blob);
+}
+
+Result<std::vector<uint8_t>> DecodePublicKeyAnnouncement(
+    const std::vector<uint8_t>& frame) {
+  return Open(MessageType::kPublicKeyAnnouncement, frame);
+}
+
+std::vector<uint8_t> EncodeLocationUpload(const LocationUpload& upload) {
+  wire::Writer w = FrameWriter(MessageType::kLocationUpload);
+  w.I32(upload.user_id);
+  w.Bytes(upload.ciphertext);
+  return FinishFrame(&w);
+}
+
+Result<LocationUpload> DecodeLocationUpload(
+    const std::vector<uint8_t>& frame) {
+  SLOC_ASSIGN_OR_RETURN(wire::Reader r,
+                        OpenReader(MessageType::kLocationUpload, frame));
+  LocationUpload upload;
+  SLOC_ASSIGN_OR_RETURN(upload.user_id, r.I32());
+  SLOC_ASSIGN_OR_RETURN(upload.ciphertext, r.Bytes());
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return upload;
+}
+
+Result<std::vector<uint8_t>> EncodeLocationBatch(
+    const std::vector<LocationUpload>& uploads) {
+  if (uploads.size() > kMaxBatchEntries) {
+    return Status::InvalidArgument("location batch too large");
+  }
+  wire::Writer w = FrameWriter(MessageType::kLocationBatch);
+  w.U32(static_cast<uint32_t>(uploads.size()));
+  for (const LocationUpload& u : uploads) {
+    w.I32(u.user_id);
+    w.Bytes(u.ciphertext);
+  }
+  return FinishFrame(&w);
+}
+
+Result<std::vector<LocationUpload>> DecodeLocationBatch(
+    const std::vector<uint8_t>& frame) {
+  SLOC_ASSIGN_OR_RETURN(wire::Reader r,
+                        OpenReader(MessageType::kLocationBatch, frame));
+  SLOC_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count > kMaxBatchEntries) {
+    return Status::InvalidArgument("location batch too large");
+  }
+  std::vector<LocationUpload> uploads;
+  uploads.reserve(ClampedReserve(count, r, /*min_entry_bytes=*/8));
+  for (uint32_t i = 0; i < count; ++i) {
+    LocationUpload u;
+    SLOC_ASSIGN_OR_RETURN(u.user_id, r.I32());
+    SLOC_ASSIGN_OR_RETURN(u.ciphertext, r.Bytes());
+    uploads.push_back(std::move(u));
+  }
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return uploads;
+}
+
+Result<std::vector<uint8_t>> EncodeTokenBundle(const TokenBundle& bundle) {
+  if (bundle.tokens.size() > kMaxTokens) {
+    return Status::InvalidArgument("token bundle too large");
+  }
+  wire::Writer w = FrameWriter(MessageType::kAlertTokens);
+  w.U64(bundle.alert_id);
+  w.U32(static_cast<uint32_t>(bundle.tokens.size()));
+  for (const auto& token : bundle.tokens) w.Bytes(token);
+  return FinishFrame(&w);
+}
+
+Result<TokenBundle> DecodeTokenBundle(const std::vector<uint8_t>& frame) {
+  SLOC_ASSIGN_OR_RETURN(wire::Reader r,
+                        OpenReader(MessageType::kAlertTokens, frame));
+  TokenBundle bundle;
+  SLOC_ASSIGN_OR_RETURN(bundle.alert_id, r.U64());
+  SLOC_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count > kMaxTokens) {
+    return Status::InvalidArgument("token bundle too large");
+  }
+  bundle.tokens.reserve(ClampedReserve(count, r, /*min_entry_bytes=*/4));
+  for (uint32_t i = 0; i < count; ++i) {
+    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> token, r.Bytes());
+    bundle.tokens.push_back(std::move(token));
+  }
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return bundle;
+}
+
+Result<std::vector<uint8_t>> EncodeOutcomeReport(const OutcomeReport& report) {
+  if (report.notified_users.size() > kMaxNotified) {
+    return Status::InvalidArgument("outcome report too large");
+  }
+  wire::Writer w = FrameWriter(MessageType::kAlertOutcome);
+  w.U64(report.alert_id);
+  w.U32(static_cast<uint32_t>(report.notified_users.size()));
+  for (int user : report.notified_users) w.I32(user);
+  w.U64(report.ciphertexts_scanned);
+  w.U64(report.tokens);
+  w.U64(report.non_star_bits);
+  w.U64(report.pairings);
+  w.U64(report.matches);
+  w.U64(report.wall_micros);
+  return FinishFrame(&w);
+}
+
+Result<OutcomeReport> DecodeOutcomeReport(const std::vector<uint8_t>& frame) {
+  SLOC_ASSIGN_OR_RETURN(wire::Reader r,
+                        OpenReader(MessageType::kAlertOutcome, frame));
+  OutcomeReport report;
+  SLOC_ASSIGN_OR_RETURN(report.alert_id, r.U64());
+  SLOC_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count > kMaxNotified) {
+    return Status::InvalidArgument("outcome report too large");
+  }
+  report.notified_users.reserve(ClampedReserve(count, r, /*min_entry_bytes=*/4));
+  for (uint32_t i = 0; i < count; ++i) {
+    SLOC_ASSIGN_OR_RETURN(int user, r.I32());
+    report.notified_users.push_back(user);
+  }
+  SLOC_ASSIGN_OR_RETURN(report.ciphertexts_scanned, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.tokens, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.non_star_bits, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.pairings, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.matches, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.wall_micros, r.U64());
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return report;
+}
+
+}  // namespace api
+}  // namespace sloc

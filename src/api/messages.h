@@ -1,0 +1,121 @@
+// Versioned wire envelope for all cross-party protocol messages.
+//
+// The HVE blobs of hve/serialize.h describe *objects* (a ciphertext, a
+// token, a public key). This layer frames *messages*: every blob that
+// crosses a party boundary — the TA's public-key broadcast, a user's
+// location upload, the TA's alert-token bundle, and the SP's outcome
+// report — travels inside an envelope carrying
+//
+//   magic "SLEV" | version u8 | type u8 | payload | FNV-1a64 checksum
+//
+// so a receiver can (a) reject corruption and truncation with a clean
+// Status, (b) detect messages from a future incompatible wire version
+// instead of misparsing them, and (c) dispatch on the type tag. The
+// checksum idiom mirrors hve/serialize.h: it trails the frame and covers
+// everything before it.
+//
+// This header depends only on common/ — the alert layer builds on it,
+// not the other way around.
+
+#ifndef SLOC_API_MESSAGES_H_
+#define SLOC_API_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+namespace api {
+
+/// Current wire version. Bump on any incompatible payload change; old
+/// parsers then reject new frames with kUnimplemented instead of UB.
+constexpr uint8_t kWireVersion = 1;
+
+/// Entry-count caps, enforced symmetrically: encoders refuse to build a
+/// frame the decoders would reject. Callers with bigger workloads chunk
+/// into multiple frames.
+constexpr uint32_t kMaxBatchEntries = 1u << 20;
+constexpr uint32_t kMaxTokens = 1u << 16;
+constexpr uint32_t kMaxNotified = 1u << 24;
+
+/// Every message that crosses a party boundary.
+enum class MessageType : uint8_t {
+  kPublicKeyAnnouncement = 1,  ///< TA -> everyone: serialized HVE public key
+  kLocationUpload = 2,         ///< user -> SP: one (user_id, ciphertext)
+  kLocationBatch = 3,          ///< aggregator -> SP: many uploads at once
+  kAlertTokens = 4,            ///< TA -> SP: token bundle for one alert
+  kAlertOutcome = 5,           ///< SP -> TA: notified users + match stats
+};
+
+const char* MessageTypeName(MessageType type);
+
+// ---- Generic framing ----
+
+/// Wraps a payload into a checksummed, versioned frame of the given type.
+std::vector<uint8_t> Seal(MessageType type, const std::vector<uint8_t>& payload);
+
+/// Validates checksum, magic, version, and type tag; returns the payload.
+Result<std::vector<uint8_t>> Open(MessageType expected_type,
+                                  const std::vector<uint8_t>& frame);
+
+/// Validates checksum/magic/version and returns the type tag, for
+/// receivers that dispatch on message kind.
+Result<MessageType> PeekType(const std::vector<uint8_t>& frame);
+
+// ---- Typed codecs ----
+
+/// One user's encrypted location update (the ciphertext blob is the
+/// hve/serialize.h wire form, opaque at this layer).
+struct LocationUpload {
+  int user_id = -1;
+  std::vector<uint8_t> ciphertext;
+};
+
+/// The token bundle for one alert event. `alert_id` correlates the SP's
+/// outcome report with the TA's request.
+struct TokenBundle {
+  uint64_t alert_id = 0;
+  std::vector<std::vector<uint8_t>> tokens;
+};
+
+/// The SP's report back to the TA. Mirrors alert::MatchStats field by
+/// field (wall time travels as integer microseconds).
+struct OutcomeReport {
+  uint64_t alert_id = 0;
+  std::vector<int> notified_users;
+  uint64_t ciphertexts_scanned = 0;
+  uint64_t tokens = 0;
+  uint64_t non_star_bits = 0;
+  uint64_t pairings = 0;
+  uint64_t matches = 0;
+  uint64_t wall_micros = 0;
+};
+
+std::vector<uint8_t> EncodePublicKeyAnnouncement(
+    const std::vector<uint8_t>& pk_blob);
+Result<std::vector<uint8_t>> DecodePublicKeyAnnouncement(
+    const std::vector<uint8_t>& frame);
+
+std::vector<uint8_t> EncodeLocationUpload(const LocationUpload& upload);
+Result<LocationUpload> DecodeLocationUpload(const std::vector<uint8_t>& frame);
+
+/// Errors when uploads.size() > kMaxBatchEntries.
+Result<std::vector<uint8_t>> EncodeLocationBatch(
+    const std::vector<LocationUpload>& uploads);
+Result<std::vector<LocationUpload>> DecodeLocationBatch(
+    const std::vector<uint8_t>& frame);
+
+/// Errors when bundle.tokens.size() > kMaxTokens.
+Result<std::vector<uint8_t>> EncodeTokenBundle(const TokenBundle& bundle);
+Result<TokenBundle> DecodeTokenBundle(const std::vector<uint8_t>& frame);
+
+/// Errors when report.notified_users.size() > kMaxNotified.
+Result<std::vector<uint8_t>> EncodeOutcomeReport(const OutcomeReport& report);
+Result<OutcomeReport> DecodeOutcomeReport(const std::vector<uint8_t>& frame);
+
+}  // namespace api
+}  // namespace sloc
+
+#endif  // SLOC_API_MESSAGES_H_

@@ -1,0 +1,77 @@
+#include "api/store.h"
+
+#include "common/check.h"
+
+namespace sloc {
+namespace api {
+
+// ---------- InMemoryStore ----------
+
+void InMemoryStore::Put(int user_id, hve::Ciphertext ct) {
+  users_[user_id] = std::move(ct);
+}
+
+bool InMemoryStore::Erase(int user_id) { return users_.erase(user_id) > 0; }
+
+bool InMemoryStore::Contains(int user_id) const {
+  return users_.count(user_id) > 0;
+}
+
+void InMemoryStore::VisitShard(
+    size_t shard,
+    const std::function<void(int, const hve::Ciphertext&)>& fn) const {
+  SLOC_CHECK(shard == 0) << "in-memory store has a single shard";
+  for (const auto& [user_id, ct] : users_) fn(user_id, ct);
+}
+
+// ---------- ShardedStore ----------
+
+ShardedStore::ShardedStore(size_t num_shards) {
+  SLOC_CHECK(num_shards >= 1) << "store needs at least one shard";
+  shards_.resize(num_shards);
+}
+
+size_t ShardedStore::ShardOf(int user_id) const {
+  // splitmix64 finalizer: user ids are often dense small integers, so a
+  // plain modulus would put consecutive ids in consecutive shards and
+  // make any id-correlated workload lopsided after deletions.
+  uint64_t h = uint64_t(int64_t(user_id));
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return size_t(h % shards_.size());
+}
+
+void ShardedStore::Put(int user_id, hve::Ciphertext ct) {
+  shards_[ShardOf(user_id)][user_id] = std::move(ct);
+}
+
+bool ShardedStore::Erase(int user_id) {
+  return shards_[ShardOf(user_id)].erase(user_id) > 0;
+}
+
+bool ShardedStore::Contains(int user_id) const {
+  return shards_[ShardOf(user_id)].count(user_id) > 0;
+}
+
+size_t ShardedStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.size();
+  return total;
+}
+
+void ShardedStore::VisitShard(
+    size_t shard,
+    const std::function<void(int, const hve::Ciphertext&)>& fn) const {
+  SLOC_CHECK(shard < shards_.size()) << "shard index out of range";
+  for (const auto& [user_id, ct] : shards_[shard]) fn(user_id, ct);
+}
+
+std::unique_ptr<CiphertextStore> MakeStore(size_t num_shards) {
+  if (num_shards <= 1) return std::make_unique<InMemoryStore>();
+  return std::make_unique<ShardedStore>(num_shards);
+}
+
+}  // namespace api
+}  // namespace sloc

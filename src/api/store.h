@@ -1,0 +1,111 @@
+// Pluggable ciphertext storage for the service provider.
+//
+// The SP's job is (a) keep the latest encrypted location per user and
+// (b) scan all of them against alert tokens. Both operations are behind
+// this interface so the matcher is storage-agnostic: the in-memory
+// backend serves tests and small deployments, the sharded backend
+// partitions users across N independent hash shards so ingestion and
+// matching can fan out across worker threads (one worker owns a
+// disjoint set of shards — no locks on the hot path).
+
+#ifndef SLOC_API_STORE_H_
+#define SLOC_API_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hve/hve.h"
+
+namespace sloc {
+namespace api {
+
+/// Abstract store of parsed, validated ciphertexts keyed by user id.
+///
+/// Thread-compatibility contract: calls that touch *different shards*
+/// may run concurrently (that is what the sharded matcher and batch
+/// ingester rely on); calls touching the same shard must be externally
+/// serialized, as must structural operations against reads.
+class CiphertextStore {
+ public:
+  virtual ~CiphertextStore() = default;
+
+  /// Human-readable backend name ("in_memory", "sharded/8").
+  virtual std::string name() const = 0;
+
+  /// Inserts or replaces a user's latest ciphertext.
+  virtual void Put(int user_id, hve::Ciphertext ct) = 0;
+
+  /// Removes a user's ciphertext; returns whether the user existed.
+  virtual bool Erase(int user_id) = 0;
+
+  virtual bool Contains(int user_id) const = 0;
+
+  /// Total users stored, across all shards.
+  virtual size_t size() const = 0;
+
+  /// Number of independently scannable partitions (>= 1).
+  virtual size_t num_shards() const = 0;
+
+  /// The shard `user_id` lives in (< num_shards()).
+  virtual size_t ShardOf(int user_id) const = 0;
+
+  /// Invokes `fn(user_id, ciphertext)` for every entry of shard `shard`
+  /// (iteration order unspecified). Precondition: shard < num_shards().
+  virtual void VisitShard(
+      size_t shard,
+      const std::function<void(int, const hve::Ciphertext&)>& fn) const = 0;
+};
+
+/// Single-map backend: the simplest correct store.
+class InMemoryStore : public CiphertextStore {
+ public:
+  std::string name() const override { return "in_memory"; }
+  void Put(int user_id, hve::Ciphertext ct) override;
+  bool Erase(int user_id) override;
+  bool Contains(int user_id) const override;
+  size_t size() const override { return users_.size(); }
+  size_t num_shards() const override { return 1; }
+  size_t ShardOf(int) const override { return 0; }
+  void VisitShard(size_t shard,
+                  const std::function<void(int, const hve::Ciphertext&)>& fn)
+      const override;
+
+ private:
+  std::unordered_map<int, hve::Ciphertext> users_;
+};
+
+/// Hash-partitioned backend: users are spread across `num_shards`
+/// independent maps, the unit of parallelism for the sharded matcher.
+class ShardedStore : public CiphertextStore {
+ public:
+  /// Precondition: num_shards >= 1.
+  explicit ShardedStore(size_t num_shards);
+
+  std::string name() const override {
+    return "sharded/" + std::to_string(shards_.size());
+  }
+  void Put(int user_id, hve::Ciphertext ct) override;
+  bool Erase(int user_id) override;
+  bool Contains(int user_id) const override;
+  size_t size() const override;
+  size_t num_shards() const override { return shards_.size(); }
+  size_t ShardOf(int user_id) const override;
+  void VisitShard(size_t shard,
+                  const std::function<void(int, const hve::Ciphertext&)>& fn)
+      const override;
+
+ private:
+  std::vector<std::unordered_map<int, hve::Ciphertext>> shards_;
+};
+
+/// Factory: one shard -> InMemoryStore, otherwise ShardedStore.
+std::unique_ptr<CiphertextStore> MakeStore(size_t num_shards);
+
+}  // namespace api
+}  // namespace sloc
+
+#endif  // SLOC_API_STORE_H_

@@ -1,9 +1,11 @@
 #include "hve/serialize.h"
 
 #include <cstring>
+#include <optional>
 
 #include "common/bitstring.h"
 #include "common/check.h"
+#include "common/wire.h"
 
 namespace sloc {
 namespace hve {
@@ -15,37 +17,21 @@ constexpr uint8_t kTagCiphertext = 1;
 constexpr uint8_t kTagToken = 2;
 constexpr uint8_t kTagPublicKey = 3;
 
-uint64_t Fnv1a(const uint8_t* data, size_t len) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
+/// wire::Writer plus the crypto-object encodings (points, G_T, bigints)
+/// and the magic/tag/checksum frame of this blob format.
 class Writer {
  public:
   explicit Writer(uint8_t tag) {
-    buf_.insert(buf_.end(), kMagic, kMagic + 4);
-    buf_.push_back(tag);
+    w_.Raw(kMagic, 4);
+    w_.U8(tag);
   }
 
-  void U8(uint8_t v) { buf_.push_back(v); }
-  void U32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
-  }
-  void Bytes(const std::vector<uint8_t>& b) {
-    U32(static_cast<uint32_t>(b.size()));
-    buf_.insert(buf_.end(), b.begin(), b.end());
-  }
+  void U8(uint8_t v) { w_.U8(v); }
+  void U32(uint32_t v) { w_.U32(v); }
+  void Str(const std::string& s) { w_.Str(s); }
   void Big(const BigInt& v) {
     SLOC_DCHECK(!v.IsNegative());
-    Bytes(v.ToBytes());
-  }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    w_.Bytes(v.ToBytes());
   }
   void Point(const PairingGroup& g, const AffinePoint& p) {
     if (p.infinity) {
@@ -62,66 +48,52 @@ class Writer {
   }
 
   std::vector<uint8_t> Finish() {
-    uint64_t sum = Fnv1a(buf_.data(), buf_.size());
-    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(sum >> (8 * i)));
-    return std::move(buf_);
+    std::vector<uint8_t> out = w_.Take();
+    wire::AppendChecksum(&out);
+    return out;
   }
 
  private:
-  std::vector<uint8_t> buf_;
+  wire::Writer w_;
 };
 
+/// Frame validation + crypto-object decoders over a wire::Reader window.
 class Reader {
  public:
-  Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
 
   Status Open(uint8_t expected_tag) {
     if (buf_.size() < 4 + 1 + 8) return Status::DataLoss("blob too short");
-    uint64_t stored = 0;
-    for (int i = 0; i < 8; ++i) {
-      stored |= uint64_t(buf_[buf_.size() - 8 + size_t(i)]) << (8 * i);
-    }
-    if (Fnv1a(buf_.data(), buf_.size() - 8) != stored) {
-      return Status::DataLoss("checksum mismatch");
-    }
-    end_ = buf_.size() - 8;
+    auto body = wire::VerifyChecksum(buf_);
+    if (!body.ok()) return body.status();
     if (std::memcmp(buf_.data(), kMagic, 4) != 0) {
       return Status::InvalidArgument("bad magic");
     }
-    pos_ = 4;
-    uint8_t tag = buf_[pos_++];
-    if (tag != expected_tag) {
+    if (buf_[4] != expected_tag) {
       return Status::InvalidArgument("unexpected blob type tag");
     }
+    r_.emplace(buf_, 4 + 1, *body);
     return Status::Ok();
   }
 
+  // Reads require a successful Open() first — programmer error, not a
+  // wire condition, hence DCHECK rather than Status.
   Result<uint8_t> U8() {
-    if (pos_ + 1 > end_) return Status::DataLoss("truncated u8");
-    return buf_[pos_++];
+    SLOC_DCHECK(r_.has_value()) << "read before Open()";
+    return r_->U8();
   }
   Result<uint32_t> U32() {
-    if (pos_ + 4 > end_) return Status::DataLoss("truncated u32");
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= uint32_t(buf_[pos_ + size_t(i)]) << (8 * i);
-    pos_ += 4;
-    return v;
-  }
-  Result<std::vector<uint8_t>> Bytes() {
-    SLOC_ASSIGN_OR_RETURN(uint32_t len, U32());
-    if (pos_ + len > end_) return Status::DataLoss("truncated bytes");
-    std::vector<uint8_t> out(buf_.begin() + long(pos_),
-                             buf_.begin() + long(pos_ + len));
-    pos_ += len;
-    return out;
-  }
-  Result<BigInt> Big() {
-    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> b, Bytes());
-    return BigInt::FromBytes(b);
+    SLOC_DCHECK(r_.has_value()) << "read before Open()";
+    return r_->U32();
   }
   Result<std::string> Str() {
-    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> b, Bytes());
-    return std::string(b.begin(), b.end());
+    SLOC_DCHECK(r_.has_value()) << "read before Open()";
+    return r_->Str();
+  }
+  Result<BigInt> Big() {
+    SLOC_DCHECK(r_.has_value()) << "read before Open()";
+    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> b, r_->Bytes());
+    return BigInt::FromBytes(b);
   }
   Result<AffinePoint> Point(const PairingGroup& g) {
     SLOC_ASSIGN_OR_RETURN(uint8_t flag, U8());
@@ -151,14 +123,13 @@ class Reader {
   }
 
   Status ExpectDone() const {
-    if (pos_ != end_) return Status::DataLoss("trailing bytes in blob");
-    return Status::Ok();
+    SLOC_DCHECK(r_.has_value()) << "read before Open()";
+    return r_->ExpectDone();
   }
 
  private:
   const std::vector<uint8_t>& buf_;
-  size_t pos_ = 0;
-  size_t end_ = 0;
+  std::optional<wire::Reader> r_;  // set by Open() on a valid frame
 };
 
 constexpr uint32_t kMaxWidth = 4096;  // sanity bound on vector lengths

@@ -68,7 +68,7 @@ AffinePoint PairingGroup::RandomGq(const RandFn& rand) const {
 }
 
 AffinePoint PairingGroup::Mul(const BigInt& k, const AffinePoint& pt) const {
-  ++counters_.scalar_muls;
+  counters_->scalar_muls.fetch_add(1, std::memory_order_relaxed);
   return curve_->ScalarMul(k, pt);
 }
 
@@ -78,7 +78,7 @@ AffinePoint PairingGroup::Add(const AffinePoint& a,
 }
 
 Fp2Elem PairingGroup::Pair(const AffinePoint& a, const AffinePoint& b) const {
-  ++counters_.pairings;
+  counters_->pairings.fetch_add(1, std::memory_order_relaxed);
   if (a.infinity || b.infinity) return fp2_->One();
   Fp2Elem f = MillerLoop(*curve_, *fp2_, params_.n, a, b);
   return FinalExponentiation(*fp2_, f, params_.cofactor);
@@ -91,7 +91,7 @@ Fp2Elem PairingGroup::GtMul(const Fp2Elem& a, const Fp2Elem& b) const {
 }
 
 Fp2Elem PairingGroup::GtPow(const Fp2Elem& a, const BigInt& e) const {
-  ++counters_.gt_exps;
+  counters_->gt_exps.fetch_add(1, std::memory_order_relaxed);
   if (e.IsNegative()) {
     return fp2_->Pow(GtInv(a), -e);
   }

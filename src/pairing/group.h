@@ -10,6 +10,7 @@
 #ifndef SLOC_PAIRING_GROUP_H_
 #define SLOC_PAIRING_GROUP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -19,7 +20,8 @@
 
 namespace sloc {
 
-/// Running operation counters; the paper's headline metric is `pairings`.
+/// Snapshot of the running operation counters; the paper's headline
+/// metric is `pairings`.
 struct PairingCounters {
   uint64_t pairings = 0;
   uint64_t scalar_muls = 0;
@@ -28,8 +30,9 @@ struct PairingCounters {
 
 /// The instantiated pairing group with generators of each subgroup.
 ///
-/// Thread-compatibility: const methods are safe to call concurrently
-/// except for the mutable counters, which are best-effort.
+/// Thread-compatibility: const methods are safe to call concurrently;
+/// the operation counters are atomic (relaxed), so the sharded matcher
+/// can pair from many threads without data races.
 class PairingGroup {
  public:
   /// Generates parameters (or uses `spec.seed` deterministically), builds
@@ -74,14 +77,37 @@ class PairingGroup {
   /// Random element of G_T with known structure: e(g, g)^r.
   Fp2Elem RandomGt(const RandFn& rand) const;
 
-  const PairingCounters& counters() const { return counters_; }
-  void ResetCounters() const { counters_ = PairingCounters{}; }
+  /// Consistent-enough snapshot of the counters (each field is read
+  /// atomically; fields may be skewed relative to each other while
+  /// worker threads are pairing).
+  PairingCounters counters() const {
+    PairingCounters snap;
+    snap.pairings = counters_->pairings.load(std::memory_order_relaxed);
+    snap.scalar_muls = counters_->scalar_muls.load(std::memory_order_relaxed);
+    snap.gt_exps = counters_->gt_exps.load(std::memory_order_relaxed);
+    return snap;
+  }
+  void ResetCounters() const {
+    counters_->pairings.store(0, std::memory_order_relaxed);
+    counters_->scalar_muls.store(0, std::memory_order_relaxed);
+    counters_->gt_exps.store(0, std::memory_order_relaxed);
+  }
   /// Accounts for `k` logical pairings computed outside Pair() (e.g. the
   /// multi-pairing fast path, which shares one final exponentiation).
-  void CountPairings(uint64_t k) const { counters_.pairings += k; }
+  void CountPairings(uint64_t k) const {
+    counters_->pairings.fetch_add(k, std::memory_order_relaxed);
+  }
 
  private:
   PairingGroup() = default;
+
+  /// Atomic backing store for the counters. Held behind a unique_ptr so
+  /// PairingGroup stays movable (std::atomic is not).
+  struct AtomicCounters {
+    std::atomic<uint64_t> pairings{0};
+    std::atomic<uint64_t> scalar_muls{0};
+    std::atomic<uint64_t> gt_exps{0};
+  };
 
   PairingParams params_;
   std::unique_ptr<Fp> fp_;
@@ -89,7 +115,8 @@ class PairingGroup {
   std::unique_ptr<Curve> curve_;
   AffinePoint g_, gp_, gq_;
   Fp2Elem e_gg_;  // cached e(g, g)
-  mutable PairingCounters counters_;
+  mutable std::unique_ptr<AtomicCounters> counters_ =
+      std::make_unique<AtomicCounters>();
 };
 
 }  // namespace sloc

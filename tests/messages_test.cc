@@ -1,0 +1,222 @@
+// Wire-envelope layer tests (api/messages.h): typed roundtrips plus the
+// negative paths — truncation, version skew, tag confusion, corruption —
+// each of which must yield a clean Status, never UB.
+
+#include <gtest/gtest.h>
+
+#include "api/messages.h"
+#include "common/wire.h"
+
+namespace sloc {
+namespace api {
+namespace {
+
+// Recomputes the trailing checksum after a test mutates frame bytes, so
+// the mutation under test is reached instead of tripping the checksum
+// first. Forges with the same wire:: primitive the codec uses.
+void RefreshChecksum(std::vector<uint8_t>* frame) {
+  ASSERT_GE(frame->size(), 8u);
+  frame->resize(frame->size() - 8);
+  wire::AppendChecksum(frame);
+}
+
+TEST(EnvelopeTest, SealOpenRoundtrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertTokens, payload);
+  auto opened = Open(MessageType::kAlertTokens, frame);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(*opened, payload);
+  auto type = PeekType(frame);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MessageType::kAlertTokens);
+}
+
+TEST(EnvelopeTest, EmptyPayloadRoundtrips) {
+  std::vector<uint8_t> frame = Seal(MessageType::kPublicKeyAnnouncement, {});
+  auto opened = Open(MessageType::kPublicKeyAnnouncement, frame);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(EnvelopeTest, TruncatedFrameRejected) {
+  std::vector<uint8_t> frame =
+      Seal(MessageType::kLocationUpload, {9, 9, 9, 9});
+  // Shorter than any legal frame.
+  std::vector<uint8_t> stub(frame.begin(), frame.begin() + 5);
+  EXPECT_EQ(Open(MessageType::kLocationUpload, stub).status().code(),
+            StatusCode::kDataLoss);
+  // Long enough to look like a frame, but cut mid-payload: the trailing
+  // checksum no longer matches.
+  std::vector<uint8_t> cut(frame.begin(), frame.end() - 2);
+  EXPECT_EQ(Open(MessageType::kLocationUpload, cut).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(Open(MessageType::kLocationUpload, {}).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(EnvelopeTest, WrongVersionRejected) {
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertTokens, {1, 2, 3});
+  frame[4] = kWireVersion + 1;  // a future wire version
+  RefreshChecksum(&frame);
+  Status st = Open(MessageType::kAlertTokens, frame).status();
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+}
+
+TEST(EnvelopeTest, WrongTypeTagRejected) {
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertTokens, {1, 2, 3});
+  // Valid frame of another type: caller asked for an upload.
+  EXPECT_EQ(Open(MessageType::kLocationUpload, frame).status().code(),
+            StatusCode::kInvalidArgument);
+  // A tag no version of the protocol ever assigned.
+  frame[5] = 99;
+  RefreshChecksum(&frame);
+  EXPECT_EQ(Open(MessageType::kAlertTokens, frame).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PeekType(frame).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, CorruptedChecksumRejected) {
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertOutcome, {7, 7});
+  frame.back() ^= 0x01;
+  EXPECT_EQ(Open(MessageType::kAlertOutcome, frame).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(EnvelopeTest, CorruptedPayloadByteRejected) {
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertOutcome, {7, 7});
+  frame[7] ^= 0x40;  // flip a payload bit, leave the checksum alone
+  EXPECT_EQ(Open(MessageType::kAlertOutcome, frame).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(EnvelopeTest, BadMagicRejected) {
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertTokens, {1});
+  frame[0] = 'X';
+  RefreshChecksum(&frame);
+  EXPECT_EQ(Open(MessageType::kAlertTokens, frame).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, LocationUploadRoundtrip) {
+  LocationUpload upload;
+  upload.user_id = -42;  // negative ids survive the wire
+  upload.ciphertext = {0xde, 0xad, 0xbe, 0xef};
+  auto decoded = DecodeLocationUpload(EncodeLocationUpload(upload));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->user_id, -42);
+  EXPECT_EQ(decoded->ciphertext, upload.ciphertext);
+}
+
+TEST(EnvelopeTest, LocationUploadTruncatedPayloadRejected) {
+  // A well-formed envelope whose payload lies about its inner length.
+  std::vector<uint8_t> payload = {0x01, 0x00, 0x00, 0x00,   // user_id = 1
+                                  0xff, 0x00, 0x00, 0x00};  // len 255, no data
+  std::vector<uint8_t> frame = Seal(MessageType::kLocationUpload, payload);
+  EXPECT_EQ(DecodeLocationUpload(frame).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(EnvelopeTest, LocationBatchRoundtrip) {
+  std::vector<LocationUpload> uploads(3);
+  for (int i = 0; i < 3; ++i) {
+    uploads[size_t(i)].user_id = i * 10;
+    uploads[size_t(i)].ciphertext = {uint8_t(i), uint8_t(i + 1)};
+  }
+  auto decoded = DecodeLocationBatch(EncodeLocationBatch(uploads).value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*decoded)[size_t(i)].user_id, i * 10);
+    EXPECT_EQ((*decoded)[size_t(i)].ciphertext, uploads[size_t(i)].ciphertext);
+  }
+}
+
+TEST(EnvelopeTest, TokenBundleRoundtrip) {
+  TokenBundle bundle;
+  bundle.alert_id = 0x1122334455667788ULL;
+  bundle.tokens = {{1, 2, 3}, {}, {4}};
+  auto decoded = DecodeTokenBundle(EncodeTokenBundle(bundle).value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->alert_id, bundle.alert_id);
+  EXPECT_EQ(decoded->tokens, bundle.tokens);
+}
+
+TEST(EnvelopeTest, OutcomeReportRoundtrip) {
+  OutcomeReport report;
+  report.alert_id = 5;
+  report.notified_users = {3, 1, 4, 1, 5};
+  report.ciphertexts_scanned = 1000;
+  report.tokens = 7;
+  report.non_star_bits = 123;
+  report.pairings = 4567;
+  report.matches = 5;
+  report.wall_micros = 98765;
+  auto decoded = DecodeOutcomeReport(EncodeOutcomeReport(report).value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->alert_id, report.alert_id);
+  EXPECT_EQ(decoded->notified_users, report.notified_users);
+  EXPECT_EQ(decoded->ciphertexts_scanned, report.ciphertexts_scanned);
+  EXPECT_EQ(decoded->tokens, report.tokens);
+  EXPECT_EQ(decoded->non_star_bits, report.non_star_bits);
+  EXPECT_EQ(decoded->pairings, report.pairings);
+  EXPECT_EQ(decoded->matches, report.matches);
+  EXPECT_EQ(decoded->wall_micros, report.wall_micros);
+}
+
+TEST(EnvelopeTest, CrossTypeDecodeRejected) {
+  // Every typed decoder refuses frames of every other type.
+  std::vector<uint8_t> pk = EncodePublicKeyAnnouncement({1, 2});
+  EXPECT_FALSE(DecodeLocationUpload(pk).ok());
+  EXPECT_FALSE(DecodeLocationBatch(pk).ok());
+  EXPECT_FALSE(DecodeTokenBundle(pk).ok());
+  EXPECT_FALSE(DecodeOutcomeReport(pk).ok());
+  std::vector<uint8_t> bundle = EncodeTokenBundle({}).value();
+  EXPECT_FALSE(DecodePublicKeyAnnouncement(bundle).ok());
+}
+
+TEST(EnvelopeTest, OversizedEncodeRejectedSymmetrically) {
+  // The caps guard both directions: an encoder refuses to build a frame
+  // its own decoder would reject.
+  TokenBundle bundle;
+  bundle.tokens.resize(size_t(kMaxTokens) + 1);
+  EXPECT_EQ(EncodeTokenBundle(bundle).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, ForgedHugeCountDoesNotAmplifyAllocation) {
+  // A tiny frame claiming 2^24 notified users must fail fast with
+  // DataLoss; the decoder's reserve() is clamped by the actual payload
+  // size, so the forgery cannot demand a large allocation either.
+  std::vector<uint8_t> payload = {
+      1, 0, 0, 0, 0, 0, 0, 0,  // alert_id
+      0, 0, 0, 1,              // count = 1 << 24 (little-endian)
+  };
+  std::vector<uint8_t> frame = Seal(MessageType::kAlertOutcome, payload);
+  EXPECT_EQ(DecodeOutcomeReport(frame).status().code(),
+            StatusCode::kDataLoss);
+  // One past the sanity bound is rejected as malformed outright.
+  std::vector<uint8_t> payload2 = {1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 2};
+  EXPECT_EQ(DecodeOutcomeReport(Seal(MessageType::kAlertOutcome, payload2))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EnvelopeTest, TrailingGarbageInPayloadRejected) {
+  TokenBundle bundle;
+  bundle.alert_id = 1;
+  std::vector<uint8_t> frame = EncodeTokenBundle(bundle).value();
+  // Rebuild the frame with two extra payload bytes (and a checksum that
+  // covers them): structural validation must still catch the excess.
+  std::vector<uint8_t> payload(frame.begin() + 6, frame.end() - 8);
+  payload.push_back(0xaa);
+  payload.push_back(0xbb);
+  std::vector<uint8_t> padded = Seal(MessageType::kAlertTokens, payload);
+  EXPECT_EQ(DecodeTokenBundle(padded).status().code(),
+            StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace sloc
