@@ -13,9 +13,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -49,6 +52,64 @@ inline void EmitTable(const std::string& name, const Table& table, int argc,
       std::cout << "(csv: " << csv_path << ")\n";
     }
   }
+}
+
+/// Minimal order-preserving JSON object builder for machine-readable
+/// bench output (perf-smoke CI artifacts). Keys and string values must
+/// not need escaping (bench-controlled identifiers only).
+class JsonWriter {
+ public:
+  void Number(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(10);
+    os << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void Integer(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void String(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+  void Nested(const std::string& key, const JsonWriter& obj) {
+    entries_.emplace_back(key, obj.ToText());
+  }
+
+  std::string ToText() const {
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + entries_[i].first + "\": " + entries_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Writes the JSON object to <name>.json: --json=PATH argv overrides,
+/// else env BENCH_JSON names a directory, else the current directory.
+inline void EmitJson(const std::string& name, const JsonWriter& json,
+                     int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) path = arg.substr(7);
+  }
+  if (path.empty()) {
+    const char* dir = std::getenv("BENCH_JSON");
+    path = dir != nullptr ? std::string(dir) + "/" + name + ".json"
+                          : name + ".json";
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "JSON write failed: " << path << "\n";
+    return;
+  }
+  out << json.ToText() << "\n";
+  std::cout << "(json: " << path << ")\n";
 }
 
 /// The four competing techniques, in the order plots report them.

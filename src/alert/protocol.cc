@@ -227,6 +227,17 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
   }
   out.stats.tokens = tokens.size();
 
+  // The token side is fixed for the whole scan: run each token's Miller
+  // chains once up front and share the line tables across every
+  // user/shard/worker (read-only from here on).
+  std::vector<hve::PrecompiledToken> precompiled;
+  if (options_.engine == QueryEngine::kPrecompiled) {
+    precompiled.reserve(tokens.size());
+    for (const hve::Token& tk : tokens) {
+      precompiled.push_back(hve::PrecompileToken(*group_, tk));
+    }
+  }
+
   // Per-worker partial results; merged below. Pairings are accounted
   // analytically (each executed query costs exactly QueryPairingCost),
   // which matches the group counters and is deterministic under
@@ -254,25 +265,25 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
       store_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
         if (abort.load(std::memory_order_relaxed)) return;
         ++scan.scanned;
-        for (const hve::Token& tk : tokens) {
-          bool match;
-          if (options_.use_multipairing) {
-            auto recovered = hve::QueryMultiPairing(*group_, tk, ct);
-            if (!recovered.ok()) {
-              scan.status = recovered.status();
-              abort.store(true, std::memory_order_relaxed);
-              return;
+        for (size_t k = 0; k < tokens.size(); ++k) {
+          const hve::Token& tk = tokens[k];
+          Result<Fp2Elem> recovered = [&]() -> Result<Fp2Elem> {
+            switch (options_.engine) {
+              case QueryEngine::kPrecompiled:
+                return hve::QueryPrecompiled(*group_, precompiled[k], ct);
+              case QueryEngine::kMultiPairing:
+                return hve::QueryMultiPairing(*group_, tk, ct);
+              case QueryEngine::kReference:
+                break;
             }
-            match = group_->GtEqual(*recovered, marker_);
-          } else {
-            auto matched = hve::Matches(*group_, tk, ct, marker_);
-            if (!matched.ok()) {
-              scan.status = matched.status();
-              abort.store(true, std::memory_order_relaxed);
-              return;
-            }
-            match = *matched;
+            return hve::Query(*group_, tk, ct);
+          }();
+          if (!recovered.ok()) {
+            scan.status = recovered.status();
+            abort.store(true, std::memory_order_relaxed);
+            return;
           }
+          const bool match = group_->GtEqual(*recovered, marker_);
           scan.pairings += hve::QueryPairingCost(tk);
           if (match) {
             scan.notified.push_back(user_id);

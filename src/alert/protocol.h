@@ -137,11 +137,20 @@ class MobileUser {
 /// The service provider: pluggable ciphertext store + sharded matcher.
 class ServiceProvider {
  public:
-  /// Tuning knobs. Defaults reproduce the sequential reference path.
+  /// How token-vs-ciphertext queries are evaluated. All three produce
+  /// bit-identical match outcomes; they differ only in cost.
+  enum class QueryEngine {
+    kReference,     ///< one Pair() + final exponentiation per pairing
+    kMultiPairing,  ///< shared-squaring loop + one final exponentiation
+    kPrecompiled,   ///< per-alert token line tables + multi-pairing
+  };
+
+  /// Tuning knobs. Defaults reproduce the sequential scan order with
+  /// the fastest query engine.
   struct Options {
     size_t num_shards = 1;    ///< store partitions (parallelism ceiling)
     unsigned num_threads = 1; ///< worker threads for batch ops / matching
-    bool use_multipairing = false;  ///< shared-final-exp fast path
+    QueryEngine engine = QueryEngine::kPrecompiled;
   };
 
   /// Sequential provider over an in-memory store.
@@ -193,12 +202,19 @@ class ServiceProvider {
     options_.num_threads = n == 0 ? 1 : n;
   }
 
-  /// Switches matching to the multi-pairing fast path (one shared final
-  /// exponentiation per query; identical results, lower wall-clock).
+  /// Selects the query engine (identical results, different wall-clock).
+  void set_engine(QueryEngine engine) { options_.engine = engine; }
+  QueryEngine engine() const { return options_.engine; }
+
+  /// Back-compat toggle: true selects the multi-pairing engine, false
+  /// the per-pairing reference path.
   void set_use_multipairing(bool enabled) {
-    options_.use_multipairing = enabled;
+    options_.engine =
+        enabled ? QueryEngine::kMultiPairing : QueryEngine::kReference;
   }
-  bool use_multipairing() const { return options_.use_multipairing; }
+  bool use_multipairing() const {
+    return options_.engine != QueryEngine::kReference;
+  }
 
   struct AlertOutcome {
     std::vector<int> notified_users;  ///< sorted user ids

@@ -572,6 +572,38 @@ BigInt BigInt::Random(size_t bits, const RandFn& rand) {
   return FromLimbs(std::move(v));
 }
 
+std::vector<int8_t> BigInt::ToWnaf(unsigned width) const {
+  SLOC_CHECK(width >= 2 && width <= 7) << "unsupported wNAF width";
+  const size_t bits = BitLength();
+  std::vector<int8_t> digits(bits + 1, 0);
+  const int32_t full = int32_t(1) << width;
+  int carry = 0;
+  size_t i = 0;
+  while (i < bits || carry != 0) {
+    if (i >= digits.size()) digits.resize(i + 1, 0);
+    const int bit = (i < bits && Bit(i)) ? 1 : 0;
+    if (bit == carry) {
+      ++i;
+      continue;
+    }
+    // The window value is odd here (low bit + carry == 1), so it never
+    // reaches 2^width and the signed reduction below is exact.
+    int32_t val = carry;
+    for (unsigned j = 0; j < width && i + j < bits; ++j) {
+      if (Bit(i + j)) val += int32_t(1) << j;
+    }
+    if (val >= full / 2) {
+      digits[i] = int8_t(val - full);
+      carry = 1;
+    } else {
+      digits[i] = int8_t(val);
+      carry = 0;
+    }
+    i += width;
+  }
+  return digits;
+}
+
 BigInt BigInt::RandomBelow(const BigInt& bound, const RandFn& rand) {
   SLOC_CHECK(!bound.IsZero() && !bound.IsNegative());
   const size_t bits = bound.BitLength();

@@ -141,6 +141,14 @@ class BigInt {
   /// From big-endian magnitude bytes (non-negative).
   static BigInt FromBytes(const std::vector<uint8_t>& bytes);
 
+  /// Width-w non-adjacent form of the magnitude |v| (the caller applies
+  /// the sign): digits (LSB first) are zero or odd in (-2^(w-1), 2^(w-1)),
+  /// any two non-zero digits at least w apart, sum digits[i]*2^i == |v|.
+  /// Scalar-multiplication and exponentiation ladders driven by this
+  /// recoding do ~1/(w+1) group operations per bit instead of ~1/2.
+  /// Requires 2 <= width <= 7.
+  std::vector<int8_t> ToWnaf(unsigned width) const;
+
  private:
   void Normalize();
 

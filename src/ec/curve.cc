@@ -1,5 +1,6 @@
 #include "ec/curve.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -192,7 +193,76 @@ JacobianPoint Curve::AddMixed(const JacobianPoint& p,
   return out;
 }
 
+JacobianPoint Curve::NegJacobian(const JacobianPoint& p) const {
+  JacobianPoint out = p;
+  fp_.Neg(p.Y, &out.Y);
+  return out;
+}
+
+std::vector<AffinePoint> Curve::BatchToAffine(
+    const std::vector<JacobianPoint>& pts) const {
+  const size_t n = pts.size();
+  std::vector<AffinePoint> out(n, Infinity());
+  // prefix[i] = product of the non-zero Zs before index i.
+  std::vector<Fp::Elem> prefix(n);
+  Fp::Elem run = fp_.One();
+  for (size_t i = 0; i < n; ++i) {
+    if (IsInfinity(pts[i])) continue;
+    prefix[i] = run;
+    Fp::Elem t;
+    fp_.Mul(run, pts[i].Z, &t);
+    run = std::move(t);
+  }
+  auto run_inv = fp_.Inverse(run);
+  SLOC_CHECK(run_inv.ok());
+  Fp::Elem acc = std::move(*run_inv);
+  for (size_t i = n; i-- > 0;) {
+    if (IsInfinity(pts[i])) continue;
+    Fp::Elem z_inv, t;
+    fp_.Mul(acc, prefix[i], &z_inv);
+    fp_.Mul(acc, pts[i].Z, &t);  // strip Z_i for the next iteration
+    acc = std::move(t);
+    Fp::Elem z2, z3;
+    fp_.Sqr(z_inv, &z2);
+    fp_.Mul(z2, z_inv, &z3);
+    out[i].infinity = false;
+    fp_.Mul(pts[i].X, z2, &out[i].x);
+    fp_.Mul(pts[i].Y, z3, &out[i].y);
+  }
+  return out;
+}
+
 AffinePoint Curve::ScalarMul(const BigInt& k, const AffinePoint& p) const {
+  if (k.IsZero() || p.infinity) return Infinity();
+  constexpr unsigned kWidth = 4;
+  // Tiny scalars: the odd-multiple precomputation costs more than the
+  // ladder it replaces.
+  if (k.BitLength() <= kWidth) return ScalarMulBinary(k, p);
+  const std::vector<int8_t> digits = k.ToWnaf(kWidth);
+  // Odd multiples [1]P, [3]P, ..., [2^(w-1) - 1]P in Jacobian form (the
+  // one-off batch normalization would cost more than the mixed-addition
+  // savings it buys).
+  std::vector<JacobianPoint> odd(size_t(1) << (kWidth - 2));
+  odd[0] = ToJacobian(p);
+  const JacobianPoint twice = Double(odd[0]);
+  for (size_t m = 1; m < odd.size(); ++m) odd[m] = Add(odd[m - 1], twice);
+
+  JacobianPoint acc{fp_.One(), fp_.One(), fp_.Zero()};
+  const bool negate = k.IsNegative();
+  for (size_t i = digits.size(); i-- > 0;) {
+    if (!IsInfinity(acc)) acc = Double(acc);
+    const int8_t d = digits[i];
+    if (d == 0) continue;
+    // A negative scalar flips every digit's sign.
+    const bool minus = negate ? d > 0 : d < 0;
+    const JacobianPoint& m = odd[size_t(d < 0 ? -d : d) >> 1];
+    acc = Add(acc, minus ? NegJacobian(m) : m);
+  }
+  return ToAffine(acc);
+}
+
+AffinePoint Curve::ScalarMulBinary(const BigInt& k,
+                                   const AffinePoint& p) const {
   if (k.IsZero() || p.infinity) return Infinity();
   AffinePoint base = k.IsNegative() ? Neg(p) : p;
   BigInt e = k.IsNegative() ? -k : k;
@@ -207,6 +277,57 @@ AffinePoint Curve::ScalarMul(const BigInt& k, const AffinePoint& p) const {
 AffinePoint Curve::AddAffine(const AffinePoint& p,
                              const AffinePoint& q) const {
   return ToAffine(AddMixed(ToJacobian(p), q));
+}
+
+FixedBaseComb FixedBaseComb::Build(const Curve& curve,
+                                   const AffinePoint& base, size_t max_bits,
+                                   unsigned teeth) {
+  SLOC_CHECK(teeth >= 1 && teeth <= 8) << "unsupported comb width";
+  FixedBaseComb comb;
+  comb.teeth_ = teeth;
+  comb.rows_ = (std::max<size_t>(max_bits, 1) + teeth - 1) / teeth;
+  comb.base_ = base;
+  comb.base_infinity_ = base.infinity;
+  if (base.infinity) return comb;
+
+  // Comb anchors B_j = [2^(j*rows)] base, then all subset sums, all in
+  // Jacobian form; one batch normalization at the end.
+  const size_t entries = (size_t(1) << teeth) - 1;
+  std::vector<JacobianPoint> table(entries);
+  JacobianPoint anchor = curve.ToJacobian(base);
+  for (unsigned j = 0; j < teeth; ++j) {
+    if (j > 0) {
+      for (size_t d = 0; d < comb.rows_; ++d) anchor = curve.Double(anchor);
+    }
+    table[(size_t(1) << j) - 1] = anchor;
+  }
+  for (size_t e = 1; e <= entries; ++e) {
+    if ((e & (e - 1)) == 0) continue;  // anchors already placed
+    table[e - 1] = curve.Add(table[(e & (e - 1)) - 1],
+                             table[(e & (~e + 1)) - 1]);
+  }
+  comb.table_ = curve.BatchToAffine(table);
+  return comb;
+}
+
+AffinePoint FixedBaseComb::Mul(const Curve& curve, const BigInt& k) const {
+  if (base_infinity_ || k.IsZero()) return curve.Infinity();
+  const bool negate = k.IsNegative();
+  const BigInt e = negate ? -k : k;
+  if (table_.empty() || e.BitLength() > max_bits()) {
+    return curve.ScalarMul(k, base_);
+  }
+  JacobianPoint acc{curve.fp().One(), curve.fp().One(), curve.fp().Zero()};
+  for (size_t row = rows_; row-- > 0;) {
+    if (!curve.IsInfinity(acc)) acc = curve.Double(acc);
+    size_t idx = 0;
+    for (unsigned j = 0; j < teeth_; ++j) {
+      if (e.Bit(j * rows_ + row)) idx |= size_t(1) << j;
+    }
+    if (idx != 0) acc = curve.AddMixed(acc, table_[idx - 1]);
+  }
+  AffinePoint out = curve.ToAffine(acc);
+  return negate ? curve.Neg(out) : out;
 }
 
 AffinePoint Curve::RandomPoint(const RandFn& rand) const {

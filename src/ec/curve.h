@@ -8,6 +8,9 @@
 #ifndef SLOC_EC_CURVE_H_
 #define SLOC_EC_CURVE_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "bigint/bigint.h"
 #include "field/fp.h"
 
@@ -56,9 +59,22 @@ class Curve {
   JacobianPoint Add(const JacobianPoint& p, const JacobianPoint& q) const;
   /// Mixed addition with an affine q (faster inner loop).
   JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q) const;
+  /// -P in Jacobian coordinates.
+  JacobianPoint NegJacobian(const JacobianPoint& p) const;
 
-  /// [k]P, handling k = 0, negative k and k >= group order transparently.
+  /// Normalizes many Jacobian points to affine with a single field
+  /// inversion (Montgomery's simultaneous-inversion trick). Identity
+  /// inputs come back as affine infinity.
+  std::vector<AffinePoint> BatchToAffine(
+      const std::vector<JacobianPoint>& pts) const;
+
+  /// [k]P via width-4 wNAF, handling k = 0, negative k and k >= group
+  /// order transparently.
   AffinePoint ScalarMul(const BigInt& k, const AffinePoint& p) const;
+
+  /// [k]P via the plain left-to-right double-and-add ladder. Reference
+  /// path for equivalence tests and before/after benchmarks.
+  AffinePoint ScalarMulBinary(const BigInt& k, const AffinePoint& p) const;
 
   /// Affine addition convenience (one inversion).
   AffinePoint AddAffine(const AffinePoint& p, const AffinePoint& q) const;
@@ -72,6 +88,40 @@ class Curve {
   Fp fp_;
   Fp::Elem a_;
   Fp::Elem b_;
+};
+
+/// Lim-Lee fixed-base comb table for one point.
+///
+/// Splits a scalar of up to teeth*rows bits into `teeth` interleaved
+/// combs of `rows` bits each and precomputes all 2^teeth - 1 subset sums
+/// T[e] = sum_{j : e_j = 1} [2^(j*rows)] base (stored affine, so the
+/// evaluation loop uses mixed additions). One multiplication then costs
+/// `rows` doublings plus at most `rows` additions — versus ~bits
+/// doublings and ~bits/2 additions for the generic ladder. Building a
+/// table costs about as much as one generic multiplication, so it pays
+/// for itself from the second use of the same base.
+class FixedBaseComb {
+ public:
+  /// Empty table; Mul falls back to Curve::ScalarMul.
+  FixedBaseComb() = default;
+
+  /// Precomputes the table for scalars of up to `max_bits` bits.
+  static FixedBaseComb Build(const Curve& curve, const AffinePoint& base,
+                             size_t max_bits, unsigned teeth = 5);
+
+  bool empty() const { return table_.empty() && !base_infinity_; }
+  size_t max_bits() const { return size_t(teeth_) * rows_; }
+
+  /// [k]base. Scalars wider than max_bits (or an empty table) fall back
+  /// to curve.ScalarMul on the stored base; negative k negates.
+  AffinePoint Mul(const Curve& curve, const BigInt& k) const;
+
+ private:
+  unsigned teeth_ = 0;
+  size_t rows_ = 0;
+  bool base_infinity_ = false;
+  AffinePoint base_;                // for the fallback path
+  std::vector<AffinePoint> table_;  // table_[e-1], e in [1, 2^teeth)
 };
 
 }  // namespace sloc

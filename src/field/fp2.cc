@@ -90,6 +90,40 @@ Fp2Elem Fp2::Pow(const Fp2Elem& base, const BigInt& exp) const {
   return result;
 }
 
+Fp2Elem Fp2::PowUnitary(const Fp2Elem& base, const BigInt& exp) const {
+  SLOC_DCHECK(fp_.Equal(Norm(base), fp_.One())) << "element is not unitary";
+  if (exp.IsZero()) return One();
+  constexpr unsigned kWidth = 4;
+  const std::vector<int8_t> digits = exp.ToWnaf(kWidth);
+  // Odd powers base^1, base^3, ..., base^(2^(w-1) - 1).
+  std::vector<Fp2Elem> odd(size_t(1) << (kWidth - 2));
+  odd[0] = base;
+  Fp2Elem sq;
+  Sqr(base, &sq);
+  for (size_t m = 1; m < odd.size(); ++m) Mul(odd[m - 1], sq, &odd[m]);
+
+  const bool negate = exp.IsNegative();
+  Fp2Elem result = One();
+  Fp2Elem tmp;
+  for (size_t i = digits.size(); i-- > 0;) {
+    Sqr(result, &tmp);
+    result = tmp;
+    const int8_t d = digits[i];
+    if (d == 0) continue;
+    const bool minus = negate ? d > 0 : d < 0;
+    const Fp2Elem& m = odd[size_t(d < 0 ? -d : d) >> 1];
+    if (minus) {
+      Fp2Elem inv;
+      Conj(m, &inv);
+      Mul(result, inv, &tmp);
+    } else {
+      Mul(result, m, &tmp);
+    }
+    result = tmp;
+  }
+  return result;
+}
+
 Fp2Elem Fp2::UnitaryInverse(const Fp2Elem& a) const {
   SLOC_DCHECK(fp_.Equal(Norm(a), fp_.One())) << "element is not unitary";
   Fp2Elem out;

@@ -64,6 +64,12 @@ class Fp2 {
   /// Debug-checked; all G_T elements after final exponentiation are unitary.
   Fp2Elem UnitaryInverse(const Fp2Elem& a) const;
 
+  /// Exponentiation of a unitary element (norm 1), any sign of exp.
+  /// Inversion is a free conjugation on the unit circle, so this runs a
+  /// signed-digit (wNAF) ladder with ~1/5 the multiplications of Pow and
+  /// never touches Fp2::Inverse. Debug-checked for unitarity.
+  Fp2Elem PowUnitary(const Fp2Elem& base, const BigInt& exp) const;
+
  private:
   explicit Fp2(const Fp& fp) : fp_(fp) {}
   Fp fp_;

@@ -14,7 +14,59 @@ BigInt NonZeroExp(const BigInt& order, const RandFn& rand) {
   return BigInt::RandomBelow(order - BigInt(1), rand) + BigInt(1);
 }
 
+/// [k]base through the comb when one is available, generic Mul otherwise.
+AffinePoint MulBase(const PairingGroup& group, const FixedBaseComb* comb,
+                    const AffinePoint& base, const BigInt& k) {
+  if (comb != nullptr && !comb->empty()) return group.MulFixed(*comb, k);
+  return group.Mul(k, base);
+}
+
 }  // namespace
+
+void PrecomputePublicKey(const PairingGroup& group, PublicKey* pk) {
+  if (pk->uh.size() != pk->width) {
+    pk->uh.clear();
+    pk->uh.reserve(pk->width);
+    for (size_t i = 0; i < pk->width; ++i) {
+      pk->uh.push_back(group.Add(pk->u[i], pk->h[i]));
+    }
+  }
+  if (pk->tables != nullptr) return;
+  auto tables = std::make_shared<PublicKeyTables>();
+  tables->v_blinded = group.BuildComb(pk->v_blinded);
+  tables->h.reserve(pk->width);
+  tables->uh.reserve(pk->width);
+  tables->w.reserve(pk->width);
+  for (size_t i = 0; i < pk->width; ++i) {
+    tables->h.push_back(group.BuildComb(pk->h[i]));
+    tables->uh.push_back(group.BuildComb(pk->uh[i]));
+    tables->w.push_back(group.BuildComb(pk->w[i]));
+  }
+  pk->tables = std::move(tables);
+}
+
+void PrecomputeSecretKey(const PairingGroup& group, SecretKey* sk) {
+  if (sk->uh.size() != sk->width) {
+    sk->uh.clear();
+    sk->uh.reserve(sk->width);
+    for (size_t i = 0; i < sk->width; ++i) {
+      sk->uh.push_back(group.Add(sk->u[i], sk->h[i]));
+    }
+  }
+  if (sk->tables != nullptr) return;
+  auto tables = std::make_shared<SecretKeyTables>();
+  tables->g = group.BuildComb(sk->g);
+  tables->v = group.BuildComb(sk->v);
+  tables->h.reserve(sk->width);
+  tables->uh.reserve(sk->width);
+  tables->w.reserve(sk->width);
+  for (size_t i = 0; i < sk->width; ++i) {
+    tables->h.push_back(group.BuildComb(sk->h[i]));
+    tables->uh.push_back(group.BuildComb(sk->uh[i]));
+    tables->w.push_back(group.BuildComb(sk->w[i]));
+  }
+  sk->tables = std::move(tables);
+}
 
 Result<KeyPair> Setup(const PairingGroup& group, size_t width,
                       const RandFn& rand) {
@@ -51,6 +103,8 @@ Result<KeyPair> Setup(const PairingGroup& group, size_t width,
   pk.v_blinded = group.Add(sk.v, group.RandomGq(rand));
   // A = e(g, v)^a.
   pk.a_pair = group.GtPow(group.Pair(sk.g, sk.v), sk.a);
+  PrecomputePublicKey(group, &pk);
+  PrecomputeSecretKey(group, &sk);
   return kp;
 }
 
@@ -70,18 +124,35 @@ Result<Ciphertext> Encrypt(const PairingGroup& group, const PublicKey& pk,
   const BigInt s = NonZeroExp(pp.n, rand);
 
   Ciphertext ct;
+  // Guard against tables built for a different width (hand-edited keys).
+  const PublicKeyTables* tables =
+      (pk.tables != nullptr && pk.tables->h.size() == pk.width)
+          ? pk.tables.get()
+          : nullptr;
+  const bool have_uh = pk.uh.size() == pk.width;
   // C' = M * A^s.
   ct.c_prime = group.GtMul(msg, group.GtPow(pk.a_pair, s));
   // C_0 = V^s * Z.
-  ct.c0 = group.Add(group.Mul(s, pk.v_blinded), group.RandomGq(rand));
+  ct.c0 = group.Add(
+      MulBase(group, tables ? &tables->v_blinded : nullptr, pk.v_blinded, s),
+      group.RandomGq(rand));
   ct.c1.reserve(pk.width);
   ct.c2.reserve(pk.width);
   for (size_t i = 0; i < pk.width; ++i) {
-    // Base_i = U_i^{I_i} * H_i: either H_i (bit 0) or U_i + H_i (bit 1).
-    AffinePoint base =
-        index[i] == '1' ? group.Add(pk.u[i], pk.h[i]) : pk.h[i];
-    ct.c1.push_back(group.Add(group.Mul(s, base), group.RandomGq(rand)));
-    ct.c2.push_back(group.Add(group.Mul(s, pk.w[i]), group.RandomGq(rand)));
+    // Base_i = U_i^{I_i} * H_i: either H_i (bit 0) or U_i + H_i (bit 1),
+    // the latter hoisted into pk.uh at key-precompute time.
+    AffinePoint base_s;
+    if (index[i] == '1') {
+      const AffinePoint uh =
+          have_uh ? pk.uh[i] : group.Add(pk.u[i], pk.h[i]);
+      base_s = MulBase(group, tables ? &tables->uh[i] : nullptr, uh, s);
+    } else {
+      base_s = MulBase(group, tables ? &tables->h[i] : nullptr, pk.h[i], s);
+    }
+    ct.c1.push_back(group.Add(base_s, group.RandomGq(rand)));
+    ct.c2.push_back(group.Add(
+        MulBase(group, tables ? &tables->w[i] : nullptr, pk.w[i], s),
+        group.RandomGq(rand)));
   }
   return ct;
 }
@@ -101,18 +172,30 @@ Result<Token> GenToken(const PairingGroup& group, const SecretKey& sk,
 
   Token tk;
   tk.pattern = pattern;
+  const SecretKeyTables* tables =
+      (sk.tables != nullptr && sk.tables->h.size() == sk.width)
+          ? sk.tables.get()
+          : nullptr;
+  const bool have_uh = sk.uh.size() == sk.width;
   // K_0 = g^a * prod_{i in J} (u_i^{I*_i} h_i)^{r_i,1} w_i^{r_i,2}.
-  AffinePoint k0 = group.Mul(sk.a, sk.g);
+  AffinePoint k0 = MulBase(group, tables ? &tables->g : nullptr, sk.g, sk.a);
   for (size_t i = 0; i < pattern.size(); ++i) {
     if (pattern[i] == kStar) continue;
     const BigInt r1 = NonZeroExp(pp.prime_p, rand);
     const BigInt r2 = NonZeroExp(pp.prime_p, rand);
-    AffinePoint base =
-        pattern[i] == '1' ? group.Add(sk.u[i], sk.h[i]) : sk.h[i];
-    k0 = group.Add(k0, group.Mul(r1, base));
-    k0 = group.Add(k0, group.Mul(r2, sk.w[i]));
-    tk.k1.push_back(group.Mul(r1, sk.v));
-    tk.k2.push_back(group.Mul(r2, sk.v));
+    AffinePoint base_r1;
+    if (pattern[i] == '1') {
+      const AffinePoint uh =
+          have_uh ? sk.uh[i] : group.Add(sk.u[i], sk.h[i]);
+      base_r1 = MulBase(group, tables ? &tables->uh[i] : nullptr, uh, r1);
+    } else {
+      base_r1 = MulBase(group, tables ? &tables->h[i] : nullptr, sk.h[i], r1);
+    }
+    k0 = group.Add(k0, base_r1);
+    k0 = group.Add(
+        k0, MulBase(group, tables ? &tables->w[i] : nullptr, sk.w[i], r2));
+    tk.k1.push_back(MulBase(group, tables ? &tables->v : nullptr, sk.v, r1));
+    tk.k2.push_back(MulBase(group, tables ? &tables->v : nullptr, sk.v, r2));
   }
   tk.k0 = k0;
   return tk;
@@ -166,39 +249,95 @@ Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
     return Status::InvalidArgument("malformed token: |k1|,|k2| != |J|");
   }
   const Fp2& fp2 = group.fp2();
-  const Curve& curve = group.curve();
-  const BigInt& n = group.params().n;
-  group.CountPairings(2 * non_star + 1);
 
-  // Accumulate the Miller values of the denominator product
-  // prod e(C_i,1, K_i,1) e(C_i,2, K_i,2) and the numerator e(C_0, K_0);
-  // final-exponentiate the ratio once.
-  auto miller_or_one = [&](const AffinePoint& a,
-                           const AffinePoint& b) -> Fp2Elem {
-    if (a.infinity || b.infinity) return fp2.One();
-    return MillerLoop(curve, fp2, n, a, b);
-  };
-  Fp2Elem denom = fp2.One();
-  Fp2Elem tmp;
+  // One shared-squaring pass over the 2|J|+1 pairs: the numerator
+  // e(C_0, K_0) plus each denominator pairing folded in as its inverse
+  // (invert = true evaluates at phi(-K)), so the ratio num/denom falls
+  // out of the loop with no Fp2 inversion.
+  std::vector<PairingInput> pairs;
+  pairs.reserve(2 * non_star + 1);
+  pairs.push_back(PairingInput{&ct.c0, &token.k0, false});
   size_t j = 0;
   for (size_t i = 0; i < width; ++i) {
     if (token.pattern[i] == kStar) continue;
-    fp2.Mul(denom, miller_or_one(ct.c1[i], token.k1[j]), &tmp);
-    denom = tmp;
-    fp2.Mul(denom, miller_or_one(ct.c2[i], token.k2[j]), &tmp);
-    denom = tmp;
+    pairs.push_back(PairingInput{&ct.c1[i], &token.k1[j], true});
+    pairs.push_back(PairingInput{&ct.c2[i], &token.k2[j], true});
     ++j;
   }
-  Fp2Elem num = miller_or_one(ct.c0, token.k0);
-  // ratio_miller = num / denom (general inverse: Miller values are not
-  // unitary before the final exponentiation).
-  SLOC_ASSIGN_OR_RETURN(Fp2Elem denom_inv, fp2.Inverse(denom));
-  Fp2Elem ratio_miller;
-  fp2.Mul(num, denom_inv, &ratio_miller);
+  size_t executed = 0;
+  Fp2Elem ratio_miller = MultiMillerLoop(group.curve(), fp2,
+                                         group.params().n, pairs, &executed);
+  group.CountPairings(executed);
   Fp2Elem ratio =
       FinalExponentiation(fp2, ratio_miller, group.params().cofactor);
   // M = C' / ratio; the exponentiated ratio is unitary.
   return group.GtMul(ct.c_prime, group.GtInv(ratio));
+}
+
+PrecompiledToken PrecompileToken(const PairingGroup& group,
+                                 const Token& token) {
+  const Curve& curve = group.curve();
+  const BigInt& n = group.params().n;
+  PrecompiledToken out;
+  out.pattern = token.pattern;
+  out.k0 = PrecompileMillerLines(curve, n, token.k0);
+  out.positions.reserve(token.k1.size());
+  out.k1.reserve(token.k1.size());
+  out.k2.reserve(token.k2.size());
+  size_t j = 0;
+  for (size_t i = 0; i < token.pattern.size(); ++i) {
+    if (token.pattern[i] == kStar) continue;
+    if (j >= token.k1.size() || j >= token.k2.size()) break;  // malformed
+    out.positions.push_back(i);
+    out.k1.push_back(PrecompileMillerLines(curve, n, token.k1[j]));
+    out.k2.push_back(PrecompileMillerLines(curve, n, token.k2[j]));
+    ++j;
+  }
+  return out;
+}
+
+Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
+                                 const PrecompiledToken& token,
+                                 const Ciphertext& ct) {
+  const size_t width = token.pattern.size();
+  if (ct.c1.size() != width || ct.c2.size() != width) {
+    return Status::InvalidArgument(
+        "ciphertext/token width mismatch in QueryPrecompiled");
+  }
+  const size_t non_star = NonStarCount(token.pattern);
+  if (token.k1.size() != non_star || token.k2.size() != non_star ||
+      token.positions.size() != non_star) {
+    return Status::InvalidArgument(
+        "malformed precompiled token: |k1|,|k2| != |J|");
+  }
+  const Fp2& fp2 = group.fp2();
+
+  // Same pair layout as QueryMultiPairing; only the stored line tables
+  // stand in for the token points.
+  std::vector<PrecompiledPairingInput> pairs;
+  pairs.reserve(2 * non_star + 1);
+  pairs.push_back(PrecompiledPairingInput{&token.k0, &ct.c0, false});
+  for (size_t j = 0; j < non_star; ++j) {
+    const size_t i = token.positions[j];
+    pairs.push_back(PrecompiledPairingInput{&token.k1[j], &ct.c1[i], true});
+    pairs.push_back(PrecompiledPairingInput{&token.k2[j], &ct.c2[i], true});
+  }
+  size_t executed = 0;
+  Fp2Elem ratio_miller = MultiMillerLoopPrecompiled(
+      group.curve(), fp2, group.params().n, pairs, &executed);
+  group.CountPairings(executed);
+  group.CountPrecompPairings(executed);
+  Fp2Elem ratio =
+      FinalExponentiation(fp2, ratio_miller, group.params().cofactor);
+  return group.GtMul(ct.c_prime, group.GtInv(ratio));
+}
+
+Result<bool> MatchesPrecompiled(const PairingGroup& group,
+                                const PrecompiledToken& token,
+                                const Ciphertext& ct, const Fp2Elem& marker) {
+  SLOC_ASSIGN_OR_RETURN(Fp2Elem recovered,
+                        QueryPrecompiled(group, token, ct));
+  return group.GtEqual(recovered, marker);
 }
 
 }  // namespace hve

@@ -10,14 +10,26 @@
 #ifndef SLOC_HVE_HVE_H_
 #define SLOC_HVE_HVE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "pairing/group.h"
+#include "pairing/miller.h"
 
 namespace sloc {
 namespace hve {
+
+/// Fixed-base tables for the bases Encrypt multiplies on every call.
+/// Built once per key (Setup / deserialize); shared so key copies reuse
+/// them.
+struct PublicKeyTables {
+  FixedBaseComb v_blinded;
+  std::vector<FixedBaseComb> h;   ///< H_i
+  std::vector<FixedBaseComb> uh;  ///< U_i + H_i
+  std::vector<FixedBaseComb> w;   ///< W_i
+};
 
 /// Public key: blinded generators (the R_* factors live in G_q).
 struct PublicKey {
@@ -28,6 +40,23 @@ struct PublicKey {
   std::vector<AffinePoint> u;    ///< U_i = u_i * R_u_i
   std::vector<AffinePoint> h;    ///< H_i = h_i * R_h_i
   std::vector<AffinePoint> w;    ///< W_i = w_i * R_w_i
+  /// Hoisted U_i + H_i sums (the bit-1 encryption bases). Populated by
+  /// PrecomputePublicKey; Encrypt recomputes on the fly when absent.
+  /// Derived data: anyone mutating u/h/w afterwards must clear uh and
+  /// tables (then optionally re-run PrecomputePublicKey) or Encrypt
+  /// will silently use the stale bases.
+  std::vector<AffinePoint> uh;
+  /// Fixed-base tables; null keys still work, just slower.
+  std::shared_ptr<const PublicKeyTables> tables;
+};
+
+/// Fixed-base tables for GenToken's per-position multiplications.
+struct SecretKeyTables {
+  FixedBaseComb g;
+  FixedBaseComb v;
+  std::vector<FixedBaseComb> h;
+  std::vector<FixedBaseComb> uh;
+  std::vector<FixedBaseComb> w;
 };
 
 /// Secret key: unblinded G_p elements plus the master exponent a.
@@ -40,6 +69,10 @@ struct SecretKey {
   std::vector<AffinePoint> w;
   AffinePoint g;                 ///< g in G_p
   AffinePoint v;                 ///< v in G_p
+  /// Hoisted u_i + h_i sums; derived data like PublicKey::uh (clear
+  /// both together with tables when mutating the base points).
+  std::vector<AffinePoint> uh;
+  std::shared_ptr<const SecretKeyTables> tables;
 };
 
 struct KeyPair {
@@ -65,9 +98,17 @@ struct Token {
   std::vector<AffinePoint> k2;   ///< K_i,2 = v^{r_i,2}, i in J
 };
 
-/// Generates an HVE key pair of the given width.
+/// Generates an HVE key pair of the given width. Both halves come back
+/// with their u_i+h_i sums and fixed-base tables populated.
 Result<KeyPair> Setup(const PairingGroup& group, size_t width,
                       const RandFn& rand);
+
+/// Populates pk->uh and pk->tables (idempotent). Called by Setup and by
+/// the deserializer; hand-assembled keys can opt in explicitly.
+void PrecomputePublicKey(const PairingGroup& group, PublicKey* pk);
+
+/// Populates sk->uh and sk->tables (idempotent).
+void PrecomputeSecretKey(const PairingGroup& group, SecretKey* sk);
 
 /// Encrypts message `msg` (an element of G_T) under binary index `index`.
 /// Error when the index is not binary or its width mismatches the key.
@@ -94,13 +135,48 @@ Result<bool> Matches(const PairingGroup& group, const Token& token,
 size_t QueryPairingCost(const Token& token);
 
 /// Query with the multi-pairing optimization: all 2|J|+1 Miller loops
-/// are accumulated into one product and a *single* final exponentiation
-/// is applied (the final-exp map is a homomorphism). Produces exactly
-/// the same G_T element as Query at a fraction of the cost; the
-/// ablation bench quantifies the speedup. Counted as the same 2|J|+1
-/// logical pairings for the paper's metric.
+/// run inside ONE shared-squaring pass (one fp2 squaring per order bit
+/// total), the denominator pairings are folded in as e(C, -K) so no Fp2
+/// inversion is needed, and a *single* final exponentiation is applied
+/// (the final-exp map is a homomorphism). Produces exactly the same G_T
+/// element as Query at a fraction of the cost. The pairing counter is
+/// charged only with Miller loops actually executed (identity pairs are
+/// free).
 Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
                                   const Token& token, const Ciphertext& ct);
+
+/// A token whose Miller chains have been run once and flattened into
+/// line-coefficient tables. The token side (K_0, K_i,1, K_i,2) is fixed
+/// for the lifetime of an alert, so a scan over many ciphertexts pays
+/// the point arithmetic once and each evaluation only substitutes the
+/// distorted ciphertext coordinates into the stored lines.
+struct PrecompiledToken {
+  std::string pattern;
+  std::vector<size_t> positions;     ///< indices i with pattern[i] != '*'
+  MillerLineTable k0;
+  std::vector<MillerLineTable> k1;   ///< per non-star position, in order
+  std::vector<MillerLineTable> k2;
+};
+
+/// Runs the 2|J|+1 Miller chains of `token` once. Costs about one
+/// QueryMultiPairing without the final exponentiation; every subsequent
+/// QueryPrecompiled against the result skips the chain arithmetic.
+PrecompiledToken PrecompileToken(const PairingGroup& group,
+                                 const Token& token);
+
+/// Query against a precompiled token: shared-squaring evaluation of the
+/// stored line tables plus one final exponentiation. Returns exactly the
+/// same G_T element as Query/QueryMultiPairing. Executed pairings are
+/// charged to both the pairing counter and the precompiled-table hit
+/// counter.
+Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
+                                 const PrecompiledToken& token,
+                                 const Ciphertext& ct);
+
+/// Convenience predicate over the precompiled path.
+Result<bool> MatchesPrecompiled(const PairingGroup& group,
+                                const PrecompiledToken& token,
+                                const Ciphertext& ct, const Fp2Elem& marker);
 
 }  // namespace hve
 }  // namespace sloc

@@ -251,6 +251,9 @@ Result<PublicKey> ParsePublicKey(const PairingGroup& group,
     pk.w.push_back(std::move(wp));
   }
   SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  // Hoist the U_i + H_i encryption bases and build the fixed-base
+  // tables once per deserialized key; every Encrypt reuses them.
+  PrecomputePublicKey(group, &pk);
   return pk;
 }
 

@@ -50,6 +50,9 @@ Result<PairingGroup> PairingGroup::Generate(const PairingParamSpec& spec) {
     group.gq_ = std::move(gq);
     break;
   }
+  group.comb_g_ = group.BuildComb(group.g_);
+  group.comb_gp_ = group.BuildComb(group.gp_);
+  group.comb_gq_ = group.BuildComb(group.gq_);
   group.e_gg_ = group.Pair(group.g_, group.g_);
   group.ResetCounters();
   return group;
@@ -58,18 +61,35 @@ Result<PairingGroup> PairingGroup::Generate(const PairingParamSpec& spec) {
 AffinePoint PairingGroup::RandomGp(const RandFn& rand) const {
   BigInt k = BigInt::RandomBelow(params_.prime_p - BigInt(1), rand) +
              BigInt(1);
-  return Mul(k, gp_);
+  return MulFixed(comb_gp_, k);
 }
 
 AffinePoint PairingGroup::RandomGq(const RandFn& rand) const {
   BigInt k = BigInt::RandomBelow(params_.prime_q - BigInt(1), rand) +
              BigInt(1);
-  return Mul(k, gq_);
+  return MulFixed(comb_gq_, k);
 }
 
 AffinePoint PairingGroup::Mul(const BigInt& k, const AffinePoint& pt) const {
   counters_->scalar_muls.fetch_add(1, std::memory_order_relaxed);
+  if (!pt.infinity) {
+    if (curve_->Equal(pt, g_)) return comb_g_.Mul(*curve_, k);
+    if (curve_->Equal(pt, gp_)) return comb_gp_.Mul(*curve_, k);
+    if (curve_->Equal(pt, gq_)) return comb_gq_.Mul(*curve_, k);
+  }
   return curve_->ScalarMul(k, pt);
+}
+
+AffinePoint PairingGroup::MulFixed(const FixedBaseComb& comb,
+                                   const BigInt& k) const {
+  counters_->scalar_muls.fetch_add(1, std::memory_order_relaxed);
+  return comb.Mul(*curve_, k);
+}
+
+FixedBaseComb PairingGroup::BuildComb(const AffinePoint& base) const {
+  // Scalars are reduced mod N (or a prime factor) everywhere, so N's
+  // width bounds every comb lookup.
+  return FixedBaseComb::Build(*curve_, base, params_.n.BitLength());
 }
 
 AffinePoint PairingGroup::Add(const AffinePoint& a,
@@ -92,10 +112,10 @@ Fp2Elem PairingGroup::GtMul(const Fp2Elem& a, const Fp2Elem& b) const {
 
 Fp2Elem PairingGroup::GtPow(const Fp2Elem& a, const BigInt& e) const {
   counters_->gt_exps.fetch_add(1, std::memory_order_relaxed);
-  if (e.IsNegative()) {
-    return fp2_->Pow(GtInv(a), -e);
-  }
-  return fp2_->Pow(a, e);
+  // G_T lives on the unit circle of F_p^2 (post-final-exponentiation
+  // elements satisfy f^(p+1) = 1, i.e. norm 1), so inversion is a free
+  // conjugation and the signed-digit ladder applies to either sign of e.
+  return fp2_->PowUnitary(a, e);
 }
 
 Fp2Elem PairingGroup::RandomGt(const RandFn& rand) const {

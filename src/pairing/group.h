@@ -21,9 +21,13 @@
 namespace sloc {
 
 /// Snapshot of the running operation counters; the paper's headline
-/// metric is `pairings`.
+/// metric is `pairings`. `pairings` counts Miller loops actually
+/// executed (identity-short-circuited pairs are free and not charged);
+/// `precomp_pairings` is the subset served from precompiled line tables
+/// (the cache-hit counter of the multi-pairing engine).
 struct PairingCounters {
   uint64_t pairings = 0;
+  uint64_t precomp_pairings = 0;
   uint64_t scalar_muls = 0;
   uint64_t gt_exps = 0;
 };
@@ -57,8 +61,14 @@ class PairingGroup {
   /// Uniformly random element of G_q (scalar in [1, Q)).
   AffinePoint RandomGq(const RandFn& rand) const;
 
-  /// [k]P with operation counting.
+  /// [k]P with operation counting. Multiplications of the three cached
+  /// generators are routed through their fixed-base comb tables.
   AffinePoint Mul(const BigInt& k, const AffinePoint& pt) const;
+  /// [k]base through a caller-held fixed-base table, with operation
+  /// counting (the HVE layer keeps per-key tables).
+  AffinePoint MulFixed(const FixedBaseComb& comb, const BigInt& k) const;
+  /// Builds a fixed-base table sized for this group's scalars.
+  FixedBaseComb BuildComb(const AffinePoint& base) const;
   /// P + Q.
   AffinePoint Add(const AffinePoint& a, const AffinePoint& b) const;
 
@@ -83,19 +93,29 @@ class PairingGroup {
   PairingCounters counters() const {
     PairingCounters snap;
     snap.pairings = counters_->pairings.load(std::memory_order_relaxed);
+    snap.precomp_pairings =
+        counters_->precomp_pairings.load(std::memory_order_relaxed);
     snap.scalar_muls = counters_->scalar_muls.load(std::memory_order_relaxed);
     snap.gt_exps = counters_->gt_exps.load(std::memory_order_relaxed);
     return snap;
   }
   void ResetCounters() const {
     counters_->pairings.store(0, std::memory_order_relaxed);
+    counters_->precomp_pairings.store(0, std::memory_order_relaxed);
     counters_->scalar_muls.store(0, std::memory_order_relaxed);
     counters_->gt_exps.store(0, std::memory_order_relaxed);
   }
-  /// Accounts for `k` logical pairings computed outside Pair() (e.g. the
+  /// Accounts for `k` pairings computed outside Pair() (e.g. the
   /// multi-pairing fast path, which shares one final exponentiation).
+  /// Callers charge only Miller loops actually executed, not pairs
+  /// short-circuited by points at infinity.
   void CountPairings(uint64_t k) const {
     counters_->pairings.fetch_add(k, std::memory_order_relaxed);
+  }
+  /// Accounts for `k` pairings that were served from precompiled line
+  /// tables (charged *in addition* to CountPairings).
+  void CountPrecompPairings(uint64_t k) const {
+    counters_->precomp_pairings.fetch_add(k, std::memory_order_relaxed);
   }
 
  private:
@@ -105,6 +125,7 @@ class PairingGroup {
   /// PairingGroup stays movable (std::atomic is not).
   struct AtomicCounters {
     std::atomic<uint64_t> pairings{0};
+    std::atomic<uint64_t> precomp_pairings{0};
     std::atomic<uint64_t> scalar_muls{0};
     std::atomic<uint64_t> gt_exps{0};
   };
@@ -114,6 +135,9 @@ class PairingGroup {
   std::unique_ptr<Fp2> fp2_;
   std::unique_ptr<Curve> curve_;
   AffinePoint g_, gp_, gq_;
+  // Fixed-base tables for the generators: Setup's ~6*width random
+  // subgroup elements and every RandomGp/RandomGq draw go through these.
+  FixedBaseComb comb_g_, comb_gp_, comb_gq_;
   Fp2Elem e_gg_;  // cached e(g, g)
   mutable std::unique_ptr<AtomicCounters> counters_ =
       std::make_unique<AtomicCounters>();

@@ -1,97 +1,154 @@
 #include "pairing/miller.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace sloc {
 
 namespace {
 
-/// State threaded through the Miller loop.
+/// Per-pair state threaded through a Miller loop: the shared contexts
+/// plus the distorted coordinates of this pair's evaluation point.
 struct LoopCtx {
   const Curve& curve;
   const Fp& fp;
   const Fp2& fp2;
   Fp::Elem xq;     // x-coordinate of phi(B) = -x_B (in F_p)
-  Fp::Elem yq_im;  // imaginary coefficient of phi(B)'s y = y_B
+  Fp::Elem yq_im;  // imaginary coefficient of phi(B)'s y = +-y_B
 };
 
-/// Tangent-line value at T (Jacobian), evaluated at phi(B); also advances
-/// T <- 2T. Line values are scaled by 2*Y*Z^3 in F_p* (harmless).
-Fp2Elem DoubleStep(const LoopCtx& ctx, JacobianPoint* t) {
-  const Fp& fp = ctx.fp;
-  if (ctx.curve.IsInfinity(*t) || fp.IsZero(t->Y)) {
+/// Intermediates of one doubling step that the line (in either evaluated
+/// or coefficient form) needs, all taken from the state *before* the
+/// step: A = Y^2, D = 3X^2 + a Z^4, zz = Z^2, and the old X.
+struct DblAux {
+  Fp::Elem A;
+  Fp::Elem D;
+  Fp::Elem zz;
+  Fp::Elem x_old;
+};
+
+/// Advances T <- 2T (Jacobian), filling `aux` from the pre-step state.
+/// Returns false when T was the identity or 2-torsion: T becomes the
+/// identity and the step contributes no line.
+bool DoubleCore(const Curve& curve, JacobianPoint* t, DblAux* aux) {
+  const Fp& fp = curve.fp();
+  if (curve.IsInfinity(*t) || fp.IsZero(t->Y)) {
     *t = JacobianPoint{fp.One(), fp.One(), fp.Zero()};
-    return ctx.fp2.One();
+    return false;
   }
-  // Shared subexpressions with the doubling formula.
-  Fp::Elem A, B, C, D, zz, z4, tmp;
-  fp.Sqr(t->Y, &A);                    // Y^2
-  fp.Mul(t->X, A, &tmp);
+  Fp::Elem B, C, tmp, z4;
+  fp.Sqr(t->Y, &aux->A);               // Y^2
+  fp.Mul(t->X, aux->A, &tmp);
   fp.MulSmall(tmp, 4, &B);             // 4 X Y^2
-  fp.Sqr(A, &tmp);
+  fp.Sqr(aux->A, &tmp);
   fp.MulSmall(tmp, 8, &C);             // 8 Y^4
   fp.Sqr(t->X, &tmp);
   Fp::Elem three_x2;
   fp.MulSmall(tmp, 3, &three_x2);
-  fp.Sqr(t->Z, &zz);                   // Z^2
-  fp.Sqr(zz, &z4);
-  fp.Mul(ctx.curve.a(), z4, &tmp);
-  fp.Add(three_x2, tmp, &D);           // D = 3X^2 + a Z^4
+  fp.Sqr(t->Z, &aux->zz);              // Z^2
+  fp.Sqr(aux->zz, &z4);
+  fp.Mul(curve.a(), z4, &tmp);
+  fp.Add(three_x2, tmp, &aux->D);      // D = 3X^2 + a Z^4
+  aux->x_old = t->X;
 
   JacobianPoint out;
   Fp::Elem d2, two_b;
-  fp.Sqr(D, &d2);
+  fp.Sqr(aux->D, &d2);
   fp.Dbl(B, &two_b);
   fp.Sub(d2, two_b, &out.X);
   fp.Sub(B, out.X, &tmp);
   Fp::Elem dt;
-  fp.Mul(D, tmp, &dt);
+  fp.Mul(aux->D, tmp, &dt);
   fp.Sub(dt, C, &out.Y);
   fp.Mul(t->Y, t->Z, &tmp);
   fp.Dbl(tmp, &out.Z);                 // Z3 = 2 Y Z
+  *t = std::move(out);
+  return true;
+}
 
+/// Tangent-line value at the pre-step T, evaluated at phi(B); T advances.
+/// Line values are scaled by 2*Y*Z^3 in F_p* (harmless).
+Fp2Elem DoubleStep(const LoopCtx& ctx, JacobianPoint* t) {
+  DblAux aux;
+  if (!DoubleCore(ctx.curve, t, &aux)) return ctx.fp2.One();
+  const Fp& fp = ctx.fp;
   // l = [-2Y^2 - D*(xq*Z^2 - X)] + [Z3 * Z^2 * yq_im] i
   Fp2Elem line;
-  Fp::Elem xq_zz, diff, dterm, two_a;
-  fp.Mul(ctx.xq, zz, &xq_zz);
-  fp.Sub(xq_zz, t->X, &diff);
-  fp.Mul(D, diff, &dterm);
-  fp.Dbl(A, &two_a);                   // 2 Y^2
-  Fp::Elem neg;
+  Fp::Elem xq_zz, diff, dterm, two_a, neg;
+  fp.Mul(ctx.xq, aux.zz, &xq_zz);
+  fp.Sub(xq_zz, aux.x_old, &diff);
+  fp.Mul(aux.D, diff, &dterm);
+  fp.Dbl(aux.A, &two_a);               // 2 Y^2
   fp.Add(two_a, dterm, &neg);
   fp.Neg(neg, &line.re);
   Fp::Elem z3zz;
-  fp.Mul(out.Z, zz, &z3zz);
+  fp.Mul(t->Z, aux.zz, &z3zz);
   fp.Mul(z3zz, ctx.yq_im, &line.im);
-
-  *t = std::move(out);
   return line;
 }
 
-/// Line through T and the affine base point P, evaluated at phi(B); also
-/// advances T <- T + P. Scaled by Z3 in F_p*.
-Fp2Elem AddStep(const LoopCtx& ctx, const AffinePoint& p, JacobianPoint* t) {
-  const Fp& fp = ctx.fp;
-  if (ctx.curve.IsInfinity(*t)) {
-    *t = ctx.curve.ToJacobian(p);
-    return ctx.fp2.One();
+/// The constant-1 line (used for steps with no line contribution).
+MillerLine TrivialLine(const Fp& fp) {
+  return MillerLine{fp.Zero(), fp.One(), fp.Zero()};
+}
+
+/// Coefficient form of DoubleStep: l = (c_x*xq + c_0) + (c_y*yq_im) i
+/// with c_x = -D Z^2, c_0 = D X - 2Y^2, c_y = Z3 Z^2.
+MillerLine DoubleStepLines(const Curve& curve, JacobianPoint* t) {
+  DblAux aux;
+  if (!DoubleCore(curve, t, &aux)) return TrivialLine(curve.fp());
+  const Fp& fp = curve.fp();
+  MillerLine line;
+  Fp::Elem d_zz, dx, two_a;
+  fp.Mul(aux.D, aux.zz, &d_zz);
+  fp.Neg(d_zz, &line.c_x);
+  fp.Mul(aux.D, aux.x_old, &dx);
+  fp.Dbl(aux.A, &two_a);
+  fp.Sub(dx, two_a, &line.c_0);
+  fp.Mul(t->Z, aux.zz, &line.c_y);
+  return line;
+}
+
+/// How an addition step resolved.
+enum class AddOutcome {
+  kNormal,   // T advanced; line intermediates valid
+  kTangent,  // T == P: caller must run a doubling step instead
+  kTrivial,  // line is the constant 1 (identity or vertical cases)
+};
+
+/// Intermediates of one addition step needed by the line forms: the
+/// slope numerator R and the new Z (Z3 = Z*H); P itself is known to the
+/// caller.
+struct AddAux {
+  Fp::Elem r;
+  Fp::Elem z3;
+};
+
+/// Advances T <- T + P (mixed). On kTangent T is left untouched.
+AddOutcome AddCore(const Curve& curve, const AffinePoint& p,
+                   JacobianPoint* t, AddAux* aux) {
+  const Fp& fp = curve.fp();
+  if (curve.IsInfinity(*t)) {
+    *t = curve.ToJacobian(p);
+    return AddOutcome::kTrivial;
   }
   Fp::Elem zz, zcu, u2, s2;
   fp.Sqr(t->Z, &zz);
   fp.Mul(zz, t->Z, &zcu);
   fp.Mul(p.x, zz, &u2);
   fp.Mul(p.y, zcu, &s2);
-  Fp::Elem h, r;
+  Fp::Elem h;
   fp.Sub(u2, t->X, &h);
-  fp.Sub(s2, t->Y, &r);
+  fp.Sub(s2, t->Y, &aux->r);
   if (fp.IsZero(h)) {
-    if (fp.IsZero(r)) {
+    if (fp.IsZero(aux->r)) {
       // T == P: tangent case (vanishingly rare mid-loop).
-      return DoubleStep(ctx, t);
+      return AddOutcome::kTangent;
     }
-    // T == -P: vertical line; value in F_p*, erased by final exponentiation.
+    // T == -P: vertical line; value in F_p*, erased by final exp.
     *t = JacobianPoint{fp.One(), fp.One(), fp.Zero()};
-    return ctx.fp2.One();
+    return AddOutcome::kTrivial;
   }
   Fp::Elem h2, h3, u1h2;
   fp.Sqr(h, &h2);
@@ -99,29 +156,78 @@ Fp2Elem AddStep(const LoopCtx& ctx, const AffinePoint& p, JacobianPoint* t) {
   fp.Mul(t->X, h2, &u1h2);
   JacobianPoint out;
   Fp::Elem r2, tmp, two_u1h2;
-  fp.Sqr(r, &r2);
+  fp.Sqr(aux->r, &r2);
   fp.Sub(r2, h3, &tmp);
   fp.Dbl(u1h2, &two_u1h2);
   fp.Sub(tmp, two_u1h2, &out.X);
   fp.Sub(u1h2, out.X, &tmp);
   Fp::Elem rt, s1h3;
-  fp.Mul(r, tmp, &rt);
+  fp.Mul(aux->r, tmp, &rt);
   fp.Mul(t->Y, h3, &s1h3);
   fp.Sub(rt, s1h3, &out.Y);
   fp.Mul(t->Z, h, &out.Z);             // Z3 = Z * H
+  aux->z3 = out.Z;
+  *t = std::move(out);
+  return AddOutcome::kNormal;
+}
 
+/// Line through T and the affine base point P, evaluated at phi(B); T
+/// advances. Scaled by Z3 in F_p*.
+Fp2Elem AddStep(const LoopCtx& ctx, const AffinePoint& p, JacobianPoint* t) {
+  AddAux aux;
+  switch (AddCore(ctx.curve, p, t, &aux)) {
+    case AddOutcome::kTangent:
+      return DoubleStep(ctx, t);
+    case AddOutcome::kTrivial:
+      return ctx.fp2.One();
+    case AddOutcome::kNormal:
+      break;
+  }
+  const Fp& fp = ctx.fp;
   // l = [-Z3*y2 - R*(xq - x2)] + [Z3 * yq_im] i
   Fp2Elem line;
   Fp::Elem z3y2, dx, rdx, sum;
-  fp.Mul(out.Z, p.y, &z3y2);
+  fp.Mul(aux.z3, p.y, &z3y2);
   fp.Sub(ctx.xq, p.x, &dx);
-  fp.Mul(r, dx, &rdx);
+  fp.Mul(aux.r, dx, &rdx);
   fp.Add(z3y2, rdx, &sum);
   fp.Neg(sum, &line.re);
-  fp.Mul(out.Z, ctx.yq_im, &line.im);
-
-  *t = std::move(out);
+  fp.Mul(aux.z3, ctx.yq_im, &line.im);
   return line;
+}
+
+/// Coefficient form of AddStep: c_x = -R, c_0 = R x2 - Z3 y2, c_y = Z3.
+MillerLine AddStepLines(const Curve& curve, const AffinePoint& p,
+                        JacobianPoint* t) {
+  AddAux aux;
+  switch (AddCore(curve, p, t, &aux)) {
+    case AddOutcome::kTangent:
+      return DoubleStepLines(curve, t);
+    case AddOutcome::kTrivial:
+      return TrivialLine(curve.fp());
+    case AddOutcome::kNormal:
+      break;
+  }
+  const Fp& fp = curve.fp();
+  MillerLine line;
+  Fp::Elem rx2, z3y2;
+  fp.Neg(aux.r, &line.c_x);
+  fp.Mul(aux.r, p.x, &rx2);
+  fp.Mul(aux.z3, p.y, &z3y2);
+  fp.Sub(rx2, z3y2, &line.c_0);
+  line.c_y = aux.z3;
+  return line;
+}
+
+/// Builds the per-pair evaluation context: phi(B) for the plain pairing,
+/// phi(-B) when accumulating the inverse.
+LoopCtx MakeCtx(const Curve& curve, const Fp2& fp2, const AffinePoint& b,
+                bool invert) {
+  const Fp& fp = curve.fp();
+  LoopCtx ctx{curve, fp, fp2, fp.Zero(), b.y};
+  fp.Neg(b.x, &ctx.xq);                      // phi(B).x = -x_B
+  if (invert) fp.Neg(b.y, &ctx.yq_im);       // phi(-B).y = -i*y_B
+  return ctx;
 }
 
 }  // namespace
@@ -130,9 +236,7 @@ Fp2Elem MillerLoop(const Curve& curve, const Fp2& fp2, const BigInt& order,
                    const AffinePoint& a, const AffinePoint& b) {
   SLOC_CHECK(!a.infinity && !b.infinity)
       << "MillerLoop requires finite points";
-  const Fp& fp = curve.fp();
-  LoopCtx ctx{curve, fp, fp2, fp.Zero(), b.y};
-  fp.Neg(b.x, &ctx.xq);  // phi(B).x = -x_B
+  LoopCtx ctx = MakeCtx(curve, fp2, b, /*invert=*/false);
 
   Fp2Elem f = fp2.One();
   Fp2Elem tmp;
@@ -150,6 +254,134 @@ Fp2Elem MillerLoop(const Curve& curve, const Fp2& fp2, const BigInt& order,
   return f;
 }
 
+Fp2Elem MultiMillerLoop(const Curve& curve, const Fp2& fp2,
+                        const BigInt& order,
+                        const std::vector<PairingInput>& pairs,
+                        size_t* loops_executed) {
+  struct PairState {
+    LoopCtx ctx;
+    const AffinePoint* base;
+    JacobianPoint t;
+  };
+  std::vector<PairState> live;
+  live.reserve(pairs.size());
+  for (const PairingInput& pair : pairs) {
+    SLOC_CHECK(pair.a != nullptr && pair.b != nullptr);
+    if (pair.a->infinity || pair.b->infinity) continue;
+    live.push_back(PairState{MakeCtx(curve, fp2, *pair.b, pair.invert),
+                             pair.a, curve.ToJacobian(*pair.a)});
+  }
+  if (loops_executed != nullptr) *loops_executed = live.size();
+  Fp2Elem f = fp2.One();
+  if (live.empty()) return f;
+
+  Fp2Elem tmp;
+  for (size_t i = order.BitLength() - 1; i-- > 0;) {
+    fp2.Sqr(f, &tmp);
+    f = tmp;
+    for (PairState& s : live) {
+      Fp2Elem line = DoubleStep(s.ctx, &s.t);
+      fp2.Mul(f, line, &tmp);
+      f = tmp;
+    }
+    if (order.Bit(i)) {
+      for (PairState& s : live) {
+        Fp2Elem line = AddStep(s.ctx, *s.base, &s.t);
+        fp2.Mul(f, line, &tmp);
+        f = tmp;
+      }
+    }
+  }
+  return f;
+}
+
+MillerLineTable PrecompileMillerLines(const Curve& curve,
+                                      const BigInt& order,
+                                      const AffinePoint& a) {
+  MillerLineTable table;
+  if (a.infinity) {
+    table.trivial_ = true;
+    return table;
+  }
+  const size_t bits = order.BitLength();
+  SLOC_CHECK(bits >= 1);
+  table.lines_.reserve(2 * bits);
+  JacobianPoint t = curve.ToJacobian(a);
+  for (size_t i = bits - 1; i-- > 0;) {
+    table.lines_.push_back(DoubleStepLines(curve, &t));
+    if (order.Bit(i)) {
+      table.lines_.push_back(AddStepLines(curve, a, &t));
+    }
+  }
+  return table;
+}
+
+Fp2Elem MultiMillerLoopPrecompiled(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingInput>& pairs,
+    size_t* loops_executed) {
+  const Fp& fp = curve.fp();
+  struct PairState {
+    const std::vector<MillerLine>* lines;
+    Fp::Elem xq;
+    Fp::Elem yq_im;
+  };
+  std::vector<PairState> live;
+  live.reserve(pairs.size());
+  for (const PrecompiledPairingInput& pair : pairs) {
+    SLOC_CHECK(pair.table != nullptr && pair.b != nullptr);
+    if (pair.table->trivial() || pair.b->infinity) continue;
+    PairState s;
+    s.lines = &pair.table->lines();
+    fp.Neg(pair.b->x, &s.xq);
+    s.yq_im = pair.b->y;
+    if (pair.invert) fp.Neg(pair.b->y, &s.yq_im);
+    live.push_back(std::move(s));
+  }
+  if (loops_executed != nullptr) *loops_executed = live.size();
+  Fp2Elem f = fp2.One();
+  if (live.empty()) return f;
+
+  // Every table must have been compiled against this same `order`: one
+  // doubling line per bit below the top plus one addition line per set
+  // bit. Reject mismatched tables up front — the walk below indexes
+  // unchecked.
+  const size_t bits = order.BitLength();
+  size_t schedule = bits - 1;
+  for (size_t i = bits - 1; i-- > 0;) {
+    if (order.Bit(i)) ++schedule;
+  }
+  for (const PairState& s : live) {
+    SLOC_CHECK(s.lines->size() == schedule)
+        << "Miller line table compiled for a different order";
+  }
+
+  // All chains share one schedule: walk it once, substituting each
+  // pair's coordinates into the stored coefficients.
+  Fp2Elem tmp, line;
+  Fp::Elem cx_xq;
+  size_t idx = 0;
+  auto substitute = [&](const PairState& s) {
+    const MillerLine& ml = (*s.lines)[idx];
+    fp.Mul(ml.c_x, s.xq, &cx_xq);
+    fp.Add(cx_xq, ml.c_0, &line.re);
+    fp.Mul(ml.c_y, s.yq_im, &line.im);
+    fp2.Mul(f, line, &tmp);
+    f = tmp;
+  };
+  for (size_t i = bits - 1; i-- > 0;) {
+    fp2.Sqr(f, &tmp);
+    f = tmp;
+    for (const PairState& s : live) substitute(s);
+    ++idx;
+    if (order.Bit(i)) {
+      for (const PairState& s : live) substitute(s);
+      ++idx;
+    }
+  }
+  return f;
+}
+
 Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
                             const BigInt& cofactor) {
   SLOC_CHECK(!fp2.IsZero(f)) << "zero Miller value";
@@ -160,8 +392,9 @@ Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
   SLOC_CHECK(inv.ok());
   Fp2Elem unit;
   fp2.Mul(conj, *inv, &unit);
-  // Then raise to c = (p+1)/N.
-  return fp2.Pow(unit, cofactor);
+  // Then raise to c = (p+1)/N. conj(f)/f has norm 1 exactly (the F_p
+  // norm is multiplicative), so the unitary ladder applies.
+  return fp2.PowUnitary(unit, cofactor);
 }
 
 }  // namespace sloc

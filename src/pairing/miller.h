@@ -5,9 +5,26 @@
 // Vertical-line factors therefore land in F_p* and are erased by the final
 // exponentiation (p^2-1)/N = (p-1)*c, so the loop uses denominator
 // elimination and scales line values by arbitrary F_p* constants.
+//
+// Three evaluation strategies share the same line formulas:
+//  1. MillerLoop        — one pair, the reference path.
+//  2. MultiMillerLoop   — many pairs in one loop over the order bits,
+//     sharing the f^2 squaring chain and the final exponentiation.
+//  3. PrecompileMillerLines + MultiMillerLoopPrecompiled — the Miller
+//     chain of a *fixed* first argument is run once and its line
+//     coefficients stored; later evaluations only substitute the other
+//     point's distorted coordinates (2 F_p muls per line instead of a
+//     full point-arithmetic step).
+//
+// Every strategy can fold an inversion into the loop for free: because
+// e(A, -B) = e(A, B)^-1 and phi(-B) = (-x_B, -i*y_B), flipping the sign
+// of the evaluation point's y accumulates the *inverse* of a pairing
+// without any Fp2 inversion. The HVE query ratio uses exactly this.
 
 #ifndef SLOC_PAIRING_MILLER_H_
 #define SLOC_PAIRING_MILLER_H_
+
+#include <vector>
 
 #include "ec/curve.h"
 #include "field/fp2.h"
@@ -20,6 +37,81 @@ namespace sloc {
 /// Returns the un-exponentiated Miller value in F_p^2.
 Fp2Elem MillerLoop(const Curve& curve, const Fp2& fp2, const BigInt& order,
                    const AffinePoint& a, const AffinePoint& b);
+
+/// One (A, B) pair of a multi-pairing. `invert` accumulates e(A, B)^-1
+/// (the evaluation point becomes phi(-B)). Pointed-to points must outlive
+/// the call; pairs where either point is the identity contribute 1 and
+/// cost nothing.
+struct PairingInput {
+  const AffinePoint* a = nullptr;
+  const AffinePoint* b = nullptr;
+  bool invert = false;
+};
+
+/// Shared-squaring multi-Miller loop: accumulates the line functions of
+/// every pair inside ONE pass over the order bits — a single fp2.Sqr(f)
+/// per bit total, instead of one per pair — and returns the combined
+/// un-exponentiated Miller value prod_k f_{N,A_k}(phi(+-B_k)). Apply
+/// FinalExponentiation once to get prod_k e(A_k, B_k)^{+-1}.
+///
+/// `loops_executed` (optional) receives the number of pairs actually
+/// evaluated, i.e. excluding identity-short-circuited ones — this is what
+/// the pairing counters should be charged with.
+Fp2Elem MultiMillerLoop(const Curve& curve, const Fp2& fp2,
+                        const BigInt& order,
+                        const std::vector<PairingInput>& pairs,
+                        size_t* loops_executed = nullptr);
+
+/// One precompiled line: evaluated at phi(B) = (xq, i*yq_im) it equals
+/// (c_x * xq + c_0) + (c_y * yq_im) i. Steps that contribute no line
+/// (identity tangents, verticals) are stored as the constant 1.
+struct MillerLine {
+  Fp::Elem c_x;
+  Fp::Elem c_0;
+  Fp::Elem c_y;
+};
+
+/// The full Miller chain of one fixed first argument A, flattened in
+/// execution order: for each bit below the top one doubling line, plus
+/// one addition line when the order bit is set. MultiMillerLoopPrecompiled
+/// walks the same schedule, so no per-line tags are needed.
+class MillerLineTable {
+ public:
+  /// True when A was the identity: the pairing is identically 1.
+  bool trivial() const { return trivial_; }
+  const std::vector<MillerLine>& lines() const { return lines_; }
+
+ private:
+  friend MillerLineTable PrecompileMillerLines(const Curve&, const BigInt&,
+                                               const AffinePoint&);
+  bool trivial_ = false;
+  std::vector<MillerLine> lines_;
+};
+
+/// Runs the Miller chain of `a` over the bits of `order` once, recording
+/// every line's coefficients. Cost is comparable to one MillerLoop; every
+/// later evaluation against this table skips the point arithmetic
+/// entirely.
+MillerLineTable PrecompileMillerLines(const Curve& curve,
+                                      const BigInt& order,
+                                      const AffinePoint& a);
+
+/// One pair of a precompiled multi-pairing: the table of the fixed side
+/// plus the variable point it is evaluated at (`invert` as above).
+struct PrecompiledPairingInput {
+  const MillerLineTable* table = nullptr;
+  const AffinePoint* b = nullptr;
+  bool invert = false;
+};
+
+/// Shared-squaring evaluation of precompiled chains: per pair and line
+/// only the substitution (c_x * xq + c_0) + (c_y * yq_im) i and one
+/// fp2.Mul remain. Trivial tables and identity evaluation points
+/// contribute 1; `loops_executed` counts the pairs actually evaluated.
+Fp2Elem MultiMillerLoopPrecompiled(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingInput>& pairs,
+    size_t* loops_executed = nullptr);
 
 /// Final exponentiation f^((p^2-1)/N) given cofactor c = (p+1)/N:
 /// computes (conj(f)/f)^c. Precondition: f != 0.

@@ -187,6 +187,85 @@ TEST_F(BigCurveTest, JacobianAffineRoundTrip) {
   EXPECT_TRUE(curve_.Equal(curve_.ToAffine(full), curve_.ToAffine(mixed)));
 }
 
+TEST_F(BigCurveTest, WnafMatchesBinaryLadder) {
+  // ScalarMul is the wNAF path; ScalarMulBinary the plain ladder. They
+  // must agree everywhere, including signs and scalars past the order.
+  RandFn rand = TestRand(20);
+  AffinePoint p = curve_.RandomPoint(rand);
+  for (int i = 0; i < 6; ++i) {
+    BigInt k = BigInt::Random(20 * (i + 1), rand);
+    EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(k, p),
+                             curve_.ScalarMulBinary(k, p)))
+        << "k=" << k.ToDecimal();
+    EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(-k, p),
+                             curve_.ScalarMulBinary(-k, p)));
+  }
+  EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(order_ + BigInt(7), p),
+                           curve_.ScalarMulBinary(order_ + BigInt(7), p)));
+}
+
+TEST_F(BigCurveTest, FixedBaseCombMatchesScalarMul) {
+  RandFn rand = TestRand(21);
+  AffinePoint p = curve_.RandomPoint(rand);
+  FixedBaseComb comb = FixedBaseComb::Build(curve_, p, 128);
+  EXPECT_FALSE(comb.empty());
+  for (int i = 0; i < 6; ++i) {
+    BigInt k = BigInt::Random(15 * (i + 1), rand);
+    EXPECT_TRUE(curve_.Equal(comb.Mul(curve_, k), curve_.ScalarMul(k, p)))
+        << "k=" << k.ToDecimal();
+    EXPECT_TRUE(
+        curve_.Equal(comb.Mul(curve_, -k), curve_.ScalarMul(-k, p)));
+  }
+  EXPECT_TRUE(comb.Mul(curve_, BigInt(0)).infinity);
+  EXPECT_TRUE(curve_.Equal(comb.Mul(curve_, BigInt(1)), p));
+  // Wider-than-table scalars fall back to the generic path.
+  BigInt wide = BigInt::Random(140, rand);
+  EXPECT_TRUE(curve_.Equal(comb.Mul(curve_, wide),
+                           curve_.ScalarMul(wide, p)));
+  // Identity base.
+  FixedBaseComb inf_comb =
+      FixedBaseComb::Build(curve_, curve_.Infinity(), 128);
+  EXPECT_TRUE(inf_comb.Mul(curve_, BigInt(5)).infinity);
+}
+
+TEST_F(SmallCurveTest, CombAndWnafOnTinyGroup) {
+  // Exhaustive check on the 20-point curve, where small orders force
+  // every identity/2-torsion edge case through the table builder.
+  RandFn rand = TestRand(22);
+  for (int trial = 0; trial < 4; ++trial) {
+    AffinePoint p = curve_.RandomPoint(rand);
+    FixedBaseComb comb = FixedBaseComb::Build(curve_, p, 8, 3);
+    for (int64_t k = -21; k <= 21; ++k) {
+      AffinePoint expect = curve_.ScalarMulBinary(BigInt(k), p);
+      EXPECT_TRUE(curve_.Equal(curve_.ScalarMul(BigInt(k), p), expect))
+          << "wNAF k=" << k;
+      EXPECT_TRUE(curve_.Equal(comb.Mul(curve_, BigInt(k)), expect))
+          << "comb k=" << k;
+    }
+  }
+}
+
+TEST_F(BigCurveTest, BatchToAffineMatchesToAffine) {
+  RandFn rand = TestRand(23);
+  std::vector<JacobianPoint> pts;
+  std::vector<AffinePoint> expected;
+  for (int i = 0; i < 5; ++i) {
+    AffinePoint p = curve_.RandomPoint(rand);
+    JacobianPoint j = curve_.Double(curve_.ToJacobian(p));
+    pts.push_back(j);
+    expected.push_back(curve_.ToAffine(j));
+    if (i == 2) {  // interleave an identity
+      pts.push_back(JacobianPoint{fp_.One(), fp_.One(), fp_.Zero()});
+      expected.push_back(curve_.Infinity());
+    }
+  }
+  std::vector<AffinePoint> got = curve_.BatchToAffine(pts);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(curve_.Equal(got[i], expected[i])) << "index " << i;
+  }
+}
+
 TEST_F(BigCurveTest, InfinityHandling) {
   JacobianPoint inf{fp_.One(), fp_.One(), fp_.Zero()};
   EXPECT_TRUE(curve_.IsInfinity(inf));

@@ -273,5 +273,29 @@ TEST_F(Fp2Test, PowExponentAdditivity) {
   EXPECT_TRUE(fp2_.Equal(lhs, rhs));
 }
 
+TEST_F(Fp2Test, PowUnitaryMatchesPow) {
+  // The signed-digit unitary ladder agrees with the plain ladder on the
+  // unit circle, for every exponent size and sign.
+  RandFn rand = TestRand(14);
+  Fp2Elem a = RandomElem(rand);
+  Fp2Elem conj;
+  fp2_.Conj(a, &conj);
+  auto inv = fp2_.Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Fp2Elem unit;
+  fp2_.Mul(conj, *inv, &unit);  // a^(p-1): unitary
+  for (size_t bits : {1, 5, 17, 60, 120}) {
+    BigInt e = BigInt::Random(bits, rand);
+    EXPECT_TRUE(fp2_.Equal(fp2_.PowUnitary(unit, e), fp2_.Pow(unit, e)))
+        << "bits " << bits;
+    // Negative exponents: x^-e == conj(x)^e on the unit circle.
+    Fp2Elem cu;
+    fp2_.Conj(unit, &cu);
+    EXPECT_TRUE(fp2_.Equal(fp2_.PowUnitary(unit, -e), fp2_.Pow(cu, e)))
+        << "bits " << bits;
+  }
+  EXPECT_TRUE(fp2_.IsOne(fp2_.PowUnitary(unit, BigInt(0))));
+}
+
 }  // namespace
 }  // namespace sloc

@@ -8,6 +8,7 @@
 #include "common/bitstring.h"
 #include "common/rng.h"
 #include "hve/hve.h"
+#include "hve/serialize.h"
 
 namespace sloc {
 namespace {
@@ -151,6 +152,24 @@ TEST_F(HveTest, QueryValidatesArity) {
   bad.k1.pop_back();
   hve::Ciphertext ok_ct = EncryptIndex("010110");
   EXPECT_FALSE(hve::Query(*group_, bad, ok_ct).ok());
+}
+
+TEST_F(HveTest, EncryptIdenticalWithAndWithoutKeyTables) {
+  // The fixed-base comb tables and hoisted u_i+h_i bases are a pure
+  // strength reduction: with the same randomness the ciphertext must be
+  // bit-identical to the table-free path.
+  hve::PublicKey stripped = keys_.pk;
+  stripped.tables.reset();
+  stripped.uh.clear();
+  RandFn rand_tables = TestRand(555);
+  RandFn rand_naive = TestRand(555);
+  hve::Ciphertext with_tables =
+      hve::Encrypt(*group_, keys_.pk, "010110", marker_, rand_tables)
+          .value();
+  hve::Ciphertext without =
+      hve::Encrypt(*group_, stripped, "010110", marker_, rand_naive).value();
+  EXPECT_EQ(hve::SerializeCiphertext(*group_, with_tables),
+            hve::SerializeCiphertext(*group_, without));
 }
 
 TEST_F(HveTest, CiphertextsAreRandomized) {

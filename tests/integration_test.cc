@@ -147,9 +147,10 @@ TEST(IntegrationTest, SequentialAlertsAndMovement) {
   EXPECT_EQ(sys.provider().num_users(), 2u);
 }
 
-TEST(IntegrationTest, MultiPairingProviderMatchesNaiveProvider) {
-  // The SP's multi-pairing fast path must notify the same users and
-  // account the same logical pairing count as the naive path.
+TEST(IntegrationTest, AllQueryEnginesProduceIdenticalOutcomes) {
+  // Every query engine (reference per-pairing, shared-squaring
+  // multi-pairing, precompiled line tables) must notify the same users
+  // and account the same logical pairing count.
   Grid grid = Grid::Create(8, 8, 50.0).value();
   Rng rng(55);
   std::vector<double> probs =
@@ -160,14 +161,21 @@ TEST(IntegrationTest, MultiPairingProviderMatchesNaiveProvider) {
     ASSERT_TRUE(sys.AddUser(u, u * 6).ok());
   }
   std::vector<int> zone = {0, 6, 12, 30};
+  sys.mutable_provider()->set_engine(
+      ServiceProvider::QueryEngine::kReference);
   auto naive = sys.TriggerAlert(zone).value();
-  sys.mutable_provider()->set_use_multipairing(true);
-  auto fast = sys.TriggerAlert(zone).value();
-  EXPECT_EQ(fast.notified_users, naive.notified_users);
-  EXPECT_EQ(fast.stats.pairings, naive.stats.pairings);
-  EXPECT_EQ(fast.stats.matches, naive.stats.matches);
-  // The fast path is the point of the optimization: never slower.
-  EXPECT_LE(fast.stats.wall_seconds, naive.stats.wall_seconds * 1.2);
+  sys.mutable_provider()->set_engine(
+      ServiceProvider::QueryEngine::kMultiPairing);
+  auto multi = sys.TriggerAlert(zone).value();
+  sys.mutable_provider()->set_engine(
+      ServiceProvider::QueryEngine::kPrecompiled);
+  auto precomp = sys.TriggerAlert(zone).value();
+  EXPECT_EQ(multi.notified_users, naive.notified_users);
+  EXPECT_EQ(precomp.notified_users, naive.notified_users);
+  EXPECT_EQ(multi.stats.pairings, naive.stats.pairings);
+  EXPECT_EQ(precomp.stats.pairings, naive.stats.pairings);
+  EXPECT_EQ(multi.stats.matches, naive.stats.matches);
+  EXPECT_EQ(precomp.stats.matches, naive.stats.matches);
 }
 
 TEST(IntegrationTest, TokenBlobsAreInterchangeableAcrossTransports) {

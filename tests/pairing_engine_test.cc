@@ -1,0 +1,229 @@
+// Property tests for the multi-pairing engine: shared-squaring
+// MultiMillerLoop vs products of individual Pair() results, precompiled
+// line tables vs the live Miller chain, PrecompiledToken evaluation vs
+// the reference Query across random patterns and widths, and the
+// executed-loop / precompiled-hit counter accounting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hve/hve.h"
+#include "pairing/group.h"
+#include "pairing/miller.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed = 42) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+class PairingEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PairingParamSpec spec;
+    spec.p_prime_bits = 32;
+    spec.q_prime_bits = 32;
+    spec.seed = 20210323;
+    group_ = new PairingGroup(PairingGroup::Generate(spec).value());
+  }
+  static void TearDownTestSuite() {
+    delete group_;
+    group_ = nullptr;
+  }
+
+  static AffinePoint RandomElement(const RandFn& rand) {
+    return group_->Mul(BigInt::RandomBelow(group_->params().n, rand),
+                       group_->gen());
+  }
+
+  static PairingGroup* group_;
+};
+
+PairingGroup* PairingEngineTest::group_ = nullptr;
+
+TEST_F(PairingEngineTest, MultiMillerLoopMatchesPairProduct) {
+  RandFn rand = TestRand(101);
+  for (size_t count = 1; count <= 5; ++count) {
+    std::vector<AffinePoint> as, bs;
+    std::vector<bool> inverts;
+    for (size_t k = 0; k < count; ++k) {
+      as.push_back(RandomElement(rand));
+      bs.push_back(RandomElement(rand));
+      inverts.push_back((rand() & 1) != 0);
+    }
+    std::vector<PairingInput> pairs;
+    Fp2Elem expected = group_->GtOne();
+    for (size_t k = 0; k < count; ++k) {
+      pairs.push_back(PairingInput{&as[k], &bs[k], inverts[k]});
+      Fp2Elem e = group_->Pair(as[k], bs[k]);
+      expected = group_->GtMul(expected, inverts[k] ? group_->GtInv(e) : e);
+    }
+    size_t executed = 0;
+    Fp2Elem miller = MultiMillerLoop(group_->curve(), group_->fp2(),
+                                     group_->params().n, pairs, &executed);
+    Fp2Elem got = FinalExponentiation(group_->fp2(), miller,
+                                      group_->params().cofactor);
+    EXPECT_EQ(executed, count);
+    EXPECT_TRUE(group_->GtEqual(got, expected)) << "count " << count;
+  }
+}
+
+TEST_F(PairingEngineTest, MultiMillerLoopSkipsIdentityPairs) {
+  RandFn rand = TestRand(102);
+  AffinePoint a = RandomElement(rand);
+  AffinePoint b = RandomElement(rand);
+  AffinePoint inf = group_->curve().Infinity();
+  std::vector<PairingInput> pairs = {
+      PairingInput{&a, &b, false},
+      PairingInput{&inf, &b, false},  // free
+      PairingInput{&a, &inf, true},   // free
+  };
+  size_t executed = 0;
+  Fp2Elem miller = MultiMillerLoop(group_->curve(), group_->fp2(),
+                                   group_->params().n, pairs, &executed);
+  EXPECT_EQ(executed, 1u);
+  Fp2Elem got = FinalExponentiation(group_->fp2(), miller,
+                                    group_->params().cofactor);
+  EXPECT_TRUE(group_->GtEqual(got, group_->Pair(a, b)));
+
+  // All-identity input never touches the loop and yields 1.
+  std::vector<PairingInput> none = {PairingInput{&inf, &b, false}};
+  Fp2Elem one = MultiMillerLoop(group_->curve(), group_->fp2(),
+                                group_->params().n, none, &executed);
+  EXPECT_EQ(executed, 0u);
+  EXPECT_TRUE(group_->fp2().IsOne(one));
+}
+
+TEST_F(PairingEngineTest, PrecompiledLinesMatchLiveChain) {
+  RandFn rand = TestRand(103);
+  for (int iter = 0; iter < 4; ++iter) {
+    AffinePoint a = RandomElement(rand);
+    AffinePoint b = RandomElement(rand);
+    const bool invert = (iter & 1) != 0;
+    MillerLineTable table =
+        PrecompileMillerLines(group_->curve(), group_->params().n, a);
+    EXPECT_FALSE(table.trivial());
+    std::vector<PrecompiledPairingInput> pairs = {
+        PrecompiledPairingInput{&table, &b, invert}};
+    size_t executed = 0;
+    Fp2Elem miller =
+        MultiMillerLoopPrecompiled(group_->curve(), group_->fp2(),
+                                   group_->params().n, pairs, &executed);
+    EXPECT_EQ(executed, 1u);
+    Fp2Elem got = FinalExponentiation(group_->fp2(), miller,
+                                      group_->params().cofactor);
+    Fp2Elem e = group_->Pair(a, b);
+    EXPECT_TRUE(group_->GtEqual(got, invert ? group_->GtInv(e) : e))
+        << "iter " << iter;
+  }
+  // Identity table is trivial and free.
+  MillerLineTable trivial = PrecompileMillerLines(
+      group_->curve(), group_->params().n, group_->curve().Infinity());
+  EXPECT_TRUE(trivial.trivial());
+}
+
+// PrecompiledToken evaluation must agree with the reference Query (the
+// same G_T element, hence the same match outcome) for random patterns,
+// including the all-star and zero-star edge cases, across widths 1-32.
+TEST_F(PairingEngineTest, PrecompiledTokenMatchesQueryAcrossWidths) {
+  Rng rng(777);
+  RandFn rand = TestRand(104);
+  for (size_t width : {size_t(1), size_t(2), size_t(3), size_t(5),
+                       size_t(8), size_t(16), size_t(32)}) {
+    hve::KeyPair keys = hve::Setup(*group_, width, rand).value();
+    Fp2Elem marker = group_->RandomGt(rand);
+    std::vector<std::string> patterns;
+    patterns.push_back(std::string(width, '*'));  // all-star
+    {
+      std::string full(width, '0');               // zero-star
+      for (auto& c : full) c = rng.NextBool() ? '1' : '0';
+      patterns.push_back(full);
+    }
+    for (int extra = 0; extra < 2; ++extra) {
+      std::string p(width, '*');
+      for (auto& c : p) {
+        double r = rng.NextDouble();
+        c = r < 0.4 ? '*' : (r < 0.7 ? '0' : '1');
+      }
+      patterns.push_back(p);
+    }
+    std::string index(width, '0');
+    for (auto& c : index) c = rng.NextBool() ? '1' : '0';
+    hve::Ciphertext ct =
+        hve::Encrypt(*group_, keys.pk, index, marker, rand).value();
+    for (const std::string& pattern : patterns) {
+      hve::Token tk =
+          hve::GenToken(*group_, keys.sk, pattern, rand).value();
+      hve::PrecompiledToken ptk = hve::PrecompileToken(*group_, tk);
+      Fp2Elem reference = hve::Query(*group_, tk, ct).value();
+      Fp2Elem multi = hve::QueryMultiPairing(*group_, tk, ct).value();
+      Fp2Elem precomp = hve::QueryPrecompiled(*group_, ptk, ct).value();
+      EXPECT_TRUE(group_->GtEqual(reference, multi))
+          << "width " << width << " pattern " << pattern;
+      EXPECT_TRUE(group_->GtEqual(reference, precomp))
+          << "width " << width << " pattern " << pattern;
+      EXPECT_EQ(hve::Matches(*group_, tk, ct, marker).value(),
+                hve::MatchesPrecompiled(*group_, ptk, ct, marker).value());
+    }
+  }
+}
+
+TEST_F(PairingEngineTest, PrecompiledTokenReuseAcrossCiphertexts) {
+  // One precompilation, many evaluations: the alert-scan pattern.
+  RandFn rand = TestRand(105);
+  const size_t width = 6;
+  hve::KeyPair keys = hve::Setup(*group_, width, rand).value();
+  Fp2Elem marker = group_->RandomGt(rand);
+  hve::Token tk = hve::GenToken(*group_, keys.sk, "01**1*", rand).value();
+  hve::PrecompiledToken ptk = hve::PrecompileToken(*group_, tk);
+  const std::vector<std::string> indexes = {"010010", "010110", "110011",
+                                            "011111"};
+  for (const std::string& index : indexes) {
+    hve::Ciphertext ct =
+        hve::Encrypt(*group_, keys.pk, index, marker, rand).value();
+    EXPECT_EQ(hve::Matches(*group_, tk, ct, marker).value(),
+              hve::MatchesPrecompiled(*group_, ptk, ct, marker).value())
+        << index;
+  }
+}
+
+TEST_F(PairingEngineTest, CountersChargeOnlyExecutedLoops) {
+  RandFn rand = TestRand(106);
+  const size_t width = 4;
+  hve::KeyPair keys = hve::Setup(*group_, width, rand).value();
+  Fp2Elem marker = group_->RandomGt(rand);
+  hve::Ciphertext ct =
+      hve::Encrypt(*group_, keys.pk, "0101", marker, rand).value();
+  hve::Token tk = hve::GenToken(*group_, keys.sk, "01*1", rand).value();
+
+  // Healthy token: all 2*3+1 loops run; none from tables.
+  group_->ResetCounters();
+  (void)hve::QueryMultiPairing(*group_, tk, ct).value();
+  EXPECT_EQ(group_->counters().pairings, 7u);
+  EXPECT_EQ(group_->counters().precomp_pairings, 0u);
+
+  // Identity token components short-circuit: their loops are free and
+  // must not be charged.
+  hve::Token maimed = tk;
+  maimed.k1[1] = group_->curve().Infinity();
+  maimed.k2[2] = group_->curve().Infinity();
+  group_->ResetCounters();
+  (void)hve::QueryMultiPairing(*group_, maimed, ct).value();
+  EXPECT_EQ(group_->counters().pairings, 5u);
+
+  // The precompiled path charges both counters with executed loops.
+  hve::PrecompiledToken ptk = hve::PrecompileToken(*group_, maimed);
+  group_->ResetCounters();
+  (void)hve::QueryPrecompiled(*group_, ptk, ct).value();
+  EXPECT_EQ(group_->counters().pairings, 5u);
+  EXPECT_EQ(group_->counters().precomp_pairings, 5u);
+}
+
+}  // namespace
+}  // namespace sloc
