@@ -1,18 +1,25 @@
-// Pairing-engine ablation: quantifies the three optimization layers of
-// this PR against the paper's dominant cost (HVE query evaluation).
+// Pairing-engine ablation: quantifies the optimization layers against
+// the paper's dominant cost (HVE query evaluation).
 //
 //  1. shared-squaring multi-pairing (QueryMultiPairing) vs the
 //     per-pairing reference Query,
 //  2. precompiled per-token Miller line tables (QueryPrecompiled) vs
 //     both, amortized over an alert scan,
-//  3. fixed-base comb tables for Encrypt's scalar multiplications vs
-//     the generic wNAF path.
+//  3. batched final exponentiation (QueryEngine::kBatched): one shared
+//     Fp2 inversion per flush + deferred marker^-1 comparison on top of
+//     the precompiled tables,
+//  4. fixed-base comb tables for Encrypt's scalar multiplications and
+//     the per-key G_T comb for A^s vs the generic paths.
 //
-// Runs the real ProcessAlert scan through all three ServiceProvider
+// The field layer underneath reports which Montgomery kernel is engaged
+// (generic vs unrolled CIOS 4x64/8x64); at --pbits=120 and above the
+// field prime spans 4 limbs and the fixed-width kernels carry every
+// engine. Runs the real ProcessAlert scan through all ServiceProvider
 // engines and checks the notified sets are identical, then emits both a
 // human table and machine-readable BENCH_pairing_engine.json (pairings/
 // sec, evaluations/sec before/after, Encrypt ms before/after) for the
-// CI perf-smoke artifact.
+// CI perf-regression gate (bench/check_regression.py compares the
+// within-run speedup ratios against bench/baseline.json).
 //
 // Flags: --users=N (64), --width=W (24), --tokens=T (4), --pbits=B (48),
 //        --csv=PATH, --json=PATH (see bench_util.h).
@@ -69,6 +76,15 @@ int Run(int argc, char** argv) {
               2 * pbits);
   auto group = std::make_shared<const PairingGroup>(
       PairingGroup::Generate(spec).value());
+  const char* kernel = MulKernelName(group->fp().mul_kernel());
+  std::printf("field prime: %zu bits (%zu limbs), %s kernel\n",
+              group->params().field_p.BitLength(), group->fp().num_limbs(),
+              kernel);
+  // Kernel-selection assert: 4- and 8-limb fields must run fixed-width.
+  if (group->fp().num_limbs() == 4 || group->fp().num_limbs() == 8) {
+    SLOC_CHECK(group->fp().mul_kernel() != MulKernel::kGeneric)
+        << "fixed-width field kernel not engaged";
+  }
 
   auto rng = std::make_shared<Rng>(7);
   RandFn rand = [rng]() { return rng->NextU64(); };
@@ -128,7 +144,8 @@ int Run(int argc, char** argv) {
        {std::pair<ServiceProvider::QueryEngine, const char*>{
             ServiceProvider::QueryEngine::kReference, "reference"},
         {ServiceProvider::QueryEngine::kMultiPairing, "multipairing"},
-        {ServiceProvider::QueryEngine::kPrecompiled, "precompiled"}}) {
+        {ServiceProvider::QueryEngine::kPrecompiled, "precompiled"},
+        {ServiceProvider::QueryEngine::kBatched, "batched"}}) {
     sp.set_engine(engine);
     EngineRow row;
     row.name = name;
@@ -153,6 +170,10 @@ int Run(int argc, char** argv) {
       rows[2].evals_per_sec / rows[1].evals_per_sec;
   const double speedup_vs_ref =
       rows[2].evals_per_sec / rows[0].evals_per_sec;
+  const double speedup_batched_vs_precomp =
+      rows[3].evals_per_sec / rows[2].evals_per_sec;
+  const double speedup_batched_vs_ref =
+      rows[3].evals_per_sec / rows[0].evals_per_sec;
 
   // ---- Single-pairing rate (context for the absolute numbers) ----
   double pair_per_sec = 0.0;
@@ -204,10 +225,12 @@ int Run(int argc, char** argv) {
   }
   EmitTable("pairing_engine", table, argc, argv);
   std::printf(
-      "single Pair(): %.1f pairings/sec\n"
+      "single Pair(): %.1f pairings/sec (field kernel: %s)\n"
       "precompiled vs multipairing: %.2fx, vs reference: %.2fx\n"
+      "batched vs precompiled: %.2fx, vs reference: %.2fx\n"
       "Encrypt: %.2f ms generic -> %.2f ms fixed-base (%.2fx)\n",
-      pair_per_sec, speedup_vs_multi, speedup_vs_ref, enc_naive_ms,
+      pair_per_sec, kernel, speedup_vs_multi, speedup_vs_ref,
+      speedup_batched_vs_precomp, speedup_batched_vs_ref, enc_naive_ms,
       enc_comb_ms, enc_naive_ms / enc_comb_ms);
 
   JsonWriter params;
@@ -215,6 +238,8 @@ int Run(int argc, char** argv) {
   params.Integer("width", width);
   params.Integer("tokens", num_tokens);
   params.Integer("prime_bits", pbits);
+  params.Integer("field_bits", group->params().field_p.BitLength());
+  params.String("field_kernel", kernel);
   JsonWriter scan;
   for (const EngineRow& row : rows) {
     JsonWriter engine;
@@ -233,6 +258,8 @@ int Run(int argc, char** argv) {
   root.Nested("alert_scan", scan);
   root.Number("speedup_precompiled_vs_multipairing", speedup_vs_multi);
   root.Number("speedup_precompiled_vs_reference", speedup_vs_ref);
+  root.Number("speedup_batched_vs_precompiled", speedup_batched_vs_precomp);
+  root.Number("speedup_batched_vs_reference", speedup_batched_vs_ref);
   root.Nested("encrypt", encrypt);
   EmitJson("BENCH_pairing_engine", root, argc, argv);
   return 0;

@@ -143,9 +143,14 @@ ServiceProvider::ServiceProvider(std::shared_ptr<const PairingGroup> group,
     : group_(std::move(group)),
       marker_(std::move(marker)),
       store_(std::move(store)),
-      options_(options) {
+      options_(options),
+      token_cache_(options.token_cache_capacity) {
   SLOC_CHECK(store_ != nullptr) << "provider needs a store";
   if (options_.num_threads == 0) options_.num_threads = 1;
+  // Markers are G_T elements (unitary), so the inverse is a conjugation;
+  // cached once, it turns every deferred match test into one Gt mul per
+  // ciphertext instead of one per (token, ciphertext) query.
+  marker_inv_ = group_->GtInv(marker_);
 }
 
 Status ServiceProvider::SubmitLocation(int user_id,
@@ -214,6 +219,54 @@ Result<ServiceProvider::SubmitReport> ServiceProvider::SubmitBatchFrame(
   return SubmitBatch(uploads);
 }
 
+std::vector<std::shared_ptr<const hve::PrecompiledToken>>
+ServiceProvider::PrecompileTokens(
+    const std::vector<hve::Token>& tokens,
+    const std::vector<std::vector<uint8_t>>& blobs) const {
+  const size_t n = tokens.size();
+  std::vector<std::shared_ptr<const hve::PrecompiledToken>> out(n);
+  // Serve what the LRU retained from earlier alerts; duplicate blobs
+  // within one bundle compile once and share the table.
+  std::vector<size_t> misses;
+  misses.reserve(n);
+  std::map<std::vector<uint8_t>, size_t> first_of;
+  std::vector<std::pair<size_t, size_t>> aliases;  // (dup, original)
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = first_of.emplace(blobs[i], i);
+    if (!inserted) {
+      aliases.emplace_back(i, it->second);
+      continue;
+    }
+    out[i] = token_cache_.Get(blobs[i]);
+    if (out[i] == nullptr) misses.push_back(i);
+  }
+  // Compile the misses across the worker pool: each token's Miller
+  // chains are independent, and a large bundle's precompilation was the
+  // last serial stretch of ProcessAlert.
+  auto compile_range = [&](size_t begin, size_t stride) {
+    for (size_t m = begin; m < misses.size(); m += stride) {
+      const size_t i = misses[m];
+      out[i] = std::make_shared<const hve::PrecompiledToken>(
+          hve::PrecompileToken(*group_, tokens[i]));
+    }
+  };
+  const size_t num_workers = std::max<size_t>(
+      1, std::min<size_t>(options_.num_threads, misses.size()));
+  if (num_workers <= 1) {
+    compile_range(0, 1);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      workers.emplace_back(compile_range, w, num_workers);
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  for (size_t i : misses) token_cache_.Put(blobs[i], out[i]);
+  for (const auto& [dup, original] : aliases) out[dup] = out[original];
+  return out;
+}
+
 Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
     const std::vector<std::vector<uint8_t>>& token_blobs) const {
   AlertOutcome out;
@@ -228,14 +281,13 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
   out.stats.tokens = tokens.size();
 
   // The token side is fixed for the whole scan: run each token's Miller
-  // chains once up front and share the line tables across every
-  // user/shard/worker (read-only from here on).
-  std::vector<hve::PrecompiledToken> precompiled;
-  if (options_.engine == QueryEngine::kPrecompiled) {
-    precompiled.reserve(tokens.size());
-    for (const hve::Token& tk : tokens) {
-      precompiled.push_back(hve::PrecompileToken(*group_, tk));
-    }
+  // chains once up front (in parallel, LRU-cached across alerts) and
+  // share the line tables across every user/shard/worker (read-only
+  // from here on).
+  std::vector<std::shared_ptr<const hve::PrecompiledToken>> precompiled;
+  if (options_.engine == QueryEngine::kPrecompiled ||
+      options_.engine == QueryEngine::kBatched) {
+    precompiled = PrecompileTokens(tokens, token_blobs);
   }
 
   // Per-worker partial results; merged below. Pairings are accounted
@@ -258,6 +310,11 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
   // away.
   std::atomic<bool> abort{false};
 
+  // Per-query engines evaluate and compare inline; the batched engine
+  // defers final exponentiation so a whole flush of Miller ratios
+  // shares one Fp2 inversion (and each ciphertext shares one Gt mul
+  // against the cached marker^-1). Both charge MatchStats.pairings the
+  // same deterministic scan-order cost.
   auto scan_shards = [&](size_t worker) {
     ShardScan& scan = partials[worker];
     for (size_t shard = worker; shard < num_shards; shard += num_workers) {
@@ -270,9 +327,10 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
           Result<Fp2Elem> recovered = [&]() -> Result<Fp2Elem> {
             switch (options_.engine) {
               case QueryEngine::kPrecompiled:
-                return hve::QueryPrecompiled(*group_, precompiled[k], ct);
+                return hve::QueryPrecompiled(*group_, *precompiled[k], ct);
               case QueryEngine::kMultiPairing:
                 return hve::QueryMultiPairing(*group_, tk, ct);
+              case QueryEngine::kBatched:  // handled by scan_batched
               case QueryEngine::kReference:
                 break;
             }
@@ -295,13 +353,94 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
     }
   };
 
+  auto scan_shards_batched = [&](size_t worker) {
+    ShardScan& scan = partials[worker];
+    // Token-major batching: buffer ciphertexts, then per token round
+    // evaluate that token's Miller ratio over every still-unmatched
+    // buffered ciphertext and share ONE Fp2 inversion across the round.
+    // A ciphertext leaves the buffer at its first match, so exactly the
+    // same queries run as in the early-exit reference scan — only the
+    // per-query inversions collapse (~buffer-width ratios per
+    // inversion) and the marker comparison amortizes to one Gt mul per
+    // ciphertext against the cached marker^-1.
+    // VisitShard's reference-stability contract (api/store.h) keeps
+    // these pointers valid for the whole scan, so the buffer avoids
+    // deep-copying ~2*width points per scanned ciphertext.
+    struct BufferedCt {
+      int user_id;
+      const hve::Ciphertext* ct;
+      Fp2Elem expected;  // C' * marker^-1; match iff ratio equals this
+    };
+    std::vector<BufferedCt> buffer;
+    const size_t flush_cts = std::max<size_t>(1, options_.batch_flush_evals);
+    buffer.reserve(flush_cts);
+    std::vector<Fp2Elem> millers;
+    std::vector<size_t> alive, next_alive;
+
+    auto flush = [&]() {
+      if (buffer.empty()) return;
+      alive.resize(buffer.size());
+      for (size_t i = 0; i < buffer.size(); ++i) alive[i] = i;
+      for (size_t k = 0; k < tokens.size() && !alive.empty(); ++k) {
+        millers.clear();
+        for (size_t idx : alive) {
+          Result<Fp2Elem> ratio = hve::QueryMillerPrecompiled(
+              *group_, *precompiled[k], *buffer[idx].ct);
+          if (!ratio.ok()) {
+            scan.status = ratio.status();
+            abort.store(true, std::memory_order_relaxed);
+            buffer.clear();
+            return;
+          }
+          millers.push_back(std::move(*ratio));
+        }
+        BatchFinalExponentiation(group_->fp2(), group_->params().cofactor,
+                                 &millers);
+        next_alive.clear();
+        const size_t cost = hve::QueryPairingCost(tokens[k]);
+        for (size_t pos = 0; pos < alive.size(); ++pos) {
+          const size_t idx = alive[pos];
+          scan.pairings += cost;
+          if (group_->GtEqual(millers[pos], buffer[idx].expected)) {
+            scan.notified.push_back(buffer[idx].user_id);
+            ++scan.matches;
+          } else {
+            next_alive.push_back(idx);
+          }
+        }
+        std::swap(alive, next_alive);
+      }
+      buffer.clear();
+    };
+
+    for (size_t shard = worker; shard < num_shards; shard += num_workers) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      store_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        ++scan.scanned;
+        buffer.push_back(
+            BufferedCt{user_id, &ct, group_->GtMul(ct.c_prime, marker_inv_)});
+        if (buffer.size() >= flush_cts) flush();
+      });
+    }
+    if (!abort.load(std::memory_order_relaxed)) flush();
+  };
+
+  const bool batched = options_.engine == QueryEngine::kBatched;
+  auto run_worker = [&](size_t w) {
+    if (batched) {
+      scan_shards_batched(w);
+    } else {
+      scan_shards(w);
+    }
+  };
   if (num_workers == 1) {
-    scan_shards(0);
+    run_worker(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(num_workers);
     for (size_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back(scan_shards, w);
+      workers.emplace_back(run_worker, w);
     }
     for (std::thread& t : workers) t.join();
   }

@@ -34,6 +34,7 @@
 #include "encoders/encoder.h"
 #include "hve/hve.h"
 #include "hve/serialize.h"
+#include "hve/token_cache.h"
 
 namespace sloc {
 namespace alert {
@@ -43,7 +44,12 @@ struct MatchStats {
   size_t ciphertexts_scanned = 0;
   size_t tokens = 0;
   size_t non_star_bits = 0;  ///< sum over tokens (paper's "HVE operations")
-  size_t pairings = 0;       ///< logical pairings executed
+  /// Logical pairing cost of the scan: each evaluated query charges
+  /// 2|J|+1, in scan order, stopping at a user's first match. This is
+  /// deterministic and identical across engines and shardings — the
+  /// batched engine's token-major rounds execute exactly the queries
+  /// the early-exit scan would.
+  size_t pairings = 0;
   size_t matches = 0;
   double wall_seconds = 0.0;
 };
@@ -137,12 +143,17 @@ class MobileUser {
 /// The service provider: pluggable ciphertext store + sharded matcher.
 class ServiceProvider {
  public:
-  /// How token-vs-ciphertext queries are evaluated. All three produce
+  /// How token-vs-ciphertext queries are evaluated. All engines produce
   /// bit-identical match outcomes; they differ only in cost.
   enum class QueryEngine {
     kReference,     ///< one Pair() + final exponentiation per pairing
     kMultiPairing,  ///< shared-squaring loop + one final exponentiation
     kPrecompiled,   ///< per-alert token line tables + multi-pairing
+    kBatched,       ///< precompiled tables + batched final exponentiation:
+                    ///< ciphertexts buffer per worker; each token round
+                    ///< shares one Fp2 inversion across the buffer, with
+                    ///< deferred marker comparison via a cached marker^-1
+                    ///< and the same early-exit work as the reference scan
   };
 
   /// Tuning knobs. Defaults reproduce the sequential scan order with
@@ -150,7 +161,17 @@ class ServiceProvider {
   struct Options {
     size_t num_shards = 1;    ///< store partitions (parallelism ceiling)
     unsigned num_threads = 1; ///< worker threads for batch ops / matching
-    QueryEngine engine = QueryEngine::kPrecompiled;
+    QueryEngine engine = QueryEngine::kBatched;
+    /// Precompiled-token tables retained across alerts (LRU entries);
+    /// 0 disables retention. Tables are O(order_bits * (2s+1)) field
+    /// elements each, so this bounds provider memory; evicted tokens
+    /// are recompiled on their next appearance (results unchanged).
+    size_t token_cache_capacity = 64;
+    /// Ciphertexts buffered per worker before a batched final-exp
+    /// flush: each token round over a full buffer shares one Fp2
+    /// inversion, so this is the batch-inversion width of the kBatched
+    /// engine.
+    size_t batch_flush_evals = 64;
   };
 
   /// Sequential provider over an in-memory store.
@@ -216,6 +237,9 @@ class ServiceProvider {
     return options_.engine != QueryEngine::kReference;
   }
 
+  /// The provider's precompiled-token LRU cache (observability/tests).
+  const hve::TokenTableCache& token_cache() const { return token_cache_; }
+
   struct AlertOutcome {
     std::vector<int> notified_users;  ///< sorted user ids
     MatchStats stats;
@@ -234,10 +258,18 @@ class ServiceProvider {
       const std::vector<uint8_t>& bundle_frame) const;
 
  private:
+  /// Compiles (or fetches from the LRU cache) the line tables for every
+  /// token, spreading cache misses across the worker pool.
+  std::vector<std::shared_ptr<const hve::PrecompiledToken>> PrecompileTokens(
+      const std::vector<hve::Token>& tokens,
+      const std::vector<std::vector<uint8_t>>& blobs) const;
+
   std::shared_ptr<const PairingGroup> group_;
   Fp2Elem marker_;
+  Fp2Elem marker_inv_;  ///< cached marker^-1 for deferred comparison
   std::unique_ptr<api::CiphertextStore> store_;
   Options options_;
+  mutable hve::TokenTableCache token_cache_;
 };
 
 /// Convenience harness wiring the three parties over one grid encoding —

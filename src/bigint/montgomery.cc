@@ -1,6 +1,7 @@
 #include "bigint/montgomery.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 
@@ -16,10 +17,144 @@ uint64_t InverseMod2_64(uint64_t x) {
   for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
   return inv;
 }
+
+// ---- Fixed-width CIOS kernels ----
+//
+// K is a compile-time constant, so every `for (j < K)` loop below is
+// fully unrolled and the K+2-word accumulator lives entirely in
+// registers / stack slots. Inputs are exactly K limbs; out may alias
+// a or b (the result is staged in a local array).
+
+// Writes t (K limbs + overflow word `hi`) reduced mod N into out.
+// Precondition of CIOS: t < 2N, so one conditional subtraction suffices.
+template <size_t K>
+inline void FinalReduce(const uint64_t* t, uint64_t hi, const uint64_t* n,
+                        uint64_t* out) {
+  uint64_t r[K];
+  uint64_t borrow = 0;
+  for (size_t j = 0; j < K; ++j) {
+    uint64_t tj = t[j];
+    uint64_t d = tj - n[j];
+    uint64_t nb = (tj < n[j]);
+    uint64_t d2 = d - borrow;
+    nb |= (d < borrow);
+    r[j] = d2;
+    borrow = nb;
+  }
+  // t >= N exactly when the overflow word is set or K-limb t - N did
+  // not borrow.
+  const bool ge = hi != 0 || borrow == 0;
+  for (size_t j = 0; j < K; ++j) out[j] = ge ? r[j] : t[j];
+}
+
+// CIOS Montgomery product: interleaves one row of a[i]*b with one
+// reduction step, keeping the running value in K+2 words.
+template <size_t K>
+inline void CiosMul(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+                    uint64_t n0_inv, uint64_t* out) {
+  uint64_t t[K + 2] = {0};
+  for (size_t i = 0; i < K; ++i) {
+    const uint64_t ai = a[i];
+    uint64_t carry = 0;
+    for (size_t j = 0; j < K; ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[K]) + carry;
+    t[K] = static_cast<uint64_t>(cur);
+    t[K + 1] = static_cast<uint64_t>(cur >> 64);
+
+    const uint64_t m = t[0] * n0_inv;
+    cur = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < K; ++j) {
+      cur = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[K]) + carry;
+    t[K - 1] = static_cast<uint64_t>(cur);
+    t[K] = t[K + 1] + static_cast<uint64_t>(cur >> 64);
+  }
+  FinalReduce<K>(t, t[K], n, out);
+}
+
+// Dedicated squaring: each off-diagonal product a[i]*a[j] (i < j) is
+// computed once, the cross sum doubled with a single shift pass, the
+// diagonal squares added, then an unrolled REDC reduces the 2K-word
+// square. ~K(K-1)/2 fewer limb products than CiosMul(a, a).
+template <size_t K>
+inline void CiosSqr(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+                    uint64_t* out) {
+  uint64_t t[2 * K] = {0};
+  // Off-diagonal cross products.
+  for (size_t i = 0; i < K; ++i) {
+    const uint64_t ai = a[i];
+    uint64_t carry = 0;
+    for (size_t j = i + 1; j < K; ++j) {
+      u128 cur = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    t[i + K] = carry;  // first write to this word
+  }
+  // Double the cross sum: 2*sum_{i<j} <= a^2 < 2^(128K), no overflow.
+  uint64_t bit = 0;
+  for (size_t j = 0; j < 2 * K; ++j) {
+    const uint64_t next = t[j] >> 63;
+    t[j] = (t[j] << 1) | bit;
+    bit = next;
+  }
+  SLOC_DCHECK(bit == 0);
+  // Add the diagonal squares a[i]^2 at word position 2i.
+  uint64_t carry = 0;
+  for (size_t i = 0; i < K; ++i) {
+    const u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 cur = static_cast<u128>(t[2 * i]) + static_cast<uint64_t>(sq) + carry;
+    t[2 * i] = static_cast<uint64_t>(cur);
+    cur = static_cast<u128>(t[2 * i + 1]) + static_cast<uint64_t>(sq >> 64) +
+          static_cast<uint64_t>(cur >> 64);
+    t[2 * i + 1] = static_cast<uint64_t>(cur);
+    carry = static_cast<uint64_t>(cur >> 64);
+  }
+  SLOC_DCHECK(carry == 0);  // a^2 fits in 2K words
+  // Unrolled REDC of the 2K-word square.
+  uint64_t hi = 0;  // virtual word t[2K]
+  for (size_t i = 0; i < K; ++i) {
+    const uint64_t m = t[i] * n0_inv;
+    uint64_t c = 0;
+    for (size_t j = 0; j < K; ++j) {
+      u128 cur = static_cast<u128>(m) * n[j] + t[i + j] + c;
+      t[i + j] = static_cast<uint64_t>(cur);
+      c = static_cast<uint64_t>(cur >> 64);
+    }
+    for (size_t idx = i + K; c != 0 && idx < 2 * K; ++idx) {
+      u128 cur = static_cast<u128>(t[idx]) + c;
+      t[idx] = static_cast<uint64_t>(cur);
+      c = static_cast<uint64_t>(cur >> 64);
+    }
+    hi += c;
+  }
+  FinalReduce<K>(t + K, hi, n, out);
+}
+
 }  // namespace
 
-Montgomery::Montgomery(BigInt modulus, size_t k)
-    : modulus_(std::move(modulus)), k_(k) {
+const char* MulKernelName(MulKernel kernel) {
+  switch (kernel) {
+    case MulKernel::kGeneric:
+      return "generic";
+    case MulKernel::kCios4:
+      return "cios4";
+    case MulKernel::kCios8:
+      return "cios8";
+  }
+  return "unknown";
+}
+
+Montgomery::Montgomery(BigInt modulus, size_t k, MulKernel kernel)
+    : modulus_(std::move(modulus)), k_(k), kernel_(kernel) {
   n_ = modulus_.limbs();
   n_.resize(k_, 0);
   n0_inv_ = ~InverseMod2_64(n_[0]) + 1;  // -N^-1 mod 2^64
@@ -34,13 +169,30 @@ Montgomery::Montgomery(BigInt modulus, size_t k)
 }
 
 Result<Montgomery> Montgomery::Create(const BigInt& modulus) {
+  const size_t k = modulus.NumLimbs();
+  MulKernel kernel = MulKernel::kGeneric;
+  if (k == 4) kernel = MulKernel::kCios4;
+  if (k == 8) kernel = MulKernel::kCios8;
+  return Create(modulus, kernel);
+}
+
+Result<Montgomery> Montgomery::Create(const BigInt& modulus,
+                                      MulKernel kernel) {
   if (modulus.IsNegative() || BigInt::Cmp(modulus, BigInt(1)) <= 0) {
     return Status::InvalidArgument("Montgomery modulus must be > 1");
   }
   if (!modulus.IsOdd()) {
     return Status::InvalidArgument("Montgomery modulus must be odd");
   }
-  return Montgomery(modulus, modulus.NumLimbs());
+  const size_t k = modulus.NumLimbs();
+  if ((kernel == MulKernel::kCios4 && k != 4) ||
+      (kernel == MulKernel::kCios8 && k != 8)) {
+    return Status::InvalidArgument(
+        std::string("kernel ") + MulKernelName(kernel) +
+        " requires a matching modulus width, got " + std::to_string(k) +
+        " limbs");
+  }
+  return Montgomery(modulus, k, kernel);
 }
 
 int Montgomery::CmpRaw(const uint64_t* a, const uint64_t* b) const {
@@ -140,8 +292,7 @@ void Montgomery::Redc(std::vector<uint64_t>* t_in, Elem* out) const {
   }
 }
 
-void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
-  SLOC_DCHECK(a.size() == k_ && b.size() == k_);
+void Montgomery::MulGeneric(const Elem& a, const Elem& b, Elem* out) const {
   std::vector<uint64_t> t(2 * k_ + 1, 0);
   for (size_t i = 0; i < k_; ++i) {
     uint64_t carry = 0;
@@ -156,6 +307,48 @@ void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
     t[i + k_] += carry;
   }
   Redc(&t, out);
+}
+
+void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
+  SLOC_DCHECK(a.size() == k_ && b.size() == k_);
+  switch (kernel_) {
+    case MulKernel::kCios4: {
+      uint64_t r[4];
+      CiosMul<4>(a.data(), b.data(), n_.data(), n0_inv_, r);
+      out->assign(r, r + 4);
+      return;
+    }
+    case MulKernel::kCios8: {
+      uint64_t r[8];
+      CiosMul<8>(a.data(), b.data(), n_.data(), n0_inv_, r);
+      out->assign(r, r + 8);
+      return;
+    }
+    case MulKernel::kGeneric:
+      break;
+  }
+  MulGeneric(a, b, out);
+}
+
+void Montgomery::Sqr(const Elem& a, Elem* out) const {
+  SLOC_DCHECK(a.size() == k_);
+  switch (kernel_) {
+    case MulKernel::kCios4: {
+      uint64_t r[4];
+      CiosSqr<4>(a.data(), n_.data(), n0_inv_, r);
+      out->assign(r, r + 4);
+      return;
+    }
+    case MulKernel::kCios8: {
+      uint64_t r[8];
+      CiosSqr<8>(a.data(), n_.data(), n0_inv_, r);
+      out->assign(r, r + 8);
+      return;
+    }
+    case MulKernel::kGeneric:
+      break;
+  }
+  MulGeneric(a, a, out);
 }
 
 Montgomery::Elem Montgomery::ToMont(const BigInt& x) const {

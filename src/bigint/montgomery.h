@@ -3,6 +3,19 @@
 // Elements are fixed-width little-endian limb vectors in Montgomery form
 // (x * R mod N, R = 2^(64*k)). This is the hot path under the pairing: all
 // F_p operations route through this context.
+//
+// Multiplication dispatches to one of three kernels, chosen once at
+// Create() from the modulus width:
+//  * kGeneric — variable-width operand scanning + separate REDC pass
+//    (any width; allocates a temporary product row per call),
+//  * kCios4 / kCios8 — coarsely-integrated operand scanning (CIOS)
+//    with the limb loops unrolled at compile time for exactly 4 or 8
+//    64-bit limbs (256- / 512-bit moduli, the production parameter
+//    sizes). The whole product lives in registers / stack words, no
+//    heap traffic, and squaring uses a dedicated kernel that computes
+//    each symmetric cross term once.
+// All kernels produce bit-identical canonical representatives, so the
+// choice is invisible to callers (Fp, Fp2, Curve, the Miller loop).
 
 #ifndef SLOC_BIGINT_MONTGOMERY_H_
 #define SLOC_BIGINT_MONTGOMERY_H_
@@ -15,17 +28,36 @@
 
 namespace sloc {
 
+/// Which multiplication kernel a Montgomery context runs.
+enum class MulKernel {
+  kGeneric,  ///< variable-width schoolbook + REDC (any limb count)
+  kCios4,    ///< unrolled CIOS for 4x64 limbs (moduli up to 256 bits)
+  kCios8,    ///< unrolled CIOS for 8x64 limbs (moduli up to 512 bits)
+};
+
+/// Human-readable kernel name ("generic", "cios4", "cios8").
+const char* MulKernelName(MulKernel kernel);
+
 /// Reusable context bound to one odd modulus N > 1.
 class Montgomery {
  public:
   /// Fixed-width residue in Montgomery form, length num_limbs().
   using Elem = std::vector<uint64_t>;
 
-  /// Error unless modulus is odd and > 1.
+  /// Error unless modulus is odd and > 1. Selects the widest fixed-width
+  /// kernel that matches the modulus limb count (4 -> kCios4,
+  /// 8 -> kCios8), generic otherwise.
   static Result<Montgomery> Create(const BigInt& modulus);
+
+  /// Create with an explicit kernel (equivalence tests / benchmarks).
+  /// Error when the kernel's fixed width does not equal the modulus
+  /// limb count; kGeneric is always accepted.
+  static Result<Montgomery> Create(const BigInt& modulus, MulKernel kernel);
 
   const BigInt& modulus() const { return modulus_; }
   size_t num_limbs() const { return k_; }
+  /// The kernel selected for this modulus.
+  MulKernel kernel() const { return kernel_; }
 
   /// Converts x (any sign) into Montgomery form of x mod N.
   Elem ToMont(const BigInt& x) const;
@@ -48,8 +80,9 @@ class Montgomery {
   void Neg(const Elem& a, Elem* out) const;
   /// out = a * b * R^-1 mod N (Montgomery product).
   void Mul(const Elem& a, const Elem& b, Elem* out) const;
-  /// out = a^2 * R^-1 mod N.
-  void Sqr(const Elem& a, Elem* out) const { Mul(a, a, out); }
+  /// out = a^2 * R^-1 mod N. Fixed-width kernels compute each symmetric
+  /// cross term once (~half the limb products of Mul).
+  void Sqr(const Elem& a, Elem* out) const;
   /// Doubles in place semantics: out = 2a mod N.
   void Dbl(const Elem& a, Elem* out) const { Add(a, a, out); }
 
@@ -60,7 +93,7 @@ class Montgomery {
   Result<Elem> Inverse(const Elem& a) const;
 
  private:
-  Montgomery(BigInt modulus, size_t k);
+  Montgomery(BigInt modulus, size_t k, MulKernel kernel);
 
   // out = t / R mod N for 2k-limb t (REDC). t is modified.
   void Redc(std::vector<uint64_t>* t, Elem* out) const;
@@ -68,9 +101,12 @@ class Montgomery {
   int CmpRaw(const uint64_t* a, const uint64_t* b) const;
   // a -= b (length k_), returns borrow.
   static uint64_t SubRaw(uint64_t* a, const uint64_t* b, size_t k);
+  // Generic-width Montgomery product (the pre-kernel reference path).
+  void MulGeneric(const Elem& a, const Elem& b, Elem* out) const;
 
   BigInt modulus_;
   size_t k_;                  // limb count of modulus
+  MulKernel kernel_ = MulKernel::kGeneric;
   std::vector<uint64_t> n_;   // modulus limbs, length k_
   uint64_t n0_inv_;           // -N^-1 mod 2^64
   Elem one_;                  // R mod N

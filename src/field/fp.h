@@ -26,6 +26,9 @@ class Fp {
 
   const BigInt& p() const { return mont_->modulus(); }
   size_t num_limbs() const { return mont_->num_limbs(); }
+  /// The Montgomery multiplication kernel backing this field (fixed
+  /// width CIOS for 4- and 8-limb primes, generic otherwise).
+  MulKernel mul_kernel() const { return mont_->kernel(); }
 
   Elem Zero() const { return mont_->Zero(); }
   const Elem& One() const { return mont_->One(); }

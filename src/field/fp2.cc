@@ -1,5 +1,7 @@
 #include "field/fp2.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace sloc {
@@ -129,6 +131,68 @@ Fp2Elem Fp2::UnitaryInverse(const Fp2Elem& a) const {
   Fp2Elem out;
   Conj(a, &out);
   return out;
+}
+
+UnitaryComb UnitaryComb::Build(const Fp2& fp2, const Fp2Elem& base,
+                               size_t max_bits, unsigned teeth) {
+  SLOC_CHECK(teeth >= 2 && teeth <= 8) << "unsupported comb teeth";
+  UnitaryComb comb;
+  comb.teeth_ = teeth;
+  comb.rows_ = (std::max<size_t>(max_bits, 1) + teeth - 1) / teeth;
+  comb.base_ = base;
+  const size_t entries = (size_t(1) << teeth) - 1;
+  comb.table_.resize(entries);
+  // Single-bit entries: b_j = base^(2^(j*rows)) by repeated squaring.
+  Fp2Elem power = base;
+  Fp2Elem tmp;
+  for (unsigned j = 0; j < teeth; ++j) {
+    comb.table_[(size_t(1) << j) - 1] = power;
+    if (j + 1 < teeth) {
+      for (size_t s = 0; s < comb.rows_; ++s) {
+        fp2.Sqr(power, &tmp);
+        power = tmp;
+      }
+    }
+  }
+  // Remaining subset products from the lowest set bit.
+  for (size_t e = 1; e <= entries; ++e) {
+    if ((e & (e - 1)) == 0) continue;  // single bit, done above
+    const size_t low = e & (~e + 1);   // lowest set bit
+    fp2.Mul(comb.table_[(e ^ low) - 1], comb.table_[low - 1],
+            &comb.table_[e - 1]);
+  }
+  return comb;
+}
+
+Fp2Elem UnitaryComb::Pow(const Fp2& fp2, const BigInt& k) const {
+  // A default-constructed comb has no base to fall back on (unlike the
+  // EC comb, whose default base is the identity); callers gate on
+  // empty().
+  SLOC_CHECK(!empty()) << "Pow on an empty UnitaryComb";
+  if (k.IsZero()) return fp2.One();
+  const bool negative = k.IsNegative();
+  if (k.BitLength() > max_bits()) {
+    return fp2.PowUnitary(base_, k);
+  }
+  Fp2Elem result = fp2.One();
+  Fp2Elem tmp;
+  for (size_t r = rows_; r-- > 0;) {
+    fp2.Sqr(result, &tmp);
+    result = tmp;
+    size_t e = 0;
+    for (unsigned j = 0; j < teeth_; ++j) {
+      if (k.Bit(size_t(j) * rows_ + r)) e |= size_t(1) << j;
+    }
+    if (e != 0) {
+      fp2.Mul(result, table_[e - 1], &tmp);
+      result = tmp;
+    }
+  }
+  if (negative) {
+    fp2.Conj(result, &tmp);
+    result = tmp;
+  }
+  return result;
 }
 
 }  // namespace sloc

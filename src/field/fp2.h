@@ -6,6 +6,8 @@
 #ifndef SLOC_FIELD_FP2_H_
 #define SLOC_FIELD_FP2_H_
 
+#include <vector>
+
 #include "field/fp.h"
 
 namespace sloc {
@@ -73,6 +75,41 @@ class Fp2 {
  private:
   explicit Fp2(const Fp& fp) : fp_(fp) {}
   Fp fp_;
+};
+
+/// Lim-Lee fixed-base comb for a *unitary* base (a G_T element) —
+/// the F_p^2 mirror of ec's FixedBaseComb. Splits a scalar of up to
+/// teeth*rows bits into `teeth` interleaved combs of `rows` bits and
+/// precomputes all 2^teeth - 1 subset products
+/// T[e] = prod_{j : e_j = 1} base^(2^(j*rows)), so one exponentiation
+/// costs `rows` squarings plus at most `rows` muls — versus ~bits
+/// squarings for the wNAF ladder. Negative exponents are a free final
+/// conjugation on the unit circle. Building costs about one PowUnitary,
+/// so a table pays for itself from the second use of the same base
+/// (e.g. a public key's A = e(g, v)^a raised per Encrypt).
+class UnitaryComb {
+ public:
+  /// Empty table; callers fall back to Fp2::PowUnitary.
+  UnitaryComb() = default;
+
+  /// Precomputes the table for exponents of up to `max_bits` bits.
+  /// `base` must be unitary (debug-checked by the Fp2 ops).
+  static UnitaryComb Build(const Fp2& fp2, const Fp2Elem& base,
+                           size_t max_bits, unsigned teeth = 5);
+
+  bool empty() const { return table_.empty(); }
+  size_t max_bits() const { return size_t(teeth_) * rows_; }
+
+  /// base^k, any sign of k. Exponents wider than max_bits fall back to
+  /// fp2.PowUnitary on the stored base. Callers must gate on empty():
+  /// a default-constructed comb has no base and Pow CHECK-fails.
+  Fp2Elem Pow(const Fp2& fp2, const BigInt& k) const;
+
+ private:
+  unsigned teeth_ = 0;
+  size_t rows_ = 0;
+  Fp2Elem base_;                 // for the fallback path
+  std::vector<Fp2Elem> table_;   // table_[e-1], e in [1, 2^teeth)
 };
 
 }  // namespace sloc

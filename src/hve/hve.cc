@@ -34,6 +34,7 @@ void PrecomputePublicKey(const PairingGroup& group, PublicKey* pk) {
   if (pk->tables != nullptr) return;
   auto tables = std::make_shared<PublicKeyTables>();
   tables->v_blinded = group.BuildComb(pk->v_blinded);
+  tables->a_pair = group.BuildGtComb(pk->a_pair);
   tables->h.reserve(pk->width);
   tables->uh.reserve(pk->width);
   tables->w.reserve(pk->width);
@@ -130,8 +131,11 @@ Result<Ciphertext> Encrypt(const PairingGroup& group, const PublicKey& pk,
           ? pk.tables.get()
           : nullptr;
   const bool have_uh = pk.uh.size() == pk.width;
-  // C' = M * A^s.
-  ct.c_prime = group.GtMul(msg, group.GtPow(pk.a_pair, s));
+  // C' = M * A^s, through the per-key G_T comb when available.
+  ct.c_prime = group.GtMul(
+      msg, tables != nullptr && !tables->a_pair.empty()
+               ? group.GtPowFixed(tables->a_pair, s)
+               : group.GtPow(pk.a_pair, s));
   // C_0 = V^s * Z.
   ct.c0 = group.Add(
       MulBase(group, tables ? &tables->v_blinded : nullptr, pk.v_blinded, s),
@@ -237,8 +241,9 @@ Result<bool> Matches(const PairingGroup& group, const Token& token,
   return group.GtEqual(recovered, marker);
 }
 
-Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
-                                  const Token& token, const Ciphertext& ct) {
+Result<Fp2Elem> QueryMillerMultiPairing(const PairingGroup& group,
+                                        const Token& token,
+                                        const Ciphertext& ct) {
   const size_t width = token.pattern.size();
   if (ct.c1.size() != width || ct.c2.size() != width) {
     return Status::InvalidArgument(
@@ -248,7 +253,6 @@ Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
   if (token.k1.size() != non_star || token.k2.size() != non_star) {
     return Status::InvalidArgument("malformed token: |k1|,|k2| != |J|");
   }
-  const Fp2& fp2 = group.fp2();
 
   // One shared-squaring pass over the 2|J|+1 pairs: the numerator
   // e(C_0, K_0) plus each denominator pairing folded in as its inverse
@@ -265,11 +269,18 @@ Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
     ++j;
   }
   size_t executed = 0;
-  Fp2Elem ratio_miller = MultiMillerLoop(group.curve(), fp2,
+  Fp2Elem ratio_miller = MultiMillerLoop(group.curve(), group.fp2(),
                                          group.params().n, pairs, &executed);
   group.CountPairings(executed);
-  Fp2Elem ratio =
-      FinalExponentiation(fp2, ratio_miller, group.params().cofactor);
+  return ratio_miller;
+}
+
+Result<Fp2Elem> QueryMultiPairing(const PairingGroup& group,
+                                  const Token& token, const Ciphertext& ct) {
+  SLOC_ASSIGN_OR_RETURN(Fp2Elem ratio_miller,
+                        QueryMillerMultiPairing(group, token, ct));
+  Fp2Elem ratio = FinalExponentiation(group.fp2(), ratio_miller,
+                                      group.params().cofactor);
   // M = C' / ratio; the exponentiated ratio is unitary.
   return group.GtMul(ct.c_prime, group.GtInv(ratio));
 }
@@ -296,9 +307,9 @@ PrecompiledToken PrecompileToken(const PairingGroup& group,
   return out;
 }
 
-Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
-                                 const PrecompiledToken& token,
-                                 const Ciphertext& ct) {
+Result<Fp2Elem> QueryMillerPrecompiled(const PairingGroup& group,
+                                       const PrecompiledToken& token,
+                                       const Ciphertext& ct) {
   const size_t width = token.pattern.size();
   if (ct.c1.size() != width || ct.c2.size() != width) {
     return Status::InvalidArgument(
@@ -310,7 +321,6 @@ Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
     return Status::InvalidArgument(
         "malformed precompiled token: |k1|,|k2| != |J|");
   }
-  const Fp2& fp2 = group.fp2();
 
   // Same pair layout as QueryMultiPairing; only the stored line tables
   // stand in for the token points.
@@ -324,11 +334,19 @@ Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
   }
   size_t executed = 0;
   Fp2Elem ratio_miller = MultiMillerLoopPrecompiled(
-      group.curve(), fp2, group.params().n, pairs, &executed);
+      group.curve(), group.fp2(), group.params().n, pairs, &executed);
   group.CountPairings(executed);
   group.CountPrecompPairings(executed);
-  Fp2Elem ratio =
-      FinalExponentiation(fp2, ratio_miller, group.params().cofactor);
+  return ratio_miller;
+}
+
+Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
+                                 const PrecompiledToken& token,
+                                 const Ciphertext& ct) {
+  SLOC_ASSIGN_OR_RETURN(Fp2Elem ratio_miller,
+                        QueryMillerPrecompiled(group, token, ct));
+  Fp2Elem ratio = FinalExponentiation(group.fp2(), ratio_miller,
+                                      group.params().cofactor);
   return group.GtMul(ct.c_prime, group.GtInv(ratio));
 }
 

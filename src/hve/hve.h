@@ -29,6 +29,9 @@ struct PublicKeyTables {
   std::vector<FixedBaseComb> h;   ///< H_i
   std::vector<FixedBaseComb> uh;  ///< U_i + H_i
   std::vector<FixedBaseComb> w;   ///< W_i
+  /// G_T comb for A = e(g, v)^a: C' = M * A^s costs ~bits/teeth muls
+  /// instead of a full unitary ladder per Encrypt.
+  UnitaryComb a_pair;
 };
 
 /// Public key: blinded generators (the R_* factors live in G_q).
@@ -177,6 +180,24 @@ Result<Fp2Elem> QueryPrecompiled(const PairingGroup& group,
 Result<bool> MatchesPrecompiled(const PairingGroup& group,
                                 const PrecompiledToken& token,
                                 const Ciphertext& ct, const Fp2Elem& marker);
+
+/// The *un-exponentiated* Miller ratio of QueryMultiPairing: one
+/// shared-squaring pass over all 2|J|+1 chains, no final exponentiation.
+/// Feeding the result through FinalExponentiation (or, across many
+/// queries, BatchFinalExponentiation) and combining as
+/// M = C' * ratio^-1 reproduces Query's G_T element exactly. This is
+/// the batching seam ProcessAlert uses to share one Fp2 inversion per
+/// flush instead of paying one per (token, ciphertext) query.
+Result<Fp2Elem> QueryMillerMultiPairing(const PairingGroup& group,
+                                        const Token& token,
+                                        const Ciphertext& ct);
+
+/// Un-exponentiated Miller ratio over precompiled line tables (the
+/// precompiled analog of QueryMillerMultiPairing). Charges the pairing
+/// and precompiled-hit counters with executed loops.
+Result<Fp2Elem> QueryMillerPrecompiled(const PairingGroup& group,
+                                       const PrecompiledToken& token,
+                                       const Ciphertext& ct);
 
 }  // namespace hve
 }  // namespace sloc

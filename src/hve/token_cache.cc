@@ -1,0 +1,55 @@
+#include "hve/token_cache.h"
+
+namespace sloc {
+namespace hve {
+
+std::shared_ptr<const PrecompiledToken> TokenTableCache::Get(
+    const std::vector<uint8_t>& blob) {
+  std::string key(blob.begin(), blob.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void TokenTableCache::Put(const std::vector<uint8_t>& blob,
+                          std::shared_ptr<const PrecompiledToken> table) {
+  if (capacity_ == 0) return;
+  std::string key(blob.begin(), blob.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(table);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(table));
+  index_.emplace(std::move(key), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t TokenTableCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t TokenTableCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t TokenTableCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace hve
+}  // namespace sloc

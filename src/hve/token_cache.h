@@ -1,0 +1,67 @@
+// Bounded LRU cache of precompiled token line tables.
+//
+// A PrecompiledToken is O(order_bits * (2s+1)) field elements — at
+// 512-bit production parameters a large alert bundle can hold hundreds
+// of megabytes of line tables. The service provider therefore retains
+// tables across alerts only up to a fixed entry budget, evicting the
+// least-recently-used ones; evicted tokens are simply recompiled on the
+// next alert that carries them, so eviction can never change match
+// results. Keys are the serialized token blobs (tokens are randomized
+// per issuance, so equal blobs really are the same token).
+
+#ifndef SLOC_HVE_TOKEN_CACHE_H_
+#define SLOC_HVE_TOKEN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hve/hve.h"
+
+namespace sloc {
+namespace hve {
+
+/// Thread-safe LRU map from serialized token blob to its compiled line
+/// tables. Capacity 0 disables retention entirely (every Get misses).
+class TokenTableCache {
+ public:
+  explicit TokenTableCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The cached table for this blob, or null on miss. A hit refreshes
+  /// the entry's recency.
+  std::shared_ptr<const PrecompiledToken> Get(
+      const std::vector<uint8_t>& blob);
+
+  /// Inserts (or refreshes) the table for this blob, evicting
+  /// least-recently-used entries beyond the capacity.
+  void Put(const std::vector<uint8_t>& blob,
+           std::shared_ptr<const PrecompiledToken> table);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  /// Cumulative lookup counters (cache observability; table-served
+  /// pairings additionally show up in the group's precomp_pairings).
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  using Entry =
+      std::pair<std::string, std::shared_ptr<const PrecompiledToken>>;
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace hve
+}  // namespace sloc
+
+#endif  // SLOC_HVE_TOKEN_CACHE_H_

@@ -118,6 +118,12 @@ Fp2Elem PairingGroup::GtPow(const Fp2Elem& a, const BigInt& e) const {
   return fp2_->PowUnitary(a, e);
 }
 
+Fp2Elem PairingGroup::GtPowFixed(const UnitaryComb& comb,
+                                 const BigInt& e) const {
+  counters_->gt_exps.fetch_add(1, std::memory_order_relaxed);
+  return comb.Pow(*fp2_, e);
+}
+
 Fp2Elem PairingGroup::RandomGt(const RandFn& rand) const {
   BigInt r = BigInt::RandomBelow(params_.n - BigInt(1), rand) + BigInt(1);
   return GtPow(e_gg_, r);

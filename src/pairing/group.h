@@ -81,6 +81,13 @@ class PairingGroup {
   /// Inverse of a unitary G_T element (conjugate).
   Fp2Elem GtInv(const Fp2Elem& a) const { return fp2_->UnitaryInverse(a); }
   Fp2Elem GtPow(const Fp2Elem& a, const BigInt& e) const;
+  /// a^e through a caller-held fixed-base comb, with operation counting
+  /// (the HVE layer keeps a per-key comb for A = e(g, v)^a).
+  Fp2Elem GtPowFixed(const UnitaryComb& comb, const BigInt& e) const;
+  /// Builds a G_T fixed-base comb sized for this group's exponents.
+  UnitaryComb BuildGtComb(const Fp2Elem& base) const {
+    return UnitaryComb::Build(*fp2_, base, params_.n.BitLength());
+  }
   bool GtEqual(const Fp2Elem& a, const Fp2Elem& b) const {
     return fp2_->Equal(a, b);
   }

@@ -397,4 +397,39 @@ Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
   return fp2.PowUnitary(unit, cofactor);
 }
 
+void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
+                              std::vector<Fp2Elem>* fs) {
+  const size_t n = fs->size();
+  if (n == 0) return;
+  if (n == 1) {
+    (*fs)[0] = FinalExponentiation(fp2, (*fs)[0], cofactor);
+    return;
+  }
+  std::vector<Fp2Elem>& f = *fs;
+  // Montgomery batch inversion: prefix[j] = f_0 * ... * f_j.
+  std::vector<Fp2Elem> prefix(n);
+  prefix[0] = f[0];
+  SLOC_CHECK(!fp2.IsZero(f[0])) << "zero Miller value";
+  for (size_t j = 1; j < n; ++j) {
+    SLOC_CHECK(!fp2.IsZero(f[j])) << "zero Miller value";
+    fp2.Mul(prefix[j - 1], f[j], &prefix[j]);
+  }
+  auto total_inv = fp2.Inverse(prefix[n - 1]);
+  SLOC_CHECK(total_inv.ok());
+  // Walk back: `acc` always holds (f_0 * ... * f_j)^-1.
+  Fp2Elem acc = *total_inv;
+  Fp2Elem conj, unit, inv_j, tmp;
+  for (size_t j = n; j-- > 1;) {
+    fp2.Mul(acc, prefix[j - 1], &inv_j);  // f_j^-1
+    fp2.Mul(acc, f[j], &tmp);             // strip f_j from acc
+    acc = tmp;
+    fp2.Conj(f[j], &conj);
+    fp2.Mul(conj, inv_j, &unit);          // conj(f_j)/f_j, norm 1
+    f[j] = fp2.PowUnitary(unit, cofactor);
+  }
+  fp2.Conj(f[0], &conj);
+  fp2.Mul(conj, acc, &unit);
+  f[0] = fp2.PowUnitary(unit, cofactor);
+}
+
 }  // namespace sloc

@@ -1,0 +1,190 @@
+// Batched final-exponentiation engine tests: full ProcessAlert runs
+// through QueryEngine::kBatched must be observationally identical to the
+// per-query reference engine — same notified users, same deterministic
+// MatchStats — across shardings, worker counts, and flush widths; and
+// the provider's precompiled-token LRU cache must preserve match results
+// under eviction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alert/protocol.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace alert {
+namespace {
+
+class BatchEngineTest : public ::testing::Test {
+ protected:
+  static constexpr int kUsers = 30;
+
+  void SetUp() override {
+    PairingParamSpec spec;
+    spec.p_prime_bits = 32;
+    spec.q_prime_bits = 32;
+    spec.seed = 2024;
+    group_ = std::make_shared<const PairingGroup>(
+        PairingGroup::Generate(spec).value());
+    auto encoder = MakeEncoder(EncoderKind::kHuffman).value();
+    Rng prng(17);
+    ASSERT_TRUE(
+        encoder->Build(GenerateSigmoidProbabilities(16, 0.9, 50, &prng))
+            .ok());
+    auto rng = std::make_shared<Rng>(4242);
+    RandFn rand = [rng]() { return rng->NextU64(); };
+    ta_ = std::make_unique<TrustedAuthority>(
+        TrustedAuthority::Create(group_, std::move(encoder), rand).value());
+    user_ = std::make_unique<MobileUser>(
+        MobileUser::Join(0, group_, ta_->public_key_blob(), ta_->marker(),
+                         rand)
+            .value());
+    // Users spread over all 16 cells; several land inside the zone.
+    Rng cells(5);
+    uploads_.reserve(kUsers);
+    for (int u = 0; u < kUsers; ++u) {
+      api::LocationUpload up;
+      up.user_id = u;
+      const int cell = int(cells.NextU64() % 16);
+      up.ciphertext =
+          user_->EncryptLocation(ta_->IndexOfCell(cell).value()).value();
+      uploads_.push_back(std::move(up));
+    }
+    tokens_ = ta_->IssueAlert({2, 3, 5}).value();
+    ASSERT_GE(tokens_.size(), 2u);
+  }
+
+  std::unique_ptr<ServiceProvider> MakeProvider(
+      const ServiceProvider::Options& options) {
+    auto sp =
+        std::make_unique<ServiceProvider>(group_, ta_->marker(), options);
+    auto report = sp->SubmitBatch(uploads_);
+    EXPECT_TRUE(report.rejected.empty());
+    return sp;
+  }
+
+  std::shared_ptr<const PairingGroup> group_;
+  std::unique_ptr<TrustedAuthority> ta_;
+  std::unique_ptr<MobileUser> user_;
+  std::vector<api::LocationUpload> uploads_;
+  std::vector<std::vector<uint8_t>> tokens_;
+};
+
+TEST_F(BatchEngineTest, BatchedMatchesReferenceAcrossConfigurations) {
+  ServiceProvider::Options ref_options;
+  ref_options.engine = ServiceProvider::QueryEngine::kReference;
+  auto reference = MakeProvider(ref_options);
+  auto expected = reference->ProcessAlert(tokens_).value();
+  ASSERT_GT(expected.stats.matches, 0u) << "test zone should match someone";
+  ASSERT_LT(expected.stats.matches, size_t(kUsers));
+
+  struct Config {
+    size_t shards;
+    unsigned threads;
+    size_t flush;
+  };
+  for (const Config& cfg : std::vector<Config>{
+           {1, 1, 1},      // degenerate flush: batch width 1
+           {1, 1, 4},      // mid-scan flushes
+           {1, 1, 1000},   // one flush for the whole store
+           {4, 4, 8},      // sharded + parallel workers
+           {8, 2, 3}}) {   // more shards than workers
+    ServiceProvider::Options options;
+    options.engine = ServiceProvider::QueryEngine::kBatched;
+    options.num_shards = cfg.shards;
+    options.num_threads = cfg.threads;
+    options.batch_flush_evals = cfg.flush;
+    auto sp = MakeProvider(options);
+    auto outcome = sp->ProcessAlert(tokens_).value();
+    EXPECT_EQ(outcome.notified_users, expected.notified_users)
+        << "shards=" << cfg.shards << " threads=" << cfg.threads
+        << " flush=" << cfg.flush;
+    EXPECT_EQ(outcome.stats.matches, expected.stats.matches);
+    EXPECT_EQ(outcome.stats.pairings, expected.stats.pairings);
+    EXPECT_EQ(outcome.stats.non_star_bits, expected.stats.non_star_bits);
+    EXPECT_EQ(outcome.stats.ciphertexts_scanned, size_t(kUsers));
+  }
+}
+
+TEST_F(BatchEngineTest, BatchedAgreesWithPrecompiledEngine) {
+  ServiceProvider::Options options;
+  options.engine = ServiceProvider::QueryEngine::kPrecompiled;
+  auto precompiled = MakeProvider(options);
+  options.engine = ServiceProvider::QueryEngine::kBatched;
+  auto batched = MakeProvider(options);
+  auto a = precompiled->ProcessAlert(tokens_).value();
+  auto b = batched->ProcessAlert(tokens_).value();
+  EXPECT_EQ(a.notified_users, b.notified_users);
+  EXPECT_EQ(a.stats.pairings, b.stats.pairings);
+}
+
+TEST_F(BatchEngineTest, TokenCacheEvictionPreservesMatchResults) {
+  ServiceProvider::Options options;
+  options.engine = ServiceProvider::QueryEngine::kReference;
+  auto reference = MakeProvider(options);
+  auto expected = reference->ProcessAlert(tokens_).value();
+
+  // Capacity 1 with several tokens: every alert evicts all but one
+  // table, so most lookups recompile — results must not change.
+  options.engine = ServiceProvider::QueryEngine::kBatched;
+  options.token_cache_capacity = 1;
+  auto evicting = MakeProvider(options);
+  for (int round = 0; round < 2; ++round) {
+    auto outcome = evicting->ProcessAlert(tokens_).value();
+    EXPECT_EQ(outcome.notified_users, expected.notified_users)
+        << "round " << round;
+  }
+  EXPECT_EQ(evicting->token_cache().size(), 1u);
+  // Only the last-inserted table survives an alert, so the second run
+  // hits exactly once and recompiles everything else.
+  EXPECT_EQ(evicting->token_cache().hits(), 1u);
+  EXPECT_EQ(evicting->token_cache().misses(), 2 * tokens_.size() - 1);
+}
+
+TEST_F(BatchEngineTest, TokenCacheServesRepeatedBundles) {
+  ServiceProvider::Options options;
+  options.engine = ServiceProvider::QueryEngine::kBatched;
+  options.token_cache_capacity = 64;
+  auto sp = MakeProvider(options);
+  auto first = sp->ProcessAlert(tokens_).value();
+  EXPECT_EQ(sp->token_cache().size(), tokens_.size());
+  EXPECT_EQ(sp->token_cache().misses(), tokens_.size());
+  auto second = sp->ProcessAlert(tokens_).value();
+  EXPECT_EQ(sp->token_cache().hits(), tokens_.size());
+  EXPECT_EQ(first.notified_users, second.notified_users);
+}
+
+TEST_F(BatchEngineTest, DuplicateTokensInBundleCompileOnce) {
+  std::vector<std::vector<uint8_t>> doubled = tokens_;
+  doubled.insert(doubled.end(), tokens_.begin(), tokens_.end());
+
+  ServiceProvider::Options options;
+  options.engine = ServiceProvider::QueryEngine::kReference;
+  auto reference = MakeProvider(options);
+  auto expected = reference->ProcessAlert(doubled).value();
+
+  options.engine = ServiceProvider::QueryEngine::kBatched;
+  auto batched = MakeProvider(options);
+  auto outcome = batched->ProcessAlert(doubled).value();
+  EXPECT_EQ(outcome.notified_users, expected.notified_users);
+  EXPECT_EQ(outcome.stats.pairings, expected.stats.pairings);
+  // The duplicate half of the bundle shares tables with the first half.
+  EXPECT_EQ(batched->token_cache().size(), tokens_.size());
+  EXPECT_EQ(batched->token_cache().misses(), tokens_.size());
+}
+
+TEST_F(BatchEngineTest, TokenCacheCapacityZeroDisablesRetention) {
+  ServiceProvider::Options options;
+  options.engine = ServiceProvider::QueryEngine::kBatched;
+  options.token_cache_capacity = 0;
+  auto sp = MakeProvider(options);
+  auto outcome = sp->ProcessAlert(tokens_).value();
+  EXPECT_EQ(sp->token_cache().size(), 0u);
+  EXPECT_EQ(outcome.stats.ciphertexts_scanned, size_t(kUsers));
+}
+
+}  // namespace
+}  // namespace alert
+}  // namespace sloc

@@ -1,0 +1,157 @@
+// Randomized cross-width equivalence suite for the Montgomery
+// multiplication kernels: the generic variable-width path vs the
+// compile-time-unrolled 4x64 and 8x64 CIOS kernels must produce
+// bit-identical Montgomery representatives for Mul, Sqr and Pow over
+// random odd moduli, including carry-stressing edge values.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bigint/montgomery.h"
+#include "common/rng.h"
+
+namespace sloc {
+namespace {
+
+RandFn TestRand(uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+// A random odd modulus occupying exactly `limbs` 64-bit words.
+BigInt RandomOddModulus(size_t limbs, const RandFn& rand) {
+  // Top bit forced so the limb count is exact; low bit forced odd.
+  BigInt m = (BigInt(1) << (64 * limbs - 1)) +
+             BigInt::Random(64 * limbs - 1, rand);
+  if (!m.IsOdd()) m += BigInt(1);
+  return m;
+}
+
+struct KernelCase {
+  size_t limbs;
+  MulKernel fixed;
+};
+
+class MontgomeryKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(MontgomeryKernelTest, AutoSelectionPicksFixedWidth) {
+  RandFn rand = TestRand(11);
+  BigInt m = RandomOddModulus(GetParam().limbs, rand);
+  auto auto_ctx = Montgomery::Create(m).value();
+  EXPECT_EQ(auto_ctx.kernel(), GetParam().fixed);
+  // The generic kernel stays available for the same modulus.
+  auto generic = Montgomery::Create(m, MulKernel::kGeneric);
+  ASSERT_TRUE(generic.ok());
+  EXPECT_EQ(generic->kernel(), MulKernel::kGeneric);
+}
+
+TEST_P(MontgomeryKernelTest, MulSqrMatchGenericOverRandomModuli) {
+  const size_t limbs = GetParam().limbs;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    RandFn rand = TestRand(1000 * limbs + seed);
+    BigInt m = RandomOddModulus(limbs, rand);
+    auto fixed = Montgomery::Create(m, GetParam().fixed).value();
+    auto generic = Montgomery::Create(m, MulKernel::kGeneric).value();
+    for (int i = 0; i < 25; ++i) {
+      BigInt a = BigInt::RandomBelow(m, rand);
+      BigInt b = BigInt::RandomBelow(m, rand);
+      Montgomery::Elem fa = fixed.ToMont(a), fb = fixed.ToMont(b);
+      Montgomery::Elem ga = generic.ToMont(a), gb = generic.ToMont(b);
+      // ToMont itself runs the kernel under test; representations agree.
+      ASSERT_EQ(fa, ga);
+      ASSERT_EQ(fb, gb);
+      Montgomery::Elem fm, gm, fs, gs;
+      fixed.Mul(fa, fb, &fm);
+      generic.Mul(ga, gb, &gm);
+      EXPECT_EQ(fm, gm) << "Mul diverged, limbs=" << limbs;
+      fixed.Sqr(fa, &fs);
+      generic.Sqr(ga, &gs);
+      EXPECT_EQ(fs, gs) << "Sqr diverged, limbs=" << limbs;
+      // Cross-check against plain BigInt arithmetic.
+      EXPECT_EQ(fixed.FromMont(fm), BigInt::ModMul(a, b, m));
+      EXPECT_EQ(fixed.FromMont(fs), BigInt::ModMul(a, a, m));
+    }
+  }
+}
+
+TEST_P(MontgomeryKernelTest, CarryStressEdgeValues) {
+  const size_t limbs = GetParam().limbs;
+  RandFn rand = TestRand(77 + limbs);
+  // Modulus just below 2^(64*limbs): maximizes carry chains in the
+  // reduction; values at 0, 1, N-1 hit the boundary paths.
+  BigInt m = (BigInt(1) << (64 * limbs)) - BigInt(189);  // odd
+  ASSERT_TRUE(m.IsOdd());
+  ASSERT_EQ(m.NumLimbs(), limbs);
+  auto fixed = Montgomery::Create(m, GetParam().fixed).value();
+  auto generic = Montgomery::Create(m, MulKernel::kGeneric).value();
+  std::vector<BigInt> edges = {BigInt(0), BigInt(1), BigInt(2),
+                               m - BigInt(1), m - BigInt(2),
+                               (m - BigInt(1)) >> 1};
+  for (int i = 0; i < 6; ++i) edges.push_back(BigInt::RandomBelow(m, rand));
+  for (const BigInt& a : edges) {
+    for (const BigInt& b : edges) {
+      Montgomery::Elem fm, gm;
+      fixed.Mul(fixed.ToMont(a), fixed.ToMont(b), &fm);
+      generic.Mul(generic.ToMont(a), generic.ToMont(b), &gm);
+      EXPECT_EQ(fm, gm);
+      EXPECT_EQ(fixed.FromMont(fm), BigInt::ModMul(a, b, m));
+    }
+    Montgomery::Elem fs, gs;
+    fixed.Sqr(fixed.ToMont(a), &fs);
+    generic.Sqr(generic.ToMont(a), &gs);
+    EXPECT_EQ(fs, gs);
+  }
+}
+
+TEST_P(MontgomeryKernelTest, PowMatchesGenericAndModPow) {
+  const size_t limbs = GetParam().limbs;
+  RandFn rand = TestRand(31 * limbs);
+  BigInt m = RandomOddModulus(limbs, rand);
+  auto fixed = Montgomery::Create(m, GetParam().fixed).value();
+  auto generic = Montgomery::Create(m, MulKernel::kGeneric).value();
+  for (int i = 0; i < 6; ++i) {
+    BigInt base = BigInt::RandomBelow(m, rand);
+    BigInt exp = BigInt::Random(64 * limbs, rand);
+    Montgomery::Elem fp = fixed.Pow(fixed.ToMont(base), exp);
+    Montgomery::Elem gp = generic.Pow(generic.ToMont(base), exp);
+    EXPECT_EQ(fp, gp);
+    EXPECT_EQ(fixed.FromMont(fp), BigInt::ModPow(base, exp, m));
+  }
+}
+
+TEST_P(MontgomeryKernelTest, SqrAliasingInputAsOutput) {
+  RandFn rand = TestRand(5);
+  BigInt m = RandomOddModulus(GetParam().limbs, rand);
+  auto fixed = Montgomery::Create(m, GetParam().fixed).value();
+  BigInt a = BigInt::RandomBelow(m, rand);
+  Montgomery::Elem x = fixed.ToMont(a);
+  Montgomery::Elem expected;
+  fixed.Sqr(x, &expected);
+  fixed.Sqr(x, &x);  // in place
+  EXPECT_EQ(x, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, MontgomeryKernelTest,
+    ::testing::Values(KernelCase{4, MulKernel::kCios4},
+                      KernelCase{8, MulKernel::kCios8}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return std::string(MulKernelName(info.param.fixed));
+    });
+
+TEST(MontgomeryKernelSelection, MismatchedWidthRejected) {
+  RandFn rand = TestRand(9);
+  BigInt m5 = RandomOddModulus(5, rand);
+  EXPECT_FALSE(Montgomery::Create(m5, MulKernel::kCios4).ok());
+  EXPECT_FALSE(Montgomery::Create(m5, MulKernel::kCios8).ok());
+  EXPECT_TRUE(Montgomery::Create(m5, MulKernel::kGeneric).ok());
+  // Non-4/8-limb moduli auto-select the generic kernel.
+  EXPECT_EQ(Montgomery::Create(m5).value().kernel(), MulKernel::kGeneric);
+  EXPECT_EQ(Montgomery::Create(BigInt(97)).value().kernel(),
+            MulKernel::kGeneric);
+}
+
+}  // namespace
+}  // namespace sloc

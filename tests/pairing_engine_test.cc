@@ -193,6 +193,102 @@ TEST_F(PairingEngineTest, PrecompiledTokenReuseAcrossCiphertexts) {
   }
 }
 
+// BatchFinalExponentiation must be bit-identical to applying
+// FinalExponentiation per entry — field arithmetic is exact and the
+// Montgomery representation canonical, so the shared-inversion path
+// yields the very same limb vectors.
+TEST_F(PairingEngineTest, BatchFinalExponentiationBitIdentical) {
+  RandFn rand = TestRand(301);
+  const Fp2& fp2 = group_->fp2();
+  const BigInt& cofactor = group_->params().cofactor;
+  for (size_t count : {size_t(1), size_t(2), size_t(3), size_t(8),
+                       size_t(17)}) {
+    std::vector<Fp2Elem> millers;
+    millers.reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+      AffinePoint a = RandomElement(rand);
+      AffinePoint b = RandomElement(rand);
+      millers.push_back(MillerLoop(group_->curve(), fp2,
+                                   group_->params().n, a, b));
+    }
+    std::vector<Fp2Elem> expected;
+    expected.reserve(count);
+    for (const Fp2Elem& f : millers) {
+      expected.push_back(FinalExponentiation(fp2, f, cofactor));
+    }
+    BatchFinalExponentiation(fp2, cofactor, &millers);
+    ASSERT_EQ(millers.size(), count);
+    for (size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(millers[k].re, expected[k].re) << "count " << count;
+      EXPECT_EQ(millers[k].im, expected[k].im) << "count " << count;
+    }
+  }
+  // Empty batch is a no-op.
+  std::vector<Fp2Elem> none;
+  BatchFinalExponentiation(fp2, cofactor, &none);
+  EXPECT_TRUE(none.empty());
+}
+
+// The raw Miller-ratio query plus a (possibly batched) final
+// exponentiation must reproduce QueryPrecompiled / Query exactly.
+TEST_F(PairingEngineTest, QueryMillerPlusFinalExpEqualsQuery) {
+  RandFn rand = TestRand(302);
+  const size_t width = 6;
+  hve::KeyPair keys = hve::Setup(*group_, width, rand).value();
+  Fp2Elem marker = group_->RandomGt(rand);
+  hve::Token tk = hve::GenToken(*group_, keys.sk, "0*1*10", rand).value();
+  hve::PrecompiledToken ptk = hve::PrecompileToken(*group_, tk);
+  const Fp2& fp2 = group_->fp2();
+  // The two raw paths run the Miller chain on opposite arguments
+  // (f_{N,C}(phi(K)) vs the precompiled f_{N,K}(phi(C))), so their
+  // un-exponentiated values differ; both must land on Query's element
+  // after the (batched) final exponentiation.
+  std::vector<Fp2Elem> ratios_p, ratios_m;
+  std::vector<Fp2Elem> expected;
+  std::vector<Fp2Elem> c_primes;
+  for (const char* index : {"001110", "011010", "010101"}) {
+    hve::Ciphertext ct =
+        hve::Encrypt(*group_, keys.pk, index, marker, rand).value();
+    expected.push_back(hve::Query(*group_, tk, ct).value());
+    ratios_p.push_back(hve::QueryMillerPrecompiled(*group_, ptk, ct).value());
+    ratios_m.push_back(
+        hve::QueryMillerMultiPairing(*group_, tk, ct).value());
+    c_primes.push_back(ct.c_prime);
+  }
+  BatchFinalExponentiation(fp2, group_->params().cofactor, &ratios_p);
+  BatchFinalExponentiation(fp2, group_->params().cofactor, &ratios_m);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    Fp2Elem rec_p = group_->GtMul(c_primes[i], group_->GtInv(ratios_p[i]));
+    Fp2Elem rec_m = group_->GtMul(c_primes[i], group_->GtInv(ratios_m[i]));
+    EXPECT_TRUE(group_->GtEqual(rec_p, expected[i])) << "ct " << i;
+    EXPECT_TRUE(group_->GtEqual(rec_m, expected[i])) << "ct " << i;
+  }
+}
+
+// The per-key G_T comb must agree with the wNAF unitary ladder for
+// every exponent shape Encrypt can produce.
+TEST_F(PairingEngineTest, UnitaryCombMatchesPowUnitary) {
+  RandFn rand = TestRand(303);
+  const Fp2& fp2 = group_->fp2();
+  Fp2Elem base = group_->RandomGt(rand);
+  UnitaryComb comb = group_->BuildGtComb(base);
+  EXPECT_FALSE(comb.empty());
+  const BigInt& n = group_->params().n;
+  std::vector<BigInt> exps = {BigInt(0), BigInt(1), BigInt(2),
+                              n - BigInt(1), -(n - BigInt(2))};
+  for (int i = 0; i < 8; ++i) exps.push_back(BigInt::RandomBelow(n, rand));
+  // Wider than the comb: exercises the PowUnitary fallback.
+  exps.push_back(n * n + BigInt(12345));
+  for (const BigInt& e : exps) {
+    Fp2Elem got = comb.Pow(fp2, e);
+    Fp2Elem want = fp2.PowUnitary(base, e);
+    EXPECT_TRUE(fp2.Equal(got, want)) << "exp bits " << e.BitLength();
+  }
+  // An empty comb always falls back.
+  UnitaryComb empty;
+  EXPECT_TRUE(empty.empty());
+}
+
 TEST_F(PairingEngineTest, CountersChargeOnlyExecutedLoops) {
   RandFn rand = TestRand(106);
   const size_t width = 4;
