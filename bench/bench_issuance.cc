@@ -1,0 +1,182 @@
+// Token-issuance ablation: the authority-side cost of turning an alert
+// zone's patterns into HVE tokens.
+//
+//  1. serial    — one GenToken per pattern (the pre-batching path):
+//     every scalar multiplication and every K_0 addition pays its own
+//     field inversion to normalize back to affine.
+//  2. batched@1 — GenTokenBatch on one thread: the whole bundle's
+//     output points normalize through ONE shared batch inversion
+//     (Montgomery's trick), [a]g is computed once per bundle, and the
+//     K_0 sums accumulate in Jacobian form. This is the single-core
+//     algorithmic win.
+//  3. batched@N — the same pipeline with the per-position scalar
+//     multiplications fanned across N worker threads.
+//
+// Token bytes are asserted identical across all three paths (the
+// batched pipeline consumes the same randomness stream), then the run
+// emits a human table plus machine-readable BENCH_issuance.json
+// (tokens/sec per path and the speedup ratios) for the nightly CI tier.
+//
+// Flags: --patterns=P (16), --width=W (24), --pbits=B (48),
+//        --threads=T (4), --csv=PATH, --json=PATH (see bench_util.h).
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "hve/hve.h"
+#include "hve/serialize.h"
+#include "pairing/group.h"
+
+namespace sloc {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  size_t num_patterns = 16;
+  size_t width = 24;
+  size_t pbits = 48;
+  unsigned threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--patterns=", 11) == 0) {
+      num_patterns = size_t(std::atoll(argv[i] + 11));
+    } else if (std::strncmp(argv[i], "--width=", 8) == 0) {
+      width = size_t(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--pbits=", 8) == 0) {
+      pbits = size_t(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = unsigned(std::atoi(argv[i] + 10));
+    }
+  }
+  if (threads == 0) threads = 1;
+
+  PairingParamSpec spec;
+  spec.p_prime_bits = pbits;
+  spec.q_prime_bits = pbits;
+  spec.seed = 20210323;
+  std::printf("generating %zu-bit composite-order pairing group...\n",
+              2 * pbits);
+  auto group = std::make_shared<const PairingGroup>(
+      PairingGroup::Generate(spec).value());
+  std::printf("field prime: %zu bits (%zu limbs), %s kernel\n",
+              group->params().field_p.BitLength(), group->fp().num_limbs(),
+              MulKernelName(group->fp().mul_kernel()));
+
+  auto rng = std::make_shared<Rng>(7);
+  RandFn rand = [rng]() { return rng->NextU64(); };
+  hve::KeyPair keys = hve::Setup(*group, width, rand).value();
+
+  // Patterns shaped like the paper's encoders emit: ~60% fixed bits.
+  Rng shape(99);
+  std::vector<std::string> patterns;
+  for (size_t t = 0; t < num_patterns; ++t) {
+    std::string p(width, '*');
+    for (auto& c : p) {
+      double r = shape.NextDouble();
+      c = r < 0.4 ? '*' : (r < 0.7 ? '0' : '1');
+    }
+    patterns.push_back(std::move(p));
+  }
+
+  // Every path re-issues the bundle from the same seed, so the token
+  // bytes must come out identical — asserted below.
+  auto seeded = [](uint64_t seed) {
+    auto r = std::make_shared<Rng>(seed);
+    return RandFn([r]() { return r->NextU64(); });
+  };
+  constexpr uint64_t kIssueSeed = 4242;
+  auto serialize_all = [&](const std::vector<hve::Token>& tokens) {
+    std::vector<std::vector<uint8_t>> blobs;
+    blobs.reserve(tokens.size());
+    for (const hve::Token& tk : tokens) {
+      blobs.push_back(hve::SerializeToken(*group, tk));
+    }
+    return blobs;
+  };
+
+  struct Row {
+    std::string name;
+    double ms = 0.0;
+    std::vector<std::vector<uint8_t>> blobs;
+  };
+  std::vector<Row> rows;
+  auto measure = [&](const std::string& name, auto&& issue) {
+    Row row;
+    row.name = name;
+    for (int rep = 0; rep < 3; ++rep) {  // best-of-3 damps noise
+      WallTimer timer;
+      auto blobs = issue();
+      const double ms = timer.Millis();
+      if (rep == 0 || ms < row.ms) row.ms = ms;
+      row.blobs = std::move(blobs);
+    }
+    rows.push_back(std::move(row));
+  };
+
+  std::printf("issuing %zu width-%zu tokens per path...\n", num_patterns,
+              width);
+  measure("serial", [&] {
+    RandFn r = seeded(kIssueSeed);
+    std::vector<hve::Token> tokens;
+    tokens.reserve(patterns.size());
+    for (const std::string& p : patterns) {
+      tokens.push_back(hve::GenToken(*group, keys.sk, p, r).value());
+    }
+    return serialize_all(tokens);
+  });
+  measure("batched@1", [&] {
+    RandFn r = seeded(kIssueSeed);
+    return serialize_all(
+        hve::GenTokenBatch(*group, keys.sk, patterns, r, 1).value());
+  });
+  measure("batched@" + std::to_string(threads), [&] {
+    RandFn r = seeded(kIssueSeed);
+    return serialize_all(
+        hve::GenTokenBatch(*group, keys.sk, patterns, r, threads).value());
+  });
+  for (size_t i = 1; i < rows.size(); ++i) {
+    SLOC_CHECK(rows[i].blobs == rows[0].blobs)
+        << rows[i].name << " token bytes diverged from the serial path";
+  }
+
+  Table table({"path", "bundle_ms", "tokens_per_sec", "speedup_vs_serial"});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, Table::Num(row.ms, 2),
+                  Table::Num(double(num_patterns) / (row.ms * 1e-3), 1),
+                  Table::Num(rows[0].ms / row.ms, 2)});
+  }
+  EmitTable("issuance", table, argc, argv);
+  const double speedup_batched1 = rows[0].ms / rows[1].ms;
+  const double speedup_batched_mt = rows[0].ms / rows[2].ms;
+  std::printf(
+      "batched@1 vs serial: %.2fx; batched@%u vs serial: %.2fx "
+      "(token bytes identical)\n",
+      speedup_batched1, threads, speedup_batched_mt);
+
+  JsonWriter params;
+  params.Integer("patterns", num_patterns);
+  params.Integer("width", width);
+  params.Integer("prime_bits", pbits);
+  params.Integer("threads", threads);
+  params.String("field_kernel", MulKernelName(group->fp().mul_kernel()));
+  JsonWriter root;
+  root.Nested("params", params);
+  root.Number("serial_ms", rows[0].ms);
+  root.Number("batched1_ms", rows[1].ms);
+  root.Number("batched_mt_ms", rows[2].ms);
+  root.Number("speedup_batched1_vs_serial", speedup_batched1);
+  root.Number("speedup_batched_vs_serial", speedup_batched_mt);
+  EmitJson("BENCH_issuance", root, argc, argv);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sloc
+
+int main(int argc, char** argv) { return sloc::bench::Run(argc, argv); }

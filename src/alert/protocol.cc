@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
-#include <thread>
 
 #include "common/bitstring.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace sloc {
@@ -22,7 +22,10 @@ ServiceProvider::AlertOutcome OutcomeFromReport(
   out.stats.tokens = size_t(report.tokens);
   out.stats.non_star_bits = size_t(report.non_star_bits);
   out.stats.pairings = size_t(report.pairings);
+  out.stats.queries = size_t(report.queries);
   out.stats.matches = size_t(report.matches);
+  out.stats.token_cache_hits = size_t(report.token_cache_hits);
+  out.stats.token_cache_misses = size_t(report.token_cache_misses);
   out.stats.wall_seconds = double(report.wall_micros) * 1e-6;
   return out;
 }
@@ -36,9 +39,27 @@ api::OutcomeReport ReportFromOutcome(
   report.tokens = outcome.stats.tokens;
   report.non_star_bits = outcome.stats.non_star_bits;
   report.pairings = outcome.stats.pairings;
+  report.queries = outcome.stats.queries;
   report.matches = outcome.stats.matches;
+  report.token_cache_hits = outcome.stats.token_cache_hits;
+  report.token_cache_misses = outcome.stats.token_cache_misses;
   report.wall_micros = uint64_t(outcome.stats.wall_seconds * 1e6);
   return report;
+}
+
+/// Flush width for batch_flush_evals = 0 (auto): grow the batch-
+/// inversion span as the slim views get slimmer. `columns` is the
+/// number of ciphertext column pairs the token set reads (the
+/// EvalLayout's union of non-star positions).
+size_t AutoFlushWidth(size_t columns) {
+  // Field elements per buffered entry: the deferred-comparison target
+  // (2, C' folded with marker^-1) + the c0 coordinate pair (2) + 4 per
+  // active column (c1 + c2, two residues each).
+  const size_t per_view = 4 + 4 * columns;
+  // ~32k field elements of views per worker: at 8x64-limb production
+  // parameters that is ~2 MiB per worker buffer.
+  constexpr size_t kBudget = 32 * 1024;
+  return std::min<size_t>(1024, std::max<size_t>(16, kBudget / per_view));
 }
 
 }  // namespace
@@ -70,11 +91,13 @@ Result<std::vector<std::vector<uint8_t>>> TrustedAuthority::IssueAlert(
     const std::vector<int>& alert_cells) const {
   SLOC_ASSIGN_OR_RETURN(std::vector<std::string> patterns,
                         encoder_->TokensFor(alert_cells));
+  SLOC_ASSIGN_OR_RETURN(
+      std::vector<hve::Token> tokens,
+      hve::GenTokenBatch(*group_, keys_.sk, patterns, rand_,
+                         issue_threads_));
   std::vector<std::vector<uint8_t>> blobs;
-  blobs.reserve(patterns.size());
-  for (const std::string& pattern : patterns) {
-    SLOC_ASSIGN_OR_RETURN(hve::Token token,
-                          hve::GenToken(*group_, keys_.sk, pattern, rand_));
+  blobs.reserve(tokens.size());
+  for (const hve::Token& token : tokens) {
     blobs.push_back(hve::SerializeToken(*group_, token));
   }
   return blobs;
@@ -186,18 +209,9 @@ ServiceProvider::SubmitReport ServiceProvider::SubmitBatch(
       }
     }
   };
-  const size_t num_workers =
-      std::min<size_t>(options_.num_threads, n == 0 ? 1 : n);
-  if (num_workers <= 1) {
-    parse_range(0, 1);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(num_workers);
-    for (size_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back(parse_range, w, num_workers);
-    }
-    for (std::thread& t : workers) t.join();
-  }
+  const size_t num_workers = ClampWorkers(options_.num_threads, n);
+  RunWorkers(num_workers,
+             [&](size_t w) { parse_range(w, num_workers); });
   // Phase 2 — insert in submission order, so a duplicate user id within
   // one batch resolves the same way as sequential uploads: latest wins.
   SubmitReport report;
@@ -219,12 +233,14 @@ Result<ServiceProvider::SubmitReport> ServiceProvider::SubmitBatchFrame(
   return SubmitBatch(uploads);
 }
 
-std::vector<std::shared_ptr<const hve::PrecompiledToken>>
-ServiceProvider::PrecompileTokens(
+ServiceProvider::PrecompileResult ServiceProvider::PrecompileTokens(
     const std::vector<hve::Token>& tokens,
     const std::vector<std::vector<uint8_t>>& blobs) const {
   const size_t n = tokens.size();
-  std::vector<std::shared_ptr<const hve::PrecompiledToken>> out(n);
+  PrecompileResult result;
+  std::vector<std::shared_ptr<const hve::PrecompiledToken>>& out =
+      result.tables;
+  out.resize(n);
   // Serve what the LRU retained from earlier alerts; duplicate blobs
   // within one bundle compile once and share the table.
   std::vector<size_t> misses;
@@ -250,21 +266,17 @@ ServiceProvider::PrecompileTokens(
           hve::PrecompileToken(*group_, tokens[i]));
     }
   };
-  const size_t num_workers = std::max<size_t>(
-      1, std::min<size_t>(options_.num_threads, misses.size()));
-  if (num_workers <= 1) {
-    compile_range(0, 1);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(num_workers);
-    for (size_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back(compile_range, w, num_workers);
-    }
-    for (std::thread& t : workers) t.join();
-  }
+  const size_t num_workers =
+      ClampWorkers(options_.num_threads, misses.size());
+  RunWorkers(num_workers,
+             [&](size_t w) { compile_range(w, num_workers); });
   for (size_t i : misses) token_cache_.Put(blobs[i], out[i]);
   for (const auto& [dup, original] : aliases) out[dup] = out[original];
-  return out;
+  // Per-alert cache traffic (duplicates never consult the LRU): unique
+  // tokens served from retained tables vs compiled fresh.
+  result.cache_misses = misses.size();
+  result.cache_hits = first_of.size() - misses.size();
+  return result;
 }
 
 Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
@@ -287,7 +299,25 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
   std::vector<std::shared_ptr<const hve::PrecompiledToken>> precompiled;
   if (options_.engine == QueryEngine::kPrecompiled ||
       options_.engine == QueryEngine::kBatched) {
-    precompiled = PrecompileTokens(tokens, token_blobs);
+    PrecompileResult compiled = PrecompileTokens(tokens, token_blobs);
+    precompiled = std::move(compiled.tables);
+    out.stats.token_cache_hits = compiled.cache_hits;
+    out.stats.token_cache_misses = compiled.cache_misses;
+  }
+
+  // The slim evaluation layout of the batched engine: the union of the
+  // bundle's non-star positions, shared read-only by every worker.
+  hve::EvalLayout layout;
+  size_t flush_cts = std::max<size_t>(1, options_.batch_flush_evals);
+  if (options_.engine == QueryEngine::kBatched) {
+    std::vector<const hve::PrecompiledToken*> token_ptrs;
+    token_ptrs.reserve(precompiled.size());
+    for (const auto& table : precompiled) token_ptrs.push_back(table.get());
+    layout = hve::MakeEvalLayout(
+        tokens.empty() ? 0 : tokens.front().pattern.size(), token_ptrs);
+    if (options_.batch_flush_evals == 0) {
+      flush_cts = AutoFlushWidth(layout.positions.size());
+    }
   }
 
   // Per-worker partial results; merged below. Pairings are accounted
@@ -299,11 +329,12 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
     size_t scanned = 0;
     size_t matches = 0;
     size_t pairings = 0;
+    size_t queries = 0;
     Status status;
   };
   const size_t num_shards = store_->num_shards();
   const size_t num_workers =
-      std::max<size_t>(1, std::min<size_t>(options_.num_threads, num_shards));
+      ClampWorkers(options_.num_threads, num_shards);
   std::vector<ShardScan> partials(num_workers);
   // Once any worker fails, the whole alert fails — every worker stops
   // scanning instead of burning pairings on a result that gets thrown
@@ -343,6 +374,7 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
           }
           const bool match = group_->GtEqual(*recovered, marker_);
           scan.pairings += hve::QueryPairingCost(tk);
+          ++scan.queries;
           if (match) {
             scan.notified.push_back(user_id);
             ++scan.matches;
@@ -357,22 +389,23 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
     ShardScan& scan = partials[worker];
     // Token-major batching: buffer ciphertexts, then per token round
     // evaluate that token's Miller ratio over every still-unmatched
-    // buffered ciphertext and share ONE Fp2 inversion across the round.
-    // A ciphertext leaves the buffer at its first match, so exactly the
-    // same queries run as in the early-exit reference scan — only the
-    // per-query inversions collapse (~buffer-width ratios per
-    // inversion) and the marker comparison amortizes to one Gt mul per
-    // ciphertext against the cached marker^-1.
-    // VisitShard's reference-stability contract (api/store.h) keeps
-    // these pointers valid for the whole scan, so the buffer avoids
-    // deep-copying ~2*width points per scanned ciphertext.
+    // buffered ciphertext and share ONE Fp2 inversion (and one
+    // shared-recoding cofactor ladder) across the round. A ciphertext
+    // leaves the buffer at its first match, so exactly the same queries
+    // run as in the early-exit reference scan — only the per-query
+    // inversions collapse (~buffer-width ratios per inversion) and the
+    // marker comparison amortizes to one Gt mul per ciphertext against
+    // the cached marker^-1.
+    // The buffer stores slim EvalViews — C' plus the pre-distorted
+    // coordinates of only the columns the token set reads — instead of
+    // pinning full Ciphertexts in the store: ~2x smaller for sparse
+    // token sets, which is what lets the auto-tuned flush width grow.
     struct BufferedCt {
       int user_id;
-      const hve::Ciphertext* ct;
+      hve::EvalView view;
       Fp2Elem expected;  // C' * marker^-1; match iff ratio equals this
     };
     std::vector<BufferedCt> buffer;
-    const size_t flush_cts = std::max<size_t>(1, options_.batch_flush_evals);
     buffer.reserve(flush_cts);
     std::vector<Fp2Elem> millers;
     std::vector<size_t> alive, next_alive;
@@ -384,8 +417,8 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
       for (size_t k = 0; k < tokens.size() && !alive.empty(); ++k) {
         millers.clear();
         for (size_t idx : alive) {
-          Result<Fp2Elem> ratio = hve::QueryMillerPrecompiled(
-              *group_, *precompiled[k], *buffer[idx].ct);
+          Result<Fp2Elem> ratio = hve::QueryMillerPrecompiledView(
+              *group_, *precompiled[k], layout, buffer[idx].view);
           if (!ratio.ok()) {
             scan.status = ratio.status();
             abort.store(true, std::memory_order_relaxed);
@@ -401,6 +434,7 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
         for (size_t pos = 0; pos < alive.size(); ++pos) {
           const size_t idx = alive[pos];
           scan.pairings += cost;
+          ++scan.queries;
           if (group_->GtEqual(millers[pos], buffer[idx].expected)) {
             scan.notified.push_back(buffer[idx].user_id);
             ++scan.matches;
@@ -418,8 +452,18 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
       store_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
         if (abort.load(std::memory_order_relaxed)) return;
         ++scan.scanned;
-        buffer.push_back(
-            BufferedCt{user_id, &ct, group_->GtMul(ct.c_prime, marker_inv_)});
+        // No tokens: nothing to evaluate (and no width to validate
+        // against), matching the per-query engines' empty-bundle scan.
+        if (tokens.empty()) return;
+        Result<hve::EvalView> view = hve::MakeEvalView(*group_, layout, ct);
+        if (!view.ok()) {
+          scan.status = view.status();
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        Fp2Elem expected = group_->GtMul(ct.c_prime, marker_inv_);
+        buffer.push_back(BufferedCt{user_id, std::move(*view),
+                                    std::move(expected)});
         if (buffer.size() >= flush_cts) flush();
       });
     }
@@ -427,23 +471,13 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
   };
 
   const bool batched = options_.engine == QueryEngine::kBatched;
-  auto run_worker = [&](size_t w) {
+  RunWorkers(num_workers, [&](size_t w) {
     if (batched) {
       scan_shards_batched(w);
     } else {
       scan_shards(w);
     }
-  };
-  if (num_workers == 1) {
-    run_worker(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(num_workers);
-    for (size_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back(run_worker, w);
-    }
-    for (std::thread& t : workers) t.join();
-  }
+  });
 
   size_t total_notified = 0;
   for (const ShardScan& scan : partials) {
@@ -457,6 +491,7 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
     out.stats.ciphertexts_scanned += scan.scanned;
     out.stats.matches += scan.matches;
     out.stats.pairings += scan.pairings;
+    out.stats.queries += scan.queries;
   }
   out.stats.wall_seconds = timer.Seconds();
   std::sort(out.notified_users.begin(), out.notified_users.end());
@@ -492,6 +527,9 @@ Result<AlertSystem> AlertSystem::Create(const std::vector<double>& cell_probs,
       TrustedAuthority ta,
       TrustedAuthority::Create(sys.group_, std::move(encoder), rand));
   sys.ta_ = std::make_unique<TrustedAuthority>(std::move(ta));
+  // The TA's issuance pipeline shares the config's worker-thread budget
+  // (issuance and matching never run concurrently in this harness).
+  sys.ta_->set_issue_threads(config.num_threads);
   ServiceProvider::Options options;
   options.num_shards = config.num_shards;
   options.num_threads = config.num_threads;

@@ -39,7 +39,8 @@
 namespace sloc {
 namespace alert {
 
-/// Matching statistics for one processed alert (the paper's metrics).
+/// Matching statistics for one processed alert (the paper's metrics
+/// plus the operator-facing engine/cache observability counters).
 struct MatchStats {
   size_t ciphertexts_scanned = 0;
   size_t tokens = 0;
@@ -50,7 +51,17 @@ struct MatchStats {
   /// batched engine's token-major rounds execute exactly the queries
   /// the early-exit scan would.
   size_t pairings = 0;
+  /// (token, ciphertext) evaluations the engine executed. Deterministic
+  /// and engine-independent for the same reason as `pairings`.
+  size_t queries = 0;
   size_t matches = 0;
+  /// Precompiled-token LRU traffic for THIS alert: unique tokens served
+  /// from tables retained across alerts vs tables compiled fresh.
+  /// Always zero for the engines that do not precompile (reference,
+  /// multipairing). Operators size Options::token_cache_capacity off
+  /// the hit rate these report in production.
+  size_t token_cache_hits = 0;
+  size_t token_cache_misses = 0;
   double wall_seconds = 0.0;
 };
 
@@ -77,8 +88,17 @@ class TrustedAuthority {
   const GridEncoder& encoder() const { return *encoder_; }
 
   /// Issues serialized, encrypted search tokens for an alert zone.
+  /// Runs the batched issuance pipeline: the bundle's per-position
+  /// scalar multiplications fan across `issue_threads()` workers and
+  /// every output point normalizes through one shared batch inversion,
+  /// so the token bytes are identical to per-pattern GenToken calls at
+  /// a fraction of the cost (hve::GenTokenBatch).
   Result<std::vector<std::vector<uint8_t>>> IssueAlert(
       const std::vector<int>& alert_cells) const;
+
+  /// Worker threads for batched token issuance (0 is clamped to 1).
+  void set_issue_threads(unsigned n) { issue_threads_ = n == 0 ? 1 : n; }
+  unsigned issue_threads() const { return issue_threads_; }
 
   /// Issues the tokens for an alert zone framed as one kAlertTokens
   /// envelope carrying `alert_id` (the TA -> SP wire message).
@@ -100,6 +120,7 @@ class TrustedAuthority {
   std::vector<uint8_t> pk_blob_;
   Fp2Elem marker_;
   RandFn rand_;
+  unsigned issue_threads_ = 1;
 };
 
 /// A subscriber. Receives the public key broadcast, encrypts its own
@@ -150,10 +171,12 @@ class ServiceProvider {
     kMultiPairing,  ///< shared-squaring loop + one final exponentiation
     kPrecompiled,   ///< per-alert token line tables + multi-pairing
     kBatched,       ///< precompiled tables + batched final exponentiation:
-                    ///< ciphertexts buffer per worker; each token round
-                    ///< shares one Fp2 inversion across the buffer, with
-                    ///< deferred marker comparison via a cached marker^-1
-                    ///< and the same early-exit work as the reference scan
+                    ///< slim evaluation views (only the columns the token
+                    ///< set reads) buffer per worker; each token round
+                    ///< shares one Fp2 inversion + cofactor ladder across
+                    ///< the buffer, with deferred marker comparison via a
+                    ///< cached marker^-1 and the same early-exit work as
+                    ///< the reference scan
   };
 
   /// Tuning knobs. Defaults reproduce the sequential scan order with
@@ -170,8 +193,12 @@ class ServiceProvider {
     /// Ciphertexts buffered per worker before a batched final-exp
     /// flush: each token round over a full buffer shares one Fp2
     /// inversion, so this is the batch-inversion width of the kBatched
-    /// engine.
-    size_t batch_flush_evals = 64;
+    /// engine. 0 (the default) auto-tunes per alert from token
+    /// sparsity: the slim evaluation views store only the columns the
+    /// token set reads, so sparser tokens buffer more ciphertexts
+    /// within the same memory budget. Match results are bit-identical
+    /// at every width.
+    size_t batch_flush_evals = 0;
   };
 
   /// Sequential provider over an in-memory store.
@@ -258,9 +285,15 @@ class ServiceProvider {
       const std::vector<uint8_t>& bundle_frame) const;
 
  private:
+  struct PrecompileResult {
+    std::vector<std::shared_ptr<const hve::PrecompiledToken>> tables;
+    size_t cache_hits = 0;    ///< unique tokens served from the LRU
+    size_t cache_misses = 0;  ///< unique tokens compiled this alert
+  };
+
   /// Compiles (or fetches from the LRU cache) the line tables for every
   /// token, spreading cache misses across the worker pool.
-  std::vector<std::shared_ptr<const hve::PrecompiledToken>> PrecompileTokens(
+  PrecompileResult PrecompileTokens(
       const std::vector<hve::Token>& tokens,
       const std::vector<std::vector<uint8_t>>& blobs) const;
 

@@ -234,7 +234,10 @@ Result<std::vector<uint8_t>> EncodeOutcomeReport(const OutcomeReport& report) {
   w.U64(report.tokens);
   w.U64(report.non_star_bits);
   w.U64(report.pairings);
+  w.U64(report.queries);
   w.U64(report.matches);
+  w.U64(report.token_cache_hits);
+  w.U64(report.token_cache_misses);
   w.U64(report.wall_micros);
   return FinishFrame(&w);
 }
@@ -257,7 +260,10 @@ Result<OutcomeReport> DecodeOutcomeReport(const std::vector<uint8_t>& frame) {
   SLOC_ASSIGN_OR_RETURN(report.tokens, r.U64());
   SLOC_ASSIGN_OR_RETURN(report.non_star_bits, r.U64());
   SLOC_ASSIGN_OR_RETURN(report.pairings, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.queries, r.U64());
   SLOC_ASSIGN_OR_RETURN(report.matches, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.token_cache_hits, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.token_cache_misses, r.U64());
   SLOC_ASSIGN_OR_RETURN(report.wall_micros, r.U64());
   SLOC_RETURN_IF_ERROR(r.ExpectDone());
   return report;

@@ -31,7 +31,9 @@ namespace api {
 
 /// Current wire version. Bump on any incompatible payload change; old
 /// parsers then reject new frames with kUnimplemented instead of UB.
-constexpr uint8_t kWireVersion = 1;
+/// v2: kAlertOutcome payload gained queries and token-cache hit/miss
+/// counters (engine observability).
+constexpr uint8_t kWireVersion = 2;
 
 /// Entry-count caps, enforced symmetrically: encoders refuse to build a
 /// frame the decoders would reject. Callers with bigger workloads chunk
@@ -89,7 +91,10 @@ struct OutcomeReport {
   uint64_t tokens = 0;
   uint64_t non_star_bits = 0;
   uint64_t pairings = 0;
+  uint64_t queries = 0;            ///< (token, ciphertext) evals executed
   uint64_t matches = 0;
+  uint64_t token_cache_hits = 0;   ///< unique tokens served from the LRU
+  uint64_t token_cache_misses = 0; ///< unique tokens compiled this alert
   uint64_t wall_micros = 0;
 };
 

@@ -56,14 +56,11 @@ class CiphertextStore {
   /// Invokes `fn(user_id, ciphertext)` for every entry of shard `shard`
   /// (iteration order unspecified). Precondition: shard < num_shards().
   ///
-  /// Reference-stability contract: the ciphertext reference handed to
-  /// `fn` must stay valid until the next structural mutation of the
-  /// store (Put/Erase), not merely for the duration of the callback —
-  /// the batched matcher buffers these references across an entire
-  /// scan, which the thread-compatibility rules above already serialize
-  /// against mutations. Backends that materialize entries on the fly
-  /// must keep the handed-out objects alive accordingly (both bundled
-  /// node-based map backends satisfy this for free).
+  /// The ciphertext reference only needs to stay valid for the
+  /// duration of the callback: every matcher copies what it retains
+  /// (the batched engine extracts a slim hve::EvalView per entry at
+  /// visit time), so backends that materialize entries on the fly are
+  /// fine.
   virtual void VisitShard(
       size_t shard,
       const std::function<void(int, const hve::Ciphertext&)>& fn) const = 0;

@@ -1,0 +1,41 @@
+// Striped worker-pool helper shared by the batch paths (ingest
+// validation, token precompilation, batched issuance, shard matching).
+// Each caller stripes its own work units by worker index; this file
+// only owns the clamp-spawn-join choreography so fixes to it (e.g.
+// exception safety around join) land in one place.
+
+#ifndef SLOC_COMMON_PARALLEL_H_
+#define SLOC_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sloc {
+
+/// Workers a pool should actually spawn: the configured thread budget
+/// clamped to the number of work units, never less than one.
+inline size_t ClampWorkers(size_t num_threads, size_t work_units) {
+  return std::max<size_t>(1, std::min(num_threads, work_units));
+}
+
+/// Runs fn(worker) for worker in [0, num_workers): inline when one
+/// worker suffices, on spawned-and-joined std::threads otherwise.
+/// Callers handle work unit w, w + num_workers, ... inside fn.
+inline void RunWorkers(size_t num_workers,
+                       const std::function<void(size_t)>& fn) {
+  if (num_workers <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) workers.emplace_back(fn, w);
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_PARALLEL_H_

@@ -312,12 +312,26 @@ FixedBaseComb FixedBaseComb::Build(const Curve& curve,
 
 AffinePoint FixedBaseComb::Mul(const Curve& curve, const BigInt& k) const {
   if (base_infinity_ || k.IsZero()) return curve.Infinity();
+  // The fallback already normalizes: don't round-trip its affine result
+  // through MulJacobian/ToAffine (a second inversion for nothing).
+  // BitLength is magnitude-only, so no |k| copy is needed for the test.
+  if (table_.empty() || k.BitLength() > max_bits()) {
+    return curve.ScalarMul(k, base_);
+  }
+  return curve.ToAffine(MulJacobian(curve, k));
+}
+
+JacobianPoint FixedBaseComb::MulJacobian(const Curve& curve,
+                                         const BigInt& k) const {
+  const Fp& fp = curve.fp();
+  const JacobianPoint identity{fp.One(), fp.One(), fp.Zero()};
+  if (base_infinity_ || k.IsZero()) return identity;
   const bool negate = k.IsNegative();
   const BigInt e = negate ? -k : k;
   if (table_.empty() || e.BitLength() > max_bits()) {
-    return curve.ScalarMul(k, base_);
+    return curve.ToJacobian(curve.ScalarMul(k, base_));
   }
-  JacobianPoint acc{curve.fp().One(), curve.fp().One(), curve.fp().Zero()};
+  JacobianPoint acc = identity;
   for (size_t row = rows_; row-- > 0;) {
     if (!curve.IsInfinity(acc)) acc = curve.Double(acc);
     size_t idx = 0;
@@ -326,8 +340,7 @@ AffinePoint FixedBaseComb::Mul(const Curve& curve, const BigInt& k) const {
     }
     if (idx != 0) acc = curve.AddMixed(acc, table_[idx - 1]);
   }
-  AffinePoint out = curve.ToAffine(acc);
-  return negate ? curve.Neg(out) : out;
+  return negate ? curve.NegJacobian(acc) : acc;
 }
 
 AffinePoint Curve::RandomPoint(const RandFn& rand) const {

@@ -116,6 +116,13 @@ class FixedBaseComb {
   /// to curve.ScalarMul on the stored base; negative k negates.
   AffinePoint Mul(const Curve& curve, const BigInt& k) const;
 
+  /// [k]base left in Jacobian form: the same comb walk as Mul minus the
+  /// final normalization, so a caller multiplying many scalars can share
+  /// ONE field inversion across all of them via Curve::BatchToAffine
+  /// (Mul pays an inversion per call). ToAffine of the result equals
+  /// Mul(k) bit for bit — affine coordinates are canonical.
+  JacobianPoint MulJacobian(const Curve& curve, const BigInt& k) const;
+
  private:
   unsigned teeth_ = 0;
   size_t rows_ = 0;

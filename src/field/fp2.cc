@@ -93,37 +93,62 @@ Fp2Elem Fp2::Pow(const Fp2Elem& base, const BigInt& exp) const {
 }
 
 Fp2Elem Fp2::PowUnitary(const Fp2Elem& base, const BigInt& exp) const {
-  SLOC_DCHECK(fp_.Equal(Norm(base), fp_.One())) << "element is not unitary";
-  if (exp.IsZero()) return One();
-  constexpr unsigned kWidth = 4;
-  const std::vector<int8_t> digits = exp.ToWnaf(kWidth);
-  // Odd powers base^1, base^3, ..., base^(2^(w-1) - 1).
-  std::vector<Fp2Elem> odd(size_t(1) << (kWidth - 2));
-  odd[0] = base;
-  Fp2Elem sq;
-  Sqr(base, &sq);
-  for (size_t m = 1; m < odd.size(); ++m) Mul(odd[m - 1], sq, &odd[m]);
+  // The size-1 case of the batch ladder: one implementation of the
+  // signed-digit walk, so "bit-identical to PowUnitary" holds for the
+  // batch path by construction.
+  std::vector<Fp2Elem> one{base};
+  BatchPowUnitary(exp, &one);
+  return one[0];
+}
 
+void Fp2::BatchPowUnitary(const BigInt& exp,
+                          std::vector<Fp2Elem>* units) const {
+  const size_t n = units->size();
+  if (n == 0) return;
+  if (exp.IsZero()) {
+    for (Fp2Elem& u : *units) u = One();
+    return;
+  }
+  std::vector<Fp2Elem>& us = *units;
+  constexpr unsigned kWidth = 4;
+  constexpr size_t kOdd = size_t(1) << (kWidth - 2);
+  // Shared across the batch: the recoded digit schedule and its sign.
+  const std::vector<int8_t> digits = exp.ToWnaf(kWidth);
   const bool negate = exp.IsNegative();
-  Fp2Elem result = One();
+  // Per-unit odd powers u^1, u^3, ..., u^(2^(w-1) - 1), flat layout.
+  std::vector<Fp2Elem> odd(n * kOdd);
+  Fp2Elem sq;
+  for (size_t j = 0; j < n; ++j) {
+    SLOC_DCHECK(fp_.Equal(Norm(us[j]), fp_.One()))
+        << "element is not unitary";
+    Fp2Elem* mine = &odd[j * kOdd];
+    mine[0] = us[j];
+    Sqr(us[j], &sq);
+    for (size_t m = 1; m < kOdd; ++m) Mul(mine[m - 1], sq, &mine[m]);
+    us[j] = One();
+  }
+  // One walk over the shared schedule, every unit's ladder interleaved.
+  // Per unit this is the exact operation sequence of PowUnitary, so the
+  // results are bit-identical to the per-entry path.
   Fp2Elem tmp;
   for (size_t i = digits.size(); i-- > 0;) {
-    Sqr(result, &tmp);
-    result = tmp;
     const int8_t d = digits[i];
-    if (d == 0) continue;
     const bool minus = negate ? d > 0 : d < 0;
-    const Fp2Elem& m = odd[size_t(d < 0 ? -d : d) >> 1];
-    if (minus) {
-      Fp2Elem inv;
-      Conj(m, &inv);
-      Mul(result, inv, &tmp);
-    } else {
-      Mul(result, m, &tmp);
+    for (size_t j = 0; j < n; ++j) {
+      Sqr(us[j], &tmp);
+      us[j] = tmp;
+      if (d == 0) continue;
+      const Fp2Elem& m = odd[j * kOdd + (size_t(d < 0 ? -d : d) >> 1)];
+      if (minus) {
+        Fp2Elem inv;
+        Conj(m, &inv);
+        Mul(us[j], inv, &tmp);
+      } else {
+        Mul(us[j], m, &tmp);
+      }
+      us[j] = tmp;
     }
-    result = tmp;
   }
-  return result;
 }
 
 Fp2Elem Fp2::UnitaryInverse(const Fp2Elem& a) const {

@@ -72,6 +72,16 @@ class Fp2 {
   /// never touches Fp2::Inverse. Debug-checked for unitarity.
   Fp2Elem PowUnitary(const Fp2Elem& base, const BigInt& exp) const;
 
+  /// In-place exponentiation of many unitary elements by ONE shared
+  /// exponent: (*units)[j] becomes exactly PowUnitary((*units)[j], exp)
+  /// — bit-identical, since each unit runs the same signed-digit ladder
+  /// — but the wNAF recoding and the digit schedule are computed once
+  /// for the whole batch and the ladder is interleaved across units, so
+  /// a flush-sized batch of final-exponentiation tails (the fixed
+  /// cofactor exponent) amortizes the per-call recoding the way the
+  /// multi-pairing shares its f^2 chain. Empty batches are a no-op.
+  void BatchPowUnitary(const BigInt& exp, std::vector<Fp2Elem>* units) const;
+
  private:
   explicit Fp2(const Fp& fp) : fp_(fp) {}
   Fp fp_;

@@ -1,7 +1,11 @@
 #include "hve/hve.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/bitstring.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "pairing/miller.h"
 
 namespace sloc {
@@ -19,6 +23,30 @@ AffinePoint MulBase(const PairingGroup& group, const FixedBaseComb* comb,
                     const AffinePoint& base, const BigInt& k) {
   if (comb != nullptr && !comb->empty()) return group.MulFixed(*comb, k);
   return group.Mul(k, base);
+}
+
+/// MulBase left in Jacobian form: the batched issuance path defers all
+/// normalizations to one BatchToAffine.
+JacobianPoint MulBaseJacobian(const PairingGroup& group,
+                              const FixedBaseComb* comb,
+                              const AffinePoint& base, const BigInt& k) {
+  if (comb != nullptr && !comb->empty()) {
+    return group.MulFixedJacobian(*comb, k);
+  }
+  return group.curve().ToJacobian(group.Mul(k, base));
+}
+
+/// The pattern checks GenToken and GenTokenBatch share.
+Status ValidatePattern(const std::string& pattern, size_t width) {
+  if (!IsPatternString(pattern)) {
+    return Status::InvalidArgument("pattern must be over {0,1,*}");
+  }
+  if (pattern.size() != width) {
+    return Status::InvalidArgument("pattern width mismatch: got " +
+                                   std::to_string(pattern.size()) +
+                                   ", key width " + std::to_string(width));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -163,15 +191,7 @@ Result<Ciphertext> Encrypt(const PairingGroup& group, const PublicKey& pk,
 
 Result<Token> GenToken(const PairingGroup& group, const SecretKey& sk,
                        const std::string& pattern, const RandFn& rand) {
-  if (!IsPatternString(pattern)) {
-    return Status::InvalidArgument("pattern must be over {0,1,*}");
-  }
-  if (pattern.size() != sk.width) {
-    return Status::InvalidArgument("pattern width mismatch: got " +
-                                   std::to_string(pattern.size()) +
-                                   ", key width " +
-                                   std::to_string(sk.width));
-  }
+  SLOC_RETURN_IF_ERROR(ValidatePattern(pattern, sk.width));
   const PairingParams& pp = group.params();
 
   Token tk;
@@ -203,6 +223,122 @@ Result<Token> GenToken(const PairingGroup& group, const SecretKey& sk,
   }
   tk.k0 = k0;
   return tk;
+}
+
+Result<std::vector<Token>> GenTokenBatch(
+    const PairingGroup& group, const SecretKey& sk,
+    const std::vector<std::string>& patterns, const RandFn& rand,
+    unsigned num_threads) {
+  const PairingParams& pp = group.params();
+  for (const std::string& pattern : patterns) {
+    SLOC_RETURN_IF_ERROR(ValidatePattern(pattern, sk.width));
+  }
+  const SecretKeyTables* tables =
+      (sk.tables != nullptr && sk.tables->h.size() == sk.width)
+          ? sk.tables.get()
+          : nullptr;
+  const bool have_uh = sk.uh.size() == sk.width;
+
+  // Phase 1 — draw every r_i,1/r_i,2 serially, in exactly the order the
+  // per-pattern GenToken loop consumes them: token bytes must not
+  // depend on the thread count, and the RandFn is not thread-safe.
+  struct PosJob {
+    size_t token;  ///< pattern index in the bundle
+    size_t index;  ///< position i within the pattern
+    BigInt r1, r2;
+  };
+  std::vector<PosJob> jobs;
+  std::vector<size_t> first_job(patterns.size() + 1, 0);
+  for (size_t t = 0; t < patterns.size(); ++t) {
+    first_job[t] = jobs.size();
+    for (size_t i = 0; i < patterns[t].size(); ++i) {
+      if (patterns[t][i] == kStar) continue;
+      PosJob job;
+      job.token = t;
+      job.index = i;
+      job.r1 = NonZeroExp(pp.prime_p, rand);
+      job.r2 = NonZeroExp(pp.prime_p, rand);
+      jobs.push_back(std::move(job));
+    }
+  }
+  first_job[patterns.size()] = jobs.size();
+
+  // Phase 2 — the four scalar multiplications of every (pattern,
+  // position) job are independent of everything else in the bundle:
+  // fan them across the workers, all in Jacobian form (no inversions).
+  struct PosOut {
+    JacobianPoint b1;  ///< [r1](u_i + h_i) or [r1]h_i
+    JacobianPoint w2;  ///< [r2]w_i
+    JacobianPoint k1;  ///< [r1]v
+    JacobianPoint k2;  ///< [r2]v
+  };
+  std::vector<PosOut> outs(jobs.size());
+  auto run_jobs = [&](size_t begin, size_t stride) {
+    for (size_t m = begin; m < jobs.size(); m += stride) {
+      const PosJob& job = jobs[m];
+      const size_t i = job.index;
+      PosOut& out = outs[m];
+      if (patterns[job.token][i] == '1') {
+        const AffinePoint uh =
+            have_uh ? sk.uh[i] : group.Add(sk.u[i], sk.h[i]);
+        out.b1 = MulBaseJacobian(group, tables ? &tables->uh[i] : nullptr,
+                                 uh, job.r1);
+      } else {
+        out.b1 = MulBaseJacobian(group, tables ? &tables->h[i] : nullptr,
+                                 sk.h[i], job.r1);
+      }
+      out.w2 = MulBaseJacobian(group, tables ? &tables->w[i] : nullptr,
+                               sk.w[i], job.r2);
+      out.k1 = MulBaseJacobian(group, tables ? &tables->v : nullptr, sk.v,
+                               job.r1);
+      out.k2 = MulBaseJacobian(group, tables ? &tables->v : nullptr, sk.v,
+                               job.r2);
+    }
+  };
+  const size_t num_workers = ClampWorkers(num_threads, jobs.size());
+  RunWorkers(num_workers, [&](size_t w) { run_jobs(w, num_workers); });
+
+  // Phase 3 — deterministic reduction. [a]g is the same point for every
+  // token, so it is computed once; each K_0 then accumulates its jobs'
+  // contributions in position order. ONE batch normalization converts
+  // every output point, sharing a single field inversion across the
+  // bundle (the serial path inverts per scalar multiplication and per
+  // K_0 addition). Affine coordinates are canonical, so the tokens come
+  // out byte-identical to the serial path.
+  const Curve& curve = group.curve();
+  const JacobianPoint k0_seed =
+      MulBaseJacobian(group, tables ? &tables->g : nullptr, sk.g, sk.a);
+  std::vector<JacobianPoint> flat;
+  flat.reserve(patterns.size() + 2 * jobs.size());
+  for (size_t t = 0; t < patterns.size(); ++t) {
+    JacobianPoint k0 = k0_seed;
+    for (size_t m = first_job[t]; m < first_job[t + 1]; ++m) {
+      k0 = curve.Add(k0, outs[m].b1);
+      k0 = curve.Add(k0, outs[m].w2);
+    }
+    flat.push_back(std::move(k0));
+    for (size_t m = first_job[t]; m < first_job[t + 1]; ++m) {
+      flat.push_back(outs[m].k1);
+      flat.push_back(outs[m].k2);
+    }
+  }
+  const std::vector<AffinePoint> affine = curve.BatchToAffine(flat);
+
+  std::vector<Token> tokens(patterns.size());
+  size_t cursor = 0;
+  for (size_t t = 0; t < patterns.size(); ++t) {
+    Token& tk = tokens[t];
+    tk.pattern = patterns[t];
+    tk.k0 = affine[cursor++];
+    const size_t count = first_job[t + 1] - first_job[t];
+    tk.k1.reserve(count);
+    tk.k2.reserve(count);
+    for (size_t m = 0; m < count; ++m) {
+      tk.k1.push_back(affine[cursor++]);
+      tk.k2.push_back(affine[cursor++]);
+    }
+  }
+  return tokens;
 }
 
 size_t QueryPairingCost(const Token& token) {
@@ -334,6 +470,103 @@ Result<Fp2Elem> QueryMillerPrecompiled(const PairingGroup& group,
   }
   size_t executed = 0;
   Fp2Elem ratio_miller = MultiMillerLoopPrecompiled(
+      group.curve(), group.fp2(), group.params().n, pairs, &executed);
+  group.CountPairings(executed);
+  group.CountPrecompPairings(executed);
+  return ratio_miller;
+}
+
+EvalLayout MakeEvalLayout(
+    size_t width, const std::vector<const PrecompiledToken*>& tokens) {
+  EvalLayout layout;
+  layout.width = width;
+  layout.slot_of.assign(width, -1);
+  std::vector<bool> used(width, false);
+  for (const PrecompiledToken* token : tokens) {
+    if (token == nullptr) continue;
+    for (size_t i : token->positions) {
+      if (i < width) used[i] = true;
+    }
+  }
+  for (size_t i = 0; i < width; ++i) {
+    if (!used[i]) continue;
+    layout.slot_of[i] = int32_t(layout.positions.size());
+    layout.positions.push_back(i);
+  }
+  return layout;
+}
+
+Result<EvalView> MakeEvalView(const PairingGroup& group,
+                              const EvalLayout& layout,
+                              const Ciphertext& ct) {
+  if (ct.c1.size() != layout.width || ct.c2.size() != layout.width) {
+    return Status::InvalidArgument(
+        "ciphertext/token width mismatch in MakeEvalView");
+  }
+  const Fp& fp = group.fp();
+  // `negate` bakes the e(C, -K) fold into the stored coordinate, so the
+  // query path applies no Neg at all: phi(-B).y = -i*y_B.
+  auto distort = [&fp](const AffinePoint& p, bool negate) {
+    EvalView::Coord coord;
+    coord.infinity = p.infinity;
+    if (p.infinity) {
+      coord.xq = fp.Zero();
+      coord.y_im = fp.Zero();
+      return coord;
+    }
+    fp.Neg(p.x, &coord.xq);  // phi(B).x = -x_B
+    if (negate) {
+      fp.Neg(p.y, &coord.y_im);
+    } else {
+      coord.y_im = p.y;
+    }
+    return coord;
+  };
+  EvalView view;
+  view.c0 = distort(ct.c0, /*negate=*/false);
+  view.c1.reserve(layout.positions.size());
+  view.c2.reserve(layout.positions.size());
+  for (size_t i : layout.positions) {
+    view.c1.push_back(distort(ct.c1[i], /*negate=*/true));
+    view.c2.push_back(distort(ct.c2[i], /*negate=*/true));
+  }
+  return view;
+}
+
+Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
+                                           const PrecompiledToken& token,
+                                           const EvalLayout& layout,
+                                           const EvalView& view) {
+  if (layout.width != token.pattern.size()) {
+    return Status::InvalidArgument(
+        "ciphertext/token width mismatch in QueryMillerPrecompiledView");
+  }
+  const size_t non_star = NonStarCount(token.pattern);
+  if (token.k1.size() != non_star || token.k2.size() != non_star ||
+      token.positions.size() != non_star) {
+    return Status::InvalidArgument(
+        "malformed precompiled token: |k1|,|k2| != |J|");
+  }
+  // Same pair layout as QueryMillerPrecompiled; the stored distorted
+  // coordinates stand in for the ciphertext points.
+  std::vector<PrecompiledPairingCoords> pairs;
+  pairs.reserve(2 * non_star + 1);
+  pairs.push_back(PrecompiledPairingCoords{&token.k0, view.c0.xq,
+                                           view.c0.y_im, view.c0.infinity});
+  for (size_t j = 0; j < non_star; ++j) {
+    const size_t i = token.positions[j];
+    SLOC_CHECK(i < layout.slot_of.size() && layout.slot_of[i] >= 0)
+        << "EvalView layout does not cover token position " << i;
+    const size_t slot = size_t(layout.slot_of[i]);
+    const EvalView::Coord& a = view.c1[slot];
+    const EvalView::Coord& b = view.c2[slot];
+    pairs.push_back(
+        PrecompiledPairingCoords{&token.k1[j], a.xq, a.y_im, a.infinity});
+    pairs.push_back(
+        PrecompiledPairingCoords{&token.k2[j], b.xq, b.y_im, b.infinity});
+  }
+  size_t executed = 0;
+  Fp2Elem ratio_miller = MultiMillerLoopCoords(
       group.curve(), group.fp2(), group.params().n, pairs, &executed);
   group.CountPairings(executed);
   group.CountPrecompPairings(executed);

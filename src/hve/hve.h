@@ -124,6 +124,22 @@ Result<Ciphertext> Encrypt(const PairingGroup& group, const PublicKey& pk,
 Result<Token> GenToken(const PairingGroup& group, const SecretKey& sk,
                        const std::string& pattern, const RandFn& rand);
 
+/// Issues the tokens for a whole bundle of patterns at once, byte-
+/// identical to calling GenToken on each pattern in order with the same
+/// `rand`. Three phases: (1) every r_i,1/r_i,2 exponent is drawn
+/// serially in exactly the order the per-pattern loop would consume
+/// them, (2) the per-position scalar multiplications — independent
+/// across the bundle — are fanned across `num_threads` workers and kept
+/// in Jacobian form, (3) a deterministic in-order reduction accumulates
+/// each K_0 and ONE batched normalization (Curve::BatchToAffine) shares
+/// a single field inversion across every output point, where the serial
+/// path pays roughly six inversions per non-star position. This is why
+/// the bundle path wins even single-threaded.
+Result<std::vector<Token>> GenTokenBatch(
+    const PairingGroup& group, const SecretKey& sk,
+    const std::vector<std::string>& patterns, const RandFn& rand,
+    unsigned num_threads = 1);
+
 /// Evaluates the token against a ciphertext. Returns the recovered G_T
 /// element: the original message when the predicate holds, an unrelated
 /// group element otherwise. Costs 2*|J| + 1 pairings.
@@ -198,6 +214,56 @@ Result<Fp2Elem> QueryMillerMultiPairing(const PairingGroup& group,
 Result<Fp2Elem> QueryMillerPrecompiled(const PairingGroup& group,
                                        const PrecompiledToken& token,
                                        const Ciphertext& ct);
+
+/// Which ciphertext columns a fixed token set actually evaluates: the
+/// union of the tokens' non-star positions. Built once per alert; maps
+/// full-width positions to the slots of a slim EvalView.
+struct EvalLayout {
+  size_t width = 0;
+  std::vector<size_t> positions;  ///< sorted union of non-star positions
+  std::vector<int32_t> slot_of;   ///< width-sized; -1 = column never read
+};
+
+/// The layout covering every non-star position of `tokens` (null
+/// entries are skipped).
+EvalLayout MakeEvalLayout(size_t width,
+                          const std::vector<const PrecompiledToken*>& tokens);
+
+/// Slim evaluation buffer for one ciphertext under a fixed EvalLayout:
+/// the *distorted* coordinates (xq = -x, y_im = the i-coefficient of
+/// phi(+-B).y) of C_0 and only the layout's C_i,1/C_i,2 columns.
+/// Column coordinates are stored pre-negated (phi(-B)) because the
+/// query ratio always folds them in inverted. The C' column stays with
+/// the caller, which reads it exactly once per ciphertext (the batched
+/// engine folds it straight into its deferred-comparison target). For
+/// b-ary/sparse token sets a view is a fraction of the full
+/// Ciphertext, which is what lets the batched engine's flush width
+/// grow — and unlike a pointer buffer it does not pin the backing
+/// store.
+struct EvalView {
+  /// One evaluation point, pre-distorted for the Miller substitution.
+  struct Coord {
+    Fp::Elem xq;
+    Fp::Elem y_im;
+    bool infinity = false;
+  };
+  Coord c0;                 ///< phi(C_0): y_im = +y
+  std::vector<Coord> c1;    ///< phi(-C_i,1) per layout slot: y_im = -y
+  std::vector<Coord> c2;    ///< phi(-C_i,2) per layout slot
+};
+
+/// Extracts the layout's columns from `ct`. Error on width mismatch
+/// (the check QueryMillerPrecompiled would otherwise make per query).
+Result<EvalView> MakeEvalView(const PairingGroup& group,
+                              const EvalLayout& layout, const Ciphertext& ct);
+
+/// QueryMillerPrecompiled evaluated against a slim view instead of the
+/// full ciphertext: bit-identical result (the same schedule walk over
+/// the same coordinates), same counter charges.
+Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
+                                           const PrecompiledToken& token,
+                                           const EvalLayout& layout,
+                                           const EvalView& view);
 
 }  // namespace hve
 }  // namespace sloc

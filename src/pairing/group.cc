@@ -86,6 +86,12 @@ AffinePoint PairingGroup::MulFixed(const FixedBaseComb& comb,
   return comb.Mul(*curve_, k);
 }
 
+JacobianPoint PairingGroup::MulFixedJacobian(const FixedBaseComb& comb,
+                                             const BigInt& k) const {
+  counters_->scalar_muls.fetch_add(1, std::memory_order_relaxed);
+  return comb.MulJacobian(*curve_, k);
+}
+
 FixedBaseComb PairingGroup::BuildComb(const AffinePoint& base) const {
   // Scalars are reduced mod N (or a prime factor) everywhere, so N's
   // width bounds every comb lookup.

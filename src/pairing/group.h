@@ -67,6 +67,11 @@ class PairingGroup {
   /// [k]base through a caller-held fixed-base table, with operation
   /// counting (the HVE layer keeps per-key tables).
   AffinePoint MulFixed(const FixedBaseComb& comb, const BigInt& k) const;
+  /// MulFixed left in Jacobian form (no inversion) — the batched
+  /// issuance seam: many independent scalar multiplications normalize
+  /// together through one Curve::BatchToAffine call.
+  JacobianPoint MulFixedJacobian(const FixedBaseComb& comb,
+                                 const BigInt& k) const;
   /// Builds a fixed-base table sized for this group's scalars.
   FixedBaseComb BuildComb(const AffinePoint& base) const;
   /// P + Q.

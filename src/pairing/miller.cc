@@ -316,28 +316,25 @@ MillerLineTable PrecompileMillerLines(const Curve& curve,
   return table;
 }
 
-Fp2Elem MultiMillerLoopPrecompiled(
-    const Curve& curve, const Fp2& fp2, const BigInt& order,
-    const std::vector<PrecompiledPairingInput>& pairs,
-    size_t* loops_executed) {
+namespace {
+
+/// Precompiled-chain evaluation state: the stored lines plus the
+/// distorted coordinates they are substituted at.
+struct PrecompiledPairState {
+  const std::vector<MillerLine>* lines;
+  Fp::Elem xq;
+  Fp::Elem yq_im;
+};
+
+/// Shared walker for the precompiled multi-pairing variants: both the
+/// AffinePoint- and coordinate-input entry points reduce their pairs to
+/// PrecompiledPairState and run exactly this loop, which is what makes
+/// the two bit-identical on the same points.
+Fp2Elem WalkPrecompiledSchedule(const Curve& curve, const Fp2& fp2,
+                                const BigInt& order,
+                                const std::vector<PrecompiledPairState>& live,
+                                size_t* loops_executed) {
   const Fp& fp = curve.fp();
-  struct PairState {
-    const std::vector<MillerLine>* lines;
-    Fp::Elem xq;
-    Fp::Elem yq_im;
-  };
-  std::vector<PairState> live;
-  live.reserve(pairs.size());
-  for (const PrecompiledPairingInput& pair : pairs) {
-    SLOC_CHECK(pair.table != nullptr && pair.b != nullptr);
-    if (pair.table->trivial() || pair.b->infinity) continue;
-    PairState s;
-    s.lines = &pair.table->lines();
-    fp.Neg(pair.b->x, &s.xq);
-    s.yq_im = pair.b->y;
-    if (pair.invert) fp.Neg(pair.b->y, &s.yq_im);
-    live.push_back(std::move(s));
-  }
   if (loops_executed != nullptr) *loops_executed = live.size();
   Fp2Elem f = fp2.One();
   if (live.empty()) return f;
@@ -351,7 +348,7 @@ Fp2Elem MultiMillerLoopPrecompiled(
   for (size_t i = bits - 1; i-- > 0;) {
     if (order.Bit(i)) ++schedule;
   }
-  for (const PairState& s : live) {
+  for (const PrecompiledPairState& s : live) {
     SLOC_CHECK(s.lines->size() == schedule)
         << "Miller line table compiled for a different order";
   }
@@ -361,7 +358,7 @@ Fp2Elem MultiMillerLoopPrecompiled(
   Fp2Elem tmp, line;
   Fp::Elem cx_xq;
   size_t idx = 0;
-  auto substitute = [&](const PairState& s) {
+  auto substitute = [&](const PrecompiledPairState& s) {
     const MillerLine& ml = (*s.lines)[idx];
     fp.Mul(ml.c_x, s.xq, &cx_xq);
     fp.Add(cx_xq, ml.c_0, &line.re);
@@ -372,14 +369,51 @@ Fp2Elem MultiMillerLoopPrecompiled(
   for (size_t i = bits - 1; i-- > 0;) {
     fp2.Sqr(f, &tmp);
     f = tmp;
-    for (const PairState& s : live) substitute(s);
+    for (const PrecompiledPairState& s : live) substitute(s);
     ++idx;
     if (order.Bit(i)) {
-      for (const PairState& s : live) substitute(s);
+      for (const PrecompiledPairState& s : live) substitute(s);
       ++idx;
     }
   }
   return f;
+}
+
+}  // namespace
+
+Fp2Elem MultiMillerLoopPrecompiled(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingInput>& pairs,
+    size_t* loops_executed) {
+  const Fp& fp = curve.fp();
+  std::vector<PrecompiledPairState> live;
+  live.reserve(pairs.size());
+  for (const PrecompiledPairingInput& pair : pairs) {
+    SLOC_CHECK(pair.table != nullptr && pair.b != nullptr);
+    if (pair.table->trivial() || pair.b->infinity) continue;
+    PrecompiledPairState s;
+    s.lines = &pair.table->lines();
+    fp.Neg(pair.b->x, &s.xq);
+    s.yq_im = pair.b->y;
+    if (pair.invert) fp.Neg(pair.b->y, &s.yq_im);
+    live.push_back(std::move(s));
+  }
+  return WalkPrecompiledSchedule(curve, fp2, order, live, loops_executed);
+}
+
+Fp2Elem MultiMillerLoopCoords(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingCoords>& pairs,
+    size_t* loops_executed) {
+  std::vector<PrecompiledPairState> live;
+  live.reserve(pairs.size());
+  for (const PrecompiledPairingCoords& pair : pairs) {
+    SLOC_CHECK(pair.table != nullptr);
+    if (pair.skip || pair.table->trivial()) continue;
+    live.push_back(PrecompiledPairState{&pair.table->lines(), pair.xq,
+                                        pair.y_im});
+  }
+  return WalkPrecompiledSchedule(curve, fp2, order, live, loops_executed);
 }
 
 Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
@@ -416,7 +450,9 @@ void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
   }
   auto total_inv = fp2.Inverse(prefix[n - 1]);
   SLOC_CHECK(total_inv.ok());
-  // Walk back: `acc` always holds (f_0 * ... * f_j)^-1.
+  // Walk back: `acc` always holds (f_0 * ... * f_j)^-1. Each entry is
+  // replaced by its unitarization conj(f_j)/f_j; the cofactor powers
+  // are then taken in one shared-schedule batch ladder below.
   Fp2Elem acc = *total_inv;
   Fp2Elem conj, unit, inv_j, tmp;
   for (size_t j = n; j-- > 1;) {
@@ -425,11 +461,14 @@ void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
     acc = tmp;
     fp2.Conj(f[j], &conj);
     fp2.Mul(conj, inv_j, &unit);          // conj(f_j)/f_j, norm 1
-    f[j] = fp2.PowUnitary(unit, cofactor);
+    f[j] = unit;
   }
   fp2.Conj(f[0], &conj);
-  fp2.Mul(conj, acc, &unit);
-  f[0] = fp2.PowUnitary(unit, cofactor);
+  fp2.Mul(conj, acc, &f[0]);
+  // The cofactor is one fixed exponent for the whole batch: share its
+  // wNAF recoding across every unit (bit-identical to per-entry
+  // PowUnitary).
+  fp2.BatchPowUnitary(cofactor, fs);
 }
 
 }  // namespace sloc

@@ -104,6 +104,20 @@ struct PrecompiledPairingInput {
   bool invert = false;
 };
 
+/// One pair of a precompiled multi-pairing whose evaluation point is
+/// supplied as already-distorted coordinates: xq = -x_B and y_im = the
+/// i-coefficient of phi(+-B)'s y (so the caller bakes the inversion
+/// sign into y_im). This is the entry point for slim evaluation buffers
+/// that store two F_p residues per point instead of the affine point;
+/// `skip` marks pairs that contribute 1 (identity evaluation point or
+/// trivial table).
+struct PrecompiledPairingCoords {
+  const MillerLineTable* table = nullptr;
+  Fp::Elem xq;
+  Fp::Elem y_im;
+  bool skip = false;
+};
+
 /// Shared-squaring evaluation of precompiled chains: per pair and line
 /// only the substitution (c_x * xq + c_0) + (c_y * yq_im) i and one
 /// fp2.Mul remain. Trivial tables and identity evaluation points
@@ -111,6 +125,14 @@ struct PrecompiledPairingInput {
 Fp2Elem MultiMillerLoopPrecompiled(
     const Curve& curve, const Fp2& fp2, const BigInt& order,
     const std::vector<PrecompiledPairingInput>& pairs,
+    size_t* loops_executed = nullptr);
+
+/// MultiMillerLoopPrecompiled over pre-distorted coordinates: identical
+/// schedule walk and operation order, so the result is bit-identical to
+/// the AffinePoint-input variant on the same points.
+Fp2Elem MultiMillerLoopCoords(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingCoords>& pairs,
     size_t* loops_executed = nullptr);
 
 /// Final exponentiation f^((p^2-1)/N) given cofactor c = (p+1)/N:
@@ -123,8 +145,9 @@ Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
 /// field arithmetic is exact — but the conj(f)/f unitarization shares
 /// ONE Fp2 inversion across all entries via Montgomery's simultaneous
 /// inversion (prefix products, 3 extra Fp2 muls per entry), instead of
-/// one Fp inversion through the extended gcd per entry. The per-entry
-/// cofactor power is unchanged. Precondition: every entry != 0.
+/// one Fp inversion through the extended gcd per entry, and the fixed
+/// cofactor power runs as one Fp2::BatchPowUnitary ladder whose wNAF
+/// recoding is shared across the batch. Precondition: every entry != 0.
 void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
                               std::vector<Fp2Elem>* fs);
 

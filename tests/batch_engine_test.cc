@@ -86,6 +86,7 @@ TEST_F(BatchEngineTest, BatchedMatchesReferenceAcrossConfigurations) {
     size_t flush;
   };
   for (const Config& cfg : std::vector<Config>{
+           {1, 1, 0},      // auto-tuned width (slim-view budget)
            {1, 1, 1},      // degenerate flush: batch width 1
            {1, 1, 4},      // mid-scan flushes
            {1, 1, 1000},   // one flush for the whole store
@@ -103,9 +104,48 @@ TEST_F(BatchEngineTest, BatchedMatchesReferenceAcrossConfigurations) {
         << " flush=" << cfg.flush;
     EXPECT_EQ(outcome.stats.matches, expected.stats.matches);
     EXPECT_EQ(outcome.stats.pairings, expected.stats.pairings);
+    EXPECT_EQ(outcome.stats.queries, expected.stats.queries);
     EXPECT_EQ(outcome.stats.non_star_bits, expected.stats.non_star_bits);
     EXPECT_EQ(outcome.stats.ciphertexts_scanned, size_t(kUsers));
   }
+}
+
+TEST_F(BatchEngineTest, StatsSurfaceQueriesAndCacheTraffic) {
+  // The observability counters: queries are deterministic and engine-
+  // independent; cache hit/miss traffic reflects the precompiled-token
+  // LRU per alert (and is zero for engines that never precompile).
+  ServiceProvider::Options options;
+  options.engine = ServiceProvider::QueryEngine::kReference;
+  auto reference = MakeProvider(options);
+  auto ref_outcome = reference->ProcessAlert(tokens_).value();
+  EXPECT_GT(ref_outcome.stats.queries, 0u);
+  EXPECT_EQ(ref_outcome.stats.token_cache_hits, 0u);
+  EXPECT_EQ(ref_outcome.stats.token_cache_misses, 0u);
+
+  options.engine = ServiceProvider::QueryEngine::kBatched;
+  auto batched = MakeProvider(options);
+  auto first = batched->ProcessAlert(tokens_).value();
+  EXPECT_EQ(first.stats.queries, ref_outcome.stats.queries);
+  // First sight of this bundle: every unique token compiles fresh.
+  EXPECT_EQ(first.stats.token_cache_hits, 0u);
+  EXPECT_EQ(first.stats.token_cache_misses, tokens_.size());
+  // Re-issuing the same bundle is served entirely from the LRU.
+  auto second = batched->ProcessAlert(tokens_).value();
+  EXPECT_EQ(second.stats.token_cache_hits, tokens_.size());
+  EXPECT_EQ(second.stats.token_cache_misses, 0u);
+
+  // The counters survive the wire round trip of the outcome envelope.
+  api::OutcomeReport report;
+  report.alert_id = 9;
+  report.queries = second.stats.queries;
+  report.token_cache_hits = second.stats.token_cache_hits;
+  report.token_cache_misses = second.stats.token_cache_misses;
+  auto decoded =
+      api::DecodeOutcomeReport(api::EncodeOutcomeReport(report).value())
+          .value();
+  EXPECT_EQ(decoded.queries, second.stats.queries);
+  EXPECT_EQ(decoded.token_cache_hits, second.stats.token_cache_hits);
+  EXPECT_EQ(decoded.token_cache_misses, second.stats.token_cache_misses);
 }
 
 TEST_F(BatchEngineTest, BatchedAgreesWithPrecompiledEngine) {

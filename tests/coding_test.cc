@@ -85,7 +85,9 @@ TEST(HuffmanTest, SkewedProbsGiveShortCodesToLikelyCells) {
   std::vector<double> probs = {0.94, 0.02, 0.02, 0.02};
   PrefixTree tree = BuildHuffmanTree(probs).value();
   for (const PrefixNode& n : tree.nodes()) {
-    if (n.children.empty() && n.cell == 0) EXPECT_EQ(n.code.size(), 1u);
+    if (n.children.empty() && n.cell == 0) {
+      EXPECT_EQ(n.code.size(), 1u);
+    }
   }
 }
 
@@ -160,7 +162,9 @@ TEST(BalancedTest, PowerOfTwoIsPerfectlyBalanced) {
   for (double& p : probs) p = rng.NextDouble();
   PrefixTree tree = BuildBalancedTree(probs).value();
   for (const PrefixNode& n : tree.nodes()) {
-    if (n.children.empty()) EXPECT_EQ(n.code.size(), 4u);
+    if (n.children.empty()) {
+      EXPECT_EQ(n.code.size(), 4u);
+    }
   }
   EXPECT_TRUE(tree.Validate().ok());
 }

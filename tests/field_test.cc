@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "field/fp.h"
 #include "field/fp2.h"
@@ -295,6 +296,45 @@ TEST_F(Fp2Test, PowUnitaryMatchesPow) {
         << "bits " << bits;
   }
   EXPECT_TRUE(fp2_.IsOne(fp2_.PowUnitary(unit, BigInt(0))));
+}
+
+TEST_F(Fp2Test, BatchPowUnitaryMatchesPerEntryPowUnitary) {
+  // The shared-recoding batch ladder must be bit-identical to the
+  // per-entry signed-digit ladder, for every batch size (including the
+  // empty and size-1 degenerate cases) and either exponent sign.
+  RandFn rand = TestRand(15);
+  auto make_unit = [&]() {
+    Fp2Elem a = RandomElem(rand);
+    Fp2Elem conj;
+    fp2_.Conj(a, &conj);
+    auto inv = fp2_.Inverse(a);
+    SLOC_CHECK(inv.ok());
+    Fp2Elem unit;
+    fp2_.Mul(conj, *inv, &unit);  // a^(p-1): unitary
+    return unit;
+  };
+  for (size_t n : {size_t(0), size_t(1), size_t(2), size_t(7)}) {
+    std::vector<Fp2Elem> units;
+    for (size_t j = 0; j < n; ++j) units.push_back(make_unit());
+    for (size_t bits : {1, 17, 120}) {
+      for (int sign : {1, -1}) {
+        BigInt e = BigInt::Random(bits, rand);
+        if (sign < 0) e = -e;
+        std::vector<Fp2Elem> batch = units;
+        fp2_.BatchPowUnitary(e, &batch);
+        ASSERT_EQ(batch.size(), n);
+        for (size_t j = 0; j < n; ++j) {
+          EXPECT_TRUE(fp2_.Equal(batch[j], fp2_.PowUnitary(units[j], e)))
+              << "n=" << n << " bits=" << bits << " sign=" << sign
+              << " entry=" << j;
+        }
+      }
+    }
+    // Exponent zero collapses every entry to one.
+    std::vector<Fp2Elem> batch = units;
+    fp2_.BatchPowUnitary(BigInt(0), &batch);
+    for (const Fp2Elem& u : batch) EXPECT_TRUE(fp2_.IsOne(u));
+  }
 }
 
 }  // namespace

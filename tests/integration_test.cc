@@ -126,7 +126,7 @@ TEST(IntegrationTest, MarkovSmoothedSurfaceWorksEndToEnd) {
 TEST(IntegrationTest, SequentialAlertsAndMovement) {
   // A day in the life: users move, zones fire repeatedly; the ciphertext
   // store always reflects the latest position only.
-  Grid grid = Grid::Create(8, 8, 50.0).value();
+  ASSERT_TRUE(Grid::Create(8, 8, 50.0).ok());
   Rng rng(77);
   std::vector<double> probs =
       GenerateSigmoidProbabilities(64, 0.9, 30.0, &rng);
@@ -151,7 +151,7 @@ TEST(IntegrationTest, AllQueryEnginesProduceIdenticalOutcomes) {
   // Every query engine (reference per-pairing, shared-squaring
   // multi-pairing, precompiled line tables) must notify the same users
   // and account the same logical pairing count.
-  Grid grid = Grid::Create(8, 8, 50.0).value();
+  ASSERT_TRUE(Grid::Create(8, 8, 50.0).ok());
   Rng rng(55);
   std::vector<double> probs =
       GenerateSigmoidProbabilities(64, 0.9, 50.0, &rng);
@@ -181,7 +181,7 @@ TEST(IntegrationTest, AllQueryEnginesProduceIdenticalOutcomes) {
 TEST(IntegrationTest, TokenBlobsAreInterchangeableAcrossTransports) {
   // Tokens survive an extra serialize/parse cycle (e.g. store-and-
   // forward transport) without affecting matching.
-  Grid grid = Grid::Create(4, 4, 50.0).value();
+  ASSERT_TRUE(Grid::Create(4, 4, 50.0).ok());
   Rng rng(88);
   std::vector<double> probs =
       GenerateSigmoidProbabilities(16, 0.9, 30.0, &rng);

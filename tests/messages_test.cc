@@ -150,7 +150,10 @@ TEST(EnvelopeTest, OutcomeReportRoundtrip) {
   report.tokens = 7;
   report.non_star_bits = 123;
   report.pairings = 4567;
+  report.queries = 890;
   report.matches = 5;
+  report.token_cache_hits = 11;
+  report.token_cache_misses = 3;
   report.wall_micros = 98765;
   auto decoded = DecodeOutcomeReport(EncodeOutcomeReport(report).value());
   ASSERT_TRUE(decoded.ok()) << decoded.status();
@@ -160,7 +163,10 @@ TEST(EnvelopeTest, OutcomeReportRoundtrip) {
   EXPECT_EQ(decoded->tokens, report.tokens);
   EXPECT_EQ(decoded->non_star_bits, report.non_star_bits);
   EXPECT_EQ(decoded->pairings, report.pairings);
+  EXPECT_EQ(decoded->queries, report.queries);
   EXPECT_EQ(decoded->matches, report.matches);
+  EXPECT_EQ(decoded->token_cache_hits, report.token_cache_hits);
+  EXPECT_EQ(decoded->token_cache_misses, report.token_cache_misses);
   EXPECT_EQ(decoded->wall_micros, report.wall_micros);
 }
 
