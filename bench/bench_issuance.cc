@@ -63,8 +63,9 @@ int Run(int argc, char** argv) {
               2 * pbits);
   auto group = std::make_shared<const PairingGroup>(
       PairingGroup::Generate(spec).value());
-  std::printf("field prime: %zu bits (%zu limbs), %s kernel\n",
+  std::printf("field prime: %zu bits (%zu limbs), %s kernel (dispatch %s)\n",
               group->params().field_p.BitLength(), group->fp().num_limbs(),
+              MulKernelFamilyName(group->fp().mul_kernel()),
               MulKernelName(group->fp().mul_kernel()));
 
   auto rng = std::make_shared<Rng>(7);
@@ -163,7 +164,10 @@ int Run(int argc, char** argv) {
   params.Integer("width", width);
   params.Integer("prime_bits", pbits);
   params.Integer("threads", threads);
-  params.String("field_kernel", MulKernelName(group->fp().mul_kernel()));
+  params.String("field_kernel",
+                MulKernelFamilyName(group->fp().mul_kernel()));
+  params.String("field_kernel_dispatch",
+                MulKernelName(group->fp().mul_kernel()));
   JsonWriter root;
   root.Nested("params", params);
   root.Number("serial_ms", rows[0].ms);

@@ -12,17 +12,24 @@
 //     the per-key G_T comb for A^s vs the generic paths.
 //
 // The field layer underneath reports which Montgomery kernel is engaged
-// (generic vs unrolled CIOS 4x64/8x64); at --pbits=120 and above the
-// field prime spans 4 limbs and the fixed-width kernels carry every
-// engine. Runs the real ProcessAlert scan through all ServiceProvider
-// engines and checks the notified sets are identical, then emits both a
-// human table and machine-readable BENCH_pairing_engine.json (pairings/
-// sec, evaluations/sec before/after, Encrypt ms before/after) for the
-// CI perf-regression gate (bench/check_regression.py compares the
-// within-run speedup ratios against bench/baseline.json).
+// (generic vs unrolled CIOS 4x64/6x64/8x64, portable u128 vs BMI2/ADX
+// intrinsic); at --pbits=120 and above the field prime spans 4 limbs
+// and the fixed-width kernels carry every engine. Runs the real
+// ProcessAlert scan through all ServiceProvider engines and checks the
+// notified sets are identical, re-runs the batched scan with kernel
+// dispatch forced to the generic tier and checks THAT notified set too
+// (bit-identical match outcomes across kernels, asserted before CI's
+// regression gate reads the JSON), and times raw Fp multiplication
+// under every kernel the field prime can run (the intrinsic-vs-u128
+// speedup row). Emits a human table plus machine-readable
+// BENCH_pairing_engine.json for bench/check_regression.py; the pinned
+// params.field_kernel is the portable *family* name (cios4 on both
+// cios4 and cios4_adx hardware) so the baseline holds across runners,
+// with the exact dispatch reported separately.
 //
 // Flags: --users=N (64), --width=W (24), --tokens=T (4), --pbits=B (48),
-//        --csv=PATH, --json=PATH (see bench_util.h).
+//        --verify-kernels=0|1 (1), --csv=PATH, --json=PATH
+//        (see bench_util.h).
 
 #include <algorithm>
 #include <cstring>
@@ -32,6 +39,7 @@
 
 #include "alert/protocol.h"
 #include "bench/bench_util.h"
+#include "bigint/montgomery.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -51,11 +59,33 @@ struct EngineRow {
   size_t matches = 0;
 };
 
+// Times raw Montgomery multiplication for one kernel: a serial
+// dependency chain, the shape the Miller loop's field work has.
+double FpMulPerSec(const Montgomery& ctx, const BigInt& x0, const BigInt& y0,
+                   Montgomery::Elem* final_value) {
+  Montgomery::Elem x = ctx.ToMont(x0), y = ctx.ToMont(y0);
+  Montgomery::Elem out = ctx.Zero();
+  const int warmup = 20000, iters = 300000;
+  for (int i = 0; i < warmup; ++i) {
+    ctx.Mul(x, y, &out);
+    std::swap(x, out);
+  }
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    ctx.Mul(x, y, &out);
+    std::swap(x, out);
+  }
+  const double secs = timer.Seconds();
+  *final_value = x;
+  return double(iters) / secs;
+}
+
 int Run(int argc, char** argv) {
   size_t num_users = 64;
   size_t width = 24;
   size_t num_tokens = 4;
   size_t pbits = 48;
+  bool verify_kernels = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--users=", 8) == 0) {
       num_users = size_t(std::atoll(argv[i] + 8));
@@ -65,6 +95,8 @@ int Run(int argc, char** argv) {
       num_tokens = size_t(std::atoll(argv[i] + 9));
     } else if (std::strncmp(argv[i], "--pbits=", 8) == 0) {
       pbits = size_t(std::atoll(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--verify-kernels=", 17) == 0) {
+      verify_kernels = std::atoi(argv[i] + 17) != 0;
     }
   }
 
@@ -76,12 +108,17 @@ int Run(int argc, char** argv) {
               2 * pbits);
   auto group = std::make_shared<const PairingGroup>(
       PairingGroup::Generate(spec).value());
-  const char* kernel = MulKernelName(group->fp().mul_kernel());
-  std::printf("field prime: %zu bits (%zu limbs), %s kernel\n",
+  // The family name ("cios4") is what the CI baseline pins — stable
+  // whether or not the runner has BMI2/ADX; the exact dispatch
+  // ("cios4_adx") is reported alongside.
+  const char* kernel = MulKernelFamilyName(group->fp().mul_kernel());
+  const char* kernel_dispatch = MulKernelName(group->fp().mul_kernel());
+  std::printf("field prime: %zu bits (%zu limbs), %s kernel (dispatch %s)\n",
               group->params().field_p.BitLength(), group->fp().num_limbs(),
-              kernel);
-  // Kernel-selection assert: 4- and 8-limb fields must run fixed-width.
-  if (group->fp().num_limbs() == 4 || group->fp().num_limbs() == 8) {
+              kernel, kernel_dispatch);
+  // Kernel-selection assert: 4/6/8-limb fields must run fixed-width.
+  const size_t field_limbs = group->fp().num_limbs();
+  if (field_limbs == 4 || field_limbs == 6 || field_limbs == 8) {
     SLOC_CHECK(group->fp().mul_kernel() != MulKernel::kGeneric)
         << "fixed-width field kernel not engaged";
   }
@@ -175,6 +212,77 @@ int Run(int argc, char** argv) {
   const double speedup_batched_vs_ref =
       rows[3].evals_per_sec / rows[0].evals_per_sec;
 
+  // ---- Cross-kernel match-outcome equivalence ----
+  //
+  // Rebuild the whole dependency tree (group -> field -> curve) with
+  // kernel dispatch forced to the generic tier and re-run the scan on
+  // the SAME ciphertext and token bytes: the notified set must be
+  // bit-identical to the auto-dispatched run. CI runs this before the
+  // regression gate reads the JSON.
+  if (verify_kernels) {
+    SetMulKernelDispatch(KernelDispatch::kGenericOnly);
+    auto generic_group = std::make_shared<const PairingGroup>(
+        PairingGroup::Generate(spec).value());
+    SLOC_CHECK(generic_group->fp().mul_kernel() == MulKernel::kGeneric)
+        << "generic dispatch not honored";
+    ServiceProvider generic_sp(generic_group, marker, options);
+    SLOC_CHECK(generic_sp.SubmitBatch(uploads).rejected.empty());
+    auto generic_outcome = generic_sp.ProcessAlert(token_blobs).value();
+    SLOC_CHECK(generic_outcome.notified_users == baseline_notified)
+        << "forced-generic kernel diverged from auto dispatch";
+    SetMulKernelDispatch(KernelDispatch::kAuto);
+    std::printf(
+        "kernel equivalence: forced-generic scan notified the same %zu "
+        "users as %s dispatch\n",
+        generic_outcome.notified_users.size(), kernel_dispatch);
+  }
+
+  // ---- Raw Fp multiplication per kernel (the layer under everything) --
+  struct FpMulRow {
+    const char* name;
+    bool intrinsic;
+    double mul_per_sec;
+  };
+  std::vector<FpMulRow> fp_rows;
+  {
+    const BigInt& p = group->params().field_p;
+    BigInt x0 = BigInt::RandomBelow(p, rand);
+    BigInt y0 = BigInt::RandomBelow(p, rand);
+    Montgomery::Elem reference_value;
+    bool have_reference = false;
+    for (MulKernel k :
+         {MulKernel::kGeneric, MulKernel::kCios4, MulKernel::kCios6,
+          MulKernel::kCios8, MulKernel::kCios4Adx, MulKernel::kCios6Adx,
+          MulKernel::kCios8Adx}) {
+      auto ctx = Montgomery::Create(p, k);
+      if (!ctx.ok()) continue;  // wrong width, or no BMI2/ADX for _adx
+      Montgomery::Elem final_value;
+      const double rate = FpMulPerSec(*ctx, x0, y0, &final_value);
+      // Same chain, same inputs: every kernel must land on the same
+      // Montgomery representative.
+      if (!have_reference) {
+        reference_value = final_value;
+        have_reference = true;
+      } else {
+        SLOC_CHECK(final_value == reference_value)
+            << MulKernelName(k) << " kernel diverged on the Fp mul chain";
+      }
+      fp_rows.push_back({MulKernelName(k), MulKernelIsIntrinsic(k), rate});
+    }
+  }
+  // Intrinsic-vs-u128 speedup at this width (0 when no intrinsic row —
+  // non-x86, SLOC_NO_INTRINSICS, or a CPU without ADX).
+  double speedup_adx_vs_u128 = 0.0;
+  for (const FpMulRow& row : fp_rows) {
+    if (!row.intrinsic) continue;
+    for (const FpMulRow& portable : fp_rows) {
+      if (!portable.intrinsic &&
+          std::strncmp(portable.name, row.name, 5) == 0) {
+        speedup_adx_vs_u128 = row.mul_per_sec / portable.mul_per_sec;
+      }
+    }
+  }
+
   // ---- Single-pairing rate (context for the absolute numbers) ----
   double pair_per_sec = 0.0;
   {
@@ -224,14 +332,22 @@ int Run(int argc, char** argv) {
                   Table::Num(row.evals_per_sec / rows[0].evals_per_sec, 2)});
   }
   EmitTable("pairing_engine", table, argc, argv);
+  std::printf("Fp mul by kernel (%zu-limb prime):\n", field_limbs);
+  for (const FpMulRow& row : fp_rows) {
+    std::printf("  %-10s %10.2f M mul/s\n", row.name,
+                row.mul_per_sec / 1e6);
+  }
+  if (speedup_adx_vs_u128 > 0.0) {
+    std::printf("  intrinsic vs u128 kernel: %.2fx\n", speedup_adx_vs_u128);
+  }
   std::printf(
-      "single Pair(): %.1f pairings/sec (field kernel: %s)\n"
+      "single Pair(): %.1f pairings/sec (field kernel: %s, dispatch %s)\n"
       "precompiled vs multipairing: %.2fx, vs reference: %.2fx\n"
       "batched vs precompiled: %.2fx, vs reference: %.2fx\n"
       "Encrypt: %.2f ms generic -> %.2f ms fixed-base (%.2fx)\n",
-      pair_per_sec, kernel, speedup_vs_multi, speedup_vs_ref,
-      speedup_batched_vs_precomp, speedup_batched_vs_ref, enc_naive_ms,
-      enc_comb_ms, enc_naive_ms / enc_comb_ms);
+      pair_per_sec, kernel, kernel_dispatch, speedup_vs_multi,
+      speedup_vs_ref, speedup_batched_vs_precomp, speedup_batched_vs_ref,
+      enc_naive_ms, enc_comb_ms, enc_naive_ms / enc_comb_ms);
 
   JsonWriter params;
   params.Integer("users", num_users);
@@ -252,9 +368,18 @@ int Run(int argc, char** argv) {
   encrypt.Number("generic_ms", enc_naive_ms);
   encrypt.Number("fixed_base_ms", enc_comb_ms);
   encrypt.Number("speedup", enc_naive_ms / enc_comb_ms);
+  JsonWriter fp_mul;
+  for (const FpMulRow& row : fp_rows) {
+    fp_mul.Number(row.name, row.mul_per_sec);
+  }
+  if (speedup_adx_vs_u128 > 0.0) {
+    fp_mul.Number("speedup_adx_vs_u128", speedup_adx_vs_u128);
+  }
   JsonWriter root;
   root.Nested("params", params);
+  root.String("field_kernel_dispatch", kernel_dispatch);
   root.Number("pairings_per_sec", pair_per_sec);
+  root.Nested("fp_mul", fp_mul);
   root.Nested("alert_scan", scan);
   root.Number("speedup_precompiled_vs_multipairing", speedup_vs_multi);
   root.Number("speedup_precompiled_vs_reference", speedup_vs_ref);

@@ -170,6 +170,17 @@ ServiceProvider::ServiceProvider(std::shared_ptr<const PairingGroup> group,
       token_cache_(options.token_cache_capacity) {
   SLOC_CHECK(store_ != nullptr) << "provider needs a store";
   if (options_.num_threads == 0) options_.num_threads = 1;
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  // Validate the store/options pairing up front: a mismatch would
+  // otherwise surface only as a VisitShard SLOC_CHECK inside a worker
+  // thread (or as a silently partial scan). The provider stays
+  // constructible — ingest/scan entry points return this status.
+  if (store_->num_shards() != options_.num_shards) {
+    config_status_ = Status::InvalidArgument(
+        "store has " + std::to_string(store_->num_shards()) +
+        " shards but Options::num_shards is " +
+        std::to_string(options_.num_shards));
+  }
   // Markers are G_T elements (unitary), so the inverse is a conjugation;
   // cached once, it turns every deferred match test into one Gt mul per
   // ciphertext instead of one per (token, ciphertext) query.
@@ -178,6 +189,7 @@ ServiceProvider::ServiceProvider(std::shared_ptr<const PairingGroup> group,
 
 Status ServiceProvider::SubmitLocation(int user_id,
                                        const std::vector<uint8_t>& ct_blob) {
+  SLOC_RETURN_IF_ERROR(config_status_);
   auto ct = hve::ParseCiphertext(*group_, ct_blob);
   if (!ct.ok()) return ct.status();
   store_->Put(user_id, std::move(ct).value());
@@ -194,6 +206,15 @@ Status ServiceProvider::SubmitUpload(
 ServiceProvider::SubmitReport ServiceProvider::SubmitBatch(
     const std::vector<api::LocationUpload>& uploads) {
   const size_t n = uploads.size();
+  if (!config_status_.ok()) {
+    // Misconfigured provider: reject the whole batch with the reason
+    // instead of storing into a store the scan side cannot cover.
+    SubmitReport report;
+    for (const api::LocationUpload& upload : uploads) {
+      report.rejected.emplace_back(upload.user_id, config_status_);
+    }
+    return report;
+  }
   // Phase 1 — validate & parse every blob. This is the expensive half
   // (curve membership of every point), embarrassingly parallel, and
   // touches no shared state: worker w handles indexes w, w+T, ...
@@ -281,6 +302,7 @@ ServiceProvider::PrecompileResult ServiceProvider::PrecompileTokens(
 
 Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
     const std::vector<std::vector<uint8_t>>& token_blobs) const {
+  SLOC_RETURN_IF_ERROR(config_status_);
   AlertOutcome out;
   WallTimer timer;
   std::vector<hve::Token> tokens;

@@ -210,10 +210,18 @@ class ServiceProvider {
   ServiceProvider(std::shared_ptr<const PairingGroup> group, Fp2Elem marker,
                   const Options& options);
 
-  /// Provider over a caller-supplied store backend.
+  /// Provider over a caller-supplied store backend. The store's shard
+  /// count must equal options.num_shards (0 is normalized to 1, the
+  /// in-memory backend's count); on mismatch the provider is inert —
+  /// every ingest/scan entry point returns config_status() instead of
+  /// failing an SLOC_CHECK deep inside a worker thread.
   ServiceProvider(std::shared_ptr<const PairingGroup> group, Fp2Elem marker,
                   std::unique_ptr<api::CiphertextStore> store,
                   const Options& options);
+
+  /// Ok unless the provider was constructed with an inconsistent
+  /// store/options combination (see the store-taking constructor).
+  const Status& config_status() const { return config_status_; }
 
   /// Stores (or replaces) a user's latest encrypted location.
   /// Malformed blobs are rejected with a Status.
@@ -302,6 +310,7 @@ class ServiceProvider {
   Fp2Elem marker_inv_;  ///< cached marker^-1 for deferred comparison
   std::unique_ptr<api::CiphertextStore> store_;
   Options options_;
+  Status config_status_;  ///< non-OK: store/options shard-count mismatch
   mutable hve::TokenTableCache token_cache_;
 };
 

@@ -1,0 +1,85 @@
+// Instantiates the BMI2/ADX CIOS kernels. This is the only translation
+// unit compiled with -mbmi2 -madx (per-file flags in CMakeLists.txt),
+// so nothing outside the functions below can ever emit MULX/ADCX/ADOX —
+// the rest of the library stays runnable on any x86-64 (or any other
+// architecture). With SLOC_NO_INTRINSICS defined, or off x86-64, the
+// entry points become unreachable stubs and Available() is false.
+
+#include "bigint/cios_x86.h"
+
+#include "common/check.h"
+#include "common/cpu.h"
+
+namespace sloc {
+namespace cios_x86 {
+
+#if defined(__BMI2__) && defined(__ADX__) && defined(__GNUC__) && \
+    !defined(SLOC_NO_INTRINSICS)
+
+bool Available() { return CpuHasBmi2Adx(); }
+
+void Mul4(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+          uint64_t n0_inv, uint64_t* out) {
+  internal::Mul4FullReg(a, b, n, n0_inv, out);
+}
+void Mul6(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+          uint64_t n0_inv, uint64_t* out) {
+  internal::MulImpl<6>(a, b, n, n0_inv, out);
+}
+void Mul8(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+          uint64_t n0_inv, uint64_t* out) {
+  internal::MulImpl<8>(a, b, n, n0_inv, out);
+}
+// Squaring = multiply with both operands a: measured faster than a
+// symmetric-cross-term squaring at every width here (see the note in
+// cios_x86.h).
+void Sqr4(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+          uint64_t* out) {
+  internal::Mul4FullReg(a, a, n, n0_inv, out);
+}
+void Sqr6(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+          uint64_t* out) {
+  internal::MulImpl<6>(a, a, n, n0_inv, out);
+}
+void Sqr8(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+          uint64_t* out) {
+  internal::MulImpl<8>(a, a, n, n0_inv, out);
+}
+
+#else  // portable stub build
+
+bool Available() { return false; }
+
+namespace {
+[[noreturn]] void Unreachable() {
+  SLOC_CHECK(false) << "BMI2/ADX kernel called but not compiled in";
+  std::abort();  // unreachable; keeps [[noreturn]] honest for compilers
+}
+}  // namespace
+
+void Mul4(const uint64_t*, const uint64_t*, const uint64_t*, uint64_t,
+          uint64_t*) {
+  Unreachable();
+}
+void Mul6(const uint64_t*, const uint64_t*, const uint64_t*, uint64_t,
+          uint64_t*) {
+  Unreachable();
+}
+void Mul8(const uint64_t*, const uint64_t*, const uint64_t*, uint64_t,
+          uint64_t*) {
+  Unreachable();
+}
+void Sqr4(const uint64_t*, const uint64_t*, uint64_t, uint64_t*) {
+  Unreachable();
+}
+void Sqr6(const uint64_t*, const uint64_t*, uint64_t, uint64_t*) {
+  Unreachable();
+}
+void Sqr8(const uint64_t*, const uint64_t*, uint64_t, uint64_t*) {
+  Unreachable();
+}
+
+#endif
+
+}  // namespace cios_x86
+}  // namespace sloc

@@ -1,0 +1,256 @@
+// BMI2/ADX CIOS Montgomery kernels for x86-64.
+//
+// Same algorithm as the portable u128 kernels in montgomery.cc, but the
+// inner multiply-accumulate row runs as inline assembly: MULX (flag-free
+// 64x64->128 multiply) feeding two *independent* carry chains — product
+// low words accumulate through ADCX (the CF flag), high words through
+// ADOX (the OF flag) — so the two chains retire in parallel instead of
+// serializing on the single carry the portable u128 code must thread.
+// The row is written in asm rather than `_addcarryx_u64` intrinsics
+// because gcc does not fuse those into ADCX/ADOX chains (it spills
+// every carry through setc/movzx, ending up slower than the u128
+// code); production pairing libraries (RELIC, mcl, blst) use the same
+// hand-scheduled row for the same reason and get 1.3-2x on this path.
+//
+// Compilation contract: the kernel bodies require BMI2/ADX code
+// generation and GNU inline asm, so they are only visible to
+// translation units built with -mbmi2 -madx (cios_x86.cc is the only
+// one; CMake sets the per-file flags). Everyone else sees just the
+// exported width-specific entry points, which must only be CALLED when
+// Available() is true — kernel dispatch in Montgomery::Create enforces
+// that via the cpuid probe in common/cpu.h. All kernels produce
+// bit-identical canonical representatives to the portable and generic
+// paths (tests/montgomery_kernel_test.cc pins this).
+
+#ifndef SLOC_BIGINT_CIOS_X86_H_
+#define SLOC_BIGINT_CIOS_X86_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sloc {
+namespace cios_x86 {
+
+/// True when the intrinsic kernels were compiled in (x86-64 and not
+/// SLOC_NO_INTRINSICS) AND the running CPU has BMI2 + ADX. The only
+/// gate for calling the entry points below.
+bool Available();
+
+/// Montgomery products / squarings for exactly-K-limb operands
+/// (Montgomery form in, Montgomery form out; out may alias inputs).
+/// Precondition: Available().
+void Mul4(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+          uint64_t n0_inv, uint64_t* out);
+void Mul6(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+          uint64_t n0_inv, uint64_t* out);
+void Mul8(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+          uint64_t n0_inv, uint64_t* out);
+void Sqr4(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+          uint64_t* out);
+void Sqr6(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+          uint64_t* out);
+void Sqr8(const uint64_t* a, const uint64_t* n, uint64_t n0_inv,
+          uint64_t* out);
+
+#if defined(__BMI2__) && defined(__ADX__) && defined(__GNUC__) && \
+    !defined(SLOC_NO_INTRINSICS)
+
+namespace internal {
+
+// ---- The dual-chain row primitive ----
+//
+// MulAccRow<L>: t[0..L+1] += x * y[0..L-1]. The CIOS bound keeps the
+// row's carry inside t[L+1] (t < 2^(64(L+2)) throughout), so no carry
+// escapes the row. Register roles inside the asm block:
+//   rdx  — x (implicit MULX operand, pinned by the "d" constraint)
+//   r8   — the rolling accumulator word ("cur")
+//   r9/r10 — MULX low/high product words
+//   r11  — constant zero (also clears CF+OF via the initial xor)
+//
+// Step J: fold lo_J into t[J] on the CF chain, retire t[J], pull t[J+1]
+// and fold hi_J into it on the OF chain. The two chains never touch the
+// same flag, so the adds issue back-to-back instead of serializing.
+#define SLOC_CIOS_ROW_STEP(J, JN)              \
+  "mulxq " #J "*8(%[y]), %%r9, %%r10\n\t"      \
+  "adcxq %%r9, %%r8\n\t"                       \
+  "movq %%r8, " #J "*8(%[t])\n\t"              \
+  "movq " #JN "*8(%[t]), %%r8\n\t"             \
+  "adoxq %%r10, %%r8\n\t"
+
+// Row epilogue: chain CF lands in t[L] (which the OF chain already
+// holds in r8), then both residual flags fold into t[L+1].
+#define SLOC_CIOS_ROW_TAIL(L, LN)              \
+  "adcxq %%r11, %%r8\n\t"                      \
+  "movq %%r8, " #L "*8(%[t])\n\t"              \
+  "movq " #LN "*8(%[t]), %%r8\n\t"             \
+  "adoxq %%r11, %%r8\n\t"                      \
+  "adcxq %%r11, %%r8\n\t"                      \
+  "movq %%r8, " #LN "*8(%[t])\n\t"
+
+#define SLOC_CIOS_DEFINE_ROW(L, LN, STEPS)                            \
+  template <>                                                         \
+  inline void MulAccRow<L>(uint64_t x, const uint64_t* y,             \
+                           uint64_t* t) {                             \
+    asm volatile("xorl %%r11d, %%r11d\n\t" /* r11=0, CF=OF=0 */       \
+                 "movq (%[t]), %%r8\n\t"                              \
+                 STEPS                                                \
+                 SLOC_CIOS_ROW_TAIL(L, LN)                            \
+                 :                                                    \
+                 : [y] "r"(y), [t] "r"(t), "d"(x)                     \
+                 : "r8", "r9", "r10", "r11", "cc", "memory");         \
+  }
+
+template <size_t L>
+void MulAccRow(uint64_t x, const uint64_t* y, uint64_t* t);
+
+#define SLOC_CIOS_STEPS_6                                        \
+  SLOC_CIOS_ROW_STEP(0, 1) SLOC_CIOS_ROW_STEP(1, 2)              \
+  SLOC_CIOS_ROW_STEP(2, 3) SLOC_CIOS_ROW_STEP(3, 4)              \
+  SLOC_CIOS_ROW_STEP(4, 5) SLOC_CIOS_ROW_STEP(5, 6)
+#define SLOC_CIOS_STEPS_8                                        \
+  SLOC_CIOS_STEPS_6 SLOC_CIOS_ROW_STEP(6, 7) SLOC_CIOS_ROW_STEP(7, 8)
+
+SLOC_CIOS_DEFINE_ROW(6, 7, SLOC_CIOS_STEPS_6)
+SLOC_CIOS_DEFINE_ROW(8, 9, SLOC_CIOS_STEPS_8)
+
+// ---- Full-register 4-limb product ----
+//
+// At K=4 the whole K+2-word accumulator fits in registers (r8-r13), so
+// the 256-bit product never touches memory between rounds: each round
+// multiplies onto the accumulator, reduces, and "shifts" by rotating
+// register roles (the freed word re-enters as the fresh top word,
+// already zero by the choice of m). This is the layout blst/mcl use
+// for their sparse-256 Montgomery multiply; the row-based path above
+// stays for K=6/8 where the accumulator no longer fits.
+
+// One dual-chain multiply-accumulate row over the register accumulator.
+#define SLOC_CIOS4_ROW(Y, T0, T1, T2, T3, T4, T5)  \
+  "mulxq 0(" Y "), %%rax, %%rbx\n\t"               \
+  "adcxq %%rax, " T0 "\n\t"                        \
+  "adoxq %%rbx, " T1 "\n\t"                        \
+  "mulxq 8(" Y "), %%rax, %%rbx\n\t"               \
+  "adcxq %%rax, " T1 "\n\t"                        \
+  "adoxq %%rbx, " T2 "\n\t"                        \
+  "mulxq 16(" Y "), %%rax, %%rbx\n\t"              \
+  "adcxq %%rax, " T2 "\n\t"                        \
+  "adoxq %%rbx, " T3 "\n\t"                        \
+  "mulxq 24(" Y "), %%rax, %%rbx\n\t"              \
+  "adcxq %%rax, " T3 "\n\t"                        \
+  "adoxq %%rbx, " T4 "\n\t"                        \
+  "adcxq %%rsi, " T4 "\n\t"                        \
+  "adoxq %%rsi, " T5 "\n\t"                        \
+  "adcxq %%rsi, " T5 "\n\t"
+
+// One CIOS round: acc += a[I]*b, then acc += m*n with m = t0 * n0_inv
+// (t0 becomes 0 and rotates out as the next round's fresh top word).
+#define SLOC_CIOS4_ROUND(I, T0, T1, T2, T3, T4, T5)  \
+  "movq " #I "*8(%[a]), %%rdx\n\t"                   \
+  "xorl %%esi, %%esi\n\t" /* rsi=0, CF=OF=0 */       \
+  SLOC_CIOS4_ROW("%[b]", T0, T1, T2, T3, T4, T5)     \
+  "movq %[inv], %%rdx\n\t"                           \
+  "imulq " T0 ", %%rdx\n\t"                          \
+  "xorl %%esi, %%esi\n\t"                            \
+  SLOC_CIOS4_ROW("%[n]", T0, T1, T2, T3, T4, T5)
+
+inline void Mul4FullReg(const uint64_t* a, const uint64_t* b,
+                        const uint64_t* n, uint64_t n0_inv, uint64_t* out) {
+  asm volatile(
+      "xorl %%r8d, %%r8d\n\t"
+      "xorl %%r9d, %%r9d\n\t"
+      "xorl %%r10d, %%r10d\n\t"
+      "xorl %%r11d, %%r11d\n\t"
+      "xorl %%r12d, %%r12d\n\t"
+      "xorl %%r13d, %%r13d\n\t"
+      SLOC_CIOS4_ROUND(0, "%%r8", "%%r9", "%%r10", "%%r11", "%%r12", "%%r13")
+      SLOC_CIOS4_ROUND(1, "%%r9", "%%r10", "%%r11", "%%r12", "%%r13", "%%r8")
+      SLOC_CIOS4_ROUND(2, "%%r10", "%%r11", "%%r12", "%%r13", "%%r8", "%%r9")
+      SLOC_CIOS4_ROUND(3, "%%r11", "%%r12", "%%r13", "%%r8", "%%r9", "%%r10")
+      // Final window: t[0..3] in r12,r13,r8,r9; overflow word (<= 1)
+      // in r10. Conditional subtraction in place: t >= N exactly when
+      // the overflow word is set or t - N does not borrow, i.e. the
+      // trailing sbb leaves CF clear.
+      "movq %%r12, %%rax\n\t"
+      "movq %%r13, %%rbx\n\t"
+      "movq %%r8, %%rdx\n\t"
+      "movq %%r9, %%rsi\n\t"
+      "subq 0(%[n]), %%rax\n\t"
+      "sbbq 8(%[n]), %%rbx\n\t"
+      "sbbq 16(%[n]), %%rdx\n\t"
+      "sbbq 24(%[n]), %%rsi\n\t"
+      "sbbq $0, %%r10\n\t"
+      "cmovcq %%r12, %%rax\n\t"
+      "cmovcq %%r13, %%rbx\n\t"
+      "cmovcq %%r8, %%rdx\n\t"
+      "cmovcq %%r9, %%rsi\n\t"
+      "movq %%rax, 0(%[o])\n\t"
+      "movq %%rbx, 8(%[o])\n\t"
+      "movq %%rdx, 16(%[o])\n\t"
+      "movq %%rsi, 24(%[o])\n\t"
+      :
+      : [a] "r"(a), [b] "r"(b), [n] "r"(n), [o] "r"(out), [inv] "rm"(n0_inv)
+      : "rax", "rbx", "rdx", "rsi", "r8", "r9", "r10", "r11", "r12", "r13",
+        "cc", "memory");
+}
+
+#undef SLOC_CIOS4_ROW
+#undef SLOC_CIOS4_ROUND
+
+// Writes t (K limbs + overflow word `hi`) reduced mod N into out.
+// CIOS precondition t < 2N: one conditional subtraction suffices.
+template <size_t K>
+inline void FinalReduce(const uint64_t* t, uint64_t hi, const uint64_t* n,
+                        uint64_t* out) {
+  using u128 = unsigned __int128;
+  uint64_t r[K];
+  uint64_t borrow = 0;
+  for (size_t j = 0; j < K; ++j) {
+    const u128 d = static_cast<u128>(t[j]) - n[j] - borrow;
+    r[j] = static_cast<uint64_t>(d);
+    borrow = static_cast<uint64_t>(d >> 64) & 1;
+  }
+  // t >= N exactly when the overflow word is set or t - N did not borrow.
+  const bool ge = hi != 0 || borrow == 0;
+  for (size_t j = 0; j < K; ++j) out[j] = ge ? r[j] : t[j];
+}
+
+// CIOS Montgomery product, the intrinsic twin of montgomery.cc's
+// CiosMul: one row of a[i]*b interleaved with one reduction step. The
+// accumulator window SLIDES (pointer bump) instead of shifting data
+// down a word per round the way the portable kernel does.
+template <size_t K>
+inline void MulImpl(const uint64_t* a, const uint64_t* b, const uint64_t* n,
+                    uint64_t n0_inv, uint64_t* out) {
+  uint64_t buf[2 * K + 2] = {0};
+  uint64_t* t = buf;
+  for (size_t i = 0; i < K; ++i) {
+    (void)MulAccRow<K>(a[i], b, t);           // t += a[i] * b
+    (void)MulAccRow<K>(t[0] * n0_inv, n, t);  // t += m * N; t[0] -> 0
+    ++t;  // divide by 2^64: slide the window, no data movement
+  }
+  FinalReduce<K>(t, t[K], n, out);
+}
+
+// Squaring routes through the multiply kernels (x = y = a). A
+// symmetric-cross-term formulation (each off-diagonal product once,
+// doubled, as the portable CiosSqr does) was implemented and measured
+// SLOWER than the dual-chain multiply at every width on ADX hardware:
+// MULX throughput is not the bottleneck there — the serial doubling
+// shift and the separated REDC's carry ripple are — so saving half the
+// products does not pay for the extra serial passes. The multiply
+// kernels tolerate out aliasing a (they only write out in the final
+// reduction), so a*a in place is free.
+
+#undef SLOC_CIOS_ROW_STEP
+#undef SLOC_CIOS_ROW_TAIL
+#undef SLOC_CIOS_DEFINE_ROW
+#undef SLOC_CIOS_STEPS_6
+#undef SLOC_CIOS_STEPS_8
+
+}  // namespace internal
+
+#endif  // __BMI2__ && __ADX__ && __GNUC__ && !SLOC_NO_INTRINSICS
+
+}  // namespace cios_x86
+}  // namespace sloc
+
+#endif  // SLOC_BIGINT_CIOS_X86_H_

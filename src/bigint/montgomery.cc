@@ -1,8 +1,10 @@
 #include "bigint/montgomery.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 
+#include "bigint/cios_x86.h"
 #include "common/check.h"
 
 namespace sloc {
@@ -147,10 +149,65 @@ const char* MulKernelName(MulKernel kernel) {
       return "generic";
     case MulKernel::kCios4:
       return "cios4";
+    case MulKernel::kCios6:
+      return "cios6";
     case MulKernel::kCios8:
       return "cios8";
+    case MulKernel::kCios4Adx:
+      return "cios4_adx";
+    case MulKernel::kCios6Adx:
+      return "cios6_adx";
+    case MulKernel::kCios8Adx:
+      return "cios8_adx";
   }
   return "unknown";
+}
+
+const char* MulKernelFamilyName(MulKernel kernel) {
+  switch (kernel) {
+    case MulKernel::kCios4Adx:
+      return "cios4";
+    case MulKernel::kCios6Adx:
+      return "cios6";
+    case MulKernel::kCios8Adx:
+      return "cios8";
+    default:
+      return MulKernelName(kernel);
+  }
+}
+
+size_t MulKernelWidth(MulKernel kernel) {
+  switch (kernel) {
+    case MulKernel::kGeneric:
+      return 0;
+    case MulKernel::kCios4:
+    case MulKernel::kCios4Adx:
+      return 4;
+    case MulKernel::kCios6:
+    case MulKernel::kCios6Adx:
+      return 6;
+    case MulKernel::kCios8:
+    case MulKernel::kCios8Adx:
+      return 8;
+  }
+  return 0;
+}
+
+bool MulKernelIsIntrinsic(MulKernel kernel) {
+  return kernel == MulKernel::kCios4Adx || kernel == MulKernel::kCios6Adx ||
+         kernel == MulKernel::kCios8Adx;
+}
+
+namespace {
+std::atomic<KernelDispatch> g_dispatch{KernelDispatch::kAuto};
+}  // namespace
+
+void SetMulKernelDispatch(KernelDispatch policy) {
+  g_dispatch.store(policy, std::memory_order_relaxed);
+}
+
+KernelDispatch GetMulKernelDispatch() {
+  return g_dispatch.load(std::memory_order_relaxed);
 }
 
 Montgomery::Montgomery(BigInt modulus, size_t k, MulKernel kernel)
@@ -171,8 +228,16 @@ Montgomery::Montgomery(BigInt modulus, size_t k, MulKernel kernel)
 Result<Montgomery> Montgomery::Create(const BigInt& modulus) {
   const size_t k = modulus.NumLimbs();
   MulKernel kernel = MulKernel::kGeneric;
-  if (k == 4) kernel = MulKernel::kCios4;
-  if (k == 8) kernel = MulKernel::kCios8;
+  const KernelDispatch policy = GetMulKernelDispatch();
+  if (policy != KernelDispatch::kGenericOnly) {
+    // The cpuid probe is cached after its first call, so dispatch here
+    // costs a relaxed load + branch.
+    const bool adx =
+        policy == KernelDispatch::kAuto && cios_x86::Available();
+    if (k == 4) kernel = adx ? MulKernel::kCios4Adx : MulKernel::kCios4;
+    if (k == 6) kernel = adx ? MulKernel::kCios6Adx : MulKernel::kCios6;
+    if (k == 8) kernel = adx ? MulKernel::kCios8Adx : MulKernel::kCios8;
+  }
   return Create(modulus, kernel);
 }
 
@@ -185,12 +250,17 @@ Result<Montgomery> Montgomery::Create(const BigInt& modulus,
     return Status::InvalidArgument("Montgomery modulus must be odd");
   }
   const size_t k = modulus.NumLimbs();
-  if ((kernel == MulKernel::kCios4 && k != 4) ||
-      (kernel == MulKernel::kCios8 && k != 8)) {
+  const size_t width = MulKernelWidth(kernel);
+  if (width != 0 && width != k) {
     return Status::InvalidArgument(
         std::string("kernel ") + MulKernelName(kernel) +
         " requires a matching modulus width, got " + std::to_string(k) +
         " limbs");
+  }
+  if (MulKernelIsIntrinsic(kernel) && !cios_x86::Available()) {
+    return Status::FailedPrecondition(
+        std::string("kernel ") + MulKernelName(kernel) +
+        " needs BMI2/ADX (not compiled in or not supported by this CPU)");
   }
   return Montgomery(modulus, k, kernel);
 }
@@ -311,19 +381,31 @@ void Montgomery::MulGeneric(const Elem& a, const Elem& b, Elem* out) const {
 
 void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
   SLOC_DCHECK(a.size() == k_ && b.size() == k_);
+  // Every fixed-width kernel accumulates internally and only writes out
+  // during its final reduction, after the inputs are fully consumed —
+  // so out may alias a or b even when the kernel writes it directly
+  // (no staging copy on the hottest call in the tree).
+  out->resize(k_);
+  uint64_t* r = out->data();
   switch (kernel_) {
-    case MulKernel::kCios4: {
-      uint64_t r[4];
+    case MulKernel::kCios4:
       CiosMul<4>(a.data(), b.data(), n_.data(), n0_inv_, r);
-      out->assign(r, r + 4);
       return;
-    }
-    case MulKernel::kCios8: {
-      uint64_t r[8];
+    case MulKernel::kCios6:
+      CiosMul<6>(a.data(), b.data(), n_.data(), n0_inv_, r);
+      return;
+    case MulKernel::kCios8:
       CiosMul<8>(a.data(), b.data(), n_.data(), n0_inv_, r);
-      out->assign(r, r + 8);
       return;
-    }
+    case MulKernel::kCios4Adx:
+      cios_x86::Mul4(a.data(), b.data(), n_.data(), n0_inv_, r);
+      return;
+    case MulKernel::kCios6Adx:
+      cios_x86::Mul6(a.data(), b.data(), n_.data(), n0_inv_, r);
+      return;
+    case MulKernel::kCios8Adx:
+      cios_x86::Mul8(a.data(), b.data(), n_.data(), n0_inv_, r);
+      return;
     case MulKernel::kGeneric:
       break;
   }
@@ -332,19 +414,27 @@ void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
 
 void Montgomery::Sqr(const Elem& a, Elem* out) const {
   SLOC_DCHECK(a.size() == k_);
+  out->resize(k_);
+  uint64_t* r = out->data();
   switch (kernel_) {
-    case MulKernel::kCios4: {
-      uint64_t r[4];
+    case MulKernel::kCios4:
       CiosSqr<4>(a.data(), n_.data(), n0_inv_, r);
-      out->assign(r, r + 4);
       return;
-    }
-    case MulKernel::kCios8: {
-      uint64_t r[8];
+    case MulKernel::kCios6:
+      CiosSqr<6>(a.data(), n_.data(), n0_inv_, r);
+      return;
+    case MulKernel::kCios8:
       CiosSqr<8>(a.data(), n_.data(), n0_inv_, r);
-      out->assign(r, r + 8);
       return;
-    }
+    case MulKernel::kCios4Adx:
+      cios_x86::Sqr4(a.data(), n_.data(), n0_inv_, r);
+      return;
+    case MulKernel::kCios6Adx:
+      cios_x86::Sqr6(a.data(), n_.data(), n0_inv_, r);
+      return;
+    case MulKernel::kCios8Adx:
+      cios_x86::Sqr8(a.data(), n_.data(), n0_inv_, r);
+      return;
     case MulKernel::kGeneric:
       break;
   }

@@ -4,18 +4,28 @@
 // (x * R mod N, R = 2^(64*k)). This is the hot path under the pairing: all
 // F_p operations route through this context.
 //
-// Multiplication dispatches to one of three kernels, chosen once at
-// Create() from the modulus width:
+// Multiplication dispatches to one of several kernels, chosen once at
+// Create() from the modulus width and the running CPU:
 //  * kGeneric — variable-width operand scanning + separate REDC pass
 //    (any width; allocates a temporary product row per call),
-//  * kCios4 / kCios8 — coarsely-integrated operand scanning (CIOS)
-//    with the limb loops unrolled at compile time for exactly 4 or 8
-//    64-bit limbs (256- / 512-bit moduli, the production parameter
-//    sizes). The whole product lives in registers / stack words, no
-//    heap traffic, and squaring uses a dedicated kernel that computes
-//    each symmetric cross term once.
+//  * kCios4 / kCios6 / kCios8 — coarsely-integrated operand scanning
+//    (CIOS) with the limb loops unrolled at compile time for exactly
+//    4, 6 or 8 64-bit limbs (256- / 384- / 512-bit moduli, the
+//    production parameter sizes). The whole product lives in
+//    registers / stack words, no heap traffic, and squaring uses a
+//    dedicated kernel that computes each symmetric cross term once.
+//    Portable u128 code.
+//  * kCios4Adx / kCios6Adx / kCios8Adx — the same widths through the
+//    BMI2/ADX intrinsic kernels (bigint/cios_x86.h: MULX plus dual
+//    ADCX/ADOX carry chains). Selected automatically when the cpuid
+//    probe (common/cpu.h, cached on first use) reports BMI2 + ADX and
+//    the kernels were compiled in (x86-64, not SLOC_NO_INTRINSICS);
+//    the u128 kernels remain the portable fallback.
 // All kernels produce bit-identical canonical representatives, so the
 // choice is invisible to callers (Fp, Fp2, Curve, the Miller loop).
+// Tests and benches can force a kernel via the Create overload, or
+// force a whole dependency tree onto a dispatch policy (portable-only /
+// generic-only) via SetMulKernelDispatch before the contexts are built.
 
 #ifndef SLOC_BIGINT_MONTGOMERY_H_
 #define SLOC_BIGINT_MONTGOMERY_H_
@@ -30,13 +40,44 @@ namespace sloc {
 
 /// Which multiplication kernel a Montgomery context runs.
 enum class MulKernel {
-  kGeneric,  ///< variable-width schoolbook + REDC (any limb count)
-  kCios4,    ///< unrolled CIOS for 4x64 limbs (moduli up to 256 bits)
-  kCios8,    ///< unrolled CIOS for 8x64 limbs (moduli up to 512 bits)
+  kGeneric,   ///< variable-width schoolbook + REDC (any limb count)
+  kCios4,     ///< unrolled u128 CIOS for 4x64 limbs (256-bit moduli)
+  kCios6,     ///< unrolled u128 CIOS for 6x64 limbs (384-bit moduli)
+  kCios8,     ///< unrolled u128 CIOS for 8x64 limbs (512-bit moduli)
+  kCios4Adx,  ///< BMI2/ADX intrinsic CIOS for 4x64 limbs
+  kCios6Adx,  ///< BMI2/ADX intrinsic CIOS for 6x64 limbs
+  kCios8Adx,  ///< BMI2/ADX intrinsic CIOS for 8x64 limbs
 };
 
-/// Human-readable kernel name ("generic", "cios4", "cios8").
+/// Human-readable kernel name ("generic", "cios4", ..., "cios8_adx").
 const char* MulKernelName(MulKernel kernel);
+
+/// The kernel's portable family name: intrinsic variants collapse onto
+/// their u128 twin ("cios4_adx" -> "cios4"). Used where reports must be
+/// stable across heterogeneous hardware (the CI perf baseline pins
+/// this, not the exact dispatch).
+const char* MulKernelFamilyName(MulKernel kernel);
+
+/// Fixed limb width a kernel requires (0 for kGeneric).
+size_t MulKernelWidth(MulKernel kernel);
+
+/// Whether the kernel needs the BMI2/ADX intrinsics at runtime.
+bool MulKernelIsIntrinsic(MulKernel kernel);
+
+/// How automatic kernel selection (the width-only Create) dispatches.
+/// Processes default to kAuto; tests and benches flip this to compare
+/// whole dependency trees (group -> field -> curve) on a forced path.
+/// Affects only contexts created AFTER the call.
+enum class KernelDispatch {
+  kAuto,          ///< fastest available: intrinsics when CPU supports them
+  kPortableOnly,  ///< fixed-width u128 kernels, never intrinsics
+  kGenericOnly,   ///< the variable-width generic kernel everywhere
+};
+
+/// Process-wide dispatch policy for automatic kernel selection
+/// (tests / benches; plain reads+writes of an atomic).
+void SetMulKernelDispatch(KernelDispatch policy);
+KernelDispatch GetMulKernelDispatch();
 
 /// Reusable context bound to one odd modulus N > 1.
 class Montgomery {
@@ -44,14 +85,17 @@ class Montgomery {
   /// Fixed-width residue in Montgomery form, length num_limbs().
   using Elem = std::vector<uint64_t>;
 
-  /// Error unless modulus is odd and > 1. Selects the widest fixed-width
-  /// kernel that matches the modulus limb count (4 -> kCios4,
-  /// 8 -> kCios8), generic otherwise.
+  /// Error unless modulus is odd and > 1. Selects the fixed-width
+  /// kernel matching the modulus limb count (4/6/8 limbs), preferring
+  /// the BMI2/ADX intrinsic variant when the (cached) cpuid probe
+  /// reports support; generic otherwise. SetMulKernelDispatch can
+  /// force the portable or generic tier process-wide.
   static Result<Montgomery> Create(const BigInt& modulus);
 
   /// Create with an explicit kernel (equivalence tests / benchmarks).
   /// Error when the kernel's fixed width does not equal the modulus
-  /// limb count; kGeneric is always accepted.
+  /// limb count, or when an intrinsic kernel is requested on hardware
+  /// (or a build) without BMI2/ADX; kGeneric is always accepted.
   static Result<Montgomery> Create(const BigInt& modulus, MulKernel kernel);
 
   const BigInt& modulus() const { return modulus_; }

@@ -1,0 +1,32 @@
+#include "common/cpu.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#endif
+
+namespace sloc {
+namespace {
+
+bool ProbeBmi2Adx() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // Structured extended feature flags: leaf 7, subleaf 0.
+  // EBX bit 8 = BMI2 (MULX), EBX bit 19 = ADX (ADCX/ADOX).
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool bmi2 = (ebx & (1u << 8)) != 0;
+  const bool adx = (ebx & (1u << 19)) != 0;
+  return bmi2 && adx;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool CpuHasBmi2Adx() {
+  // Magic-static init: probed exactly once, thread-safe.
+  static const bool cached = ProbeBmi2Adx();
+  return cached;
+}
+
+}  // namespace sloc

@@ -1,0 +1,21 @@
+// Runtime CPU feature detection for the optional intrinsic kernels.
+//
+// The bigint layer's BMI2/ADX CIOS kernels (bigint/cios_x86.h) are
+// compiled into a dedicated translation unit with -mbmi2 -madx and must
+// only be *called* on hardware that actually has those extensions, so
+// kernel dispatch asks this probe once (the result is cached after the
+// first call and the probe itself is a handful of cpuid instructions).
+
+#ifndef SLOC_COMMON_CPU_H_
+#define SLOC_COMMON_CPU_H_
+
+namespace sloc {
+
+/// True when the CPU executing this process supports both BMI2 (MULX)
+/// and ADX (ADCX/ADOX). Always false off x86-64. Cached after the
+/// first call; safe to call concurrently.
+bool CpuHasBmi2Adx();
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_CPU_H_

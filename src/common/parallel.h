@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -24,6 +26,15 @@ inline size_t ClampWorkers(size_t num_threads, size_t work_units) {
 /// Runs fn(worker) for worker in [0, num_workers): inline when one
 /// worker suffices, on spawned-and-joined std::threads otherwise.
 /// Callers handle work unit w, w + num_workers, ... inside fn.
+///
+/// Exception safety: a throw from fn on a worker thread is captured and
+/// rethrown on the calling thread after every worker has joined (the
+/// first exception captured wins; later ones are swallowed). A throw
+/// during the spawn loop itself (e.g. std::system_error from thread
+/// creation) joins the already-spawned workers before propagating.
+/// Letting either escape raw would std::terminate the process — an
+/// exception crossing a std::thread boundary, or destroying a joinable
+/// std::thread, both abort.
 inline void RunWorkers(size_t num_workers,
                        const std::function<void(size_t)>& fn) {
   if (num_workers <= 1) {
@@ -32,8 +43,29 @@ inline void RunWorkers(size_t num_workers,
   }
   std::vector<std::thread> workers;
   workers.reserve(num_workers);
-  for (size_t w = 0; w < num_workers; ++w) workers.emplace_back(fn, w);
-  for (std::thread& t : workers) t.join();
+  std::mutex mu;
+  std::exception_ptr first_error;  // guarded by mu until the joins below
+  auto guarded = [&](size_t w) {
+    try {
+      fn(w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  struct JoinGuard {
+    std::vector<std::thread>* threads;
+    ~JoinGuard() {
+      for (std::thread& t : *threads) {
+        if (t.joinable()) t.join();
+      }
+    }
+  };
+  {
+    JoinGuard join_all{&workers};
+    for (size_t w = 0; w < num_workers; ++w) workers.emplace_back(guarded, w);
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace sloc

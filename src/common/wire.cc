@@ -1,5 +1,9 @@
 #include "common/wire.h"
 
+#include <string>
+
+#include "common/check.h"
+
 namespace sloc {
 namespace wire {
 
@@ -42,12 +46,25 @@ void Writer::Raw(const uint8_t* data, size_t len) {
   buf_.insert(buf_.end(), data, data + len);
 }
 
+Status CheckLengthPrefixable(size_t len) {
+  if (len > kMaxLengthPrefixed) {
+    return Status::OutOfRange(
+        "payload of " + std::to_string(len) +
+        " bytes exceeds the u32 length prefix (max 4294967295)");
+  }
+  return Status::Ok();
+}
+
 void Writer::Bytes(const std::vector<uint8_t>& b) {
+  SLOC_CHECK(CheckLengthPrefixable(b.size()).ok())
+      << "oversized byte payload would truncate its length prefix";
   U32(static_cast<uint32_t>(b.size()));
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
 void Writer::Str(const std::string& s) {
+  SLOC_CHECK(CheckLengthPrefixable(s.size()).ok())
+      << "oversized string payload would truncate its length prefix";
   U32(static_cast<uint32_t>(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }

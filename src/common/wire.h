@@ -29,6 +29,18 @@ void AppendChecksum(std::vector<uint8_t>* buf);
 /// the body length (size - 8), or DataLoss on too-short / mismatch.
 Result<size_t> VerifyChecksum(const std::vector<uint8_t>& buf);
 
+/// Largest payload a u32 length prefix can frame. Anything bigger MUST
+/// be rejected before writing: a silent `static_cast<uint32_t>` would
+/// truncate the prefix yet still checksum cleanly, producing a
+/// corrupt-but-verifiable envelope.
+inline constexpr size_t kMaxLengthPrefixed = 0xffffffffu;
+
+/// OutOfRange when `len` cannot be framed by a u32 length prefix. The
+/// boundary predicate behind the Writer's oversize CHECK, exposed so
+/// callers that assemble giant payloads can reject them gracefully
+/// first (and so tests can pin the boundary without allocating 4 GiB).
+Status CheckLengthPrefixable(size_t len);
+
 /// Appends little-endian values to a growing buffer.
 class Writer {
  public:
@@ -37,9 +49,11 @@ class Writer {
   void U64(uint64_t v);
   void I32(int v) { U32(static_cast<uint32_t>(v)); }
   void Raw(const uint8_t* data, size_t len);
-  /// u32 length prefix + contents.
+  /// u32 length prefix + contents. CHECK-fails on payloads over
+  /// kMaxLengthPrefixed (callers with attacker-sized payloads screen
+  /// with CheckLengthPrefixable first).
   void Bytes(const std::vector<uint8_t>& b);
-  /// u32 length prefix + contents.
+  /// u32 length prefix + contents. Same oversize contract as Bytes.
   void Str(const std::string& s);
 
   const std::vector<uint8_t>& buf() const { return buf_; }

@@ -163,6 +163,43 @@ TEST_F(BatchApiTest, BatchFrameRoundtripsThroughWire) {
   EXPECT_FALSE(sp.SubmitBatchFrame(frame).ok());
 }
 
+TEST_F(BatchApiTest, ShardCountMismatchFailsUpFront) {
+  // A caller-supplied store whose shard count disagrees with
+  // Options::num_shards used to fail only at VisitShard's SLOC_CHECK
+  // deep inside a worker thread. It must now surface as a proper
+  // Status from every ingest/scan entry point.
+  ServiceProvider::Options options;
+  options.num_shards = 4;
+  ServiceProvider sp(group_, ta_->marker(),
+                     std::make_unique<api::ShardedStore>(8), options);
+  ASSERT_FALSE(sp.config_status().ok());
+  EXPECT_EQ(sp.config_status().code(), StatusCode::kInvalidArgument);
+
+  // SubmitLocation and ProcessAlert return the config status.
+  api::LocationUpload up = UploadFor(1, 2);
+  EXPECT_EQ(sp.SubmitLocation(up.user_id, up.ciphertext).code(),
+            StatusCode::kInvalidArgument);
+  auto tokens = ta_->IssueAlert({2}).value();
+  EXPECT_EQ(sp.ProcessAlert(tokens).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // SubmitBatch rejects every entry with the reason, storing nothing.
+  ServiceProvider::SubmitReport report = sp.SubmitBatch({up});
+  EXPECT_EQ(report.accepted, 0u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  EXPECT_EQ(report.rejected[0].second.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sp.num_users(), 0u);
+}
+
+TEST_F(BatchApiTest, MatchingCustomStoreIsAccepted) {
+  ServiceProvider::Options options;
+  options.num_shards = 8;
+  ServiceProvider sp(group_, ta_->marker(),
+                     std::make_unique<api::ShardedStore>(8), options);
+  EXPECT_TRUE(sp.config_status().ok());
+  EXPECT_EQ(sp.SubmitBatch({UploadFor(1, 2)}).accepted, 1u);
+}
+
 TEST_F(BatchApiTest, UploadFrameRejectsTokenBundle) {
   // A token bundle handed to the upload endpoint is caught by the
   // envelope type tag, before any crypto parsing.

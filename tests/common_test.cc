@@ -1,17 +1,22 @@
-// Tests for the common kernel: Status/Result, RNG, bit strings, tables.
+// Tests for the common kernel: Status/Result, RNG, bit strings, tables,
+// the worker-pool helper, and the wire primitives.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "common/bitstring.h"
+#include "common/parallel.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "common/wire.h"
 
 namespace sloc {
 namespace {
@@ -268,6 +273,135 @@ TEST(BitStringTest, ExpandPattern) {
   ASSERT_TRUE(single.ok());
   EXPECT_EQ(*single, std::vector<std::string>{"011"});
   EXPECT_FALSE(ExpandPattern(std::string(25, '*')).ok());
+}
+
+// ---------- RunWorkers ----------
+
+TEST(RunWorkersTest, AllWorkersRun) {
+  std::atomic<size_t> ran{0};
+  RunWorkers(4, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST(RunWorkersTest, WorkerExceptionRethrownAfterAllJoin) {
+  // A throw on a spawned thread used to std::terminate the process
+  // (exception crossing the std::thread boundary). Now it must land on
+  // the calling thread — after every other worker ran to completion.
+  std::atomic<size_t> completed{0};
+  EXPECT_THROW(
+      RunWorkers(4,
+                 [&](size_t w) {
+                   if (w == 2) throw std::runtime_error("worker 2 boom");
+                   completed.fetch_add(1);
+                 }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 3u);
+}
+
+TEST(RunWorkersTest, InlinePathPropagatesDirectly) {
+  EXPECT_THROW(
+      RunWorkers(1, [](size_t) { throw std::logic_error("inline boom"); }),
+      std::logic_error);
+}
+
+TEST(RunWorkersTest, FirstExceptionWinsWhenSeveralThrow) {
+  // Every worker throws; exactly one exception must surface (which one
+  // is scheduling-dependent) and the rest are swallowed.
+  EXPECT_THROW(RunWorkers(4,
+                          [](size_t w) {
+                            throw std::runtime_error("boom " +
+                                                     std::to_string(w));
+                          }),
+               std::runtime_error);
+}
+
+TEST(ClampWorkersTest, Bounds) {
+  EXPECT_EQ(ClampWorkers(8, 3), 3u);
+  EXPECT_EQ(ClampWorkers(2, 100), 2u);
+  EXPECT_EQ(ClampWorkers(0, 5), 1u);
+  EXPECT_EQ(ClampWorkers(4, 0), 1u);
+}
+
+// ---------- wire ----------
+
+TEST(WireTest, LengthPrefixBoundary) {
+  EXPECT_TRUE(wire::CheckLengthPrefixable(0).ok());
+  EXPECT_TRUE(wire::CheckLengthPrefixable(wire::kMaxLengthPrefixed).ok());
+  if (sizeof(size_t) > 4) {
+    // One past the u32 prefix: the length that used to truncate
+    // silently into a corrupt-but-checksummed envelope.
+    Status s = wire::CheckLengthPrefixable(
+        static_cast<size_t>(wire::kMaxLengthPrefixed) + 1);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  }
+}
+
+// A representative envelope: every field kind the two serialization
+// layers use, trailed by the checksum.
+std::vector<uint8_t> BuildEnvelope() {
+  wire::Writer w;
+  w.U8(7);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.I32(-42);
+  w.Bytes({1, 2, 3, 4, 5});
+  w.Str("hello wire");
+  std::vector<uint8_t> buf = w.Take();
+  wire::AppendChecksum(&buf);
+  return buf;
+}
+
+// Parses the body fields of BuildEnvelope from a [0, end) window.
+Status ParseEnvelopeBody(const std::vector<uint8_t>& buf, size_t end) {
+  wire::Reader r(buf, 0, end);
+  SLOC_ASSIGN_OR_RETURN(uint8_t u8, r.U8());
+  if (u8 != 7) return Status::DataLoss("u8 mismatch");
+  SLOC_ASSIGN_OR_RETURN(uint32_t u32, r.U32());
+  if (u32 != 0xdeadbeef) return Status::DataLoss("u32 mismatch");
+  SLOC_ASSIGN_OR_RETURN(uint64_t u64, r.U64());
+  if (u64 != 0x0123456789abcdefull) return Status::DataLoss("u64 mismatch");
+  SLOC_ASSIGN_OR_RETURN(int i32, r.I32());
+  if (i32 != -42) return Status::DataLoss("i32 mismatch");
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, r.Bytes());
+  if (bytes != std::vector<uint8_t>({1, 2, 3, 4, 5})) {
+    return Status::DataLoss("bytes mismatch");
+  }
+  SLOC_ASSIGN_OR_RETURN(std::string str, r.Str());
+  if (str != "hello wire") return Status::DataLoss("str mismatch");
+  return r.ExpectDone();
+}
+
+TEST(WireTest, FullEnvelopeRoundTrips) {
+  std::vector<uint8_t> buf = BuildEnvelope();
+  auto body = wire::VerifyChecksum(buf);
+  ASSERT_TRUE(body.ok());
+  EXPECT_TRUE(ParseEnvelopeBody(buf, *body).ok());
+}
+
+TEST(WireTest, EveryPrefixLengthFailsCleanly) {
+  // Replay every strict prefix of a valid envelope: each one must come
+  // back as a clean DataLoss — checksum layer or parse layer — and
+  // never crash or read out of bounds.
+  const std::vector<uint8_t> buf = BuildEnvelope();
+  for (size_t len = 0; len < buf.size(); ++len) {
+    std::vector<uint8_t> prefix(buf.begin(), buf.begin() + long(len));
+    auto body = wire::VerifyChecksum(prefix);
+    if (!body.ok()) {
+      EXPECT_EQ(body.status().code(), StatusCode::kDataLoss) << "len " << len;
+      continue;
+    }
+    // A prefix that happens to checksum (possible only by collision —
+    // FNV over a truncated body) must still fail structured parsing.
+    Status parsed = ParseEnvelopeBody(prefix, *body);
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << len << " parsed";
+  }
+  // The raw parse layer alone (no checksum gate) must also bounds-check
+  // every field read against a truncated window.
+  for (size_t len = 0; len + 8 < buf.size(); ++len) {
+    Status parsed = ParseEnvelopeBody(buf, len);
+    EXPECT_FALSE(parsed.ok()) << "window of length " << len << " parsed";
+  }
 }
 
 // ---------- Table ----------

@@ -1,14 +1,17 @@
 // Randomized cross-width equivalence suite for the Montgomery
 // multiplication kernels: the generic variable-width path vs the
-// compile-time-unrolled 4x64 and 8x64 CIOS kernels must produce
-// bit-identical Montgomery representatives for Mul, Sqr and Pow over
-// random odd moduli, including carry-stressing edge values.
+// compile-time-unrolled 4x64/6x64/8x64 CIOS kernels (portable u128 and
+// BMI2/ADX intrinsic variants) must produce bit-identical Montgomery
+// representatives for Mul, Sqr and Pow over random odd moduli,
+// including carry-stressing edge values. Intrinsic cases skip cleanly
+// on hardware (or builds) without BMI2/ADX.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
+#include "bigint/cios_x86.h"
 #include "bigint/montgomery.h"
 #include "common/rng.h"
 
@@ -34,13 +37,24 @@ struct KernelCase {
   MulKernel fixed;
 };
 
-class MontgomeryKernelTest : public ::testing::TestWithParam<KernelCase> {};
+class MontgomeryKernelTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    if (MulKernelIsIntrinsic(GetParam().fixed) && !cios_x86::Available()) {
+      GTEST_SKIP() << "BMI2/ADX not available on this CPU/build";
+    }
+  }
+};
 
 TEST_P(MontgomeryKernelTest, AutoSelectionPicksFixedWidth) {
   RandFn rand = TestRand(11);
   BigInt m = RandomOddModulus(GetParam().limbs, rand);
   auto auto_ctx = Montgomery::Create(m).value();
-  EXPECT_EQ(auto_ctx.kernel(), GetParam().fixed);
+  // Auto dispatch picks the intrinsic kernel of this width when the CPU
+  // supports it, the portable u128 kernel otherwise — never generic for
+  // a 4/6/8-limb modulus.
+  EXPECT_EQ(MulKernelWidth(auto_ctx.kernel()), GetParam().limbs);
+  EXPECT_EQ(MulKernelIsIntrinsic(auto_ctx.kernel()), cios_x86::Available());
   // The generic kernel stays available for the same modulus.
   auto generic = Montgomery::Create(m, MulKernel::kGeneric);
   ASSERT_TRUE(generic.ok());
@@ -133,10 +147,44 @@ TEST_P(MontgomeryKernelTest, SqrAliasingInputAsOutput) {
   EXPECT_EQ(x, expected);
 }
 
+// Intrinsic vs portable-u128 at the same width (both non-generic
+// representatives of the family): belt-and-braces on top of the
+// generic cross-checks above.
+TEST_P(MontgomeryKernelTest, IntrinsicMatchesPortableTwin) {
+  const KernelCase& param = GetParam();
+  if (!MulKernelIsIntrinsic(param.fixed)) {
+    GTEST_SKIP() << "portable case; twin comparison runs from the "
+                    "intrinsic cases";
+  }
+  MulKernel portable = MulKernel::kGeneric;
+  if (param.limbs == 4) portable = MulKernel::kCios4;
+  if (param.limbs == 6) portable = MulKernel::kCios6;
+  if (param.limbs == 8) portable = MulKernel::kCios8;
+  RandFn rand = TestRand(400 + param.limbs);
+  BigInt m = (BigInt(1) << (64 * param.limbs)) - BigInt(189);
+  auto adx = Montgomery::Create(m, param.fixed).value();
+  auto u128 = Montgomery::Create(m, portable).value();
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(m, rand);
+    BigInt b = BigInt::RandomBelow(m, rand);
+    Montgomery::Elem am, um, as, us;
+    adx.Mul(adx.ToMont(a), adx.ToMont(b), &am);
+    u128.Mul(u128.ToMont(a), u128.ToMont(b), &um);
+    EXPECT_EQ(am, um);
+    adx.Sqr(adx.ToMont(a), &as);
+    u128.Sqr(u128.ToMont(a), &us);
+    EXPECT_EQ(as, us);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Widths, MontgomeryKernelTest,
     ::testing::Values(KernelCase{4, MulKernel::kCios4},
-                      KernelCase{8, MulKernel::kCios8}),
+                      KernelCase{6, MulKernel::kCios6},
+                      KernelCase{8, MulKernel::kCios8},
+                      KernelCase{4, MulKernel::kCios4Adx},
+                      KernelCase{6, MulKernel::kCios6Adx},
+                      KernelCase{8, MulKernel::kCios8Adx}),
     [](const ::testing::TestParamInfo<KernelCase>& info) {
       return std::string(MulKernelName(info.param.fixed));
     });
@@ -145,12 +193,53 @@ TEST(MontgomeryKernelSelection, MismatchedWidthRejected) {
   RandFn rand = TestRand(9);
   BigInt m5 = RandomOddModulus(5, rand);
   EXPECT_FALSE(Montgomery::Create(m5, MulKernel::kCios4).ok());
+  EXPECT_FALSE(Montgomery::Create(m5, MulKernel::kCios6).ok());
   EXPECT_FALSE(Montgomery::Create(m5, MulKernel::kCios8).ok());
+  EXPECT_FALSE(Montgomery::Create(m5, MulKernel::kCios4Adx).ok());
   EXPECT_TRUE(Montgomery::Create(m5, MulKernel::kGeneric).ok());
-  // Non-4/8-limb moduli auto-select the generic kernel.
+  // Non-4/6/8-limb moduli auto-select the generic kernel.
   EXPECT_EQ(Montgomery::Create(m5).value().kernel(), MulKernel::kGeneric);
   EXPECT_EQ(Montgomery::Create(BigInt(97)).value().kernel(),
             MulKernel::kGeneric);
+}
+
+TEST(MontgomeryKernelSelection, IntrinsicRequestHonorsCpuSupport) {
+  RandFn rand = TestRand(13);
+  BigInt m = RandomOddModulus(6, rand);
+  auto forced = Montgomery::Create(m, MulKernel::kCios6Adx);
+  if (cios_x86::Available()) {
+    ASSERT_TRUE(forced.ok());
+    EXPECT_EQ(forced->kernel(), MulKernel::kCios6Adx);
+  } else {
+    // Clean Status, not a crash, on hardware/builds without BMI2/ADX.
+    ASSERT_FALSE(forced.ok());
+    EXPECT_EQ(forced.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(MontgomeryKernelSelection, DispatchPolicyForcesTier) {
+  RandFn rand = TestRand(15);
+  BigInt m = RandomOddModulus(4, rand);
+  SetMulKernelDispatch(KernelDispatch::kGenericOnly);
+  EXPECT_EQ(Montgomery::Create(m).value().kernel(), MulKernel::kGeneric);
+  SetMulKernelDispatch(KernelDispatch::kPortableOnly);
+  EXPECT_EQ(Montgomery::Create(m).value().kernel(), MulKernel::kCios4);
+  SetMulKernelDispatch(KernelDispatch::kAuto);
+  auto auto_ctx = Montgomery::Create(m).value();
+  EXPECT_EQ(auto_ctx.kernel(), cios_x86::Available()
+                                   ? MulKernel::kCios4Adx
+                                   : MulKernel::kCios4);
+}
+
+// 384-bit moduli (6 limbs) must take a fixed-width fast path now — the
+// width that previously fell through to the generic kernel.
+TEST(MontgomeryKernelSelection, SixLimbModuliJoinTheFastPath) {
+  RandFn rand = TestRand(17);
+  BigInt m = RandomOddModulus(6, rand);
+  ASSERT_EQ(m.BitLength(), 384u);
+  auto ctx = Montgomery::Create(m).value();
+  EXPECT_EQ(MulKernelWidth(ctx.kernel()), 6u);
+  EXPECT_NE(ctx.kernel(), MulKernel::kGeneric);
 }
 
 }  // namespace
