@@ -1,0 +1,264 @@
+// End-to-end throughput/latency of the network front-end (src/net).
+//
+// Drives a real AlertServer over loopback TCP with a durable
+// LogBackedStore behind it and measures the two service-level numbers
+// the roadmap's "heavy traffic" goal cares about:
+//
+//   * updates/sec — pipelined location uploads from several client
+//     connections (each client sends its whole slice before draining
+//     acks, so the wire, framing, parse, and per-shard batch-apply
+//     paths all stay busy);
+//   * alert latency — ProcessAlert round trips *while a background
+//     client keeps re-uploading*, i.e. the epoch-snapshot scan racing
+//     live ingest. p99 over the sampled round trips.
+//
+// The run ends with a restart check: the server is torn down, the
+// store is recovered from its log, and the same alert must notify the
+// same users.
+//
+// Emits BENCH_net_throughput.json (see bench/README.md).
+//
+//   ./build/bench/bench_net_throughput [--users=N] [--clients=N]
+//                                      [--alerts=N] [--json=PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alert/protocol.h"
+#include "api/log_store.h"
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "grid/alert_zone.h"
+#include "grid/grid.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace bench {
+namespace {
+
+constexpr size_t kNumShards = 4;
+constexpr unsigned kNumWorkers = 4;
+
+struct Params {
+  int users = 96;
+  int clients = 4;
+  int alerts = 12;
+};
+
+struct Setup {
+  std::shared_ptr<const PairingGroup> group;
+  std::unique_ptr<alert::TrustedAuthority> ta;
+  std::vector<api::LocationUpload> uploads;  ///< pre-encrypted
+  std::vector<uint8_t> alert_bundle;
+};
+
+Setup Prepare(const Params& params) {
+  Grid grid = Grid::Create(8, 8, 50.0).value();
+  Rng rng(7);
+  std::vector<double> probs = GenerateSigmoidProbabilities(
+      size_t(grid.num_cells()), 0.9, 50.0, &rng);
+
+  PairingParamSpec pairing;
+  pairing.p_prime_bits = 32;
+  pairing.q_prime_bits = 32;
+  pairing.seed = 42;
+
+  Setup setup;
+  setup.group = std::make_shared<const PairingGroup>(
+      PairingGroup::Generate(pairing).value());
+  auto encoder = MakeEncoder(EncoderKind::kHuffman).value();
+  SLOC_CHECK(encoder->Build(probs).ok());
+  auto proto_rng = std::make_shared<Rng>(1234);
+  setup.ta = std::make_unique<alert::TrustedAuthority>(
+      alert::TrustedAuthority::Create(setup.group, std::move(encoder),
+                                      [proto_rng] {
+                                        return proto_rng->NextU64();
+                                      })
+          .value());
+  setup.ta->set_issue_threads(kNumWorkers);
+
+  // Pre-encrypt every upload: the bench times the service, not the
+  // users' encryptors. Encryption fans across hardware threads.
+  const std::vector<uint8_t> announcement = setup.ta->PublicKeyAnnouncement();
+  setup.uploads.resize(size_t(params.users));
+  const size_t enc_workers =
+      ClampWorkers(std::thread::hardware_concurrency(),
+                   setup.uploads.size());
+  RunWorkers(enc_workers, [&](size_t w) {
+    for (size_t i = w; i < setup.uploads.size(); i += enc_workers) {
+      const int user_id = int(i) + 1;
+      Rng placement(7 + uint64_t(user_id));
+      const int cell = int(placement.NextBelow(uint64_t(grid.num_cells())));
+      auto user_rng = std::make_shared<Rng>(1234 + uint64_t(user_id));
+      alert::MobileUser user =
+          alert::MobileUser::JoinFromAnnouncement(
+              user_id, setup.group, announcement, setup.ta->marker(),
+              [user_rng] { return user_rng->NextU64(); })
+              .value();
+      setup.uploads[i].user_id = user_id;
+      setup.uploads[i].ciphertext =
+          user.EncryptLocation(setup.ta->IndexOfCell(cell).value()).value();
+    }
+  });
+
+  AlertZone zone = MakeCircularZone(grid, grid.CenterOf(27), 90.0);
+  setup.alert_bundle =
+      setup.ta->IssueAlertBundle(1, zone.cells).value();
+  return setup;
+}
+
+std::unique_ptr<net::AlertServer> StartServer(const Setup& setup,
+                                              const std::string& dir) {
+  api::LogBackedStore::Options store_options;
+  store_options.num_shards = kNumShards;
+  auto store =
+      api::LogBackedStore::Open(dir, setup.group, store_options).value();
+  net::AlertServer::Options options;
+  options.num_workers = kNumWorkers;
+  options.scan_threads = 2;
+  return net::AlertServer::Start(setup.group, setup.ta->marker(),
+                                 std::move(store), options)
+      .value();
+}
+
+double Percentile(std::vector<double> values, double pct) {
+  SLOC_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1, size_t(double(values.size()) * pct / 100.0));
+  return values[idx];
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sloc
+
+int main(int argc, char** argv) {
+  using namespace sloc;
+  using namespace sloc::bench;
+
+  Params params;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--users=", 0) == 0) params.users = std::stoi(arg.substr(8));
+    if (arg.rfind("--clients=", 0) == 0)
+      params.clients = std::stoi(arg.substr(10));
+    if (arg.rfind("--alerts=", 0) == 0)
+      params.alerts = std::stoi(arg.substr(9));
+  }
+  params.clients = std::max(1, std::min(params.clients, params.users));
+
+  std::cout << "preparing " << params.users << " encrypted uploads...\n";
+  Setup setup = Prepare(params);
+
+  char dir_template[] = "/tmp/bench_net_XXXXXX";
+  SLOC_CHECK(::mkdtemp(dir_template) != nullptr);
+  const std::string dir = dir_template;
+  auto server = StartServer(setup, dir);
+  const uint16_t port = server->port();
+
+  // ---- Phase 1: pipelined submission throughput ----
+  WallTimer submit_timer;
+  RunWorkers(size_t(params.clients), [&](size_t c) {
+    net::AlertClient client = net::AlertClient::Connect(port).value();
+    size_t sent = 0;
+    for (size_t i = c; i < setup.uploads.size();
+         i += size_t(params.clients)) {
+      Status st = client.SendOnly(
+          api::EncodeLocationUpload(setup.uploads[i]));
+      SLOC_CHECK(st.ok()) << st.message();
+      ++sent;
+    }
+    for (size_t i = 0; i < sent; ++i) {
+      api::SubmitAck ack = client.DrainAck().value();
+      SLOC_CHECK(ack.rejected == 0) << ack.error_message;
+    }
+  });
+  const double submit_wall = submit_timer.Seconds();
+  const double updates_per_sec = double(params.users) / submit_wall;
+  std::cout << "submitted " << params.users << " uploads over "
+            << params.clients << " connections in " << submit_wall * 1e3
+            << " ms (" << updates_per_sec << " updates/sec)\n";
+
+  // ---- Phase 2: alert latency under live ingest ----
+  std::atomic<bool> keep_ingesting{true};
+  std::atomic<uint64_t> background_updates{0};
+  std::thread ingester([&] {
+    net::AlertClient client = net::AlertClient::Connect(port).value();
+    size_t next = 0;
+    while (keep_ingesting.load(std::memory_order_relaxed)) {
+      auto ack = client.SubmitUpload(
+          api::EncodeLocationUpload(setup.uploads[next]));
+      if (!ack.ok()) break;  // server stopping
+      next = (next + 1) % setup.uploads.size();
+      background_updates.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  net::AlertClient alert_client = net::AlertClient::Connect(port).value();
+  std::vector<double> latencies_ms;
+  std::vector<int> notified;
+  for (int a = 0; a < params.alerts; ++a) {
+    WallTimer alert_timer;
+    api::OutcomeReport report =
+        alert_client.ProcessAlertBundle(setup.alert_bundle).value();
+    latencies_ms.push_back(alert_timer.Millis());
+    notified = report.notified_users;
+  }
+  keep_ingesting.store(false);
+  ingester.join();
+  const double p50 = Percentile(latencies_ms, 50.0);
+  const double p99 = Percentile(latencies_ms, 99.0);
+  std::cout << params.alerts << " alerts under live ingest ("
+            << background_updates.load() << " background updates): p50 "
+            << p50 << " ms, p99 " << p99 << " ms, " << notified.size()
+            << " notified\n";
+
+  // ---- Phase 3: restart + recovery check ----
+  server->Stop();
+  server.reset();
+  server = StartServer(setup, dir);
+  net::AlertClient recovered = net::AlertClient::Connect(server->port()).value();
+  api::OutcomeReport after =
+      recovered.ProcessAlertBundle(setup.alert_bundle).value();
+  SLOC_CHECK(after.notified_users == notified)
+      << "recovered store notified a different user set";
+  SLOC_CHECK(after.resident_users == uint64_t(params.users));
+  std::cout << "restart: recovered " << after.resident_users
+            << " users from " << after.store_backend
+            << ", identical notified set\n";
+
+  const net::ServerStats stats = server->stats();
+  JsonWriter json_params;
+  json_params.Integer("users", uint64_t(params.users));
+  json_params.Integer("clients", uint64_t(params.clients));
+  json_params.Integer("alerts", uint64_t(params.alerts));
+  json_params.Integer("shards", kNumShards);
+  json_params.Integer("workers", kNumWorkers);
+  json_params.String("store", after.store_backend);
+
+  JsonWriter results;
+  results.Number("updates_per_sec", updates_per_sec);
+  results.Number("submit_wall_ms", submit_wall * 1e3);
+  results.Number("alert_p50_ms", p50);
+  results.Number("alert_p99_ms", p99);
+  results.Integer("background_updates", background_updates.load());
+  results.Integer("notified", uint64_t(notified.size()));
+  results.Integer("frames_sent_after_restart", stats.frames_sent);
+
+  JsonWriter root;
+  root.Nested("params", json_params);
+  root.Nested("results", results);
+  EmitJson("BENCH_net_throughput", root, argc, argv);
+  return 0;
+}

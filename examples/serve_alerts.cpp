@@ -1,0 +1,238 @@
+// serve_alerts: the alert protocol as a real network service.
+//
+// The AlertServer (src/net) runs the service-provider role over TCP
+// with a durable LogBackedStore; users and the trusted authority drive
+// it through AlertClient connections. Every party derives its state
+// from the same deterministic seeds, so a driver in a *separate
+// process* reconstructs the TA's keys and the users' uploads without
+// any key exchange — which is exactly how the two-process CI
+// integration test uses this binary.
+//
+// Modes:
+//   (no args)                  in-process self-test: start the server
+//                              over a temp-dir store, submit users over
+//                              loopback, alert, restart the server on
+//                              the recovered store, re-alert, compare.
+//   --serve --dir=D [--port=P] run the server until killed; prints
+//                              "LISTENING <port>" when ready.
+//   --drive --port=P           submit every user, then alert + verify.
+//   --drive --port=P --realert alert + verify only (after a restart:
+//                              the store already holds the users).
+//
+// Build & run:  ./build/examples/serve_alerts
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alert/protocol.h"
+#include "api/log_store.h"
+#include "common/rng.h"
+#include "grid/alert_zone.h"
+#include "grid/grid.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "prob/sigmoid.h"
+
+using namespace sloc;  // examples favour brevity
+
+namespace {
+
+// Every seed below is fixed: two processes that both call BuildWorld()
+// hold byte-identical keys, uploads, and token bundles.
+constexpr uint64_t kPairingSeed = 42;
+constexpr uint64_t kProtocolSeed = 1234;
+constexpr uint64_t kPlacementSeed = 7;
+constexpr int kNumUsers = 24;
+constexpr size_t kNumShards = 4;
+constexpr uint64_t kAlertId = 1;
+
+struct World {
+  std::shared_ptr<const PairingGroup> group;
+  std::unique_ptr<alert::TrustedAuthority> ta;
+  std::vector<std::pair<int, int>> user_cells;  ///< (user_id, cell)
+  std::vector<int> zone_cells;
+  std::vector<int> expected_notified;  ///< sorted users inside the zone
+};
+
+World BuildWorld() {
+  Grid grid = Grid::Create(6, 6, 50.0).value();
+  Rng placement(kPlacementSeed);
+  std::vector<double> probs = GenerateSigmoidProbabilities(
+      size_t(grid.num_cells()), 0.9, 50.0, &placement);
+
+  PairingParamSpec pairing;
+  pairing.p_prime_bits = 32;  // demo-sized primes, same as quickstart
+  pairing.q_prime_bits = 32;
+  pairing.seed = kPairingSeed;
+
+  World world;
+  world.group = std::make_shared<const PairingGroup>(
+      PairingGroup::Generate(pairing).value());
+
+  auto encoder = MakeEncoder(EncoderKind::kHuffman).value();
+  SLOC_CHECK(encoder->Build(probs).ok());
+  auto rng = std::make_shared<Rng>(kProtocolSeed);
+  world.ta = std::make_unique<alert::TrustedAuthority>(
+      alert::TrustedAuthority::Create(world.group, std::move(encoder),
+                                      [rng] { return rng->NextU64(); })
+          .value());
+  world.ta->set_issue_threads(2);
+
+  for (int u = 1; u <= kNumUsers; ++u) {
+    world.user_cells.emplace_back(
+        u, int(placement.NextBelow(uint64_t(grid.num_cells()))));
+  }
+
+  AlertZone zone = MakeCircularZone(grid, grid.CenterOf(14), 80.0);
+  world.zone_cells = zone.cells;
+  for (const auto& [user, cell] : world.user_cells) {
+    for (int zc : zone.cells) {
+      if (cell == zc) {
+        world.expected_notified.push_back(user);
+        break;
+      }
+    }
+  }
+  return world;
+}
+
+std::unique_ptr<api::CiphertextStore> OpenStore(
+    const World& world, const std::string& dir) {
+  api::LogBackedStore::Options options;
+  options.num_shards = kNumShards;
+  return api::LogBackedStore::Open(dir, world.group, options).value();
+}
+
+Result<std::unique_ptr<net::AlertServer>> StartServer(
+    const World& world, const std::string& dir, uint16_t port) {
+  net::AlertServer::Options options;
+  options.port = port;
+  options.num_workers = 2;
+  options.scan_threads = 2;
+  return net::AlertServer::Start(world.group, world.ta->marker(),
+                                 OpenStore(world, dir), options);
+}
+
+/// Connects with retries: in the two-process CI flow the driver starts
+/// before the server finished pairing-group generation.
+net::AlertClient ConnectWithRetry(uint16_t port) {
+  for (int attempt = 0;; ++attempt) {
+    auto client = net::AlertClient::Connect(port);
+    if (client.ok()) return std::move(client).value();
+    SLOC_CHECK(attempt < 600) << client.status().message();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+/// Derives every user and submits its encrypted location in one batch.
+void SubmitAllUsers(const World& world, net::AlertClient* client) {
+  const std::vector<uint8_t> announcement =
+      world.ta->PublicKeyAnnouncement();
+  std::vector<api::LocationUpload> uploads;
+  for (const auto& [user_id, cell] : world.user_cells) {
+    auto rng = std::make_shared<Rng>(kProtocolSeed + uint64_t(user_id));
+    alert::MobileUser user =
+        alert::MobileUser::JoinFromAnnouncement(
+            user_id, world.group, announcement, world.ta->marker(),
+            [rng] { return rng->NextU64(); })
+            .value();
+    api::LocationUpload upload;
+    upload.user_id = user_id;
+    upload.ciphertext =
+        user.EncryptLocation(world.ta->IndexOfCell(cell).value()).value();
+    uploads.push_back(std::move(upload));
+  }
+  api::SubmitAck ack = client->SubmitBatch(uploads).value();
+  SLOC_CHECK(ack.rejected == 0) << ack.error_message;
+  SLOC_CHECK(ack.accepted == uint32_t(kNumUsers));
+  std::cout << "submitted " << ack.accepted << " users\n";
+}
+
+/// Alerts through the wire and checks the notified set.
+bool AlertAndVerify(const World& world, net::AlertClient* client) {
+  const std::vector<uint8_t> bundle =
+      world.ta->IssueAlertBundle(kAlertId, world.zone_cells).value();
+  api::OutcomeReport report =
+      client->ProcessAlertBundle(bundle).value();
+  std::cout << "alert over " << report.resident_users << " users in "
+            << report.store_backend << ": notified";
+  for (int u : report.notified_users) std::cout << ' ' << u;
+  std::cout << "  (expected";
+  for (int u : world.expected_notified) std::cout << ' ' << u;
+  std::cout << ")\n";
+  return report.notified_users == world.expected_notified;
+}
+
+int RunServe(const World& world, const std::string& dir, uint16_t port) {
+  auto server = StartServer(world, dir, port);
+  if (!server.ok()) {
+    std::cerr << "server start failed: " << server.status() << "\n";
+    return 1;
+  }
+  std::cout << "LISTENING " << (*server)->port() << std::endl;
+  while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+
+int RunDrive(const World& world, uint16_t port, bool realert) {
+  net::AlertClient client = ConnectWithRetry(port);
+  if (!realert) SubmitAllUsers(world, &client);
+  return AlertAndVerify(world, &client) ? 0 : 1;
+}
+
+int RunSelfTest(const World& world) {
+  char dir_template[] = "/tmp/serve_alerts_XXXXXX";
+  SLOC_CHECK(::mkdtemp(dir_template) != nullptr);
+  const std::string dir = dir_template;
+
+  auto server = StartServer(world, dir, 0).value();
+  const uint16_t port = server->port();
+  {
+    net::AlertClient client = ConnectWithRetry(port);
+    SubmitAllUsers(world, &client);
+    if (!AlertAndVerify(world, &client)) return 1;
+  }
+
+  // Restart: tear the server down, recover the store from disk, serve
+  // the same alert again — the answer must not change.
+  server->Stop();
+  server.reset();
+  std::cout << "-- restart over " << dir << " --\n";
+  server = StartServer(world, dir, 0).value();
+  net::AlertClient client = ConnectWithRetry(server->port());
+  if (!AlertAndVerify(world, &client)) return 1;
+  std::cout << "self-test PASS\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve = false, drive = false, realert = false;
+  std::string dir = "/tmp/serve_alerts_store";
+  uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") serve = true;
+    else if (arg == "--drive") drive = true;
+    else if (arg == "--realert") realert = true;
+    else if (arg.rfind("--dir=", 0) == 0) dir = arg.substr(6);
+    else if (arg.rfind("--port=", 0) == 0) port = uint16_t(std::stoi(arg.substr(7)));
+    else {
+      std::cerr << "unknown arg: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  World world = BuildWorld();
+  if (serve) return RunServe(world, dir, port);
+  if (drive) return RunDrive(world, port, realert);
+  return RunSelfTest(world);
+}

@@ -1,0 +1,101 @@
+// Seed-corpus generator for fuzz_envelope: writes one valid frame of
+// every message type (dummy payloads, no crypto — the codecs only see
+// opaque blobs) plus a truncation sweep, so the fuzzer starts from
+// deep inside the format instead of rediscovering "SLEV" baseline by
+// baseline.
+//
+//   ./build/fuzz/envelope_corpus <corpus-dir>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/messages.h"
+#include "net/frame.h"
+
+using namespace sloc;
+
+namespace {
+
+void WriteSeed(const std::string& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  std::ofstream out(dir + "/" + name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()), long(bytes.size()));
+}
+
+std::vector<uint8_t> DummyBlob(size_t n, uint8_t fill) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: envelope_corpus <corpus-dir>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> seeds;
+  seeds.emplace_back("pk_announcement",
+                     api::EncodePublicKeyAnnouncement(DummyBlob(48, 0x11)));
+
+  api::LocationUpload upload;
+  upload.user_id = 7;
+  upload.ciphertext = DummyBlob(64, 0x22);
+  seeds.emplace_back("location_upload", api::EncodeLocationUpload(upload));
+
+  api::LocationUpload second;
+  second.user_id = -3;  // negative ids are legal on the wire
+  second.ciphertext = DummyBlob(5, 0x33);
+  seeds.emplace_back(
+      "location_batch",
+      api::EncodeLocationBatch({upload, second}).value());
+
+  api::TokenBundle bundle;
+  bundle.alert_id = 0xDEADBEEF;
+  bundle.tokens = {DummyBlob(40, 0x44), DummyBlob(0, 0), DummyBlob(9, 0x55)};
+  seeds.emplace_back("token_bundle", api::EncodeTokenBundle(bundle).value());
+
+  api::OutcomeReport report;
+  report.alert_id = 9;
+  report.notified_users = {1, 2, 3, -4};
+  report.resident_users = 1234;
+  report.store_backend = "log/sharded/8";
+  seeds.emplace_back("outcome_report",
+                     api::EncodeOutcomeReport(report).value());
+
+  api::SubmitAck ack;
+  ack.accepted = 10;
+  ack.rejected = 1;
+  ack.error_code = 1;
+  ack.error_message = "bad blob";
+  seeds.emplace_back("submit_ack", api::EncodeSubmitAck(ack));
+
+  api::ErrorReply error;
+  error.code = 7;
+  error.message = "unimplemented";
+  seeds.emplace_back("error_reply", api::EncodeErrorReply(error));
+
+  size_t written = 0;
+  for (const auto& [name, frame] : seeds) {
+    WriteSeed(dir, name, frame);
+    ++written;
+    // The framed (length-prefixed) form seeds the stream decoder path.
+    std::vector<uint8_t> framed;
+    net::AppendFrame(frame, &framed);
+    WriteSeed(dir, name + "_framed", framed);
+    ++written;
+    // Truncation sweep: every prefix is a boundary condition some
+    // decoder must reject cleanly.
+    for (size_t cut = 1; cut < frame.size(); cut += 7) {
+      WriteSeed(dir, name + "_cut" + std::to_string(cut),
+                std::vector<uint8_t>(frame.begin(),
+                                     frame.begin() + long(cut)));
+      ++written;
+    }
+  }
+  std::cout << "wrote " << written << " seeds to " << dir << "\n";
+  return 0;
+}

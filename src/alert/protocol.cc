@@ -95,11 +95,18 @@ Result<std::vector<std::vector<uint8_t>>> TrustedAuthority::IssueAlert(
       std::vector<hve::Token> tokens,
       hve::GenTokenBatch(*group_, keys_.sk, patterns, rand_,
                          issue_threads_));
-  std::vector<std::vector<uint8_t>> blobs;
-  blobs.reserve(tokens.size());
-  for (const hve::Token& token : tokens) {
-    blobs.push_back(hve::SerializeToken(*group_, token));
-  }
+  // Serialization is per-token independent (affine coordinates were
+  // already normalized inside GenTokenBatch), so it fans across the
+  // same worker budget as issuance. Striped assignment into a
+  // pre-sized vector keeps the blob order — and therefore the bundle
+  // bytes — identical to the serial loop at any thread count.
+  std::vector<std::vector<uint8_t>> blobs(tokens.size());
+  const size_t workers = ClampWorkers(issue_threads_, tokens.size());
+  RunWorkers(workers, [&](size_t w) {
+    for (size_t i = w; i < tokens.size(); i += workers) {
+      blobs[i] = hve::SerializeToken(*group_, tokens[i]);
+    }
+  });
   return blobs;
 }
 
@@ -524,9 +531,15 @@ Result<std::vector<uint8_t>> ServiceProvider::ProcessAlertBundle(
     const std::vector<uint8_t>& bundle_frame) const {
   SLOC_ASSIGN_OR_RETURN(api::TokenBundle bundle,
                         api::DecodeTokenBundle(bundle_frame));
+  // Sample the provider identity before the scan: resident_users is
+  // the population the scan started against (ingest may race it).
+  const std::string backend = store_->name();
+  const uint64_t resident = store_->size();
   SLOC_ASSIGN_OR_RETURN(AlertOutcome outcome, ProcessAlert(bundle.tokens));
-  return api::EncodeOutcomeReport(
-      ReportFromOutcome(bundle.alert_id, outcome));
+  api::OutcomeReport report = ReportFromOutcome(bundle.alert_id, outcome);
+  report.store_backend = backend;
+  report.resident_users = resident;
+  return api::EncodeOutcomeReport(report);
 }
 
 // ---------- AlertSystem ----------

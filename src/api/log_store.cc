@@ -1,0 +1,336 @@
+#include "api/log_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/wire.h"
+#include "hve/serialize.h"
+
+namespace sloc {
+namespace api {
+
+namespace {
+
+constexpr uint8_t kRecordPut = 1;
+constexpr uint8_t kRecordErase = 2;
+constexpr uint8_t kSnapshotMagic[4] = {'S', 'L', 'S', 'S'};
+constexpr uint8_t kSnapshotVersion = 1;
+
+std::string LogPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.bin";
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Reads the whole file into `out`. NotFound when it does not exist.
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(path + " does not exist");
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  out->resize(size_t(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return Status::Internal("short read of " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    done += size_t(n);
+  }
+  return Status::Ok();
+}
+
+/// Writes `bytes` to <path>.tmp, fsyncs, and renames over `path`, so a
+/// crash at any point leaves either the old file or the new one —
+/// never a torn mix.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + tmp);
+  Status st = WriteAll(fd, bytes.data(), bytes.size());
+  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync " + tmp);
+  if (::close(fd) != 0 && st.ok()) st = Errno("close " + tmp);
+  if (!st.ok()) return st;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename " + tmp);
+  }
+  return Status::Ok();
+}
+
+uint32_t ReadLe32(const std::vector<uint8_t>& b, size_t pos) {
+  return uint32_t(b[pos]) | uint32_t(b[pos + 1]) << 8 |
+         uint32_t(b[pos + 2]) << 16 | uint32_t(b[pos + 3]) << 24;
+}
+
+uint64_t ReadLe64(const std::vector<uint8_t>& b, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | b[pos + size_t(i)];
+  return v;
+}
+
+}  // namespace
+
+LogBackedStore::LogBackedStore(std::string dir,
+                               std::shared_ptr<const PairingGroup> group,
+                               const Options& options)
+    : dir_(std::move(dir)),
+      group_(std::move(group)),
+      options_(options),
+      mem_(MakeStore(options.num_shards == 0 ? 1 : options.num_shards)),
+      shard_mu_(std::make_unique<std::mutex[]>(mem_->num_shards())) {}
+
+Result<std::unique_ptr<LogBackedStore>> LogBackedStore::Open(
+    const std::string& dir, std::shared_ptr<const PairingGroup> group,
+    const Options& options) {
+  if (group == nullptr) return Status::InvalidArgument("null group");
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir " + dir);
+  }
+  std::unique_ptr<LogBackedStore> store(
+      new LogBackedStore(dir, std::move(group), options));
+  SLOC_RETURN_IF_ERROR(store->Recover());
+  store->log_fd_ =
+      ::open(LogPath(dir).c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (store->log_fd_ < 0) return Errno("open " + LogPath(dir));
+  return store;
+}
+
+LogBackedStore::~LogBackedStore() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (log_fd_ >= 0) {
+    ::fsync(log_fd_);
+    ::close(log_fd_);
+    log_fd_ = -1;
+  }
+}
+
+Status LogBackedStore::Recover() {
+  // 1. Snapshot, if one has been compacted. A corrupt snapshot is not
+  // recoverable (the log only holds mutations since it was taken).
+  std::vector<uint8_t> snap;
+  Status snap_st = ReadFile(SnapshotPath(dir_), &snap);
+  if (snap_st.ok()) {
+    auto body = wire::VerifyChecksum(snap);
+    if (!body.ok()) {
+      return Status::DataLoss("snapshot " + SnapshotPath(dir_) +
+                              " failed its checksum: " +
+                              body.status().message());
+    }
+    wire::Reader r(snap, 0, *body);
+    SLOC_ASSIGN_OR_RETURN(uint8_t m0, r.U8());
+    SLOC_ASSIGN_OR_RETURN(uint8_t m1, r.U8());
+    SLOC_ASSIGN_OR_RETURN(uint8_t m2, r.U8());
+    SLOC_ASSIGN_OR_RETURN(uint8_t m3, r.U8());
+    if (m0 != kSnapshotMagic[0] || m1 != kSnapshotMagic[1] ||
+        m2 != kSnapshotMagic[2] || m3 != kSnapshotMagic[3]) {
+      return Status::DataLoss("bad snapshot magic");
+    }
+    SLOC_ASSIGN_OR_RETURN(uint8_t version, r.U8());
+    if (version != kSnapshotVersion) {
+      return Status::Unimplemented("snapshot version " +
+                                   std::to_string(int(version)));
+    }
+    SLOC_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+    for (uint64_t i = 0; i < count; ++i) {
+      SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
+      SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
+      SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
+                            hve::ParseCiphertext(*group_, blob));
+      mem_->Put(user_id, std::move(ct));
+    }
+    SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  }
+
+  // 2. Replay the log over it. `valid_end` advances past every intact
+  // record; a bad record that runs to end-of-file is a torn append
+  // (crash mid-write) and is truncated away, a bad record with more
+  // log after it is corruption and rejects recovery.
+  std::vector<uint8_t> log;
+  Status log_st = ReadFile(LogPath(dir_), &log);
+  if (!log_st.ok()) {
+    log_bytes_ = 0;
+    return Status::Ok();  // no log yet: empty store or snapshot only
+  }
+  const size_t n = log.size();
+  size_t pos = 0;
+  size_t valid_end = 0;
+  while (pos < n) {
+    const size_t start = pos;
+    // Incomplete length prefix, payload, or checksum at end-of-file:
+    // torn tail.
+    if (n - start < 4) break;
+    const uint32_t len = ReadLe32(log, start);
+    if (n - start - 4 < size_t(len) || n - start - 4 - len < 8) break;
+    const size_t payload_at = start + 4;
+    const uint64_t want = ReadLe64(log, payload_at + len);
+    const uint64_t got = wire::Fnv1a(log.data() + payload_at, len);
+    const size_t record_end = payload_at + len + 8;
+    if (got != want) {
+      if (record_end >= n) break;  // torn tail: garbage ran to EOF
+      return Status::DataLoss(
+          "log record at byte " + std::to_string(start) +
+          " failed its checksum with " + std::to_string(n - record_end) +
+          " bytes of log after it (mid-log corruption)");
+    }
+    wire::Reader r(log, payload_at, payload_at + len);
+    SLOC_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+    SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
+    switch (kind) {
+      case kRecordPut: {
+        SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
+        SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
+                              hve::ParseCiphertext(*group_, blob));
+        mem_->Put(user_id, std::move(ct));
+        break;
+      }
+      case kRecordErase:
+        mem_->Erase(user_id);
+        break;
+      default:
+        return Status::DataLoss("unknown log record kind " +
+                                std::to_string(int(kind)));
+    }
+    SLOC_RETURN_IF_ERROR(r.ExpectDone());
+    pos = record_end;
+    valid_end = record_end;
+  }
+  if (valid_end < n) {
+    if (::truncate(LogPath(dir_).c_str(), off_t(valid_end)) != 0) {
+      return Errno("truncate torn tail of " + LogPath(dir_));
+    }
+  }
+  log_bytes_ = valid_end;
+  return Status::Ok();
+}
+
+void LogBackedStore::Append(uint8_t kind, int user_id,
+                            const std::vector<uint8_t>& blob) {
+  wire::Writer payload;
+  payload.U8(kind);
+  payload.I32(user_id);
+  if (kind == kRecordPut) payload.Bytes(blob);
+  const std::vector<uint8_t>& p = payload.buf();
+  wire::Writer record;
+  record.U32(uint32_t(p.size()));
+  record.Raw(p.data(), p.size());
+  record.U64(wire::Fnv1a(p.data(), p.size()));
+
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (log_fd_ < 0) {
+    if (io_status_.ok()) {
+      io_status_ = Status::FailedPrecondition("log file is closed");
+    }
+    return;
+  }
+  Status st = WriteAll(log_fd_, record.buf().data(), record.buf().size());
+  if (st.ok() && options_.fsync_every_append && ::fsync(log_fd_) != 0) {
+    st = Errno("fsync " + LogPath(dir_));
+  }
+  if (!st.ok()) {
+    if (io_status_.ok()) io_status_ = st;
+    return;
+  }
+  log_bytes_ += record.buf().size();
+  if (options_.compact_log_bytes != 0 &&
+      log_bytes_ >= options_.compact_log_bytes) {
+    Status compacted = CompactLocked();
+    if (!compacted.ok() && io_status_.ok()) io_status_ = compacted;
+  }
+}
+
+void LogBackedStore::Put(int user_id, hve::Ciphertext ct) {
+  // Serialize outside any lock (the expensive part), apply resident
+  // state under the shard lock, then log. Never hold a shard lock while
+  // taking log_mu_ — CompactLocked acquires shard locks under log_mu_.
+  const std::vector<uint8_t> blob = hve::SerializeCiphertext(*group_, ct);
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_[mem_->ShardOf(user_id)]);
+    mem_->Put(user_id, std::move(ct));
+  }
+  Append(kRecordPut, user_id, blob);
+}
+
+bool LogBackedStore::Erase(int user_id) {
+  bool existed;
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_[mem_->ShardOf(user_id)]);
+    existed = mem_->Erase(user_id);
+  }
+  if (existed) Append(kRecordErase, user_id, {});
+  return existed;
+}
+
+void LogBackedStore::VisitShard(
+    size_t shard,
+    const std::function<void(int, const hve::Ciphertext&)>& fn) const {
+  std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+  mem_->VisitShard(shard, fn);
+}
+
+Status LogBackedStore::CompactLocked() {
+  // Resident state is the source of truth: serialize every shard under
+  // its lock, write the snapshot atomically, then truncate the log.
+  wire::Writer w;
+  w.Raw(kSnapshotMagic, 4);
+  w.U8(kSnapshotVersion);
+  size_t count = 0;
+  wire::Writer entries;
+  for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    mem_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
+      entries.I32(user_id);
+      entries.Bytes(hve::SerializeCiphertext(*group_, ct));
+      ++count;
+    });
+  }
+  w.U64(count);
+  w.Raw(entries.buf().data(), entries.buf().size());
+  std::vector<uint8_t> snap = w.Take();
+  wire::AppendChecksum(&snap);
+  SLOC_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(dir_), snap));
+  if (::ftruncate(log_fd_, 0) != 0) {
+    return Errno("ftruncate " + LogPath(dir_));
+  }
+  if (::fsync(log_fd_) != 0) return Errno("fsync " + LogPath(dir_));
+  log_bytes_ = 0;
+  return Status::Ok();
+}
+
+Status LogBackedStore::Compact() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
+  return CompactLocked();
+}
+
+Status LogBackedStore::io_status() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return io_status_;
+}
+
+size_t LogBackedStore::log_bytes() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_bytes_;
+}
+
+}  // namespace api
+}  // namespace sloc

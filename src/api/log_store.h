@@ -1,0 +1,146 @@
+// Durable ciphertext storage: append-only record log + compacted
+// snapshots.
+//
+// LogBackedStore wraps the in-memory backends of store.h with a
+// write-ahead persistence layer so a service-provider store survives
+// process restart (the net/ front-end's durability story):
+//
+//   * every Put/Erase appends one length-prefixed, checksummed record
+//     to <dir>/wal.log before returning — by the time an ingest ack is
+//     sent the mutation is in the OS page cache, and on the disk itself
+//     when Options::fsync_every_append is set;
+//   * when the log grows past Options::compact_log_bytes, the full
+//     resident state is written to <dir>/snapshot.bin (tmp + rename, so
+//     a crash mid-compaction leaves the old snapshot intact) and the
+//     log is truncated;
+//   * Open() recovers by loading the snapshot and replaying the log
+//     over it. A torn tail — an append cut short by a crash, i.e. an
+//     incomplete or checksum-failing record that runs to end-of-file —
+//     is truncated away and recovery succeeds with every fully-durable
+//     record intact. A bad record with more log after it is real
+//     corruption and fails recovery with DataLoss: silently skipping it
+//     could resurrect a stale location for a user.
+//
+// Record format (little-endian, via common/wire.h):
+//   u32 payload_len | payload | u64 fnv1a64(payload)
+//   payload: u8 kind (1 = put, 2 = erase) | i32 user_id | [ct blob]
+//
+// Snapshot format:
+//   "SLSS" | u8 version | u64 count | count * (i32 user_id, bytes blob)
+//   | trailing whole-file fnv1a64 checksum
+//
+// Threading: stronger than the base CiphertextStore contract. Put,
+// Erase, Contains, VisitShard, and Compact are internally synchronized
+// (per-shard mutexes for resident state, one mutex for the log file),
+// because auto-compaction must read every shard while the net server's
+// per-shard ingest queues keep writing other shards. Lock order is
+// always shard -> (released) -> log -> shards-in-index-order, so the
+// compaction sweep cannot deadlock against appends. size() is an
+// unsynchronized sum — exact once writers quiesce, approximate under
+// concurrency.
+
+#ifndef SLOC_API_LOG_STORE_H_
+#define SLOC_API_LOG_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/store.h"
+#include "common/result.h"
+#include "pairing/group.h"
+
+namespace sloc {
+namespace api {
+
+class LogBackedStore : public CiphertextStore {
+ public:
+  struct Options {
+    size_t num_shards = 1;  ///< shard count of the resident delegate
+    /// Compact (snapshot + truncate) once the log holds this many bytes
+    /// appended since the last snapshot; 0 disables auto-compaction
+    /// (Compact() stays available).
+    size_t compact_log_bytes = 64u << 20;
+    /// fsync() the log after every append: survives power loss, not
+    /// just process death, at a large throughput cost. Off by default —
+    /// process-crash durability (the page cache) is the service-level
+    /// guarantee.
+    bool fsync_every_append = false;
+  };
+
+  /// Opens (creating if absent) the store rooted at directory `dir`,
+  /// recovering resident state from snapshot + log. The group is needed
+  /// to parse recovered ciphertexts and serialize stored ones.
+  static Result<std::unique_ptr<LogBackedStore>> Open(
+      const std::string& dir, std::shared_ptr<const PairingGroup> group,
+      const Options& options);
+
+  ~LogBackedStore() override;
+
+  LogBackedStore(const LogBackedStore&) = delete;
+  LogBackedStore& operator=(const LogBackedStore&) = delete;
+
+  // CiphertextStore. Put/Erase append to the log; a failed append
+  // (disk full, I/O error) latches io_status() and the mutation still
+  // applies in memory, so a degraded store keeps serving while ops see
+  // a non-OK status.
+  std::string name() const override { return "log/" + mem_->name(); }
+  void Put(int user_id, hve::Ciphertext ct) override;
+  bool Erase(int user_id) override;
+  bool Contains(int user_id) const override { return mem_->Contains(user_id); }
+  size_t size() const override { return mem_->size(); }
+  size_t num_shards() const override { return mem_->num_shards(); }
+  size_t ShardOf(int user_id) const override { return mem_->ShardOf(user_id); }
+  /// Holds the shard's mutex for the duration of the visit — wrap in a
+  /// snapshotting store (net::EpochSnapshotStore) when scans must not
+  /// block ingest of the same shard.
+  void VisitShard(size_t shard,
+                  const std::function<void(int, const hve::Ciphertext&)>& fn)
+      const override;
+
+  /// Writes the snapshot and truncates the log. Called automatically
+  /// from Put/Erase past Options::compact_log_bytes.
+  Status Compact();
+
+  /// First append/compaction failure since Open, or OK. Durability is
+  /// compromised once non-OK (resident state is still correct).
+  Status io_status() const;
+
+  /// Bytes appended to the log since the last snapshot (observability).
+  size_t log_bytes() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  LogBackedStore(std::string dir, std::shared_ptr<const PairingGroup> group,
+                 const Options& options);
+
+  /// Serializes and appends one record; latches io_status_ on failure.
+  void Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob);
+
+  /// Loads snapshot + log into mem_. Truncates a torn log tail in
+  /// place; rejects mid-log corruption.
+  Status Recover();
+
+  /// Unlocked Compact body (log_mu_ must be held).
+  Status CompactLocked();
+
+  std::string dir_;
+  std::shared_ptr<const PairingGroup> group_;
+  Options options_;
+  std::unique_ptr<CiphertextStore> mem_;
+  /// Guards resident state per shard (mem_ itself is not thread-safe).
+  mutable std::unique_ptr<std::mutex[]> shard_mu_;
+
+  mutable std::mutex log_mu_;
+  int log_fd_ = -1;           ///< guarded by log_mu_
+  size_t log_bytes_ = 0;      ///< appended since last snapshot
+  Status io_status_;          ///< first I/O failure, latched
+};
+
+}  // namespace api
+}  // namespace sloc
+
+#endif  // SLOC_API_LOG_STORE_H_

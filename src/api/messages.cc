@@ -41,7 +41,7 @@ std::vector<uint8_t> FinishFrame(wire::Writer* w) {
 
 bool KnownType(uint8_t tag) {
   return tag >= uint8_t(MessageType::kPublicKeyAnnouncement) &&
-         tag <= uint8_t(MessageType::kAlertOutcome);
+         tag <= uint8_t(MessageType::kError);
 }
 
 /// Shared frame validation: checksum, magic, version. On success returns
@@ -94,6 +94,8 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kLocationBatch: return "location_batch";
     case MessageType::kAlertTokens: return "alert_tokens";
     case MessageType::kAlertOutcome: return "alert_outcome";
+    case MessageType::kSubmitAck: return "submit_ack";
+    case MessageType::kError: return "error";
   }
   return "unknown";
 }
@@ -239,6 +241,8 @@ Result<std::vector<uint8_t>> EncodeOutcomeReport(const OutcomeReport& report) {
   w.U64(report.token_cache_hits);
   w.U64(report.token_cache_misses);
   w.U64(report.wall_micros);
+  w.U64(report.resident_users);
+  w.Str(report.store_backend);
   return FinishFrame(&w);
 }
 
@@ -265,8 +269,50 @@ Result<OutcomeReport> DecodeOutcomeReport(const std::vector<uint8_t>& frame) {
   SLOC_ASSIGN_OR_RETURN(report.token_cache_hits, r.U64());
   SLOC_ASSIGN_OR_RETURN(report.token_cache_misses, r.U64());
   SLOC_ASSIGN_OR_RETURN(report.wall_micros, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.resident_users, r.U64());
+  SLOC_ASSIGN_OR_RETURN(report.store_backend, r.Str());
   SLOC_RETURN_IF_ERROR(r.ExpectDone());
   return report;
+}
+
+std::vector<uint8_t> EncodeSubmitAck(const SubmitAck& ack) {
+  wire::Writer w = FrameWriter(MessageType::kSubmitAck);
+  w.U32(ack.accepted);
+  w.U32(ack.rejected);
+  w.I32(int(ack.error_code));
+  w.Str(ack.error_message);
+  return FinishFrame(&w);
+}
+
+Result<SubmitAck> DecodeSubmitAck(const std::vector<uint8_t>& frame) {
+  SLOC_ASSIGN_OR_RETURN(wire::Reader r,
+                        OpenReader(MessageType::kSubmitAck, frame));
+  SubmitAck ack;
+  SLOC_ASSIGN_OR_RETURN(ack.accepted, r.U32());
+  SLOC_ASSIGN_OR_RETURN(ack.rejected, r.U32());
+  SLOC_ASSIGN_OR_RETURN(int code, r.I32());
+  ack.error_code = int32_t(code);
+  SLOC_ASSIGN_OR_RETURN(ack.error_message, r.Str());
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return ack;
+}
+
+std::vector<uint8_t> EncodeErrorReply(const ErrorReply& error) {
+  wire::Writer w = FrameWriter(MessageType::kError);
+  w.I32(int(error.code));
+  w.Str(error.message);
+  return FinishFrame(&w);
+}
+
+Result<ErrorReply> DecodeErrorReply(const std::vector<uint8_t>& frame) {
+  SLOC_ASSIGN_OR_RETURN(wire::Reader r,
+                        OpenReader(MessageType::kError, frame));
+  ErrorReply error;
+  SLOC_ASSIGN_OR_RETURN(int code, r.I32());
+  error.code = int32_t(code);
+  SLOC_ASSIGN_OR_RETURN(error.message, r.Str());
+  SLOC_RETURN_IF_ERROR(r.ExpectDone());
+  return error;
 }
 
 }  // namespace api

@@ -33,7 +33,11 @@ namespace api {
 /// parsers then reject new frames with kUnimplemented instead of UB.
 /// v2: kAlertOutcome payload gained queries and token-cache hit/miss
 /// counters (engine observability).
-constexpr uint8_t kWireVersion = 2;
+/// v3: the network front-end (src/net) joined the protocol — new
+/// kSubmitAck and kError reply messages, and kAlertOutcome now carries
+/// the store backend identity and resident-user count so bench/ops
+/// artifacts built from outcome frames are self-describing.
+constexpr uint8_t kWireVersion = 3;
 
 /// Entry-count caps, enforced symmetrically: encoders refuse to build a
 /// frame the decoders would reject. Callers with bigger workloads chunk
@@ -49,6 +53,8 @@ enum class MessageType : uint8_t {
   kLocationBatch = 3,          ///< aggregator -> SP: many uploads at once
   kAlertTokens = 4,            ///< TA -> SP: token bundle for one alert
   kAlertOutcome = 5,           ///< SP -> TA: notified users + match stats
+  kSubmitAck = 6,              ///< SP -> client: ingest receipt (net server)
+  kError = 7,                  ///< SP -> client: request-level failure
 };
 
 const char* MessageTypeName(MessageType type);
@@ -83,7 +89,10 @@ struct TokenBundle {
 };
 
 /// The SP's report back to the TA. Mirrors alert::MatchStats field by
-/// field (wall time travels as integer microseconds).
+/// field (wall time travels as integer microseconds), plus the serving
+/// provider's identity: which store backend ran the scan and how many
+/// users were resident when it started, so an outcome frame archived as
+/// a bench/ops artifact is self-describing.
 struct OutcomeReport {
   uint64_t alert_id = 0;
   std::vector<int> notified_users;
@@ -96,6 +105,25 @@ struct OutcomeReport {
   uint64_t token_cache_hits = 0;   ///< unique tokens served from the LRU
   uint64_t token_cache_misses = 0; ///< unique tokens compiled this alert
   uint64_t wall_micros = 0;
+  uint64_t resident_users = 0;     ///< store size when the scan started
+  std::string store_backend;       ///< CiphertextStore::name() of the scan
+};
+
+/// Ingest receipt for one kLocationUpload / kLocationBatch request.
+/// Replies on a connection come back in request order, so no request id
+/// is echoed; a rejected upload never aborts the rest of its batch.
+struct SubmitAck {
+  uint32_t accepted = 0;
+  uint32_t rejected = 0;
+  int32_t error_code = 0;     ///< StatusCode of the first rejection (0 = ok)
+  std::string error_message;  ///< first rejection's message ("" when none)
+};
+
+/// Request-level failure reply (e.g. a malformed alert bundle): the
+/// Status the server-side handler produced, as a frame.
+struct ErrorReply {
+  int32_t code = 0;  ///< sloc::StatusCode, never 0 on the wire
+  std::string message;
 };
 
 std::vector<uint8_t> EncodePublicKeyAnnouncement(
@@ -119,6 +147,12 @@ Result<TokenBundle> DecodeTokenBundle(const std::vector<uint8_t>& frame);
 /// Errors when report.notified_users.size() > kMaxNotified.
 Result<std::vector<uint8_t>> EncodeOutcomeReport(const OutcomeReport& report);
 Result<OutcomeReport> DecodeOutcomeReport(const std::vector<uint8_t>& frame);
+
+std::vector<uint8_t> EncodeSubmitAck(const SubmitAck& ack);
+Result<SubmitAck> DecodeSubmitAck(const std::vector<uint8_t>& frame);
+
+std::vector<uint8_t> EncodeErrorReply(const ErrorReply& error);
+Result<ErrorReply> DecodeErrorReply(const std::vector<uint8_t>& frame);
 
 }  // namespace api
 }  // namespace sloc

@@ -1,0 +1,168 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sloc {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Lifts a kError reply into the Status the server-side handler had.
+Status FromErrorReply(const api::ErrorReply& error) {
+  return Status(StatusCode(error.code), error.message);
+}
+
+}  // namespace
+
+Result<AlertClient> AlertClient::Connect(uint16_t port,
+                                         size_t max_frame_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Errno("connect 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  return AlertClient(fd, max_frame_bytes);
+}
+
+AlertClient::AlertClient(AlertClient&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+AlertClient& AlertClient::operator=(AlertClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AlertClient::~AlertClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AlertClient::SendOnly(const std::vector<uint8_t>& envelope) {
+  std::vector<uint8_t> framed;
+  AppendFrame(envelope, &framed);
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::write(fd_, framed.data() + sent, framed.size() - sent);
+    if (n > 0) {
+      sent += size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> AlertClient::ReadReply() {
+  std::vector<uint8_t> envelope;
+  if (decoder_.Next(&envelope)) return envelope;
+  uint8_t chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      SLOC_RETURN_IF_ERROR(decoder_.Feed(chunk, size_t(n)));
+      if (decoder_.Next(&envelope)) return envelope;
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal(
+          "server closed the connection mid-reply (shed or shutdown)");
+    }
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+Result<std::vector<uint8_t>> AlertClient::RoundTrip(
+    const std::vector<uint8_t>& request) {
+  SLOC_RETURN_IF_ERROR(SendOnly(request));
+  return ReadReply();
+}
+
+Result<api::SubmitAck> AlertClient::SubmitUpload(
+    const std::vector<uint8_t>& upload_frame) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> reply, RoundTrip(upload_frame));
+  SLOC_ASSIGN_OR_RETURN(api::MessageType type, api::PeekType(reply));
+  if (type == api::MessageType::kError) {
+    SLOC_ASSIGN_OR_RETURN(api::ErrorReply error, api::DecodeErrorReply(reply));
+    return FromErrorReply(error);
+  }
+  return api::DecodeSubmitAck(reply);
+}
+
+Result<api::SubmitAck> AlertClient::SubmitLocation(
+    int user_id, const std::vector<uint8_t>& ct_blob) {
+  api::LocationUpload upload;
+  upload.user_id = user_id;
+  upload.ciphertext = ct_blob;
+  return SubmitUpload(api::EncodeLocationUpload(upload));
+}
+
+Result<api::SubmitAck> AlertClient::SubmitBatch(
+    const std::vector<api::LocationUpload>& uploads) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> frame,
+                        api::EncodeLocationBatch(uploads));
+  return SubmitUpload(frame);
+}
+
+Result<api::OutcomeReport> AlertClient::ProcessAlertBundle(
+    const std::vector<uint8_t>& bundle_frame) {
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> reply, RoundTrip(bundle_frame));
+  SLOC_ASSIGN_OR_RETURN(api::MessageType type, api::PeekType(reply));
+  if (type == api::MessageType::kError) {
+    SLOC_ASSIGN_OR_RETURN(api::ErrorReply error, api::DecodeErrorReply(reply));
+    return FromErrorReply(error);
+  }
+  return api::DecodeOutcomeReport(reply);
+}
+
+Result<api::OutcomeReport> AlertClient::ProcessAlert(
+    uint64_t alert_id, const std::vector<std::vector<uint8_t>>& tokens) {
+  api::TokenBundle bundle;
+  bundle.alert_id = alert_id;
+  bundle.tokens = tokens;
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> frame,
+                        api::EncodeTokenBundle(bundle));
+  return ProcessAlertBundle(frame);
+}
+
+Result<api::SubmitAck> AlertClient::DrainAck() {
+  SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> reply, ReadReply());
+  SLOC_ASSIGN_OR_RETURN(api::MessageType type, api::PeekType(reply));
+  if (type == api::MessageType::kError) {
+    SLOC_ASSIGN_OR_RETURN(api::ErrorReply error, api::DecodeErrorReply(reply));
+    return FromErrorReply(error);
+  }
+  return api::DecodeSubmitAck(reply);
+}
+
+}  // namespace net
+}  // namespace sloc

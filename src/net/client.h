@@ -1,0 +1,84 @@
+// Blocking client for AlertServer.
+//
+// One AlertClient owns one TCP connection and speaks the same
+// length-prefixed SLEV framing as the server (net/frame.h). Calls are
+// synchronous request/reply; because the server answers one
+// connection's requests in request order, a single FrameDecoder and a
+// read loop are the whole reply path. The client is not thread-safe —
+// drive one connection per thread (the throughput bench does exactly
+// that).
+
+#ifndef SLOC_NET_CLIENT_H_
+#define SLOC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/messages.h"
+#include "common/result.h"
+#include "net/frame.h"
+
+namespace sloc {
+namespace net {
+
+class AlertClient {
+ public:
+  /// Connects to 127.0.0.1:<port> (the server only binds loopback).
+  /// `max_frame_bytes` caps reply frames, mirroring the server knob.
+  static Result<AlertClient> Connect(uint16_t port,
+                                     size_t max_frame_bytes = 64u << 20);
+
+  AlertClient(AlertClient&& other) noexcept;
+  AlertClient& operator=(AlertClient&& other) noexcept;
+  AlertClient(const AlertClient&) = delete;
+  AlertClient& operator=(const AlertClient&) = delete;
+  ~AlertClient();
+
+  /// Submits one enveloped kLocationUpload frame; returns the ack.
+  Result<api::SubmitAck> SubmitUpload(
+      const std::vector<uint8_t>& upload_frame);
+
+  /// Submits one (user_id, ciphertext blob) pair.
+  Result<api::SubmitAck> SubmitLocation(int user_id,
+                                        const std::vector<uint8_t>& ct_blob);
+
+  /// Submits many uploads as a single kLocationBatch frame.
+  Result<api::SubmitAck> SubmitBatch(
+      const std::vector<api::LocationUpload>& uploads);
+
+  /// Sends a prebuilt kAlertTokens bundle frame (from
+  /// TrustedAuthority::IssueAlertBundle) and decodes the outcome.
+  Result<api::OutcomeReport> ProcessAlertBundle(
+      const std::vector<uint8_t>& bundle_frame);
+
+  /// Frames token blobs under `alert_id` and runs the scan.
+  Result<api::OutcomeReport> ProcessAlert(
+      uint64_t alert_id, const std::vector<std::vector<uint8_t>>& tokens);
+
+  /// Fire-and-forget send of one envelope, no reply read. Pair with
+  /// DrainAck to pipeline submissions (the throughput bench's pattern:
+  /// N sends, then N drains).
+  Status SendOnly(const std::vector<uint8_t>& envelope);
+
+  /// Reads the next reply frame and decodes it as a SubmitAck.
+  Result<api::SubmitAck> DrainAck();
+
+ private:
+  explicit AlertClient(int fd, size_t max_frame_bytes)
+      : fd_(fd), decoder_(max_frame_bytes) {}
+
+  /// Sends one framed envelope and reads exactly one reply envelope.
+  /// A kError reply is surfaced as its embedded Status.
+  Result<std::vector<uint8_t>> RoundTrip(const std::vector<uint8_t>& request);
+  Result<std::vector<uint8_t>> ReadReply();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace sloc
+
+#endif  // SLOC_NET_CLIENT_H_

@@ -1,0 +1,73 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace sloc {
+namespace net {
+
+void AppendFrame(const std::vector<uint8_t>& envelope,
+                 std::vector<uint8_t>* out) {
+  const uint32_t len = uint32_t(envelope.size());
+  out->reserve(out->size() + 4 + envelope.size());
+  out->push_back(uint8_t(len));
+  out->push_back(uint8_t(len >> 8));
+  out->push_back(uint8_t(len >> 16));
+  out->push_back(uint8_t(len >> 24));
+  out->insert(out->end(), envelope.begin(), envelope.end());
+}
+
+Status FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  if (!status_.ok()) return status_;
+  buf_.insert(buf_.end(), data, data + len);
+  // Slice every complete frame out of the buffer. scan_pos_ defers the
+  // compaction memmove until a full sweep is done.
+  while (true) {
+    const size_t avail = buf_.size() - scan_pos_;
+    if (avail < 4) break;
+    uint32_t frame_len = uint32_t(buf_[scan_pos_]) |
+                         uint32_t(buf_[scan_pos_ + 1]) << 8 |
+                         uint32_t(buf_[scan_pos_ + 2]) << 16 |
+                         uint32_t(buf_[scan_pos_ + 3]) << 24;
+    if (frame_len > max_frame_bytes_) {
+      status_ = Status::InvalidArgument(
+          "frame of " + std::to_string(frame_len) +
+          " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+          "-byte cap");
+      return status_;
+    }
+    if (avail - 4 < frame_len) break;
+    const uint8_t* begin = buf_.data() + scan_pos_ + 4;
+    ready_.emplace_back(begin, begin + frame_len);
+    scan_pos_ += 4 + size_t(frame_len);
+  }
+  if (scan_pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + long(scan_pos_));
+    scan_pos_ = 0;
+  }
+  return Status::Ok();
+}
+
+bool FrameDecoder::Next(std::vector<uint8_t>* envelope) {
+  if (ready_pos_ >= ready_.size()) {
+    ready_.clear();
+    ready_pos_ = 0;
+    return false;
+  }
+  *envelope = std::move(ready_[ready_pos_++]);
+  if (ready_pos_ >= ready_.size()) {
+    ready_.clear();
+    ready_pos_ = 0;
+  }
+  return true;
+}
+
+size_t FrameDecoder::buffered_bytes() const {
+  size_t total = buf_.size() - scan_pos_;
+  for (size_t i = ready_pos_; i < ready_.size(); ++i) {
+    total += ready_[i].size();
+  }
+  return total;
+}
+
+}  // namespace net
+}  // namespace sloc

@@ -1,0 +1,65 @@
+// Stream framing for SLEV envelopes over TCP.
+//
+// An api/messages.h envelope is self-validating (magic, version,
+// checksum) but not self-delimiting, so on a byte stream each one
+// travels behind a little-endian u32 length prefix:
+//
+//   u32 envelope_len | SLEV envelope bytes
+//
+// FrameDecoder reassembles that incrementally: the server's epoll loop
+// and the blocking client both feed it whatever read() returned and
+// pull out complete envelopes. The declared length is attacker
+// controlled, so it is capped before a single byte of the envelope is
+// buffered — a forged 4 GiB prefix costs the peer its connection, not
+// the server an allocation.
+
+#ifndef SLOC_NET_FRAME_H_
+#define SLOC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sloc {
+namespace net {
+
+/// Appends the u32 length prefix + envelope to `out` (one contiguous
+/// write buffer, so a reply is a single append).
+void AppendFrame(const std::vector<uint8_t>& envelope,
+                 std::vector<uint8_t>* out);
+
+/// Incremental decoder of length-prefixed envelopes from a byte stream.
+class FrameDecoder {
+ public:
+  /// Envelopes whose declared length exceeds `max_frame_bytes` fail
+  /// Feed() with InvalidArgument (the connection is beyond recovery:
+  /// the stream cannot be resynchronized).
+  explicit FrameDecoder(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `len` stream bytes. On error the decoder is poisoned:
+  /// every later Feed reports the same error.
+  Status Feed(const uint8_t* data, size_t len);
+
+  /// Moves the next complete envelope into `envelope`; false when no
+  /// complete envelope is buffered yet.
+  bool Next(std::vector<uint8_t>* envelope);
+
+  /// Bytes buffered toward the next envelope (backpressure accounting).
+  size_t buffered_bytes() const;
+
+ private:
+  size_t max_frame_bytes_;
+  Status status_;
+  std::vector<uint8_t> buf_;       ///< raw stream bytes not yet framed
+  size_t scan_pos_ = 0;            ///< start of the first unparsed frame
+  std::vector<std::vector<uint8_t>> ready_;
+  size_t ready_pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace sloc
+
+#endif  // SLOC_NET_FRAME_H_

@@ -1,0 +1,732 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/messages.h"
+#include "common/check.h"
+#include "net/frame.h"
+#include "net/snapshot_store.h"
+
+namespace sloc {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// epoll_event.data.u64 sentinels for the two non-connection fds.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kEventTag = ~uint64_t(0);
+
+}  // namespace
+
+struct AlertServer::Impl {
+  // ---- Fixed configuration (set before threads start) ----
+  Options options;
+  std::shared_ptr<const PairingGroup> group;
+  EpochSnapshotStore* snap = nullptr;  // owned by provider's store slot
+  std::unique_ptr<alert::ServiceProvider> provider;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  uint16_t port = 0;
+
+  // ---- Cross-thread state ----
+  /// One in-flight request from one connection.
+  struct RequestState {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    size_t request_bytes = 0;
+    std::atomic<size_t> remaining{0};
+    std::atomic<uint32_t> accepted{0};
+    std::atomic<uint32_t> rejected{0};
+    std::mutex mu;
+    Status first_error;  // guarded by mu
+  };
+
+  struct PendingUpload {
+    std::shared_ptr<RequestState> req;
+    int user_id = 0;
+    std::vector<uint8_t> blob;
+  };
+
+  /// Ingest uploads binned by destination shard. `draining` guarantees
+  /// a single consumer per shard at a time, which preserves per-shard
+  /// (and therefore per-user) apply order.
+  struct ShardQueue {
+    std::mutex mu;
+    std::vector<PendingUpload> items;
+    bool draining = false;
+  };
+  std::vector<std::unique_ptr<ShardQueue>> shard_queues;
+
+  struct Task {
+    enum class Kind { kDrainShard, kScan };
+    Kind kind = Kind::kDrainShard;
+    size_t shard = 0;
+    // kScan only:
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    size_t request_bytes = 0;
+    std::vector<uint8_t> frame;
+  };
+  std::mutex tasks_mu;
+  std::condition_variable tasks_cv;
+  std::deque<Task> tasks;
+  bool stopping = false;  // guarded by tasks_mu
+
+  struct Reply {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    size_t request_bytes = 0;
+    std::vector<uint8_t> envelope;
+  };
+  std::mutex replies_mu;
+  std::vector<Reply> replies;
+
+  /// Scans serialize: the provider's token-table LRU is not safe under
+  /// concurrent ProcessAlert calls, and one scan already fans out over
+  /// Options::scan_threads workers.
+  std::mutex scan_mu;
+
+  std::atomic<size_t> total_inflight{0};
+  std::atomic<bool> running{false};
+
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> connections_shed{0};
+    std::atomic<uint64_t> frames_received{0};
+    std::atomic<uint64_t> frames_sent{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> uploads_accepted{0};
+    std::atomic<uint64_t> uploads_rejected{0};
+    std::atomic<uint64_t> ingest_drains{0};
+    std::atomic<uint64_t> alerts_served{0};
+    std::atomic<uint64_t> reads_paused{0};
+  };
+  AtomicStats stats;
+
+  std::thread io_thread;
+  std::vector<std::thread> workers;
+
+  // ---- Connection state (epoll/I/O thread only) ----
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameDecoder decoder;
+    std::vector<uint8_t> write_buf;
+    size_t write_pos = 0;
+    uint64_t next_seq = 0;    ///< assigned to the next request read
+    uint64_t next_reply = 0;  ///< next seq allowed onto the wire
+    std::map<uint64_t, Reply> held;  ///< completed out of order
+    size_t inflight_bytes = 0;
+    bool reading_paused = false;
+    bool want_write = false;
+
+    explicit Connection(size_t max_frame_bytes)
+        : decoder(max_frame_bytes) {}
+  };
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+  std::unordered_set<uint64_t> paused_conns;
+  uint64_t next_conn_id = 1;
+
+  ~Impl() { StopThreads(); }
+
+  // ============ lifecycle ============
+
+  Status Listen() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listen_fd < 0) return Errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options.port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind 127.0.0.1:" + std::to_string(options.port));
+    }
+    if (::listen(listen_fd, 128) != 0) return Errno("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    port = ntohs(addr.sin_port);
+
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) return Errno("epoll_create1");
+    event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (event_fd < 0) return Errno("eventfd");
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) != 0) {
+      return Errno("epoll_ctl(listen)");
+    }
+    ev.data.u64 = kEventTag;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd, &ev) != 0) {
+      return Errno("epoll_ctl(eventfd)");
+    }
+    return Status::Ok();
+  }
+
+  void StartThreads() {
+    running.store(true);
+    io_thread = std::thread([this] { IoLoop(); });
+    workers.reserve(options.num_workers);
+    for (unsigned w = 0; w < options.num_workers; ++w) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopThreads() {
+    if (!running.exchange(false)) return;
+    WakeIo();
+    if (io_thread.joinable()) io_thread.join();
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu);
+      stopping = true;
+    }
+    tasks_cv.notify_all();
+    for (std::thread& t : workers) {
+      if (t.joinable()) t.join();
+    }
+    workers.clear();
+    for (auto& [id, conn] : conns) ::close(conn->fd);
+    conns.clear();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (event_fd >= 0) ::close(event_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    listen_fd = event_fd = epoll_fd = -1;
+  }
+
+  void WakeIo() {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+  }
+
+  // ============ worker side ============
+
+  void PushTask(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu);
+      tasks.push_back(std::move(task));
+    }
+    tasks_cv.notify_one();
+  }
+
+  void WorkerLoop() {
+    while (true) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(tasks_mu);
+        tasks_cv.wait(lock, [this] { return stopping || !tasks.empty(); });
+        if (stopping) return;
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      switch (task.kind) {
+        case Task::Kind::kDrainShard:
+          DrainShard(task.shard);
+          break;
+        case Task::Kind::kScan:
+          RunScan(task);
+          break;
+      }
+    }
+  }
+
+  void DrainShard(size_t shard) {
+    ShardQueue& queue = *shard_queues[shard];
+    std::vector<PendingUpload> batch;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(queue.mu);
+        if (queue.items.empty()) {
+          queue.draining = false;
+          return;
+        }
+        batch.swap(queue.items);
+      }
+      // Parse and validate with no locks held — the expensive half.
+      std::vector<std::pair<int, hve::Ciphertext>> good;
+      std::vector<bool> ok(batch.size(), false);
+      std::vector<Status> why(batch.size());
+      good.reserve(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        auto ct = hve::ParseCiphertext(*group, batch[i].blob);
+        if (ct.ok()) {
+          ok[i] = true;
+          good.emplace_back(batch[i].user_id, std::move(ct).value());
+        } else {
+          why[i] = ct.status();
+        }
+      }
+      // Apply the whole batch under one shard-lock acquisition.
+      snap->PutBatch(shard, std::move(good));
+      stats.ingest_drains.fetch_add(1, std::memory_order_relaxed);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        RequestState& req = *batch[i].req;
+        if (ok[i]) {
+          req.accepted.fetch_add(1, std::memory_order_relaxed);
+          stats.uploads_accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          req.rejected.fetch_add(1, std::memory_order_relaxed);
+          stats.uploads_rejected.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(req.mu);
+          if (req.first_error.ok()) req.first_error = why[i];
+        }
+        if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          FinishIngest(batch[i].req);
+        }
+      }
+      batch.clear();
+    }
+  }
+
+  void FinishIngest(const std::shared_ptr<RequestState>& req) {
+    api::SubmitAck ack;
+    ack.accepted = req->accepted.load(std::memory_order_relaxed);
+    ack.rejected = req->rejected.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(req->mu);
+      if (!req->first_error.ok()) {
+        ack.error_code = int32_t(req->first_error.code());
+        ack.error_message = req->first_error.message();
+      }
+    }
+    PushReply({req->conn_id, req->seq, req->request_bytes,
+               api::EncodeSubmitAck(ack)});
+  }
+
+  void RunScan(Task& task) {
+    std::vector<uint8_t> envelope;
+    {
+      std::lock_guard<std::mutex> lock(scan_mu);
+      auto reply = provider->ProcessAlertBundle(task.frame);
+      if (reply.ok()) {
+        envelope = std::move(reply).value();
+      } else {
+        api::ErrorReply error;
+        error.code = int32_t(reply.status().code());
+        error.message = reply.status().message();
+        envelope = api::EncodeErrorReply(error);
+      }
+    }
+    stats.alerts_served.fetch_add(1, std::memory_order_relaxed);
+    PushReply({task.conn_id, task.seq, task.request_bytes,
+               std::move(envelope)});
+  }
+
+  void PushReply(Reply reply) {
+    {
+      std::lock_guard<std::mutex> lock(replies_mu);
+      replies.push_back(std::move(reply));
+    }
+    WakeIo();
+  }
+
+  // ============ epoll/I/O side ============
+
+  void IoLoop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    while (running.load(std::memory_order_relaxed)) {
+      const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, 500);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll broken: nothing sensible left to do
+      }
+      for (int i = 0; i < n; ++i) {
+        const uint64_t tag = events[i].data.u64;
+        if (tag == kListenTag) {
+          AcceptAll();
+        } else if (tag == kEventTag) {
+          uint64_t drained;
+          while (::read(event_fd, &drained, sizeof(drained)) > 0) {
+          }
+          DeliverReplies();
+        } else {
+          auto it = conns.find(tag);
+          if (it == conns.end()) continue;  // closed earlier this sweep
+          Connection* conn = it->second.get();
+          if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+            Close(conn, /*shed=*/false);
+            continue;
+          }
+          if (events[i].events & EPOLLOUT) {
+            if (!FlushWrites(conn)) continue;  // closed
+          }
+          if (events[i].events & EPOLLIN) HandleRead(conn);
+        }
+      }
+    }
+  }
+
+  void AcceptAll() {
+    while (true) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or transient error: epoll will retry
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Connection>(options.max_frame_bytes);
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      epoll_event ev;
+      std::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      stats.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      conns.emplace(conn->id, std::move(conn));
+    }
+  }
+
+  void UpdateEpoll(Connection* conn) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = (conn->reading_paused ? 0u : unsigned(EPOLLIN)) |
+                (conn->want_write ? unsigned(EPOLLOUT) : 0u);
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  void Close(Connection* conn, bool shed) {
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    paused_conns.erase(conn->id);
+    stats.connections_closed.fetch_add(1, std::memory_order_relaxed);
+    if (shed) stats.connections_shed.fetch_add(1, std::memory_order_relaxed);
+    conns.erase(conn->id);  // destroys conn
+  }
+
+  void HandleRead(Connection* conn) {
+    uint8_t chunk[64 * 1024];
+    while (!conn->reading_paused) {
+      const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        Status st = conn->decoder.Feed(chunk, size_t(n));
+        if (!st.ok()) {
+          stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          Close(conn, /*shed=*/false);
+          return;
+        }
+        std::vector<uint8_t> envelope;
+        while (conn->decoder.Next(&envelope)) {
+          if (!HandleEnvelope(conn, std::move(envelope))) return;  // closed
+          envelope.clear();
+        }
+        UpdateBackpressure(conn);
+        if (size_t(n) < sizeof(chunk)) return;  // drained the socket
+      } else if (n == 0) {
+        Close(conn, /*shed=*/false);  // peer closed
+        return;
+      } else {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        Close(conn, /*shed=*/false);
+        return;
+      }
+    }
+  }
+
+  /// Routes one decoded SLEV envelope. Returns false when the
+  /// connection was closed.
+  bool HandleEnvelope(Connection* conn, std::vector<uint8_t> envelope) {
+    stats.frames_received.fetch_add(1, std::memory_order_relaxed);
+    auto type = api::PeekType(envelope);
+    if (!type.ok()) {
+      // Framed correctly but fails the envelope's own checksum/version:
+      // the stream itself is suspect. Drop the connection.
+      stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      Close(conn, /*shed=*/false);
+      return false;
+    }
+    const uint64_t seq = conn->next_seq++;
+    const size_t bytes = envelope.size();
+    conn->inflight_bytes += bytes;
+    total_inflight.fetch_add(bytes, std::memory_order_relaxed);
+    switch (*type) {
+      case api::MessageType::kLocationUpload: {
+        auto upload = api::DecodeLocationUpload(envelope);
+        if (!upload.ok()) {
+          ReplyNow(conn, seq, bytes, AckForBadRequest(upload.status()));
+          break;
+        }
+        std::vector<api::LocationUpload> one;
+        one.push_back(std::move(upload).value());
+        EnqueueIngest(conn, seq, bytes, std::move(one));
+        break;
+      }
+      case api::MessageType::kLocationBatch: {
+        auto uploads = api::DecodeLocationBatch(envelope);
+        if (!uploads.ok()) {
+          ReplyNow(conn, seq, bytes, AckForBadRequest(uploads.status()));
+          break;
+        }
+        EnqueueIngest(conn, seq, bytes, std::move(uploads).value());
+        break;
+      }
+      case api::MessageType::kAlertTokens: {
+        Task task;
+        task.kind = Task::Kind::kScan;
+        task.conn_id = conn->id;
+        task.seq = seq;
+        task.request_bytes = bytes;
+        task.frame = std::move(envelope);
+        PushTask(std::move(task));
+        break;
+      }
+      default: {
+        // A valid envelope the server has no handler for (e.g. a stray
+        // outcome report): request-level error, connection survives.
+        stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        api::ErrorReply error;
+        error.code = int32_t(StatusCode::kUnimplemented);
+        error.message = std::string("server does not accept ") +
+                        api::MessageTypeName(*type) + " messages";
+        ReplyNow(conn, seq, bytes, api::EncodeErrorReply(error));
+        break;
+      }
+    }
+    return true;
+  }
+
+  static std::vector<uint8_t> AckForBadRequest(const Status& status) {
+    api::SubmitAck ack;
+    ack.error_code = int32_t(status.code());
+    ack.error_message = status.message();
+    return api::EncodeSubmitAck(ack);
+  }
+
+  void EnqueueIngest(Connection* conn, uint64_t seq, size_t bytes,
+                     std::vector<api::LocationUpload> uploads) {
+    auto req = std::make_shared<RequestState>();
+    req->conn_id = conn->id;
+    req->seq = seq;
+    req->request_bytes = bytes;
+    if (uploads.empty()) {
+      ReplyNow(conn, seq, bytes, api::EncodeSubmitAck({}));
+      return;
+    }
+    req->remaining.store(uploads.size(), std::memory_order_relaxed);
+    std::vector<size_t> touched;
+    for (api::LocationUpload& upload : uploads) {
+      const size_t shard = snap->ShardOf(upload.user_id);
+      ShardQueue& queue = *shard_queues[shard];
+      std::lock_guard<std::mutex> lock(queue.mu);
+      queue.items.push_back(
+          PendingUpload{req, upload.user_id, std::move(upload.ciphertext)});
+      if (!queue.draining) {
+        queue.draining = true;
+        touched.push_back(shard);
+      }
+    }
+    for (size_t shard : touched) {
+      Task task;
+      task.kind = Task::Kind::kDrainShard;
+      task.shard = shard;
+      PushTask(std::move(task));
+    }
+  }
+
+  /// Immediate reply from the I/O thread (decode errors, empty acks):
+  /// same ordered-reply path as worker completions.
+  void ReplyNow(Connection* conn, uint64_t seq, size_t bytes,
+                std::vector<uint8_t> envelope) {
+    DeliverOne({conn->id, seq, bytes, std::move(envelope)});
+  }
+
+  void DeliverReplies() {
+    std::vector<Reply> batch;
+    {
+      std::lock_guard<std::mutex> lock(replies_mu);
+      batch.swap(replies);
+    }
+    for (Reply& reply : batch) DeliverOne(std::move(reply));
+    // Replies drained in-flight bytes: reads paused for global pressure
+    // can resume even when their own connection got no reply.
+    if (!paused_conns.empty()) {
+      std::vector<uint64_t> ids(paused_conns.begin(), paused_conns.end());
+      for (uint64_t id : ids) {
+        auto it = conns.find(id);
+        if (it != conns.end()) UpdateBackpressure(it->second.get());
+      }
+    }
+  }
+
+  void DeliverOne(Reply reply) {
+    total_inflight.fetch_sub(reply.request_bytes, std::memory_order_relaxed);
+    auto it = conns.find(reply.conn_id);
+    if (it == conns.end()) return;  // connection died first
+    Connection* conn = it->second.get();
+    conn->held.emplace(reply.seq, std::move(reply));
+    // Flush every reply that is next in request order.
+    while (true) {
+      auto next = conn->held.find(conn->next_reply);
+      if (next == conn->held.end()) break;
+      conn->inflight_bytes -= next->second.request_bytes;
+      AppendFrame(next->second.envelope, &conn->write_buf);
+      stats.frames_sent.fetch_add(1, std::memory_order_relaxed);
+      conn->held.erase(next);
+      ++conn->next_reply;
+    }
+    if (!FlushWrites(conn)) return;  // closed (write error or shed)
+    UpdateBackpressure(conn);
+  }
+
+  /// Writes as much buffered output as the socket takes. Returns false
+  /// when the connection was closed (error or slow-consumer shed).
+  bool FlushWrites(Connection* conn) {
+    while (conn->write_pos < conn->write_buf.size()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->write_buf.data() + conn->write_pos,
+                  conn->write_buf.size() - conn->write_pos);
+      if (n > 0) {
+        conn->write_pos += size_t(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      Close(conn, /*shed=*/false);
+      return false;
+    }
+    if (conn->write_pos >= conn->write_buf.size()) {
+      conn->write_buf.clear();
+      conn->write_pos = 0;
+    } else if (conn->write_pos > (1u << 20)) {
+      conn->write_buf.erase(conn->write_buf.begin(),
+                            conn->write_buf.begin() + long(conn->write_pos));
+      conn->write_pos = 0;
+    }
+    const size_t backlog = conn->write_buf.size() - conn->write_pos;
+    if (backlog > options.max_write_buffer) {
+      // Slow consumer: it is not reading its replies. Shedding it frees
+      // the backlog; anything still queued for it gets dropped on
+      // delivery.
+      Close(conn, /*shed=*/true);
+      return false;
+    }
+    const bool want_write = backlog > 0;
+    if (want_write != conn->want_write) {
+      conn->want_write = want_write;
+      UpdateEpoll(conn);
+    }
+    return true;
+  }
+
+  void UpdateBackpressure(Connection* conn) {
+    const bool should_pause =
+        conn->inflight_bytes > options.max_connection_inflight ||
+        total_inflight.load(std::memory_order_relaxed) >
+            options.max_total_inflight;
+    if (should_pause && !conn->reading_paused) {
+      conn->reading_paused = true;
+      paused_conns.insert(conn->id);
+      stats.reads_paused.fetch_add(1, std::memory_order_relaxed);
+      UpdateEpoll(conn);
+    } else if (!should_pause && conn->reading_paused) {
+      conn->reading_paused = false;
+      paused_conns.erase(conn->id);
+      UpdateEpoll(conn);
+      // Bytes may already be buffered in the kernel; poke the decoder
+      // now instead of waiting for the next epoll edge.
+      HandleRead(conn);
+    }
+  }
+};
+
+AlertServer::AlertServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+AlertServer::~AlertServer() { Stop(); }
+
+Result<std::unique_ptr<AlertServer>> AlertServer::Start(
+    std::shared_ptr<const PairingGroup> group, Fp2Elem marker,
+    std::unique_ptr<api::CiphertextStore> store, const Options& options) {
+  if (group == nullptr || store == nullptr) {
+    return Status::InvalidArgument("null group or store");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  if (impl->options.num_workers == 0) impl->options.num_workers = 1;
+  impl->group = group;
+
+  auto snap = std::make_unique<EpochSnapshotStore>(std::move(store));
+  impl->snap = snap.get();
+  alert::ServiceProvider::Options sp_options;
+  sp_options.num_shards = snap->num_shards();
+  sp_options.num_threads =
+      options.scan_threads == 0 ? 1 : options.scan_threads;
+  sp_options.engine = options.engine;
+  sp_options.token_cache_capacity = options.token_cache_capacity;
+  impl->provider = std::make_unique<alert::ServiceProvider>(
+      std::move(group), std::move(marker), std::move(snap), sp_options);
+  SLOC_RETURN_IF_ERROR(impl->provider->config_status());
+
+  impl->shard_queues.resize(impl->snap->num_shards());
+  for (auto& queue : impl->shard_queues) {
+    queue = std::make_unique<Impl::ShardQueue>();
+  }
+  SLOC_RETURN_IF_ERROR(impl->Listen());
+  impl->StartThreads();
+  return std::unique_ptr<AlertServer>(new AlertServer(std::move(impl)));
+}
+
+uint16_t AlertServer::port() const { return impl_->port; }
+
+void AlertServer::Stop() { impl_->StopThreads(); }
+
+const alert::ServiceProvider& AlertServer::provider() const {
+  return *impl_->provider;
+}
+
+ServerStats AlertServer::stats() const {
+  const Impl::AtomicStats& a = impl_->stats;
+  ServerStats s;
+  s.connections_accepted = a.connections_accepted.load();
+  s.connections_closed = a.connections_closed.load();
+  s.connections_shed = a.connections_shed.load();
+  s.frames_received = a.frames_received.load();
+  s.frames_sent = a.frames_sent.load();
+  s.protocol_errors = a.protocol_errors.load();
+  s.uploads_accepted = a.uploads_accepted.load();
+  s.uploads_rejected = a.uploads_rejected.load();
+  s.ingest_drains = a.ingest_drains.load();
+  s.alerts_served = a.alerts_served.load();
+  s.reads_paused = a.reads_paused.load();
+  return s;
+}
+
+}  // namespace net
+}  // namespace sloc

@@ -1,0 +1,123 @@
+// AlertServer: the paper's C2/service-provider role as a long-lived
+// network service.
+//
+// A non-blocking epoll TCP server speaking length-prefixed SLEV
+// envelopes (net/frame.h over api/messages.h). One I/O thread owns
+// accept/read/write and all connection state; a pool of crypto workers
+// does everything expensive. The data flow:
+//
+//   epoll thread                 workers
+//   ------------                 -------
+//   read + frame-slice
+//   kLocationUpload/kLocationBatch
+//     -> bin uploads into per-shard
+//        ingest queues ---------> drain one shard's queue: parse +
+//                                 validate every blob (curve checks),
+//                                 then apply the whole batch under one
+//                                 shard-lock acquisition
+//   kAlertTokens ----------------> ProcessAlertBundle on an epoch
+//                                 snapshot of the store (scans never
+//                                 block ingest; snapshot_store.h)
+//   write acks/outcomes <-------- reply queue + eventfd wakeup
+//
+// Replies to one connection always flush in request order (a reorder
+// buffer holds out-of-order completions), so a pipelining client can
+// match replies positionally.
+//
+// Backpressure, in order of engagement:
+//   * per-connection in-flight cap — a connection with more than
+//     max_connection_inflight bytes of unanswered requests stops being
+//     read (EPOLLIN off) until replies drain;
+//   * global in-flight cap — ditto across all connections;
+//   * slow-consumer shedding — a connection whose un-written reply
+//     backlog exceeds max_write_buffer is closed outright: one reader
+//     that stops reading must not pin server memory.
+//
+// Ordering guarantee: an alert scan observes every upload *acked*
+// before the scan request was sent (acks are emitted after the shard
+// apply). Uploads still queued when a scan arrives may or may not be
+// seen — the usual asynchronous-service contract.
+
+#ifndef SLOC_NET_SERVER_H_
+#define SLOC_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "alert/protocol.h"
+#include "api/store.h"
+#include "common/result.h"
+
+namespace sloc {
+namespace net {
+
+/// Monotonic counters since Start (snapshot; internally atomic).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_shed = 0;  ///< slow consumers dropped
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t protocol_errors = 0;   ///< bad frames / bad envelopes
+  uint64_t uploads_accepted = 0;
+  uint64_t uploads_rejected = 0;
+  uint64_t ingest_drains = 0;     ///< per-shard queue drain batches
+  uint64_t alerts_served = 0;
+  uint64_t reads_paused = 0;      ///< backpressure engagements
+};
+
+class AlertServer {
+ public:
+  struct Options {
+    uint16_t port = 0;         ///< 0 picks an ephemeral port (see port())
+    unsigned num_workers = 4;  ///< crypto workers (ingest + scans)
+    /// Worker threads *inside* one alert scan (the provider's sharded
+    /// matcher); scans from different requests serialize, so total scan
+    /// parallelism is this knob.
+    unsigned scan_threads = 1;
+    alert::ServiceProvider::QueryEngine engine =
+        alert::ServiceProvider::QueryEngine::kBatched;
+    size_t token_cache_capacity = 64;
+
+    // Backpressure knobs (see file comment).
+    size_t max_frame_bytes = 64u << 20;
+    size_t max_connection_inflight = 8u << 20;
+    size_t max_total_inflight = 128u << 20;
+    size_t max_write_buffer = 64u << 20;
+  };
+
+  /// Binds 127.0.0.1:<port>, wraps `store` in an epoch-snapshot layer,
+  /// and starts the I/O thread + workers. The store's shard count is
+  /// the ingest/scan parallelism ceiling.
+  static Result<std::unique_ptr<AlertServer>> Start(
+      std::shared_ptr<const PairingGroup> group, Fp2Elem marker,
+      std::unique_ptr<api::CiphertextStore> store, const Options& options);
+
+  ~AlertServer();
+
+  AlertServer(const AlertServer&) = delete;
+  AlertServer& operator=(const AlertServer&) = delete;
+
+  /// The bound port (the ephemeral one when Options::port was 0).
+  uint16_t port() const;
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Queued-but-unprocessed requests are dropped — quiesce clients
+  /// first when their acks matter. Idempotent; the destructor calls it.
+  void Stop();
+
+  ServerStats stats() const;
+
+  /// The scanning provider (store identity, engine, cache counters).
+  const alert::ServiceProvider& provider() const;
+
+ private:
+  struct Impl;
+  explicit AlertServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net
+}  // namespace sloc
+
+#endif  // SLOC_NET_SERVER_H_

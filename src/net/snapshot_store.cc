@@ -1,0 +1,71 @@
+#include "net/snapshot_store.h"
+
+#include "common/check.h"
+
+namespace sloc {
+namespace net {
+
+EpochSnapshotStore::EpochSnapshotStore(
+    std::unique_ptr<api::CiphertextStore> inner)
+    : inner_(std::move(inner)) {
+  SLOC_CHECK(inner_ != nullptr) << "snapshot wrapper needs a store";
+  shards_ = std::make_unique<ShardState[]>(inner_->num_shards());
+  size_.store(inner_->size(), std::memory_order_relaxed);
+}
+
+void EpochSnapshotStore::Put(int user_id, hve::Ciphertext ct) {
+  ShardState& shard = shards_[inner_->ShardOf(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool existed = inner_->Contains(user_id);
+  inner_->Put(user_id, std::move(ct));
+  if (!existed) size_.fetch_add(1, std::memory_order_relaxed);
+  shard.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool EpochSnapshotStore::Erase(int user_id) {
+  ShardState& shard = shards_[inner_->ShardOf(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool existed = inner_->Erase(user_id);
+  if (existed) {
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    shard.epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+  return existed;
+}
+
+bool EpochSnapshotStore::Contains(int user_id) const {
+  ShardState& shard = shards_[inner_->ShardOf(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return inner_->Contains(user_id);
+}
+
+void EpochSnapshotStore::VisitShard(
+    size_t shard,
+    const std::function<void(int, const hve::Ciphertext&)>& fn) const {
+  std::vector<std::pair<int, hve::Ciphertext>> copy;
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard].mu);
+    inner_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
+      copy.emplace_back(user_id, ct);
+    });
+  }
+  for (const auto& [user_id, ct] : copy) fn(user_id, ct);
+}
+
+void EpochSnapshotStore::PutBatch(
+    size_t shard, std::vector<std::pair<int, hve::Ciphertext>> entries) {
+  if (entries.empty()) return;
+  ShardState& state = shards_[shard];
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (auto& [user_id, ct] : entries) {
+    SLOC_DCHECK(inner_->ShardOf(user_id) == shard)
+        << "PutBatch entry routed to the wrong shard";
+    const bool existed = inner_->Contains(user_id);
+    inner_->Put(user_id, std::move(ct));
+    if (!existed) size_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.epoch.fetch_add(entries.size(), std::memory_order_relaxed);
+}
+
+}  // namespace net
+}  // namespace sloc

@@ -1,0 +1,90 @@
+// Epoch-snapshot concurrency wrapper for any CiphertextStore.
+//
+// The base CiphertextStore contract leaves same-shard synchronization
+// to the caller and lets a scan hold a shard for its whole visit. For
+// a long-lived service that is the wrong trade: an alert scan runs
+// seconds of pairing arithmetic per shard, and ingest must not stall
+// behind it. This wrapper gives every shard a mutex and turns
+// VisitShard into an epoch snapshot: the shard's entries are *copied
+// out* under the lock (microseconds — pointer-chasing, no crypto) and
+// the visitor runs over the copy with no lock held. Writers to the
+// shard therefore wait only for the copy, never the scan, and a scan
+// observes each shard frozen at the moment it reached it — the
+// RCU-style "scans never block ingest" semantics the net server needs.
+//
+// Every mutation bumps the shard's epoch counter (observability: a
+// scan can report how much ingest it raced with).
+//
+// Wrapped inside a ServiceProvider, the provider's full scan machinery
+// (sharded workers, batched engine, token LRU) runs unmodified against
+// snapshots while the server's ingest workers keep writing through
+// Put/PutBatch.
+
+#ifndef SLOC_NET_SNAPSHOT_STORE_H_
+#define SLOC_NET_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "api/store.h"
+
+namespace sloc {
+namespace net {
+
+class EpochSnapshotStore : public api::CiphertextStore {
+ public:
+  /// Precondition: inner != nullptr.
+  explicit EpochSnapshotStore(std::unique_ptr<api::CiphertextStore> inner);
+
+  /// Transparent: scans and reports identify the real backend.
+  std::string name() const override { return inner_->name(); }
+
+  void Put(int user_id, hve::Ciphertext ct) override;
+  bool Erase(int user_id) override;
+  bool Contains(int user_id) const override;
+  size_t size() const override { return size_.load(std::memory_order_relaxed); }
+  size_t num_shards() const override { return inner_->num_shards(); }
+  size_t ShardOf(int user_id) const override {
+    return inner_->ShardOf(user_id);
+  }
+
+  /// Epoch snapshot: copies the shard under its lock, then runs `fn`
+  /// over the copy lock-free.
+  void VisitShard(size_t shard,
+                  const std::function<void(int, const hve::Ciphertext&)>& fn)
+      const override;
+
+  /// Applies a batch of already-validated entries to one shard under a
+  /// single lock acquisition (the net server's per-shard ingest drain).
+  /// Precondition: every entry's user maps to `shard`.
+  void PutBatch(size_t shard,
+                std::vector<std::pair<int, hve::Ciphertext>> entries);
+
+  /// Mutation count of the shard since construction.
+  uint64_t epoch(size_t shard) const {
+    return shards_[shard].epoch.load(std::memory_order_relaxed);
+  }
+
+  /// The wrapped backend. Synchronize through this wrapper when calling
+  /// anything on it that touches resident state.
+  api::CiphertextStore* inner() { return inner_.get(); }
+
+ private:
+  struct ShardState {
+    mutable std::mutex mu;
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  std::unique_ptr<api::CiphertextStore> inner_;
+  std::unique_ptr<ShardState[]> shards_;
+  std::atomic<size_t> size_;
+};
+
+}  // namespace net
+}  // namespace sloc
+
+#endif  // SLOC_NET_SNAPSHOT_STORE_H_

@@ -149,6 +149,10 @@ TEST_F(IssuanceTest, IssueAlertDeterministicInThreadCount) {
   const auto threaded = threaded_ta->IssueAlert(zone).value();
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, threaded);
+  // Token *serialization* fans across the worker pool too — the full
+  // enveloped bundle must stay byte-identical to the serial path.
+  EXPECT_EQ(serial_ta->IssueAlertBundle(9, zone).value(),
+            threaded_ta->IssueAlertBundle(9, zone).value());
 }
 
 }  // namespace

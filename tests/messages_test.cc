@@ -155,6 +155,8 @@ TEST(EnvelopeTest, OutcomeReportRoundtrip) {
   report.token_cache_hits = 11;
   report.token_cache_misses = 3;
   report.wall_micros = 98765;
+  report.resident_users = 424242;
+  report.store_backend = "log/sharded/4";
   auto decoded = DecodeOutcomeReport(EncodeOutcomeReport(report).value());
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_EQ(decoded->alert_id, report.alert_id);
@@ -168,6 +170,8 @@ TEST(EnvelopeTest, OutcomeReportRoundtrip) {
   EXPECT_EQ(decoded->token_cache_hits, report.token_cache_hits);
   EXPECT_EQ(decoded->token_cache_misses, report.token_cache_misses);
   EXPECT_EQ(decoded->wall_micros, report.wall_micros);
+  EXPECT_EQ(decoded->resident_users, report.resident_users);
+  EXPECT_EQ(decoded->store_backend, report.store_backend);
 }
 
 TEST(EnvelopeTest, CrossTypeDecodeRejected) {
@@ -221,6 +225,63 @@ TEST(EnvelopeTest, TrailingGarbageInPayloadRejected) {
   std::vector<uint8_t> padded = Seal(MessageType::kAlertTokens, payload);
   EXPECT_EQ(DecodeTokenBundle(padded).status().code(),
             StatusCode::kDataLoss);
+}
+
+// ---------- v3 reply messages (the net front-end's half of the wire) ----------
+
+TEST(EnvelopeTest, SubmitAckRoundtrip) {
+  SubmitAck ack;
+  ack.accepted = 41;
+  ack.rejected = 2;
+  ack.error_code = int32_t(StatusCode::kInvalidArgument);
+  ack.error_message = "point not on curve";
+  auto decoded = DecodeSubmitAck(EncodeSubmitAck(ack));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->accepted, ack.accepted);
+  EXPECT_EQ(decoded->rejected, ack.rejected);
+  EXPECT_EQ(decoded->error_code, ack.error_code);
+  EXPECT_EQ(decoded->error_message, ack.error_message);
+
+  // The all-clear ack (the common case) roundtrips too.
+  auto clean = DecodeSubmitAck(EncodeSubmitAck(SubmitAck{}));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->accepted, 0u);
+  EXPECT_EQ(clean->error_code, 0);
+  EXPECT_TRUE(clean->error_message.empty());
+}
+
+TEST(EnvelopeTest, ErrorReplyRoundtrip) {
+  ErrorReply error;
+  error.code = int32_t(StatusCode::kUnimplemented);
+  error.message = "server does not accept alert_outcome messages";
+  auto decoded = DecodeErrorReply(EncodeErrorReply(error));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->code, error.code);
+  EXPECT_EQ(decoded->message, error.message);
+}
+
+TEST(EnvelopeTest, ReplyMessagesRejectTruncationAndTagConfusion) {
+  std::vector<uint8_t> ack = EncodeSubmitAck(SubmitAck{});
+  std::vector<uint8_t> error =
+      EncodeErrorReply(ErrorReply{1, "boom"});
+  // Tag confusion both ways.
+  EXPECT_FALSE(DecodeErrorReply(ack).ok());
+  EXPECT_FALSE(DecodeSubmitAck(error).ok());
+  // Truncation inside the payload.
+  std::vector<uint8_t> cut(ack.begin(), ack.end() - 9);
+  EXPECT_FALSE(DecodeSubmitAck(cut).ok());
+  // Trailing garbage behind a refreshed checksum.
+  std::vector<uint8_t> payload(ack.begin() + 6, ack.end() - 8);
+  payload.push_back(0x77);
+  EXPECT_EQ(DecodeSubmitAck(Seal(MessageType::kSubmitAck, payload))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(EnvelopeTest, MessageTypeNamesCoverReplies) {
+  EXPECT_STREQ(MessageTypeName(MessageType::kSubmitAck), "submit_ack");
+  EXPECT_STREQ(MessageTypeName(MessageType::kError), "error");
 }
 
 }  // namespace

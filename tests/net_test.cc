@@ -1,0 +1,327 @@
+// Network front-end tests (src/net): FrameDecoder reassembly and
+// poisoning, the epoch-snapshot store wrapper, and loopback end-to-end
+// flows against a live AlertServer — submissions and alerts must be
+// observationally identical to an in-process ServiceProvider twin,
+// including across a server restart over a durable store.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alert/protocol.h"
+#include "api/log_store.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/snapshot_store.h"
+#include "prob/sigmoid.h"
+
+namespace sloc {
+namespace net {
+namespace {
+
+// ---------- FrameDecoder ----------
+
+std::vector<uint8_t> Framed(const std::vector<uint8_t>& envelope) {
+  std::vector<uint8_t> out;
+  AppendFrame(envelope, &out);
+  return out;
+}
+
+TEST(FrameDecoderTest, WholeFrameRoundtrips) {
+  FrameDecoder decoder(1 << 20);
+  const std::vector<uint8_t> envelope = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> stream = Framed(envelope);
+  ASSERT_TRUE(decoder.Feed(stream.data(), stream.size()).ok());
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(decoder.Next(&got));
+  EXPECT_EQ(got, envelope);
+  EXPECT_FALSE(decoder.Next(&got));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, ByteAtATimeAndCoalescedSplitsAgree) {
+  const std::vector<uint8_t> a = {9, 8, 7};
+  const std::vector<uint8_t> b(300, 0x5A);
+  std::vector<uint8_t> stream = Framed(a);
+  const std::vector<uint8_t> fb = Framed(b);
+  stream.insert(stream.end(), fb.begin(), fb.end());
+
+  // Worst-case fragmentation: one byte per Feed.
+  FrameDecoder trickle(1 << 20);
+  std::vector<std::vector<uint8_t>> got;
+  std::vector<uint8_t> envelope;
+  for (uint8_t byte : stream) {
+    ASSERT_TRUE(trickle.Feed(&byte, 1).ok());
+    while (trickle.Next(&envelope)) got.push_back(envelope);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], a);
+  EXPECT_EQ(got[1], b);
+
+  // Both frames in one read: same result.
+  FrameDecoder coalesced(1 << 20);
+  ASSERT_TRUE(coalesced.Feed(stream.data(), stream.size()).ok());
+  ASSERT_TRUE(coalesced.Next(&envelope));
+  EXPECT_EQ(envelope, a);
+  ASSERT_TRUE(coalesced.Next(&envelope));
+  EXPECT_EQ(envelope, b);
+  EXPECT_FALSE(coalesced.Next(&envelope));
+}
+
+TEST(FrameDecoderTest, PartialFrameIsBuffered) {
+  FrameDecoder decoder(1 << 20);
+  const std::vector<uint8_t> stream = Framed({1, 2, 3, 4});
+  ASSERT_TRUE(decoder.Feed(stream.data(), stream.size() - 1).ok());
+  std::vector<uint8_t> envelope;
+  EXPECT_FALSE(decoder.Next(&envelope));
+  EXPECT_GT(decoder.buffered_bytes(), 0u);
+  ASSERT_TRUE(decoder.Feed(stream.data() + stream.size() - 1, 1).ok());
+  ASSERT_TRUE(decoder.Next(&envelope));
+  EXPECT_EQ(envelope, std::vector<uint8_t>({1, 2, 3, 4}));
+}
+
+TEST(FrameDecoderTest, OversizeDeclaredLengthPoisons) {
+  FrameDecoder decoder(16);
+  // Declares 17 bytes against a 16-byte cap: rejected before any
+  // payload byte is buffered.
+  const uint8_t prefix[4] = {17, 0, 0, 0};
+  Status st = decoder.Feed(prefix, sizeof(prefix));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Poisoned: even a well-formed follow-up keeps failing.
+  const std::vector<uint8_t> fine = Framed({1});
+  EXPECT_FALSE(decoder.Feed(fine.data(), fine.size()).ok());
+}
+
+// ---------- End-to-end over loopback ----------
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PairingParamSpec spec;
+    spec.p_prime_bits = 32;
+    spec.q_prime_bits = 32;
+    spec.seed = 321;
+    group_ = std::make_shared<const PairingGroup>(
+        PairingGroup::Generate(spec).value());
+    auto encoder = MakeEncoder(EncoderKind::kHuffman).value();
+    Rng prng(5);
+    ASSERT_TRUE(
+        encoder->Build(GenerateSigmoidProbabilities(16, 0.9, 50, &prng))
+            .ok());
+    auto rng = std::make_shared<Rng>(99);
+    RandFn rand = [rng]() { return rng->NextU64(); };
+    ta_ = std::make_unique<alert::TrustedAuthority>(
+        alert::TrustedAuthority::Create(group_, std::move(encoder), rand)
+            .value());
+    user_ = std::make_unique<alert::MobileUser>(
+        alert::MobileUser::JoinFromAnnouncement(0, group_,
+                                                ta_->PublicKeyAnnouncement(),
+                                                ta_->marker(), rand)
+            .value());
+  }
+
+  api::LocationUpload UploadFor(int user_id, int cell) {
+    api::LocationUpload upload;
+    upload.user_id = user_id;
+    upload.ciphertext =
+        user_->EncryptLocation(ta_->IndexOfCell(cell).value()).value();
+    return upload;
+  }
+
+  std::unique_ptr<AlertServer> StartServer(
+      std::unique_ptr<api::CiphertextStore> store) {
+    AlertServer::Options options;
+    options.num_workers = 2;
+    options.scan_threads = 2;
+    return AlertServer::Start(group_, ta_->marker(), std::move(store),
+                              options)
+        .value();
+  }
+
+  std::shared_ptr<const PairingGroup> group_;
+  std::unique_ptr<alert::TrustedAuthority> ta_;
+  std::unique_ptr<alert::MobileUser> user_;
+};
+
+TEST_F(NetTest, SubmitAndAlertMatchInProcessTwin) {
+  const std::vector<std::pair<int, int>> placements = {
+      {1, 2}, {2, 3}, {3, 5}, {4, 2}, {5, 11}};
+
+  // In-process twin over the same uploads.
+  alert::ServiceProvider::Options sp_options;
+  sp_options.num_shards = 4;
+  sp_options.num_threads = 2;
+  alert::ServiceProvider twin(group_, ta_->marker(), sp_options);
+
+  auto server = StartServer(api::MakeStore(4));
+  AlertClient client = AlertClient::Connect(server->port()).value();
+
+  std::vector<api::LocationUpload> uploads;
+  for (const auto& [user, cell] : placements) {
+    uploads.push_back(UploadFor(user, cell));
+    ASSERT_TRUE(
+        twin.SubmitLocation(user, uploads.back().ciphertext).ok());
+  }
+  // One as a single upload, the rest as a batch: both ingest paths.
+  api::SubmitAck ack = client.SubmitUpload(
+      api::EncodeLocationUpload(uploads[0])).value();
+  EXPECT_EQ(ack.accepted, 1u);
+  EXPECT_EQ(ack.rejected, 0u);
+  ack = client
+            .SubmitBatch(std::vector<api::LocationUpload>(
+                uploads.begin() + 1, uploads.end()))
+            .value();
+  EXPECT_EQ(ack.accepted, uploads.size() - 1);
+  EXPECT_EQ(ack.rejected, 0u);
+
+  const std::vector<uint8_t> bundle =
+      ta_->IssueAlertBundle(7, {2, 3}).value();
+  api::OutcomeReport report = client.ProcessAlertBundle(bundle).value();
+  const auto expected = twin.ProcessAlert(
+      api::DecodeTokenBundle(bundle).value().tokens).value();
+  EXPECT_EQ(report.alert_id, 7u);
+  EXPECT_EQ(report.notified_users, expected.notified_users);
+  EXPECT_EQ(report.matches, expected.stats.matches);
+  EXPECT_EQ(report.resident_users, placements.size());
+  EXPECT_EQ(report.store_backend, "sharded/4");
+  ASSERT_FALSE(report.notified_users.empty());
+
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.uploads_accepted, placements.size());
+  EXPECT_EQ(stats.alerts_served, 1u);
+  EXPECT_EQ(stats.frames_received, 3u);
+}
+
+TEST_F(NetTest, GarbageBlobRejectedInAck) {
+  auto server = StartServer(api::MakeStore(2));
+  AlertClient client = AlertClient::Connect(server->port()).value();
+
+  std::vector<api::LocationUpload> uploads;
+  uploads.push_back(UploadFor(1, 2));
+  api::LocationUpload bad;
+  bad.user_id = 2;
+  bad.ciphertext = {1, 2, 3};  // not a ciphertext
+  uploads.push_back(bad);
+  uploads.push_back(UploadFor(3, 5));
+
+  api::SubmitAck ack = client.SubmitBatch(uploads).value();
+  EXPECT_EQ(ack.accepted, 2u);
+  EXPECT_EQ(ack.rejected, 1u);
+  EXPECT_NE(ack.error_code, 0);
+  EXPECT_FALSE(ack.error_message.empty());
+  // The rejected entry did not poison the rest of the batch.
+  api::OutcomeReport report =
+      client.ProcessAlertBundle(ta_->IssueAlertBundle(1, {2}).value())
+          .value();
+  EXPECT_EQ(report.resident_users, 2u);
+}
+
+TEST_F(NetTest, UnhandledMessageTypeGetsErrorReplyAndConnectionSurvives) {
+  auto server = StartServer(api::MakeStore(1));
+  AlertClient client = AlertClient::Connect(server->port()).value();
+
+  // A valid envelope of a type the server does not serve.
+  api::OutcomeReport stray;
+  stray.alert_id = 1;
+  auto reply = client.ProcessAlertBundle(
+      api::EncodeOutcomeReport(stray).value());
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnimplemented);
+
+  // Same connection still serves real requests afterwards.
+  api::SubmitAck ack = client.SubmitUpload(
+      api::EncodeLocationUpload(UploadFor(1, 2))).value();
+  EXPECT_EQ(ack.accepted, 1u);
+}
+
+TEST_F(NetTest, MalformedAlertBundleGetsErrorReply) {
+  auto server = StartServer(api::MakeStore(1));
+  AlertClient client = AlertClient::Connect(server->port()).value();
+  // Envelope-valid kAlertTokens frame whose payload is garbage.
+  const std::vector<uint8_t> frame =
+      api::Seal(api::MessageType::kAlertTokens, {0xFF, 0xFF, 0xFF});
+  auto reply = client.ProcessAlertBundle(frame);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(NetTest, PipelinedSubmissionsAckInOrder) {
+  auto server = StartServer(api::MakeStore(4));
+  AlertClient client = AlertClient::Connect(server->port()).value();
+  constexpr int kPipelined = 32;
+  for (int i = 0; i < kPipelined; ++i) {
+    ASSERT_TRUE(client
+                    .SendOnly(api::EncodeLocationUpload(
+                        UploadFor(i + 1, (i % 14) + 1)))
+                    .ok());
+  }
+  for (int i = 0; i < kPipelined; ++i) {
+    api::SubmitAck ack = client.DrainAck().value();
+    EXPECT_EQ(ack.accepted, 1u) << "reply " << i;
+  }
+  EXPECT_EQ(server->stats().uploads_accepted, uint64_t(kPipelined));
+}
+
+TEST_F(NetTest, RestartOverLogStoreServesIdenticalAlert) {
+  std::string dir = testing::TempDir() + "/net_restart_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+  auto open_store = [&] {
+    api::LogBackedStore::Options options;
+    options.num_shards = 2;
+    return api::LogBackedStore::Open(dir, group_, options).value();
+  };
+
+  const std::vector<uint8_t> bundle =
+      ta_->IssueAlertBundle(3, {2, 3}).value();
+  std::vector<int> before;
+  {
+    auto server = StartServer(open_store());
+    AlertClient client = AlertClient::Connect(server->port()).value();
+    std::vector<api::LocationUpload> uploads;
+    for (int u = 1; u <= 6; ++u) uploads.push_back(UploadFor(u, u + 1));
+    api::SubmitAck ack = client.SubmitBatch(uploads).value();
+    ASSERT_EQ(ack.accepted, 6u);
+    before = client.ProcessAlertBundle(bundle).value().notified_users;
+    ASSERT_FALSE(before.empty());
+    server->Stop();
+  }
+
+  auto server = StartServer(open_store());
+  AlertClient client = AlertClient::Connect(server->port()).value();
+  api::OutcomeReport after = client.ProcessAlertBundle(bundle).value();
+  EXPECT_EQ(after.notified_users, before);
+  EXPECT_EQ(after.resident_users, 6u);
+  EXPECT_EQ(after.store_backend, "log/sharded/2");
+}
+
+// ---------- EpochSnapshotStore ----------
+
+TEST(EpochSnapshotStoreTest, CountsEpochsAndForwardsIdentity) {
+  EpochSnapshotStore store(api::MakeStore(2));
+  EXPECT_EQ(store.name(), "sharded/2");
+  hve::Ciphertext ct;
+  store.Put(1, ct);
+  store.Put(2, ct);
+  store.Put(1, ct);  // replace: size stays, epoch advances
+  EXPECT_EQ(store.size(), 2u);
+  uint64_t total_epochs = 0;
+  for (size_t s = 0; s < store.num_shards(); ++s) total_epochs += store.epoch(s);
+  EXPECT_EQ(total_epochs, 3u);
+  EXPECT_TRUE(store.Erase(2));
+  EXPECT_FALSE(store.Erase(2));
+  EXPECT_EQ(store.size(), 1u);
+
+  size_t visited = 0;
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    store.VisitShard(s, [&](int, const hve::Ciphertext&) { ++visited; });
+  }
+  EXPECT_EQ(visited, 1u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sloc
