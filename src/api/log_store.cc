@@ -88,6 +88,27 @@ uint64_t ReadLe64(const std::vector<uint8_t>& b, size_t pos) {
   return v;
 }
 
+/// Upper bound on a plausible record payload. A record holds one
+/// serialized ciphertext plus a few header bytes; a length prefix
+/// claiming more than this is a corrupted prefix, not a large record.
+constexpr size_t kMaxRecordPayload = 64u << 20;
+
+/// True when a validly-checksummed, plausibly-sized record starts
+/// anywhere in [from, log.size()). Intact data after a bad stretch
+/// means mid-log corruption rather than a torn tail.
+bool HasValidRecordAfter(const std::vector<uint8_t>& log, size_t from) {
+  const size_t n = log.size();
+  for (size_t p = from; p + 12 <= n; ++p) {
+    const size_t len = ReadLe32(log, p);
+    if (len > kMaxRecordPayload) continue;
+    if (n - p - 4 < len || n - p - 4 - len < 8) continue;
+    if (wire::Fnv1a(log.data() + p + 4, len) == ReadLe64(log, p + 4 + len)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 LogBackedStore::LogBackedStore(std::string dir,
@@ -162,9 +183,11 @@ Status LogBackedStore::Recover() {
   }
 
   // 2. Replay the log over it. `valid_end` advances past every intact
-  // record; a bad record that runs to end-of-file is a torn append
-  // (crash mid-write) and is truncated away, a bad record with more
-  // log after it is corruption and rejects recovery.
+  // record; a bad record that runs to end-of-file WITH no valid record
+  // anywhere after it is a torn append (crash mid-write) and is
+  // truncated away. A bad record with intact data after it — trailing
+  // records, or a valid record boundary inside the extent a corrupted
+  // length prefix claims — is corruption and rejects recovery.
   std::vector<uint8_t> log;
   Status log_st = ReadFile(LogPath(dir_), &log);
   if (!log_st.ok()) {
@@ -180,17 +203,38 @@ Status LogBackedStore::Recover() {
     // torn tail.
     if (n - start < 4) break;
     const uint32_t len = ReadLe32(log, start);
-    if (n - start - 4 < size_t(len) || n - start - 4 - len < 8) break;
+    if (size_t(len) > kMaxRecordPayload) {
+      // No legitimate append ever writes a record this large, and a
+      // torn append leaves a correct prefix — this prefix is corrupt.
+      return Status::DataLoss("log record at byte " + std::to_string(start) +
+                              " declares an implausible " +
+                              std::to_string(len) +
+                              "-byte payload (corrupted length prefix)");
+    }
+    if (n - start - 4 < size_t(len) || n - start - 4 - len < 8) {
+      // Declared extent runs past end-of-file. Only a torn tail if
+      // nothing valid follows; otherwise the prefix swallowed real
+      // records.
+      if (HasValidRecordAfter(log, start + 1)) {
+        return Status::DataLoss(
+            "log record at byte " + std::to_string(start) +
+            " runs past end-of-file but intact records follow "
+            "(corrupted length prefix)");
+      }
+      break;
+    }
     const size_t payload_at = start + 4;
     const uint64_t want = ReadLe64(log, payload_at + len);
     const uint64_t got = wire::Fnv1a(log.data() + payload_at, len);
     const size_t record_end = payload_at + len + 8;
     if (got != want) {
-      if (record_end >= n) break;  // torn tail: garbage ran to EOF
+      // Torn tail only when the bad record is the last thing in the
+      // file and no valid record boundary hides inside its extent.
+      if (record_end >= n && !HasValidRecordAfter(log, start + 1)) break;
       return Status::DataLoss(
           "log record at byte " + std::to_string(start) +
-          " failed its checksum with " + std::to_string(n - record_end) +
-          " bytes of log after it (mid-log corruption)");
+          " failed its checksum with intact log after it "
+          "(mid-log corruption)");
     }
     wire::Reader r(log, payload_at, payload_at + len);
     SLOC_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
@@ -223,7 +267,7 @@ Status LogBackedStore::Recover() {
   return Status::Ok();
 }
 
-void LogBackedStore::Append(uint8_t kind, int user_id,
+bool LogBackedStore::Append(uint8_t kind, int user_id,
                             const std::vector<uint8_t>& blob) {
   wire::Writer payload;
   payload.U8(kind);
@@ -240,7 +284,7 @@ void LogBackedStore::Append(uint8_t kind, int user_id,
     if (io_status_.ok()) {
       io_status_ = Status::FailedPrecondition("log file is closed");
     }
-    return;
+    return false;
   }
   Status st = WriteAll(log_fd_, record.buf().data(), record.buf().size());
   if (st.ok() && options_.fsync_every_append && ::fsync(log_fd_) != 0) {
@@ -248,35 +292,37 @@ void LogBackedStore::Append(uint8_t kind, int user_id,
   }
   if (!st.ok()) {
     if (io_status_.ok()) io_status_ = st;
-    return;
+    return false;
   }
   log_bytes_ += record.buf().size();
-  if (options_.compact_log_bytes != 0 &&
-      log_bytes_ >= options_.compact_log_bytes) {
-    Status compacted = CompactLocked();
-    if (!compacted.ok() && io_status_.ok()) io_status_ = compacted;
-  }
+  return options_.compact_log_bytes != 0 &&
+         log_bytes_ >= options_.compact_log_bytes;
 }
 
 void LogBackedStore::Put(int user_id, hve::Ciphertext ct) {
-  // Serialize outside any lock (the expensive part), apply resident
-  // state under the shard lock, then log. Never hold a shard lock while
-  // taking log_mu_ — CompactLocked acquires shard locks under log_mu_.
+  // Serialize outside any lock (the expensive part). Resident apply and
+  // log append happen together under the shard lock, so for any one
+  // user the log order always matches the memory order — recovery can
+  // never resurrect a ciphertext the acked state had already replaced.
   const std::vector<uint8_t> blob = hve::SerializeCiphertext(*group_, ct);
+  bool compact_due;
   {
     std::lock_guard<std::mutex> lock(shard_mu_[mem_->ShardOf(user_id)]);
     mem_->Put(user_id, std::move(ct));
+    compact_due = Append(kRecordPut, user_id, blob);
   }
-  Append(kRecordPut, user_id, blob);
+  if (compact_due) AutoCompact();
 }
 
 bool LogBackedStore::Erase(int user_id) {
   bool existed;
+  bool compact_due = false;
   {
     std::lock_guard<std::mutex> lock(shard_mu_[mem_->ShardOf(user_id)]);
     existed = mem_->Erase(user_id);
+    if (existed) compact_due = Append(kRecordErase, user_id, {});
   }
-  if (existed) Append(kRecordErase, user_id, {});
+  if (compact_due) AutoCompact();
   return existed;
 }
 
@@ -287,16 +333,39 @@ void LogBackedStore::VisitShard(
   mem_->VisitShard(shard, fn);
 }
 
-Status LogBackedStore::CompactLocked() {
-  // Resident state is the source of truth: serialize every shard under
-  // its lock, write the snapshot atomically, then truncate the log.
+void LogBackedStore::AutoCompact() {
+  // Concurrent writers crossing the threshold together would all run
+  // the full-store sweep; one compactor at a time is enough (the log
+  // only shrinks when it succeeds).
+  if (compacting_.exchange(true)) return;
+  Status st = Compact();
+  compacting_.store(false);
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (io_status_.ok()) io_status_ = st;
+  }
+}
+
+Status LogBackedStore::Compact() {
+  // Resident state is the source of truth: hold EVERY shard lock plus
+  // the log lock for the sweep, so no append can land between the state
+  // serialization and the log truncation (such an append would be
+  // missing from both snapshot and log after recovery). Lock order is
+  // shards-in-index-order then log, matching Put/Erase's single-shard
+  // -> log order.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(mem_->num_shards());
+  for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
+    shard_locks.emplace_back(shard_mu_[shard]);
+  }
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
   wire::Writer w;
   w.Raw(kSnapshotMagic, 4);
   w.U8(kSnapshotVersion);
   size_t count = 0;
   wire::Writer entries;
   for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
-    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
     mem_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
       entries.I32(user_id);
       entries.Bytes(hve::SerializeCiphertext(*group_, ct));
@@ -314,12 +383,6 @@ Status LogBackedStore::CompactLocked() {
   if (::fsync(log_fd_) != 0) return Errno("fsync " + LogPath(dir_));
   log_bytes_ = 0;
   return Status::Ok();
-}
-
-Status LogBackedStore::Compact() {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
-  return CompactLocked();
 }
 
 Status LogBackedStore::io_status() const {

@@ -15,11 +15,14 @@
 //     log is truncated;
 //   * Open() recovers by loading the snapshot and replaying the log
 //     over it. A torn tail — an append cut short by a crash, i.e. an
-//     incomplete or checksum-failing record that runs to end-of-file —
-//     is truncated away and recovery succeeds with every fully-durable
-//     record intact. A bad record with more log after it is real
-//     corruption and fails recovery with DataLoss: silently skipping it
-//     could resurrect a stale location for a user.
+//     incomplete or checksum-failing record at end-of-file with no
+//     valid record anywhere after it — is truncated away and recovery
+//     succeeds with every fully-durable record intact. A bad record
+//     with intact data after it (trailing records, a valid record
+//     boundary inside the extent a corrupted length prefix claims, or
+//     an implausibly large declared length) is real corruption and
+//     fails recovery with DataLoss: silently skipping it could
+//     resurrect a stale location for a user.
 //
 // Record format (little-endian, via common/wire.h):
 //   u32 payload_len | payload | u64 fnv1a64(payload)
@@ -31,17 +34,22 @@
 //
 // Threading: stronger than the base CiphertextStore contract. Put,
 // Erase, Contains, VisitShard, and Compact are internally synchronized
-// (per-shard mutexes for resident state, one mutex for the log file),
-// because auto-compaction must read every shard while the net server's
-// per-shard ingest queues keep writing other shards. Lock order is
-// always shard -> (released) -> log -> shards-in-index-order, so the
-// compaction sweep cannot deadlock against appends. size() is an
+// (per-shard mutexes for resident state, one mutex for the log file).
+// A mutation applies to resident state AND appends its log record under
+// one shard-lock hold, so per-user log order always matches memory
+// order — two racing Puts for the same user can never ack one
+// ciphertext and recover the other. Lock order is always
+// shards-in-ascending-index-order -> log: Put/Erase take one shard then
+// the log, the compaction sweep takes every shard then the log, and
+// auto-compaction runs after the triggering append's shard lock is
+// released, so the sweep cannot deadlock against appends. size() is an
 // unsynchronized sum — exact once writers quiesce, approximate under
 // concurrency.
 
 #ifndef SLOC_API_LOG_STORE_H_
 #define SLOC_API_LOG_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -118,14 +126,18 @@ class LogBackedStore : public CiphertextStore {
                  const Options& options);
 
   /// Serializes and appends one record; latches io_status_ on failure.
-  void Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob);
+  /// Called with the mutation's shard lock held. Returns true when the
+  /// log has grown past the auto-compaction threshold (the caller
+  /// compacts after releasing its shard lock).
+  bool Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob);
 
   /// Loads snapshot + log into mem_. Truncates a torn log tail in
   /// place; rejects mid-log corruption.
   Status Recover();
 
-  /// Unlocked Compact body (log_mu_ must be held).
-  Status CompactLocked();
+  /// Threshold-triggered Compact(); collapses a stampede of concurrent
+  /// triggers to one sweep and latches io_status_ on failure.
+  void AutoCompact();
 
   std::string dir_;
   std::shared_ptr<const PairingGroup> group_;
@@ -138,6 +150,7 @@ class LogBackedStore : public CiphertextStore {
   int log_fd_ = -1;           ///< guarded by log_mu_
   size_t log_bytes_ = 0;      ///< appended since last snapshot
   Status io_status_;          ///< first I/O failure, latched
+  std::atomic<bool> compacting_{false};  ///< one auto-compactor at a time
 };
 
 }  // namespace api

@@ -69,14 +69,16 @@ Status AlertClient::SendOnly(const std::vector<uint8_t>& envelope) {
   AppendFrame(envelope, &framed);
   size_t sent = 0;
   while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a server that sheds this connection mid-send must
+    // surface EPIPE as a Status, not SIGPIPE the caller.
     const ssize_t n =
-        ::write(fd_, framed.data() + sent, framed.size() - sent);
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += size_t(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return Errno("write");
+    return Errno("send");
   }
   return Status::Ok();
 }

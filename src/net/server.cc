@@ -80,15 +80,29 @@ struct AlertServer::Impl {
   };
   std::vector<std::unique_ptr<ShardQueue>> shard_queues;
 
-  struct Task {
-    enum class Kind { kDrainShard, kScan };
-    Kind kind = Kind::kDrainShard;
-    size_t shard = 0;
-    // kScan only:
+  /// One kAlertTokens request awaiting its serialized scan.
+  struct ScanRequest {
     uint64_t conn_id = 0;
     uint64_t seq = 0;
     size_t request_bytes = 0;
     std::vector<uint8_t> frame;
+  };
+
+  /// Alert scans binned like shard ingest: `draining` guarantees a
+  /// single consumer, so at most ONE worker is ever occupied by scan
+  /// work no matter how many kAlertTokens requests are pipelined —
+  /// ingest drains (and their acks) always have workers left.
+  struct ScanQueue {
+    std::mutex mu;
+    std::deque<ScanRequest> items;
+    bool draining = false;
+  };
+  ScanQueue scan_queue;
+
+  struct Task {
+    enum class Kind { kDrainShard, kDrainScans };
+    Kind kind = Kind::kDrainShard;
+    size_t shard = 0;  // kDrainShard only
   };
   std::mutex tasks_mu;
   std::condition_variable tasks_cv;
@@ -103,11 +117,6 @@ struct AlertServer::Impl {
   };
   std::mutex replies_mu;
   std::vector<Reply> replies;
-
-  /// Scans serialize: the provider's token-table LRU is not safe under
-  /// concurrent ProcessAlert calls, and one scan already fans out over
-  /// Options::scan_threads workers.
-  std::mutex scan_mu;
 
   std::atomic<size_t> total_inflight{0};
   std::atomic<bool> running{false};
@@ -150,6 +159,11 @@ struct AlertServer::Impl {
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
   std::unordered_set<uint64_t> paused_conns;
   uint64_t next_conn_id = 1;
+  /// Listen fd disarmed after EMFILE/ENFILE (fd exhaustion). Re-armed
+  /// when a connection closes or on the next epoll timeout tick —
+  /// without this, level-triggered EPOLLIN on the unaccepted backlog
+  /// would spin the I/O thread at 100% CPU until an fd frees.
+  bool accept_paused = false;
 
   ~Impl() { StopThreads(); }
 
@@ -255,8 +269,8 @@ struct AlertServer::Impl {
         case Task::Kind::kDrainShard:
           DrainShard(task.shard);
           break;
-        case Task::Kind::kScan:
-          RunScan(task);
+        case Task::Kind::kDrainScans:
+          DrainScans();
           break;
       }
     }
@@ -325,11 +339,43 @@ struct AlertServer::Impl {
                api::EncodeSubmitAck(ack)});
   }
 
-  void RunScan(Task& task) {
-    std::vector<uint8_t> envelope;
+  /// I/O thread: queues a scan and wakes a drainer only when none is
+  /// already running.
+  void EnqueueScan(ScanRequest scan) {
+    bool start_drain = false;
     {
-      std::lock_guard<std::mutex> lock(scan_mu);
-      auto reply = provider->ProcessAlertBundle(task.frame);
+      std::lock_guard<std::mutex> lock(scan_queue.mu);
+      scan_queue.items.push_back(std::move(scan));
+      if (!scan_queue.draining) {
+        scan_queue.draining = true;
+        start_drain = true;
+      }
+    }
+    if (start_drain) {
+      Task task;
+      task.kind = Task::Kind::kDrainScans;
+      PushTask(std::move(task));
+    }
+  }
+
+  void DrainScans() {
+    while (true) {
+      ScanRequest scan;
+      {
+        std::lock_guard<std::mutex> lock(scan_queue.mu);
+        if (scan_queue.items.empty()) {
+          scan_queue.draining = false;
+          return;
+        }
+        scan = std::move(scan_queue.items.front());
+        scan_queue.items.pop_front();
+      }
+      // Single-drainer serialization doubles as the provider's safety
+      // contract: the token-table LRU is not safe under concurrent
+      // ProcessAlert calls, and one scan already fans out over
+      // Options::scan_threads workers of its own.
+      std::vector<uint8_t> envelope;
+      auto reply = provider->ProcessAlertBundle(scan.frame);
       if (reply.ok()) {
         envelope = std::move(reply).value();
       } else {
@@ -338,10 +384,10 @@ struct AlertServer::Impl {
         error.message = reply.status().message();
         envelope = api::EncodeErrorReply(error);
       }
+      stats.alerts_served.fetch_add(1, std::memory_order_relaxed);
+      PushReply({scan.conn_id, scan.seq, scan.request_bytes,
+                 std::move(envelope)});
     }
-    stats.alerts_served.fetch_add(1, std::memory_order_relaxed);
-    PushReply({task.conn_id, task.seq, task.request_bytes,
-               std::move(envelope)});
   }
 
   void PushReply(Reply reply) {
@@ -362,6 +408,10 @@ struct AlertServer::Impl {
       if (n < 0) {
         if (errno == EINTR) continue;
         break;  // epoll broken: nothing sensible left to do
+      }
+      if (n == 0) {
+        ResumeAcceptIfPaused();  // retry accepts after a quiet tick
+        continue;
       }
       for (int i = 0; i < n; ++i) {
         const uint64_t tag = events[i].data.u64;
@@ -389,11 +439,28 @@ struct AlertServer::Impl {
     }
   }
 
+  void ArmListen(bool on) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = on ? unsigned(EPOLLIN) : 0u;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, listen_fd, &ev);
+    accept_paused = !on;
+  }
+
+  void ResumeAcceptIfPaused() {
+    if (accept_paused) ArmListen(true);  // pending backlog re-fires EPOLLIN
+  }
+
   void AcceptAll() {
     while (true) {
       const int fd = ::accept4(listen_fd, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) return;  // EAGAIN or transient error: epoll will retry
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE) ArmListen(false);
+        return;  // EAGAIN or transient error: epoll will retry
+      }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       auto conn = std::make_unique<Connection>(options.max_frame_bytes);
@@ -428,6 +495,7 @@ struct AlertServer::Impl {
     stats.connections_closed.fetch_add(1, std::memory_order_relaxed);
     if (shed) stats.connections_shed.fetch_add(1, std::memory_order_relaxed);
     conns.erase(conn->id);  // destroys conn
+    ResumeAcceptIfPaused();  // an fd just freed up
   }
 
   void HandleRead(Connection* conn) {
@@ -480,32 +548,24 @@ struct AlertServer::Impl {
       case api::MessageType::kLocationUpload: {
         auto upload = api::DecodeLocationUpload(envelope);
         if (!upload.ok()) {
-          ReplyNow(conn, seq, bytes, AckForBadRequest(upload.status()));
-          break;
+          return ReplyNow(conn, seq, bytes, AckForBadRequest(upload.status()));
         }
         std::vector<api::LocationUpload> one;
         one.push_back(std::move(upload).value());
-        EnqueueIngest(conn, seq, bytes, std::move(one));
-        break;
+        return EnqueueIngest(conn, seq, bytes, std::move(one));
       }
       case api::MessageType::kLocationBatch: {
         auto uploads = api::DecodeLocationBatch(envelope);
         if (!uploads.ok()) {
-          ReplyNow(conn, seq, bytes, AckForBadRequest(uploads.status()));
-          break;
+          return ReplyNow(conn, seq, bytes,
+                          AckForBadRequest(uploads.status()));
         }
-        EnqueueIngest(conn, seq, bytes, std::move(uploads).value());
-        break;
+        return EnqueueIngest(conn, seq, bytes, std::move(uploads).value());
       }
       case api::MessageType::kAlertTokens: {
-        Task task;
-        task.kind = Task::Kind::kScan;
-        task.conn_id = conn->id;
-        task.seq = seq;
-        task.request_bytes = bytes;
-        task.frame = std::move(envelope);
-        PushTask(std::move(task));
-        break;
+        EnqueueScan(
+            ScanRequest{conn->id, seq, bytes, std::move(envelope)});
+        return true;
       }
       default: {
         // A valid envelope the server has no handler for (e.g. a stray
@@ -515,8 +575,7 @@ struct AlertServer::Impl {
         error.code = int32_t(StatusCode::kUnimplemented);
         error.message = std::string("server does not accept ") +
                         api::MessageTypeName(*type) + " messages";
-        ReplyNow(conn, seq, bytes, api::EncodeErrorReply(error));
-        break;
+        return ReplyNow(conn, seq, bytes, api::EncodeErrorReply(error));
       }
     }
     return true;
@@ -529,15 +588,16 @@ struct AlertServer::Impl {
     return api::EncodeSubmitAck(ack);
   }
 
-  void EnqueueIngest(Connection* conn, uint64_t seq, size_t bytes,
+  /// Bins the uploads into per-shard queues. Returns false when an
+  /// immediate reply (empty batch) closed the connection.
+  bool EnqueueIngest(Connection* conn, uint64_t seq, size_t bytes,
                      std::vector<api::LocationUpload> uploads) {
     auto req = std::make_shared<RequestState>();
     req->conn_id = conn->id;
     req->seq = seq;
     req->request_bytes = bytes;
     if (uploads.empty()) {
-      ReplyNow(conn, seq, bytes, api::EncodeSubmitAck({}));
-      return;
+      return ReplyNow(conn, seq, bytes, api::EncodeSubmitAck({}));
     }
     req->remaining.store(uploads.size(), std::memory_order_relaxed);
     std::vector<size_t> touched;
@@ -558,13 +618,16 @@ struct AlertServer::Impl {
       task.shard = shard;
       PushTask(std::move(task));
     }
+    return true;
   }
 
   /// Immediate reply from the I/O thread (decode errors, empty acks):
-  /// same ordered-reply path as worker completions.
-  void ReplyNow(Connection* conn, uint64_t seq, size_t bytes,
+  /// same ordered-reply path as worker completions. Returns false when
+  /// delivery closed the connection (write error, slow-consumer shed) —
+  /// `conn` is destroyed and the caller must stop touching it.
+  bool ReplyNow(Connection* conn, uint64_t seq, size_t bytes,
                 std::vector<uint8_t> envelope) {
-    DeliverOne({conn->id, seq, bytes, std::move(envelope)});
+    return DeliverOne({conn->id, seq, bytes, std::move(envelope)});
   }
 
   void DeliverReplies() {
@@ -585,10 +648,15 @@ struct AlertServer::Impl {
     }
   }
 
-  void DeliverOne(Reply reply) {
+  /// Queues one completed reply onto its connection's ordered write
+  /// path and flushes. Returns false when the connection no longer
+  /// exists — it died before delivery, or delivery itself closed it
+  /// (write error or slow-consumer shed) and freed the Connection.
+  bool DeliverOne(Reply reply) {
+    const uint64_t conn_id = reply.conn_id;
     total_inflight.fetch_sub(reply.request_bytes, std::memory_order_relaxed);
-    auto it = conns.find(reply.conn_id);
-    if (it == conns.end()) return;  // connection died first
+    auto it = conns.find(conn_id);
+    if (it == conns.end()) return false;  // connection died first
     Connection* conn = it->second.get();
     conn->held.emplace(reply.seq, std::move(reply));
     // Flush every reply that is next in request order.
@@ -601,17 +669,22 @@ struct AlertServer::Impl {
       conn->held.erase(next);
       ++conn->next_reply;
     }
-    if (!FlushWrites(conn)) return;  // closed (write error or shed)
+    if (!FlushWrites(conn)) return false;  // closed (write error or shed)
     UpdateBackpressure(conn);
+    // Unpausing inside UpdateBackpressure re-enters HandleRead, which
+    // can itself close the connection — re-check before vouching.
+    return conns.find(conn_id) != conns.end();
   }
 
   /// Writes as much buffered output as the socket takes. Returns false
   /// when the connection was closed (error or slow-consumer shed).
   bool FlushWrites(Connection* conn) {
     while (conn->write_pos < conn->write_buf.size()) {
+      // MSG_NOSIGNAL: a peer that resets mid-reply must surface EPIPE
+      // here, not SIGPIPE the whole process.
       const ssize_t n =
-          ::write(conn->fd, conn->write_buf.data() + conn->write_pos,
-                  conn->write_buf.size() - conn->write_pos);
+          ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
+                 conn->write_buf.size() - conn->write_pos, MSG_NOSIGNAL);
       if (n > 0) {
         conn->write_pos += size_t(n);
         continue;

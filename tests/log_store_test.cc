@@ -11,10 +11,12 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alert/protocol.h"
 #include "api/log_store.h"
+#include "hve/serialize.h"
 #include "prob/sigmoid.h"
 
 namespace sloc {
@@ -144,6 +146,85 @@ TEST_F(LogStoreTest, MidLogCorruptionRejected) {
   auto reopened = Open();
   ASSERT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, ImplausibleLengthPrefixRejected) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+  }
+  // Overwrite the FIRST record's length prefix with an absurd size. A
+  // torn append always leaves a correct prefix, so this is corruption —
+  // recovery must not silently truncate away both (valid!) records.
+  std::vector<uint8_t> log = Slurp(LogPath());
+  log[0] = log[1] = log[2] = log[3] = 0xFF;
+  Dump(LogPath(), log);
+
+  auto reopened = Open();
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, LengthPrefixSwallowingValidRecordsRejected) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+  }
+  // Corrupt the first record's length to a plausible value whose extent
+  // runs to end-of-file, swallowing the intact second record. The valid
+  // record boundary inside the claimed extent proves mid-log corruption
+  // — this must NOT be treated as a torn tail.
+  std::vector<uint8_t> log = Slurp(LogPath());
+  const uint32_t bogus_len = uint32_t(log.size());  // way past EOF
+  log[0] = uint8_t(bogus_len);
+  log[1] = uint8_t(bogus_len >> 8);
+  log[2] = uint8_t(bogus_len >> 16);
+  log[3] = uint8_t(bogus_len >> 24);
+  Dump(LogPath(), log);
+
+  auto reopened = Open();
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, ConcurrentSameUserPutsRecoverToAckedState) {
+  // Hammer one user from several threads, remember which ciphertext the
+  // resident store ended up with, then reopen: recovery must agree with
+  // the acked resident state (the WAL append happens under the same
+  // shard-lock hold as the memory apply, so the log cannot record
+  // racing Puts in the opposite order and resurrect the loser).
+  const std::vector<int> cells = {2, 3, 5, 7, 11, 13};
+  const auto serialized_user1 = [&](LogBackedStore& store) {
+    std::vector<uint8_t> blob;
+    store.VisitShard(store.ShardOf(1),
+                     [&](int user_id, const hve::Ciphertext& ct) {
+                       if (user_id == 1) {
+                         blob = hve::SerializeCiphertext(*group_, ct);
+                       }
+                     });
+    return blob;
+  };
+  std::vector<uint8_t> resident;
+  {
+    auto store = Open().value();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 8; ++i) {
+          store->Put(1, CtFor(cells[size_t(t * 8 + i) % cells.size()]));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ASSERT_TRUE(store->io_status().ok());
+    resident = serialized_user1(*store);
+  }
+  ASSERT_FALSE(resident.empty());
+  auto reopened = Open().value();
+  EXPECT_EQ(reopened->size(), 1u);
+  EXPECT_EQ(serialized_user1(*reopened), resident);
 }
 
 TEST_F(LogStoreTest, CompactThenMorePutsReplayOverSnapshot) {

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alert/protocol.h"
@@ -264,6 +266,44 @@ TEST_F(NetTest, PipelinedSubmissionsAckInOrder) {
     EXPECT_EQ(ack.accepted, 1u) << "reply " << i;
   }
   EXPECT_EQ(server->stats().uploads_accepted, uint64_t(kPipelined));
+}
+
+TEST_F(NetTest, ConnectionDroppedMidReplyBurstDoesNotPoisonServer) {
+  // Regression for a use-after-free: a burst of immediate replies
+  // (unhandled-type errors) processed in one HandleRead pass, with the
+  // peer already gone, makes a mid-burst reply write fail and close the
+  // connection while later frames from the same read are still being
+  // routed. The server must drop the rest of the burst cleanly (run
+  // under ASan to catch the freed-Connection access) and keep serving.
+  auto server = StartServer(api::MakeStore(2));
+  {
+    AlertClient client = AlertClient::Connect(server->port()).value();
+    api::OutcomeReport stray;
+    stray.alert_id = 1;
+    const std::vector<uint8_t> frame =
+        api::EncodeOutcomeReport(stray).value();
+    for (int i = 0; i < 256; ++i) ASSERT_TRUE(client.SendOnly(frame).ok());
+    // Give some replies time to land in the client's receive buffer:
+    // closing with unread data makes the kernel send RST, so the
+    // server's next reply write fails while later frames of the same
+    // burst are still being routed.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Destroys the client: its fd closes with every reply unread.
+  }
+  // The dead connection is reaped (promptly on a reply-write failure,
+  // otherwise on the read of EOF).
+  for (int spin = 0; spin < 500 && server->stats().connections_closed == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->stats().connections_closed, 1u);
+
+  // A fresh connection is served normally afterwards.
+  AlertClient client = AlertClient::Connect(server->port()).value();
+  api::SubmitAck ack =
+      client.SubmitUpload(api::EncodeLocationUpload(UploadFor(1, 2)))
+          .value();
+  EXPECT_EQ(ack.accepted, 1u);
 }
 
 TEST_F(NetTest, RestartOverLogStoreServesIdenticalAlert) {
