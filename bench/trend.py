@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Nightly bench-trend aggregator.
+
+Folds one night's BENCH_*.json results into a rolling per-metric
+history file and flags *drift*: slow regressions that stay inside the
+per-run 25% gate of check_regression.py but accumulate across nights.
+Each metric's newest value is compared against the median of its prior
+history window; a drift alert fires when the value moved more than
+--drift (default 10%) in the bad direction.
+
+Metric direction is inferred from the name: throughput-like metrics
+(*_per_sec, speedup_*, evals_per_sec, pairings_per_sec) are
+higher-is-better; cost-like metrics (*_ms, *_seconds, *_allocs,
+allocs_*, *_bytes) are lower-is-better. Metrics that match neither
+family are recorded in the history but never alerted on.
+
+Usage:
+  trend.py [--history=PATH] [--drift=0.10] [--window=14] [--strict] \
+      [--run-id=ID] BENCH_*.json...
+
+Writes the updated history back to --history (default
+trend-history.json). Exits 0 even when drift is detected unless
+--strict is given — the nightly job records drift in the log and the
+uploaded history without going red.
+"""
+
+import json
+import math
+import os
+import statistics
+import sys
+
+HIGHER_IS_BETTER = ("_per_sec", "per_sec", "speedup")
+LOWER_IS_BETTER = ("_ms", "ms", "_seconds", "seconds", "allocs", "bytes")
+
+
+def direction(metric):
+    """+1 higher-is-better, -1 lower-is-better, 0 untracked."""
+    leaf = metric.rsplit(".", 1)[-1]
+    for marker in HIGHER_IS_BETTER:
+        if marker in leaf:
+            return +1
+    for marker in LOWER_IS_BETTER:
+        if leaf == marker or leaf.endswith(marker) or \
+                leaf.startswith(marker):
+            return -1
+    return 0
+
+
+def flatten(prefix, node, out):
+    """Collects every numeric leaf of a JSON tree under dotted keys."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(f"{prefix}.{key}" if prefix else key, value, out)
+    elif isinstance(node, bool):
+        pass  # bools are config, not metrics
+    elif isinstance(node, (int, float)):
+        if isinstance(node, float) and not math.isfinite(node):
+            return
+        out[prefix] = float(node)
+
+
+def label_of(path):
+    """BENCH_pairing_engine_384.json -> pairing_engine_384."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def main(argv):
+    history_path = "trend-history.json"
+    drift = 0.10
+    window = 14
+    strict = False
+    run_id = ""
+    bench_paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--history="):
+            history_path = arg.split("=", 1)[1]
+        elif arg.startswith("--drift="):
+            drift = float(arg.split("=", 1)[1])
+        elif arg.startswith("--window="):
+            window = int(arg.split("=", 1)[1])
+        elif arg.startswith("--run-id="):
+            run_id = arg.split("=", 1)[1]
+        elif arg == "--strict":
+            strict = True
+        else:
+            bench_paths.append(arg)
+    if not bench_paths:
+        print(__doc__)
+        return 2
+
+    # Current night's metrics, namespaced by bench label.
+    metrics = {}
+    for path in bench_paths:
+        with open(path) as f:
+            bench = json.load(f)
+        flat = {}
+        flatten("", bench, flat)
+        label = label_of(path)
+        for key, value in flat.items():
+            if key.startswith("params.") or key == "tolerance":
+                continue  # workload shape, not a measurement
+            metrics[f"{label}.{key}"] = value
+
+    history = {"runs": []}
+    if os.path.exists(history_path):
+        with open(history_path) as f:
+            history = json.load(f)
+    prior_runs = history.get("runs", [])
+
+    alerts = []
+    tracked = 0
+    for metric, value in sorted(metrics.items()):
+        sign = direction(metric)
+        if sign == 0:
+            continue
+        prior = [run["metrics"][metric] for run in prior_runs[-window:]
+                 if metric in run.get("metrics", {})]
+        if len(prior) < 2:
+            continue  # not enough history to call anything drift
+        tracked += 1
+        baseline = statistics.median(prior)
+        if baseline == 0:
+            continue
+        # Positive change = got better in this metric's direction.
+        change = sign * (value - baseline) / abs(baseline)
+        marker = "DRIFT" if change < -drift else "ok   "
+        print(f"{marker} {metric}: {value:.4g} vs median {baseline:.4g} "
+              f"over {len(prior)} runs ({change:+.1%})")
+        if change < -drift:
+            alerts.append(
+                f"{metric} drifted {change:+.1%} (value {value:.4g}, "
+                f"median {baseline:.4g} over {len(prior)} runs)")
+
+    history["runs"] = prior_runs + [{"run_id": run_id, "metrics": metrics}]
+    # Bound the file: keep a generous multiple of the drift window.
+    history["runs"] = history["runs"][-max(10 * window, 100):]
+    with open(history_path, "w") as f:
+        json.dump(history, f, indent=1)
+        f.write("\n")
+
+    print(f"\nfolded {len(metrics)} metrics from {len(bench_paths)} "
+          f"bench file(s) into {history_path} "
+          f"({len(history['runs'])} runs, {tracked} drift-tracked)")
+    if alerts:
+        print("\nDRIFT ALERTS (inside the per-run gate, but trending):")
+        for alert in alerts:
+            print(f"  - {alert}")
+        return 1 if strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

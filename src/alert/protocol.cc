@@ -434,30 +434,39 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
       hve::EvalView view;
       Fp2Elem expected;  // C' * marker^-1; match iff ratio equals this
     };
-    std::vector<BufferedCt> buffer;
-    buffer.reserve(flush_cts);
+    // The buffer is a fixed slab of `flush_cts` slots plus a fill count:
+    // slots are refilled in place (MakeEvalView reuses each view's
+    // coordinate buffers), so after the first flush a worker's whole
+    // steady-state round — view extraction, Miller walks, batch final
+    // exponentiation — runs without heap allocation.
+    std::vector<BufferedCt> buffer(flush_cts);
+    size_t buffered = 0;
     std::vector<Fp2Elem> millers;
+    millers.reserve(flush_cts);
     std::vector<size_t> alive, next_alive;
+    alive.reserve(flush_cts);
+    next_alive.reserve(flush_cts);
+    hve::QueryScratch scratch;
 
     auto flush = [&]() {
-      if (buffer.empty()) return;
-      alive.resize(buffer.size());
-      for (size_t i = 0; i < buffer.size(); ++i) alive[i] = i;
+      if (buffered == 0) return;
+      alive.resize(buffered);
+      for (size_t i = 0; i < buffered; ++i) alive[i] = i;
       for (size_t k = 0; k < tokens.size() && !alive.empty(); ++k) {
         millers.clear();
         for (size_t idx : alive) {
           Result<Fp2Elem> ratio = hve::QueryMillerPrecompiledView(
-              *group_, *precompiled[k], layout, buffer[idx].view);
+              *group_, *precompiled[k], layout, buffer[idx].view, &scratch);
           if (!ratio.ok()) {
             scan.status = ratio.status();
             abort.store(true, std::memory_order_relaxed);
-            buffer.clear();
+            buffered = 0;
             return;
           }
           millers.push_back(std::move(*ratio));
         }
         BatchFinalExponentiation(group_->fp2(), group_->params().cofactor,
-                                 &millers);
+                                 &millers, &scratch.pairing);
         next_alive.clear();
         const size_t cost = hve::QueryPairingCost(tokens[k]);
         for (size_t pos = 0; pos < alive.size(); ++pos) {
@@ -473,7 +482,7 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
         }
         std::swap(alive, next_alive);
       }
-      buffer.clear();
+      buffered = 0;
     };
 
     for (size_t shard = worker; shard < num_shards; shard += num_workers) {
@@ -484,16 +493,17 @@ Result<ServiceProvider::AlertOutcome> ServiceProvider::ProcessAlert(
         // No tokens: nothing to evaluate (and no width to validate
         // against), matching the per-query engines' empty-bundle scan.
         if (tokens.empty()) return;
-        Result<hve::EvalView> view = hve::MakeEvalView(*group_, layout, ct);
-        if (!view.ok()) {
-          scan.status = view.status();
+        BufferedCt& slot = buffer[buffered];
+        Status view_status =
+            hve::MakeEvalView(*group_, layout, ct, &slot.view);
+        if (!view_status.ok()) {
+          scan.status = view_status;
           abort.store(true, std::memory_order_relaxed);
           return;
         }
-        Fp2Elem expected = group_->GtMul(ct.c_prime, marker_inv_);
-        buffer.push_back(BufferedCt{user_id, std::move(*view),
-                                    std::move(expected)});
-        if (buffer.size() >= flush_cts) flush();
+        slot.user_id = user_id;
+        slot.expected = group_->GtMul(ct.c_prime, marker_inv_);
+        if (++buffered >= flush_cts) flush();
       });
     }
     if (!abort.load(std::memory_order_relaxed)) flush();

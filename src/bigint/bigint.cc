@@ -35,12 +35,16 @@ BigInt BigInt::FromU64(uint64_t v) {
   return out;
 }
 
-BigInt BigInt::FromLimbs(std::vector<uint64_t> limbs, bool negative) {
+BigInt BigInt::FromLimbs(LimbVec limbs, bool negative) {
   BigInt out;
   out.limbs_ = std::move(limbs);
   out.negative_ = negative;
   out.Normalize();
   return out;
+}
+
+BigInt BigInt::FromLimbs(const std::vector<uint64_t>& limbs, bool negative) {
+  return FromLimbs(LimbVec(limbs), negative);
 }
 
 void BigInt::Normalize() {
@@ -77,11 +81,10 @@ int BigInt::Cmp(const BigInt& a, const BigInt& b) {
 
 // ---- magnitude arithmetic ----
 
-std::vector<uint64_t> BigInt::AddMag(const std::vector<uint64_t>& a,
-                                     const std::vector<uint64_t>& b) {
-  const std::vector<uint64_t>& big = a.size() >= b.size() ? a : b;
-  const std::vector<uint64_t>& small = a.size() >= b.size() ? b : a;
-  std::vector<uint64_t> out(big.size() + 1, 0);
+LimbVec BigInt::AddMag(const LimbVec& a, const LimbVec& b) {
+  const LimbVec& big = a.size() >= b.size() ? a : b;
+  const LimbVec& small = a.size() >= b.size() ? b : a;
+  LimbVec out(big.size() + 1, 0);
   uint64_t carry = 0;
   for (size_t i = 0; i < big.size(); ++i) {
     u128 sum = static_cast<u128>(big[i]) + carry;
@@ -93,9 +96,8 @@ std::vector<uint64_t> BigInt::AddMag(const std::vector<uint64_t>& a,
   return out;
 }
 
-std::vector<uint64_t> BigInt::SubMag(const std::vector<uint64_t>& a,
-                                     const std::vector<uint64_t>& b) {
-  std::vector<uint64_t> out(a.size(), 0);
+LimbVec BigInt::SubMag(const LimbVec& a, const LimbVec& b) {
+  LimbVec out(a.size(), 0);
   uint64_t borrow = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     uint64_t bi = i < b.size() ? b[i] : 0;
@@ -111,10 +113,9 @@ std::vector<uint64_t> BigInt::SubMag(const std::vector<uint64_t>& a,
   return out;
 }
 
-std::vector<uint64_t> BigInt::MulMag(const std::vector<uint64_t>& a,
-                                     const std::vector<uint64_t>& b) {
+LimbVec BigInt::MulMag(const LimbVec& a, const LimbVec& b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<uint64_t> out(a.size() + b.size(), 0);
+  LimbVec out(a.size() + b.size(), 0);
   for (size_t i = 0; i < a.size(); ++i) {
     uint64_t carry = 0;
     uint64_t ai = a[i];
@@ -130,15 +131,13 @@ std::vector<uint64_t> BigInt::MulMag(const std::vector<uint64_t>& a,
 }
 
 // Knuth TAOCP vol 2, Algorithm D (division of magnitudes).
-void BigInt::DivModMag(const std::vector<uint64_t>& u_in,
-                       const std::vector<uint64_t>& v_in,
-                       std::vector<uint64_t>* q_out,
-                       std::vector<uint64_t>* r_out) {
+void BigInt::DivModMag(const LimbVec& u_in, const LimbVec& v_in,
+                       LimbVec* q_out, LimbVec* r_out) {
   SLOC_CHECK(!v_in.empty()) << "division by zero";
   // Fast path: divisor fits in one limb.
   if (v_in.size() == 1) {
     uint64_t d = v_in[0];
-    std::vector<uint64_t> q(u_in.size(), 0);
+    LimbVec q(u_in.size(), 0);
     uint64_t rem = 0;
     for (size_t i = u_in.size(); i-- > 0;) {
       u128 cur = (static_cast<u128>(rem) << 64) | u_in[i];
@@ -146,7 +145,7 @@ void BigInt::DivModMag(const std::vector<uint64_t>& u_in,
       rem = static_cast<uint64_t>(cur % d);
     }
     *q_out = std::move(q);
-    *r_out = rem ? std::vector<uint64_t>{rem} : std::vector<uint64_t>{};
+    *r_out = rem ? LimbVec{rem} : LimbVec{};
     return;
   }
   // |u| < |v| -> q=0, r=u.
@@ -161,7 +160,7 @@ void BigInt::DivModMag(const std::vector<uint64_t>& u_in,
 
   // D1: normalize so the top limb of v has its high bit set.
   const int s = Clz64(v_in.back());
-  std::vector<uint64_t> v(n);
+  LimbVec v(n);
   if (s == 0) {
     v = v_in;
   } else {
@@ -170,7 +169,7 @@ void BigInt::DivModMag(const std::vector<uint64_t>& u_in,
     }
     v[0] = v_in[0] << s;
   }
-  std::vector<uint64_t> u(u_in.size() + 1, 0);
+  LimbVec u(u_in.size() + 1, 0);
   if (s == 0) {
     std::copy(u_in.begin(), u_in.end(), u.begin());
   } else {
@@ -181,7 +180,7 @@ void BigInt::DivModMag(const std::vector<uint64_t>& u_in,
     u[0] = u_in[0] << s;
   }
 
-  std::vector<uint64_t> q(m + 1, 0);
+  LimbVec q(m + 1, 0);
   const uint64_t vn1 = v[n - 1];
   const uint64_t vn2 = v[n - 2];
 
@@ -228,7 +227,7 @@ void BigInt::DivModMag(const std::vector<uint64_t>& u_in,
   }
 
   // D8: denormalize remainder.
-  std::vector<uint64_t> r(n, 0);
+  LimbVec r(n, 0);
   if (s == 0) {
     std::copy(u.begin(), u.begin() + static_cast<long>(n), r.begin());
   } else {
@@ -282,7 +281,7 @@ BigInt BigInt::operator*(const BigInt& o) const {
 void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
                     BigInt* quotient, BigInt* remainder) {
   SLOC_CHECK(!divisor.IsZero()) << "division by zero";
-  std::vector<uint64_t> q, r;
+  LimbVec q, r;
   DivModMag(dividend.limbs_, divisor.limbs_, &q, &r);
   BigInt qq = FromLimbs(std::move(q),
                         dividend.negative_ != divisor.negative_);
@@ -307,7 +306,7 @@ BigInt BigInt::operator<<(size_t bits) const {
   if (IsZero() || bits == 0) return *this;
   const size_t limb_shift = bits / 64;
   const size_t bit_shift = bits % 64;
-  std::vector<uint64_t> out(limbs_.size() + limb_shift + 1, 0);
+  LimbVec out(limbs_.size() + limb_shift + 1, 0);
   for (size_t i = 0; i < limbs_.size(); ++i) {
     out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
     if (bit_shift != 0) {
@@ -322,7 +321,7 @@ BigInt BigInt::operator>>(size_t bits) const {
   const size_t limb_shift = bits / 64;
   const size_t bit_shift = bits % 64;
   if (limb_shift >= limbs_.size()) return BigInt();
-  std::vector<uint64_t> out(limbs_.size() - limb_shift, 0);
+  LimbVec out(limbs_.size() - limb_shift, 0);
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
@@ -564,7 +563,7 @@ BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
 BigInt BigInt::Random(size_t bits, const RandFn& rand) {
   SLOC_CHECK_GT(bits, 0u);
   const size_t limbs = (bits + 63) / 64;
-  std::vector<uint64_t> v(limbs);
+  LimbVec v(limbs);
   for (auto& limb : v) limb = rand();
   const size_t top_bits = bits - (limbs - 1) * 64;
   if (top_bits < 64) v.back() &= (1ULL << top_bits) - 1;
@@ -573,9 +572,16 @@ BigInt BigInt::Random(size_t bits, const RandFn& rand) {
 }
 
 std::vector<int8_t> BigInt::ToWnaf(unsigned width) const {
+  std::vector<int8_t> digits;
+  ToWnaf(width, &digits);
+  return digits;
+}
+
+void BigInt::ToWnaf(unsigned width, std::vector<int8_t>* digits_out) const {
   SLOC_CHECK(width >= 2 && width <= 7) << "unsupported wNAF width";
   const size_t bits = BitLength();
-  std::vector<int8_t> digits(bits + 1, 0);
+  std::vector<int8_t>& digits = *digits_out;
+  digits.assign(bits + 1, 0);
   const int32_t full = int32_t(1) << width;
   int carry = 0;
   size_t i = 0;
@@ -601,7 +607,6 @@ std::vector<int8_t> BigInt::ToWnaf(unsigned width) const {
     }
     i += width;
   }
-  return digits;
 }
 
 BigInt BigInt::RandomBelow(const BigInt& bound, const RandFn& rand) {
@@ -613,7 +618,7 @@ BigInt BigInt::RandomBelow(const BigInt& bound, const RandFn& rand) {
       top_bits >= 64 ? ~0ULL : ((1ULL << top_bits) - 1);
   // Rejection sampling: uniform in [0, 2^bits) until < bound.
   for (;;) {
-    std::vector<uint64_t> v(limbs);
+    LimbVec v(limbs);
     for (auto& limb : v) limb = rand();
     v.back() &= mask;
     BigInt candidate = FromLimbs(std::move(v));

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bigint/limb_vec.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -38,8 +39,10 @@ class BigInt {
   /// From unsigned 64-bit value.
   static BigInt FromU64(uint64_t v);
 
-  /// From little-endian limb vector (takes ownership, normalizes).
-  static BigInt FromLimbs(std::vector<uint64_t> limbs, bool negative = false);
+  /// From little-endian limb storage (takes ownership, normalizes).
+  static BigInt FromLimbs(LimbVec limbs, bool negative = false);
+  static BigInt FromLimbs(const std::vector<uint64_t>& limbs,
+                          bool negative = false);
 
   /// Parses decimal (optionally "-" prefixed) text.
   static Result<BigInt> FromDecimal(const std::string& s);
@@ -68,7 +71,7 @@ class BigInt {
   bool Bit(size_t i) const;
 
   size_t NumLimbs() const { return limbs_.size(); }
-  const std::vector<uint64_t>& limbs() const { return limbs_; }
+  const LimbVec& limbs() const { return limbs_; }
 
   // ---- Comparison (by value, sign-aware) ----
   /// -1, 0, +1 as a <, ==, > b.
@@ -149,22 +152,23 @@ class BigInt {
   /// Requires 2 <= width <= 7.
   std::vector<int8_t> ToWnaf(unsigned width) const;
 
+  /// Recodes into caller-provided scratch (resized/overwritten), so
+  /// ladders that recode per scalar can reuse one digit buffer instead
+  /// of allocating a fresh vector each call.
+  void ToWnaf(unsigned width, std::vector<int8_t>* digits) const;
+
  private:
   void Normalize();
 
   // Magnitude helpers (ignore sign).
-  static std::vector<uint64_t> AddMag(const std::vector<uint64_t>& a,
-                                      const std::vector<uint64_t>& b);
+  static LimbVec AddMag(const LimbVec& a, const LimbVec& b);
   // Precondition: |a| >= |b|.
-  static std::vector<uint64_t> SubMag(const std::vector<uint64_t>& a,
-                                      const std::vector<uint64_t>& b);
-  static std::vector<uint64_t> MulMag(const std::vector<uint64_t>& a,
-                                      const std::vector<uint64_t>& b);
-  static void DivModMag(const std::vector<uint64_t>& u,
-                        const std::vector<uint64_t>& v,
-                        std::vector<uint64_t>* q, std::vector<uint64_t>* r);
+  static LimbVec SubMag(const LimbVec& a, const LimbVec& b);
+  static LimbVec MulMag(const LimbVec& a, const LimbVec& b);
+  static void DivModMag(const LimbVec& u, const LimbVec& v, LimbVec* q,
+                        LimbVec* r);
 
-  std::vector<uint64_t> limbs_;
+  LimbVec limbs_;
   bool negative_ = false;
 };
 

@@ -1,0 +1,197 @@
+// Small-buffer limb storage for the numeric hot path.
+//
+// LimbVec is a vector<uint64_t> lookalike with 8 limbs of inline
+// storage — enough for every supported modulus (512 bits at 8x64), so
+// a BigInt scalar, a Montgomery/Fp residue, an Fp2 component, and a
+// Jacobian coordinate all live entirely inside their owning object
+// with ZERO heap traffic. Only oversized intermediates spill: the
+// 2k-limb pre-REDC product of the generic kernel, multi-word decimal
+// parsing, division scratch. This is the mp++ small-value idiom: a
+// fixed static capacity of inline limbs, heap only beyond it.
+//
+// Spill rules:
+//  * size() <= kInlineCapacity  ->  data() points at the inline array,
+//    no allocation ever happens (construction, copy, move, resize
+//    within capacity are all alloc-free).
+//  * first growth beyond kInlineCapacity allocates; capacity then
+//    doubles like a vector. Shrinking (resize/clear/pop_back) never
+//    releases the spill buffer — a reused scratch LimbVec reaches its
+//    high-water mark once and stays alloc-free thereafter.
+//  * moving a spilled LimbVec steals the heap buffer (the source
+//    drops back to inline); moving an inline one copies 8 words.
+//
+// The surface is the subset of std::vector the numeric stack uses:
+// size/capacity/data, element access, resize/reserve/push_back,
+// iterators compatible with <algorithm>. Intentionally NOT provided:
+// insert/erase (nothing needs them on the hot path).
+
+#ifndef SLOC_BIGINT_LIMB_VEC_H_
+#define SLOC_BIGINT_LIMB_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace sloc {
+
+class LimbVec {
+ public:
+  using value_type = uint64_t;
+  using iterator = uint64_t*;
+  using const_iterator = const uint64_t*;
+
+  /// Inline limbs: 8x64 = 512 bits, the widest supported modulus.
+  static constexpr size_t kInlineCapacity = 8;
+
+  LimbVec() = default;
+
+  explicit LimbVec(size_t n) { resize(n, 0); }
+
+  LimbVec(size_t n, uint64_t fill) { resize(n, fill); }
+
+  LimbVec(std::initializer_list<uint64_t> init) {
+    resize(init.size());
+    std::copy(init.begin(), init.end(), data_);
+  }
+
+  /// Converting constructor from vector (wire/serialization edges).
+  explicit LimbVec(const std::vector<uint64_t>& v) {
+    resize(v.size());
+    std::copy(v.begin(), v.end(), data_);
+  }
+
+  LimbVec(const LimbVec& o) { CopyFrom(o); }
+
+  LimbVec(LimbVec&& o) noexcept { StealFrom(std::move(o)); }
+
+  LimbVec& operator=(const LimbVec& o) {
+    if (this != &o) CopyFrom(o);
+    return *this;
+  }
+
+  LimbVec& operator=(LimbVec&& o) noexcept {
+    if (this != &o) {
+      ReleaseHeap();
+      StealFrom(std::move(o));
+    }
+    return *this;
+  }
+
+  ~LimbVec() { ReleaseHeap(); }
+
+  // ---- capacity / access ----
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  /// Whether the limbs live in the heap spill buffer (diagnostics).
+  bool spilled() const { return data_ != inline_; }
+
+  uint64_t* data() { return data_; }
+  const uint64_t* data() const { return data_; }
+
+  uint64_t& operator[](size_t i) { return data_[i]; }
+  const uint64_t& operator[](size_t i) const { return data_[i]; }
+
+  uint64_t& back() { return data_[size_ - 1]; }
+  const uint64_t& back() const { return data_[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  // ---- mutation ----
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void resize(size_t n) { resize(n, 0); }
+
+  void resize(size_t n, uint64_t fill) {
+    if (n > capacity_) Grow(n);
+    if (n > size_) std::fill(data_ + size_, data_ + n, fill);
+    size_ = n;
+  }
+
+  void push_back(uint64_t v) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  void swap(LimbVec& o) noexcept {
+    LimbVec tmp(std::move(o));
+    o = std::move(*this);
+    *this = std::move(tmp);
+  }
+
+  // ---- comparison ----
+  friend bool operator==(const LimbVec& a, const LimbVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.data_, a.data_ + a.size_, b.data_);
+  }
+  friend bool operator!=(const LimbVec& a, const LimbVec& b) {
+    return !(a == b);
+  }
+
+  /// Copy out to a vector (serialization / test edges only).
+  std::vector<uint64_t> ToVector() const {
+    return std::vector<uint64_t>(data_, data_ + size_);
+  }
+
+ private:
+  void CopyFrom(const LimbVec& o) {
+    if (o.size_ > capacity_) Grow(o.size_);
+    std::copy(o.data_, o.data_ + o.size_, data_);
+    size_ = o.size_;
+  }
+
+  void StealFrom(LimbVec&& o) noexcept {
+    if (o.data_ != o.inline_) {
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      o.data_ = o.inline_;
+      o.capacity_ = kInlineCapacity;
+    } else {
+      data_ = inline_;
+      capacity_ = kInlineCapacity;
+      std::copy(o.data_, o.data_ + o.size_, data_);
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  void Grow(size_t need) {
+    size_t cap = capacity_;
+    while (cap < need) cap *= 2;
+    uint64_t* heap = new uint64_t[cap];
+    std::copy(data_, data_ + size_, heap);
+    ReleaseHeap();
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  void ReleaseHeap() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  uint64_t inline_[kInlineCapacity];
+  uint64_t* data_ = inline_;
+  size_t size_ = 0;
+  size_t capacity_ = kInlineCapacity;
+};
+
+inline void swap(LimbVec& a, LimbVec& b) noexcept { a.swap(b); }
+
+}  // namespace sloc
+
+#endif  // SLOC_BIGINT_LIMB_VEC_H_

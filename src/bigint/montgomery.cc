@@ -333,9 +333,7 @@ void Montgomery::Neg(const Elem& a, Elem* out) const {
   SubRaw(out->data(), a.data(), k_);
 }
 
-void Montgomery::Redc(std::vector<uint64_t>* t_in, Elem* out) const {
-  std::vector<uint64_t>& t = *t_in;
-  SLOC_DCHECK(t.size() >= 2 * k_ + 1);
+void Montgomery::Redc(uint64_t* t, Elem* out) const {
   for (size_t i = 0; i < k_; ++i) {
     uint64_t m = t[i] * n0_inv_;
     uint64_t carry = 0;
@@ -354,8 +352,7 @@ void Montgomery::Redc(std::vector<uint64_t>* t_in, Elem* out) const {
     }
   }
   out->resize(k_);
-  std::copy(t.begin() + static_cast<long>(k_),
-            t.begin() + static_cast<long>(2 * k_), out->begin());
+  std::copy(t + k_, t + 2 * k_, out->begin());
   bool overflow = t[2 * k_] != 0;
   if (overflow || CmpRaw(out->data(), n_.data()) >= 0) {
     SubRaw(out->data(), n_.data(), k_);
@@ -363,7 +360,16 @@ void Montgomery::Redc(std::vector<uint64_t>* t_in, Elem* out) const {
 }
 
 void Montgomery::MulGeneric(const Elem& a, const Elem& b, Elem* out) const {
-  std::vector<uint64_t> t(2 * k_ + 1, 0);
+  // 2k+1-limb product row: a stack array covers every fixed-width
+  // modulus (k <= 8); only ultra-wide generic moduli heap-spill.
+  uint64_t t_stack[2 * LimbVec::kInlineCapacity + 1];
+  LimbVec t_heap;
+  uint64_t* t = t_stack;
+  if (2 * k_ + 1 > sizeof(t_stack) / sizeof(t_stack[0])) {
+    t_heap.resize(2 * k_ + 1);
+    t = t_heap.data();
+  }
+  std::fill(t, t + 2 * k_ + 1, 0);
   for (size_t i = 0; i < k_; ++i) {
     uint64_t carry = 0;
     uint64_t ai = a[i];
@@ -376,7 +382,7 @@ void Montgomery::MulGeneric(const Elem& a, const Elem& b, Elem* out) const {
     }
     t[i + k_] += carry;
   }
-  Redc(&t, out);
+  Redc(t, out);
 }
 
 void Montgomery::Mul(const Elem& a, const Elem& b, Elem* out) const {
@@ -452,10 +458,17 @@ Montgomery::Elem Montgomery::ToMont(const BigInt& x) const {
 
 BigInt Montgomery::FromMont(const Elem& a) const {
   // Multiply by 1 (non-Montgomery) = REDC(a) = a * R^-1.
-  std::vector<uint64_t> t(2 * k_ + 1, 0);
-  std::copy(a.begin(), a.end(), t.begin());
+  uint64_t t_stack[2 * LimbVec::kInlineCapacity + 1];
+  LimbVec t_heap;
+  uint64_t* t = t_stack;
+  if (2 * k_ + 1 > sizeof(t_stack) / sizeof(t_stack[0])) {
+    t_heap.resize(2 * k_ + 1);
+    t = t_heap.data();
+  }
+  std::fill(t, t + 2 * k_ + 1, 0);
+  std::copy(a.begin(), a.end(), t);
   Elem out;
-  Redc(&t, &out);
+  Redc(t, &out);
   return BigInt::FromLimbs(std::move(out));
 }
 

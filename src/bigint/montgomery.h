@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/limb_vec.h"
 #include "common/result.h"
 
 namespace sloc {
@@ -83,7 +84,9 @@ KernelDispatch GetMulKernelDispatch();
 class Montgomery {
  public:
   /// Fixed-width residue in Montgomery form, length num_limbs().
-  using Elem = std::vector<uint64_t>;
+  /// LimbVec keeps every residue up to 8 limbs (512-bit moduli) inline
+  /// — no heap allocation for construction, copies, or arithmetic.
+  using Elem = LimbVec;
 
   /// Error unless modulus is odd and > 1. Selects the fixed-width
   /// kernel matching the modulus limb count (4/6/8 limbs), preferring
@@ -139,8 +142,8 @@ class Montgomery {
  private:
   Montgomery(BigInt modulus, size_t k, MulKernel kernel);
 
-  // out = t / R mod N for 2k-limb t (REDC). t is modified.
-  void Redc(std::vector<uint64_t>* t, Elem* out) const;
+  // out = t / R mod N for t of 2k+1 limbs (REDC). t is modified.
+  void Redc(uint64_t* t, Elem* out) const;
   // Compare limb vectors of length k_: -1/0/1.
   int CmpRaw(const uint64_t* a, const uint64_t* b) const;
   // a -= b (length k_), returns borrow.
@@ -151,7 +154,7 @@ class Montgomery {
   BigInt modulus_;
   size_t k_;                  // limb count of modulus
   MulKernel kernel_ = MulKernel::kGeneric;
-  std::vector<uint64_t> n_;   // modulus limbs, length k_
+  LimbVec n_;                 // modulus limbs, length k_
   uint64_t n0_inv_;           // -N^-1 mod 2^64
   Elem one_;                  // R mod N
   Elem r2_;                   // R^2 mod N (for ToMont)

@@ -1,6 +1,7 @@
 #include "ec/curve.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "common/check.h"
@@ -201,10 +202,21 @@ JacobianPoint Curve::NegJacobian(const JacobianPoint& p) const {
 
 std::vector<AffinePoint> Curve::BatchToAffine(
     const std::vector<JacobianPoint>& pts) const {
+  std::vector<AffinePoint> out;
+  std::vector<Fp::Elem> prefix;
+  BatchToAffine(pts, &out, &prefix);
+  return out;
+}
+
+void Curve::BatchToAffine(const std::vector<JacobianPoint>& pts,
+                          std::vector<AffinePoint>* out_pts,
+                          std::vector<Fp::Elem>* prefix_scratch) const {
   const size_t n = pts.size();
-  std::vector<AffinePoint> out(n, Infinity());
+  std::vector<AffinePoint>& out = *out_pts;
+  out.assign(n, Infinity());
   // prefix[i] = product of the non-zero Zs before index i.
-  std::vector<Fp::Elem> prefix(n);
+  std::vector<Fp::Elem>& prefix = *prefix_scratch;
+  prefix.resize(n);
   Fp::Elem run = fp_.One();
   for (size_t i = 0; i < n; ++i) {
     if (IsInfinity(pts[i])) continue;
@@ -229,7 +241,6 @@ std::vector<AffinePoint> Curve::BatchToAffine(
     fp_.Mul(pts[i].X, z2, &out[i].x);
     fp_.Mul(pts[i].Y, z3, &out[i].y);
   }
-  return out;
 }
 
 AffinePoint Curve::ScalarMul(const BigInt& k, const AffinePoint& p) const {
@@ -238,11 +249,16 @@ AffinePoint Curve::ScalarMul(const BigInt& k, const AffinePoint& p) const {
   // Tiny scalars: the odd-multiple precomputation costs more than the
   // ladder it replaces.
   if (k.BitLength() <= kWidth) return ScalarMulBinary(k, p);
-  const std::vector<int8_t> digits = k.ToWnaf(kWidth);
+  // The recoding writes into a per-thread high-water buffer, so the
+  // wNAF ladder performs no heap allocation in steady state (each
+  // worker thread warms its own buffer on first use).
+  static thread_local std::vector<int8_t> digits;
+  k.ToWnaf(kWidth, &digits);
   // Odd multiples [1]P, [3]P, ..., [2^(w-1) - 1]P in Jacobian form (the
   // one-off batch normalization would cost more than the mixed-addition
-  // savings it buys).
-  std::vector<JacobianPoint> odd(size_t(1) << (kWidth - 2));
+  // savings it buys). Coordinates are inline-limb, so the table lives
+  // entirely on the stack.
+  std::array<JacobianPoint, size_t(1) << (kWidth - 2)> odd;
   odd[0] = ToJacobian(p);
   const JacobianPoint twice = Double(odd[0]);
   for (size_t m = 1; m < odd.size(); ++m) odd[m] = Add(odd[m - 1], twice);

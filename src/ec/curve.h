@@ -68,6 +68,13 @@ class Curve {
   std::vector<AffinePoint> BatchToAffine(
       const std::vector<JacobianPoint>& pts) const;
 
+  /// BatchToAffine into caller-provided output and prefix-product
+  /// scratch: identical results, and a reused scratch pair makes the
+  /// call allocation-free once both buffers hit their high-water mark.
+  void BatchToAffine(const std::vector<JacobianPoint>& pts,
+                     std::vector<AffinePoint>* out_pts,
+                     std::vector<Fp::Elem>* prefix_scratch) const;
+
   /// [k]P via width-4 wNAF, handling k = 0, negative k and k >= group
   /// order transparently.
   AffinePoint ScalarMul(const BigInt& k, const AffinePoint& p) const;

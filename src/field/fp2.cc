@@ -103,6 +103,12 @@ Fp2Elem Fp2::PowUnitary(const Fp2Elem& base, const BigInt& exp) const {
 
 void Fp2::BatchPowUnitary(const BigInt& exp,
                           std::vector<Fp2Elem>* units) const {
+  Fp2PowScratch scratch;
+  BatchPowUnitary(exp, units, &scratch);
+}
+
+void Fp2::BatchPowUnitary(const BigInt& exp, std::vector<Fp2Elem>* units,
+                          Fp2PowScratch* scratch) const {
   const size_t n = units->size();
   if (n == 0) return;
   if (exp.IsZero()) {
@@ -112,11 +118,15 @@ void Fp2::BatchPowUnitary(const BigInt& exp,
   std::vector<Fp2Elem>& us = *units;
   constexpr unsigned kWidth = 4;
   constexpr size_t kOdd = size_t(1) << (kWidth - 2);
-  // Shared across the batch: the recoded digit schedule and its sign.
-  const std::vector<int8_t> digits = exp.ToWnaf(kWidth);
+  // Shared across the batch: the recoded digit schedule and its sign,
+  // written into the reusable scratch buffer.
+  exp.ToWnaf(kWidth, &scratch->digits);
+  const std::vector<int8_t>& digits = scratch->digits;
   const bool negate = exp.IsNegative();
-  // Per-unit odd powers u^1, u^3, ..., u^(2^(w-1) - 1), flat layout.
-  std::vector<Fp2Elem> odd(n * kOdd);
+  // Per-unit odd powers u^1, u^3, ..., u^(2^(w-1) - 1), flat layout in
+  // the scratch slab (resize keeps the high-water capacity).
+  std::vector<Fp2Elem>& odd = scratch->odd;
+  odd.resize(n * kOdd);
   Fp2Elem sq;
   for (size_t j = 0; j < n; ++j) {
     SLOC_DCHECK(fp_.Equal(Norm(us[j]), fp_.One()))

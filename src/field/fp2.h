@@ -18,6 +18,16 @@ struct Fp2Elem {
   Fp::Elem im;
 };
 
+/// Reusable scratch for the unitary exponentiation ladders: the wNAF
+/// digit schedule and the per-unit odd-power table. Both are
+/// high-water-mark buffers — a scratch owned per worker makes every
+/// BatchPowUnitary call after the first allocation-free. Treat the
+/// members as opaque.
+struct Fp2PowScratch {
+  std::vector<int8_t> digits;
+  std::vector<Fp2Elem> odd;
+};
+
 /// Operation context over a base field (kept by value: Fp is cheap to copy).
 class Fp2 {
  public:
@@ -81,6 +91,12 @@ class Fp2 {
   /// cofactor exponent) amortizes the per-call recoding the way the
   /// multi-pairing shares its f^2 chain. Empty batches are a no-op.
   void BatchPowUnitary(const BigInt& exp, std::vector<Fp2Elem>* units) const;
+
+  /// BatchPowUnitary with caller-provided scratch: identical results,
+  /// zero heap allocation once the scratch has reached its high-water
+  /// mark (the per-worker arena path of the batched engine).
+  void BatchPowUnitary(const BigInt& exp, std::vector<Fp2Elem>* units,
+                       Fp2PowScratch* scratch) const;
 
  private:
   explicit Fp2(const Fp& fp) : fp_(fp) {}

@@ -49,6 +49,36 @@ Status ValidatePattern(const std::string& pattern, size_t width) {
   return Status::Ok();
 }
 
+/// One (pattern, position) unit of a token bundle.
+struct PosJob {
+  size_t token;  ///< pattern index in the bundle
+  size_t index;  ///< position i within the pattern
+  BigInt r1, r2;
+};
+
+/// The four scalar-multiplication results of one PosJob, in Jacobian
+/// form (no inversions until the batch normalization).
+struct PosOut {
+  JacobianPoint b1;  ///< [r1](u_i + h_i) or [r1]h_i
+  JacobianPoint w2;  ///< [r2]w_i
+  JacobianPoint k1;  ///< [r1]v
+  JacobianPoint k2;  ///< [r2]v
+};
+
+/// Per-thread arena for GenTokenBatch's intermediate buffers. Every
+/// member is a high-water-mark slab (clear/resize keep capacity), so
+/// repeated bundles of similar shape reuse one set of allocations —
+/// the exponents themselves live in BigInt's inline limbs. Only the
+/// returned tokens still allocate, as they must.
+struct TokenBatchArena {
+  std::vector<PosJob> jobs;
+  std::vector<size_t> first_job;
+  std::vector<PosOut> outs;
+  std::vector<JacobianPoint> flat;
+  std::vector<AffinePoint> affine;
+  std::vector<Fp::Elem> prefix;  ///< BatchToAffine inversion scratch
+};
+
 }  // namespace
 
 void PrecomputePublicKey(const PairingGroup& group, PublicKey* pk) {
@@ -239,26 +269,28 @@ Result<std::vector<Token>> GenTokenBatch(
           : nullptr;
   const bool have_uh = sk.uh.size() == sk.width;
 
+  // All intermediate buffers live in a per-thread arena: issuing
+  // bundles back to back reuses one set of slabs instead of paying the
+  // vector churn per call.
+  static thread_local TokenBatchArena arena;
+
   // Phase 1 — draw every r_i,1/r_i,2 serially, in exactly the order the
   // per-pattern GenToken loop consumes them: token bytes must not
   // depend on the thread count, and the RandFn is not thread-safe.
-  struct PosJob {
-    size_t token;  ///< pattern index in the bundle
-    size_t index;  ///< position i within the pattern
-    BigInt r1, r2;
-  };
-  std::vector<PosJob> jobs;
-  std::vector<size_t> first_job(patterns.size() + 1, 0);
+  std::vector<PosJob>& jobs = arena.jobs;
+  jobs.clear();
+  std::vector<size_t>& first_job = arena.first_job;
+  first_job.assign(patterns.size() + 1, 0);
   for (size_t t = 0; t < patterns.size(); ++t) {
     first_job[t] = jobs.size();
     for (size_t i = 0; i < patterns[t].size(); ++i) {
       if (patterns[t][i] == kStar) continue;
-      PosJob job;
+      jobs.emplace_back();
+      PosJob& job = jobs.back();
       job.token = t;
       job.index = i;
       job.r1 = NonZeroExp(pp.prime_p, rand);
       job.r2 = NonZeroExp(pp.prime_p, rand);
-      jobs.push_back(std::move(job));
     }
   }
   first_job[patterns.size()] = jobs.size();
@@ -266,13 +298,8 @@ Result<std::vector<Token>> GenTokenBatch(
   // Phase 2 — the four scalar multiplications of every (pattern,
   // position) job are independent of everything else in the bundle:
   // fan them across the workers, all in Jacobian form (no inversions).
-  struct PosOut {
-    JacobianPoint b1;  ///< [r1](u_i + h_i) or [r1]h_i
-    JacobianPoint w2;  ///< [r2]w_i
-    JacobianPoint k1;  ///< [r1]v
-    JacobianPoint k2;  ///< [r2]v
-  };
-  std::vector<PosOut> outs(jobs.size());
+  std::vector<PosOut>& outs = arena.outs;
+  outs.resize(jobs.size());
   auto run_jobs = [&](size_t begin, size_t stride) {
     for (size_t m = begin; m < jobs.size(); m += stride) {
       const PosJob& job = jobs[m];
@@ -308,7 +335,8 @@ Result<std::vector<Token>> GenTokenBatch(
   const Curve& curve = group.curve();
   const JacobianPoint k0_seed =
       MulBaseJacobian(group, tables ? &tables->g : nullptr, sk.g, sk.a);
-  std::vector<JacobianPoint> flat;
+  std::vector<JacobianPoint>& flat = arena.flat;
+  flat.clear();
   flat.reserve(patterns.size() + 2 * jobs.size());
   for (size_t t = 0; t < patterns.size(); ++t) {
     JacobianPoint k0 = k0_seed;
@@ -322,7 +350,8 @@ Result<std::vector<Token>> GenTokenBatch(
       flat.push_back(outs[m].k2);
     }
   }
-  const std::vector<AffinePoint> affine = curve.BatchToAffine(flat);
+  std::vector<AffinePoint>& affine = arena.affine;
+  curve.BatchToAffine(flat, &affine, &arena.prefix);
 
   std::vector<Token> tokens(patterns.size());
   size_t cursor = 0;
@@ -499,6 +528,13 @@ EvalLayout MakeEvalLayout(
 Result<EvalView> MakeEvalView(const PairingGroup& group,
                               const EvalLayout& layout,
                               const Ciphertext& ct) {
+  EvalView view;
+  SLOC_RETURN_IF_ERROR(MakeEvalView(group, layout, ct, &view));
+  return view;
+}
+
+Status MakeEvalView(const PairingGroup& group, const EvalLayout& layout,
+                    const Ciphertext& ct, EvalView* out) {
   if (ct.c1.size() != layout.width || ct.c2.size() != layout.width) {
     return Status::InvalidArgument(
         "ciphertext/token width mismatch in MakeEvalView");
@@ -506,37 +542,48 @@ Result<EvalView> MakeEvalView(const PairingGroup& group,
   const Fp& fp = group.fp();
   // `negate` bakes the e(C, -K) fold into the stored coordinate, so the
   // query path applies no Neg at all: phi(-B).y = -i*y_B.
-  auto distort = [&fp](const AffinePoint& p, bool negate) {
-    EvalView::Coord coord;
-    coord.infinity = p.infinity;
+  auto distort = [&fp](const AffinePoint& p, bool negate,
+                       EvalView::Coord* coord) {
+    coord->infinity = p.infinity;
     if (p.infinity) {
-      coord.xq = fp.Zero();
-      coord.y_im = fp.Zero();
-      return coord;
+      coord->xq = fp.Zero();
+      coord->y_im = fp.Zero();
+      return;
     }
-    fp.Neg(p.x, &coord.xq);  // phi(B).x = -x_B
+    fp.Neg(p.x, &coord->xq);  // phi(B).x = -x_B
     if (negate) {
-      fp.Neg(p.y, &coord.y_im);
+      fp.Neg(p.y, &coord->y_im);
     } else {
-      coord.y_im = p.y;
+      coord->y_im = p.y;
     }
-    return coord;
   };
-  EvalView view;
-  view.c0 = distort(ct.c0, /*negate=*/false);
-  view.c1.reserve(layout.positions.size());
-  view.c2.reserve(layout.positions.size());
-  for (size_t i : layout.positions) {
-    view.c1.push_back(distort(ct.c1[i], /*negate=*/true));
-    view.c2.push_back(distort(ct.c2[i], /*negate=*/true));
+  const size_t slots = layout.positions.size();
+  distort(ct.c0, /*negate=*/false, &out->c0);
+  // resize keeps capacity, so a reused view stops allocating once its
+  // slots match the layout.
+  out->c1.resize(slots);
+  out->c2.resize(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    const size_t i = layout.positions[s];
+    distort(ct.c1[i], /*negate=*/true, &out->c1[s]);
+    distort(ct.c2[i], /*negate=*/true, &out->c2[s]);
   }
-  return view;
+  return Status::Ok();
 }
 
 Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
                                            const PrecompiledToken& token,
                                            const EvalLayout& layout,
                                            const EvalView& view) {
+  QueryScratch scratch;
+  return QueryMillerPrecompiledView(group, token, layout, view, &scratch);
+}
+
+Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
+                                           const PrecompiledToken& token,
+                                           const EvalLayout& layout,
+                                           const EvalView& view,
+                                           QueryScratch* scratch) {
   if (layout.width != token.pattern.size()) {
     return Status::InvalidArgument(
         "ciphertext/token width mismatch in QueryMillerPrecompiledView");
@@ -549,7 +596,8 @@ Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
   }
   // Same pair layout as QueryMillerPrecompiled; the stored distorted
   // coordinates stand in for the ciphertext points.
-  std::vector<PrecompiledPairingCoords> pairs;
+  std::vector<PrecompiledPairingCoords>& pairs = scratch->pairs;
+  pairs.clear();
   pairs.reserve(2 * non_star + 1);
   pairs.push_back(PrecompiledPairingCoords{&token.k0, view.c0.xq,
                                            view.c0.y_im, view.c0.infinity});
@@ -566,8 +614,9 @@ Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
         PrecompiledPairingCoords{&token.k2[j], b.xq, b.y_im, b.infinity});
   }
   size_t executed = 0;
-  Fp2Elem ratio_miller = MultiMillerLoopCoords(
-      group.curve(), group.fp2(), group.params().n, pairs, &executed);
+  Fp2Elem ratio_miller =
+      MultiMillerLoopCoords(group.curve(), group.fp2(), group.params().n,
+                            pairs, &scratch->pairing, &executed);
   group.CountPairings(executed);
   group.CountPrecompPairings(executed);
   return ratio_miller;

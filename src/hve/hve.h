@@ -257,6 +257,21 @@ struct EvalView {
 Result<EvalView> MakeEvalView(const PairingGroup& group,
                               const EvalLayout& layout, const Ciphertext& ct);
 
+/// MakeEvalView into a caller-owned view: identical contents, but the
+/// view's c1/c2 buffers are resized in place, so a view slot that is
+/// refilled every round (the batched engine's flush slab) stops
+/// allocating once its capacity matches the layout.
+Status MakeEvalView(const PairingGroup& group, const EvalLayout& layout,
+                    const Ciphertext& ct, EvalView* out);
+
+/// Reusable per-worker scratch for view queries: the pair descriptors
+/// plus the pairing-layer scratch. Thread one through a worker's flush
+/// loop and steady-state evaluation never touches the heap.
+struct QueryScratch {
+  std::vector<PrecompiledPairingCoords> pairs;
+  PairingScratch pairing;
+};
+
 /// QueryMillerPrecompiled evaluated against a slim view instead of the
 /// full ciphertext: bit-identical result (the same schedule walk over
 /// the same coordinates), same counter charges.
@@ -264,6 +279,14 @@ Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
                                            const PrecompiledToken& token,
                                            const EvalLayout& layout,
                                            const EvalView& view);
+
+/// QueryMillerPrecompiledView with caller-provided scratch:
+/// bit-identical result, allocation-free once the scratch is warm.
+Result<Fp2Elem> QueryMillerPrecompiledView(const PairingGroup& group,
+                                           const PrecompiledToken& token,
+                                           const EvalLayout& layout,
+                                           const EvalView& view,
+                                           QueryScratch* scratch);
 
 }  // namespace hve
 }  // namespace sloc

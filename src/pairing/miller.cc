@@ -319,12 +319,9 @@ MillerLineTable PrecompileMillerLines(const Curve& curve,
 namespace {
 
 /// Precompiled-chain evaluation state: the stored lines plus the
-/// distorted coordinates they are substituted at.
-struct PrecompiledPairState {
-  const std::vector<MillerLine>* lines;
-  Fp::Elem xq;
-  Fp::Elem yq_im;
-};
+/// distorted coordinates they are substituted at. The public scratch
+/// type owns the buffer so workers can reuse it across queries.
+using PrecompiledPairState = PairingScratch::EvalUnit;
 
 /// Shared walker for the precompiled multi-pairing variants: both the
 /// AffinePoint- and coordinate-input entry points reduce their pairs to
@@ -362,7 +359,7 @@ Fp2Elem WalkPrecompiledSchedule(const Curve& curve, const Fp2& fp2,
     const MillerLine& ml = (*s.lines)[idx];
     fp.Mul(ml.c_x, s.xq, &cx_xq);
     fp.Add(cx_xq, ml.c_0, &line.re);
-    fp.Mul(ml.c_y, s.yq_im, &line.im);
+    fp.Mul(ml.c_y, s.y_im, &line.im);
     fp2.Mul(f, line, &tmp);
     f = tmp;
   };
@@ -394,8 +391,8 @@ Fp2Elem MultiMillerLoopPrecompiled(
     PrecompiledPairState s;
     s.lines = &pair.table->lines();
     fp.Neg(pair.b->x, &s.xq);
-    s.yq_im = pair.b->y;
-    if (pair.invert) fp.Neg(pair.b->y, &s.yq_im);
+    s.y_im = pair.b->y;
+    if (pair.invert) fp.Neg(pair.b->y, &s.y_im);
     live.push_back(std::move(s));
   }
   return WalkPrecompiledSchedule(curve, fp2, order, live, loops_executed);
@@ -405,7 +402,17 @@ Fp2Elem MultiMillerLoopCoords(
     const Curve& curve, const Fp2& fp2, const BigInt& order,
     const std::vector<PrecompiledPairingCoords>& pairs,
     size_t* loops_executed) {
-  std::vector<PrecompiledPairState> live;
+  PairingScratch scratch;
+  return MultiMillerLoopCoords(curve, fp2, order, pairs, &scratch,
+                               loops_executed);
+}
+
+Fp2Elem MultiMillerLoopCoords(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingCoords>& pairs,
+    PairingScratch* scratch, size_t* loops_executed) {
+  std::vector<PrecompiledPairState>& live = scratch->live;
+  live.clear();
   live.reserve(pairs.size());
   for (const PrecompiledPairingCoords& pair : pairs) {
     SLOC_CHECK(pair.table != nullptr);
@@ -433,6 +440,13 @@ Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
 
 void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
                               std::vector<Fp2Elem>* fs) {
+  PairingScratch scratch;
+  BatchFinalExponentiation(fp2, cofactor, fs, &scratch);
+}
+
+void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
+                              std::vector<Fp2Elem>* fs,
+                              PairingScratch* scratch) {
   const size_t n = fs->size();
   if (n == 0) return;
   if (n == 1) {
@@ -441,7 +455,8 @@ void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
   }
   std::vector<Fp2Elem>& f = *fs;
   // Montgomery batch inversion: prefix[j] = f_0 * ... * f_j.
-  std::vector<Fp2Elem> prefix(n);
+  std::vector<Fp2Elem>& prefix = scratch->prefix;
+  prefix.resize(n);
   prefix[0] = f[0];
   SLOC_CHECK(!fp2.IsZero(f[0])) << "zero Miller value";
   for (size_t j = 1; j < n; ++j) {
@@ -468,7 +483,7 @@ void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
   // The cofactor is one fixed exponent for the whole batch: share its
   // wNAF recoding across every unit (bit-identical to per-entry
   // PowUnitary).
-  fp2.BatchPowUnitary(cofactor, fs);
+  fp2.BatchPowUnitary(cofactor, fs, &scratch->pow);
 }
 
 }  // namespace sloc

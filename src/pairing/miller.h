@@ -118,6 +118,23 @@ struct PrecompiledPairingCoords {
   bool skip = false;
 };
 
+/// Reusable per-worker scratch for the precompiled walkers and the
+/// batch final exponentiation. Every member is a high-water-mark
+/// buffer: thread one PairingScratch through a worker's queries and
+/// flush rounds and, after warm-up, the whole evaluation pipeline runs
+/// without touching the heap. Treat the members as opaque.
+struct PairingScratch {
+  /// One live pair of a precompiled schedule walk (internal layout).
+  struct EvalUnit {
+    const std::vector<MillerLine>* lines;
+    Fp::Elem xq;
+    Fp::Elem y_im;
+  };
+  std::vector<EvalUnit> live;      ///< schedule-walk state
+  std::vector<Fp2Elem> prefix;     ///< batch-inversion prefix products
+  Fp2PowScratch pow;               ///< shared-wNAF cofactor ladder
+};
+
 /// Shared-squaring evaluation of precompiled chains: per pair and line
 /// only the substitution (c_x * xq + c_0) + (c_y * yq_im) i and one
 /// fp2.Mul remain. Trivial tables and identity evaluation points
@@ -135,6 +152,13 @@ Fp2Elem MultiMillerLoopCoords(
     const std::vector<PrecompiledPairingCoords>& pairs,
     size_t* loops_executed = nullptr);
 
+/// MultiMillerLoopCoords with caller-provided scratch: bit-identical
+/// result, no heap allocation once the scratch is warm.
+Fp2Elem MultiMillerLoopCoords(
+    const Curve& curve, const Fp2& fp2, const BigInt& order,
+    const std::vector<PrecompiledPairingCoords>& pairs,
+    PairingScratch* scratch, size_t* loops_executed = nullptr);
+
 /// Final exponentiation f^((p^2-1)/N) given cofactor c = (p+1)/N:
 /// computes (conj(f)/f)^c. Precondition: f != 0.
 Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
@@ -150,6 +174,13 @@ Fp2Elem FinalExponentiation(const Fp2& fp2, const Fp2Elem& f,
 /// recoding is shared across the batch. Precondition: every entry != 0.
 void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
                               std::vector<Fp2Elem>* fs);
+
+/// BatchFinalExponentiation with caller-provided scratch: bit-identical
+/// results, and a warm scratch makes the whole round — prefix products,
+/// shared inversion, cofactor ladder — allocation-free.
+void BatchFinalExponentiation(const Fp2& fp2, const BigInt& cofactor,
+                              std::vector<Fp2Elem>* fs,
+                              PairingScratch* scratch);
 
 }  // namespace sloc
 

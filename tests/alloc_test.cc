@@ -1,0 +1,290 @@
+// Allocation-regression tests for the numeric hot path.
+//
+// A global operator new/delete replacement counts every heap
+// allocation; the tests warm up the reusable scratch (thread-local
+// wNAF digit buffers, QueryScratch slabs, EvalView slots) and then
+// assert that the steady state performs ZERO allocations:
+//   - Fp::Mul / Fp::Sqr (inline-limb Montgomery elements),
+//   - Curve::ScalarMul's wNAF loop (thread-local digit scratch),
+//   - one full batched flush round: EvalView refill, precompiled
+//     Miller walks, batch final exponentiation, marker comparison.
+// Plus LimbVec semantics around the inline/spill boundary: copies,
+// moves, self-assignment, swap — the paths a miscounted capacity or a
+// stale heap pointer would corrupt.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bigint/limb_vec.h"
+#include "common/rng.h"
+#include "hve/hve.h"
+#include "pairing/group.h"
+#include "pairing/miller.h"
+
+// The replacement operator new below is malloc-backed, so delete
+// forwarding to free() is correct; the compiler cannot see that and
+// flags every new/free pairing in the TU.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+// Counting replacements for the global allocation functions. They
+// forward to malloc/free, so sanitizer interceptors still see every
+// allocation; the counter is the only addition.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace sloc {
+namespace {
+
+size_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Snapshot-and-delta helper around the global counter.
+class AllocProbe {
+ public:
+  AllocProbe() : start_(AllocCount()) {}
+  size_t delta() const { return AllocCount() - start_; }
+
+ private:
+  size_t start_;
+};
+
+// ---------------------------------------------------------------------
+// LimbVec semantics at the inline/spill boundary.
+// ---------------------------------------------------------------------
+
+TEST(LimbVecTest, InlineOperationsDoNotAllocate) {
+  AllocProbe probe;
+  LimbVec v;
+  for (uint64_t i = 0; i < LimbVec::kInlineCapacity; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), LimbVec::kInlineCapacity);
+  LimbVec copy(v);          // inline copy
+  LimbVec moved(std::move(copy));
+  LimbVec assigned;
+  assigned = moved;
+  assigned = std::move(moved);
+  assigned.resize(3);
+  assigned.resize(LimbVec::kInlineCapacity, 7);
+  LimbVec other(5, 42);
+  assigned.swap(other);
+  EXPECT_EQ(probe.delta(), 0u) << "inline LimbVec ops must not allocate";
+  EXPECT_EQ(v[3], 3u);
+  EXPECT_EQ(other.size(), LimbVec::kInlineCapacity);
+}
+
+TEST(LimbVecTest, SpillPreservesValuesAndAllocatesOnce) {
+  LimbVec v;
+  for (uint64_t i = 0; i < LimbVec::kInlineCapacity; ++i) v.push_back(i);
+  AllocProbe probe;
+  v.push_back(99);  // crosses the inline boundary
+  EXPECT_TRUE(v.spilled());
+  EXPECT_GE(probe.delta(), 1u);
+  for (uint64_t i = 0; i < LimbVec::kInlineCapacity; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(v.back(), 99u);
+}
+
+TEST(LimbVecTest, SpilledCopyIsDeepAndMoveSteals) {
+  LimbVec v(LimbVec::kInlineCapacity + 4, 5);
+  ASSERT_TRUE(v.spilled());
+  LimbVec copy(v);
+  EXPECT_NE(copy.data(), v.data());
+  EXPECT_EQ(copy, v);
+  copy[0] = 6;
+  EXPECT_EQ(v[0], 5u);  // deep copy: originals untouched
+
+  const uint64_t* heap = v.data();
+  AllocProbe probe;
+  LimbVec moved(std::move(v));
+  EXPECT_EQ(moved.data(), heap) << "move must steal the heap buffer";
+  EXPECT_EQ(probe.delta(), 0u) << "moving a spilled LimbVec must not allocate";
+  EXPECT_EQ(moved.size(), LimbVec::kInlineCapacity + 4);
+}
+
+TEST(LimbVecTest, SelfAssignAndSelfSwapAreSafe) {
+  LimbVec inline_v(4, 11);
+  LimbVec spilled(LimbVec::kInlineCapacity + 2, 22);
+  LimbVec& ir = inline_v;
+  LimbVec& sr = spilled;
+  inline_v = ir;
+  spilled = sr;
+  inline_v = std::move(ir);
+  spilled = std::move(sr);
+  inline_v.swap(ir);
+  spilled.swap(sr);
+  EXPECT_EQ(inline_v, LimbVec(4, 11));
+  EXPECT_EQ(spilled, LimbVec(LimbVec::kInlineCapacity + 2, 22));
+}
+
+TEST(LimbVecTest, ShrinkKeepsSpillCapacity) {
+  LimbVec v(LimbVec::kInlineCapacity + 8, 1);
+  ASSERT_TRUE(v.spilled());
+  const size_t cap = v.capacity();
+  AllocProbe probe;
+  v.resize(2);
+  v.resize(LimbVec::kInlineCapacity + 8, 3);
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_EQ(probe.delta(), 0u)
+      << "shrink + regrow within capacity must not allocate";
+  EXPECT_EQ(v[2], 3u);
+  EXPECT_EQ(v[0], 1u);
+}
+
+// ---------------------------------------------------------------------
+// Steady-state field / curve / engine operations.
+// ---------------------------------------------------------------------
+
+RandFn TestRand(uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() { return rng->NextU64(); };
+}
+
+class AllocSteadyStateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PairingParamSpec spec;
+    spec.p_prime_bits = 32;
+    spec.q_prime_bits = 32;
+    spec.seed = 77;
+    group_ = new PairingGroup(PairingGroup::Generate(spec).value());
+  }
+  static void TearDownTestSuite() {
+    delete group_;
+    group_ = nullptr;
+  }
+  static PairingGroup* group_;
+};
+
+PairingGroup* AllocSteadyStateTest::group_ = nullptr;
+
+TEST_F(AllocSteadyStateTest, FpMulSqrAreAllocFree) {
+  const Fp& fp = group_->fp();
+  RandFn rand = TestRand(1);
+  Fp::Elem a = fp.FromBigInt(BigInt::RandomBelow(fp.p(), rand));
+  Fp::Elem b = fp.FromBigInt(BigInt::RandomBelow(fp.p(), rand));
+  Fp::Elem out = fp.Zero();
+  // Warm-up (any lazily-built thread state).
+  fp.Mul(a, b, &out);
+  fp.Sqr(a, &out);
+  AllocProbe probe;
+  for (int i = 0; i < 1000; ++i) {
+    fp.Mul(a, b, &out);
+    fp.Sqr(out, &out);
+    fp.Add(out, b, &out);
+    fp.Sub(out, a, &out);
+  }
+  EXPECT_EQ(probe.delta(), 0u) << "steady-state Fp ops must not allocate";
+}
+
+TEST_F(AllocSteadyStateTest, ScalarMulWnafLoopIsAllocFreeAfterWarmup) {
+  const Curve& curve = group_->curve();
+  RandFn rand = TestRand(2);
+  const BigInt k = BigInt::RandomBelow(group_->params().n, rand);
+  const AffinePoint p = group_->gen();
+  // First call sizes the thread-local digit scratch.
+  AffinePoint r = curve.ScalarMul(k, p);
+  AllocProbe probe;
+  for (int i = 0; i < 10; ++i) r = curve.ScalarMul(k, p);
+  EXPECT_EQ(probe.delta(), 0u)
+      << "warm ScalarMul wNAF loop must not allocate";
+  EXPECT_FALSE(r.infinity);
+}
+
+TEST_F(AllocSteadyStateTest, BatchedFlushRoundIsAllocFreeAfterWarmup) {
+  constexpr size_t kWidth = 8;
+  constexpr size_t kCts = 4;
+  RandFn rand = TestRand(3);
+  hve::KeyPair kp = hve::Setup(*group_, kWidth, rand).value();
+  const Fp2Elem marker = group_->GtPow(
+      group_->GtOne(), BigInt(1));  // any fixed G_T element works
+  std::vector<hve::Ciphertext> cts;
+  for (size_t i = 0; i < kCts; ++i) {
+    cts.push_back(
+        hve::Encrypt(*group_, kp.pk, i % 2 ? "10110010" : "01001101",
+                     marker, rand)
+            .value());
+  }
+  hve::Token token =
+      hve::GenToken(*group_, kp.sk, "1*11*0**", rand).value();
+  hve::PrecompiledToken compiled = hve::PrecompileToken(*group_, token);
+  hve::EvalLayout layout = hve::MakeEvalLayout(kWidth, {&compiled});
+
+  // Per-worker state, exactly as the batched engine keeps it: view
+  // slab, miller buffer, one QueryScratch.
+  std::vector<hve::EvalView> views(kCts);
+  std::vector<Fp2Elem> millers;
+  millers.reserve(kCts);
+  std::vector<Fp2Elem> expected(kCts, group_->GtOne());
+  hve::QueryScratch scratch;
+
+  bool round_ok = true;
+  auto round = [&]() {
+    millers.clear();
+    for (size_t i = 0; i < kCts; ++i) {
+      Status st = hve::MakeEvalView(*group_, layout, cts[i], &views[i]);
+      if (!st.ok()) {
+        round_ok = false;
+        return;
+      }
+      expected[i] = group_->GtMul(cts[i].c_prime, marker);
+      Result<Fp2Elem> ratio = hve::QueryMillerPrecompiledView(
+          *group_, compiled, layout, views[i], &scratch);
+      if (!ratio.ok()) {
+        round_ok = false;
+        return;
+      }
+      millers.push_back(std::move(*ratio));
+    }
+    BatchFinalExponentiation(group_->fp2(), group_->params().cofactor,
+                             &millers, &scratch.pairing);
+    for (size_t i = 0; i < kCts; ++i) {
+      (void)group_->GtEqual(millers[i], expected[i]);
+    }
+  };
+
+  round();  // warm-up: sizes every scratch slab to its high-water mark
+  ASSERT_TRUE(round_ok);
+  AllocProbe probe;
+  round();
+  ASSERT_TRUE(round_ok);
+  EXPECT_EQ(probe.delta(), 0u)
+      << "warm batched flush round must not allocate";
+}
+
+}  // namespace
+}  // namespace sloc
