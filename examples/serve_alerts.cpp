@@ -15,6 +15,9 @@
 //                              the recovered store, re-alert, compare.
 //   --serve --dir=D [--port=P] run the server until killed; prints
 //                              "LISTENING <port>" when ready.
+//   --io-threads=N             epoll I/O threads (default 1; >1 shards
+//                              accepts via SO_REUSEPORT). Applies to
+//                              --serve and the self-test.
 //   --drive --port=P           submit every user, then alert + verify.
 //   --drive --port=P --realert alert + verify only (after a restart:
 //                              the store already holds the users).
@@ -112,9 +115,11 @@ std::unique_ptr<api::CiphertextStore> OpenStore(
 }
 
 Result<std::unique_ptr<net::AlertServer>> StartServer(
-    const World& world, const std::string& dir, uint16_t port) {
+    const World& world, const std::string& dir, uint16_t port,
+    unsigned io_threads) {
   net::AlertServer::Options options;
   options.port = port;
+  options.io_threads = io_threads;
   options.num_workers = 2;
   options.scan_threads = 2;
   return net::AlertServer::Start(world.group, world.ta->marker(),
@@ -171,8 +176,9 @@ bool AlertAndVerify(const World& world, net::AlertClient* client) {
   return report.notified_users == world.expected_notified;
 }
 
-int RunServe(const World& world, const std::string& dir, uint16_t port) {
-  auto server = StartServer(world, dir, port);
+int RunServe(const World& world, const std::string& dir, uint16_t port,
+             unsigned io_threads) {
+  auto server = StartServer(world, dir, port, io_threads);
   if (!server.ok()) {
     std::cerr << "server start failed: " << server.status() << "\n";
     return 1;
@@ -187,12 +193,12 @@ int RunDrive(const World& world, uint16_t port, bool realert) {
   return AlertAndVerify(world, &client) ? 0 : 1;
 }
 
-int RunSelfTest(const World& world) {
+int RunSelfTest(const World& world, unsigned io_threads) {
   char dir_template[] = "/tmp/serve_alerts_XXXXXX";
   SLOC_CHECK(::mkdtemp(dir_template) != nullptr);
   const std::string dir = dir_template;
 
-  auto server = StartServer(world, dir, 0).value();
+  auto server = StartServer(world, dir, 0, io_threads).value();
   const uint16_t port = server->port();
   {
     net::AlertClient client = ConnectWithRetry(port);
@@ -205,7 +211,7 @@ int RunSelfTest(const World& world) {
   server->Stop();
   server.reset();
   std::cout << "-- restart over " << dir << " --\n";
-  server = StartServer(world, dir, 0).value();
+  server = StartServer(world, dir, 0, io_threads).value();
   net::AlertClient client = ConnectWithRetry(server->port());
   if (!AlertAndVerify(world, &client)) return 1;
   std::cout << "self-test PASS\n";
@@ -218,6 +224,7 @@ int main(int argc, char** argv) {
   bool serve = false, drive = false, realert = false;
   std::string dir = "/tmp/serve_alerts_store";
   uint16_t port = 0;
+  unsigned io_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") serve = true;
@@ -225,6 +232,8 @@ int main(int argc, char** argv) {
     else if (arg == "--realert") realert = true;
     else if (arg.rfind("--dir=", 0) == 0) dir = arg.substr(6);
     else if (arg.rfind("--port=", 0) == 0) port = uint16_t(std::stoi(arg.substr(7)));
+    else if (arg.rfind("--io-threads=", 0) == 0)
+      io_threads = unsigned(std::stoul(arg.substr(13)));
     else {
       std::cerr << "unknown arg: " << arg << "\n";
       return 2;
@@ -232,7 +241,7 @@ int main(int argc, char** argv) {
   }
 
   World world = BuildWorld();
-  if (serve) return RunServe(world, dir, port);
+  if (serve) return RunServe(world, dir, port, io_threads);
   if (drive) return RunDrive(world, port, realert);
-  return RunSelfTest(world);
+  return RunSelfTest(world, io_threads);
 }

@@ -1,9 +1,11 @@
 #include "api/log_store.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -20,8 +22,18 @@ namespace {
 
 constexpr uint8_t kRecordPut = 1;
 constexpr uint8_t kRecordErase = 2;
-constexpr uint8_t kSnapshotMagic[4] = {'S', 'L', 'S', 'S'};
-constexpr uint8_t kSnapshotVersion = 1;
+constexpr uint8_t kSnapshotMagicV1[4] = {'S', 'L', 'S', 'S'};
+constexpr uint8_t kSnapshotMagicV2[4] = {'S', 'L', 'S', '2'};
+constexpr uint8_t kSnapshotVersionV1 = 1;
+constexpr uint8_t kSnapshotVersionV2 = 2;
+
+// v2 snapshot geometry (full byte-level spec: docs/WIRE.md#snapshot-v2).
+constexpr size_t kV2HeaderBytes = 64;
+constexpr size_t kV2EntryBytes = 24;  // i32 user | u64 off | u32 len | u64 fnv
+constexpr size_t kV2PageBytes = 4096;
+/// num_shards cap for a parsed header: large enough for any deployment,
+/// small enough that per-shard arithmetic cannot overflow.
+constexpr uint32_t kV2MaxShards = 1u << 20;
 
 std::string LogPath(const std::string& dir) { return dir + "/wal.log"; }
 std::string SnapshotPath(const std::string& dir) {
@@ -77,15 +89,35 @@ Status WriteFileAtomic(const std::string& path,
   return Status::Ok();
 }
 
+uint32_t ReadLe32(const uint8_t* b) {
+  return uint32_t(b[0]) | uint32_t(b[1]) << 8 | uint32_t(b[2]) << 16 |
+         uint32_t(b[3]) << 24;
+}
+
+uint64_t ReadLe64(const uint8_t* b) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | b[i];
+  return v;
+}
+
 uint32_t ReadLe32(const std::vector<uint8_t>& b, size_t pos) {
-  return uint32_t(b[pos]) | uint32_t(b[pos + 1]) << 8 |
-         uint32_t(b[pos + 2]) << 16 | uint32_t(b[pos + 3]) << 24;
+  return ReadLe32(b.data() + pos);
 }
 
 uint64_t ReadLe64(const std::vector<uint8_t>& b, size_t pos) {
-  uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = v << 8 | b[pos + size_t(i)];
-  return v;
+  return ReadLe64(b.data() + pos);
+}
+
+void WriteLe32(uint8_t* b, uint32_t v) {
+  for (int i = 0; i < 4; ++i) b[i] = uint8_t(v >> (8 * i));
+}
+
+void WriteLe64(uint8_t* b, uint64_t v) {
+  for (int i = 0; i < 8; ++i) b[i] = uint8_t(v >> (8 * i));
+}
+
+size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
 }
 
 /// Upper bound on a plausible record payload. A record holds one
@@ -111,6 +143,30 @@ bool HasValidRecordAfter(const std::vector<uint8_t>& log, size_t from) {
 
 }  // namespace
 
+/// A v2 snapshot file mapped read-only, plus its parsed per-shard index.
+/// Blob bytes are only faulted in when a shard materializes. Shared by
+/// the store (until every shard has loaded) and any in-flight
+/// materialization; the last reference unmaps.
+struct LogBackedStore::MappedSnapshot {
+  struct Entry {
+    int user_id;
+    uint64_t offset;  ///< absolute file offset of the blob
+    uint32_t len;
+    uint64_t fnv;  ///< fnv1a64 of the blob, verified at materialization
+  };
+
+  const uint8_t* data = nullptr;
+  size_t bytes = 0;
+  /// Per shard, sorted by user_id (validated at Open).
+  std::vector<std::vector<Entry>> shard_entries;
+
+  ~MappedSnapshot() {
+    if (data != nullptr) {
+      ::munmap(const_cast<uint8_t*>(data), bytes);
+    }
+  }
+};
+
 LogBackedStore::LogBackedStore(std::string dir,
                                std::shared_ptr<const PairingGroup> group,
                                const Options& options)
@@ -118,7 +174,8 @@ LogBackedStore::LogBackedStore(std::string dir,
       group_(std::move(group)),
       options_(options),
       mem_(MakeStore(options.num_shards == 0 ? 1 : options.num_shards)),
-      shard_mu_(std::make_unique<std::mutex[]>(mem_->num_shards())) {}
+      shard_mu_(std::make_unique<std::mutex[]>(mem_->num_shards())),
+      recovery_(std::make_unique<ShardRecovery[]>(mem_->num_shards())) {}
 
 Result<std::unique_ptr<LogBackedStore>> LogBackedStore::Open(
     const std::string& dir, std::shared_ptr<const PairingGroup> group,
@@ -130,6 +187,11 @@ Result<std::unique_ptr<LogBackedStore>> LogBackedStore::Open(
   std::unique_ptr<LogBackedStore> store(
       new LogBackedStore(dir, std::move(group), options));
   SLOC_RETURN_IF_ERROR(store->Recover());
+  if (options.eager_snapshot_load) {
+    // Restore the v1 all-or-nothing startup check: every blob parses
+    // and checksums, or Open fails.
+    SLOC_RETURN_IF_ERROR(store->LoadAllShards());
+  }
   store->log_fd_ =
       ::open(LogPath(dir).c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   if (store->log_fd_ < 0) return Errno("open " + LogPath(dir));
@@ -145,41 +207,208 @@ LogBackedStore::~LogBackedStore() {
   }
 }
 
+Status LogBackedStore::RecoverLegacySnapshot(const std::vector<uint8_t>& snap) {
+  auto body = wire::VerifyChecksum(snap);
+  if (!body.ok()) {
+    return Status::DataLoss("snapshot " + SnapshotPath(dir_) +
+                            " failed its checksum: " +
+                            body.status().message());
+  }
+  wire::Reader r(snap, 0, *body);
+  SLOC_ASSIGN_OR_RETURN(uint8_t m0, r.U8());
+  SLOC_ASSIGN_OR_RETURN(uint8_t m1, r.U8());
+  SLOC_ASSIGN_OR_RETURN(uint8_t m2, r.U8());
+  SLOC_ASSIGN_OR_RETURN(uint8_t m3, r.U8());
+  if (m0 != kSnapshotMagicV1[0] || m1 != kSnapshotMagicV1[1] ||
+      m2 != kSnapshotMagicV1[2] || m3 != kSnapshotMagicV1[3]) {
+    return Status::DataLoss("bad snapshot magic");
+  }
+  SLOC_ASSIGN_OR_RETURN(uint8_t version, r.U8());
+  if (version != kSnapshotVersionV1) {
+    return Status::Unimplemented("snapshot version " +
+                                 std::to_string(int(version)));
+  }
+  SLOC_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+  for (uint64_t i = 0; i < count; ++i) {
+    SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
+    SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
+    SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
+                          hve::ParseCiphertext(*group_, blob));
+    mem_->Put(user_id, std::move(ct));
+  }
+  return r.ExpectDone();
+}
+
+Status LogBackedStore::RecoverMmapSnapshot(int fd, size_t file_bytes) {
+  const std::string path = SnapshotPath(dir_);
+  if (file_bytes < kV2HeaderBytes) {
+    return Status::DataLoss("snapshot " + path + " truncated inside header (" +
+                            std::to_string(file_bytes) + " bytes)");
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) return Errno("mmap " + path);
+  auto snap = std::make_shared<MappedSnapshot>();
+  snap->data = static_cast<const uint8_t*>(map);
+  snap->bytes = file_bytes;
+  const uint8_t* d = snap->data;
+
+  // Header: magic(4) version(1) pad(3) num_shards(u32 @8) count(u64 @12)
+  // index_offset(u64 @20) index_bytes(u64 @28) blob_region_offset(u64
+  // @36) file_bytes(u64 @44) pad(4) fnv1a64 of bytes [0,56) @56.
+  if (d[4] != kSnapshotVersionV2) {
+    return Status::Unimplemented("snapshot version " +
+                                 std::to_string(int(d[4])));
+  }
+  if (wire::Fnv1a(d, 56) != ReadLe64(d + 56)) {
+    return Status::DataLoss("snapshot " + path + " header failed its checksum");
+  }
+  const uint32_t file_shards = ReadLe32(d + 8);
+  const uint64_t count = ReadLe64(d + 12);
+  const uint64_t index_offset = ReadLe64(d + 20);
+  const uint64_t index_bytes = ReadLe64(d + 28);
+  const uint64_t blob_region_offset = ReadLe64(d + 36);
+  const uint64_t declared_bytes = ReadLe64(d + 44);
+  if (declared_bytes != file_bytes) {
+    return Status::DataLoss("snapshot " + path + " declares " +
+                            std::to_string(declared_bytes) + " bytes but is " +
+                            std::to_string(file_bytes));
+  }
+  if (file_shards == 0 || file_shards > kV2MaxShards) {
+    return Status::DataLoss("snapshot " + path + " declares implausible " +
+                            std::to_string(file_shards) + " shards");
+  }
+  if (index_offset != kV2HeaderBytes ||
+      index_bytes < uint64_t(file_shards) * 8 + 8 ||
+      index_bytes > file_bytes - kV2HeaderBytes ||
+      count != (index_bytes - uint64_t(file_shards) * 8 - 8) / kV2EntryBytes ||
+      index_bytes !=
+          uint64_t(file_shards) * 8 + count * kV2EntryBytes + 8 ||
+      blob_region_offset < kV2HeaderBytes + index_bytes ||
+      blob_region_offset > file_bytes ||
+      blob_region_offset % kV2PageBytes != 0) {
+    return Status::DataLoss("snapshot " + path + " index geometry is invalid");
+  }
+  const uint8_t* index = d + kV2HeaderBytes;
+  if (wire::Fnv1a(index, index_bytes - 8) !=
+      ReadLe64(index + index_bytes - 8)) {
+    return Status::DataLoss("snapshot " + path + " index failed its checksum");
+  }
+
+  // Parse the per-shard entry lists. Blobs are not touched here — only
+  // bounds, ordering, and (when shard counts match) placement are
+  // validated, so a million-user open is an index scan, not a parse.
+  uint64_t counted = 0;
+  snap->shard_entries.resize(file_shards);
+  std::vector<uint64_t> shard_counts(file_shards);
+  const uint8_t* p = index;
+  for (uint32_t s = 0; s < file_shards; ++s, p += 8) {
+    shard_counts[s] = ReadLe64(p);
+    if (shard_counts[s] > count - counted) {  // overflow-safe sum <= count
+      return Status::DataLoss("snapshot " + path +
+                              " per-shard counts exceed entry count");
+    }
+    counted += shard_counts[s];
+    snap->shard_entries[s].reserve(size_t(shard_counts[s]));
+  }
+  if (counted != count) {
+    return Status::DataLoss("snapshot " + path +
+                            " per-shard counts do not sum to entry count");
+  }
+  const bool same_sharding = file_shards == mem_->num_shards();
+  for (uint32_t s = 0; s < file_shards; ++s) {
+    for (uint64_t i = 0; i < shard_counts[s]; ++i, p += kV2EntryBytes) {
+      MappedSnapshot::Entry e;
+      e.user_id = int(int32_t(ReadLe32(p)));
+      e.offset = ReadLe64(p + 4);
+      e.len = ReadLe32(p + 12);
+      e.fnv = ReadLe64(p + 16);
+      if (e.offset < blob_region_offset || e.offset > file_bytes ||
+          uint64_t(e.len) > file_bytes - e.offset) {
+        return Status::DataLoss("snapshot " + path + " entry for user " +
+                                std::to_string(e.user_id) +
+                                " points outside the blob region");
+      }
+      if (!snap->shard_entries[s].empty() &&
+          snap->shard_entries[s].back().user_id >= e.user_id) {
+        return Status::DataLoss("snapshot " + path + " shard " +
+                                std::to_string(s) +
+                                " index is not sorted by user id");
+      }
+      if (same_sharding && mem_->ShardOf(e.user_id) != s) {
+        return Status::DataLoss("snapshot " + path + " entry for user " +
+                                std::to_string(e.user_id) +
+                                " filed under the wrong shard");
+      }
+      snap->shard_entries[s].push_back(e);
+    }
+  }
+
+  if (!same_sharding) {
+    // The file's index is useless under a different shard count:
+    // materialize everything now, re-sharded by mem_. Documented as the
+    // one recovery shape that pays the full eager parse.
+    std::vector<uint8_t> scratch;
+    for (const auto& entries : snap->shard_entries) {
+      for (const auto& e : entries) {
+        const uint8_t* blob = d + e.offset;
+        if (wire::Fnv1a(blob, e.len) != e.fnv) {
+          return Status::DataLoss("snapshot " + path + " blob for user " +
+                                  std::to_string(e.user_id) +
+                                  " failed its checksum");
+        }
+        scratch.assign(blob, blob + e.len);
+        SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
+                              hve::ParseCiphertext(*group_, scratch));
+        mem_->Put(e.user_id, std::move(ct));
+      }
+    }
+    return Status::Ok();  // snap unmaps at scope exit
+  }
+
+  // Same sharding: install the mapping and mark populated shards
+  // lazily pending.
+  size_t pending_shards = 0;
+  for (uint32_t s = 0; s < file_shards; ++s) {
+    if (!snap->shard_entries[s].empty()) {
+      recovery_[s].loaded = false;
+      ++pending_shards;
+    }
+  }
+  pending_entries_.store(size_t(count), std::memory_order_relaxed);
+  snap_ = std::move(snap);
+  shards_pending_ = pending_shards;
+  return Status::Ok();
+}
+
 Status LogBackedStore::Recover() {
   // 1. Snapshot, if one has been compacted. A corrupt snapshot is not
   // recoverable (the log only holds mutations since it was taken).
-  std::vector<uint8_t> snap;
-  Status snap_st = ReadFile(SnapshotPath(dir_), &snap);
-  if (snap_st.ok()) {
-    auto body = wire::VerifyChecksum(snap);
-    if (!body.ok()) {
-      return Status::DataLoss("snapshot " + SnapshotPath(dir_) +
-                              " failed its checksum: " +
-                              body.status().message());
+  // Dispatch on magic: v2 "SLS2" maps the file and defers blob parsing
+  // per shard; v1 "SLSS" (and anything unrecognized) takes the legacy
+  // whole-file read + parse.
+  const int snap_fd = ::open(SnapshotPath(dir_).c_str(), O_RDONLY);
+  if (snap_fd >= 0) {
+    struct stat st;
+    if (::fstat(snap_fd, &st) != 0) {
+      const Status err = Errno("fstat " + SnapshotPath(dir_));
+      ::close(snap_fd);
+      return err;
     }
-    wire::Reader r(snap, 0, *body);
-    SLOC_ASSIGN_OR_RETURN(uint8_t m0, r.U8());
-    SLOC_ASSIGN_OR_RETURN(uint8_t m1, r.U8());
-    SLOC_ASSIGN_OR_RETURN(uint8_t m2, r.U8());
-    SLOC_ASSIGN_OR_RETURN(uint8_t m3, r.U8());
-    if (m0 != kSnapshotMagic[0] || m1 != kSnapshotMagic[1] ||
-        m2 != kSnapshotMagic[2] || m3 != kSnapshotMagic[3]) {
-      return Status::DataLoss("bad snapshot magic");
+    const size_t file_bytes = size_t(st.st_size);
+    uint8_t magic[4] = {0, 0, 0, 0};
+    const bool is_v2 =
+        file_bytes >= 4 && ::pread(snap_fd, magic, 4, 0) == 4 &&
+        std::memcmp(magic, kSnapshotMagicV2, 4) == 0;
+    Status snap_st;
+    if (is_v2) {
+      snap_st = RecoverMmapSnapshot(snap_fd, file_bytes);
+    } else {
+      std::vector<uint8_t> snap;
+      snap_st = ReadFile(SnapshotPath(dir_), &snap);
+      if (snap_st.ok()) snap_st = RecoverLegacySnapshot(snap);
     }
-    SLOC_ASSIGN_OR_RETURN(uint8_t version, r.U8());
-    if (version != kSnapshotVersion) {
-      return Status::Unimplemented("snapshot version " +
-                                   std::to_string(int(version)));
-    }
-    SLOC_ASSIGN_OR_RETURN(uint64_t count, r.U64());
-    for (uint64_t i = 0; i < count; ++i) {
-      SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
-      SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
-      SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
-                            hve::ParseCiphertext(*group_, blob));
-      mem_->Put(user_id, std::move(ct));
-    }
-    SLOC_RETURN_IF_ERROR(r.ExpectDone());
+    ::close(snap_fd);
+    SLOC_RETURN_IF_ERROR(snap_st);
   }
 
   // 2. Replay the log over it. `valid_end` advances past every intact
@@ -188,6 +417,10 @@ Status LogBackedStore::Recover() {
   // truncated away. A bad record with intact data after it — trailing
   // records, or a valid record boundary inside the extent a corrupted
   // length prefix claims — is corruption and rejects recovery.
+  //
+  // Replayed users land in their shard's overlay: their log-derived
+  // state in mem_ supersedes any snapshot index entry, which is skipped
+  // if the shard later materializes.
   std::vector<uint8_t> log;
   Status log_st = ReadFile(LogPath(dir_), &log);
   if (!log_st.ok()) {
@@ -239,6 +472,12 @@ Status LogBackedStore::Recover() {
     wire::Reader r(log, payload_at, payload_at + len);
     SLOC_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
     SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
+    const size_t shard = mem_->ShardOf(user_id);
+    ShardRecovery& rec = recovery_[shard];
+    if (!rec.loaded && rec.overlay.insert(user_id).second &&
+        SnapshotIndexHasLocked(shard, user_id)) {
+      pending_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
     switch (kind) {
       case kRecordPut: {
         SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
@@ -265,6 +504,81 @@ Status LogBackedStore::Recover() {
   }
   log_bytes_ = valid_end;
   return Status::Ok();
+}
+
+bool LogBackedStore::SnapshotIndexHasLocked(size_t shard, int user_id) const {
+  std::shared_ptr<const MappedSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap = snap_;
+  }
+  if (snap == nullptr) return false;
+  const auto& entries = snap->shard_entries[shard];
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), user_id,
+      [](const MappedSnapshot::Entry& e, int id) { return e.user_id < id; });
+  return it != entries.end() && it->user_id == user_id;
+}
+
+Status LogBackedStore::EnsureShardLoadedLocked(size_t shard) const {
+  ShardRecovery& rec = recovery_[shard];
+  if (rec.loaded) return Status::Ok();
+  std::shared_ptr<const MappedSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    snap = snap_;
+  }
+  Status first;
+  if (snap != nullptr) {
+    // Parse this shard's blobs out of the mapping. A corrupt blob is
+    // dropped (never served unverified) and DataLoss latched; the rest
+    // of the shard still loads so one bad entry does not take down the
+    // whole shard's residents.
+    std::vector<uint8_t> scratch;
+    for (const MappedSnapshot::Entry& e : snap->shard_entries[shard]) {
+      if (rec.overlay.count(e.user_id) != 0) continue;  // superseded
+      Status st;
+      const uint8_t* blob = snap->data + e.offset;
+      if (wire::Fnv1a(blob, e.len) != e.fnv) {
+        st = Status::DataLoss("snapshot blob for user " +
+                              std::to_string(e.user_id) +
+                              " failed its checksum");
+      } else {
+        scratch.assign(blob, blob + e.len);
+        auto ct = hve::ParseCiphertext(*group_, scratch);
+        if (ct.ok()) {
+          mem_->Put(e.user_id, std::move(*ct));
+        } else {
+          st = ct.status();
+        }
+      }
+      pending_entries_.fetch_sub(1, std::memory_order_relaxed);
+      if (!st.ok() && first.ok()) first = st;
+    }
+  }
+  rec.loaded = true;
+  rec.overlay = {};
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (shards_pending_ > 0 && --shards_pending_ == 0) {
+      snap_.reset();  // every shard resident: release the mapping
+    }
+  }
+  if (!first.ok()) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (io_status_.ok()) io_status_ = first;
+  }
+  return first;
+}
+
+Status LogBackedStore::LoadAllShards() {
+  Status first;
+  for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    const Status st = EnsureShardLoadedLocked(shard);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
 }
 
 bool LogBackedStore::Append(uint8_t kind, int user_id,
@@ -304,10 +618,19 @@ void LogBackedStore::Put(int user_id, hve::Ciphertext ct) {
   // log append happen together under the shard lock, so for any one
   // user the log order always matches the memory order — recovery can
   // never resurrect a ciphertext the acked state had already replaced.
+  // An unmaterialized shard is NOT loaded here: the new ciphertext
+  // overlays the snapshot index entry, keeping recovered-store ingest
+  // O(1) per put.
   const std::vector<uint8_t> blob = hve::SerializeCiphertext(*group_, ct);
   bool compact_due;
   {
-    std::lock_guard<std::mutex> lock(shard_mu_[mem_->ShardOf(user_id)]);
+    const size_t shard = mem_->ShardOf(user_id);
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    ShardRecovery& rec = recovery_[shard];
+    if (!rec.loaded && rec.overlay.insert(user_id).second &&
+        SnapshotIndexHasLocked(shard, user_id)) {
+      pending_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
     mem_->Put(user_id, std::move(ct));
     compact_due = Append(kRecordPut, user_id, blob);
   }
@@ -318,18 +641,40 @@ bool LogBackedStore::Erase(int user_id) {
   bool existed;
   bool compact_due = false;
   {
-    std::lock_guard<std::mutex> lock(shard_mu_[mem_->ShardOf(user_id)]);
-    existed = mem_->Erase(user_id);
+    const size_t shard = mem_->ShardOf(user_id);
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    ShardRecovery& rec = recovery_[shard];
+    if (rec.loaded || rec.overlay.count(user_id) != 0) {
+      existed = mem_->Erase(user_id);
+    } else {
+      // Unmaterialized and not yet overlaid: existence is answered by
+      // the snapshot index, and the overlay mark makes the erase stick
+      // without ever parsing the blob.
+      existed = SnapshotIndexHasLocked(shard, user_id);
+      rec.overlay.insert(user_id);
+      if (existed) pending_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
     if (existed) compact_due = Append(kRecordErase, user_id, {});
   }
   if (compact_due) AutoCompact();
   return existed;
 }
 
+bool LogBackedStore::Contains(int user_id) const {
+  const size_t shard = mem_->ShardOf(user_id);
+  std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+  const ShardRecovery& rec = recovery_[shard];
+  if (rec.loaded || rec.overlay.count(user_id) != 0) {
+    return mem_->Contains(user_id);
+  }
+  return SnapshotIndexHasLocked(shard, user_id);
+}
+
 void LogBackedStore::VisitShard(
     size_t shard,
     const std::function<void(int, const hve::Ciphertext&)>& fn) const {
   std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+  EnsureShardLoadedLocked(shard);  // failure latched in io_status_
   mem_->VisitShard(shard, fn);
 }
 
@@ -346,36 +691,123 @@ void LogBackedStore::AutoCompact() {
   }
 }
 
+namespace {
+
+/// Serializes the collected state in the v1 "SLSS" layout (flat
+/// count-prefixed entries, whole-file checksum).
+std::vector<uint8_t> BuildLegacySnapshot(
+    const std::vector<std::vector<std::pair<int, std::vector<uint8_t>>>>&
+        shards,
+    size_t count) {
+  wire::Writer w;
+  w.Raw(kSnapshotMagicV1, 4);
+  w.U8(kSnapshotVersionV1);
+  w.U64(count);
+  for (const auto& shard : shards) {
+    for (const auto& entry : shard) {
+      w.I32(entry.first);
+      w.Bytes(entry.second);
+    }
+  }
+  std::vector<uint8_t> snap = w.Take();
+  wire::AppendChecksum(&snap);
+  return snap;
+}
+
+/// Serializes the collected state in the v2 "SLS2" layout: 64-byte
+/// header, per-shard index sorted by user id, page-aligned per-shard
+/// blob regions (docs/WIRE.md#snapshot-v2). Entries within each shard
+/// must already be sorted by user id.
+std::vector<uint8_t> BuildMmapSnapshot(
+    const std::vector<std::vector<std::pair<int, std::vector<uint8_t>>>>&
+        shards,
+    size_t count) {
+  const size_t ns = shards.size();
+  const size_t index_bytes = ns * 8 + count * kV2EntryBytes + 8;
+  const size_t blob_region_offset =
+      AlignUp(kV2HeaderBytes + index_bytes, kV2PageBytes);
+
+  // Lay out blob offsets: each shard's sub-region starts on a page
+  // boundary so materializing one shard faults only its own pages.
+  std::vector<uint64_t> offsets;
+  offsets.reserve(count);
+  size_t cur = blob_region_offset;
+  for (const auto& shard : shards) {
+    cur = AlignUp(cur, kV2PageBytes);
+    for (const auto& entry : shard) {
+      offsets.push_back(cur);
+      cur += entry.second.size();
+    }
+  }
+  const size_t file_bytes = cur;
+
+  std::vector<uint8_t> out(file_bytes, 0);
+  std::memcpy(out.data(), kSnapshotMagicV2, 4);
+  out[4] = kSnapshotVersionV2;
+  WriteLe32(out.data() + 8, uint32_t(ns));
+  WriteLe64(out.data() + 12, count);
+  WriteLe64(out.data() + 20, kV2HeaderBytes);
+  WriteLe64(out.data() + 28, index_bytes);
+  WriteLe64(out.data() + 36, blob_region_offset);
+  WriteLe64(out.data() + 44, file_bytes);
+  WriteLe64(out.data() + 56, wire::Fnv1a(out.data(), 56));
+
+  uint8_t* p = out.data() + kV2HeaderBytes;
+  for (const auto& shard : shards) {
+    WriteLe64(p, shard.size());
+    p += 8;
+  }
+  size_t i = 0;
+  for (const auto& shard : shards) {
+    for (const auto& entry : shard) {
+      const std::vector<uint8_t>& blob = entry.second;
+      WriteLe32(p, uint32_t(entry.first));
+      WriteLe64(p + 4, offsets[i]);
+      WriteLe32(p + 12, uint32_t(blob.size()));
+      WriteLe64(p + 16, wire::Fnv1a(blob.data(), blob.size()));
+      p += kV2EntryBytes;
+      std::memcpy(out.data() + offsets[i], blob.data(), blob.size());
+      ++i;
+    }
+  }
+  WriteLe64(p, wire::Fnv1a(out.data() + kV2HeaderBytes, index_bytes - 8));
+  return out;
+}
+
+}  // namespace
+
 Status LogBackedStore::Compact() {
   // Resident state is the source of truth: hold EVERY shard lock plus
   // the log lock for the sweep, so no append can land between the state
   // serialization and the log truncation (such an append would be
   // missing from both snapshot and log after recovery). Lock order is
   // shards-in-index-order then log, matching Put/Erase's single-shard
-  // -> log order.
+  // -> log order. Lazily-pending shards materialize first — the
+  // snapshot always captures the full resident state.
   std::vector<std::unique_lock<std::mutex>> shard_locks;
   shard_locks.reserve(mem_->num_shards());
   for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
     shard_locks.emplace_back(shard_mu_[shard]);
+    EnsureShardLoadedLocked(shard);  // failure latched in io_status_
   }
   std::lock_guard<std::mutex> log_lock(log_mu_);
   if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
-  wire::Writer w;
-  w.Raw(kSnapshotMagic, 4);
-  w.U8(kSnapshotVersion);
+  std::vector<std::vector<std::pair<int, std::vector<uint8_t>>>> shards(
+      mem_->num_shards());
   size_t count = 0;
-  wire::Writer entries;
   for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
+    auto& out = shards[shard];
     mem_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
-      entries.I32(user_id);
-      entries.Bytes(hve::SerializeCiphertext(*group_, ct));
+      out.emplace_back(user_id, hve::SerializeCiphertext(*group_, ct));
       ++count;
     });
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
-  w.U64(count);
-  w.Raw(entries.buf().data(), entries.buf().size());
-  std::vector<uint8_t> snap = w.Take();
-  wire::AppendChecksum(&snap);
+  const std::vector<uint8_t> snap =
+      options_.snapshot_format == SnapshotFormat::kMmap
+          ? BuildMmapSnapshot(shards, count)
+          : BuildLegacySnapshot(shards, count);
   SLOC_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(dir_), snap));
   if (::ftruncate(log_fd_, 0) != 0) {
     return Errno("ftruncate " + LogPath(dir_));

@@ -1,5 +1,6 @@
 // Durable ciphertext storage: append-only record log + compacted
-// snapshots.
+// snapshots, with an mmap-indexed snapshot format sized for
+// million-user stores.
 //
 // LogBackedStore wraps the in-memory backends of store.h with a
 // write-ahead persistence layer so a service-provider store survives
@@ -24,13 +25,35 @@
 //     fails recovery with DataLoss: silently skipping it could
 //     resurrect a stale location for a user.
 //
+// Snapshot formats (full byte-level spec: docs/WIRE.md):
+//
+//   * v2 "SLS2" (SnapshotFormat::kMmap, the default) — a fixed 64-byte
+//     header, a per-shard index of (user id, offset, length, checksum)
+//     entries sorted by user id, and page-aligned per-shard blob
+//     regions. Open() mmaps the file, verifies only the header and
+//     index checksums, and materializes resident shards *lazily*: the
+//     first scan (or Compact) of a shard faults in and parses just that
+//     shard's pages. Recovery of a million-user store is an index read,
+//     not a full-file parse; ingest against a freshly recovered store
+//     never pays materialization at all (mutations overlay the index).
+//     The mapping is released once every shard has materialized.
+//   * v1 "SLSS" (SnapshotFormat::kLegacy) — flat count-prefixed
+//     entries with a whole-file checksum; reading it means parsing
+//     every blob up front. Still read transparently for migration;
+//     compaction rewrites the store in the configured format, so one
+//     Compact() on a default-options store migrates v1 -> v2.
+//
 // Record format (little-endian, via common/wire.h):
 //   u32 payload_len | payload | u64 fnv1a64(payload)
 //   payload: u8 kind (1 = put, 2 = erase) | i32 user_id | [ct blob]
 //
-// Snapshot format:
-//   "SLSS" | u8 version | u64 count | count * (i32 user_id, bytes blob)
-//   | trailing whole-file fnv1a64 checksum
+// Lazy-load failure semantics: v2 header/index corruption fails Open()
+// with DataLoss up front. A corrupt *blob* is only discovered when its
+// shard materializes — the store then latches DataLoss in io_status()
+// and drops the affected entries rather than serving unverifiable
+// ciphertexts. Operators who want the v1-style all-or-nothing check at
+// startup set Options::eager_snapshot_load (or call LoadAllShards()
+// right after Open and check its Status).
 //
 // Threading: stronger than the base CiphertextStore contract. Put,
 // Erase, Contains, VisitShard, and Compact are internally synchronized
@@ -39,12 +62,12 @@
 // one shard-lock hold, so per-user log order always matches memory
 // order — two racing Puts for the same user can never ack one
 // ciphertext and recover the other. Lock order is always
-// shards-in-ascending-index-order -> log: Put/Erase take one shard then
-// the log, the compaction sweep takes every shard then the log, and
-// auto-compaction runs after the triggering append's shard lock is
-// released, so the sweep cannot deadlock against appends. size() is an
-// unsynchronized sum — exact once writers quiesce, approximate under
-// concurrency.
+// shards-in-ascending-index-order -> {snapshot mapping, log}: Put/Erase
+// take one shard then the log, the compaction sweep takes every shard
+// then the log, and auto-compaction runs after the triggering append's
+// shard lock is released, so the sweep cannot deadlock against appends.
+// size() is an unsynchronized sum — exact once writers quiesce,
+// approximate under concurrency.
 
 #ifndef SLOC_API_LOG_STORE_H_
 #define SLOC_API_LOG_STORE_H_
@@ -54,6 +77,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "api/store.h"
@@ -65,6 +89,12 @@ namespace api {
 
 class LogBackedStore : public CiphertextStore {
  public:
+  /// On-disk layout Compact() writes. Both are always readable.
+  enum class SnapshotFormat {
+    kMmap,    ///< v2 "SLS2": indexed, page-aligned, lazily recoverable
+    kLegacy,  ///< v1 "SLSS": flat, whole-file parse on recovery
+  };
+
   struct Options {
     size_t num_shards = 1;  ///< shard count of the resident delegate
     /// Compact (snapshot + truncate) once the log holds this many bytes
@@ -76,6 +106,12 @@ class LogBackedStore : public CiphertextStore {
     /// process-crash durability (the page cache) is the service-level
     /// guarantee.
     bool fsync_every_append = false;
+    /// Format Compact() writes (recovery reads either).
+    SnapshotFormat snapshot_format = SnapshotFormat::kMmap;
+    /// Materialize every shard inside Open() and fail it on any
+    /// corrupt blob, instead of the default lazy per-shard loading.
+    /// Restores the v1 all-or-nothing startup check at v1 cost.
+    bool eager_snapshot_load = false;
   };
 
   /// Opens (creating if absent) the store rooted at directory `dir`,
@@ -93,27 +129,49 @@ class LogBackedStore : public CiphertextStore {
   // CiphertextStore. Put/Erase append to the log; a failed append
   // (disk full, I/O error) latches io_status() and the mutation still
   // applies in memory, so a degraded store keeps serving while ops see
-  // a non-OK status.
+  // a non-OK status. Against an unmaterialized shard, Put/Erase stay
+  // O(1): the mutation lands in resident memory and overlays the
+  // snapshot index entry, which is skipped if the shard later loads.
   std::string name() const override { return "log/" + mem_->name(); }
   void Put(int user_id, hve::Ciphertext ct) override;
   bool Erase(int user_id) override;
-  bool Contains(int user_id) const override { return mem_->Contains(user_id); }
-  size_t size() const override { return mem_->size(); }
+  bool Contains(int user_id) const override;
+  /// Resident + lazily-pending entries (exact once writers quiesce).
+  size_t size() const override {
+    return mem_->size() + pending_entries_.load(std::memory_order_relaxed);
+  }
   size_t num_shards() const override { return mem_->num_shards(); }
   size_t ShardOf(int user_id) const override { return mem_->ShardOf(user_id); }
-  /// Holds the shard's mutex for the duration of the visit — wrap in a
-  /// snapshotting store (net::EpochSnapshotStore) when scans must not
+  /// Holds the shard's mutex for the duration of the visit (and
+  /// materializes the shard first when it is lazily pending) — wrap in
+  /// a snapshotting store (net::EpochSnapshotStore) when scans must not
   /// block ingest of the same shard.
   void VisitShard(size_t shard,
                   const std::function<void(int, const hve::Ciphertext&)>& fn)
       const override;
 
-  /// Writes the snapshot and truncates the log. Called automatically
-  /// from Put/Erase past Options::compact_log_bytes.
+  /// Writes the snapshot (Options::snapshot_format) and truncates the
+  /// log. Called automatically from Put/Erase past
+  /// Options::compact_log_bytes. Materializes every pending shard
+  /// first: the snapshot is always the full resident state.
   Status Compact();
 
-  /// First append/compaction failure since Open, or OK. Durability is
-  /// compromised once non-OK (resident state is still correct).
+  /// Materializes every lazily-pending shard from the mapped snapshot,
+  /// releasing the mapping when done. First blob failure (DataLoss) is
+  /// returned AND latched in io_status(); loading still completes so
+  /// the store is fully resident either way.
+  Status LoadAllShards();
+
+  /// Snapshot entries not yet materialized into resident memory
+  /// (observability; 0 once every shard has loaded or after any
+  /// legacy-format recovery).
+  size_t pending_snapshot_entries() const {
+    return pending_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// First append/compaction/lazy-load failure since Open, or OK.
+  /// Durability (or, for lazy-load failures, completeness of the
+  /// recovered state) is compromised once non-OK.
   Status io_status() const;
 
   /// Bytes appended to the log since the last snapshot (observability).
@@ -122,6 +180,8 @@ class LogBackedStore : public CiphertextStore {
   const std::string& dir() const { return dir_; }
 
  private:
+  struct MappedSnapshot;
+
   LogBackedStore(std::string dir, std::shared_ptr<const PairingGroup> group,
                  const Options& options);
 
@@ -131,9 +191,26 @@ class LogBackedStore : public CiphertextStore {
   /// compacts after releasing its shard lock).
   bool Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob);
 
-  /// Loads snapshot + log into mem_. Truncates a torn log tail in
-  /// place; rejects mid-log corruption.
+  /// Loads snapshot + log into mem_ (v2 snapshots: index only, blobs
+  /// stay mapped and pending). Truncates a torn log tail in place;
+  /// rejects mid-log corruption.
   Status Recover();
+
+  /// Parses + validates a v2 snapshot: maps the file, checks header and
+  /// index checksums/bounds, and fills snap_. Blobs are not touched.
+  Status RecoverMmapSnapshot(int fd, size_t file_bytes);
+
+  /// Reads + parses a whole v1 snapshot into mem_ (the legacy path).
+  Status RecoverLegacySnapshot(const std::vector<uint8_t>& snap);
+
+  /// Materializes one shard from the mapped snapshot into mem_.
+  /// Requires shard_mu_[shard]; no-op when already loaded. Corrupt
+  /// blobs latch DataLoss and are dropped (see file comment).
+  Status EnsureShardLoadedLocked(size_t shard) const;
+
+  /// True when the (unmaterialized) snapshot index holds `user_id` in
+  /// `shard`. Requires shard_mu_[shard].
+  bool SnapshotIndexHasLocked(size_t shard, int user_id) const;
 
   /// Threshold-triggered Compact(); collapses a stampede of concurrent
   /// triggers to one sweep and latches io_status_ on failure.
@@ -146,10 +223,32 @@ class LogBackedStore : public CiphertextStore {
   /// Guards resident state per shard (mem_ itself is not thread-safe).
   mutable std::unique_ptr<std::mutex[]> shard_mu_;
 
+  /// Lazy-recovery state per shard, guarded by the matching shard_mu_.
+  struct ShardRecovery {
+    /// True once the shard's snapshot entries live in mem_ (immediately
+    /// true for shards with no snapshot entries and after any legacy
+    /// recovery).
+    bool loaded = true;
+    /// Users whose authoritative state is mem_'s (log replay or
+    /// post-open mutation): their snapshot index entry, if any, is
+    /// stale and skipped at materialization. Cleared once loaded.
+    std::unordered_set<int> overlay;
+  };
+  mutable std::unique_ptr<ShardRecovery[]> recovery_;
+  /// Snapshot entries not yet materialized (and not overlaid).
+  mutable std::atomic<size_t> pending_entries_{0};
+
+  /// The mapped v2 snapshot; reset (munmap) once every shard has
+  /// materialized. Guarded by snap_mu_ (innermost with shard locks:
+  /// shard -> snap, never snap -> shard).
+  mutable std::mutex snap_mu_;
+  mutable std::shared_ptr<const MappedSnapshot> snap_;
+  mutable size_t shards_pending_ = 0;  ///< shards not yet loaded
+
   mutable std::mutex log_mu_;
   int log_fd_ = -1;           ///< guarded by log_mu_
   size_t log_bytes_ = 0;      ///< appended since last snapshot
-  Status io_status_;          ///< first I/O failure, latched
+  mutable Status io_status_;  ///< first I/O failure, latched
   std::atomic<bool> compacting_{false};  ///< one auto-compactor at a time
 };
 

@@ -8,7 +8,9 @@
 //
 //   magic "SLEV" | version u8 | type u8 | payload | FNV-1a64 checksum
 //
-// so a receiver can (a) reject corruption and truncation with a clean
+// (normative byte-level spec, version history, and compatibility rules
+// in docs/WIRE.md — keep the two in sync) so a receiver can (a) reject
+// corruption and truncation with a clean
 // Status, (b) detect messages from a future incompatible wire version
 // instead of misparsing them, and (c) dispatch on the type tag. The
 // checksum idiom mirrors hve/serialize.h: it trails the frame and covers

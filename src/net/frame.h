@@ -6,6 +6,8 @@
 //
 //   u32 envelope_len | SLEV envelope bytes
 //
+// (framing spec: docs/WIRE.md §2; the envelope itself: docs/WIRE.md §1)
+//
 // FrameDecoder reassembles that incrementally: the server's epoll loop
 // and the blocking client both feed it whatever read() returned and
 // pull out complete envelopes. The declared length is attacker

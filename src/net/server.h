@@ -2,12 +2,13 @@
 // network service.
 //
 // A non-blocking epoll TCP server speaking length-prefixed SLEV
-// envelopes (net/frame.h over api/messages.h). One I/O thread owns
+// envelopes (net/frame.h over api/messages.h; wire spec in
+// docs/WIRE.md). Options::io_threads epoll event loops own
 // accept/read/write and all connection state; a pool of crypto workers
 // does everything expensive. The data flow:
 //
-//   epoll thread                 workers
-//   ------------                 -------
+//   I/O threads (×N)             workers
+//   ----------------             -------
 //   read + frame-slice
 //   kLocationUpload/kLocationBatch
 //     -> bin uploads into per-shard
@@ -18,7 +19,19 @@
 //   kAlertTokens ----------------> ProcessAlertBundle on an epoch
 //                                 snapshot of the store (scans never
 //                                 block ingest; snapshot_store.h)
-//   write acks/outcomes <-------- reply queue + eventfd wakeup
+//   write acks/outcomes <-------- per-thread reply queue + eventfd
+//
+// Multi-threaded I/O: with io_threads > 1, each thread has its own
+// listen socket bound to the same port with SO_REUSEPORT — the kernel
+// shards incoming connections across threads with no user-space
+// hand-off. A connection is owned by exactly one I/O thread for life
+// (reads, decode state, write buffer, backpressure flags never cross
+// threads); its id encodes the owner, so any worker routes a finished
+// reply to the right thread's queue without a global connection table
+// or lock. The per-shard ingest queues and the scan queue are shared —
+// any I/O thread enqueues into any shard under that shard's own mutex.
+// io_threads = 1 behaves exactly like the original single-loop server
+// (no SO_REUSEPORT).
 //
 // Replies to one connection always flush in request order (a reorder
 // buffer holds out-of-order completions), so a pipelining client can
@@ -70,6 +83,12 @@ class AlertServer {
  public:
   struct Options {
     uint16_t port = 0;         ///< 0 picks an ephemeral port (see port())
+    /// epoll I/O event loops. >1 shards accepts across per-thread
+    /// listen sockets via SO_REUSEPORT (see file comment); 0 is
+    /// clamped to 1. Reads paused by the *global* in-flight cap may
+    /// take up to one 500 ms epoll tick to resume when the draining
+    /// replies all belong to other threads' connections.
+    unsigned io_threads = 1;
     unsigned num_workers = 4;  ///< crypto workers (ingest + scans)
     /// Worker threads *inside* one alert scan (the provider's sharded
     /// matcher); scans from different requests serialize, so total scan

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -62,11 +63,23 @@ class LogStoreTest : public ::testing::Test {
   }
 
   Result<std::unique_ptr<LogBackedStore>> Open(
-      size_t num_shards = 2, size_t compact_log_bytes = 0) {
+      size_t num_shards = 2, size_t compact_log_bytes = 0,
+      LogBackedStore::SnapshotFormat format =
+          LogBackedStore::SnapshotFormat::kMmap,
+      bool eager_snapshot_load = false) {
     LogBackedStore::Options options;
     options.num_shards = num_shards;
     options.compact_log_bytes = compact_log_bytes;
+    options.snapshot_format = format;
+    options.eager_snapshot_load = eager_snapshot_load;
     return LogBackedStore::Open(dir_, group_, options);
+  }
+
+  /// The four magic bytes of the snapshot file on disk.
+  std::string SnapshotMagic() {
+    const std::vector<uint8_t> snap = Slurp(SnapshotPath());
+    return std::string(snap.begin(),
+                       snap.begin() + long(std::min<size_t>(4, snap.size())));
   }
 
   std::string LogPath() const { return dir_ + "/wal.log"; }
@@ -257,18 +270,214 @@ TEST_F(LogStoreTest, AutoCompactionKicksIn) {
   EXPECT_EQ(reopened->size(), 2u);
 }
 
-TEST_F(LogStoreTest, CorruptSnapshotRejected) {
+TEST_F(LogStoreTest, CorruptLegacySnapshotRejected) {
   {
-    auto store = Open().value();
+    auto store =
+        Open(2, 0, LogBackedStore::SnapshotFormat::kLegacy).value();
     store->Put(1, CtFor(2));
     ASSERT_TRUE(store->Compact().ok());
   }
+  ASSERT_EQ(SnapshotMagic(), "SLSS");
   std::vector<uint8_t> snap = Slurp(SnapshotPath());
   snap[snap.size() / 2] ^= 0x55;
   Dump(SnapshotPath(), snap);
   auto reopened = Open();
   ASSERT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, TruncatedMmapHeaderRejected) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  ASSERT_EQ(SnapshotMagic(), "SLS2");
+  std::vector<uint8_t> snap = Slurp(SnapshotPath());
+  snap.resize(30);  // cut inside the 64-byte header
+  Dump(SnapshotPath(), snap);
+  auto reopened = Open();
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, CorruptMmapHeaderRejected) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  std::vector<uint8_t> snap = Slurp(SnapshotPath());
+  snap[13] ^= 0xFF;  // inside the header's entry-count field
+  Dump(SnapshotPath(), snap);
+  auto reopened = Open();
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, CorruptMmapIndexRejected) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  std::vector<uint8_t> snap = Slurp(SnapshotPath());
+  snap[64 + 20] ^= 0xFF;  // inside the first index entry
+  Dump(SnapshotPath(), snap);
+  auto reopened = Open();
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(LogStoreTest, CorruptBlobFailsEagerOpenButDefersUnderLazy) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  // The v2 file ends at the last blob's last byte: flip it. Header and
+  // index stay intact, so only blob verification can catch this.
+  std::vector<uint8_t> snap = Slurp(SnapshotPath());
+  snap.back() ^= 0x55;
+  Dump(SnapshotPath(), snap);
+
+  // Eager open keeps the v1 all-or-nothing contract.
+  auto eager = Open(2, 0, LogBackedStore::SnapshotFormat::kMmap,
+                    /*eager_snapshot_load=*/true);
+  ASSERT_FALSE(eager.ok());
+  EXPECT_EQ(eager.status().code(), StatusCode::kDataLoss);
+
+  // Lazy open succeeds — the index still answers Contains — and the
+  // corruption surfaces as a latched DataLoss plus a dropped entry when
+  // the shard materializes.
+  auto lazy = Open().value();
+  EXPECT_EQ(lazy->size(), 2u);
+  EXPECT_TRUE(lazy->Contains(1));
+  EXPECT_TRUE(lazy->Contains(2));
+  EXPECT_TRUE(lazy->io_status().ok());
+  const Status load = lazy->LoadAllShards();
+  EXPECT_EQ(load.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(lazy->io_status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(lazy->size(), 1u);  // the corrupt entry was dropped, not served
+}
+
+TEST_F(LogStoreTest, LegacySnapshotMigratesToMmapOnCompaction) {
+  // A store compacted under the legacy format reopens transparently and
+  // the next (default-options) compaction rewrites it as v2 — the
+  // upgrade path is one Compact() away.
+  {
+    auto store =
+        Open(2, 0, LogBackedStore::SnapshotFormat::kLegacy).value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+    store->Put(3, CtFor(5));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  ASSERT_EQ(SnapshotMagic(), "SLSS");
+  {
+    auto store = Open().value();
+    EXPECT_EQ(store->size(), 3u);
+    EXPECT_EQ(store->pending_snapshot_entries(), 0u);  // legacy = eager
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  EXPECT_EQ(SnapshotMagic(), "SLS2");
+  auto reopened = Open().value();
+  EXPECT_EQ(reopened->size(), 3u);
+  EXPECT_GT(reopened->pending_snapshot_entries(), 0u);  // now lazy
+  EXPECT_TRUE(reopened->Contains(1));
+  EXPECT_TRUE(reopened->Contains(2));
+  EXPECT_TRUE(reopened->Contains(3));
+  EXPECT_TRUE(reopened->LoadAllShards().ok());
+  EXPECT_EQ(reopened->size(), 3u);
+}
+
+TEST_F(LogStoreTest, LazyRecoveryMatchesEagerRecovery) {
+  // Build a store whose recovery mixes all three sources: v2 snapshot
+  // entries, a post-snapshot erase, and post-snapshot puts (one
+  // replacing a snapshotted user). Lazy and eager recovery must
+  // serialize to identical per-shard state.
+  const std::vector<std::pair<int, int>> placements = {
+      {1, 2}, {2, 3}, {3, 5}, {4, 7}, {5, 11}, {6, 13}, {7, 2}, {8, 3}};
+  {
+    auto store = Open(4).value();
+    for (const auto& [user, cell] : placements) store->Put(user, CtFor(cell));
+    ASSERT_TRUE(store->Compact().ok());
+    EXPECT_TRUE(store->Erase(5));   // log-only erase over the snapshot
+    store->Put(2, CtFor(7));        // log-only replace of a snapshot entry
+    store->Put(9, CtFor(5));        // log-only brand-new user
+  }
+  const auto serialize_all = [&](LogBackedStore& store) {
+    std::vector<std::pair<int, std::vector<uint8_t>>> state;
+    for (size_t s = 0; s < store.num_shards(); ++s) {
+      store.VisitShard(s, [&](int user_id, const hve::Ciphertext& ct) {
+        state.emplace_back(user_id, hve::SerializeCiphertext(*group_, ct));
+      });
+    }
+    std::sort(state.begin(), state.end());
+    return state;
+  };
+  auto eager = Open(4, 0, LogBackedStore::SnapshotFormat::kMmap,
+                    /*eager_snapshot_load=*/true)
+                   .value();
+  EXPECT_EQ(eager->pending_snapshot_entries(), 0u);
+  auto lazy = Open(4).value();
+  EXPECT_GT(lazy->pending_snapshot_entries(), 0u);
+  EXPECT_EQ(lazy->size(), eager->size());
+  // Contains answers correctly from the index before materialization.
+  EXPECT_TRUE(lazy->Contains(1));
+  EXPECT_FALSE(lazy->Contains(5));
+  EXPECT_TRUE(lazy->Contains(9));
+  EXPECT_EQ(serialize_all(*lazy), serialize_all(*eager));
+  EXPECT_EQ(lazy->pending_snapshot_entries(), 0u);  // visits materialized all
+  EXPECT_TRUE(lazy->io_status().ok());
+}
+
+TEST_F(LogStoreTest, MutationsOnUnmaterializedShardsStick) {
+  {
+    auto store = Open().value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+    store->Put(3, CtFor(5));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  {
+    // Mutate the recovered store without ever materializing a shard:
+    // erase a snapshotted user and replace another.
+    auto store = Open().value();
+    EXPECT_GT(store->pending_snapshot_entries(), 0u);
+    EXPECT_TRUE(store->Erase(1));
+    EXPECT_FALSE(store->Erase(1));  // idempotent: the index entry is dead
+    store->Put(2, CtFor(7));
+    EXPECT_EQ(store->size(), 2u);
+  }
+  auto reopened = Open().value();
+  EXPECT_EQ(reopened->size(), 2u);
+  EXPECT_FALSE(reopened->Contains(1));
+  EXPECT_TRUE(reopened->Contains(2));
+  EXPECT_TRUE(reopened->Contains(3));
+  EXPECT_TRUE(reopened->LoadAllShards().ok());
+  EXPECT_EQ(reopened->size(), 2u);
+  EXPECT_FALSE(reopened->Contains(1));
+}
+
+TEST_F(LogStoreTest, ShardCountChangeForcesEagerReShard) {
+  {
+    auto store = Open(2).value();
+    store->Put(1, CtFor(2));
+    store->Put(2, CtFor(3));
+    store->Put(3, CtFor(5));
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  // The v2 per-shard index is keyed to the writing store's shard count;
+  // reopening at a different count re-shards eagerly (documented cost).
+  auto store = Open(3).value();
+  EXPECT_EQ(store->pending_snapshot_entries(), 0u);
+  EXPECT_EQ(store->size(), 3u);
+  EXPECT_TRUE(store->Contains(1));
+  EXPECT_TRUE(store->Contains(2));
+  EXPECT_TRUE(store->Contains(3));
 }
 
 TEST_F(LogStoreTest, RecoveredStoreMatchesInMemoryTwin) {
@@ -301,6 +510,60 @@ TEST_F(LogStoreTest, RecoveredStoreMatchesInMemoryTwin) {
                                    sp_options);
   ASSERT_TRUE(recovered.config_status().ok());
   EXPECT_EQ(recovered.num_users(), placements.size());
+
+  const std::vector<std::vector<uint8_t>> tokens =
+      ta_->IssueAlert({2, 3}).value();
+  const auto expected = twin->ProcessAlert(tokens).value();
+  const auto actual = recovered.ProcessAlert(tokens).value();
+  EXPECT_EQ(actual.notified_users, expected.notified_users);
+  EXPECT_EQ(actual.stats.matches, expected.stats.matches);
+  EXPECT_EQ(actual.stats.pairings, expected.stats.pairings);
+  ASSERT_FALSE(expected.notified_users.empty());
+}
+
+TEST_F(LogStoreTest, MmapRecoveredStoreMatchesTwinAcrossShards) {
+  // Multi-shard shape through the v2 snapshot: compact mid-stream so
+  // recovery mixes lazily-mapped snapshot shards with log replay, then
+  // demand the recovered provider serve the identical alert outcome to
+  // an in-memory twin. The first ProcessAlert scan is also what
+  // materializes the shards.
+  alert::ServiceProvider::Options sp_options;
+  sp_options.num_shards = 4;
+  sp_options.num_threads = 2;
+
+  auto twin = std::make_unique<alert::ServiceProvider>(
+      group_, ta_->marker(), MakeStore(4), sp_options);
+
+  const std::vector<std::pair<int, int>> before = {
+      {1, 2}, {2, 3}, {3, 5}, {4, 2}, {5, 11}, {6, 2}, {7, 13}, {8, 3}};
+  const std::vector<std::pair<int, int>> after = {{9, 2}, {2, 7}, {10, 3}};
+  {
+    auto store = Open(4).value();
+    LogBackedStore* raw = store.get();
+    alert::ServiceProvider durable(group_, ta_->marker(), std::move(store),
+                                   sp_options);
+    ASSERT_TRUE(durable.config_status().ok());
+    for (const auto& [user, cell] : before) {
+      const std::vector<uint8_t> blob = BlobFor(cell);
+      ASSERT_TRUE(durable.SubmitLocation(user, blob).ok());
+      ASSERT_TRUE(twin->SubmitLocation(user, blob).ok());
+    }
+    ASSERT_TRUE(raw->Compact().ok());
+    for (const auto& [user, cell] : after) {
+      const std::vector<uint8_t> blob = BlobFor(cell);
+      ASSERT_TRUE(durable.SubmitLocation(user, blob).ok());
+      ASSERT_TRUE(twin->SubmitLocation(user, blob).ok());
+    }
+    ASSERT_TRUE(durable.RemoveUser(6));
+    ASSERT_TRUE(twin->RemoveUser(6));
+  }
+
+  auto recovered_store = Open(4).value();
+  EXPECT_GT(recovered_store->pending_snapshot_entries(), 0u);
+  alert::ServiceProvider recovered(group_, ta_->marker(),
+                                   std::move(recovered_store), sp_options);
+  ASSERT_TRUE(recovered.config_status().ok());
+  EXPECT_EQ(recovered.num_users(), twin->num_users());
 
   const std::vector<std::vector<uint8_t>> tokens =
       ta_->IssueAlert({2, 3}).value();

@@ -135,10 +135,11 @@ class NetTest : public ::testing::Test {
   }
 
   std::unique_ptr<AlertServer> StartServer(
-      std::unique_ptr<api::CiphertextStore> store) {
+      std::unique_ptr<api::CiphertextStore> store, unsigned io_threads = 1) {
     AlertServer::Options options;
     options.num_workers = 2;
     options.scan_threads = 2;
+    options.io_threads = io_threads;
     return AlertServer::Start(group_, ta_->marker(), std::move(store),
                               options)
         .value();
@@ -336,6 +337,87 @@ TEST_F(NetTest, RestartOverLogStoreServesIdenticalAlert) {
   EXPECT_EQ(after.notified_users, before);
   EXPECT_EQ(after.resident_users, 6u);
   EXPECT_EQ(after.store_backend, "log/sharded/2");
+}
+
+TEST_F(NetTest, MultiIoThreadServerMatchesTwinAcrossConnections) {
+  // Three SO_REUSEPORT I/O threads, several client connections (the
+  // kernel spreads them across threads), uploads interleaved with an
+  // alert from yet another connection: the aggregate resident state and
+  // alert outcome must match an in-process twin, and per-connection
+  // acks must all arrive.
+  alert::ServiceProvider::Options sp_options;
+  sp_options.num_shards = 4;
+  sp_options.num_threads = 2;
+  alert::ServiceProvider twin(group_, ta_->marker(), sp_options);
+
+  auto server = StartServer(api::MakeStore(4), /*io_threads=*/3);
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 8;
+  std::vector<AlertClient> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(AlertClient::Connect(server->port()).value());
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const int user = c * kPerClient + i + 1;
+      const api::LocationUpload upload = UploadFor(user, (user % 14) + 1);
+      ASSERT_TRUE(twin.SubmitLocation(user, upload.ciphertext).ok());
+      ASSERT_TRUE(
+          clients[size_t(c)].SendOnly(api::EncodeLocationUpload(upload)).ok());
+    }
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      api::SubmitAck ack = clients[size_t(c)].DrainAck().value();
+      EXPECT_EQ(ack.accepted, 1u) << "client " << c << " reply " << i;
+    }
+  }
+
+  AlertClient alert_client = AlertClient::Connect(server->port()).value();
+  const std::vector<uint8_t> bundle =
+      ta_->IssueAlertBundle(9, {2, 3}).value();
+  const api::OutcomeReport report =
+      alert_client.ProcessAlertBundle(bundle).value();
+  const auto expected =
+      twin.ProcessAlert(api::DecodeTokenBundle(bundle).value().tokens)
+          .value();
+  EXPECT_EQ(report.notified_users, expected.notified_users);
+  EXPECT_EQ(report.resident_users, size_t(kClients * kPerClient));
+  ASSERT_FALSE(report.notified_users.empty());
+
+  const ServerStats stats = server->stats();
+  EXPECT_EQ(stats.uploads_accepted, uint64_t(kClients * kPerClient));
+  EXPECT_EQ(stats.connections_accepted, uint64_t(kClients + 1));
+}
+
+TEST_F(NetTest, MultiIoThreadPipelinedAcksStayInOrder) {
+  // The reply reorder buffer is now per-I/O-thread state; a deep
+  // pipeline on one connection of a multi-threaded server must still
+  // ack strictly in request order (interleaving good uploads with
+  // instant-reply unhandled types exercises the out-of-order
+  // completion path: instant replies complete before worker acks).
+  auto server = StartServer(api::MakeStore(4), /*io_threads=*/2);
+  AlertClient client = AlertClient::Connect(server->port()).value();
+  constexpr int kRounds = 16;
+  api::OutcomeReport stray;
+  stray.alert_id = 1;
+  const std::vector<uint8_t> stray_frame =
+      api::EncodeOutcomeReport(stray).value();
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(client
+                    .SendOnly(api::EncodeLocationUpload(
+                        UploadFor(i + 1, (i % 14) + 1)))
+                    .ok());
+    ASSERT_TRUE(client.SendOnly(stray_frame).ok());
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    api::SubmitAck ack = client.DrainAck().value();  // even slot: upload ack
+    EXPECT_EQ(ack.accepted, 1u) << "round " << i;
+    auto err = client.DrainAck();  // odd slot: kError for the stray type
+    ASSERT_FALSE(err.ok()) << "round " << i;
+    EXPECT_EQ(err.status().code(), StatusCode::kUnimplemented);
+  }
+  EXPECT_EQ(server->stats().uploads_accepted, uint64_t(kRounds));
 }
 
 // ---------- EpochSnapshotStore ----------

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Markdown cross-reference checker (CI: the docs-link-check job).
+
+Scans every tracked *.md file for inline links and images
+(``[text](target)``) and verifies that
+
+  * a relative path target resolves to an existing file or directory
+    (relative to the linking file, or to the repo root when it starts
+    with ``/``);
+  * an ``#anchor`` fragment names a real heading in the target file,
+    using GitHub's slug rules (lowercase, punctuation stripped, spaces
+    to hyphens, ``-N`` suffixes for duplicates).
+
+``http(s)://`` and ``mailto:`` targets are skipped — CI must not
+depend on the outside network. Links and headings inside fenced code
+blocks are ignored.
+
+Usage:  python3 tools/check_links.py [ROOT]      (default: repo root)
+Exit status 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "node_modules", ".cache"}
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def strip_fences(text):
+    """Yields (line_number, line) for lines outside fenced code blocks."""
+    fence = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = FENCE_RE.match(line)
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif fence == marker:
+                fence = None
+            continue
+        if fence is None:
+            yield number, line
+
+
+def github_slug(heading):
+    """GitHub's heading-to-anchor slug."""
+    # Drop inline code/emphasis markers, then everything that is not a
+    # word character, space, or hyphen; spaces become hyphens.
+    text = heading.strip().lower()
+    text = re.sub(r"[`*]", "", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # link text only
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    counts = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        cache[path] = slugs
+        return slugs
+    for _, line in strip_fences(text):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else "%s-%d" % (slug, n))
+    cache[path] = slugs
+    return slugs
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(md_path, root):
+    errors = []
+    with open(md_path, encoding="utf-8") as handle:
+        text = handle.read()
+    for number, line in strip_fences(text):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http(s), mailto, etc. — never checked in CI
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                if path_part.startswith("/"):
+                    resolved = os.path.join(root, path_part.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(md_path),
+                                            path_part)
+                resolved = os.path.normpath(resolved)
+                if not os.path.exists(resolved):
+                    errors.append((number, target, "missing file"))
+                    continue
+            else:
+                resolved = md_path  # same-document anchor
+            if fragment:
+                if not resolved.endswith(".md") or os.path.isdir(resolved):
+                    continue  # anchors only checked into markdown
+                if fragment.lower() not in anchors_of(resolved):
+                    errors.append((number, target, "dead anchor"))
+    return errors
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), os.pardir))
+    failed = False
+    checked = 0
+    for md_path in markdown_files(root):
+        checked += 1
+        for number, target, why in check_file(md_path, root):
+            failed = True
+            rel = os.path.relpath(md_path, root)
+            print("%s:%d: %s: %s" % (rel, number, why, target))
+    print("checked %d markdown files: %s"
+          % (checked, "FAIL" if failed else "ok"))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
