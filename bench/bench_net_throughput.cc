@@ -38,7 +38,15 @@
 //       [--workers=N]         server crypto workers (default 4)
 //       [--scan-threads=N]    intra-scan parallelism (default 2)
 //       [--zone-radius=M]     alert zone radius, meters (default 90)
+//       [--durability=M]      none (default) | fsync (fsync per append)
+//                             | group (group commit, deferred acks) —
+//                             with fsync/group the measured updates/sec
+//                             is *acked-durable* throughput
 //       [--json=PATH]
+//
+// Flags are validated up front: an unknown flag, a malformed number, a
+// non-positive thread/shard count, or --resident-users without an
+// explicit --updates exits with a usage error before any work starts.
 
 #include <algorithm>
 #include <atomic>
@@ -47,6 +55,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,6 +88,7 @@ struct Params {
   unsigned workers = 4;
   unsigned scan_threads = 2;
   double zone_radius = 90.0;
+  std::string durability = "none";  ///< none | fsync | group
 };
 
 struct Setup {
@@ -160,6 +170,12 @@ api::LogBackedStore::Options StoreOptions(const Params& params) {
   // (docs/OPERATIONS.md discusses sizing this in production).
   options.compact_log_bytes = std::max<size_t>(
       64u << 20, size_t(params.resident_users) * 1024);
+  if (params.durability == "fsync") {
+    options.fsync_every_append = true;
+  } else if (params.durability == "group") {
+    options.fsync_batch_max = 256;
+    options.fsync_interval_us = 500;
+  }
   return options;
 }
 
@@ -173,6 +189,12 @@ std::unique_ptr<net::AlertServer> StartServer(const Setup& setup,
   options.num_workers = params.workers;
   options.scan_threads = params.scan_threads;
   options.io_threads = params.io_threads;
+  if (params.durability != "none") {
+    // Acks defer to the covering fsync: the phase-1 number becomes
+    // acked-*durable* updates/sec. The server owns the store, so the
+    // non-owning hook outlives every ack.
+    options.durability = store.get();
+  }
   return net::AlertServer::Start(setup.group, setup.ta->marker(),
                                  std::move(store), options)
       .value();
@@ -231,6 +253,122 @@ double Populate(const Setup& setup, const Params& params,
   return timer.Seconds();
 }
 
+/// Prints the flag summary and the offending detail, then exits 2 —
+/// the bench validates its whole command line before any crypto setup
+/// so a typo'd nightly invocation fails in milliseconds, not mid-run.
+[[noreturn]] void UsageError(const std::string& detail) {
+  std::cerr
+      << "bench_net_throughput: " << detail << "\n\n"
+      << "usage: bench_net_throughput\n"
+      << "  [--users=N]           distinct encrypted uploads (> 0)\n"
+      << "  [--clients=N]         client connections (> 0)\n"
+      << "  [--alerts=N]          alert round trips (> 0)\n"
+      << "  [--resident-users=N]  pre-populated store size (>= 0;\n"
+      << "                        requires an explicit --updates)\n"
+      << "  [--updates=N]         phase-1 uploads (> 0)\n"
+      << "  [--shards=N]          store shards (> 0)\n"
+      << "  [--io-threads=N]      server epoll threads (> 0)\n"
+      << "  [--workers=N]         server crypto workers (> 0)\n"
+      << "  [--scan-threads=N]    intra-scan parallelism (> 0)\n"
+      << "  [--zone-radius=M]     alert zone radius, meters (> 0)\n"
+      << "  [--durability=M]      none | fsync | group\n"
+      << "  [--json=PATH]         result sink (bench/README.md)\n";
+  std::exit(2);
+}
+
+/// std::stol that rejects trailing garbage ("--users=12x") and
+/// non-numbers instead of throwing or silently truncating.
+long ParseLong(const std::string& flag, const std::string& text) {
+  try {
+    size_t used = 0;
+    const long value = std::stol(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    UsageError(flag + " expects an integer, got \"" + text + "\"");
+  }
+}
+
+double ParseDouble(const std::string& flag, const std::string& text) {
+  try {
+    size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    UsageError(flag + " expects a number, got \"" + text + "\"");
+  }
+}
+
+Params ParseAndValidate(int argc, char** argv) {
+  Params params;
+  bool explicit_updates = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string flag = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (flag == "--users") {
+      params.users = int(ParseLong(flag, value));
+    } else if (flag == "--clients") {
+      params.clients = int(ParseLong(flag, value));
+    } else if (flag == "--alerts") {
+      params.alerts = int(ParseLong(flag, value));
+    } else if (flag == "--resident-users") {
+      params.resident_users = ParseLong(flag, value);
+    } else if (flag == "--updates") {
+      params.updates = ParseLong(flag, value);
+      explicit_updates = true;
+    } else if (flag == "--shards") {
+      params.shards = size_t(ParseLong(flag, value));
+    } else if (flag == "--io-threads") {
+      params.io_threads = unsigned(ParseLong(flag, value));
+    } else if (flag == "--workers") {
+      params.workers = unsigned(ParseLong(flag, value));
+    } else if (flag == "--scan-threads") {
+      params.scan_threads = unsigned(ParseLong(flag, value));
+    } else if (flag == "--zone-radius") {
+      params.zone_radius = ParseDouble(flag, value);
+    } else if (flag == "--durability") {
+      params.durability = value;
+    } else if (flag == "--json") {
+      // Consumed later by EmitJson; presence-validated here.
+      if (value.empty()) UsageError("--json expects a path");
+    } else {
+      UsageError("unknown flag \"" + arg + "\"");
+    }
+  }
+
+  if (params.users <= 0) UsageError("--users must be > 0");
+  if (params.clients <= 0) UsageError("--clients must be > 0");
+  if (params.alerts <= 0) UsageError("--alerts must be > 0");
+  if (params.resident_users < 0)
+    UsageError("--resident-users must be >= 0");
+  if (explicit_updates && params.updates <= 0)
+    UsageError("--updates must be > 0");
+  if (params.shards == 0) UsageError("--shards must be > 0");
+  if (params.io_threads == 0) UsageError("--io-threads must be > 0");
+  if (params.workers == 0) UsageError("--workers must be > 0");
+  if (params.scan_threads == 0) UsageError("--scan-threads must be > 0");
+  if (params.zone_radius <= 0.0) UsageError("--zone-radius must be > 0");
+  if (params.durability != "none" && params.durability != "fsync" &&
+      params.durability != "group") {
+    UsageError("--durability must be none, fsync, or group (got \"" +
+               params.durability + "\")");
+  }
+  // At resident scale the implicit updates default (--users) would
+  // measure a 96-upload blip against a million-user store — a silently
+  // meaningless number. Make the intent explicit.
+  if (params.resident_users > 0 && !explicit_updates) {
+    UsageError("--resident-users requires an explicit --updates");
+  }
+
+  params.clients = std::max(1, std::min(params.clients, params.users));
+  if (params.updates <= 0) params.updates = params.users;
+  return params;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace sloc
@@ -239,32 +377,7 @@ int main(int argc, char** argv) {
   using namespace sloc;
   using namespace sloc::bench;
 
-  Params params;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--users=", 0) == 0) params.users = std::stoi(arg.substr(8));
-    if (arg.rfind("--clients=", 0) == 0)
-      params.clients = std::stoi(arg.substr(10));
-    if (arg.rfind("--alerts=", 0) == 0)
-      params.alerts = std::stoi(arg.substr(9));
-    if (arg.rfind("--resident-users=", 0) == 0)
-      params.resident_users = std::stol(arg.substr(17));
-    if (arg.rfind("--updates=", 0) == 0)
-      params.updates = std::stol(arg.substr(10));
-    if (arg.rfind("--shards=", 0) == 0)
-      params.shards = size_t(std::stoul(arg.substr(9)));
-    if (arg.rfind("--io-threads=", 0) == 0)
-      params.io_threads = unsigned(std::stoul(arg.substr(13)));
-    if (arg.rfind("--workers=", 0) == 0)
-      params.workers = unsigned(std::stoul(arg.substr(10)));
-    if (arg.rfind("--scan-threads=", 0) == 0)
-      params.scan_threads = unsigned(std::stoul(arg.substr(15)));
-    if (arg.rfind("--zone-radius=", 0) == 0)
-      params.zone_radius = std::stod(arg.substr(14));
-  }
-  params.clients = std::max(1, std::min(params.clients, params.users));
-  if (params.updates <= 0) params.updates = params.users;
-  if (params.shards == 0) params.shards = 1;
+  Params params = ParseAndValidate(argc, argv);
 
   std::cout << "preparing " << params.users << " encrypted uploads...\n";
   Setup setup = Prepare(params);
@@ -417,7 +530,8 @@ int main(int argc, char** argv) {
 
   // ---- Phase 4: restart + recovery identity check ----
   server = StartServer(setup, params, dir);
-  net::AlertClient recovered = net::AlertClient::Connect(server->port()).value();
+  net::AlertClient recovered =
+      net::AlertClient::Connect(server->port()).value();
   api::OutcomeReport after =
       recovered.ProcessAlertBundle(setup.alert_bundle).value();
   SLOC_CHECK(after.notified_users == notified)
@@ -442,6 +556,7 @@ int main(int argc, char** argv) {
   json_params.Integer("io_threads", params.io_threads);
   json_params.Integer("scan_threads", params.scan_threads);
   json_params.Number("zone_radius", params.zone_radius);
+  json_params.String("durability", params.durability);
   json_params.String("store", after.store_backend);
 
   JsonWriter results;

@@ -6,7 +6,8 @@
 // from the same deterministic seeds, so a driver in a *separate
 // process* reconstructs the TA's keys and the users' uploads without
 // any key exchange — which is exactly how the two-process CI
-// integration test uses this binary.
+// integration test and the crash-consistency harness
+// (tools/crash_check.py) use this binary.
 //
 // Modes:
 //   (no args)                  in-process self-test: start the server
@@ -18,9 +19,37 @@
 //   --io-threads=N             epoll I/O threads (default 1; >1 shards
 //                              accepts via SO_REUSEPORT). Applies to
 //                              --serve and the self-test.
+//   --durability=M             store durability for --serve and the
+//                              self-test: "none" (page cache, the
+//                              default), "fsync" (fsync per append), or
+//                              "group" (group commit with deferred
+//                              acks — an ack means the covering fsync
+//                              completed).
+//   --compact-bytes=N          auto-compaction threshold in bytes
+//                              (default 64 MiB; small values make the
+//                              crash harness exercise incremental
+//                              compaction + manifest stitching).
 //   --drive --port=P           submit every user, then alert + verify.
 //   --drive --port=P --realert alert + verify only (after a restart:
 //                              the store already holds the users).
+//   --ingest --port=P --ack-file=F
+//                              stream deterministic single-user uploads
+//                              until the server goes away, logging
+//                              "S user seq" before each send and
+//                              "A user seq" after each clean ack (both
+//                              flushed), so a checker can bound what
+//                              the store must hold. --seq-base=N starts
+//                              numbering at N (the harness keeps seqs
+//                              monotonic across server kills);
+//                              --max-seconds / --ingest-threads bound
+//                              and parallelize the run.
+//   --check --dir=D --ack-file=F
+//                              open the store directly and verify crash
+//                              consistency: recovery succeeds, every
+//                              blob parses, and every user's stored
+//                              ciphertext is byte-identical to one of
+//                              the sends the ack log permits (>= the
+//                              last acked seq). Exit 0 iff consistent.
 //
 // Build & run:  ./build/examples/serve_alerts
 
@@ -30,7 +59,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,6 +72,7 @@
 #include "common/rng.h"
 #include "grid/alert_zone.h"
 #include "grid/grid.h"
+#include "hve/serialize.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "prob/sigmoid.h"
@@ -56,6 +89,9 @@ constexpr uint64_t kPlacementSeed = 7;
 constexpr int kNumUsers = 24;
 constexpr size_t kNumShards = 4;
 constexpr uint64_t kAlertId = 1;
+constexpr int kGridCells = 36;  // 6x6, see BuildWorld
+
+enum class Durability { kNone, kFsync, kGroup };
 
 struct World {
   std::shared_ptr<const PairingGroup> group;
@@ -107,23 +143,42 @@ World BuildWorld() {
   return world;
 }
 
-std::unique_ptr<api::CiphertextStore> OpenStore(
-    const World& world, const std::string& dir) {
+api::LogBackedStore::Options StoreOptions(Durability durability,
+                                          size_t compact_bytes) {
   api::LogBackedStore::Options options;
   options.num_shards = kNumShards;
-  return api::LogBackedStore::Open(dir, world.group, options).value();
+  options.compact_log_bytes = compact_bytes;
+  switch (durability) {
+    case Durability::kNone:
+      break;
+    case Durability::kFsync:
+      options.fsync_every_append = true;
+      break;
+    case Durability::kGroup:
+      options.fsync_batch_max = 64;
+      options.fsync_interval_us = 500;
+      break;
+  }
+  return options;
 }
 
 Result<std::unique_ptr<net::AlertServer>> StartServer(
     const World& world, const std::string& dir, uint16_t port,
-    unsigned io_threads) {
+    unsigned io_threads, Durability durability, size_t compact_bytes) {
+  auto store = api::LogBackedStore::Open(
+                   dir, world.group, StoreOptions(durability, compact_bytes))
+                   .value();
   net::AlertServer::Options options;
   options.port = port;
   options.io_threads = io_threads;
   options.num_workers = 2;
   options.scan_threads = 2;
+  // The store outlives the server (the server owns it), so handing the
+  // raw pointer over as the durability hook is safe for any mode; it
+  // only defers acks under group commit.
+  options.durability = store.get();
   return net::AlertServer::Start(world.group, world.ta->marker(),
-                                 OpenStore(world, dir), options);
+                                 std::move(store), options);
 }
 
 /// Connects with retries: in the two-process CI flow the driver starts
@@ -177,8 +232,10 @@ bool AlertAndVerify(const World& world, net::AlertClient* client) {
 }
 
 int RunServe(const World& world, const std::string& dir, uint16_t port,
-             unsigned io_threads) {
-  auto server = StartServer(world, dir, port, io_threads);
+             unsigned io_threads, Durability durability,
+             size_t compact_bytes) {
+  auto server =
+      StartServer(world, dir, port, io_threads, durability, compact_bytes);
   if (!server.ok()) {
     std::cerr << "server start failed: " << server.status() << "\n";
     return 1;
@@ -193,12 +250,180 @@ int RunDrive(const World& world, uint16_t port, bool realert) {
   return AlertAndVerify(world, &client) ? 0 : 1;
 }
 
-int RunSelfTest(const World& world, unsigned io_threads) {
+// ---------------------------------------------------------------------------
+// Crash-consistency harness (tools/crash_check.py drives these).
+//
+// The ingester and the checker regenerate the exact same ciphertext
+// for a given (user, seq) pair — a fresh deterministic RNG per upload
+// — so "what should the store hold" is answerable byte-for-byte in a
+// different process, after a kill -9, with no shared state but the
+// seeds and the ack log.
+
+uint64_t UploadSeed(int user_id, uint64_t seq) {
+  return kProtocolSeed ^ (uint64_t(user_id) * 0x9E3779B97F4A7C15ull) ^
+         (seq * 0xC2B2AE3D27D4EB4Full);
+}
+
+std::vector<uint8_t> DeterministicBlob(const World& world,
+                                       const std::vector<uint8_t>& announcement,
+                                       int user_id, uint64_t seq) {
+  auto rng = std::make_shared<Rng>(UploadSeed(user_id, seq));
+  alert::MobileUser user =
+      alert::MobileUser::JoinFromAnnouncement(
+          user_id, world.group, announcement, world.ta->marker(),
+          [rng] { return rng->NextU64(); })
+          .value();
+  const int cell = int((seq + uint64_t(user_id) * 5) % kGridCells);
+  return user.EncryptLocation(world.ta->IndexOfCell(cell).value()).value();
+}
+
+int RunIngest(const World& world, uint16_t port, const std::string& ack_file,
+              unsigned threads, uint64_t max_seconds, uint64_t seq_base) {
+  SLOC_CHECK(!ack_file.empty()) << "--ingest needs --ack-file";
+  std::ofstream log(ack_file, std::ios::app);
+  SLOC_CHECK(log.good()) << "cannot open " << ack_file;
+  std::mutex log_mu;
+  const std::vector<uint8_t> announcement =
+      world.ta->PublicKeyAnnouncement();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
+
+  // Each thread owns a disjoint user set and one blocking connection:
+  // per user, sends and acks strictly alternate, so at any instant the
+  // store must hold seq == last acked or last sent — nothing else.
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      auto client = net::AlertClient::Connect(port);
+      if (!client.ok()) return;  // server already gone
+      for (uint64_t seq = seq_base;; ++seq) {
+        for (int user_id = 1 + int(t); user_id <= kNumUsers;
+             user_id += int(threads)) {
+          const std::vector<uint8_t> blob =
+              DeterministicBlob(world, announcement, user_id, seq);
+          {
+            std::lock_guard<std::mutex> lock(log_mu);
+            log << "S " << user_id << ' ' << seq << '\n' << std::flush;
+          }
+          auto ack = client->SubmitLocation(user_id, blob);
+          // A kill -9 surfaces as a send/recv error — normal exit for
+          // the harness. An ack with a non-zero error code (e.g. a
+          // latched durability failure) must NOT count as acked.
+          if (!ack.ok()) return;
+          if (ack->rejected == 0 && ack->error_code == 0) {
+            std::lock_guard<std::mutex> lock(log_mu);
+            log << "A " << user_id << ' ' << seq << '\n' << std::flush;
+          }
+          if (std::chrono::steady_clock::now() > deadline) return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  std::cout << "ingest done\n";
+  return 0;
+}
+
+int RunCheck(const World& world, const std::string& dir,
+             const std::string& ack_file) {
+  SLOC_CHECK(!ack_file.empty()) << "--check needs --ack-file";
+
+  // 1. The ack log bounds what the store may hold per user: at least
+  // the last acked seq must have stuck; anything sent after it may or
+  // may not have (applied-but-unacked at the kill).
+  struct UserWindow {
+    uint64_t max_acked = 0;
+    uint64_t max_sent = 0;
+  };
+  std::map<int, UserWindow> windows;
+  {
+    std::ifstream in(ack_file);
+    SLOC_CHECK(in.good()) << "cannot open " << ack_file;
+    char kind;
+    int user_id;
+    uint64_t seq;
+    while (in >> kind >> user_id >> seq) {
+      UserWindow& w = windows[user_id];
+      if (kind == 'A' && seq > w.max_acked) w.max_acked = seq;
+      if (seq > w.max_sent) w.max_sent = seq;
+    }
+  }
+
+  // 2. Recovery must succeed and every blob must verify (eager load
+  // runs the all-or-nothing parse).
+  api::LogBackedStore::Options options;
+  options.num_shards = kNumShards;
+  options.eager_snapshot_load = true;
+  auto opened = api::LogBackedStore::Open(dir, world.group, options);
+  if (!opened.ok()) {
+    std::cerr << "CHECK FAIL: recovery failed: " << opened.status() << "\n";
+    return 1;
+  }
+  auto& store = *opened;
+  const Status io = store->io_status();
+  if (!io.ok()) {
+    std::cerr << "CHECK FAIL: store degraded after recovery: " << io << "\n";
+    return 1;
+  }
+
+  std::map<int, std::vector<uint8_t>> stored;
+  for (size_t shard = 0; shard < store->num_shards(); ++shard) {
+    store->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
+      stored[user_id] = hve::SerializeCiphertext(*world.group, ct);
+    });
+  }
+
+  // 3. Per user: an acked write may never be lost, and whatever is
+  // stored must be byte-identical to a permitted send.
+  const std::vector<uint8_t> announcement =
+      world.ta->PublicKeyAnnouncement();
+  int checked = 0;
+  for (const auto& [user_id, w] : windows) {
+    const auto it = stored.find(user_id);
+    if (it == stored.end()) {
+      if (w.max_acked != 0) {
+        std::cerr << "CHECK FAIL: user " << user_id << " acked seq "
+                  << w.max_acked << " but is missing from the store\n";
+        return 1;
+      }
+      continue;  // nothing acked, nothing required
+    }
+    const uint64_t lo = w.max_acked > 0 ? w.max_acked : 1;
+    bool matched = false;
+    for (uint64_t seq = lo; seq <= w.max_sent && !matched; ++seq) {
+      matched = it->second == DeterministicBlob(world, announcement,
+                                                user_id, seq);
+    }
+    if (!matched) {
+      std::cerr << "CHECK FAIL: user " << user_id
+                << " stored ciphertext matches no permitted send in [" << lo
+                << ", " << w.max_sent << "]\n";
+      return 1;
+    }
+    ++checked;
+  }
+  for (const auto& [user_id, blob] : stored) {
+    (void)blob;
+    if (windows.count(user_id) == 0) {
+      std::cerr << "CHECK FAIL: store holds user " << user_id
+                << " that was never sent\n";
+      return 1;
+    }
+  }
+  std::cout << "CHECK PASS: " << checked << " users verified, "
+            << stored.size() << " resident\n";
+  return 0;
+}
+
+int RunSelfTest(const World& world, unsigned io_threads,
+                Durability durability, size_t compact_bytes) {
   char dir_template[] = "/tmp/serve_alerts_XXXXXX";
   SLOC_CHECK(::mkdtemp(dir_template) != nullptr);
   const std::string dir = dir_template;
 
-  auto server = StartServer(world, dir, 0, io_threads).value();
+  auto server =
+      StartServer(world, dir, 0, io_threads, durability, compact_bytes)
+          .value();
   const uint16_t port = server->port();
   {
     net::AlertClient client = ConnectWithRetry(port);
@@ -211,7 +436,8 @@ int RunSelfTest(const World& world, unsigned io_threads) {
   server->Stop();
   server.reset();
   std::cout << "-- restart over " << dir << " --\n";
-  server = StartServer(world, dir, 0, io_threads).value();
+  server = StartServer(world, dir, 0, io_threads, durability, compact_bytes)
+               .value();
   net::AlertClient client = ConnectWithRetry(server->port());
   if (!AlertAndVerify(world, &client)) return 1;
   std::cout << "self-test PASS\n";
@@ -222,26 +448,58 @@ int RunSelfTest(const World& world, unsigned io_threads) {
 
 int main(int argc, char** argv) {
   bool serve = false, drive = false, realert = false;
+  bool ingest = false, check = false;
   std::string dir = "/tmp/serve_alerts_store";
+  std::string ack_file;
   uint16_t port = 0;
   unsigned io_threads = 1;
+  unsigned ingest_threads = 2;
+  uint64_t max_seconds = 60;
+  uint64_t seq_base = 1;  // crash harness keeps seqs monotonic across runs
+  Durability durability = Durability::kNone;
+  size_t compact_bytes = 64u << 20;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") serve = true;
     else if (arg == "--drive") drive = true;
     else if (arg == "--realert") realert = true;
+    else if (arg == "--ingest") ingest = true;
+    else if (arg == "--check") check = true;
     else if (arg.rfind("--dir=", 0) == 0) dir = arg.substr(6);
-    else if (arg.rfind("--port=", 0) == 0) port = uint16_t(std::stoi(arg.substr(7)));
+    else if (arg.rfind("--ack-file=", 0) == 0) ack_file = arg.substr(11);
+    else if (arg.rfind("--port=", 0) == 0)
+      port = uint16_t(std::stoi(arg.substr(7)));
     else if (arg.rfind("--io-threads=", 0) == 0)
       io_threads = unsigned(std::stoul(arg.substr(13)));
-    else {
+    else if (arg.rfind("--ingest-threads=", 0) == 0)
+      ingest_threads = unsigned(std::stoul(arg.substr(17)));
+    else if (arg.rfind("--max-seconds=", 0) == 0)
+      max_seconds = std::stoull(arg.substr(14));
+    else if (arg.rfind("--seq-base=", 0) == 0)
+      seq_base = std::stoull(arg.substr(11));
+    else if (arg.rfind("--compact-bytes=", 0) == 0)
+      compact_bytes = std::stoull(arg.substr(16));
+    else if (arg.rfind("--durability=", 0) == 0) {
+      const std::string mode = arg.substr(13);
+      if (mode == "none") durability = Durability::kNone;
+      else if (mode == "fsync") durability = Durability::kFsync;
+      else if (mode == "group") durability = Durability::kGroup;
+      else {
+        std::cerr << "unknown --durability mode: " << mode << "\n";
+        return 2;
+      }
+    } else {
       std::cerr << "unknown arg: " << arg << "\n";
       return 2;
     }
   }
 
   World world = BuildWorld();
-  if (serve) return RunServe(world, dir, port, io_threads);
+  if (serve)
+    return RunServe(world, dir, port, io_threads, durability, compact_bytes);
   if (drive) return RunDrive(world, port, realert);
-  return RunSelfTest(world, io_threads);
+  if (ingest) return RunIngest(world, port, ack_file, ingest_threads,
+                               max_seconds, seq_base);
+  if (check) return RunCheck(world, dir, ack_file);
+  return RunSelfTest(world, io_threads, durability, compact_bytes);
 }

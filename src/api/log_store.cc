@@ -1,5 +1,6 @@
 #include "api/log_store.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -7,6 +8,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -26,6 +29,12 @@ constexpr uint8_t kSnapshotMagicV1[4] = {'S', 'L', 'S', 'S'};
 constexpr uint8_t kSnapshotMagicV2[4] = {'S', 'L', 'S', '2'};
 constexpr uint8_t kSnapshotVersionV1 = 1;
 constexpr uint8_t kSnapshotVersionV2 = 2;
+constexpr uint8_t kManifestMagic[4] = {'S', 'L', 'M', 'F'};
+constexpr uint8_t kManifestVersion = 1;
+/// A manifest listing more segments than this is corrupt, not big:
+/// each entry is one interrupted compaction, and compaction retries
+/// reuse the same tail.
+constexpr uint32_t kMaxManifestSegments = 1u << 16;
 
 // v2 snapshot geometry (full byte-level spec: docs/WIRE.md#snapshot-v2).
 constexpr size_t kV2HeaderBytes = 64;
@@ -35,10 +44,13 @@ constexpr size_t kV2PageBytes = 4096;
 /// small enough that per-shard arithmetic cannot overflow.
 constexpr uint32_t kV2MaxShards = 1u << 20;
 
-std::string LogPath(const std::string& dir) { return dir + "/wal.log"; }
+/// The initial (and, before any compaction, only) log segment name.
+constexpr char kInitialSegment[] = "wal.log";
+
 std::string SnapshotPath(const std::string& dir) {
   return dir + "/snapshot.bin";
 }
+std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
@@ -141,6 +153,26 @@ bool HasValidRecordAfter(const std::vector<uint8_t>& log, size_t from) {
   return false;
 }
 
+/// Parses a rotated-segment name ("wal-NNNNNN.log") into its sequence
+/// number; returns false for the initial segment and anything else.
+bool ParseSegmentSeq(const std::string& name, uint64_t* seq) {
+  unsigned long long v = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "wal-%llu.log%n", &v, &consumed) != 1 ||
+      size_t(consumed) != name.size()) {
+    return false;
+  }
+  *seq = v;
+  return true;
+}
+
+std::string SegmentName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
 }  // namespace
 
 /// A v2 snapshot file mapped read-only, plus its parsed per-shard index.
@@ -175,7 +207,15 @@ LogBackedStore::LogBackedStore(std::string dir,
       options_(options),
       mem_(MakeStore(options.num_shards == 0 ? 1 : options.num_shards)),
       shard_mu_(std::make_unique<std::mutex[]>(mem_->num_shards())),
-      recovery_(std::make_unique<ShardRecovery[]>(mem_->num_shards())) {}
+      recovery_(std::make_unique<ShardRecovery[]>(mem_->num_shards())),
+      loaded_hint_(std::make_unique<std::atomic<bool>[]>(mem_->num_shards())),
+      access_count_(
+          std::make_unique<std::atomic<uint64_t>[]>(mem_->num_shards())) {
+  for (size_t s = 0; s < mem_->num_shards(); ++s) {
+    loaded_hint_[s].store(true, std::memory_order_relaxed);
+    access_count_[s].store(0, std::memory_order_relaxed);
+  }
+}
 
 Result<std::unique_ptr<LogBackedStore>> LogBackedStore::Open(
     const std::string& dir, std::shared_ptr<const PairingGroup> group,
@@ -192,19 +232,47 @@ Result<std::unique_ptr<LogBackedStore>> LogBackedStore::Open(
     // and checksums, or Open fails.
     SLOC_RETURN_IF_ERROR(store->LoadAllShards());
   }
-  store->log_fd_ =
-      ::open(LogPath(dir).c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-  if (store->log_fd_ < 0) return Errno("open " + LogPath(dir));
+  const std::string active = store->SegmentPath(store->segments_.back());
+  store->log_fd_ = ::open(active.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (store->log_fd_ < 0) return Errno("open " + active);
+  if (options.fsync_batch_max > 0) {
+    store->sync_thread_ = std::thread(&LogBackedStore::SyncLoop, store.get());
+  }
+  if (options.background_materialize) {
+    bool any_pending;
+    {
+      std::lock_guard<std::mutex> lock(store->snap_mu_);
+      any_pending = store->shards_pending_ > 0;
+    }
+    if (any_pending) {
+      store->mat_thread_ =
+          std::thread(&LogBackedStore::MaterializeLoop, store.get());
+    }
+  }
   return store;
 }
 
 LogBackedStore::~LogBackedStore() {
+  mat_stop_.store(true, std::memory_order_relaxed);
+  if (mat_thread_.joinable()) mat_thread_.join();
+  if (sync_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(sync_mu_);
+      sync_stop_ = true;
+    }
+    sync_cv_.notify_all();
+    sync_thread_.join();
+  }
   std::lock_guard<std::mutex> lock(log_mu_);
   if (log_fd_ >= 0) {
     ::fsync(log_fd_);
     ::close(log_fd_);
     log_fd_ = -1;
   }
+}
+
+std::string LogBackedStore::SegmentPath(const std::string& name) const {
+  return dir_ + "/" + name;
 }
 
 Status LogBackedStore::RecoverLegacySnapshot(const std::vector<uint8_t>& snap) {
@@ -371,12 +439,118 @@ Status LogBackedStore::RecoverMmapSnapshot(int fd, size_t file_bytes) {
   for (uint32_t s = 0; s < file_shards; ++s) {
     if (!snap->shard_entries[s].empty()) {
       recovery_[s].loaded = false;
+      loaded_hint_[s].store(false, std::memory_order_relaxed);
       ++pending_shards;
     }
   }
   pending_entries_.store(size_t(count), std::memory_order_relaxed);
   snap_ = std::move(snap);
   shards_pending_ = pending_shards;
+  return Status::Ok();
+}
+
+Status LogBackedStore::ReplaySegment(const std::string& path, bool last) {
+  // `valid_end` advances past every intact record; a bad record that
+  // runs to end-of-file WITH no valid record anywhere after it is a
+  // torn append (crash mid-write) and — in the last segment only — is
+  // truncated away. A bad record with intact data after it, or any
+  // damage in a non-last segment (those were fsynced at rotation), is
+  // corruption and rejects recovery.
+  //
+  // Replayed users land in their shard's overlay: their log-derived
+  // state in mem_ supersedes any snapshot index entry, which is skipped
+  // if the shard later materializes.
+  std::vector<uint8_t> log;
+  Status log_st = ReadFile(path, &log);
+  if (!log_st.ok()) {
+    // The active segment may simply not exist yet; a missing rotated
+    // segment means the manifest and the directory disagree.
+    if (last) return Status::Ok();
+    return Status::DataLoss("manifest lists " + path +
+                            " but it is missing: " + log_st.message());
+  }
+  const size_t n = log.size();
+  size_t pos = 0;
+  size_t valid_end = 0;
+  while (pos < n) {
+    const size_t start = pos;
+    // Incomplete length prefix, payload, or checksum at end-of-file:
+    // torn tail.
+    if (n - start < 4) break;
+    const uint32_t len = ReadLe32(log, start);
+    if (size_t(len) > kMaxRecordPayload) {
+      // No legitimate append ever writes a record this large, and a
+      // torn append leaves a correct prefix — this prefix is corrupt.
+      return Status::DataLoss("log record at byte " + std::to_string(start) +
+                              " of " + path + " declares an implausible " +
+                              std::to_string(len) +
+                              "-byte payload (corrupted length prefix)");
+    }
+    if (n - start - 4 < size_t(len) || n - start - 4 - len < 8) {
+      // Declared extent runs past end-of-file. Only a torn tail if
+      // nothing valid follows; otherwise the prefix swallowed real
+      // records.
+      if (HasValidRecordAfter(log, start + 1)) {
+        return Status::DataLoss(
+            "log record at byte " + std::to_string(start) + " of " + path +
+            " runs past end-of-file but intact records follow "
+            "(corrupted length prefix)");
+      }
+      break;
+    }
+    const size_t payload_at = start + 4;
+    const uint64_t want = ReadLe64(log, payload_at + len);
+    const uint64_t got = wire::Fnv1a(log.data() + payload_at, len);
+    const size_t record_end = payload_at + len + 8;
+    if (got != want) {
+      // Torn tail only when the bad record is the last thing in the
+      // file and no valid record boundary hides inside its extent.
+      if (record_end >= n && !HasValidRecordAfter(log, start + 1)) break;
+      return Status::DataLoss(
+          "log record at byte " + std::to_string(start) + " of " + path +
+          " failed its checksum with intact log after it "
+          "(mid-log corruption)");
+    }
+    wire::Reader r(log, payload_at, payload_at + len);
+    SLOC_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+    SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
+    const size_t shard = mem_->ShardOf(user_id);
+    ShardRecovery& rec = recovery_[shard];
+    if (!rec.loaded && rec.overlay.insert(user_id).second &&
+        SnapshotIndexHasLocked(shard, user_id)) {
+      pending_entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    switch (kind) {
+      case kRecordPut: {
+        SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
+        SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
+                              hve::ParseCiphertext(*group_, blob));
+        mem_->Put(user_id, std::move(ct));
+        break;
+      }
+      case kRecordErase:
+        mem_->Erase(user_id);
+        break;
+      default:
+        return Status::DataLoss("unknown log record kind " +
+                                std::to_string(int(kind)));
+    }
+    SLOC_RETURN_IF_ERROR(r.ExpectDone());
+    pos = record_end;
+    valid_end = record_end;
+  }
+  if (valid_end < n) {
+    if (!last) {
+      return Status::DataLoss("rotated segment " + path +
+                              " has a torn tail; it was fsynced at rotation, "
+                              "so this is corruption");
+    }
+    if (::truncate(path.c_str(), off_t(valid_end)) != 0) {
+      return Errno("truncate torn tail of " + path);
+    }
+  }
+  log_bytes_ += valid_end;
+  if (last) active_bytes_ = valid_end;
   return Status::Ok();
 }
 
@@ -411,98 +585,92 @@ Status LogBackedStore::Recover() {
     SLOC_RETURN_IF_ERROR(snap_st);
   }
 
-  // 2. Replay the log over it. `valid_end` advances past every intact
-  // record; a bad record that runs to end-of-file WITH no valid record
-  // anywhere after it is a torn append (crash mid-write) and is
-  // truncated away. A bad record with intact data after it — trailing
-  // records, or a valid record boundary inside the extent a corrupted
-  // length prefix claims — is corruption and rejects recovery.
-  //
-  // Replayed users land in their shard's overlay: their log-derived
-  // state in mem_ supersedes any snapshot index entry, which is skipped
-  // if the shard later materializes.
-  std::vector<uint8_t> log;
-  Status log_st = ReadFile(LogPath(dir_), &log);
-  if (!log_st.ok()) {
-    log_bytes_ = 0;
-    return Status::Ok();  // no log yet: empty store or snapshot only
-  }
-  const size_t n = log.size();
-  size_t pos = 0;
-  size_t valid_end = 0;
-  while (pos < n) {
-    const size_t start = pos;
-    // Incomplete length prefix, payload, or checksum at end-of-file:
-    // torn tail.
-    if (n - start < 4) break;
-    const uint32_t len = ReadLe32(log, start);
-    if (size_t(len) > kMaxRecordPayload) {
-      // No legitimate append ever writes a record this large, and a
-      // torn append leaves a correct prefix — this prefix is corrupt.
-      return Status::DataLoss("log record at byte " + std::to_string(start) +
-                              " declares an implausible " +
-                              std::to_string(len) +
-                              "-byte payload (corrupted length prefix)");
+  // 2. The manifest names the live segments in replay order; a store
+  // that has never rotated has no manifest and implicitly owns
+  // [wal.log] (docs/WIRE.md#manifest).
+  segments_.clear();
+  std::vector<uint8_t> mf;
+  const Status mf_st = ReadFile(ManifestPath(dir_), &mf);
+  if (mf_st.ok()) {
+    auto body = wire::VerifyChecksum(mf);
+    if (!body.ok()) {
+      return Status::DataLoss("manifest " + ManifestPath(dir_) +
+                              " failed its checksum: " +
+                              body.status().message());
     }
-    if (n - start - 4 < size_t(len) || n - start - 4 - len < 8) {
-      // Declared extent runs past end-of-file. Only a torn tail if
-      // nothing valid follows; otherwise the prefix swallowed real
-      // records.
-      if (HasValidRecordAfter(log, start + 1)) {
-        return Status::DataLoss(
-            "log record at byte " + std::to_string(start) +
-            " runs past end-of-file but intact records follow "
-            "(corrupted length prefix)");
+    wire::Reader r(mf, 0, *body);
+    SLOC_ASSIGN_OR_RETURN(uint8_t m0, r.U8());
+    SLOC_ASSIGN_OR_RETURN(uint8_t m1, r.U8());
+    SLOC_ASSIGN_OR_RETURN(uint8_t m2, r.U8());
+    SLOC_ASSIGN_OR_RETURN(uint8_t m3, r.U8());
+    if (m0 != kManifestMagic[0] || m1 != kManifestMagic[1] ||
+        m2 != kManifestMagic[2] || m3 != kManifestMagic[3]) {
+      return Status::DataLoss("bad manifest magic");
+    }
+    SLOC_ASSIGN_OR_RETURN(uint8_t version, r.U8());
+    if (version != kManifestVersion) {
+      return Status::Unimplemented("manifest version " +
+                                   std::to_string(int(version)));
+    }
+    SLOC_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+    if (count == 0 || count > kMaxManifestSegments) {
+      return Status::DataLoss("manifest lists implausible " +
+                              std::to_string(count) + " segments");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      SLOC_ASSIGN_OR_RETURN(std::string name, r.Str());
+      if (name.empty() || name.find('/') != std::string::npos) {
+        return Status::DataLoss("manifest segment name \"" + name +
+                                "\" is not a plain file name");
       }
-      break;
-    }
-    const size_t payload_at = start + 4;
-    const uint64_t want = ReadLe64(log, payload_at + len);
-    const uint64_t got = wire::Fnv1a(log.data() + payload_at, len);
-    const size_t record_end = payload_at + len + 8;
-    if (got != want) {
-      // Torn tail only when the bad record is the last thing in the
-      // file and no valid record boundary hides inside its extent.
-      if (record_end >= n && !HasValidRecordAfter(log, start + 1)) break;
-      return Status::DataLoss(
-          "log record at byte " + std::to_string(start) +
-          " failed its checksum with intact log after it "
-          "(mid-log corruption)");
-    }
-    wire::Reader r(log, payload_at, payload_at + len);
-    SLOC_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
-    SLOC_ASSIGN_OR_RETURN(int user_id, r.I32());
-    const size_t shard = mem_->ShardOf(user_id);
-    ShardRecovery& rec = recovery_[shard];
-    if (!rec.loaded && rec.overlay.insert(user_id).second &&
-        SnapshotIndexHasLocked(shard, user_id)) {
-      pending_entries_.fetch_sub(1, std::memory_order_relaxed);
-    }
-    switch (kind) {
-      case kRecordPut: {
-        SLOC_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, r.Bytes());
-        SLOC_ASSIGN_OR_RETURN(hve::Ciphertext ct,
-                              hve::ParseCiphertext(*group_, blob));
-        mem_->Put(user_id, std::move(ct));
-        break;
-      }
-      case kRecordErase:
-        mem_->Erase(user_id);
-        break;
-      default:
-        return Status::DataLoss("unknown log record kind " +
-                                std::to_string(int(kind)));
+      segments_.push_back(std::move(name));
     }
     SLOC_RETURN_IF_ERROR(r.ExpectDone());
-    pos = record_end;
-    valid_end = record_end;
+  } else {
+    segments_.push_back(kInitialSegment);
   }
-  if (valid_end < n) {
-    if (::truncate(LogPath(dir_).c_str(), off_t(valid_end)) != 0) {
-      return Errno("truncate torn tail of " + LogPath(dir_));
+  for (const std::string& name : segments_) {
+    uint64_t seq = 0;
+    if (ParseSegmentSeq(name, &seq) && seq >= next_segment_seq_) {
+      next_segment_seq_ = seq + 1;
     }
   }
-  log_bytes_ = valid_end;
+
+  // 3. Replay the segments in manifest order. Re-applying a record the
+  // snapshot already folded in is harmless — last record per user wins,
+  // and per-user order is preserved across segments.
+  log_bytes_ = 0;
+  active_bytes_ = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    SLOC_RETURN_IF_ERROR(
+        ReplaySegment(SegmentPath(segments_[i]), i + 1 == segments_.size()));
+  }
+
+  // 4. Retire stray segment files the manifest does not own: leftovers
+  // of a compaction that crashed between writing the shrunk manifest
+  // and unlinking, or of a rotation that crashed before committing its
+  // fresh segment. Their records are either folded into the snapshot
+  // or were never acked under a committed manifest.
+  DIR* d = ::opendir(dir_.c_str());
+  if (d != nullptr) {
+    std::vector<std::string> strays;
+    while (struct dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      const bool wal_like =
+          name == kInitialSegment ||
+          (name.size() > 8 && name.compare(0, 4, "wal-") == 0 &&
+           name.compare(name.size() - 4, 4, ".log") == 0);
+      if (wal_like &&
+          std::find(segments_.begin(), segments_.end(), name) ==
+              segments_.end()) {
+        strays.push_back(name);
+      }
+    }
+    ::closedir(d);
+    for (const std::string& name : strays) {
+      ::unlink(SegmentPath(name).c_str());
+    }
+  }
   return Status::Ok();
 }
 
@@ -558,6 +726,7 @@ Status LogBackedStore::EnsureShardLoadedLocked(size_t shard) const {
   }
   rec.loaded = true;
   rec.overlay = {};
+  loaded_hint_[shard].store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(snap_mu_);
     if (shards_pending_ > 0 && --shards_pending_ == 0) {
@@ -593,6 +762,7 @@ bool LogBackedStore::Append(uint8_t kind, int user_id,
   record.Raw(p.data(), p.size());
   record.U64(wire::Fnv1a(p.data(), p.size()));
 
+  const bool group = options_.fsync_batch_max > 0;
   std::lock_guard<std::mutex> lock(log_mu_);
   if (log_fd_ < 0) {
     if (io_status_.ok()) {
@@ -601,14 +771,32 @@ bool LogBackedStore::Append(uint8_t kind, int user_id,
     return false;
   }
   Status st = WriteAll(log_fd_, record.buf().data(), record.buf().size());
-  if (st.ok() && options_.fsync_every_append && ::fsync(log_fd_) != 0) {
-    st = Errno("fsync " + LogPath(dir_));
+  if (st.ok() && options_.fsync_every_append && !group &&
+      ::fsync(log_fd_) != 0) {
+    st = Errno("fsync " + SegmentPath(segments_.back()));
   }
   if (!st.ok()) {
     if (io_status_.ok()) io_status_ = st;
+    if (group) {
+      // The record never made it into the segment, so no future sync
+      // covers it: latch the sync error so deferred acks report the
+      // lost write instead of calling it durable.
+      std::lock_guard<std::mutex> sync_lock(sync_mu_);
+      if (sync_status_.ok()) sync_status_ = st;
+      sync_cv_.notify_all();
+    }
     return false;
   }
   log_bytes_ += record.buf().size();
+  active_bytes_ += record.buf().size();
+  const uint64_t seq = append_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (group) {
+    sync_cv_.notify_one();
+  } else {
+    // Without a sync thread the durability horizon IS the append
+    // horizon (page cache, or the disk under fsync_every_append).
+    durable_seq_.store(seq, std::memory_order_release);
+  }
   return options_.compact_log_bytes != 0 &&
          log_bytes_ >= options_.compact_log_bytes;
 }
@@ -625,6 +813,7 @@ void LogBackedStore::Put(int user_id, hve::Ciphertext ct) {
   bool compact_due;
   {
     const size_t shard = mem_->ShardOf(user_id);
+    access_count_[shard].fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard_mu_[shard]);
     ShardRecovery& rec = recovery_[shard];
     if (!rec.loaded && rec.overlay.insert(user_id).second &&
@@ -642,6 +831,7 @@ bool LogBackedStore::Erase(int user_id) {
   bool compact_due = false;
   {
     const size_t shard = mem_->ShardOf(user_id);
+    access_count_[shard].fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard_mu_[shard]);
     ShardRecovery& rec = recovery_[shard];
     if (rec.loaded || rec.overlay.count(user_id) != 0) {
@@ -662,6 +852,7 @@ bool LogBackedStore::Erase(int user_id) {
 
 bool LogBackedStore::Contains(int user_id) const {
   const size_t shard = mem_->ShardOf(user_id);
+  access_count_[shard].fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard_mu_[shard]);
   const ShardRecovery& rec = recovery_[shard];
   if (rec.loaded || rec.overlay.count(user_id) != 0) {
@@ -673,15 +864,200 @@ bool LogBackedStore::Contains(int user_id) const {
 void LogBackedStore::VisitShard(
     size_t shard,
     const std::function<void(int, const hve::Ciphertext&)>& fn) const {
+  access_count_[shard].fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(shard_mu_[shard]);
   EnsureShardLoadedLocked(shard);  // failure latched in io_status_
   mem_->VisitShard(shard, fn);
 }
 
+// ---------------------------------------------------------------------------
+// Group commit.
+
+void LogBackedStore::NotifyDurable(uint64_t ticket,
+                                   std::function<void(Status)> fn) {
+  if (options_.fsync_batch_max == 0) {
+    // Durable at append: fire in place, reporting the store's latched
+    // health so a degraded store cannot call a lost write durable.
+    fn(io_status());
+    return;
+  }
+  Status fire;
+  {
+    std::unique_lock<std::mutex> lock(sync_mu_);
+    if (sync_status_.ok() &&
+        durable_seq_.load(std::memory_order_relaxed) < ticket) {
+      waiters_.emplace(ticket, std::move(fn));
+      return;  // the sync thread fires it after the covering fsync
+    }
+    fire = sync_status_;
+  }
+  fn(fire);
+}
+
+Status LogBackedStore::WaitDurable(uint64_t ticket) {
+  if (options_.fsync_batch_max == 0) return io_status();
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  ++urgent_;
+  sync_cv_.notify_all();  // close the gather window early
+  durable_cv_.wait(lock, [&] {
+    return durable_seq_.load(std::memory_order_relaxed) >= ticket ||
+           !sync_status_.ok();
+  });
+  --urgent_;
+  return sync_status_;
+}
+
+void LogBackedStore::DrainNotifications() {
+  if (options_.fsync_batch_max == 0) return;
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  ++urgent_;
+  sync_cv_.notify_all();
+  durable_cv_.wait(lock, [&] {
+    return waiters_.empty() && !firing_ &&
+           (!sync_status_.ok() ||
+            durable_seq_.load(std::memory_order_relaxed) >=
+                append_seq_.load(std::memory_order_relaxed));
+  });
+  --urgent_;
+}
+
+Status LogBackedStore::SyncNow(uint64_t* covered) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  // Appends also hold log_mu_, so the sequence read here is exactly
+  // what is in the file when the fsync below runs.
+  *covered = append_seq_.load(std::memory_order_relaxed);
+  if (log_fd_ < 0) {
+    return Status::FailedPrecondition("log file is closed");
+  }
+  if (::fsync(log_fd_) != 0) {
+    const Status st = Errno("fsync " + SegmentPath(segments_.back()));
+    if (io_status_.ok()) io_status_ = st;
+    return st;
+  }
+  return Status::Ok();
+}
+
+void LogBackedStore::CompleteSync(uint64_t covered, Status st) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  if (!st.ok() && sync_status_.ok()) sync_status_ = st;
+  uint64_t durable = durable_seq_.load(std::memory_order_relaxed);
+  if (st.ok() && covered > durable) {
+    durable = covered;
+    durable_seq_.store(covered, std::memory_order_release);
+  }
+  const Status err = sync_status_;
+  std::vector<std::function<void(Status)>> due;
+  auto it = waiters_.begin();
+  while (it != waiters_.end() && (!err.ok() || it->first <= durable)) {
+    due.push_back(std::move(it->second));
+    it = waiters_.erase(it);
+  }
+  if (!due.empty()) {
+    // Callbacks run without sync_mu_ so they may take their own locks
+    // (the server's reply queues); firing_ keeps DrainNotifications
+    // honest about callbacks in flight.
+    firing_ = true;
+    lock.unlock();
+    for (auto& fn : due) fn(err);
+    lock.lock();
+    firing_ = false;
+  }
+  durable_cv_.notify_all();
+}
+
+void LogBackedStore::SyncLoop() {
+  const auto interval = std::chrono::microseconds(options_.fsync_interval_us);
+  const auto pending = [this] {
+    // After a latched sync failure there is nothing useful to sync:
+    // every waiter (present and future) fails fast instead.
+    return sync_status_.ok() &&
+           durable_seq_.load(std::memory_order_relaxed) <
+               append_seq_.load(std::memory_order_acquire);
+  };
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  for (;;) {
+    sync_cv_.wait(lock, [&] {
+      return sync_stop_ || pending() ||
+             (!sync_status_.ok() && !waiters_.empty());
+    });
+    if (!sync_status_.ok()) {
+      if (!waiters_.empty()) {
+        lock.unlock();
+        CompleteSync(0, Status::Ok());  // drains everyone with the error
+        lock.lock();
+      }
+      if (sync_stop_) return;
+      continue;
+    }
+    if (pending()) {
+      // The gather window: wait for the batch to fill or the interval
+      // to expire — unless shutdown or an urgent waiter wants the
+      // fsync now.
+      if (!sync_stop_ && urgent_ == 0 &&
+          append_seq_.load(std::memory_order_relaxed) -
+                  durable_seq_.load(std::memory_order_relaxed) <
+              options_.fsync_batch_max) {
+        sync_cv_.wait_for(lock, interval, [&] {
+          return sync_stop_ || urgent_ > 0 ||
+                 append_seq_.load(std::memory_order_relaxed) -
+                         durable_seq_.load(std::memory_order_relaxed) >=
+                     options_.fsync_batch_max;
+        });
+      }
+      lock.unlock();
+      uint64_t covered = 0;
+      const Status st = SyncNow(&covered);
+      CompleteSync(covered, st);
+      lock.lock();
+    }
+    if (sync_stop_ && !pending()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Background materialization.
+
+void LogBackedStore::MaterializeLoop() {
+  const size_t ns = mem_->num_shards();
+  while (!mat_stop_.load(std::memory_order_relaxed)) {
+    std::shared_ptr<const MappedSnapshot> snap;
+    {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      if (shards_pending_ == 0) return;
+      snap = snap_;
+    }
+    if (snap == nullptr) return;
+    // Most-accessed pending shard first (entry count as tiebreak): the
+    // shards ingest and scans keep touching converge to steady-state
+    // latency soonest. Hints are racy by design — a shard that loads
+    // under us is a cheap no-op below.
+    size_t best = ns;
+    uint64_t best_access = 0;
+    size_t best_entries = 0;
+    for (size_t s = 0; s < ns; ++s) {
+      if (loaded_hint_[s].load(std::memory_order_relaxed)) continue;
+      const uint64_t access = access_count_[s].load(std::memory_order_relaxed);
+      const size_t entries = snap->shard_entries[s].size();
+      if (best == ns || access > best_access ||
+          (access == best_access && entries > best_entries)) {
+        best = s;
+        best_access = access;
+        best_entries = entries;
+      }
+    }
+    if (best == ns) return;
+    std::lock_guard<std::mutex> lock(shard_mu_[best]);
+    EnsureShardLoadedLocked(best);  // failure latched in io_status_
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction.
+
 void LogBackedStore::AutoCompact() {
   // Concurrent writers crossing the threshold together would all run
-  // the full-store sweep; one compactor at a time is enough (the log
-  // only shrinks when it succeeds).
+  // the sweep; one compactor at a time is enough (the log only shrinks
+  // when it succeeds).
   if (compacting_.exchange(true)) return;
   Status st = Compact();
   compacting_.store(false);
@@ -776,26 +1152,94 @@ std::vector<uint8_t> BuildMmapSnapshot(
 
 }  // namespace
 
-Status LogBackedStore::Compact() {
-  // Resident state is the source of truth: hold EVERY shard lock plus
-  // the log lock for the sweep, so no append can land between the state
-  // serialization and the log truncation (such an append would be
-  // missing from both snapshot and log after recovery). Lock order is
-  // shards-in-index-order then log, matching Put/Erase's single-shard
-  // -> log order. Lazily-pending shards materialize first — the
-  // snapshot always captures the full resident state.
-  std::vector<std::unique_lock<std::mutex>> shard_locks;
-  shard_locks.reserve(mem_->num_shards());
-  for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
-    shard_locks.emplace_back(shard_mu_[shard]);
-    EnsureShardLoadedLocked(shard);  // failure latched in io_status_
+Status LogBackedStore::WriteManifest(const std::vector<std::string>& segments) {
+  wire::Writer w;
+  w.Raw(kManifestMagic, 4);
+  w.U8(kManifestVersion);
+  w.U32(uint32_t(segments.size()));
+  for (const std::string& name : segments) w.Str(name);
+  std::vector<uint8_t> bytes = w.Take();
+  wire::AppendChecksum(&bytes);
+  return WriteFileAtomic(ManifestPath(dir_), bytes);
+}
+
+Status LogBackedStore::RotateLog() {
+  uint64_t covered = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
+    covered = append_seq_.load(std::memory_order_relaxed);
+    // Everything appended so far rides the retiring segment (or an
+    // older one): fsync makes the whole prefix durable, which is what
+    // lets recovery treat damage in a rotated segment as corruption.
+    if (::fsync(log_fd_) != 0) {
+      const Status st = Errno("fsync " + SegmentPath(segments_.back()));
+      if (io_status_.ok()) io_status_ = st;
+      return st;
+    }
+    const std::string name = SegmentName(next_segment_seq_);
+    // O_TRUNC: a same-named stray (from a rotation that failed before
+    // committing its manifest) is dead by definition.
+    const int fd = ::open(SegmentPath(name).c_str(),
+                          O_WRONLY | O_APPEND | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Errno("open " + SegmentPath(name));
+    std::vector<std::string> next = segments_;
+    next.push_back(name);
+    const Status st = WriteManifest(next);
+    if (!st.ok()) {
+      // The old manifest still rules: keep appending to the old
+      // segment, drop the orphan.
+      ::close(fd);
+      ::unlink(SegmentPath(name).c_str());
+      return st;
+    }
+    ::close(log_fd_);
+    log_fd_ = fd;
+    segments_ = std::move(next);
+    ++next_segment_seq_;
+    active_bytes_ = 0;
   }
-  std::lock_guard<std::mutex> log_lock(log_mu_);
-  if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
-  std::vector<std::vector<std::pair<int, std::vector<uint8_t>>>> shards(
-      mem_->num_shards());
+  // The rotation fsync advanced the durability horizon: release any
+  // deferred acks it covers.
+  if (options_.fsync_batch_max > 0) {
+    CompleteSync(covered, Status::Ok());
+  } else {
+    durable_seq_.store(covered, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+Status LogBackedStore::Compact() {
+  // Serialize whole compactions against each other; appends and scans
+  // keep flowing (the whole point of the incremental sweep).
+  std::lock_guard<std::mutex> gate(compact_mu_);
+  const auto fault = [this](const char* point) {
+    return compact_fault_ ? compact_fault_(point) : Status::Ok();
+  };
+
+  // 1. Rotate: every record so far now lives in a retired, fsynced
+  // segment, so state serialized at-or-after this instant plus a
+  // replay of those segments reconstructs at least this prefix —
+  // whichever shard the sweep visits first.
+  SLOC_RETURN_IF_ERROR(RotateLog());
+  SLOC_RETURN_IF_ERROR(fault("rotated"));
+
+  // 2. Sweep the resident state one shard at a time, holding only that
+  // shard's lock (compaction_max_shard_locks() pins the invariant).
+  // Mutations racing into already-swept shards are fine: they went to
+  // the fresh active segment, which stays live in the manifest and
+  // replays over the snapshot.
+  const size_t ns = mem_->num_shards();
+  std::vector<std::vector<std::pair<int, std::vector<uint8_t>>>> shards(ns);
   size_t count = 0;
-  for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
+  for (size_t shard = 0; shard < ns; ++shard) {
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    const size_t held = compact_locks_now_.fetch_add(1) + 1;
+    size_t seen = compact_locks_max_.load(std::memory_order_relaxed);
+    while (seen < held &&
+           !compact_locks_max_.compare_exchange_weak(seen, held)) {
+    }
+    EnsureShardLoadedLocked(shard);  // failure latched in io_status_
     auto& out = shards[shard];
     mem_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
       out.emplace_back(user_id, hve::SerializeCiphertext(*group_, ct));
@@ -803,17 +1247,34 @@ Status LogBackedStore::Compact() {
     });
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+    compact_locks_now_.fetch_sub(1);
   }
+  SLOC_RETURN_IF_ERROR(fault("serialized"));
+
+  // 3. Write the snapshot. Until step 4 commits, the manifest still
+  // lists the retired segments, so a crash here replays them over the
+  // NEW snapshot — idempotent, since the snapshot state already
+  // includes them (last record per user wins).
   const std::vector<uint8_t> snap =
       options_.snapshot_format == SnapshotFormat::kMmap
           ? BuildMmapSnapshot(shards, count)
           : BuildLegacySnapshot(shards, count);
   SLOC_RETURN_IF_ERROR(WriteFileAtomic(SnapshotPath(dir_), snap));
-  if (::ftruncate(log_fd_, 0) != 0) {
-    return Errno("ftruncate " + LogPath(dir_));
+  SLOC_RETURN_IF_ERROR(fault("snapshot-written"));
+
+  // 4. Commit: shrink the manifest to the active segment, then unlink
+  // the retired ones (a crash between the two leaves strays that
+  // Open() retires).
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    std::vector<std::string> dead(segments_.begin(), segments_.end() - 1);
+    SLOC_RETURN_IF_ERROR(WriteManifest({segments_.back()}));
+    segments_ = {segments_.back()};
+    log_bytes_ = active_bytes_;
+    for (const std::string& name : dead) {
+      ::unlink(SegmentPath(name).c_str());
+    }
   }
-  if (::fsync(log_fd_) != 0) return Errno("fsync " + LogPath(dir_));
-  log_bytes_ = 0;
   return Status::Ok();
 }
 

@@ -7,23 +7,62 @@
 // process restart (the net/ front-end's durability story):
 //
 //   * every Put/Erase appends one length-prefixed, checksummed record
-//     to <dir>/wal.log before returning — by the time an ingest ack is
-//     sent the mutation is in the OS page cache, and on the disk itself
-//     when Options::fsync_every_append is set;
-//   * when the log grows past Options::compact_log_bytes, the full
-//     resident state is written to <dir>/snapshot.bin (tmp + rename, so
-//     a crash mid-compaction leaves the old snapshot intact) and the
-//     log is truncated;
-//   * Open() recovers by loading the snapshot and replaying the log
-//     over it. A torn tail — an append cut short by a crash, i.e. an
-//     incomplete or checksum-failing record at end-of-file with no
-//     valid record anywhere after it — is truncated away and recovery
-//     succeeds with every fully-durable record intact. A bad record
-//     with intact data after it (trailing records, a valid record
-//     boundary inside the extent a corrupted length prefix claims, or
-//     an implausibly large declared length) is real corruption and
-//     fails recovery with DataLoss: silently skipping it could
-//     resurrect a stale location for a user.
+//     to the active log segment before returning — by the time an
+//     ingest ack is sent the mutation is in the OS page cache, on the
+//     disk itself when Options::fsync_every_append is set, and under
+//     group commit (Options::fsync_batch_max > 0) on the disk by the
+//     time the covering durability notification fires (see
+//     DurabilityWaiter below);
+//   * when the live log grows past Options::compact_log_bytes, the
+//     full resident state is written to <dir>/snapshot.bin (tmp +
+//     rename, so a crash mid-compaction leaves the old snapshot
+//     intact) and the superseded log segments are retired;
+//   * Open() recovers by loading the snapshot and replaying the live
+//     log segments over it, in manifest order. A torn tail — an
+//     append cut short by a crash, i.e. an incomplete or
+//     checksum-failing record at end-of-file with no valid record
+//     anywhere after it — is truncated away and recovery succeeds
+//     with every fully-durable record intact. A bad record with
+//     intact data after it (trailing records, a valid record boundary
+//     inside the extent a corrupted length prefix claims, or an
+//     implausibly large declared length) is real corruption and fails
+//     recovery with DataLoss: silently skipping it could resurrect a
+//     stale location for a user. Only the *last* segment may carry a
+//     torn tail: earlier segments were fsynced when they were rotated
+//     out, so damage there is always corruption.
+//
+// Log segmentation and the manifest (full spec: docs/WIRE.md):
+//
+//   The log is a sequence of segments — <dir>/wal.log initially,
+//   <dir>/wal-NNNNNN.log for rotated segments — stitched together by
+//   <dir>/MANIFEST, which lists the live segments in replay order and
+//   is rewritten atomically (tmp + rename). A store that has never
+//   compacted has no manifest and implicitly owns [wal.log].
+//
+//   Compaction is *incremental*: it first rotates the log (fsync +
+//   retire the active segment, open a fresh one, commit both to the
+//   manifest), then serializes the resident state one shard at a time
+//   holding only that shard's lock, writes the snapshot, and finally
+//   shrinks the manifest to just the active segment. Ingest proceeds
+//   concurrently throughout; a crash at any point leaves a manifest
+//   whose snapshot + segment replay reconstructs the full state
+//   (records already folded into the snapshot replay idempotently —
+//   last record per user wins, and per-user order is preserved across
+//   segments).
+//
+// Group commit:
+//
+//   With Options::fsync_batch_max > 0 a dedicated sync thread batches
+//   appended records and fsyncs once per window — when the window
+//   fills (fsync_batch_max records) or expires (fsync_interval_us),
+//   whichever comes first. The DurabilityWaiter interface (store.h)
+//   exposes the resulting durability horizon: CurrentTicket() after a
+//   batch of Puts covers them, and NotifyDurable(ticket, fn) runs fn
+//   once the covering fsync has completed. The net/ server uses this
+//   to defer ingest acks until the covered records are on disk, so
+//   the "acked means durable" contract of fsync_every_append survives
+//   at a small fraction of the cost. fsync_every_append is ignored
+//   while group commit is on (the sync thread owns syncing).
 //
 // Snapshot formats (full byte-level spec: docs/WIRE.md):
 //
@@ -37,6 +76,8 @@
 //     not a full-file parse; ingest against a freshly recovered store
 //     never pays materialization at all (mutations overlay the index).
 //     The mapping is released once every shard has materialized.
+//     Options::background_materialize starts a thread that retires the
+//     pending shards in access-frequency order without blocking ingest.
 //   * v1 "SLSS" (SnapshotFormat::kLegacy) — flat count-prefixed
 //     entries with a whole-file checksum; reading it means parsing
 //     every blob up front. Still read transparently for migration;
@@ -62,21 +103,25 @@
 // one shard-lock hold, so per-user log order always matches memory
 // order — two racing Puts for the same user can never ack one
 // ciphertext and recover the other. Lock order is always
-// shards-in-ascending-index-order -> {snapshot mapping, log}: Put/Erase
-// take one shard then the log, the compaction sweep takes every shard
-// then the log, and auto-compaction runs after the triggering append's
-// shard lock is released, so the sweep cannot deadlock against appends.
-// size() is an unsynchronized sum — exact once writers quiesce,
-// approximate under concurrency.
+// shards-in-ascending-index-order -> {snapshot mapping, log} -> sync
+// state: Put/Erase take one shard then the log, the compaction sweep
+// takes one shard at a time (never two, asserted by
+// compaction_max_shard_locks()), and auto-compaction runs after the
+// triggering append's shard lock is released, so compaction cannot
+// deadlock against appends. size() is an unsynchronized sum — exact
+// once writers quiesce, approximate under concurrency.
 
 #ifndef SLOC_API_LOG_STORE_H_
 #define SLOC_API_LOG_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -87,7 +132,7 @@
 namespace sloc {
 namespace api {
 
-class LogBackedStore : public CiphertextStore {
+class LogBackedStore : public CiphertextStore, public DurabilityWaiter {
  public:
   /// On-disk layout Compact() writes. Both are always readable.
   enum class SnapshotFormat {
@@ -97,26 +142,43 @@ class LogBackedStore : public CiphertextStore {
 
   struct Options {
     size_t num_shards = 1;  ///< shard count of the resident delegate
-    /// Compact (snapshot + truncate) once the log holds this many bytes
-    /// appended since the last snapshot; 0 disables auto-compaction
-    /// (Compact() stays available).
+    /// Compact (snapshot + retire segments) once the live log holds
+    /// this many bytes appended since the last snapshot; 0 disables
+    /// auto-compaction (Compact() stays available).
     size_t compact_log_bytes = 64u << 20;
     /// fsync() the log after every append: survives power loss, not
     /// just process death, at a large throughput cost. Off by default —
     /// process-crash durability (the page cache) is the service-level
-    /// guarantee.
+    /// guarantee. Ignored while group commit (fsync_batch_max > 0) is
+    /// on; the sync thread owns syncing then.
     bool fsync_every_append = false;
+    /// Group commit: > 0 starts a sync thread that fsyncs once per
+    /// window — when this many records are pending or when
+    /// fsync_interval_us expires since the first pending record,
+    /// whichever comes first. 0 disables group commit.
+    size_t fsync_batch_max = 0;
+    /// Maximum time a pending record waits for its covering fsync
+    /// under group commit; bounds ack latency when traffic is too
+    /// light to fill fsync_batch_max.
+    uint64_t fsync_interval_us = 500;
     /// Format Compact() writes (recovery reads either).
     SnapshotFormat snapshot_format = SnapshotFormat::kMmap;
     /// Materialize every shard inside Open() and fail it on any
     /// corrupt blob, instead of the default lazy per-shard loading.
     /// Restores the v1 all-or-nothing startup check at v1 cost.
     bool eager_snapshot_load = false;
+    /// Start a background thread after Open() that materializes the
+    /// lazily-pending mmap shards in access-frequency order (most
+    /// frequently touched shard first, entry count as tiebreak), so
+    /// first-scan latency converges to steady state without blocking
+    /// ingest or startup. No effect when there is nothing pending.
+    bool background_materialize = false;
   };
 
   /// Opens (creating if absent) the store rooted at directory `dir`,
-  /// recovering resident state from snapshot + log. The group is needed
-  /// to parse recovered ciphertexts and serialize stored ones.
+  /// recovering resident state from snapshot + manifest-listed log
+  /// segments. The group is needed to parse recovered ciphertexts and
+  /// serialize stored ones.
   static Result<std::unique_ptr<LogBackedStore>> Open(
       const std::string& dir, std::shared_ptr<const PairingGroup> group,
       const Options& options);
@@ -150,10 +212,32 @@ class LogBackedStore : public CiphertextStore {
                   const std::function<void(int, const hve::Ciphertext&)>& fn)
       const override;
 
-  /// Writes the snapshot (Options::snapshot_format) and truncates the
-  /// log. Called automatically from Put/Erase past
+  // DurabilityWaiter. With group commit off these degenerate to the
+  // at-append durability contract: CurrentTicket() still advances per
+  // append, but every notification fires synchronously.
+  uint64_t CurrentTicket() const override {
+    return append_seq_.load(std::memory_order_acquire);
+  }
+  void NotifyDurable(uint64_t ticket,
+                     std::function<void(Status)> fn) override;
+  void DrainNotifications() override;
+
+  /// Blocks until everything up to `ticket` is durable (forcing a sync
+  /// window to close early if needed) and returns the covering sync's
+  /// outcome. Immediate under group-commit-off configurations.
+  Status WaitDurable(uint64_t ticket);
+
+  /// Highest ticket known durable on disk (observability; equals
+  /// CurrentTicket() once writers quiesce and the sync thread drains).
+  uint64_t durable_ticket() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Rotates the log, snapshots the resident state one shard at a
+  /// time (never holding more than one shard lock), and retires the
+  /// superseded segments. Called automatically from Put/Erase past
   /// Options::compact_log_bytes. Materializes every pending shard
-  /// first: the snapshot is always the full resident state.
+  /// along the way: the snapshot is always the full resident state.
   Status Compact();
 
   /// Materializes every lazily-pending shard from the mapped snapshot,
@@ -174,10 +258,26 @@ class LogBackedStore : public CiphertextStore {
   /// recovered state) is compromised once non-OK.
   Status io_status() const;
 
-  /// Bytes appended to the log since the last snapshot (observability).
+  /// Live log bytes not yet folded into a snapshot, across segments
+  /// (observability; the auto-compaction trigger).
   size_t log_bytes() const;
 
+  /// High-water mark of shard locks held simultaneously by compaction
+  /// sweeps since Open (observability; the incremental-compaction
+  /// invariant is that this never exceeds 1).
+  size_t compaction_max_shard_locks() const {
+    return compact_locks_max_.load(std::memory_order_relaxed);
+  }
+
   const std::string& dir() const { return dir_; }
+
+  /// Test hook: called at named checkpoints inside Compact()
+  /// ("rotated", "serialized", "snapshot-written"); a non-OK return
+  /// aborts the compaction there, simulating a crash between on-disk
+  /// steps. Not for production use; call before any concurrent use.
+  void TestSetCompactionFault(std::function<Status(const char*)> fault) {
+    compact_fault_ = std::move(fault);
+  }
 
  private:
   struct MappedSnapshot;
@@ -187,14 +287,20 @@ class LogBackedStore : public CiphertextStore {
 
   /// Serializes and appends one record; latches io_status_ on failure.
   /// Called with the mutation's shard lock held. Returns true when the
-  /// log has grown past the auto-compaction threshold (the caller
+  /// live log has grown past the auto-compaction threshold (the caller
   /// compacts after releasing its shard lock).
   bool Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob);
 
-  /// Loads snapshot + log into mem_ (v2 snapshots: index only, blobs
-  /// stay mapped and pending). Truncates a torn log tail in place;
-  /// rejects mid-log corruption.
+  /// Loads snapshot + manifest-listed segments into mem_ (v2
+  /// snapshots: index only, blobs stay mapped and pending). Truncates
+  /// a torn tail of the last segment in place; rejects mid-log
+  /// corruption anywhere else.
   Status Recover();
+
+  /// Replays one log segment over mem_. `last` permits (and truncates)
+  /// a torn tail; non-last segments must parse to their exact end.
+  /// On success adds the segment's valid byte count to log_bytes_.
+  Status ReplaySegment(const std::string& path, bool last);
 
   /// Parses + validates a v2 snapshot: maps the file, checks header and
   /// index checksums/bounds, and fills snap_. Blobs are not touched.
@@ -215,6 +321,32 @@ class LogBackedStore : public CiphertextStore {
   /// Threshold-triggered Compact(); collapses a stampede of concurrent
   /// triggers to one sweep and latches io_status_ on failure.
   void AutoCompact();
+
+  /// Retires the active segment (fsync + close), opens a fresh one,
+  /// and commits [.., old, new] to the manifest. Everything appended
+  /// before the rotation is durable once this returns.
+  Status RotateLog();
+
+  /// Atomically rewrites <dir>/MANIFEST to list `segments`.
+  Status WriteManifest(const std::vector<std::string>& segments);
+
+  /// Path of segment `name` under dir_.
+  std::string SegmentPath(const std::string& name) const;
+
+  /// The sync thread body (group commit): batch, fsync, notify.
+  void SyncLoop();
+
+  /// fsyncs the log fd and reports the ticket the sync covers.
+  Status SyncNow(uint64_t* covered);
+
+  /// Marks everything up to `covered` durable with outcome `st` and
+  /// fires the eligible notifications (all of them, with the latched
+  /// error, once any sync has failed). Callbacks run without locks.
+  void CompleteSync(uint64_t covered, Status st);
+
+  /// The background materializer body: retire pending shards
+  /// most-accessed-first, one shard lock at a time.
+  void MaterializeLoop();
 
   std::string dir_;
   std::shared_ptr<const PairingGroup> group_;
@@ -237,6 +369,12 @@ class LogBackedStore : public CiphertextStore {
   mutable std::unique_ptr<ShardRecovery[]> recovery_;
   /// Snapshot entries not yet materialized (and not overlaid).
   mutable std::atomic<size_t> pending_entries_{0};
+  /// Lock-free mirror of ShardRecovery::loaded for the materializer's
+  /// scheduling pass (authoritative state stays under the shard lock).
+  mutable std::unique_ptr<std::atomic<bool>[]> loaded_hint_;
+  /// Per-shard access counts (Put/Erase/Contains/VisitShard), the
+  /// materializer's frequency signal.
+  mutable std::unique_ptr<std::atomic<uint64_t>[]> access_count_;
 
   /// The mapped v2 snapshot; reset (munmap) once every shard has
   /// materialized. Guarded by snap_mu_ (innermost with shard locks:
@@ -246,10 +384,40 @@ class LogBackedStore : public CiphertextStore {
   mutable size_t shards_pending_ = 0;  ///< shards not yet loaded
 
   mutable std::mutex log_mu_;
-  int log_fd_ = -1;           ///< guarded by log_mu_
-  size_t log_bytes_ = 0;      ///< appended since last snapshot
-  mutable Status io_status_;  ///< first I/O failure, latched
+  int log_fd_ = -1;            ///< active segment, guarded by log_mu_
+  size_t log_bytes_ = 0;       ///< live bytes across segments
+  size_t active_bytes_ = 0;    ///< bytes in the active segment
+  /// Live segments in replay order; back() is the active one. Guarded
+  /// by log_mu_.
+  std::vector<std::string> segments_;
+  uint64_t next_segment_seq_ = 1;  ///< next wal-NNNNNN.log number
+  mutable Status io_status_;   ///< first I/O failure, latched
   std::atomic<bool> compacting_{false};  ///< one auto-compactor at a time
+  std::mutex compact_mu_;      ///< serializes explicit Compact() calls
+  std::function<Status(const char*)> compact_fault_;  ///< test hook
+  std::atomic<size_t> compact_locks_now_{0};
+  std::atomic<size_t> compact_locks_max_{0};
+
+  // Group-commit state. append_seq_ counts successful appends (bumped
+  // under log_mu_); durable_seq_ trails it to the last covering sync.
+  // sync_mu_ guards the waiter map and the sync thread's scheduling;
+  // lock order log_mu_ -> sync_mu_ (never the reverse).
+  std::atomic<uint64_t> append_seq_{0};
+  std::atomic<uint64_t> durable_seq_{0};
+  mutable std::mutex sync_mu_;
+  std::condition_variable sync_cv_;     ///< wakes the sync thread
+  std::condition_variable durable_cv_;  ///< wakes WaitDurable/Drain
+  /// Pending notifications keyed by covering ticket.
+  std::multimap<uint64_t, std::function<void(Status)>> waiters_;
+  Status sync_status_;       ///< first sync failure, latched
+  bool sync_stop_ = false;   ///< destructor -> sync thread
+  bool firing_ = false;      ///< callbacks in flight outside sync_mu_
+  size_t urgent_ = 0;        ///< WaitDurable/Drain callers skipping the window
+  std::thread sync_thread_;
+
+  // Background materializer state.
+  std::atomic<bool> mat_stop_{false};
+  std::thread mat_thread_;
 };
 
 }  // namespace api

@@ -255,7 +255,8 @@ Result<OutcomeReport> DecodeOutcomeReport(const std::vector<uint8_t>& frame) {
   if (count > kMaxNotified) {
     return Status::InvalidArgument("outcome report too large");
   }
-  report.notified_users.reserve(ClampedReserve(count, r, /*min_entry_bytes=*/4));
+  report.notified_users.reserve(
+      ClampedReserve(count, r, /*min_entry_bytes=*/4));
   for (uint32_t i = 0; i < count; ++i) {
     SLOC_ASSIGN_OR_RETURN(int user, r.I32());
     report.notified_users.push_back(user);

@@ -64,7 +64,8 @@ const char* MessageTypeName(MessageType type);
 // ---- Generic framing ----
 
 /// Wraps a payload into a checksummed, versioned frame of the given type.
-std::vector<uint8_t> Seal(MessageType type, const std::vector<uint8_t>& payload);
+std::vector<uint8_t> Seal(MessageType type,
+                          const std::vector<uint8_t>& payload);
 
 /// Validates checksum, magic, version, and type tag; returns the payload.
 Result<std::vector<uint8_t>> Open(MessageType expected_type,

@@ -12,16 +12,49 @@
 #define SLOC_API_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "hve/hve.h"
 
 namespace sloc {
 namespace api {
+
+/// Decouples "mutation applied and logged" from "mutation durable on
+/// stable storage". A durable store running deferred sync (group
+/// commit) hands one of these to its service front-end: the server
+/// applies a batch, takes a ticket covering it, and withholds the
+/// client's ack until the covering sync completes — the
+/// fsync-before-ack contract at amortized (once per sync window) cost.
+/// Implementations are thread-safe; tickets are monotone.
+class DurabilityWaiter {
+ public:
+  virtual ~DurabilityWaiter() = default;
+
+  /// Ticket covering every mutation applied to the store so far.
+  virtual uint64_t CurrentTicket() const = 0;
+
+  /// Invokes `fn` exactly once, after everything up to `ticket` is
+  /// durable — synchronously when it already is (including stores whose
+  /// configuration makes mutations durable at apply time), otherwise
+  /// later from the store's sync thread. The Status is the covering
+  /// sync's outcome; sync failures latch, so once one sync fails every
+  /// later notification reports the failure. `fn` must be cheap and
+  /// must not call back into the waiter.
+  virtual void NotifyDurable(uint64_t ticket,
+                             std::function<void(Status)> fn) = 0;
+
+  /// Blocks until every notification registered before the call has
+  /// fired, forcing a sync if one is pending. Callers tear down their
+  /// reply paths only after this returns, so no callback can outlive
+  /// its target.
+  virtual void DrainNotifications() = 0;
+};
 
 /// Abstract store of parsed, validated ciphertexts keyed by user id.
 ///

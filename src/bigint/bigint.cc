@@ -308,7 +308,8 @@ BigInt BigInt::operator<<(size_t bits) const {
   const size_t bit_shift = bits % 64;
   LimbVec out(limbs_.size() + limb_shift + 1, 0);
   for (size_t i = 0; i < limbs_.size(); ++i) {
-    out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    out[i + limb_shift] |=
+        bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
     if (bit_shift != 0) {
       out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
     }

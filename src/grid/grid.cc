@@ -48,9 +48,11 @@ std::vector<int> Grid::CellsWithinRadius(const Point& center,
   std::vector<int> out;
   const double r = std::max(radius_m, 0.0);
   const int row_lo = std::max(0, int((center.y - r) / cell_size_m_) - 1);
-  const int row_hi = std::min(rows_ - 1, int((center.y + r) / cell_size_m_) + 1);
+  const int row_hi =
+      std::min(rows_ - 1, int((center.y + r) / cell_size_m_) + 1);
   const int col_lo = std::max(0, int((center.x - r) / cell_size_m_) - 1);
-  const int col_hi = std::min(cols_ - 1, int((center.x + r) / cell_size_m_) + 1);
+  const int col_hi =
+      std::min(cols_ - 1, int((center.x + r) / cell_size_m_) + 1);
   for (int row = row_lo; row <= row_hi; ++row) {
     for (int col = col_lo; col <= col_hi; ++col) {
       int cell = row * cols_ + col;

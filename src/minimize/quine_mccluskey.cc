@@ -156,7 +156,8 @@ Result<std::vector<std::string>> QuineMcCluskey(
   }
 
   out.reserve(selection.size());
-  for (int p : selection) out.push_back(ToPattern(prime_list[size_t(p)], width));
+  for (int p : selection)
+    out.push_back(ToPattern(prime_list[size_t(p)], width));
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -650,6 +650,12 @@ struct AlertServer::Impl {
       if (t.joinable()) t.join();
     }
     workers.clear();
+    if (options.durability != nullptr) {
+      // Workers are quiet, so no new deferred acks can register; wait
+      // out the ones already handed to the store's sync thread before
+      // closing the fds their PushReply targets.
+      options.durability->DrainNotifications();
+    }
     for (auto& io : io_threads) {
       for (auto& [id, conn] : io->conns) ::close(conn->fd);
       io->conns.clear();
@@ -740,6 +746,24 @@ struct AlertServer::Impl {
   }
 
   void FinishIngest(const std::shared_ptr<RequestState>& req) {
+    if (options.durability == nullptr) {
+      SendIngestAck(req, Status::Ok());
+      return;
+    }
+    // The batch is fully applied (and appended) by the time remaining
+    // hits zero, so a ticket taken now covers every record of it. The
+    // callback fires from the store's sync thread once the covering
+    // fsync lands — StopThreads drains these before tearing down the
+    // reply path.
+    const uint64_t ticket = options.durability->CurrentTicket();
+    options.durability->NotifyDurable(
+        ticket, [this, req](Status durable) {
+          SendIngestAck(req, std::move(durable));
+        });
+  }
+
+  void SendIngestAck(const std::shared_ptr<RequestState>& req,
+                     Status durable) {
     api::SubmitAck ack;
     ack.accepted = req->accepted.load(std::memory_order_relaxed);
     ack.rejected = req->rejected.load(std::memory_order_relaxed);
@@ -749,6 +773,12 @@ struct AlertServer::Impl {
         ack.error_code = int32_t(req->first_error.code());
         ack.error_message = req->first_error.message();
       }
+    }
+    if (!durable.ok() && ack.error_code == 0) {
+      // Applied but not durable: the client must not treat this ack as
+      // a persistence promise.
+      ack.error_code = int32_t(durable.code());
+      ack.error_message = "durability lost: " + durable.message();
     }
     PushReply({req->conn_id, req->seq, req->request_bytes,
                api::EncodeSubmitAck(ack)});

@@ -50,6 +50,13 @@
 // before the scan request was sent (acks are emitted after the shard
 // apply). Uploads still queued when a scan arrives may or may not be
 // seen — the usual asynchronous-service contract.
+//
+// Durability guarantee (opt-in): when Options::durability is set, a
+// submit ack is additionally withheld until the store reports the
+// batch durable (the group-commit fsync covering it has completed, or
+// synchronously for stores durable at apply time), so "acked" means
+// "on disk" end to end. A sync failure turns the ack's error_code
+// non-zero rather than silently calling a lost write durable.
 
 #ifndef SLOC_NET_SERVER_H_
 #define SLOC_NET_SERVER_H_
@@ -103,6 +110,14 @@ class AlertServer {
     size_t max_connection_inflight = 8u << 20;
     size_t max_total_inflight = 128u << 20;
     size_t max_write_buffer = 64u << 20;
+
+    /// Defer submit acks until the store reports the covered batch
+    /// durable (see file comment). Non-owning; must outlive the
+    /// server. Point it at the LogBackedStore passed as `store` (which
+    /// implements DurabilityWaiter) to get acked-means-on-disk
+    /// semantics under group commit. nullptr acks at apply time, the
+    /// pre-existing behavior.
+    api::DurabilityWaiter* durability = nullptr;
   };
 
   /// Binds 127.0.0.1:<port>, wraps `store` in an epoch-snapshot layer,

@@ -8,8 +8,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -573,6 +576,251 @@ TEST_F(LogStoreTest, MmapRecoveredStoreMatchesTwinAcrossShards) {
   EXPECT_EQ(actual.stats.matches, expected.stats.matches);
   EXPECT_EQ(actual.stats.pairings, expected.stats.pairings);
   ASSERT_FALSE(expected.notified_users.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Group commit: the ack-ordering contract is that a durability
+// notification NEVER fires before the fsync covering its ticket has
+// completed, and that the durable horizon it reports includes the
+// ticket.
+
+/// Every user's resident ciphertext, serialized, across all shards.
+std::map<int, std::vector<uint8_t>> CollectAll(const LogBackedStore& store,
+                                               const PairingGroup& group) {
+  std::map<int, std::vector<uint8_t>> out;
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    store.VisitShard(s, [&](int user, const hve::Ciphertext& ct) {
+      out[user] = hve::SerializeCiphertext(group, ct);
+    });
+  }
+  return out;
+}
+
+TEST_F(LogStoreTest, GroupCommitAckNeverPrecedesCoveringFsync) {
+  LogBackedStore::Options options;
+  options.num_shards = 2;
+  options.compact_log_bytes = 0;
+  // A huge batch and a 10-second window: no sync can happen on its
+  // own within this test, so any early notification is a real
+  // ordering violation, not a lucky race.
+  options.fsync_batch_max = 1u << 20;
+  options.fsync_interval_us = 10'000'000;
+  auto store = LogBackedStore::Open(dir_, group_, options).value();
+
+  store->Put(1, CtFor(3));
+  const uint64_t ticket = store->CurrentTicket();
+  ASSERT_GE(ticket, 1u);
+
+  std::atomic<bool> fired{false};
+  std::atomic<uint64_t> durable_at_fire{0};
+  std::atomic<bool> status_ok{false};
+  store->NotifyDurable(ticket, [&](Status st) {
+    durable_at_fire.store(store->durable_ticket());
+    status_ok.store(st.ok());
+    fired.store(true);
+  });
+
+  // The window is far from expiring and the batch far from full: the
+  // notification must still be pending.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(fired.load());
+  EXPECT_LT(store->durable_ticket(), ticket);
+
+  // Force the window closed; the callback must have observed a
+  // durable horizon at or past its ticket — i.e. the fsync strictly
+  // preceded the ack.
+  ASSERT_TRUE(store->WaitDurable(ticket).ok());
+  EXPECT_TRUE(fired.load());
+  EXPECT_TRUE(status_ok.load());
+  EXPECT_GE(durable_at_fire.load(), ticket);
+}
+
+TEST_F(LogStoreTest, GroupCommitWindowExpiryAdvancesWithoutWaiters) {
+  LogBackedStore::Options options;
+  options.num_shards = 2;
+  options.compact_log_bytes = 0;
+  options.fsync_batch_max = 1u << 20;  // only the timer can close it
+  options.fsync_interval_us = 1000;
+  auto store = LogBackedStore::Open(dir_, group_, options).value();
+
+  store->Put(1, CtFor(3));
+  store->Put(2, CtFor(5));
+  const uint64_t ticket = store->CurrentTicket();
+  // No WaitDurable nudge: the interval alone must close the window.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (store->durable_ticket() < ticket &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(store->durable_ticket(), ticket);
+}
+
+TEST_F(LogStoreTest, GroupCommitDrainFlushesEveryNotification) {
+  LogBackedStore::Options options;
+  options.num_shards = 2;
+  options.compact_log_bytes = 0;
+  options.fsync_batch_max = 1u << 20;
+  options.fsync_interval_us = 10'000'000;
+  auto store = LogBackedStore::Open(dir_, group_, options).value();
+
+  std::atomic<int> fired{0};
+  for (int i = 1; i <= 8; ++i) {
+    store->Put(i, CtFor(i % 16));
+    store->NotifyDurable(store->CurrentTicket(), [&](Status st) {
+      EXPECT_TRUE(st.ok());
+      fired.fetch_add(1);
+    });
+  }
+  EXPECT_LT(fired.load(), 8);  // the 10 s window cannot have closed
+  store->DrainNotifications();
+  EXPECT_EQ(fired.load(), 8);
+
+  // An already-durable ticket notifies synchronously.
+  bool immediate = false;
+  store->NotifyDurable(store->durable_ticket(),
+                       [&](Status) { immediate = true; });
+  EXPECT_TRUE(immediate);
+}
+
+TEST_F(LogStoreTest, NotificationsAreSynchronousWithoutGroupCommit) {
+  auto store = Open().value();
+  store->Put(1, CtFor(3));
+  bool fired = false;
+  store->NotifyDurable(store->CurrentTicket(), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    fired = true;
+  });
+  EXPECT_TRUE(fired);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental compaction: a crash between any two of its on-disk steps
+// (rotate, per-shard serialize, snapshot write, manifest finalize) must
+// leave a state that recovers to exactly the pre-compaction contents —
+// the manifest stitches partial compactions into a consistent prefix.
+
+TEST_F(LogStoreTest, CompactionCrashPointsRecoverEveryWrite) {
+  for (const char* checkpoint :
+       {"rotated", "serialized", "snapshot-written"}) {
+    SCOPED_TRACE(checkpoint);
+    const std::string dir = dir_ + "/cp-" + checkpoint;
+    LogBackedStore::Options options;
+    options.num_shards = 2;
+    options.compact_log_bytes = 0;
+    std::map<int, std::vector<uint8_t>> expected;
+    auto put = [&](LogBackedStore& store, int user, int cell) {
+      const std::vector<uint8_t> blob = BlobFor(cell);
+      store.Put(user, hve::ParseCiphertext(*group_, blob).value());
+      expected[user] = blob;
+    };
+    {
+      auto store = LogBackedStore::Open(dir, group_, options).value();
+      put(*store, 1, 3);
+      put(*store, 2, 5);
+      ASSERT_TRUE(store->Compact().ok());  // clean baseline snapshot
+      put(*store, 1, 7);                   // replacement post-snapshot
+      put(*store, 3, 2);
+      store->TestSetCompactionFault([&](const char* point) {
+        return std::string(point) == checkpoint
+                   ? Status::Internal("injected crash")
+                   : Status::Ok();
+      });
+      EXPECT_FALSE(store->Compact().ok());
+      store->TestSetCompactionFault(nullptr);
+      // The store must still take writes after an aborted compaction.
+      put(*store, 4, 9);
+      EXPECT_TRUE(store->io_status().ok());
+    }
+    {
+      // Recovery over the stitched manifest: every write — including
+      // the replacement and the post-abort one — byte-identical.
+      options.eager_snapshot_load = true;
+      auto store = LogBackedStore::Open(dir, group_, options).value();
+      EXPECT_EQ(CollectAll(*store, *group_), expected);
+      // And a clean compaction from the stitched state still works.
+      ASSERT_TRUE(store->Compact().ok());
+    }
+    {
+      auto store = LogBackedStore::Open(dir, group_, options).value();
+      EXPECT_EQ(CollectAll(*store, *group_), expected);
+    }
+  }
+}
+
+TEST_F(LogStoreTest, CompactionNeverHoldsMoreThanOneShardLock) {
+  LogBackedStore::Options options;
+  options.num_shards = 4;
+  options.compact_log_bytes = 0;
+  auto store = LogBackedStore::Open(dir_, group_, options).value();
+  for (int u = 1; u <= 16; ++u) store->Put(u, CtFor(u % 16));
+
+  // Concurrent writers across all shards while compaction sweeps: the
+  // sweep takes shard locks one at a time, so ingest on other shards
+  // proceeds and the high-water mark stays at exactly one.
+  std::atomic<bool> stop{false};
+  std::vector<hve::Ciphertext> cts;
+  for (int c = 0; c < 4; ++c) cts.push_back(CtFor(c));
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      int u = 1 + t;
+      while (!stop.load()) {
+        store->Put(u, cts[size_t(u % 4)]);
+        u = (u + 2 - 1) % 16 + 1;
+      }
+    });
+  }
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(store->Compact().ok());
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(store->compaction_max_shard_locks(), 1u);
+  EXPECT_TRUE(store->io_status().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Background materialization: the optional post-Open thread must
+// converge to pending == 0 on its own, and the materialized contents
+// must equal an eager open of the same directory.
+
+TEST_F(LogStoreTest, BackgroundMaterializationMatchesEagerLoad) {
+  std::map<int, std::vector<uint8_t>> expected;
+  {
+    auto store = Open(4).value();
+    for (int u = 1; u <= 24; ++u) {
+      const std::vector<uint8_t> blob = BlobFor(u % 16);
+      store->Put(u, hve::ParseCiphertext(*group_, blob).value());
+      expected[u] = blob;
+    }
+    ASSERT_TRUE(store->Compact().ok());  // mmap snapshot on disk
+  }
+  {
+    LogBackedStore::Options options;
+    options.num_shards = 4;
+    options.compact_log_bytes = 0;
+    options.background_materialize = true;
+    auto store = LogBackedStore::Open(dir_, group_, options).value();
+    // No reads, no scans: the background thread alone must retire
+    // every pending shard.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (store->pending_snapshot_entries() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(store->pending_snapshot_entries(), 0u);
+    EXPECT_TRUE(store->io_status().ok());
+    EXPECT_EQ(CollectAll(*store, *group_), expected);
+  }
+  {
+    auto eager = Open(4, 0, LogBackedStore::SnapshotFormat::kMmap,
+                      /*eager_snapshot_load=*/true)
+                     .value();
+    EXPECT_EQ(CollectAll(*eager, *group_), expected);
+  }
 }
 
 }  // namespace

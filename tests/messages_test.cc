@@ -227,7 +227,7 @@ TEST(EnvelopeTest, TrailingGarbageInPayloadRejected) {
             StatusCode::kDataLoss);
 }
 
-// ---------- v3 reply messages (the net front-end's half of the wire) ----------
+// -------- v3 reply messages (the net front-end's half of the wire) --------
 
 TEST(EnvelopeTest, SubmitAckRoundtrip) {
   SubmitAck ack;

@@ -431,7 +431,8 @@ TEST(EpochSnapshotStoreTest, CountsEpochsAndForwardsIdentity) {
   store.Put(1, ct);  // replace: size stays, epoch advances
   EXPECT_EQ(store.size(), 2u);
   uint64_t total_epochs = 0;
-  for (size_t s = 0; s < store.num_shards(); ++s) total_epochs += store.epoch(s);
+  for (size_t s = 0; s < store.num_shards(); ++s)
+    total_epochs += store.epoch(s);
   EXPECT_EQ(total_epochs, 3u);
   EXPECT_TRUE(store.Erase(2));
   EXPECT_FALSE(store.Erase(2));

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Mechanical format gate for the C++ tree — pure stdlib, no tools.
+
+clang-format (config in .clang-format) is the authoritative formatter
+and the CI format-check job runs it with --dry-run -Werror. This
+script enforces the subset of the contract that needs no compiler
+tooling, so contributors and environments without clang-format still
+get a deterministic local gate:
+
+  * no line longer than 80 columns (raw string literals and lines
+    whose overlong token is an unbreakable URL/path are exempt);
+  * no tab characters;
+  * no trailing whitespace;
+  * files end with exactly one newline;
+  * include guards in headers under src/ follow SLOC_<PATH>_H_.
+
+Usage: python3 tools/check_format.py [root]
+Exits non-zero listing every violation.
+"""
+
+import os
+import re
+import sys
+
+CXX_DIRS = ("src", "tests", "bench", "examples", "fuzz")
+CXX_EXT = (".h", ".cc", ".cpp")
+MAX_COLS = 80
+# An overlong line is excused when the excess is one unbreakable token:
+# a URL, a #include path, or a long literal in a comment.
+EXEMPT = re.compile(r"https?://|^\s*#include|^\s*//.*\S{60,}")
+
+
+def guard_name(rel_path):
+    stem = rel_path[len("src/"):] if rel_path.startswith("src/") else rel_path
+    return "SLOC_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def check_file(root, rel_path, problems):
+    path = os.path.join(root, rel_path)
+    with open(path, "rb") as f:
+        data = f.read()
+    if not data.endswith(b"\n") or data.endswith(b"\n\n"):
+        problems.append(f"{rel_path}: must end with exactly one newline")
+    text = data.decode("utf-8")
+    in_raw_string = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            problems.append(f"{rel_path}:{number}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{rel_path}:{number}: trailing whitespace")
+        # Track raw string literals so embedded long lines are excused.
+        if in_raw_string:
+            if ')"' in line:
+                in_raw_string = False
+            continue
+        if 'R"(' in line and ')"' not in line.split('R"(', 1)[1]:
+            in_raw_string = True
+            continue
+        if len(line) > MAX_COLS and not EXEMPT.search(line):
+            problems.append(
+                f"{rel_path}:{number}: {len(line)} columns (max {MAX_COLS})")
+    if rel_path.startswith("src/") and rel_path.endswith(".h"):
+        guard = guard_name(rel_path)
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            problems.append(f"{rel_path}: include guard must be {guard}")
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    problems = []
+    checked = 0
+    for top in CXX_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, top)):
+            for name in sorted(names):
+                if name.endswith(CXX_EXT):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    check_file(root, rel, problems)
+                    checked += 1
+    for problem in problems:
+        print(problem)
+    print(f"check_format: {checked} files, {len(problems)} problems")
+    sys.exit(1 if problems else 0)
+
+
+if __name__ == "__main__":
+    main()
