@@ -206,7 +206,7 @@ LogBackedStore::LogBackedStore(std::string dir,
       group_(std::move(group)),
       options_(options),
       mem_(MakeStore(options.num_shards == 0 ? 1 : options.num_shards)),
-      shard_mu_(std::make_unique<std::mutex[]>(mem_->num_shards())),
+      shard_mu_(std::make_unique<Mutex[]>(mem_->num_shards())),
       recovery_(std::make_unique<ShardRecovery[]>(mem_->num_shards())),
       loaded_hint_(std::make_unique<std::atomic<bool>[]>(mem_->num_shards())),
       access_count_(
@@ -226,22 +226,33 @@ Result<std::unique_ptr<LogBackedStore>> LogBackedStore::Open(
   }
   std::unique_ptr<LogBackedStore> store(
       new LogBackedStore(dir, std::move(group), options));
-  SLOC_RETURN_IF_ERROR(store->Recover());
+  {
+    // No other thread exists yet, but Recover rebuilds log-guarded
+    // state (segments_, byte counters), so hold its lock: the analysis
+    // sees one discipline for init and steady state. Released before
+    // LoadAllShards, whose shard -> log leg must not nest inside it.
+    MutexLock lock(store->log_mu_);
+    SLOC_RETURN_IF_ERROR(store->Recover());
+  }
   if (options.eager_snapshot_load) {
     // Restore the v1 all-or-nothing startup check: every blob parses
     // and checksums, or Open fails.
     SLOC_RETURN_IF_ERROR(store->LoadAllShards());
   }
-  const std::string active = store->SegmentPath(store->segments_.back());
-  store->log_fd_ = ::open(active.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-  if (store->log_fd_ < 0) return Errno("open " + active);
+  {
+    MutexLock lock(store->log_mu_);
+    const std::string active = store->SegmentPath(store->segments_.back());
+    store->log_fd_ =
+        ::open(active.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (store->log_fd_ < 0) return Errno("open " + active);
+  }
   if (options.fsync_batch_max > 0) {
     store->sync_thread_ = std::thread(&LogBackedStore::SyncLoop, store.get());
   }
   if (options.background_materialize) {
     bool any_pending;
     {
-      std::lock_guard<std::mutex> lock(store->snap_mu_);
+      MutexLock lock(store->snap_mu_);
       any_pending = store->shards_pending_ > 0;
     }
     if (any_pending) {
@@ -257,13 +268,13 @@ LogBackedStore::~LogBackedStore() {
   if (mat_thread_.joinable()) mat_thread_.join();
   if (sync_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(sync_mu_);
+      MutexLock lock(sync_mu_);
       sync_stop_ = true;
     }
-    sync_cv_.notify_all();
+    sync_cv_.NotifyAll();
     sync_thread_.join();
   }
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   if (log_fd_ >= 0) {
     ::fsync(log_fd_);
     ::close(log_fd_);
@@ -444,8 +455,11 @@ Status LogBackedStore::RecoverMmapSnapshot(int fd, size_t file_bytes) {
     }
   }
   pending_entries_.store(size_t(count), std::memory_order_relaxed);
-  snap_ = std::move(snap);
-  shards_pending_ = pending_shards;
+  {
+    MutexLock lock(snap_mu_);
+    snap_ = std::move(snap);
+    shards_pending_ = pending_shards;
+  }
   return Status::Ok();
 }
 
@@ -677,7 +691,7 @@ Status LogBackedStore::Recover() {
 bool LogBackedStore::SnapshotIndexHasLocked(size_t shard, int user_id) const {
   std::shared_ptr<const MappedSnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    MutexLock lock(snap_mu_);
     snap = snap_;
   }
   if (snap == nullptr) return false;
@@ -693,7 +707,7 @@ Status LogBackedStore::EnsureShardLoadedLocked(size_t shard) const {
   if (rec.loaded) return Status::Ok();
   std::shared_ptr<const MappedSnapshot> snap;
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    MutexLock lock(snap_mu_);
     snap = snap_;
   }
   Status first;
@@ -728,13 +742,13 @@ Status LogBackedStore::EnsureShardLoadedLocked(size_t shard) const {
   rec.overlay = {};
   loaded_hint_[shard].store(true, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    MutexLock lock(snap_mu_);
     if (shards_pending_ > 0 && --shards_pending_ == 0) {
       snap_.reset();  // every shard resident: release the mapping
     }
   }
   if (!first.ok()) {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     if (io_status_.ok()) io_status_ = first;
   }
   return first;
@@ -743,7 +757,7 @@ Status LogBackedStore::EnsureShardLoadedLocked(size_t shard) const {
 Status LogBackedStore::LoadAllShards() {
   Status first;
   for (size_t shard = 0; shard < mem_->num_shards(); ++shard) {
-    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    MutexLock lock(shard_mu_[shard]);
     const Status st = EnsureShardLoadedLocked(shard);
     if (!st.ok() && first.ok()) first = st;
   }
@@ -763,7 +777,7 @@ bool LogBackedStore::Append(uint8_t kind, int user_id,
   record.U64(wire::Fnv1a(p.data(), p.size()));
 
   const bool group = options_.fsync_batch_max > 0;
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   if (log_fd_ < 0) {
     if (io_status_.ok()) {
       io_status_ = Status::FailedPrecondition("log file is closed");
@@ -781,9 +795,9 @@ bool LogBackedStore::Append(uint8_t kind, int user_id,
       // The record never made it into the segment, so no future sync
       // covers it: latch the sync error so deferred acks report the
       // lost write instead of calling it durable.
-      std::lock_guard<std::mutex> sync_lock(sync_mu_);
+      MutexLock sync_lock(sync_mu_);
       if (sync_status_.ok()) sync_status_ = st;
-      sync_cv_.notify_all();
+      sync_cv_.NotifyAll();
     }
     return false;
   }
@@ -791,7 +805,7 @@ bool LogBackedStore::Append(uint8_t kind, int user_id,
   active_bytes_ += record.buf().size();
   const uint64_t seq = append_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (group) {
-    sync_cv_.notify_one();
+    sync_cv_.NotifyOne();
   } else {
     // Without a sync thread the durability horizon IS the append
     // horizon (page cache, or the disk under fsync_every_append).
@@ -814,7 +828,7 @@ void LogBackedStore::Put(int user_id, hve::Ciphertext ct) {
   {
     const size_t shard = mem_->ShardOf(user_id);
     access_count_[shard].fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    MutexLock lock(shard_mu_[shard]);
     ShardRecovery& rec = recovery_[shard];
     if (!rec.loaded && rec.overlay.insert(user_id).second &&
         SnapshotIndexHasLocked(shard, user_id)) {
@@ -832,7 +846,7 @@ bool LogBackedStore::Erase(int user_id) {
   {
     const size_t shard = mem_->ShardOf(user_id);
     access_count_[shard].fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    MutexLock lock(shard_mu_[shard]);
     ShardRecovery& rec = recovery_[shard];
     if (rec.loaded || rec.overlay.count(user_id) != 0) {
       existed = mem_->Erase(user_id);
@@ -853,7 +867,7 @@ bool LogBackedStore::Erase(int user_id) {
 bool LogBackedStore::Contains(int user_id) const {
   const size_t shard = mem_->ShardOf(user_id);
   access_count_[shard].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+  MutexLock lock(shard_mu_[shard]);
   const ShardRecovery& rec = recovery_[shard];
   if (rec.loaded || rec.overlay.count(user_id) != 0) {
     return mem_->Contains(user_id);
@@ -865,7 +879,7 @@ void LogBackedStore::VisitShard(
     size_t shard,
     const std::function<void(int, const hve::Ciphertext&)>& fn) const {
   access_count_[shard].fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+  MutexLock lock(shard_mu_[shard]);
   EnsureShardLoadedLocked(shard);  // failure latched in io_status_
   mem_->VisitShard(shard, fn);
 }
@@ -883,7 +897,7 @@ void LogBackedStore::NotifyDurable(uint64_t ticket,
   }
   Status fire;
   {
-    std::unique_lock<std::mutex> lock(sync_mu_);
+    MutexLock lock(sync_mu_);
     if (sync_status_.ok() &&
         durable_seq_.load(std::memory_order_relaxed) < ticket) {
       waiters_.emplace(ticket, std::move(fn));
@@ -896,33 +910,33 @@ void LogBackedStore::NotifyDurable(uint64_t ticket,
 
 Status LogBackedStore::WaitDurable(uint64_t ticket) {
   if (options_.fsync_batch_max == 0) return io_status();
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   ++urgent_;
-  sync_cv_.notify_all();  // close the gather window early
-  durable_cv_.wait(lock, [&] {
-    return durable_seq_.load(std::memory_order_relaxed) >= ticket ||
-           !sync_status_.ok();
-  });
+  sync_cv_.NotifyAll();  // close the gather window early
+  while (durable_seq_.load(std::memory_order_relaxed) < ticket &&
+         sync_status_.ok()) {
+    durable_cv_.Wait(lock);
+  }
   --urgent_;
   return sync_status_;
 }
 
 void LogBackedStore::DrainNotifications() {
   if (options_.fsync_batch_max == 0) return;
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   ++urgent_;
-  sync_cv_.notify_all();
-  durable_cv_.wait(lock, [&] {
-    return waiters_.empty() && !firing_ &&
+  sync_cv_.NotifyAll();
+  while (!(waiters_.empty() && !firing_ &&
            (!sync_status_.ok() ||
             durable_seq_.load(std::memory_order_relaxed) >=
-                append_seq_.load(std::memory_order_relaxed));
-  });
+                append_seq_.load(std::memory_order_relaxed)))) {
+    durable_cv_.Wait(lock);
+  }
   --urgent_;
 }
 
 Status LogBackedStore::SyncNow(uint64_t* covered) {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   // Appends also hold log_mu_, so the sequence read here is exactly
   // what is in the file when the fsync below runs.
   *covered = append_seq_.load(std::memory_order_relaxed);
@@ -938,7 +952,7 @@ Status LogBackedStore::SyncNow(uint64_t* covered) {
 }
 
 void LogBackedStore::CompleteSync(uint64_t covered, Status st) {
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   if (!st.ok() && sync_status_.ok()) sync_status_ = st;
   uint64_t durable = durable_seq_.load(std::memory_order_relaxed);
   if (st.ok() && covered > durable) {
@@ -957,60 +971,66 @@ void LogBackedStore::CompleteSync(uint64_t covered, Status st) {
     // (the server's reply queues); firing_ keeps DrainNotifications
     // honest about callbacks in flight.
     firing_ = true;
-    lock.unlock();
+    lock.Unlock();
     for (auto& fn : due) fn(err);
-    lock.lock();
+    lock.Lock();
     firing_ = false;
   }
-  durable_cv_.notify_all();
+  durable_cv_.NotifyAll();
+}
+
+bool LogBackedStore::SyncPendingLocked() const {
+  // After a latched sync failure there is nothing useful to sync:
+  // every waiter (present and future) fails fast instead.
+  return sync_status_.ok() &&
+         durable_seq_.load(std::memory_order_relaxed) <
+             append_seq_.load(std::memory_order_acquire);
 }
 
 void LogBackedStore::SyncLoop() {
+  // All waits are explicit while-loops (not predicate lambdas) so the
+  // guarded reads sit in this REQUIRES-visible scope; see
+  // common/thread_annotations.h.
   const auto interval = std::chrono::microseconds(options_.fsync_interval_us);
-  const auto pending = [this] {
-    // After a latched sync failure there is nothing useful to sync:
-    // every waiter (present and future) fails fast instead.
-    return sync_status_.ok() &&
-           durable_seq_.load(std::memory_order_relaxed) <
-               append_seq_.load(std::memory_order_acquire);
-  };
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   for (;;) {
-    sync_cv_.wait(lock, [&] {
-      return sync_stop_ || pending() ||
-             (!sync_status_.ok() && !waiters_.empty());
-    });
+    while (!(sync_stop_ || SyncPendingLocked() ||
+             (!sync_status_.ok() && !waiters_.empty()))) {
+      sync_cv_.Wait(lock);
+    }
     if (!sync_status_.ok()) {
       if (!waiters_.empty()) {
-        lock.unlock();
+        lock.Unlock();
         CompleteSync(0, Status::Ok());  // drains everyone with the error
-        lock.lock();
+        lock.Lock();
       }
       if (sync_stop_) return;
       continue;
     }
-    if (pending()) {
+    if (SyncPendingLocked()) {
       // The gather window: wait for the batch to fill or the interval
       // to expire — unless shutdown or an urgent waiter wants the
       // fsync now.
-      if (!sync_stop_ && urgent_ == 0 &&
-          append_seq_.load(std::memory_order_relaxed) -
-                  durable_seq_.load(std::memory_order_relaxed) <
-              options_.fsync_batch_max) {
-        sync_cv_.wait_for(lock, interval, [&] {
-          return sync_stop_ || urgent_ > 0 ||
-                 append_seq_.load(std::memory_order_relaxed) -
-                         durable_seq_.load(std::memory_order_relaxed) >=
-                     options_.fsync_batch_max;
-        });
+      const auto backlog = [this] {
+        return append_seq_.load(std::memory_order_relaxed) -
+               durable_seq_.load(std::memory_order_relaxed);
+      };  // atomics only — safe in a lambda
+      if (!sync_stop_ && urgent_ == 0 && backlog() < options_.fsync_batch_max) {
+        const auto deadline = std::chrono::steady_clock::now() + interval;
+        while (!(sync_stop_ || urgent_ > 0 ||
+                 backlog() >= options_.fsync_batch_max)) {
+          if (sync_cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
       }
-      lock.unlock();
+      lock.Unlock();
       uint64_t covered = 0;
       const Status st = SyncNow(&covered);
       CompleteSync(covered, st);
-      lock.lock();
+      lock.Lock();
     }
-    if (sync_stop_ && !pending()) return;
+    if (sync_stop_ && !SyncPendingLocked()) return;
   }
 }
 
@@ -1022,7 +1042,7 @@ void LogBackedStore::MaterializeLoop() {
   while (!mat_stop_.load(std::memory_order_relaxed)) {
     std::shared_ptr<const MappedSnapshot> snap;
     {
-      std::lock_guard<std::mutex> lock(snap_mu_);
+      MutexLock lock(snap_mu_);
       if (shards_pending_ == 0) return;
       snap = snap_;
     }
@@ -1046,7 +1066,7 @@ void LogBackedStore::MaterializeLoop() {
       }
     }
     if (best == ns) return;
-    std::lock_guard<std::mutex> lock(shard_mu_[best]);
+    MutexLock lock(shard_mu_[best]);
     EnsureShardLoadedLocked(best);  // failure latched in io_status_
   }
 }
@@ -1062,7 +1082,7 @@ void LogBackedStore::AutoCompact() {
   Status st = Compact();
   compacting_.store(false);
   if (!st.ok()) {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     if (io_status_.ok()) io_status_ = st;
   }
 }
@@ -1166,7 +1186,7 @@ Status LogBackedStore::WriteManifest(const std::vector<std::string>& segments) {
 Status LogBackedStore::RotateLog() {
   uint64_t covered = 0;
   {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     if (log_fd_ < 0) return Status::FailedPrecondition("log file is closed");
     covered = append_seq_.load(std::memory_order_relaxed);
     // Everything appended so far rides the retiring segment (or an
@@ -1212,7 +1232,7 @@ Status LogBackedStore::RotateLog() {
 Status LogBackedStore::Compact() {
   // Serialize whole compactions against each other; appends and scans
   // keep flowing (the whole point of the incremental sweep).
-  std::lock_guard<std::mutex> gate(compact_mu_);
+  MutexLock gate(compact_mu_);
   const auto fault = [this](const char* point) {
     return compact_fault_ ? compact_fault_(point) : Status::Ok();
   };
@@ -1233,7 +1253,7 @@ Status LogBackedStore::Compact() {
   std::vector<std::vector<std::pair<int, std::vector<uint8_t>>>> shards(ns);
   size_t count = 0;
   for (size_t shard = 0; shard < ns; ++shard) {
-    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    MutexLock lock(shard_mu_[shard]);
     const size_t held = compact_locks_now_.fetch_add(1) + 1;
     size_t seen = compact_locks_max_.load(std::memory_order_relaxed);
     while (seen < held &&
@@ -1266,7 +1286,7 @@ Status LogBackedStore::Compact() {
   // the retired ones (a crash between the two leaves strays that
   // Open() retires).
   {
-    std::lock_guard<std::mutex> lock(log_mu_);
+    MutexLock lock(log_mu_);
     std::vector<std::string> dead(segments_.begin(), segments_.end() - 1);
     SLOC_RETURN_IF_ERROR(WriteManifest({segments_.back()}));
     segments_ = {segments_.back()};
@@ -1279,12 +1299,12 @@ Status LogBackedStore::Compact() {
 }
 
 Status LogBackedStore::io_status() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   return io_status_;
 }
 
 size_t LogBackedStore::log_bytes() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
+  MutexLock lock(log_mu_);
   return log_bytes_;
 }
 

@@ -110,16 +110,21 @@
 // triggering append's shard lock is released, so compaction cannot
 // deadlock against appends. size() is an unsynchronized sum — exact
 // once writers quiesce, approximate under concurrency.
+//
+// The lock discipline is machine-checked (common/thread_annotations.h):
+// each nameable capability below declares what it guards via
+// SLOC_GUARDED_BY, the log -> sync leg of the order is a compile-time
+// SLOC_ACQUIRED_AFTER edge, and the per-shard legs (not expressible as
+// attributes over a lock array) are lock-note'd at the member and
+// exercised by TSan CI.
 
 #ifndef SLOC_API_LOG_STORE_H_
 #define SLOC_API_LOG_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -127,6 +132,7 @@
 
 #include "api/store.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "pairing/group.h"
 
 namespace sloc {
@@ -286,21 +292,25 @@ class LogBackedStore : public CiphertextStore, public DurabilityWaiter {
                  const Options& options);
 
   /// Serializes and appends one record; latches io_status_ on failure.
-  /// Called with the mutation's shard lock held. Returns true when the
-  /// live log has grown past the auto-compaction threshold (the caller
-  /// compacts after releasing its shard lock).
-  bool Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob);
+  /// Called with the mutation's shard lock held (the shard -> log leg
+  /// of the lock order; it takes log_mu_, then sync_mu_, itself).
+  /// Returns true when the live log has grown past the auto-compaction
+  /// threshold (the caller compacts after releasing its shard lock).
+  bool Append(uint8_t kind, int user_id, const std::vector<uint8_t>& blob)
+      SLOC_EXCLUDES(log_mu_, sync_mu_);
 
   /// Loads snapshot + manifest-listed segments into mem_ (v2
   /// snapshots: index only, blobs stay mapped and pending). Truncates
   /// a torn tail of the last segment in place; rejects mid-log
-  /// corruption anywhere else.
-  Status Recover();
+  /// corruption anywhere else. Open() holds log_mu_ across it: the
+  /// segment list and byte counters it rebuilds are log state.
+  Status Recover() SLOC_REQUIRES(log_mu_);
 
   /// Replays one log segment over mem_. `last` permits (and truncates)
   /// a torn tail; non-last segments must parse to their exact end.
   /// On success adds the segment's valid byte count to log_bytes_.
-  Status ReplaySegment(const std::string& path, bool last);
+  Status ReplaySegment(const std::string& path, bool last)
+      SLOC_REQUIRES(log_mu_);
 
   /// Parses + validates a v2 snapshot: maps the file, checks header and
   /// index checksums/bounds, and fills snap_. Blobs are not touched.
@@ -334,15 +344,23 @@ class LogBackedStore : public CiphertextStore, public DurabilityWaiter {
   std::string SegmentPath(const std::string& name) const;
 
   /// The sync thread body (group commit): batch, fsync, notify.
-  void SyncLoop();
+  void SyncLoop() SLOC_EXCLUDES(sync_mu_, log_mu_);
 
-  /// fsyncs the log fd and reports the ticket the sync covers.
-  Status SyncNow(uint64_t* covered);
+  /// True while appends exist that no successful sync has covered yet
+  /// (and no sync failure has latched). The sync thread's wakeup
+  /// predicate, written as a member so the analysis can check the
+  /// sync_status_ read (a lambda body would be analyzed lock-free).
+  bool SyncPendingLocked() const SLOC_REQUIRES(sync_mu_);
+
+  /// fsyncs the log fd and reports the ticket the sync covers. Takes
+  /// log_mu_; the caller must have dropped sync_mu_ first (lock order).
+  Status SyncNow(uint64_t* covered) SLOC_EXCLUDES(log_mu_, sync_mu_);
 
   /// Marks everything up to `covered` durable with outcome `st` and
   /// fires the eligible notifications (all of them, with the latched
   /// error, once any sync has failed). Callbacks run without locks.
-  void CompleteSync(uint64_t covered, Status st);
+  void CompleteSync(uint64_t covered, Status st)
+      SLOC_EXCLUDES(sync_mu_);
 
   /// The background materializer body: retire pending shards
   /// most-accessed-first, one shard lock at a time.
@@ -351,11 +369,18 @@ class LogBackedStore : public CiphertextStore, public DurabilityWaiter {
   std::string dir_;
   std::shared_ptr<const PairingGroup> group_;
   Options options_;
-  std::unique_ptr<CiphertextStore> mem_;
-  /// Guards resident state per shard (mem_ itself is not thread-safe).
-  mutable std::unique_ptr<std::mutex[]> shard_mu_;
+  std::unique_ptr<CiphertextStore> mem_;  // partitioned by shard_mu_[i]
+  // lock-note: shard_mu_[i] guards shard i's slice of mem_ and
+  // recovery_[i]. A per-element guard over an array of capabilities is
+  // not expressible in the attribute grammar, so the discipline is by
+  // convention: every access goes through MutexLock lock(shard_mu_[s])
+  // with s = ShardOf(user), and multiple shard locks are only ever held
+  // in ascending index order (today nothing holds two:
+  // compaction_max_shard_locks() pins the sweep to one).
+  mutable std::unique_ptr<Mutex[]> shard_mu_;
 
-  /// Lazy-recovery state per shard, guarded by the matching shard_mu_.
+  /// Lazy-recovery state per shard, guarded by the matching shard_mu_
+  /// (see the lock-note above — per-element guards are by convention).
   struct ShardRecovery {
     /// True once the shard's snapshot entries live in mem_ (immediately
     /// true for shards with no snapshot entries and after any legacy
@@ -376,43 +401,62 @@ class LogBackedStore : public CiphertextStore, public DurabilityWaiter {
   /// materializer's frequency signal.
   mutable std::unique_ptr<std::atomic<uint64_t>[]> access_count_;
 
-  /// The mapped v2 snapshot; reset (munmap) once every shard has
-  /// materialized. Guarded by snap_mu_ (innermost with shard locks:
+  /// Guards the mapped v2 snapshot (innermost with shard locks:
   /// shard -> snap, never snap -> shard).
-  mutable std::mutex snap_mu_;
-  mutable std::shared_ptr<const MappedSnapshot> snap_;
-  mutable size_t shards_pending_ = 0;  ///< shards not yet loaded
+  mutable Mutex snap_mu_;
+  /// Reset (munmap) once every shard has materialized.
+  mutable std::shared_ptr<const MappedSnapshot> snap_
+      SLOC_GUARDED_BY(snap_mu_);
+  /// Shards not yet loaded.
+  mutable size_t shards_pending_ SLOC_GUARDED_BY(snap_mu_) = 0;
 
-  mutable std::mutex log_mu_;
-  int log_fd_ = -1;            ///< active segment, guarded by log_mu_
-  size_t log_bytes_ = 0;       ///< live bytes across segments
-  size_t active_bytes_ = 0;    ///< bytes in the active segment
-  /// Live segments in replay order; back() is the active one. Guarded
-  /// by log_mu_.
-  std::vector<std::string> segments_;
-  uint64_t next_segment_seq_ = 1;  ///< next wal-NNNNNN.log number
-  mutable Status io_status_;   ///< first I/O failure, latched
+  mutable Mutex log_mu_;
+  /// Active segment fd.
+  int log_fd_ SLOC_GUARDED_BY(log_mu_) = -1;
+  /// Live bytes across segments.
+  size_t log_bytes_ SLOC_GUARDED_BY(log_mu_) = 0;
+  /// Bytes in the active segment.
+  size_t active_bytes_ SLOC_GUARDED_BY(log_mu_) = 0;
+  /// Live segments in replay order; back() is the active one.
+  std::vector<std::string> segments_ SLOC_GUARDED_BY(log_mu_);
+  /// Next wal-NNNNNN.log number.
+  uint64_t next_segment_seq_ SLOC_GUARDED_BY(log_mu_) = 1;
+  /// First I/O failure, latched.
+  mutable Status io_status_ SLOC_GUARDED_BY(log_mu_);
   std::atomic<bool> compacting_{false};  ///< one auto-compactor at a time
-  std::mutex compact_mu_;      ///< serializes explicit Compact() calls
-  std::function<Status(const char*)> compact_fault_;  ///< test hook
+  // lock-note: compact_mu_ serializes whole Compact() calls against
+  // each other; it guards no data (the sweep reads under shard locks
+  // and commits under log_mu_), so nothing is GUARDED_BY it.
+  Mutex compact_mu_;
+  /// Test hook; set before any concurrent use, immutable after.
+  std::function<Status(const char*)> compact_fault_;
   std::atomic<size_t> compact_locks_now_{0};
   std::atomic<size_t> compact_locks_max_{0};
 
   // Group-commit state. append_seq_ counts successful appends (bumped
   // under log_mu_); durable_seq_ trails it to the last covering sync.
   // sync_mu_ guards the waiter map and the sync thread's scheduling;
-  // lock order log_mu_ -> sync_mu_ (never the reverse).
+  // the ACQUIRED_AFTER edge makes log_mu_ -> sync_mu_ the only legal
+  // nesting (Append holds it; the reverse is a compile error under
+  // -Wthread-safety-beta).
   std::atomic<uint64_t> append_seq_{0};
   std::atomic<uint64_t> durable_seq_{0};
-  mutable std::mutex sync_mu_;
-  std::condition_variable sync_cv_;     ///< wakes the sync thread
-  std::condition_variable durable_cv_;  ///< wakes WaitDurable/Drain
+  mutable Mutex sync_mu_ SLOC_ACQUIRED_AFTER(log_mu_);
+  // lock-note: both condvars pair with sync_mu_; waits hold it by
+  // construction (CondVar::Wait takes the MutexLock).
+  CondVar sync_cv_;     ///< wakes the sync thread
+  CondVar durable_cv_;  ///< wakes WaitDurable/Drain
   /// Pending notifications keyed by covering ticket.
-  std::multimap<uint64_t, std::function<void(Status)>> waiters_;
-  Status sync_status_;       ///< first sync failure, latched
-  bool sync_stop_ = false;   ///< destructor -> sync thread
-  bool firing_ = false;      ///< callbacks in flight outside sync_mu_
-  size_t urgent_ = 0;        ///< WaitDurable/Drain callers skipping the window
+  std::multimap<uint64_t, std::function<void(Status)>> waiters_
+      SLOC_GUARDED_BY(sync_mu_);
+  /// First sync failure, latched.
+  Status sync_status_ SLOC_GUARDED_BY(sync_mu_);
+  /// Destructor -> sync thread.
+  bool sync_stop_ SLOC_GUARDED_BY(sync_mu_) = false;
+  /// Callbacks in flight outside sync_mu_.
+  bool firing_ SLOC_GUARDED_BY(sync_mu_) = false;
+  /// WaitDurable/Drain callers skipping the window.
+  size_t urgent_ SLOC_GUARDED_BY(sync_mu_) = 0;
   std::thread sync_thread_;
 
   // Background materializer state.

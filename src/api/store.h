@@ -62,6 +62,14 @@ class DurabilityWaiter {
 /// may run concurrently (that is what the sharded matcher and batch
 /// ingester rely on); calls touching the same shard must be externally
 /// serialized, as must structural operations against reads.
+///
+/// The serializing capability deliberately lives OUTSIDE this
+/// interface, so backends stay lock-free on the single-owner hot path:
+/// concurrent callers go through a synchronizing wrapper that owns a
+/// per-shard sloc::Mutex (net::EpochSnapshotStore) or a backend that
+/// locks internally (api::LogBackedStore). Implementations therefore
+/// carry no mutex members to annotate; see
+/// common/thread_annotations.h for the vocabulary the wrappers use.
 class CiphertextStore {
  public:
   virtual ~CiphertextStore() = default;

@@ -34,7 +34,8 @@ class BigInt {
   BigInt() = default;
 
   /// From signed machine integer (implicit: literals behave naturally).
-  BigInt(int64_t v);  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): literals must convert
+  BigInt(int64_t v);
 
   /// From unsigned 64-bit value.
   static BigInt FromU64(uint64_t v);

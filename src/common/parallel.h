@@ -11,9 +11,10 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace sloc {
 
@@ -43,13 +44,16 @@ inline void RunWorkers(size_t num_workers,
   }
   std::vector<std::thread> workers;
   workers.reserve(num_workers);
-  std::mutex mu;
-  std::exception_ptr first_error;  // guarded by mu until the joins below
+  // lock-note: mu guards first_error until the joins below; both are
+  // locals captured by reference, and GUARDED_BY cannot name a local
+  // variable's capability from inside a lambda.
+  Mutex mu;
+  std::exception_ptr first_error;
   auto guarded = [&](size_t w) {
     try {
       fn(w);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!first_error) first_error = std::current_exception();
     }
   };

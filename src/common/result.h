@@ -16,10 +16,12 @@ template <typename T>
 class Result {
  public:
   /// Implicit from value (success).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): success converts
+  Result(T value) : value_(std::move(value)) {}
 
   /// Implicit from error status. Must not be OK.
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): errors convert
+  Result(Status status) : status_(std::move(status)) {
     SLOC_CHECK(!status_.ok()) << "Result constructed from OK status";
   }
 

@@ -1,0 +1,215 @@
+// Clang Thread Safety Analysis vocabulary for the whole tree, plus
+// capability-annotated wrappers over the std synchronization
+// primitives. Under clang the CI matrix compiles with
+// `-Wthread-safety -Wthread-safety-beta -Werror`, so a lock-discipline
+// violation — touching a SLOC_GUARDED_BY member without its mutex,
+// calling a SLOC_REQUIRES function unlocked, inverting a declared
+// SLOC_ACQUIRED_AFTER order — is a build error, not a comment. Under
+// gcc (no thread-safety analysis) every macro expands to nothing and
+// the wrappers are zero-cost shims over std::mutex and friends.
+//
+// Usage rules (enforced by tools/check_locks.py):
+//   * synchronize with sloc::Mutex / sloc::SharedMutex / sloc::CondVar,
+//     not the raw std types — the raw types carry no capability, so
+//     the analysis cannot see them;
+//   * every mutex/condvar member states what it guards (or orders)
+//     either via annotations on the data (`SLOC_GUARDED_BY(mu_)`) or,
+//     where the relationship is not expressible in the attribute
+//     grammar (arrays of locks, lock-per-element ownership), via a
+//     `// lock-note:` comment on the member;
+//   * condition-variable predicates must be written as explicit
+//     while-loops around CondVar::Wait, NOT as lambdas passed to a
+//     predicate overload: clang analyzes a lambda body as a separate
+//     unlocked function, so guarded reads inside one falsely warn.
+//
+// The global lock order (see docs/ARCHITECTURE.md, "Concurrency
+// model") is encoded with SLOC_ACQUIRED_AFTER where both locks are
+// nameable members; array-element locks (store shards) document their
+// ordering in lock-notes.
+
+#ifndef SLOC_COMMON_THREAD_ANNOTATIONS_H_
+#define SLOC_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SLOC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SLOC_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define SLOC_CAPABILITY(x) SLOC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SLOC_SCOPED_CAPABILITY SLOC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define SLOC_GUARDED_BY(x) SLOC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer
+/// itself may be read freely).
+#define SLOC_PT_GUARDED_BY(x) SLOC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares lock-order edges: this capability must be acquired before
+/// (resp. after) the named ones when both are held. Checked under
+/// -Wthread-safety-beta.
+#define SLOC_ACQUIRED_BEFORE(...) \
+  SLOC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SLOC_ACQUIRED_AFTER(...) \
+  SLOC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusive / shared) on entry
+/// and does not release it.
+#define SLOC_REQUIRES(...) \
+  SLOC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SLOC_REQUIRES_SHARED(...) \
+  SLOC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires (and holds past return) / releases the capability.
+#define SLOC_ACQUIRE(...) \
+  SLOC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SLOC_ACQUIRE_SHARED(...) \
+  SLOC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SLOC_RELEASE(...) \
+  SLOC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SLOC_RELEASE_SHARED(...) \
+  SLOC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `b`.
+#define SLOC_TRY_ACQUIRE(...) \
+  SLOC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (it acquires
+/// it itself — the non-reentrancy declaration).
+#define SLOC_EXCLUDES(...) SLOC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis
+/// to trust it from here on).
+#define SLOC_ASSERT_CAPABILITY(x) \
+  SLOC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define SLOC_RETURN_CAPABILITY(x) SLOC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: function body skipped by the analysis. Every use
+/// needs a comment saying why the discipline is not expressible.
+#define SLOC_NO_THREAD_SAFETY_ANALYSIS \
+  SLOC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sloc {
+
+class CondVar;
+
+/// std::mutex with a thread-safety capability. Prefer MutexLock over
+/// calling Lock/Unlock by hand.
+class SLOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SLOC_ACQUIRE() { mu_.lock(); }
+  void Unlock() SLOC_RELEASE() { mu_.unlock(); }
+  bool TryLock() SLOC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with a thread-safety capability (exclusive writer
+/// / shared readers).
+class SLOC_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SLOC_ACQUIRE() { mu_.lock(); }
+  void Unlock() SLOC_RELEASE() { mu_.unlock(); }
+  void LockShared() SLOC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SLOC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive hold of a Mutex (the std::lock_guard /
+/// std::unique_lock replacement). Relockable: Unlock()/Lock() support
+/// the hand-over-hand and drop-around-callback patterns, and the
+/// destructor releases only if held — all visible to the analysis.
+class SLOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SLOC_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() SLOC_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() SLOC_RELEASE() { lock_.unlock(); }
+  void Lock() SLOC_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped shared (reader) hold of a SharedMutex.
+class SLOC_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) SLOC_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~SharedLock() SLOC_RELEASE() { mu_.UnlockShared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// std::condition_variable over the annotated Mutex. Callers pass the
+/// MutexLock they hold; write waits as explicit while-loops so the
+/// analysis sees every guarded read under the lock (see file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, sleeps, reacquires before returning.
+  /// The caller must hold the lock; as with std::condition_variable
+  /// that precondition is not statically checkable against the lock
+  /// object, so it is enforced by the surrounding annotated scope.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sloc
+
+#endif  // SLOC_COMMON_THREAD_ANNOTATIONS_H_

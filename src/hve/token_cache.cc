@@ -6,7 +6,7 @@ namespace hve {
 std::shared_ptr<const PrecompiledToken> TokenTableCache::Get(
     const std::vector<uint8_t>& blob) {
   std::string key(blob.begin(), blob.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -21,7 +21,7 @@ void TokenTableCache::Put(const std::vector<uint8_t>& blob,
                           std::shared_ptr<const PrecompiledToken> table) {
   if (capacity_ == 0) return;
   std::string key(blob.begin(), blob.end());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(table);
@@ -37,17 +37,17 @@ void TokenTableCache::Put(const std::vector<uint8_t>& blob,
 }
 
 size_t TokenTableCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
 uint64_t TokenTableCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t TokenTableCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

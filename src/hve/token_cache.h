@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "hve/hve.h"
 
 namespace sloc {
@@ -53,12 +53,14 @@ class TokenTableCache {
   using Entry =
       std::pair<std::string, std::shared_ptr<const PrecompiledToken>>;
 
-  size_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t capacity_;  // immutable after construction
+  mutable Mutex mu_;
+  uint64_t hits_ SLOC_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ SLOC_GUARDED_BY(mu_) = 0;
+  // front = most recently used
+  std::list<Entry> lru_ SLOC_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      SLOC_GUARDED_BY(mu_);
 };
 
 }  // namespace hve

@@ -9,11 +9,9 @@
 
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +20,7 @@
 
 #include "api/messages.h"
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "net/frame.h"
 #include "net/snapshot_store.h"
 
@@ -75,8 +74,8 @@ struct AlertServer::Impl {
     std::atomic<size_t> remaining{0};
     std::atomic<uint32_t> accepted{0};
     std::atomic<uint32_t> rejected{0};
-    std::mutex mu;
-    Status first_error;  // guarded by mu
+    Mutex mu;
+    Status first_error SLOC_GUARDED_BY(mu);
   };
 
   struct PendingUpload {
@@ -90,9 +89,9 @@ struct AlertServer::Impl {
   /// (and therefore per-user) apply order. Any I/O thread enqueues into
   /// any shard under that shard's own mutex — no global ingest lock.
   struct ShardQueue {
-    std::mutex mu;
-    std::vector<PendingUpload> items;
-    bool draining = false;
+    Mutex mu;
+    std::vector<PendingUpload> items SLOC_GUARDED_BY(mu);
+    bool draining SLOC_GUARDED_BY(mu) = false;
   };
   std::vector<std::unique_ptr<ShardQueue>> shard_queues;
 
@@ -109,9 +108,9 @@ struct AlertServer::Impl {
   /// work no matter how many kAlertTokens requests are pipelined —
   /// ingest drains (and their acks) always have workers left.
   struct ScanQueue {
-    std::mutex mu;
-    std::deque<ScanRequest> items;
-    bool draining = false;
+    Mutex mu;
+    std::deque<ScanRequest> items SLOC_GUARDED_BY(mu);
+    bool draining SLOC_GUARDED_BY(mu) = false;
   };
   ScanQueue scan_queue;
 
@@ -120,10 +119,10 @@ struct AlertServer::Impl {
     Kind kind = Kind::kDrainShard;
     size_t shard = 0;  // kDrainShard only
   };
-  std::mutex tasks_mu;
-  std::condition_variable tasks_cv;
-  std::deque<Task> tasks;
-  bool stopping = false;  // guarded by tasks_mu
+  Mutex tasks_mu;
+  CondVar tasks_cv;  // lock-note: pairs with tasks_mu (WorkerLoop wait)
+  std::deque<Task> tasks SLOC_GUARDED_BY(tasks_mu);
+  bool stopping SLOC_GUARDED_BY(tasks_mu) = false;
 
   struct Reply {
     uint64_t conn_id = 0;
@@ -185,8 +184,9 @@ struct AlertServer::Impl {
     int event_fd = -1;
     std::thread thread;
 
-    std::mutex replies_mu;
-    std::vector<Reply> replies;  ///< completed, awaiting ordered flush
+    Mutex replies_mu;
+    /// Completed, awaiting ordered flush.
+    std::vector<Reply> replies SLOC_GUARDED_BY(replies_mu);
 
     // Everything below is owned by this thread's IoLoop.
     std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
@@ -427,7 +427,7 @@ struct AlertServer::Impl {
       for (api::LocationUpload& upload : uploads) {
         const size_t shard = impl->snap->ShardOf(upload.user_id);
         ShardQueue& queue = *impl->shard_queues[shard];
-        std::lock_guard<std::mutex> lock(queue.mu);
+        MutexLock lock(queue.mu);
         queue.items.push_back(
             PendingUpload{req, upload.user_id, std::move(upload.ciphertext)});
         if (!queue.draining) {
@@ -456,7 +456,7 @@ struct AlertServer::Impl {
     void DeliverReplies() {
       std::vector<Reply> batch;
       {
-        std::lock_guard<std::mutex> lock(replies_mu);
+        MutexLock lock(replies_mu);
         batch.swap(replies);
       }
       for (Reply& reply : batch) DeliverOne(std::move(reply));
@@ -642,10 +642,10 @@ struct AlertServer::Impl {
       if (io->thread.joinable()) io->thread.join();
     }
     {
-      std::lock_guard<std::mutex> lock(tasks_mu);
+      MutexLock lock(tasks_mu);
       stopping = true;
     }
-    tasks_cv.notify_all();
+    tasks_cv.NotifyAll();
     for (std::thread& t : workers) {
       if (t.joinable()) t.join();
     }
@@ -670,18 +670,20 @@ struct AlertServer::Impl {
 
   void PushTask(Task task) {
     {
-      std::lock_guard<std::mutex> lock(tasks_mu);
+      MutexLock lock(tasks_mu);
       tasks.push_back(std::move(task));
     }
-    tasks_cv.notify_one();
+    tasks_cv.NotifyOne();
   }
 
   void WorkerLoop() {
     while (true) {
       Task task;
       {
-        std::unique_lock<std::mutex> lock(tasks_mu);
-        tasks_cv.wait(lock, [this] { return stopping || !tasks.empty(); });
+        // Explicit while-loop (not a predicate lambda) so the analysis
+        // sees the guarded reads under the lock.
+        MutexLock lock(tasks_mu);
+        while (!stopping && tasks.empty()) tasks_cv.Wait(lock);
         if (stopping) return;
         task = std::move(tasks.front());
         tasks.pop_front();
@@ -702,7 +704,7 @@ struct AlertServer::Impl {
     std::vector<PendingUpload> batch;
     while (true) {
       {
-        std::lock_guard<std::mutex> lock(queue.mu);
+        MutexLock lock(queue.mu);
         if (queue.items.empty()) {
           queue.draining = false;
           return;
@@ -734,7 +736,7 @@ struct AlertServer::Impl {
         } else {
           req.rejected.fetch_add(1, std::memory_order_relaxed);
           stats.uploads_rejected.fetch_add(1, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(req.mu);
+          MutexLock lock(req.mu);
           if (req.first_error.ok()) req.first_error = why[i];
         }
         if (req.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -768,7 +770,7 @@ struct AlertServer::Impl {
     ack.accepted = req->accepted.load(std::memory_order_relaxed);
     ack.rejected = req->rejected.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(req->mu);
+      MutexLock lock(req->mu);
       if (!req->first_error.ok()) {
         ack.error_code = int32_t(req->first_error.code());
         ack.error_message = req->first_error.message();
@@ -789,7 +791,7 @@ struct AlertServer::Impl {
   void EnqueueScan(ScanRequest scan) {
     bool start_drain = false;
     {
-      std::lock_guard<std::mutex> lock(scan_queue.mu);
+      MutexLock lock(scan_queue.mu);
       scan_queue.items.push_back(std::move(scan));
       if (!scan_queue.draining) {
         scan_queue.draining = true;
@@ -807,7 +809,7 @@ struct AlertServer::Impl {
     while (true) {
       ScanRequest scan;
       {
-        std::lock_guard<std::mutex> lock(scan_queue.mu);
+        MutexLock lock(scan_queue.mu);
         if (scan_queue.items.empty()) {
           scan_queue.draining = false;
           return;
@@ -840,7 +842,7 @@ struct AlertServer::Impl {
   void PushReply(Reply reply) {
     IoThread& io = *io_threads[ThreadOfConnId(reply.conn_id)];
     {
-      std::lock_guard<std::mutex> lock(io.replies_mu);
+      MutexLock lock(io.replies_mu);
       io.replies.push_back(std::move(reply));
     }
     io.WakeIo();

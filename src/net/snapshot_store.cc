@@ -15,7 +15,7 @@ EpochSnapshotStore::EpochSnapshotStore(
 
 void EpochSnapshotStore::Put(int user_id, hve::Ciphertext ct) {
   ShardState& shard = shards_[inner_->ShardOf(user_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const bool existed = inner_->Contains(user_id);
   inner_->Put(user_id, std::move(ct));
   if (!existed) size_.fetch_add(1, std::memory_order_relaxed);
@@ -24,7 +24,7 @@ void EpochSnapshotStore::Put(int user_id, hve::Ciphertext ct) {
 
 bool EpochSnapshotStore::Erase(int user_id) {
   ShardState& shard = shards_[inner_->ShardOf(user_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const bool existed = inner_->Erase(user_id);
   if (existed) {
     size_.fetch_sub(1, std::memory_order_relaxed);
@@ -35,7 +35,7 @@ bool EpochSnapshotStore::Erase(int user_id) {
 
 bool EpochSnapshotStore::Contains(int user_id) const {
   ShardState& shard = shards_[inner_->ShardOf(user_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return inner_->Contains(user_id);
 }
 
@@ -44,7 +44,7 @@ void EpochSnapshotStore::VisitShard(
     const std::function<void(int, const hve::Ciphertext&)>& fn) const {
   std::vector<std::pair<int, hve::Ciphertext>> copy;
   {
-    std::lock_guard<std::mutex> lock(shards_[shard].mu);
+    MutexLock lock(shards_[shard].mu);
     inner_->VisitShard(shard, [&](int user_id, const hve::Ciphertext& ct) {
       copy.emplace_back(user_id, ct);
     });
@@ -56,7 +56,7 @@ void EpochSnapshotStore::PutBatch(
     size_t shard, std::vector<std::pair<int, hve::Ciphertext>> entries) {
   if (entries.empty()) return;
   ShardState& state = shards_[shard];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   for (auto& [user_id, ct] : entries) {
     SLOC_DCHECK(inner_->ShardOf(user_id) == shard)
         << "PutBatch entry routed to the wrong shard";

@@ -26,11 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "api/store.h"
+#include "common/thread_annotations.h"
 
 namespace sloc {
 namespace net {
@@ -75,11 +75,18 @@ class EpochSnapshotStore : public api::CiphertextStore {
 
  private:
   struct ShardState {
-    mutable std::mutex mu;
+    // lock-note: `mu` guards the shard's slice of `inner_` (all
+    // resident entries that ShardOf-map to this shard). A per-element
+    // guard over another object's partition is not expressible in the
+    // capability grammar, so the discipline is: every inner_ access
+    // for shard i happens inside `MutexLock lock(shards_[i].mu)`, and
+    // at most one shard lock is held at a time (VisitShard copies out
+    // before running the visitor).
+    mutable Mutex mu;
     std::atomic<uint64_t> epoch{0};
   };
 
-  std::unique_ptr<api::CiphertextStore> inner_;
+  std::unique_ptr<api::CiphertextStore> inner_;  // partitioned by shards_[i].mu
   std::unique_ptr<ShardState[]> shards_;
   std::atomic<size_t> size_;
 };

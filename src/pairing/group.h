@@ -36,7 +36,11 @@ struct PairingCounters {
 ///
 /// Thread-compatibility: const methods are safe to call concurrently;
 /// the operation counters are atomic (relaxed), so the sharded matcher
-/// can pair from many threads without data races.
+/// can pair from many threads without data races. The class holds no
+/// mutex — shared state after Generate() is immutable except the
+/// lock-free AtomicCounters, so there is no capability to annotate
+/// (see common/thread_annotations.h); callers that mutate a group
+/// (move-assign, ResetCounters racing counters()) serialize externally.
 class PairingGroup {
  public:
   /// Generates parameters (or uses `spec.seed` deterministically), builds

@@ -222,6 +222,15 @@ TEST_F(LogStoreTest, ConcurrentSameUserPutsRecoverToAckedState) {
                      });
     return blob;
   };
+  // Pre-encrypt on this thread: the fixture's Rng is not a concurrent
+  // object (TSan flags it), and the threads should race on Put, not on
+  // test scaffolding.
+  std::vector<hve::Ciphertext> cts;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 8; ++i) {
+      cts.push_back(CtFor(cells[size_t(t * 8 + i) % cells.size()]));
+    }
+  }
   std::vector<uint8_t> resident;
   {
     auto store = Open().value();
@@ -229,7 +238,7 @@ TEST_F(LogStoreTest, ConcurrentSameUserPutsRecoverToAckedState) {
     for (int t = 0; t < 4; ++t) {
       threads.emplace_back([&, t] {
         for (int i = 0; i < 8; ++i) {
-          store->Put(1, CtFor(cells[size_t(t * 8 + i) % cells.size()]));
+          store->Put(1, cts[size_t(t * 8 + i)]);
         }
       });
     }

@@ -1,0 +1,98 @@
+// Negative-compile cases for the thread-safety annotation layer.
+//
+// Built by CTest under clang only, one case per invocation via
+// -DSLOC_TSA_CASE=N with `-fsyntax-only -Wthread-safety
+// -Wthread-safety-beta -Werror`:
+//
+//   0  positive control — correct locking, must compile clean (guards
+//      against the macros silently expanding to nothing under clang,
+//      which would green every other case for the wrong reason)
+//   1  guarded-member access without the lock
+//   2  calling a REQUIRES function without holding its mutex
+//   3  lock-order inversion against a declared ACQUIRED_AFTER edge —
+//      the shape LogBackedStore forbids: its Append holds log_mu_ and
+//      then takes sync_mu_, so taking them sync-first would deadlock
+//      against it
+//
+// Cases 1-3 must each produce a diagnostic whose text contains
+// "thread-safety" (the -W flag name clang prints); the CMake side
+// asserts that with PASS_REGULAR_EXPRESSION, so an unrelated compile
+// error cannot pass as coverage.
+//
+// This is a compile-only TU: nothing here ever runs.
+
+#include "common/thread_annotations.h"
+
+#ifndef SLOC_TSA_CASE
+#define SLOC_TSA_CASE 0
+#endif
+
+namespace {
+
+// A miniature LogBackedStore: the same two plain locks and the same
+// declared ordering edge (sync after log).
+class MiniLogStore {
+ public:
+  void AppendOk() {
+    sloc::MutexLock lock(log_mu_);
+    ++log_bytes_;
+    sloc::MutexLock sync_lock(sync_mu_);  // log -> sync: the legal nesting
+    ++pending_;
+  }
+
+  void ReadCountersOk() {
+    sloc::MutexLock lock(log_mu_);
+    (void)log_bytes_;
+  }
+
+  void RequiresLogHeld() SLOC_REQUIRES(log_mu_) { ++log_bytes_; }
+
+  void CallerOk() {
+    sloc::MutexLock lock(log_mu_);
+    RequiresLogHeld();
+  }
+
+#if SLOC_TSA_CASE == 1
+  void GuardedAccessWithoutLock() {
+    ++log_bytes_;  // no log_mu_ held: must trip guarded_by
+  }
+#endif
+
+#if SLOC_TSA_CASE == 2
+  void RequiresCallWithoutLock() {
+    RequiresLogHeld();  // no log_mu_ held: must trip requires_capability
+  }
+#endif
+
+#if SLOC_TSA_CASE == 3
+  void LockOrderInversion() {
+    sloc::MutexLock sync_lock(sync_mu_);
+    sloc::MutexLock lock(log_mu_);  // sync -> log: inverts ACQUIRED_AFTER
+    ++log_bytes_;
+    ++pending_;
+  }
+#endif
+
+ private:
+  sloc::Mutex log_mu_;
+  sloc::Mutex sync_mu_ SLOC_ACQUIRED_AFTER(log_mu_);
+  int log_bytes_ SLOC_GUARDED_BY(log_mu_) = 0;
+  int pending_ SLOC_GUARDED_BY(sync_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MiniLogStore store;
+  store.AppendOk();
+  store.ReadCountersOk();
+  store.CallerOk();
+#if SLOC_TSA_CASE == 1
+  store.GuardedAccessWithoutLock();
+#elif SLOC_TSA_CASE == 2
+  store.RequiresCallWithoutLock();
+#elif SLOC_TSA_CASE == 3
+  store.LockOrderInversion();
+#endif
+  return 0;
+}

@@ -420,6 +420,107 @@ TEST_F(NetTest, MultiIoThreadPipelinedAcksStayInOrder) {
   EXPECT_EQ(server->stats().uploads_accepted, uint64_t(kRounds));
 }
 
+TEST_F(NetTest, ConcurrentIngestAlertsCompactionAndRestartRaceCleanly) {
+  // TSan-targeted stress: every concurrent subsystem at once. Several
+  // client threads ingest against a group-commit LogBackedStore whose
+  // tiny compaction threshold forces log rotations and snapshot
+  // rewrites *during* ingest, while another thread fires alert scans
+  // (shard drains on the worker pool) and the server spreads
+  // connections across two SO_REUSEPORT I/O threads. Then the server
+  // restarts over the recovered store and the whole mix runs again.
+  // Sized to finish well inside 30s under TSan's ~10x slowdown on one
+  // core. Correctness oracle: an in-process twin over the same
+  // ciphertexts must agree on the final notified set, and the
+  // pre-restart quiescent alert must survive recovery byte-for-byte.
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 10;
+  constexpr int kAlertRounds = 3;
+  constexpr int kUsersPerPhase = kWriters * kPerWriter;
+
+  std::string dir = testing::TempDir() + "/net_stress_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir.data()), nullptr);
+  auto open_store = [&] {
+    api::LogBackedStore::Options options;
+    options.num_shards = 4;
+    options.compact_log_bytes = 4096;  // compact constantly under ingest
+    options.fsync_batch_max = 8;       // group commit: sync thread live
+    options.fsync_interval_us = 200;
+    return api::LogBackedStore::Open(dir, group_, options).value();
+  };
+
+  // Pre-encrypt everything on this thread: the fixture's Rng is not
+  // a concurrent object, and the threads below should race on the
+  // server, not on test scaffolding.
+  alert::ServiceProvider::Options sp_options;
+  sp_options.num_shards = 4;
+  sp_options.num_threads = 2;
+  alert::ServiceProvider twin(group_, ta_->marker(), sp_options);
+  std::vector<std::vector<uint8_t>> frames;  // [phase*kUsers + i]
+  for (int user = 1; user <= 2 * kUsersPerPhase; ++user) {
+    const api::LocationUpload upload = UploadFor(user, (user % 14) + 1);
+    ASSERT_TRUE(twin.SubmitLocation(user, upload.ciphertext).ok());
+    frames.push_back(api::EncodeLocationUpload(upload));
+  }
+  const std::vector<uint8_t> bundle =
+      ta_->IssueAlertBundle(11, {2, 3}).value();
+
+  auto run_phase = [&](AlertServer& server, int phase) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w, phase] {
+        AlertClient client = AlertClient::Connect(server.port()).value();
+        for (int i = 0; i < kPerWriter; ++i) {
+          const size_t slot =
+              size_t(phase) * kUsersPerPhase + size_t(w * kPerWriter + i);
+          api::SubmitAck ack = client.SubmitUpload(frames[slot]).value();
+          EXPECT_EQ(ack.accepted, 1u) << "writer " << w << " upload " << i;
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      // Alert scans racing the ingest: outcomes are timing-dependent
+      // mid-stream (that is the point), but every scan must complete.
+      AlertClient client = AlertClient::Connect(server.port()).value();
+      for (int a = 0; a < kAlertRounds; ++a) {
+        ASSERT_TRUE(client.ProcessAlertBundle(bundle).ok());
+      }
+    });
+    for (auto& thread : threads) thread.join();
+  };
+
+  std::vector<int> before;
+  {
+    auto server = StartServer(open_store(), /*io_threads=*/2);
+    run_phase(*server, /*phase=*/0);
+    AlertClient client = AlertClient::Connect(server->port()).value();
+    const api::OutcomeReport report =
+        client.ProcessAlertBundle(bundle).value();
+    EXPECT_EQ(report.resident_users, size_t(kUsersPerPhase));
+    before = report.notified_users;
+    server->Stop();
+  }
+
+  // Recovery replays snapshot + live segments; the quiescent alert
+  // must be identical, then the second racing phase runs on top.
+  auto server = StartServer(open_store(), /*io_threads=*/2);
+  {
+    AlertClient client = AlertClient::Connect(server->port()).value();
+    EXPECT_EQ(client.ProcessAlertBundle(bundle).value().notified_users,
+              before);
+  }
+  run_phase(*server, /*phase=*/1);
+
+  AlertClient client = AlertClient::Connect(server->port()).value();
+  const api::OutcomeReport report =
+      client.ProcessAlertBundle(bundle).value();
+  const auto expected =
+      twin.ProcessAlert(api::DecodeTokenBundle(bundle).value().tokens)
+          .value();
+  EXPECT_EQ(report.resident_users, size_t(2 * kUsersPerPhase));
+  EXPECT_EQ(report.notified_users, expected.notified_users);
+  ASSERT_FALSE(report.notified_users.empty());
+}
+
 // ---------- EpochSnapshotStore ----------
 
 TEST(EpochSnapshotStoreTest, CountsEpochsAndForwardsIdentity) {

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Lock-discipline gate for src/ — pure stdlib, no compiler tooling.
+
+Clang Thread Safety Analysis (-Wthread-safety, enforced in the clang
+legs of the CI matrix) checks whatever is *annotated*; it is silent
+about a mutex that carries no annotations at all. This script closes
+that gap so the analysis cannot be quietly opted out of:
+
+  1. Every sloc::Mutex / sloc::SharedMutex member or local in src/
+     must state what it guards: either the file ties data to it with
+     SLOC_GUARDED_BY(name) / SLOC_PT_GUARDED_BY(name), or the
+     declaration carries a `// lock-note:` comment (same line, or in
+     the contiguous comment block immediately above) explaining why
+     the guard relationship is outside the capability grammar
+     (per-element guards over arrays, locals captured by lambdas,
+     capabilities that guard phases rather than data).
+  2. Every sloc::CondVar must carry a `// lock-note:` naming the mutex
+     it pairs with (a condvar never guards data, so GUARDED_BY is not
+     an option for it).
+  3. Raw standard-library locking primitives (std::mutex,
+     std::condition_variable, std::lock_guard, ...) are banned in src/
+     outside common/thread_annotations.h itself — the annotated sloc
+     wrappers are drop-in and cost nothing, and raw primitives are
+     invisible to the analysis.
+  4. If tools/tsan.supp exists, every suppression line in it must be
+     immediately preceded by a `#` comment justifying it. An empty
+     suppressions file needs no justification; a silent one is a bug
+     masker.
+
+The GUARDED_BY(name) lookup is file-scoped by member name — a
+heuristic, not a parse. It accepts a same-named mutex in a sibling
+struct as evidence; the clang analysis is the precise check, this is
+the "did you even try" gate.
+
+Usage: python3 tools/check_locks.py [root]
+Exits non-zero listing every violation.
+"""
+
+import os
+import re
+import sys
+
+WRAPPER_HEADER = os.path.join("src", "common", "thread_annotations.h")
+
+RAW_PRIMITIVE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b")
+
+# `Mutex name` / `CondVar name` — word boundaries keep MutexLock and
+# SharedLock (the RAII guards, which never need annotations) out.
+DIRECT_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:sloc::)?"
+    r"(Mutex|SharedMutex|CondVar)\s+(\w+)")
+# `std::unique_ptr<Mutex[]> name`, `std::array<Mutex, N> name`, ...
+WRAPPED_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?[\w:]+\s*<[^<>]*"
+    r"\b(Mutex|SharedMutex|CondVar)\b[^<>]*>\s+(\w+)")
+
+
+def strip_comment(line):
+    """Code portion of a line (// comments removed)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def find_decl(line):
+    code = strip_comment(line)
+    if ";" not in code:
+        return None
+    m = DIRECT_DECL.match(code) or WRAPPED_DECL.match(code)
+    return (m.group(1), m.group(2)) if m else None
+
+
+def check_cxx_file(root, rel_path, problems):
+    with open(os.path.join(root, rel_path), encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    text = "\n".join(lines)
+
+    # Raw primitives (rule 3). Comment mentions are fine — docs should
+    # say "wraps std::mutex".
+    for number, line in enumerate(lines, start=1):
+        if RAW_PRIMITIVE.search(strip_comment(line)):
+            problems.append(
+                f"{rel_path}:{number}: raw standard-library lock primitive; "
+                "use the annotated wrappers in common/thread_annotations.h")
+
+    # Annotation coverage (rules 1-2). `note_armed` tracks whether a
+    # lock-note comment block immediately precedes the current line; it
+    # survives across consecutive lockable declarations so one note can
+    # cover a group (e.g. both condvars of a mutex).
+    note_armed = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        is_comment = stripped.startswith("//")
+        decl = find_decl(line)
+        if "lock-note:" in line:
+            note_armed = True
+            if decl is None:
+                continue
+        if decl is None:
+            if not is_comment:
+                note_armed = False
+            continue
+        kind, name = decl
+        noted = note_armed or "lock-note:" in line
+        guarded = (f"SLOC_GUARDED_BY({name})" in text
+                   or f"SLOC_PT_GUARDED_BY({name})" in text)
+        if kind == "CondVar":
+            if not noted:
+                problems.append(
+                    f"{rel_path}:{number}: CondVar `{name}` needs a "
+                    "`// lock-note:` naming the mutex it pairs with")
+        elif not (noted or guarded):
+            problems.append(
+                f"{rel_path}:{number}: {kind} `{name}` guards nothing: "
+                f"add SLOC_GUARDED_BY({name}) on the data it protects, "
+                "or a `// lock-note:` explaining the discipline")
+
+
+def check_tsan_suppressions(root, problems):
+    path = os.path.join(root, "tools", "tsan.supp")
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    prev_comment = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            prev_comment = False
+            continue
+        if stripped.startswith("#"):
+            prev_comment = True
+            continue
+        if not prev_comment:
+            problems.append(
+                f"tools/tsan.supp:{number}: suppression without a "
+                "justifying `#` comment on the line above")
+        prev_comment = False
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    problems = []
+    checked = 0
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if not name.endswith((".h", ".cc")):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            if rel == WRAPPER_HEADER:
+                continue  # defines the wrappers; holds the raw types
+            check_cxx_file(root, rel, problems)
+            checked += 1
+    check_tsan_suppressions(root, problems)
+    for problem in problems:
+        print(problem)
+    print(f"check_locks: {checked} files, {len(problems)} problems")
+    sys.exit(1 if problems else 0)
+
+
+if __name__ == "__main__":
+    main()
